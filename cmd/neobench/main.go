@@ -1,0 +1,75 @@
+// Command neobench regenerates the tables and figures of the NeoBFT
+// paper's evaluation (§6) against the software reproduction in this
+// repository.
+//
+// Usage:
+//
+//	neobench -experiment fig7            # one experiment
+//	neobench -experiment all -short      # quick pass over everything
+//	neobench -list                       # what can be run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"neobft/internal/bench"
+)
+
+var experiments = map[string]func(*os.File, bench.ExpConfig){
+	"table1":   func(f *os.File, c bench.ExpConfig) { bench.Table1(f, c) },
+	"table2":   func(f *os.File, c bench.ExpConfig) { bench.Table2(f, c) },
+	"table3":   func(f *os.File, c bench.ExpConfig) { bench.Table3(f, c) },
+	"fig4":     func(f *os.File, c bench.ExpConfig) { bench.Fig4(f, c) },
+	"fig5":     func(f *os.File, c bench.ExpConfig) { bench.Fig5(f, c) },
+	"fig6":     func(f *os.File, c bench.ExpConfig) { bench.Fig6(f, c) },
+	"fig7":     func(f *os.File, c bench.ExpConfig) { bench.Fig7(f, c) },
+	"fig8":     func(f *os.File, c bench.ExpConfig) { bench.Fig8(f, c) },
+	"fig9":     func(f *os.File, c bench.ExpConfig) { bench.Fig9(f, c) },
+	"fig10":    func(f *os.File, c bench.ExpConfig) { bench.Fig10(f, c) },
+	"failover": func(f *os.File, c bench.ExpConfig) { bench.Failover(f, c) },
+}
+
+// order fixes the presentation sequence for -experiment all.
+var order = []string{"table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "failover"}
+
+func main() {
+	exp := flag.String("experiment", "all", "experiment to run (see -list)")
+	short := flag.Bool("short", false, "quick mode: shorter windows, fewer sweep points")
+	list := flag.Bool("list", false, "list available experiments")
+	csvDir := flag.String("csv", "", "also write plot-ready CSV data series into this directory")
+	flag.Parse()
+
+	if *list {
+		names := make([]string, 0, len(experiments))
+		for n := range experiments {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Println("experiments:", strings.Join(names, " "), "all")
+		return
+	}
+	cfg := bench.ExpConfig{Short: *short}
+	if *csvDir != "" {
+		if err := bench.CSVAll(*csvDir, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "csv export: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("CSV series written to %s\n", *csvDir)
+	}
+	if *exp == "all" {
+		for _, name := range order {
+			experiments[name](os.Stdout, cfg)
+		}
+		return
+	}
+	fn, ok := experiments[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+		os.Exit(1)
+	}
+	fn(os.Stdout, cfg)
+}

@@ -1,0 +1,3 @@
+module neobft
+
+go 1.22

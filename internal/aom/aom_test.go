@@ -1,0 +1,661 @@
+package aom
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"neobft/internal/crypto/auth"
+	"neobft/internal/crypto/siphash"
+	"neobft/internal/sequencer"
+	"neobft/internal/simnet"
+	"neobft/internal/transport"
+	"neobft/internal/wire"
+)
+
+const (
+	switchID = transport.NodeID(0)
+	senderID = transport.NodeID(100)
+)
+
+// deliverLog records deliveries for one receiver.
+type deliverLog struct {
+	mu   sync.Mutex
+	evts []Delivery
+}
+
+func (l *deliverLog) add(d Delivery) {
+	l.mu.Lock()
+	l.evts = append(l.evts, d)
+	l.mu.Unlock()
+}
+
+func (l *deliverLog) len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.evts)
+}
+
+func (l *deliverLog) get(i int) Delivery {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.evts[i]
+}
+
+func (l *deliverLog) wait(t *testing.T, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if l.len() >= n {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	t.Fatalf("timed out: %d deliveries, want %d", l.len(), n)
+}
+
+// cluster wires a switch and n receivers together.
+type cluster struct {
+	net    *simnet.Network
+	sw     *sequencer.Switch
+	sender *Sender
+	recvs  []*Receiver
+	logs   []*deliverLog
+	auths  []*auth.HMACAuth
+	keys   []siphash.HalfKey
+	f      int
+}
+
+func newCluster(t *testing.T, variant wire.AuthKind, n int, byz bool, swOpts sequencer.Options) *cluster {
+	t.Helper()
+	c := &cluster{net: simnet.New(simnet.Options{}), f: (n - 1) / 3}
+	t.Cleanup(c.net.Close)
+	swConn := c.net.Join(switchID)
+	swOpts.Variant = variant
+	if variant == wire.AuthPK && swOpts.PKSeed == nil {
+		swOpts.PKSeed = []byte("aom test switch")
+	}
+	c.sw = sequencer.New(swConn, swOpts)
+
+	members := make([]transport.NodeID, n)
+	for i := range members {
+		members[i] = transport.NodeID(i + 1)
+	}
+	c.keys = make([]siphash.HalfKey, n)
+	for i := range c.keys {
+		c.keys[i][0] = byte(i + 1)
+	}
+	c.auths = make([]*auth.HMACAuth, n)
+	for i := range c.auths {
+		c.auths[i] = auth.NewHMACAuth([]byte("replicas"), i, n)
+	}
+	c.recvs = make([]*Receiver, n)
+	c.logs = make([]*deliverLog, n)
+	for i := 0; i < n; i++ {
+		conn := c.net.Join(members[i])
+		log := &deliverLog{}
+		c.logs[i] = log
+		cfg := ReceiverConfig{
+			Group: 1, Variant: variant, SelfIndex: i, Members: members,
+			F: c.f, Byzantine: byz, Auth: c.auths[i], Conn: conn,
+			Deliver: log.add,
+		}
+		ep := EpochConfig{Epoch: 1, HMACKey: c.keys[i]}
+		if variant == wire.AuthPK {
+			ep.SwitchPub = c.sw.PublicKey()
+		}
+		r := NewReceiver(cfg, ep)
+		t.Cleanup(r.Close)
+		c.recvs[i] = r
+		conn.SetHandler(func(from transport.NodeID, p []byte) { r.HandlePacket(from, p) })
+	}
+	gc := sequencer.GroupConfig{Group: 1, Epoch: 1, Members: members}
+	if variant == wire.AuthHMAC {
+		gc.HMACKeys = c.keys
+	}
+	c.sw.InstallGroup(gc)
+	c.sender = NewSender(c.net.Join(senderID), 1, switchID)
+	return c
+}
+
+func (c *cluster) verifier(idx int, byz bool) *CertVerifier {
+	v := &CertVerifier{
+		Variant: c.recvs[idx].cfg.Variant, Group: 1, Epoch: 1,
+		SelfIndex: idx, HMACKey: c.keys[idx],
+		Byzantine: byz, N: len(c.recvs), F: c.f, Auth: c.auths[idx],
+	}
+	if v.Variant == wire.AuthPK {
+		v.PK = c.recvs[idx].pk
+	}
+	return v
+}
+
+func TestHMDeliveryAndTransferableCert(t *testing.T) {
+	c := newCluster(t, wire.AuthHMAC, 4, false, sequencer.Options{})
+	for i := 0; i < 5; i++ {
+		c.sender.Send([]byte(fmt.Sprintf("msg-%d", i)))
+	}
+	for r := 0; r < 4; r++ {
+		c.logs[r].wait(t, 5)
+	}
+	for i := 0; i < 5; i++ {
+		d := c.logs[0].get(i)
+		if d.Dropped || d.Seq != uint64(i+1) {
+			t.Fatalf("delivery %d: %+v", i, d)
+		}
+		if string(d.Payload) != fmt.Sprintf("msg-%d", i) {
+			t.Fatalf("payload %q", d.Payload)
+		}
+		// Transferability: every *other* receiver verifies receiver 0's cert.
+		for other := 1; other < 4; other++ {
+			if err := c.verifier(other, false).Verify(d.Cert); err != nil {
+				t.Fatalf("receiver %d rejects cert for seq %d: %v", other, d.Seq, err)
+			}
+		}
+	}
+}
+
+func TestHMSubgroupAssembly(t *testing.T) {
+	c := newCluster(t, wire.AuthHMAC, 10, false, sequencer.Options{})
+	c.sender.Send([]byte("wide"))
+	for r := 0; r < 10; r++ {
+		c.logs[r].wait(t, 1)
+	}
+	d := c.logs[3].get(0)
+	if len(d.Cert.HMACVector) != 4*10 {
+		t.Fatalf("vector size %d, want 40", len(d.Cert.HMACVector))
+	}
+	// Receiver 9 (last subgroup) verifies receiver 3's cert.
+	if err := c.verifier(9, false).Verify(d.Cert); err != nil {
+		t.Fatalf("lane-9 verification failed: %v", err)
+	}
+}
+
+func TestPKSignedDelivery(t *testing.T) {
+	c := newCluster(t, wire.AuthPK, 4, false, sequencer.Options{})
+	for i := 0; i < 3; i++ {
+		c.sender.Send([]byte{byte(i)})
+	}
+	c.logs[0].wait(t, 3)
+	for i := 0; i < 3; i++ {
+		d := c.logs[0].get(i)
+		if !d.Cert.Signed {
+			t.Fatalf("packet %d unsigned at unlimited sign rate", i)
+		}
+		if err := c.verifier(2, false).Verify(d.Cert); err != nil {
+			t.Fatalf("cert %d: %v", i, err)
+		}
+	}
+}
+
+func TestPKHashChainBatch(t *testing.T) {
+	// Tiny sign rate: packet 1 signed (initial stock), packets 2..6
+	// unsigned, then a forced-signed packet 7 releases the batch.
+	c := newCluster(t, wire.AuthPK, 4, false, sequencer.Options{SignRate: 0.000001, SignBurst: 1})
+	c.sender.Send([]byte("first"))
+	c.logs[0].wait(t, 1)
+	for i := 0; i < 5; i++ {
+		c.sender.Send([]byte(fmt.Sprintf("batch-%d", i)))
+	}
+	// Unsigned packets must be parked, not delivered.
+	time.Sleep(20 * time.Millisecond)
+	if c.logs[0].len() != 1 {
+		t.Fatalf("unsigned packets delivered early: %d deliveries", c.logs[0].len())
+	}
+	c.sw.ForceSignNext()
+	c.sender.Send([]byte("anchor"))
+	c.logs[0].wait(t, 7)
+	for i := 0; i < 7; i++ {
+		d := c.logs[0].get(i)
+		if d.Dropped {
+			t.Fatalf("delivery %d dropped", i)
+		}
+		if i >= 1 && i < 6 {
+			if d.Cert.Signed {
+				t.Fatalf("delivery %d unexpectedly signed", i)
+			}
+			if len(d.Cert.Suffix) == 0 {
+				t.Fatalf("unsigned cert %d missing suffix", i)
+			}
+		}
+		// Chain-suffix certs must be independently verifiable.
+		if err := c.verifier(1, false).Verify(d.Cert); err != nil {
+			t.Fatalf("cert %d: %v", i, err)
+		}
+	}
+	// The suffix of packet 2 must reach the signed anchor (seq 7).
+	d2 := c.logs[0].get(1)
+	last := d2.Cert.Suffix[len(d2.Cert.Suffix)-1]
+	if !last.Signed || last.Seq != 7 {
+		t.Fatalf("suffix anchor = %+v", last)
+	}
+}
+
+func TestDropNotification(t *testing.T) {
+	c := newCluster(t, wire.AuthHMAC, 4, false, sequencer.Options{})
+	c.sw.DropSeq(2)
+	for i := 0; i < 3; i++ {
+		c.sender.Send([]byte{byte(i)})
+	}
+	c.logs[0].wait(t, 3)
+	d0, d1, d2 := c.logs[0].get(0), c.logs[0].get(1), c.logs[0].get(2)
+	if d0.Dropped || d0.Seq != 1 {
+		t.Fatalf("d0 = %+v", d0)
+	}
+	if !d1.Dropped || d1.Seq != 2 || d1.Cert != nil {
+		t.Fatalf("d1 = %+v, want drop-notification for seq 2", d1)
+	}
+	if d2.Dropped || d2.Seq != 3 {
+		t.Fatalf("d2 = %+v", d2)
+	}
+	_, dropped, _ := c.recvs[0].Stats()
+	if dropped != 1 {
+		t.Fatalf("dropped = %d", dropped)
+	}
+}
+
+func TestPKDropNotificationAcrossChainBreak(t *testing.T) {
+	c := newCluster(t, wire.AuthPK, 4, false, sequencer.Options{})
+	c.sw.DropSeq(2)
+	for i := 0; i < 3; i++ {
+		c.sender.Send([]byte{byte(i)})
+	}
+	c.logs[0].wait(t, 3)
+	if !c.logs[0].get(1).Dropped {
+		t.Fatal("missing drop-notification for seq 2")
+	}
+	if c.logs[0].get(2).Dropped || c.logs[0].get(2).Seq != 3 {
+		t.Fatalf("seq 3 delivery = %+v", c.logs[0].get(2))
+	}
+}
+
+func TestByzantineConfirmDelivery(t *testing.T) {
+	c := newCluster(t, wire.AuthHMAC, 4, true, sequencer.Options{})
+	for i := 0; i < 3; i++ {
+		c.sender.Send([]byte(fmt.Sprintf("bn-%d", i)))
+	}
+	for r := 0; r < 4; r++ {
+		c.logs[r].wait(t, 3)
+	}
+	d := c.logs[2].get(0)
+	if len(d.Cert.Confirms) < 2*c.f+1 {
+		t.Fatalf("cert has %d confirms, need %d", len(d.Cert.Confirms), 2*c.f+1)
+	}
+	// A Byzantine-mode verifier demands the confirms.
+	if err := c.verifier(1, true).Verify(d.Cert); err != nil {
+		t.Fatalf("BN cert rejected: %v", err)
+	}
+	// Stripping the confirms must fail BN verification but pass plain.
+	stripped := *d.Cert
+	stripped.Confirms = nil
+	if err := c.verifier(1, true).Verify(&stripped); err == nil {
+		t.Fatal("BN verifier accepted cert without confirms")
+	}
+	if err := c.verifier(1, false).Verify(&stripped); err != nil {
+		t.Fatalf("plain verifier rejected stripped cert: %v", err)
+	}
+}
+
+func TestByzantineEquivocationVictim(t *testing.T) {
+	c := newCluster(t, wire.AuthHMAC, 4, true, sequencer.Options{})
+	c.sw.SetFault(sequencer.FaultEquivocate)
+	c.sw.SetEquivocationVictims(1)
+	c.sender.Send([]byte("the truth"))
+	// Non-victims deliver the real message.
+	for r := 0; r < 3; r++ {
+		c.logs[r].wait(t, 1)
+		d := c.logs[r].get(0)
+		if d.Dropped || string(d.Payload) != "the truth" {
+			t.Fatalf("receiver %d: %+v", r, d)
+		}
+	}
+	// The victim receives a forced drop-notification: a quorum confirmed
+	// a copy conflicting with its own.
+	c.logs[3].wait(t, 1)
+	if d := c.logs[3].get(0); !d.Dropped {
+		t.Fatalf("victim delivered an equivocated message: %+v", d)
+	}
+}
+
+func TestNonByzantineVictimAcceptsEquivocation(t *testing.T) {
+	// Without the confirm exchange, an equivocating switch splits the
+	// receivers: this documents why the BN mode exists.
+	c := newCluster(t, wire.AuthHMAC, 4, false, sequencer.Options{})
+	c.sw.SetFault(sequencer.FaultEquivocate)
+	c.sw.SetEquivocationVictims(1)
+	c.sender.Send([]byte("the truth"))
+	c.logs[3].wait(t, 1)
+	if d := c.logs[3].get(0); d.Dropped || string(d.Payload) == "the truth" {
+		t.Fatalf("expected the victim to deliver the equivocated copy, got %+v", d)
+	}
+}
+
+func TestEpochSwitchIgnoresOldSequencer(t *testing.T) {
+	c := newCluster(t, wire.AuthHMAC, 4, false, sequencer.Options{})
+	c.sender.Send([]byte("epoch1"))
+	c.logs[0].wait(t, 1)
+	for i := range c.recvs {
+		c.recvs[i].InstallEpoch(EpochConfig{Epoch: 2, HMACKey: c.keys[i]})
+	}
+	// Old-epoch packets must be ignored now.
+	c.sender.Send([]byte("stale"))
+	time.Sleep(10 * time.Millisecond)
+	if c.logs[0].len() != 1 {
+		t.Fatalf("stale epoch packet delivered")
+	}
+	// New sequencer config with epoch 2 resumes delivery at seq 1.
+	c.sw.InstallGroup(sequencer.GroupConfig{
+		Group: 1, Epoch: 2,
+		Members: []transport.NodeID{1, 2, 3, 4}, HMACKeys: c.keys,
+	})
+	c.sender.Send([]byte("epoch2"))
+	c.logs[0].wait(t, 2)
+	d := c.logs[0].get(1)
+	if d.Epoch != 2 || d.Seq != 1 || string(d.Payload) != "epoch2" {
+		t.Fatalf("epoch-2 delivery = %+v", d)
+	}
+}
+
+func TestCertMarshalRoundTrip(t *testing.T) {
+	c := newCluster(t, wire.AuthHMAC, 4, true, sequencer.Options{})
+	c.sender.Send([]byte("serialize me"))
+	c.logs[0].wait(t, 1)
+	cert := c.logs[0].get(0).Cert
+	buf := cert.Marshal()
+	got, err := UnmarshalCert(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(cert) || len(got.Confirms) != len(cert.Confirms) {
+		t.Fatal("round trip mismatch")
+	}
+	if err := c.verifier(1, true).Verify(got); err != nil {
+		t.Fatalf("unmarshalled cert rejected: %v", err)
+	}
+	// Truncations must not decode.
+	for i := 1; i < len(buf); i += 7 {
+		if _, err := UnmarshalCert(buf[:i]); err == nil {
+			t.Fatalf("truncated cert (%d bytes) accepted", i)
+		}
+	}
+}
+
+func TestCertTamperRejected(t *testing.T) {
+	c := newCluster(t, wire.AuthHMAC, 4, false, sequencer.Options{})
+	c.sender.Send([]byte("genuine"))
+	c.logs[0].wait(t, 1)
+	cert := c.logs[0].get(0).Cert
+	v := c.verifier(1, false)
+
+	tampered := *cert
+	tampered.Payload = []byte("forged!")
+	if v.Verify(&tampered) == nil {
+		t.Fatal("payload tamper accepted")
+	}
+	tampered2 := *cert
+	tampered2.Payload = []byte("forged!")
+	tampered2.Digest = wire.Digest(tampered2.Payload)
+	if v.Verify(&tampered2) == nil {
+		t.Fatal("digest rewrite accepted (MAC should fail)")
+	}
+	tampered3 := *cert
+	tampered3.Seq = 99
+	if v.Verify(&tampered3) == nil {
+		t.Fatal("seq tamper accepted")
+	}
+	tampered4 := *cert
+	tampered4.Epoch = 9
+	if v.Verify(&tampered4) == nil {
+		t.Fatal("epoch tamper accepted")
+	}
+	vec := bytes.Clone(cert.HMACVector)
+	vec[4*1] ^= 1 // receiver 1's lane
+	tampered5 := *cert
+	tampered5.HMACVector = vec
+	if v.Verify(&tampered5) == nil {
+		t.Fatal("lane tamper accepted")
+	}
+}
+
+func TestReceiverIgnoresForgedPackets(t *testing.T) {
+	c := newCluster(t, wire.AuthHMAC, 4, false, sequencer.Options{})
+	// A Byzantine node forges a stamped packet with bogus MACs.
+	evil := c.net.Join(200)
+	payload := []byte("fake")
+	h := &wire.AOMHeader{
+		Kind: wire.AuthHMAC, Group: 1, Epoch: 1, Seq: 1,
+		Digest: wire.Digest(payload), NumSubgroups: 1,
+		Auth: make([]byte, 16),
+	}
+	w := wire.NewWriter(128)
+	wire.EncodeAOM(w, h, payload)
+	for r := 1; r <= 4; r++ {
+		evil.Send(transport.NodeID(r), w.Bytes())
+	}
+	time.Sleep(10 * time.Millisecond)
+	if c.logs[0].len() != 0 {
+		t.Fatal("forged packet delivered")
+	}
+	// Genuine traffic still flows.
+	c.sender.Send([]byte("real"))
+	c.logs[0].wait(t, 1)
+	if string(c.logs[0].get(0).Payload) != "real" {
+		t.Fatal("genuine packet lost after forgery attempt")
+	}
+}
+
+func TestOrderingUnderRandomDrops(t *testing.T) {
+	// Property: with random network drops between switch and receivers,
+	// every receiver's delivery stream is exactly seqs 1..max in order,
+	// each either a message or a drop-notification.
+	const total = 200
+	c := newClusterWithNet(t, wire.AuthHMAC, 4, simnet.Options{
+		DropRate: 0.2,
+		Seed:     42,
+		DropFilter: func(from, to transport.NodeID) bool {
+			return from == switchID // only switch→receiver multicast drops
+		},
+	})
+	for i := 0; i < total; i++ {
+		c.sender.Send([]byte{byte(i), byte(i >> 8)})
+	}
+	// Send a tail marker until every receiver reaches it, to flush gaps.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		done := 0
+		for r := 0; r < 4; r++ {
+			if c.recvs[r].NextSeq() > total {
+				done++
+			}
+		}
+		if done == 4 {
+			break
+		}
+		c.sender.Send([]byte("flush"))
+		time.Sleep(2 * time.Millisecond)
+	}
+	for r := 0; r < 4; r++ {
+		log := c.logs[r]
+		n := log.len()
+		if n < total {
+			t.Fatalf("receiver %d: only %d events", r, n)
+		}
+		delivered := 0
+		for i := 0; i < n; i++ {
+			d := log.get(i)
+			if d.Seq != uint64(i+1) {
+				t.Fatalf("receiver %d event %d has seq %d", r, i, d.Seq)
+			}
+			if !d.Dropped {
+				delivered++
+				if d.Cert == nil {
+					t.Fatalf("receiver %d seq %d: delivery without cert", r, d.Seq)
+				}
+			}
+		}
+		if delivered == 0 {
+			t.Fatalf("receiver %d delivered nothing", r)
+		}
+	}
+}
+
+// newClusterWithNet is newCluster with custom network options.
+func newClusterWithNet(t *testing.T, variant wire.AuthKind, n int, netOpts simnet.Options) *cluster {
+	t.Helper()
+	c := &cluster{net: simnet.New(netOpts), f: (n - 1) / 3}
+	t.Cleanup(c.net.Close)
+	swConn := c.net.Join(switchID)
+	c.sw = sequencer.New(swConn, sequencer.Options{Variant: variant, PKSeed: []byte("x")})
+	members := make([]transport.NodeID, n)
+	for i := range members {
+		members[i] = transport.NodeID(i + 1)
+	}
+	c.keys = make([]siphash.HalfKey, n)
+	for i := range c.keys {
+		c.keys[i][0] = byte(i + 1)
+	}
+	c.recvs = make([]*Receiver, n)
+	c.logs = make([]*deliverLog, n)
+	for i := 0; i < n; i++ {
+		conn := c.net.Join(members[i])
+		log := &deliverLog{}
+		c.logs[i] = log
+		r := NewReceiver(ReceiverConfig{
+			Group: 1, Variant: variant, SelfIndex: i, Members: members,
+			F: c.f, Deliver: log.add,
+		}, EpochConfig{Epoch: 1, HMACKey: c.keys[i], SwitchPub: c.sw.PublicKey()})
+		t.Cleanup(r.Close)
+		c.recvs[i] = r
+		conn.SetHandler(func(from transport.NodeID, p []byte) { r.HandlePacket(from, p) })
+	}
+	gc := sequencer.GroupConfig{Group: 1, Epoch: 1, Members: members}
+	if variant == wire.AuthHMAC {
+		gc.HMACKeys = c.keys
+	}
+	c.sw.InstallGroup(gc)
+	c.sender = NewSender(c.net.Join(senderID), 1, switchID)
+	return c
+}
+
+func TestConfirmBatching(t *testing.T) {
+	c := newCluster(t, wire.AuthHMAC, 4, true, sequencer.Options{})
+	// Reconfigure receiver 0 equivalents is complex; instead check that
+	// with per-packet flushing, confirm packets == confirms sent.
+	for i := 0; i < 5; i++ {
+		c.sender.Send([]byte{byte(i)})
+	}
+	c.logs[0].wait(t, 5)
+	_, _, sent := c.recvs[0].Stats()
+	if sent != 5 {
+		t.Fatalf("confirms sent = %d", sent)
+	}
+	if pk := c.recvs[0].ConfirmPackets(); pk != 5 {
+		t.Fatalf("confirm packets = %d, want 5 without batching", pk)
+	}
+}
+
+func BenchmarkHMEndToEnd(b *testing.B) {
+	net := simnet.New(simnet.Options{})
+	defer net.Close()
+	swConn := net.Join(switchID)
+	sw := sequencer.New(swConn, sequencer.Options{Variant: wire.AuthHMAC})
+	members := []transport.NodeID{1, 2, 3, 4}
+	keys := make([]siphash.HalfKey, 4)
+	for i := 0; i < 4; i++ {
+		keys[i][0] = byte(i + 1)
+	}
+	var delivered atomic.Int64
+	for i := 0; i < 4; i++ {
+		conn := net.Join(members[i])
+		idx := i
+		r := NewReceiver(ReceiverConfig{
+			Group: 1, Variant: wire.AuthHMAC, SelfIndex: idx, Members: members,
+			Deliver: func(d Delivery) {
+				if idx == 0 && !d.Dropped {
+					delivered.Add(1)
+				}
+			},
+		}, EpochConfig{Epoch: 1, HMACKey: keys[idx]})
+		defer r.Close()
+		conn.SetHandler(func(from transport.NodeID, p []byte) { r.HandlePacket(from, p) })
+	}
+	sw.InstallGroup(sequencer.GroupConfig{Group: 1, Epoch: 1, Members: members, HMACKeys: keys})
+	sender := NewSender(net.Join(senderID), 1, switchID)
+	payload := make([]byte, 64)
+	b.ResetTimer()
+	// Paced open loop: cap in-flight packets well below the inbox bound
+	// so the unreliable network never has to drop.
+	deadline := time.Now().Add(2 * time.Minute)
+	for i := 0; i < b.N; i++ {
+		for int64(i)-delivered.Load() > 4096 {
+			if time.Now().After(deadline) {
+				b.Fatalf("stalled at %d/%d deliveries", delivered.Load(), i)
+			}
+			runtime.Gosched()
+		}
+		sender.Send(payload)
+	}
+	for delivered.Load() < int64(b.N) {
+		if time.Now().After(deadline) {
+			b.Fatalf("drained only %d/%d deliveries", delivered.Load(), b.N)
+		}
+		runtime.Gosched()
+	}
+}
+
+// TestConfirmFlusherBatching runs Byzantine-network receivers with a
+// background confirm flusher: entries accumulate between flushes, so
+// fewer confirm packets than confirm entries are sent under a burst.
+func TestConfirmFlusherBatching(t *testing.T) {
+	c := newCluster(t, wire.AuthHMAC, 4, true, sequencer.Options{})
+	// Swap receiver 0 for one with a 2ms flusher and batch 64.
+	// (Simplest: rebuild the cluster by hand for receiver 0.)
+	old := c.recvs[0]
+	old.Close()
+	conn := c.net.Join(500) // fresh conn for the batched receiver
+	log := &deliverLog{}
+	members := []transport.NodeID{1, 2, 3, 4}
+	r := NewReceiver(ReceiverConfig{
+		Group: 1, Variant: wire.AuthHMAC, SelfIndex: 0, Members: members,
+		F: 1, Byzantine: true, Auth: c.auths[0], Conn: conn,
+		Deliver:           log.add,
+		ConfirmBatch:      64,
+		ConfirmFlushEvery: 2 * time.Millisecond,
+	}, EpochConfig{Epoch: 1, HMACKey: c.keys[0]})
+	t.Cleanup(r.Close)
+
+	// Feed the batched receiver a burst of already-stamped packets by
+	// tapping what the network delivers to replica 1's node.
+	c.net.SetTap(func(from, to transport.NodeID, payload []byte) bool {
+		if to == 1 {
+			conn.Send(500, payload) // mirror to the batched receiver — wait, receiver consumes via handler
+		}
+		return true
+	})
+	conn.SetHandler(func(from transport.NodeID, p []byte) { r.HandlePacket(from, p) })
+
+	for i := 0; i < 30; i++ {
+		c.sender.Send([]byte{byte(i)})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		_, _, sent := r.Stats()
+		if sent >= 30 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_, _, sent := r.Stats()
+	if sent < 30 {
+		t.Fatalf("batched receiver confirmed only %d packets", sent)
+	}
+	if pkts := r.ConfirmPackets(); pkts >= sent {
+		t.Fatalf("no batching: %d packets for %d confirms", pkts, sent)
+	} else {
+		t.Logf("%d confirm entries in %d packets", sent, pkts)
+	}
+}

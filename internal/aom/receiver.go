@@ -1,0 +1,630 @@
+package aom
+
+import (
+	"encoding/binary"
+	"sync"
+	"time"
+
+	"neobft/internal/crypto/auth"
+	"neobft/internal/crypto/secp256k1"
+	"neobft/internal/crypto/siphash"
+	"neobft/internal/transport"
+	"neobft/internal/wire"
+)
+
+// Delivery is one event handed to the application: either an aom message
+// (with its ordering certificate) or a drop-notification for a gap in
+// the sequence.
+type Delivery struct {
+	Epoch   uint32
+	Seq     uint64
+	Dropped bool
+	Payload []byte
+	Cert    *OrderingCert // nil when Dropped
+}
+
+// DeliverFunc consumes deliveries in sequence-number order. It is invoked
+// from the receiver's packet-processing goroutine.
+type DeliverFunc func(Delivery)
+
+// EpochConfig carries the per-epoch credentials a receiver needs,
+// distributed by the configuration service.
+type EpochConfig struct {
+	Epoch uint32
+	// HMACKey is this receiver's lane key (aom-hm).
+	HMACKey siphash.HalfKey
+	// SwitchPub is the sequencer's signing key (aom-pk).
+	SwitchPub secp256k1.PublicKey
+}
+
+// ReceiverConfig configures the receive side of libAOM for one group
+// member.
+type ReceiverConfig struct {
+	Group   uint32
+	Variant wire.AuthKind
+	// SelfIndex is this receiver's position in the group member list.
+	SelfIndex int
+	// Members lists all receiver node IDs (used for the confirm
+	// exchange in Byzantine mode and for certificate parameters).
+	Members []transport.NodeID
+	// F is the fault threshold; Byzantine mode needs 2F+1 matching
+	// confirms before delivery (§4.2).
+	F int
+	// Byzantine enables the equivocation-tolerant delivery rule.
+	Byzantine bool
+	// Auth signs and verifies confirm messages (Byzantine mode).
+	Auth auth.Authenticator
+	// Conn sends confirm messages to other receivers (Byzantine mode).
+	Conn transport.Conn
+	// Deliver receives ordered deliveries.
+	Deliver DeliverFunc
+	// ConfirmBatch caps how many confirm entries accumulate before a
+	// flush (Byzantine mode). Default 1 (flush immediately).
+	ConfirmBatch int
+	// ConfirmFlushEvery, if nonzero, starts a background flusher that
+	// sends pending confirms at this interval, letting batches form
+	// under load ("batch processing confirm messages", §6.2).
+	ConfirmFlushEvery time.Duration
+}
+
+// confirmMagic tags confirm packets on the wire.
+const confirmMagic uint16 = 0xA0B2
+
+// authPkt is an authenticated, not-yet-delivered packet.
+type authPkt struct {
+	hdr     *wire.AOMHeader
+	payload []byte
+	vector  []byte      // assembled full HMAC vector (aom-hm)
+	links   []ChainLink // chain suffix to the next signed packet (aom-pk, unsigned)
+}
+
+// hmAsm assembles the subgroup packets of one sequence number.
+type hmAsm struct {
+	hdr     *wire.AOMHeader
+	payload []byte
+	parts   map[uint8][]byte // subgroup → lane bytes
+	ownOK   bool
+}
+
+// Receiver is the receive side of libAOM for one group member.
+type Receiver struct {
+	cfg ReceiverConfig
+
+	mu      sync.Mutex
+	epoch   uint32
+	hmKey   siphash.HalfKey
+	pk      *secp256k1.TableVerifier
+	nextSeq uint64
+
+	ready map[uint64]*authPkt // authenticated, awaiting ordered delivery
+	asm   map[uint64]*hmAsm   // aom-hm partial vectors
+	pend  map[uint64]*authPkt // aom-pk stamped but unauthenticated
+
+	// Byzantine mode state.
+	confirms   map[uint64]map[[32]byte]map[int][]byte // seq → hash → sender → tag
+	ownConfirm map[uint64][32]byte                    // hash this receiver confirmed
+	bnOK       map[uint64]bool                        // quorum reached for local copy
+	bnForced   map[uint64]bool                        // quorum on a conflicting copy → forced drop
+	pendingCf  []cfEntry
+	flushStop  chan struct{}
+	flushOnce  sync.Once
+
+	// counters
+	delivered uint64
+	dropped   uint64
+	cfSent    uint64
+	cfPackets uint64
+}
+
+type cfEntry struct {
+	seq  uint64
+	hash [32]byte
+	tag  []byte
+}
+
+// NewReceiver creates a receiver with the given epoch credentials
+// installed.
+func NewReceiver(cfg ReceiverConfig, ep EpochConfig) *Receiver {
+	if cfg.ConfirmBatch <= 0 {
+		cfg.ConfirmBatch = 1
+	}
+	r := &Receiver{cfg: cfg}
+	r.resetEpochLocked(ep)
+	if cfg.Byzantine && cfg.ConfirmFlushEvery > 0 {
+		r.flushStop = make(chan struct{})
+		go r.flushLoop(cfg.ConfirmFlushEvery)
+	}
+	return r
+}
+
+// Close stops the background confirm flusher, if any.
+func (r *Receiver) Close() {
+	if r.flushStop != nil {
+		r.flushOnce.Do(func() { close(r.flushStop) })
+	}
+}
+
+// InstallEpoch switches to a new epoch (sequencer failover). All pending
+// state from the old epoch is discarded; the sequence restarts at 1.
+func (r *Receiver) InstallEpoch(ep EpochConfig) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.resetEpochLocked(ep)
+}
+
+func (r *Receiver) resetEpochLocked(ep EpochConfig) {
+	r.epoch = ep.Epoch
+	r.hmKey = ep.HMACKey
+	if r.cfg.Variant == wire.AuthPK {
+		r.pk = secp256k1.NewTableVerifier(ep.SwitchPub)
+	}
+	r.nextSeq = 1
+	r.ready = make(map[uint64]*authPkt)
+	r.asm = make(map[uint64]*hmAsm)
+	r.pend = make(map[uint64]*authPkt)
+	r.confirms = make(map[uint64]map[[32]byte]map[int][]byte)
+	r.ownConfirm = make(map[uint64][32]byte)
+	r.bnOK = make(map[uint64]bool)
+	r.bnForced = make(map[uint64]bool)
+	r.pendingCf = nil
+}
+
+// Epoch returns the receiver's current epoch.
+func (r *Receiver) Epoch() uint32 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.epoch
+}
+
+// NextSeq returns the next sequence number the receiver expects to
+// deliver.
+func (r *Receiver) NextSeq() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.nextSeq
+}
+
+// Stats returns (delivered messages, drop-notifications, confirms sent).
+func (r *Receiver) Stats() (delivered, dropped, confirms uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.delivered, r.dropped, r.cfSent
+}
+
+// ConfirmPackets returns how many confirm *packets* were sent; with
+// batching this is smaller than the number of confirm entries.
+func (r *Receiver) ConfirmPackets() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cfPackets
+}
+
+// HandlePacket inspects a raw packet and consumes it if it belongs to
+// libAOM (a stamped aom packet or a confirm message). It returns true if
+// consumed. The owner demultiplexes all other traffic itself.
+func (r *Receiver) HandlePacket(from transport.NodeID, pkt []byte) bool {
+	if len(pkt) >= 2 {
+		switch binary.LittleEndian.Uint16(pkt) {
+		case confirmMagic:
+			r.handleConfirm(pkt)
+			return true
+		}
+	}
+	hdr, payload, err := wire.DecodeAOM(pkt)
+	if err != nil {
+		return false
+	}
+	if hdr.Kind == wire.AuthNone {
+		return false // unstamped packet; not for receivers
+	}
+	r.handleAOM(hdr, payload)
+	return true
+}
+
+func (r *Receiver) handleAOM(hdr *wire.AOMHeader, payload []byte) {
+	r.mu.Lock()
+	if hdr.Epoch != r.epoch || hdr.Kind != r.cfg.Variant || hdr.Group != r.cfg.Group {
+		r.mu.Unlock()
+		return
+	}
+	if hdr.Seq < r.nextSeq {
+		r.mu.Unlock()
+		return // already delivered or dropped
+	}
+	if hdr.Digest != wire.Digest(payload) {
+		r.mu.Unlock()
+		return // corrupted or mismatched payload
+	}
+	switch r.cfg.Variant {
+	case wire.AuthHMAC:
+		r.handleHM(hdr, payload)
+	case wire.AuthPK:
+		r.handlePK(hdr, payload)
+	}
+	deliveries := r.collectDeliveriesLocked()
+	cf := r.takeConfirmBatchLocked(false)
+	r.mu.Unlock()
+
+	r.sendConfirms(cf)
+	for _, d := range deliveries {
+		r.cfg.Deliver(d)
+	}
+}
+
+// handleHM processes one aom-hm subgroup packet. Caller holds r.mu.
+func (r *Receiver) handleHM(hdr *wire.AOMHeader, payload []byte) {
+	nsub := int(hdr.NumSubgroups)
+	if nsub == 0 || int(hdr.Subgroup) >= nsub {
+		return
+	}
+	a := r.asm[hdr.Seq]
+	if a == nil {
+		a = &hmAsm{hdr: hdr, payload: append([]byte(nil), payload...), parts: make(map[uint8][]byte, nsub)}
+		r.asm[hdr.Seq] = a
+	}
+	if a.hdr.Digest != hdr.Digest {
+		return // conflicting packet for the same seq; keep the first copy
+	}
+	if _, dup := a.parts[hdr.Subgroup]; dup {
+		return
+	}
+	a.parts[hdr.Subgroup] = append([]byte(nil), hdr.Auth...)
+
+	// Verify our own lane when the covering subgroup part arrives.
+	ownSub := uint8(r.cfg.SelfIndex / 4)
+	if hdr.Subgroup == ownSub {
+		laneInSub := r.cfg.SelfIndex % 4
+		if len(hdr.Auth) < 4*(laneInSub+1) {
+			delete(r.asm, hdr.Seq)
+			return
+		}
+		want := siphash.Sum32(r.hmKey, hdr.AuthInput())
+		got := binary.LittleEndian.Uint32(hdr.Auth[4*laneInSub:])
+		if got != want {
+			delete(r.asm, hdr.Seq) // forged packet
+			return
+		}
+		a.ownOK = true
+	}
+	if a.ownOK && len(a.parts) == nsub {
+		vector := make([]byte, 0, 4*len(r.cfg.Members))
+		for s := 0; s < nsub; s++ {
+			vector = append(vector, a.parts[uint8(s)]...)
+		}
+		delete(r.asm, hdr.Seq)
+		r.authenticated(&authPkt{hdr: a.hdr, payload: a.payload, vector: vector})
+	}
+}
+
+// handlePK processes one aom-pk packet. Caller holds r.mu.
+func (r *Receiver) handlePK(hdr *wire.AOMHeader, payload []byte) {
+	if _, have := r.pend[hdr.Seq]; have {
+		return
+	}
+	if r.ready[hdr.Seq] != nil {
+		return
+	}
+	p := &authPkt{hdr: hdr, payload: append([]byte(nil), payload...)}
+	if hdr.Signed {
+		sig, err := secp256k1.DecodeSignature(hdr.Auth)
+		if err != nil {
+			return
+		}
+		h := hdr.PacketHash()
+		if !r.pk.Verify(h[:], sig) {
+			return
+		}
+		r.authenticated(p)
+		r.walkChainBack(p)
+		return
+	}
+	// Unsigned: park until a signed successor authenticates the chain.
+	r.pend[hdr.Seq] = p
+	// If the immediate successor is already authenticated, this packet
+	// arrived late: authenticate it directly through the chain.
+	if next := r.findAuth(hdr.Seq + 1); next != nil {
+		if next.hdr.Chain == hdr.PacketHash() {
+			delete(r.pend, hdr.Seq)
+			p.links = r.buildLinks(next)
+			r.authenticated(p)
+			r.walkChainBack(p)
+		} else {
+			delete(r.pend, hdr.Seq)
+		}
+	}
+}
+
+// findAuth returns the authenticated (ready or BN-tracked) packet at seq,
+// if any. Caller holds r.mu.
+func (r *Receiver) findAuth(seq uint64) *authPkt {
+	return r.ready[seq]
+}
+
+// buildLinks constructs the chain suffix for a packet whose successor
+// `next` is already authenticated: next's links, prefixed by next itself.
+func (r *Receiver) buildLinks(next *authPkt) []ChainLink {
+	link := ChainLink{
+		Seq: next.hdr.Seq, Digest: next.hdr.Digest, Chain: next.hdr.Chain,
+		Signed: next.hdr.Signed, Sig: next.hdr.Auth,
+	}
+	return append([]ChainLink{link}, next.links...)
+}
+
+// walkChainBack authenticates parked predecessors of an authenticated
+// packet by validating the hash chain in reverse (§4.4). Caller holds r.mu.
+func (r *Receiver) walkChainBack(from *authPkt) {
+	cur := from
+	for cur.hdr.Seq > r.nextSeq {
+		prev, ok := r.pend[cur.hdr.Seq-1]
+		if !ok {
+			return
+		}
+		if cur.hdr.Chain != prev.hdr.PacketHash() {
+			delete(r.pend, prev.hdr.Seq) // forged or stale
+			return
+		}
+		delete(r.pend, prev.hdr.Seq)
+		prev.links = r.buildLinks(cur)
+		r.authenticated(prev)
+		cur = prev
+	}
+}
+
+// authenticated admits a packet whose aom authenticator has been
+// verified. Caller holds r.mu.
+func (r *Receiver) authenticated(p *authPkt) {
+	seq := p.hdr.Seq
+	if seq < r.nextSeq || r.ready[seq] != nil {
+		return
+	}
+	r.ready[seq] = p
+	if r.cfg.Byzantine {
+		hash := p.hdr.PacketHash()
+		if _, sent := r.ownConfirm[seq]; !sent {
+			r.ownConfirm[seq] = hash
+			tag := r.cfg.Auth.TagVector(confirmInput(r.cfg.Group, r.epoch, seq, hash))
+			r.storeConfirm(seq, hash, r.cfg.SelfIndex, tag)
+			r.pendingCf = append(r.pendingCf, cfEntry{seq: seq, hash: hash, tag: tag})
+			r.cfSent++
+		}
+		r.checkQuorum(seq)
+	}
+}
+
+// --- Byzantine-network confirm exchange (§4.2) -------------------------
+
+func (r *Receiver) storeConfirm(seq uint64, hash [32]byte, sender int, tag []byte) {
+	byHash := r.confirms[seq]
+	if byHash == nil {
+		byHash = make(map[[32]byte]map[int][]byte)
+		r.confirms[seq] = byHash
+	}
+	bySender := byHash[hash]
+	if bySender == nil {
+		bySender = make(map[int][]byte)
+		byHash[hash] = bySender
+	}
+	if _, dup := bySender[sender]; !dup {
+		bySender[sender] = tag
+	}
+}
+
+// checkQuorum updates BN deliverability for seq. Caller holds r.mu.
+func (r *Receiver) checkQuorum(seq uint64) {
+	need := 2*r.cfg.F + 1
+	own, haveOwn := r.ownConfirm[seq]
+	for hash, bySender := range r.confirms[seq] {
+		if len(bySender) < need {
+			continue
+		}
+		if haveOwn && hash == own {
+			r.bnOK[seq] = true
+		} else {
+			// A quorum confirmed a conflicting copy (we were the
+			// equivocation victim, or we missed the packet): our copy can
+			// never be delivered. Treat as a drop; the application-level
+			// protocol recovers the certified message from a peer.
+			r.bnForced[seq] = true
+		}
+	}
+}
+
+func (r *Receiver) handleConfirm(pkt []byte) {
+	rd := wire.NewReader(pkt)
+	if rd.U16() != confirmMagic {
+		return
+	}
+	group := rd.U32()
+	epoch := rd.U32()
+	sender := int(rd.U32())
+	count := int(rd.U32())
+	if rd.Err() != nil || count < 0 || count > 1<<16 {
+		return
+	}
+	r.mu.Lock()
+	if !r.cfg.Byzantine || group != r.cfg.Group || epoch != r.epoch ||
+		sender < 0 || sender >= len(r.cfg.Members) || sender == r.cfg.SelfIndex {
+		r.mu.Unlock()
+		return
+	}
+	for i := 0; i < count; i++ {
+		seq := rd.U64()
+		hash := rd.Bytes32()
+		tag := rd.VarBytes()
+		if rd.Err() != nil {
+			break
+		}
+		if seq < r.nextSeq {
+			continue
+		}
+		if !r.cfg.Auth.VerifyVector(sender, confirmInput(group, epoch, seq, hash), tag) {
+			continue
+		}
+		r.storeConfirm(seq, hash, sender, append([]byte(nil), tag...))
+		r.checkQuorum(seq)
+	}
+	deliveries := r.collectDeliveriesLocked()
+	r.mu.Unlock()
+	for _, d := range deliveries {
+		r.cfg.Deliver(d)
+	}
+}
+
+// takeConfirmBatchLocked returns pending confirm entries if a flush is
+// due. Caller holds r.mu.
+func (r *Receiver) takeConfirmBatchLocked(force bool) []cfEntry {
+	if !r.cfg.Byzantine || len(r.pendingCf) == 0 {
+		return nil
+	}
+	if !force && r.cfg.ConfirmFlushEvery > 0 && len(r.pendingCf) < r.cfg.ConfirmBatch {
+		return nil // the background flusher will send it
+	}
+	batch := r.pendingCf
+	r.pendingCf = nil
+	return batch
+}
+
+func (r *Receiver) sendConfirms(batch []cfEntry) {
+	if len(batch) == 0 {
+		return
+	}
+	r.mu.Lock()
+	epoch := r.epoch
+	r.cfPackets++
+	r.mu.Unlock()
+	w := wire.NewWriter(64 + len(batch)*96)
+	w.U16(confirmMagic)
+	w.U32(r.cfg.Group)
+	w.U32(epoch)
+	w.U32(uint32(r.cfg.SelfIndex))
+	w.U32(uint32(len(batch)))
+	for _, e := range batch {
+		w.U64(e.seq)
+		w.Bytes32(e.hash)
+		w.VarBytes(e.tag)
+	}
+	pkt := w.Bytes()
+	for i, m := range r.cfg.Members {
+		if i == r.cfg.SelfIndex {
+			continue
+		}
+		r.cfg.Conn.Send(m, pkt)
+	}
+}
+
+func (r *Receiver) flushLoop(every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.flushStop:
+			return
+		case <-t.C:
+			r.mu.Lock()
+			batch := r.takeConfirmBatchLocked(true)
+			r.mu.Unlock()
+			r.sendConfirms(batch)
+		}
+	}
+}
+
+// --- ordered delivery ---------------------------------------------------
+
+// collectDeliveriesLocked advances nextSeq as far as possible, producing
+// in-order deliveries and drop-notifications. A gap is declared only when
+// a later packet is deliverable (the gap is then permanent for this
+// receiver). Caller holds r.mu.
+func (r *Receiver) collectDeliveriesLocked() []Delivery {
+	var out []Delivery
+	for {
+		// Deliver the head if it is ready.
+		if p := r.ready[r.nextSeq]; p != nil && r.deliverableLocked(r.nextSeq) {
+			cert := r.certFor(p)
+			delete(r.ready, r.nextSeq)
+			r.cleanupSeqLocked(r.nextSeq)
+			out = append(out, Delivery{Epoch: r.epoch, Seq: r.nextSeq, Payload: p.payload, Cert: cert})
+			r.delivered++
+			r.nextSeq++
+			continue
+		}
+		if r.bnForced[r.nextSeq] {
+			r.cleanupSeqLocked(r.nextSeq)
+			delete(r.ready, r.nextSeq)
+			out = append(out, Delivery{Epoch: r.epoch, Seq: r.nextSeq, Dropped: true})
+			r.dropped++
+			r.nextSeq++
+			continue
+		}
+		// Declare a gap only if something after nextSeq is deliverable.
+		if !r.laterDeliverableLocked(r.nextSeq) {
+			break
+		}
+		r.cleanupSeqLocked(r.nextSeq)
+		out = append(out, Delivery{Epoch: r.epoch, Seq: r.nextSeq, Dropped: true})
+		r.dropped++
+		r.nextSeq++
+	}
+	return out
+}
+
+func (r *Receiver) deliverableLocked(seq uint64) bool {
+	if !r.cfg.Byzantine {
+		return true
+	}
+	return r.bnOK[seq]
+}
+
+func (r *Receiver) laterDeliverableLocked(after uint64) bool {
+	for seq := range r.ready {
+		if seq > after && r.deliverableLocked(seq) {
+			return true
+		}
+	}
+	for seq, forced := range r.bnForced {
+		if seq > after && forced {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Receiver) cleanupSeqLocked(seq uint64) {
+	delete(r.asm, seq)
+	delete(r.pend, seq)
+	delete(r.confirms, seq)
+	delete(r.ownConfirm, seq)
+	delete(r.bnOK, seq)
+	delete(r.bnForced, seq)
+}
+
+// certFor builds the ordering certificate of an authenticated packet.
+// Caller holds r.mu.
+func (r *Receiver) certFor(p *authPkt) *OrderingCert {
+	c := &OrderingCert{
+		Kind:    r.cfg.Variant,
+		Group:   p.hdr.Group,
+		Epoch:   p.hdr.Epoch,
+		Seq:     p.hdr.Seq,
+		Digest:  p.hdr.Digest,
+		Payload: p.payload,
+	}
+	switch r.cfg.Variant {
+	case wire.AuthHMAC:
+		c.HMACVector = p.vector
+	case wire.AuthPK:
+		c.Chain = p.hdr.Chain
+		c.Signed = p.hdr.Signed
+		if p.hdr.Signed {
+			c.Sig = p.hdr.Auth
+		} else {
+			c.Suffix = p.links
+		}
+	}
+	if r.cfg.Byzantine {
+		hash := p.hdr.PacketHash()
+		for sender, tag := range r.confirms[p.hdr.Seq][hash] {
+			c.Confirms = append(c.Confirms, ConfirmSig{Sender: sender, Tag: tag})
+		}
+	}
+	return c
+}

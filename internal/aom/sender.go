@@ -1,0 +1,37 @@
+package aom
+
+import (
+	"sync/atomic"
+
+	"neobft/internal/transport"
+	"neobft/internal/wire"
+)
+
+// Sender is the send side of libAOM. Senders do not know group members;
+// they address packets to the group address, which the network routes to
+// the designated sequencer switch (§3.2). Here the "group address" is the
+// sequencer's node ID, handed out (and updated on failover) by the
+// configuration service.
+type Sender struct {
+	conn      transport.Conn
+	group     uint32
+	sequencer atomic.Int32
+}
+
+// NewSender creates a sender for one aom group.
+func NewSender(conn transport.Conn, group uint32, sequencer transport.NodeID) *Sender {
+	s := &Sender{conn: conn, group: group}
+	s.sequencer.Store(int32(sequencer))
+	return s
+}
+
+// SetSequencer updates the route after a sequencer failover.
+func (s *Sender) SetSequencer(id transport.NodeID) { s.sequencer.Store(int32(id)) }
+
+// Send multicasts payload to the group, best-effort.
+func (s *Sender) Send(payload []byte) {
+	h := &wire.AOMHeader{Kind: wire.AuthNone, Group: s.group, Digest: wire.Digest(payload)}
+	w := wire.NewWriter(96 + len(payload))
+	wire.EncodeAOM(w, h, payload)
+	s.conn.Send(transport.NodeID(s.sequencer.Load()), w.Bytes())
+}

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"neobft/internal/sequencer"
+	"neobft/internal/simnet"
+)
+
+// CSV exporters: plot-ready data series for the figures, written as one
+// file per figure (fig4.csv, fig6.csv, fig7.csv, ...). cmd/neobench
+// exposes them via -csv <dir>.
+
+func writeCSV(dir, name string, header []string, rows [][]string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+
+// CSVFig45 writes the aom latency CDFs (figures 4 and 5) as
+// (variant, load, latency_us, fraction) series.
+func CSVFig45(dir string, c ExpConfig) error {
+	packets := 200_000
+	if c.Short {
+		packets = 20_000
+	}
+	var rows [][]string
+	for _, m := range []sequencer.PipelineModel{sequencer.HMACModel(4), sequencer.PKModel(4)} {
+		for _, load := range []float64{0.25, 0.50, 0.99} {
+			samples := m.SimulateLatency(load, packets, 1)
+			durs := make([]time.Duration, len(samples))
+			copy(durs, samples)
+			for _, pt := range CDF(durs, 200) {
+				rows = append(rows, []string{
+					m.Name, ftoa(load), ftoa(pt[0]), ftoa(pt[1]),
+				})
+			}
+		}
+	}
+	return writeCSV(dir, "fig4_fig5_cdf.csv",
+		[]string{"variant", "load", "latency_us", "fraction"}, rows)
+}
+
+// CSVFig6 writes the throughput-vs-group-size series.
+func CSVFig6(dir string) error {
+	var rows [][]string
+	for g := 4; g <= 64; g += 4 {
+		rows = append(rows, []string{
+			strconv.Itoa(g),
+			ftoa(sequencer.HMACModel(g).MaxThroughput() / 1e6),
+			ftoa(sequencer.PKModel(g).MaxThroughput() / 1e6),
+		})
+	}
+	return writeCSV(dir, "fig6_throughput.csv",
+		[]string{"receivers", "aom_hm_mpps", "aom_pk_mpps"}, rows)
+}
+
+// CSVFig7 runs the latency/throughput sweep and writes
+// (system, clients, tput, proj_tput, median_us, p99_us) rows.
+func CSVFig7(dir string, c ExpConfig) error {
+	clients := []int{1, 4, 16, 48}
+	if c.Short {
+		clients = []int{2, 16}
+	}
+	var rows [][]string
+	for _, p := range fig7Systems {
+		for _, cc := range clients {
+			opts := Options{Protocol: p, Net: simnet.Options{Latency: hopLatency}}
+			if p == NeoPK {
+				opts.SignRate = 2000
+			}
+			sys := Build(opts)
+			res := Run(sys, Load{Clients: cc, Warmup: c.warmup(), Duration: c.window()})
+			sys.Close()
+			s := Summarize(res.Latencies)
+			rows = append(rows, []string{
+				string(p), strconv.Itoa(cc),
+				ftoa(res.Throughput), ftoa(res.ProjectedTput),
+				ftoa(float64(s.Median) / float64(time.Microsecond)),
+				ftoa(float64(s.P99) / float64(time.Microsecond)),
+			})
+		}
+	}
+	return writeCSV(dir, "fig7_latency_throughput.csv",
+		[]string{"system", "clients", "tput_ops", "proj_tput_ops", "median_us", "p99_us"}, rows)
+}
+
+// CSVFig9 runs the drop sweep and writes (drop_rate, tput, gaps) rows.
+func CSVFig9(dir string, c ExpConfig) error {
+	var rows [][]string
+	for _, rate := range []float64{0, 0.00001, 0.0001, 0.001, 0.01} {
+		sys := Build(Options{Protocol: NeoHM, DropRate: rate})
+		res := Run(sys, Load{Clients: 16, Warmup: c.warmup(), Duration: c.window()})
+		var gaps uint64
+		for _, r := range sys.Replicas {
+			if nr, ok := r.(interface{ GapAgreements() uint64 }); ok {
+				gaps += nr.GapAgreements()
+			}
+		}
+		sys.Close()
+		rows = append(rows, []string{ftoa(rate), ftoa(res.Throughput), fmt.Sprintf("%d", gaps)})
+	}
+	return writeCSV(dir, "fig9_drops.csv",
+		[]string{"drop_rate", "tput_ops", "gap_agreements"}, rows)
+}
+
+// CSVAll writes every figure's data series into dir.
+func CSVAll(dir string, c ExpConfig) error {
+	if err := CSVFig45(dir, c); err != nil {
+		return err
+	}
+	if err := CSVFig6(dir); err != nil {
+		return err
+	}
+	if err := CSVFig7(dir, c); err != nil {
+		return err
+	}
+	return CSVFig9(dir, c)
+}

@@ -1,0 +1,35 @@
+package bench
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCSVModels(t *testing.T) {
+	dir := t.TempDir()
+	if err := CSVFig45(dir, ExpConfig{Short: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := CSVFig6(dir); err != nil {
+		t.Fatal(err)
+	}
+	for name, minRows := range map[string]int{
+		"fig4_fig5_cdf.csv":   100,
+		"fig6_throughput.csv": 16,
+	} {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := csv.NewReader(f).ReadAll()
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) < minRows {
+			t.Fatalf("%s has %d rows, want >= %d", name, len(rows), minRows)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExperimentsShort runs every figure/table generator in short mode,
+// checking each produces a plausible report. This is the end-to-end test
+// of the entire reproduction pipeline.
+func TestExperimentsShort(t *testing.T) {
+	c := ExpConfig{Short: true}
+	for name, fn := range map[string]func(*strings.Builder){
+		"fig4":   func(b *strings.Builder) { Fig4(b, c) },
+		"fig5":   func(b *strings.Builder) { Fig5(b, c) },
+		"fig6":   func(b *strings.Builder) { Fig6(b, c) },
+		"table2": func(b *strings.Builder) { Table2(b, c) },
+		"table3": func(b *strings.Builder) { Table3(b, c) },
+	} {
+		var b strings.Builder
+		fn(&b)
+		if len(b.String()) < 100 {
+			t.Fatalf("%s produced no meaningful output:\n%s", name, b.String())
+		}
+		t.Logf("%s:\n%s", name, b.String())
+	}
+}
+
+func TestFig9Short(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load experiment")
+	}
+	var b strings.Builder
+	Fig9(&b, ExpConfig{Short: true})
+	t.Logf("\n%s", b.String())
+	if !strings.Contains(b.String(), "gap agreements") {
+		t.Fatal("missing gap agreement column")
+	}
+}
+
+func TestTable1Short(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load experiment")
+	}
+	var b strings.Builder
+	Table1(&b, ExpConfig{Short: true})
+	t.Logf("\n%s", b.String())
+	out := b.String()
+	if !strings.Contains(out, "Neo-HM") || !strings.Contains(out, "PBFT") {
+		t.Fatal("table 1 incomplete")
+	}
+}

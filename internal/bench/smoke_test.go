@@ -1,0 +1,22 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSmokeAllSystems(t *testing.T) {
+	for _, p := range AllProtocols {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			sys := Build(Options{Protocol: p})
+			defer sys.Close()
+			res := Run(sys, Load{Clients: 2, Warmup: 50 * time.Millisecond, Duration: 150 * time.Millisecond})
+			if res.Throughput == 0 {
+				t.Fatalf("%s: zero throughput (errors=%d)", p, res.Errors)
+			}
+			s := Summarize(res.Latencies)
+			t.Logf("%s: %.0f ops/s median %v p99 %v errors %d", p, res.Throughput, s.Median, s.P99, res.Errors)
+		})
+	}
+}

@@ -1,0 +1,137 @@
+// Package bench is the experiment harness: it builds any of the paper's
+// nine systems (NeoBFT in three flavours, four baselines, Zyzzyva with a
+// faulty replica, and the unreplicated server) on the simulated network,
+// drives closed-loop client load against them, and regenerates every
+// table and figure of the paper's evaluation (§6).
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// LatencySummary summarizes a latency sample set.
+type LatencySummary struct {
+	Count  int
+	Median time.Duration
+	P99    time.Duration
+	P999   time.Duration
+	Mean   time.Duration
+}
+
+// Summarize computes percentiles over (unsorted) samples.
+func Summarize(samples []time.Duration) LatencySummary {
+	if len(samples) == 0 {
+		return LatencySummary{}
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, s := range sorted {
+		sum += s
+	}
+	return LatencySummary{
+		Count:  len(sorted),
+		Median: pct(sorted, 50),
+		P99:    pct(sorted, 99),
+		P999:   pct(sorted, 99.9),
+		Mean:   sum / time.Duration(len(sorted)),
+	}
+}
+
+func pct(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p/100*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// CDF returns (latency, cumulative fraction) points suitable for
+// plotting, downsampled to at most `points` entries.
+func CDF(samples []time.Duration, points int) [][2]float64 {
+	if len(samples) == 0 {
+		return nil
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if points <= 0 || points > len(sorted) {
+		points = len(sorted)
+	}
+	out := make([][2]float64, 0, points)
+	for i := 0; i < points; i++ {
+		idx := (i + 1) * len(sorted) / points
+		if idx > len(sorted) {
+			idx = len(sorted)
+		}
+		out = append(out, [2]float64{
+			float64(sorted[idx-1]) / float64(time.Microsecond),
+			float64(idx) / float64(len(sorted)),
+		})
+	}
+	return out
+}
+
+// Table renders rows as an aligned text table.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Dur formats a duration in microseconds for table cells.
+func Dur(d time.Duration) string {
+	return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+}
+
+// Tput formats ops/sec in thousands.
+func Tput(opsPerSec float64) string {
+	return fmt.Sprintf("%.1fK", opsPerSec/1000)
+}

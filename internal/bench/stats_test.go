@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSummarize(t *testing.T) {
+	var samples []time.Duration
+	for i := 1; i <= 100; i++ {
+		samples = append(samples, time.Duration(i)*time.Microsecond)
+	}
+	s := Summarize(samples)
+	if s.Count != 100 {
+		t.Fatalf("count %d", s.Count)
+	}
+	if s.Median != 50*time.Microsecond {
+		t.Fatalf("median %v", s.Median)
+	}
+	if s.P99 != 99*time.Microsecond {
+		t.Fatalf("p99 %v", s.P99)
+	}
+	if s.Mean != 50500*time.Nanosecond {
+		t.Fatalf("mean %v", s.Mean)
+	}
+	if z := Summarize(nil); z.Count != 0 || z.Median != 0 {
+		t.Fatal("empty summary not zero")
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	samples := []time.Duration{5, 3, 1, 4, 2}
+	Summarize(samples)
+	if samples[0] != 5 || samples[4] != 2 {
+		t.Fatal("Summarize sorted the caller's slice")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	var samples []time.Duration
+	for i := 1; i <= 1000; i++ {
+		samples = append(samples, time.Duration(i)*time.Microsecond)
+	}
+	pts := CDF(samples, 10)
+	if len(pts) != 10 {
+		t.Fatalf("points %d", len(pts))
+	}
+	if pts[9][1] != 1.0 {
+		t.Fatalf("last fraction %f", pts[9][1])
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i][0] < pts[i-1][0] || pts[i][1] < pts[i-1][1] {
+			t.Fatal("CDF not monotone")
+		}
+	}
+	if CDF(nil, 10) != nil {
+		t.Fatal("empty CDF not nil")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Header: []string{"name", "value"}}
+	tab.Add("alpha", "1")
+	tab.Add("b", "22222")
+	out := tab.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Aligned columns: every line the same width prefix.
+	if !strings.HasPrefix(lines[0], "name ") || !strings.Contains(lines[3], "22222") {
+		t.Fatalf("bad render:\n%s", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Dur(1500 * time.Nanosecond); got != "1.5µs" {
+		t.Fatalf("Dur = %q", got)
+	}
+	if got := Tput(123456); got != "123.5K" {
+		t.Fatalf("Tput = %q", got)
+	}
+}
+
+// TestProjectionSanity checks the bottleneck-projection bookkeeping on a
+// tiny run: committed ops, per-replica counters and projection must all
+// be populated and self-consistent.
+func TestProjectionSanity(t *testing.T) {
+	sys := Build(Options{Protocol: NeoHM})
+	defer sys.Close()
+	res := Run(sys, Load{Clients: 2, Warmup: 50 * time.Millisecond, Duration: 200 * time.Millisecond})
+	if res.Committed == 0 {
+		t.Fatal("no committed ops")
+	}
+	if res.MsgsPerOp < 0.9 || res.MsgsPerOp > 2.0 {
+		t.Fatalf("NeoBFT msgs/op = %.2f, want ~1 (O(1) bottleneck)", res.MsgsPerOp)
+	}
+	if res.PktsPerOp < res.MsgsPerOp {
+		t.Fatalf("pkts/op %.2f < msgs/op %.2f", res.PktsPerOp, res.MsgsPerOp)
+	}
+	if res.ProjectedTput <= 0 {
+		t.Fatal("projection not computed")
+	}
+}
+
+// TestBottleneckComplexityShape is the measured Table 1 claim as a unit
+// test: PBFT's unbatched bottleneck replica processes strictly more
+// messages per op than NeoBFT's.
+func TestBottleneckComplexityShape(t *testing.T) {
+	run := func(p Protocol) RunResult {
+		sys := Build(Options{Protocol: p, BatchSize: 1})
+		defer sys.Close()
+		return Run(sys, Load{Clients: 4, Warmup: 50 * time.Millisecond, Duration: 250 * time.Millisecond})
+	}
+	neo := run(NeoHM)
+	pbft := run(PBFT)
+	if neo.MsgsPerOp > 1.5 {
+		t.Fatalf("NeoBFT bottleneck %.2f msgs/op; must stay O(1)", neo.MsgsPerOp)
+	}
+	if pbft.MsgsPerOp < 2*neo.MsgsPerOp {
+		t.Fatalf("PBFT bottleneck %.2f vs NeoBFT %.2f: O(N) vs O(1) shape lost",
+			pbft.MsgsPerOp, neo.MsgsPerOp)
+	}
+}

@@ -1,0 +1,525 @@
+package bench
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"neobft/internal/configsvc"
+	"neobft/internal/crypto/auth"
+	"neobft/internal/hotstuff"
+	"neobft/internal/minbft"
+	"neobft/internal/neobft"
+	"neobft/internal/pbft"
+	"neobft/internal/replication"
+	"neobft/internal/sequencer"
+	"neobft/internal/simnet"
+	"neobft/internal/transport"
+	"neobft/internal/unreplicated"
+	"neobft/internal/usig"
+	"neobft/internal/wire"
+	"neobft/internal/zyzzyva"
+)
+
+// Protocol names a system under test.
+type Protocol string
+
+// The systems of Figs 7–10.
+const (
+	NeoHM        Protocol = "Neo-HM"
+	NeoPK        Protocol = "Neo-PK"
+	NeoBN        Protocol = "Neo-BN"
+	PBFT         Protocol = "PBFT"
+	Zyzzyva      Protocol = "Zyzzyva"
+	ZyzzyvaF     Protocol = "Zyzzyva-F"
+	HotStuff     Protocol = "HotStuff"
+	MinBFT       Protocol = "MinBFT"
+	Unreplicated Protocol = "Unreplicated"
+)
+
+// AllProtocols lists the systems in the paper's presentation order.
+var AllProtocols = []Protocol{Unreplicated, NeoHM, NeoPK, NeoBN, Zyzzyva, ZyzzyvaF, PBFT, HotStuff, MinBFT}
+
+// Invoker is a closed-loop client of any system.
+type Invoker interface {
+	Invoke(op []byte, deadline time.Duration) ([]byte, error)
+}
+
+// Options configures a system under test.
+type Options struct {
+	Protocol Protocol
+	// N is the replica count for 3f+1 protocols (default 4). MinBFT runs
+	// 2f+1 replicas for the same f.
+	N int
+	// AppFactory builds one state machine per replica (default echo).
+	AppFactory func(i int) replication.App
+	// Net configures the simulated network.
+	Net simnet.Options
+	// BatchSize for the batching baselines (default 8).
+	BatchSize int
+	// SignRate for the aom-pk signing-ratio controller (signatures/sec;
+	// 0 = sign everything).
+	SignRate float64
+	// ConfirmFlushEvery batches Neo-BN confirm messages (default 200µs).
+	ConfirmFlushEvery time.Duration
+	// DropRate injects random drops on sequencer→replica multicast
+	// links (Fig 9); applies to NeoBFT systems.
+	DropRate float64
+	// ClientTimeout is the client retransmission interval (default 1s).
+	ClientTimeout time.Duration
+	// USIGDelay models the SGX enclave-transition cost per USIG call
+	// (MinBFT; default 10µs, the order of an ECALL/OCALL round trip).
+	USIGDelay time.Duration
+}
+
+// System is a running system under test.
+type System struct {
+	Name     string
+	Net      *simnet.Network
+	Svc      *configsvc.Service
+	Switches []configsvc.SwitchHandle
+
+	// NewClient builds a closed-loop client with a unique identity.
+	NewClient func(id int) Invoker
+	// PerReplicaMsgs returns inbound packet counts per replica.
+	PerReplicaMsgs func() []uint64
+	// PerReplicaBusy returns per-replica handler busy time.
+	PerReplicaBusy func() []time.Duration
+	// PerReplicaPkts returns per-replica rx+tx packet counts.
+	PerReplicaPkts func() []uint64
+	// AuthOps sums authenticator operations (tags + verifies) over all
+	// replicas, including client-facing MACs.
+	AuthOps func() uint64
+	// Committed reports ops executed at replica 0.
+	Committed func() uint64
+	// Replicas exposes protocol-specific handles (*neobft.Replica etc.).
+	Replicas []interface{}
+	// Close stops everything.
+	Close func()
+}
+
+const (
+	switchBase = transport.NodeID(20000)
+	clientBase = transport.NodeID(10000)
+)
+
+// Build constructs and starts a system under test.
+func Build(o Options) *System {
+	if o.N == 0 {
+		o.N = 4
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = 8
+	}
+	if o.ConfirmFlushEvery == 0 {
+		o.ConfirmFlushEvery = 200 * time.Microsecond
+	}
+	if o.ClientTimeout == 0 {
+		o.ClientTimeout = time.Second
+	}
+	if o.AppFactory == nil {
+		o.AppFactory = func(int) replication.App { return replication.EchoApp{} }
+	}
+	if o.USIGDelay == 0 {
+		o.USIGDelay = 10 * time.Microsecond
+	}
+	f := (o.N - 1) / 3
+	if f < 1 && o.Protocol != Unreplicated {
+		f = 1
+	}
+	netOpts := o.Net
+	if netOpts.Latency > 0 && netOpts.LatencyOverride == nil {
+		// The sequencer switch sits on the client→replica path: traffic
+		// through it pays half the host-to-host latency on each leg plus
+		// the authentication-pipeline latency on the stamped leg
+		// (Figs 4-5: ~9µs for aom-hm, ~3µs for aom-pk).
+		half := netOpts.Latency / 2
+		pipeline := 9 * time.Microsecond
+		if o.Protocol == NeoPK {
+			pipeline = 3 * time.Microsecond
+		}
+		netOpts.LatencyOverride = func(from, to transport.NodeID) (time.Duration, bool) {
+			if to >= switchBase {
+				return half, true
+			}
+			if from >= switchBase {
+				return half + pipeline, true
+			}
+			return 0, false
+		}
+	}
+	if o.DropRate > 0 {
+		netOpts.DropRate = o.DropRate
+		netOpts.DropFilter = func(from, to transport.NodeID) bool {
+			return from >= switchBase // only aom multicast drops
+		}
+	}
+	net := simnet.New(netOpts)
+	sys := &System{Name: string(o.Protocol), Net: net}
+
+	switch o.Protocol {
+	case NeoHM, NeoPK, NeoBN:
+		buildNeo(sys, o, net, f)
+	case PBFT:
+		buildPBFT(sys, o, net, f)
+	case Zyzzyva, ZyzzyvaF:
+		buildZyzzyva(sys, o, net, f)
+	case HotStuff:
+		buildHotStuff(sys, o, net, f)
+	case MinBFT:
+		buildMinBFT(sys, o, net, f)
+	case Unreplicated:
+		buildUnreplicated(sys, o, net)
+	default:
+		panic(fmt.Sprintf("bench: unknown protocol %q", o.Protocol))
+	}
+	return sys
+}
+
+// countingConn wraps a transport.Conn, counting inbound packets and the
+// wall-clock time spent inside the handler. The busy time of the busiest
+// replica is what bounds throughput when every replica has its own
+// machine (the paper's deployment), so ops ÷ max-busy-time projects the
+// bottleneck throughput from a co-located single-core run.
+type countingConn struct {
+	transport.Conn
+	count  atomic.Uint64
+	sent   atomic.Uint64
+	busyNS atomic.Int64
+}
+
+func (c *countingConn) SetHandler(h transport.Handler) {
+	c.Conn.SetHandler(func(from transport.NodeID, pkt []byte) {
+		c.count.Add(1)
+		start := time.Now()
+		h(from, pkt)
+		c.busyNS.Add(int64(time.Since(start)))
+	})
+}
+
+func (c *countingConn) Send(to transport.NodeID, pkt []byte) {
+	c.sent.Add(1)
+	c.Conn.Send(to, pkt)
+}
+
+func members(n int) []transport.NodeID {
+	out := make([]transport.NodeID, n)
+	for i := range out {
+		out[i] = transport.NodeID(i + 1)
+	}
+	return out
+}
+
+func joinCounting(net *simnet.Network, id transport.NodeID) *countingConn {
+	return &countingConn{Conn: net.Join(id)}
+}
+
+func msgCounter(conns []*countingConn) func() []uint64 {
+	return func() []uint64 {
+		out := make([]uint64, len(conns))
+		for i, c := range conns {
+			out[i] = c.count.Load()
+		}
+		return out
+	}
+}
+
+func pktCounter(conns []*countingConn) func() []uint64 {
+	return func() []uint64 {
+		out := make([]uint64, len(conns))
+		for i, c := range conns {
+			out[i] = c.count.Load() + c.sent.Load()
+		}
+		return out
+	}
+}
+
+func busyCounter(conns []*countingConn) func() []time.Duration {
+	return func() []time.Duration {
+		out := make([]time.Duration, len(conns))
+		for i, c := range conns {
+			out[i] = time.Duration(c.busyNS.Load())
+		}
+		return out
+	}
+}
+
+func authCounter(auths []*auth.HMACAuth, clientSides []*auth.ReplicaSide) func() uint64 {
+	return func() uint64 {
+		var sum uint64
+		for _, a := range auths {
+			sum += a.Stats().TagOps.Load() + a.Stats().VerifyOps.Load()
+		}
+		for _, c := range clientSides {
+			sum += c.Stats().TagOps.Load() + c.Stats().VerifyOps.Load()
+		}
+		return sum
+	}
+}
+
+const (
+	replicaMaster = "replica-master"
+	clientMaster  = "client-master"
+)
+
+func buildNeo(sys *System, o Options, net *simnet.Network, f int) {
+	variant := wire.AuthHMAC
+	if o.Protocol == NeoPK {
+		variant = wire.AuthPK
+	}
+	byz := o.Protocol == NeoBN
+	svc := configsvc.New(variant, []byte("aom-master"))
+	sys.Svc = svc
+	for i := 0; i < 2; i++ {
+		id := switchBase + transport.NodeID(i)
+		sw := sequencer.New(net.Join(id), sequencer.Options{
+			Variant:  variant,
+			PKSeed:   []byte{byte(i + 1)},
+			SignRate: o.SignRate,
+		})
+		h := configsvc.SwitchHandle{ID: id, SW: sw}
+		sys.Switches = append(sys.Switches, h)
+		svc.RegisterSwitch(h)
+	}
+	mem := members(o.N)
+	if _, err := svc.CreateGroup(1, mem); err != nil {
+		panic(err)
+	}
+	conns := make([]*countingConn, o.N)
+	auths := make([]*auth.HMACAuth, o.N)
+	csides := make([]*auth.ReplicaSide, o.N)
+	replicas := make([]*neobft.Replica, o.N)
+	for i := 0; i < o.N; i++ {
+		conns[i] = joinCounting(net, mem[i])
+		auths[i] = auth.NewHMACAuth([]byte(replicaMaster), i, o.N)
+		csides[i] = auth.NewReplicaSide([]byte(clientMaster), i)
+		replicas[i] = neobft.New(neobft.Config{
+			Self: i, N: o.N, F: f,
+			Members:           mem,
+			Group:             1,
+			Conn:              conns[i],
+			Auth:              auths[i],
+			ClientAuth:        csides[i],
+			App:               o.AppFactory(i),
+			Variant:           variant,
+			Byzantine:         byz,
+			ConfirmFlushEvery: o.ConfirmFlushEvery,
+			ConfirmBatch:      16,
+			Svc:               svc,
+		})
+		sys.Replicas = append(sys.Replicas, replicas[i])
+	}
+	sys.PerReplicaMsgs = msgCounter(conns)
+	sys.PerReplicaBusy = busyCounter(conns)
+	sys.PerReplicaPkts = pktCounter(conns)
+	sys.AuthOps = authCounter(auths, csides)
+	sys.Committed = func() uint64 { return replicas[0].Committed() }
+	sys.NewClient = func(id int) Invoker {
+		cl, err := neobft.NewClient(neobft.ClientOptions{
+			Conn:     net.Join(clientBase + transport.NodeID(id)),
+			Master:   []byte(clientMaster),
+			N:        o.N,
+			F:        f,
+			Replicas: mem,
+			Group:    1,
+			Svc:      svc,
+			Timeout:  o.ClientTimeout,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return cl
+	}
+	sys.Close = func() {
+		for _, r := range replicas {
+			r.Close()
+		}
+		net.Close()
+	}
+}
+
+func buildPBFT(sys *System, o Options, net *simnet.Network, f int) {
+	mem := members(o.N)
+	conns := make([]*countingConn, o.N)
+	auths := make([]*auth.HMACAuth, o.N)
+	csides := make([]*auth.ReplicaSide, o.N)
+	replicas := make([]*pbft.Replica, o.N)
+	for i := 0; i < o.N; i++ {
+		conns[i] = joinCounting(net, mem[i])
+		auths[i] = auth.NewHMACAuth([]byte(replicaMaster), i, o.N)
+		csides[i] = auth.NewReplicaSide([]byte(clientMaster), i)
+		replicas[i] = pbft.New(pbft.Config{
+			Self: i, N: o.N, F: f,
+			Members:    mem,
+			Conn:       conns[i],
+			Auth:       auths[i],
+			ClientAuth: csides[i],
+			App:        o.AppFactory(i),
+			BatchSize:  o.BatchSize,
+		})
+		sys.Replicas = append(sys.Replicas, replicas[i])
+	}
+	sys.PerReplicaMsgs = msgCounter(conns)
+	sys.PerReplicaBusy = busyCounter(conns)
+	sys.PerReplicaPkts = pktCounter(conns)
+	sys.AuthOps = authCounter(auths, csides)
+	sys.Committed = func() uint64 { return replicas[0].Executed() }
+	sys.NewClient = func(id int) Invoker {
+		return pbft.NewClient(net.Join(clientBase+transport.NodeID(id)),
+			[]byte(clientMaster), o.N, f, mem, o.ClientTimeout)
+	}
+	sys.Close = func() {
+		for _, r := range replicas {
+			r.Close()
+		}
+		net.Close()
+	}
+}
+
+func buildZyzzyva(sys *System, o Options, net *simnet.Network, f int) {
+	mem := members(o.N)
+	conns := make([]*countingConn, o.N)
+	auths := make([]*auth.HMACAuth, o.N)
+	csides := make([]*auth.ReplicaSide, o.N)
+	replicas := make([]*zyzzyva.Replica, o.N)
+	for i := 0; i < o.N; i++ {
+		conns[i] = joinCounting(net, mem[i])
+		auths[i] = auth.NewHMACAuth([]byte(replicaMaster), i, o.N)
+		csides[i] = auth.NewReplicaSide([]byte(clientMaster), i)
+		replicas[i] = zyzzyva.New(zyzzyva.Config{
+			Self: i, N: o.N, F: f,
+			Members:    mem,
+			Conn:       conns[i],
+			Auth:       auths[i],
+			ClientAuth: csides[i],
+			App:        o.AppFactory(i),
+			BatchSize:  o.BatchSize,
+			Silent:     o.Protocol == ZyzzyvaF && i == o.N-1,
+		})
+		sys.Replicas = append(sys.Replicas, replicas[i])
+	}
+	// On a shared single core the 4th speculative response can lag; a
+	// larger speculative timeout keeps fault-free Zyzzyva on its fast
+	// path while still penalizing Zyzzyva-F heavily per operation.
+	specTimeout := 20 * time.Millisecond
+	sys.PerReplicaMsgs = msgCounter(conns)
+	sys.PerReplicaBusy = busyCounter(conns)
+	sys.PerReplicaPkts = pktCounter(conns)
+	sys.AuthOps = authCounter(auths, csides)
+	sys.Committed = func() uint64 { return replicas[0].Executed() }
+	sys.NewClient = func(id int) Invoker {
+		return zyzzyva.NewClient(net.Join(clientBase+transport.NodeID(id)),
+			[]byte(clientMaster), o.N, f, mem, specTimeout, o.ClientTimeout)
+	}
+	sys.Close = func() {
+		for _, r := range replicas {
+			r.Close()
+		}
+		net.Close()
+	}
+}
+
+func buildHotStuff(sys *System, o Options, net *simnet.Network, f int) {
+	mem := members(o.N)
+	conns := make([]*countingConn, o.N)
+	auths := make([]*auth.HMACAuth, o.N)
+	csides := make([]*auth.ReplicaSide, o.N)
+	replicas := make([]*hotstuff.Replica, o.N)
+	for i := 0; i < o.N; i++ {
+		conns[i] = joinCounting(net, mem[i])
+		auths[i] = auth.NewHMACAuth([]byte(replicaMaster), i, o.N)
+		csides[i] = auth.NewReplicaSide([]byte(clientMaster), i)
+		replicas[i] = hotstuff.New(hotstuff.Config{
+			Self: i, N: o.N, F: f,
+			Members:    mem,
+			Conn:       conns[i],
+			Auth:       auths[i],
+			ClientAuth: csides[i],
+			App:        o.AppFactory(i),
+			BatchSize:  o.BatchSize,
+		})
+		sys.Replicas = append(sys.Replicas, replicas[i])
+	}
+	sys.PerReplicaMsgs = msgCounter(conns)
+	sys.PerReplicaBusy = busyCounter(conns)
+	sys.PerReplicaPkts = pktCounter(conns)
+	sys.AuthOps = authCounter(auths, csides)
+	sys.Committed = func() uint64 { return replicas[0].Executed() }
+	sys.NewClient = func(id int) Invoker {
+		return hotstuff.NewClient(net.Join(clientBase+transport.NodeID(id)),
+			[]byte(clientMaster), o.N, f, mem, o.ClientTimeout)
+	}
+	sys.Close = func() {
+		for _, r := range replicas {
+			r.Close()
+		}
+		net.Close()
+	}
+}
+
+func buildMinBFT(sys *System, o Options, net *simnet.Network, f int) {
+	n := 2*f + 1 // trusted components reduce the replication factor
+	mem := members(n)
+	conns := make([]*countingConn, n)
+	auths := make([]*auth.HMACAuth, n)
+	csides := make([]*auth.ReplicaSide, n)
+	usigs := make([]*usig.USIG, n)
+	replicas := make([]*minbft.Replica, n)
+	for i := 0; i < n; i++ {
+		conns[i] = joinCounting(net, mem[i])
+		auths[i] = auth.NewHMACAuth([]byte(replicaMaster), i, n)
+		csides[i] = auth.NewReplicaSide([]byte(clientMaster), i)
+		usigs[i] = usig.New(uint32(i), []byte("sgx-master")).WithEnclaveDelay(o.USIGDelay)
+		replicas[i] = minbft.New(minbft.Config{
+			Self: i, N: n, F: f,
+			Members:    mem,
+			Conn:       conns[i],
+			Auth:       auths[i],
+			ClientAuth: csides[i],
+			App:        o.AppFactory(i),
+			USIG:       usigs[i],
+			BatchSize:  o.BatchSize,
+		})
+		sys.Replicas = append(sys.Replicas, replicas[i])
+	}
+	sys.PerReplicaMsgs = msgCounter(conns)
+	sys.PerReplicaBusy = busyCounter(conns)
+	sys.PerReplicaPkts = pktCounter(conns)
+	baseAuth := authCounter(auths, csides)
+	sys.AuthOps = func() uint64 {
+		// UIs are MinBFT's authenticators: count trusted-component ops too.
+		sum := baseAuth()
+		for _, u := range usigs {
+			sum += u.Ops()
+		}
+		return sum
+	}
+	sys.Committed = func() uint64 { return replicas[0].Executed() }
+	sys.NewClient = func(id int) Invoker {
+		return minbft.NewClient(net.Join(clientBase+transport.NodeID(id)),
+			[]byte(clientMaster), n, f, mem, o.ClientTimeout)
+	}
+	sys.Close = func() {
+		for _, r := range replicas {
+			r.Close()
+		}
+		net.Close()
+	}
+}
+
+func buildUnreplicated(sys *System, o Options, net *simnet.Network) {
+	conn := joinCounting(net, 1)
+	cside := auth.NewReplicaSide([]byte(clientMaster), 0)
+	srv := unreplicated.NewServer(conn, o.AppFactory(0), cside)
+	sys.Replicas = append(sys.Replicas, srv)
+	sys.PerReplicaMsgs = msgCounter([]*countingConn{conn})
+	sys.PerReplicaBusy = busyCounter([]*countingConn{conn})
+	sys.PerReplicaPkts = pktCounter([]*countingConn{conn})
+	sys.AuthOps = authCounter(nil, []*auth.ReplicaSide{cside})
+	sys.Committed = srv.Ops
+	sys.NewClient = func(id int) Invoker {
+		return unreplicated.NewClient(net.Join(clientBase+transport.NodeID(id)),
+			1, []byte(clientMaster), o.ClientTimeout)
+	}
+	sys.Close = net.Close
+}

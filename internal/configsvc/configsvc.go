@@ -1,0 +1,187 @@
+// Package configsvc models the aom configuration service (§4.1): it
+// tracks group membership, derives and distributes per-epoch
+// authentication keys, designates one sequencer switch per group, and
+// performs sequencer failover when receivers report a faulty switch.
+//
+// The paper's configuration service is an out-of-band, trusted component
+// reached over TLS with standard (non-Byzantine) failure assumptions; we
+// model that control plane as a shared in-process object with
+// synchronized methods. The data plane remains pure message passing.
+package configsvc
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"neobft/internal/aom"
+	"neobft/internal/crypto/secp256k1"
+	"neobft/internal/crypto/siphash"
+	"neobft/internal/sequencer"
+	"neobft/internal/transport"
+	"neobft/internal/wire"
+)
+
+// SwitchHandle pairs a sequencer switch with its network identity.
+type SwitchHandle struct {
+	ID transport.NodeID
+	SW *sequencer.Switch
+}
+
+// View is the published state of one aom group: where to send, which
+// epoch is live, and the credentials receivers need.
+type View struct {
+	Group     uint32
+	Epoch     uint32
+	Variant   wire.AuthKind
+	Sequencer transport.NodeID
+	Members   []transport.NodeID
+	SwitchPub secp256k1.PublicKey
+}
+
+type groupState struct {
+	view      View
+	switchIdx int // index into svc.switches of the live sequencer
+}
+
+// Service is the configuration service.
+type Service struct {
+	variant wire.AuthKind
+	master  []byte
+
+	mu       sync.Mutex
+	switches []SwitchHandle
+	groups   map[uint32]*groupState
+}
+
+// New creates a configuration service managing switches of one
+// authenticator variant. The master secret seeds per-epoch HMAC key
+// derivation (the key-exchange protocol of §4.3, abstracted).
+func New(variant wire.AuthKind, master []byte) *Service {
+	return &Service{
+		variant: variant,
+		master:  master,
+		groups:  make(map[uint32]*groupState),
+	}
+}
+
+// RegisterSwitch adds a sequencer switch to the pool of failover
+// candidates.
+func (s *Service) RegisterSwitch(h SwitchHandle) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.switches = append(s.switches, h)
+}
+
+// DeriveHMACKey returns receiver idx's lane key for (group, epoch). Both
+// the service (installing switch state) and receivers derive the same key.
+func (s *Service) DeriveHMACKey(group, epoch uint32, idx int) siphash.HalfKey {
+	h := sha256.New()
+	h.Write([]byte("aom/hmac-key/v1"))
+	h.Write(s.master)
+	var buf [16]byte
+	binary.LittleEndian.PutUint32(buf[0:], group)
+	binary.LittleEndian.PutUint32(buf[4:], epoch)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(idx))
+	h.Write(buf[:])
+	var k siphash.HalfKey
+	copy(k[:], h.Sum(nil))
+	return k
+}
+
+// CreateGroup creates an aom group on the first registered switch and
+// returns the initial view.
+func (s *Service) CreateGroup(group uint32, members []transport.NodeID) (View, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.switches) == 0 {
+		return View{}, fmt.Errorf("configsvc: no switches registered")
+	}
+	if _, exists := s.groups[group]; exists {
+		return View{}, fmt.Errorf("configsvc: group %d already exists", group)
+	}
+	g := &groupState{switchIdx: 0}
+	g.view = View{Group: group, Epoch: 1, Variant: s.variant, Members: append([]transport.NodeID(nil), members...)}
+	s.installLocked(g)
+	s.groups[group] = g
+	return g.view, nil
+}
+
+// installLocked pushes the group's current view to the live switch.
+func (s *Service) installLocked(g *groupState) {
+	h := s.switches[g.switchIdx]
+	cfg := sequencer.GroupConfig{
+		Group:   g.view.Group,
+		Epoch:   g.view.Epoch,
+		Members: g.view.Members,
+	}
+	if s.variant == wire.AuthHMAC {
+		cfg.HMACKeys = make([]siphash.HalfKey, len(g.view.Members))
+		for i := range cfg.HMACKeys {
+			cfg.HMACKeys[i] = s.DeriveHMACKey(g.view.Group, g.view.Epoch, i)
+		}
+	}
+	h.SW.InstallGroup(cfg)
+	g.view.Sequencer = h.ID
+	g.view.SwitchPub = h.SW.PublicKey()
+}
+
+// View returns the current published view of a group.
+func (s *Service) View(group uint32) (View, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.groups[group]
+	if !ok {
+		return View{}, fmt.Errorf("configsvc: unknown group %d", group)
+	}
+	return g.view, nil
+}
+
+// ReceiverEpochConfig returns the libAOM epoch credentials for the
+// receiver at index idx under the group's current view.
+func (s *Service) ReceiverEpochConfig(group uint32, idx int) (aom.EpochConfig, error) {
+	v, err := s.View(group)
+	if err != nil {
+		return aom.EpochConfig{}, err
+	}
+	return s.epochConfigForView(v, idx), nil
+}
+
+func (s *Service) epochConfigForView(v View, idx int) aom.EpochConfig {
+	ep := aom.EpochConfig{Epoch: v.Epoch, SwitchPub: v.SwitchPub}
+	if s.variant == wire.AuthHMAC {
+		ep.HMACKey = s.DeriveHMACKey(v.Group, v.Epoch, idx)
+	}
+	return ep
+}
+
+// Failover replaces the group's sequencer, bumping the epoch. It is
+// idempotent against concurrent reports: callers pass the epoch they
+// believe is live; if the service has already moved past it, the current
+// view is returned without another failover.
+func (s *Service) Failover(group, fromEpoch uint32) (View, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.groups[group]
+	if !ok {
+		return View{}, fmt.Errorf("configsvc: unknown group %d", group)
+	}
+	if g.view.Epoch != fromEpoch {
+		return g.view, nil // already failed over
+	}
+	if len(s.switches) < 2 {
+		return View{}, fmt.Errorf("configsvc: no standby switch for group %d", group)
+	}
+	g.switchIdx = (g.switchIdx + 1) % len(s.switches)
+	g.view.Epoch++
+	s.installLocked(g)
+	return g.view, nil
+}
+
+// EpochConfigFor converts a view into receiver credentials; useful when a
+// replica learns a new view through the view-change protocol rather than
+// by querying the service.
+func (s *Service) EpochConfigFor(v View, idx int) aom.EpochConfig {
+	return s.epochConfigForView(v, idx)
+}

@@ -1,0 +1,190 @@
+package configsvc
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"neobft/internal/aom"
+	"neobft/internal/sequencer"
+	"neobft/internal/simnet"
+	"neobft/internal/transport"
+	"neobft/internal/wire"
+)
+
+func rig(t *testing.T, variant wire.AuthKind, nSwitches int) (*Service, *simnet.Network, []SwitchHandle) {
+	t.Helper()
+	net := simnet.New(simnet.Options{})
+	t.Cleanup(net.Close)
+	svc := New(variant, []byte("master"))
+	handles := make([]SwitchHandle, nSwitches)
+	for i := 0; i < nSwitches; i++ {
+		id := transport.NodeID(1000 + i)
+		sw := sequencer.New(net.Join(id), sequencer.Options{
+			Variant: variant,
+			PKSeed:  []byte{byte(i)},
+		})
+		handles[i] = SwitchHandle{ID: id, SW: sw}
+		svc.RegisterSwitch(handles[i])
+	}
+	return svc, net, handles
+}
+
+func TestCreateGroupAndView(t *testing.T) {
+	svc, _, handles := rig(t, wire.AuthHMAC, 2)
+	members := []transport.NodeID{1, 2, 3, 4}
+	v, err := svc.CreateGroup(7, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Epoch != 1 || v.Sequencer != handles[0].ID || len(v.Members) != 4 {
+		t.Fatalf("view = %+v", v)
+	}
+	v2, err := svc.View(7)
+	if err != nil || v2.Epoch != 1 {
+		t.Fatalf("View = %+v, %v", v2, err)
+	}
+	if _, err := svc.CreateGroup(7, members); err == nil {
+		t.Fatal("duplicate group accepted")
+	}
+	if _, err := svc.View(99); err == nil {
+		t.Fatal("unknown group view returned")
+	}
+}
+
+func TestKeyDerivationConsistency(t *testing.T) {
+	svc := New(wire.AuthHMAC, []byte("m"))
+	a := svc.DeriveHMACKey(1, 1, 0)
+	b := svc.DeriveHMACKey(1, 1, 0)
+	if a != b {
+		t.Fatal("key derivation not deterministic")
+	}
+	if svc.DeriveHMACKey(1, 2, 0) == a {
+		t.Fatal("epoch not bound into key")
+	}
+	if svc.DeriveHMACKey(2, 1, 0) == a {
+		t.Fatal("group not bound into key")
+	}
+	if svc.DeriveHMACKey(1, 1, 1) == a {
+		t.Fatal("receiver index not bound into key")
+	}
+}
+
+func TestFailoverBumpsEpochAndSwitch(t *testing.T) {
+	svc, _, handles := rig(t, wire.AuthHMAC, 3)
+	svc.CreateGroup(1, []transport.NodeID{1, 2, 3, 4})
+	v, err := svc.Failover(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Epoch != 2 || v.Sequencer != handles[1].ID {
+		t.Fatalf("after failover: %+v", v)
+	}
+	// Idempotence: a second report for the old epoch does nothing.
+	v2, err := svc.Failover(1, 1)
+	if err != nil || v2.Epoch != 2 {
+		t.Fatalf("stale failover changed the view: %+v, %v", v2, err)
+	}
+	// Rotation wraps around.
+	svc.Failover(1, 2)
+	v4, _ := svc.Failover(1, 3)
+	if v4.Sequencer != handles[0].ID || v4.Epoch != 4 {
+		t.Fatalf("rotation: %+v", v4)
+	}
+}
+
+func TestFailoverWithoutStandby(t *testing.T) {
+	svc, _, _ := rig(t, wire.AuthHMAC, 1)
+	svc.CreateGroup(1, []transport.NodeID{1, 2})
+	if _, err := svc.Failover(1, 1); err == nil {
+		t.Fatal("failover without standby succeeded")
+	}
+}
+
+func TestConcurrentFailoverReports(t *testing.T) {
+	svc, _, _ := rig(t, wire.AuthHMAC, 4)
+	svc.CreateGroup(1, []transport.NodeID{1, 2, 3, 4})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			svc.Failover(1, 1) // all report the same failed epoch
+		}()
+	}
+	wg.Wait()
+	v, _ := svc.View(1)
+	if v.Epoch != 2 {
+		t.Fatalf("concurrent reports produced epoch %d, want exactly 2", v.Epoch)
+	}
+}
+
+// TestEndToEndFailover exercises the full loop: traffic through switch A,
+// failover, traffic through switch B in a new epoch.
+func TestEndToEndFailover(t *testing.T) {
+	svc, net, handles := rig(t, wire.AuthHMAC, 2)
+	members := []transport.NodeID{1, 2, 3, 4}
+	v, _ := svc.CreateGroup(1, members)
+
+	type evt struct {
+		epoch uint32
+		seq   uint64
+		body  string
+	}
+	var mu sync.Mutex
+	var got []evt
+	recvs := make([]*aom.Receiver, 4)
+	for i := 0; i < 4; i++ {
+		conn := net.Join(members[i])
+		idx := i
+		ep, _ := svc.ReceiverEpochConfig(1, idx)
+		r := aom.NewReceiver(aom.ReceiverConfig{
+			Group: 1, Variant: wire.AuthHMAC, SelfIndex: idx, Members: members,
+			Deliver: func(d aom.Delivery) {
+				if idx == 0 && !d.Dropped {
+					mu.Lock()
+					got = append(got, evt{d.Epoch, d.Seq, string(d.Payload)})
+					mu.Unlock()
+				}
+			},
+		}, ep)
+		t.Cleanup(r.Close)
+		recvs[i] = r
+		conn.SetHandler(func(from transport.NodeID, p []byte) { r.HandlePacket(from, p) })
+	}
+	sender := aom.NewSender(net.Join(500), 1, v.Sequencer)
+	sender.Send([]byte("before"))
+	waitLen := func(n int) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			mu.Lock()
+			l := len(got)
+			mu.Unlock()
+			if l >= n {
+				return
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		t.Fatalf("timed out waiting for %d deliveries", n)
+	}
+	waitLen(1)
+
+	// Switch A dies; receivers report; service fails over to B.
+	handles[0].SW.SetFault(sequencer.FaultCrash)
+	v2, err := svc.Failover(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range recvs {
+		r.InstallEpoch(svc.EpochConfigFor(v2, i))
+	}
+	sender.SetSequencer(v2.Sequencer)
+	sender.Send([]byte("after"))
+	waitLen(2)
+	mu.Lock()
+	defer mu.Unlock()
+	if got[1].epoch != 2 || got[1].seq != 1 || got[1].body != "after" {
+		t.Fatalf("post-failover delivery = %+v", got[1])
+	}
+}

@@ -1,0 +1,159 @@
+package auth
+
+import (
+	"bytes"
+	"testing"
+)
+
+func hmacSet(n int) []*HMACAuth {
+	out := make([]*HMACAuth, n)
+	for i := 0; i < n; i++ {
+		out[i] = NewHMACAuth([]byte("master"), i, n)
+	}
+	return out
+}
+
+func TestHMACPairwise(t *testing.T) {
+	nodes := hmacSet(4)
+	msg := []byte("prepare view=3 seq=17")
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			tag := nodes[i].Tag(j, msg)
+			if !nodes[j].Verify(i, msg, tag) {
+				t.Fatalf("node %d rejected tag from node %d", j, i)
+			}
+			if nodes[j].Verify(i, []byte("tampered"), tag) {
+				t.Fatalf("node %d accepted tag for wrong message", j)
+			}
+		}
+	}
+}
+
+func TestHMACKeySymmetry(t *testing.T) {
+	a := DeriveKey([]byte("m"), 1, 3)
+	b := DeriveKey([]byte("m"), 3, 1)
+	if a != b {
+		t.Fatal("pairwise key not symmetric")
+	}
+	c := DeriveKey([]byte("m"), 1, 2)
+	if a == c {
+		t.Fatal("distinct pairs derived identical keys")
+	}
+	d := DeriveKey([]byte("other"), 1, 3)
+	if a == d {
+		t.Fatal("distinct masters derived identical keys")
+	}
+}
+
+func TestHMACVector(t *testing.T) {
+	nodes := hmacSet(4)
+	msg := []byte("view-change v=2")
+	vec := nodes[1].TagVector(msg)
+	if len(vec) != nodes[1].VectorSize() {
+		t.Fatalf("vector size %d, want %d", len(vec), nodes[1].VectorSize())
+	}
+	for j := 0; j < 4; j++ {
+		if !nodes[j].VerifyVector(1, msg, vec) {
+			t.Fatalf("node %d rejected its vector lane", j)
+		}
+	}
+	// Corrupt node 2's lane: only node 2 must reject.
+	bad := bytes.Clone(vec)
+	bad[8*2] ^= 1
+	if nodes[2].VerifyVector(1, msg, bad) {
+		t.Fatal("node 2 accepted corrupted lane")
+	}
+	if !nodes[3].VerifyVector(1, msg, bad) {
+		t.Fatal("node 3 rejected vector whose own lane is intact")
+	}
+}
+
+func TestHMACRejectsWrongSender(t *testing.T) {
+	nodes := hmacSet(4)
+	msg := []byte("m")
+	tag := nodes[0].Tag(2, msg)
+	// Node 2 verifying the tag as if it came from node 1 must fail
+	// (keys 0-2 and 1-2 differ).
+	if nodes[2].Verify(1, msg, tag) {
+		t.Fatal("tag attributed to wrong sender accepted")
+	}
+}
+
+func TestHMACStats(t *testing.T) {
+	n := NewHMACAuth([]byte("m"), 0, 4)
+	n.Tag(1, []byte("a"))
+	n.TagVector([]byte("b"))
+	n.Verify(1, []byte("a"), make([]byte, 8))
+	if got := n.Stats().TagOps.Load(); got != 5 { // 1 + vector of 4
+		t.Fatalf("TagOps = %d, want 5", got)
+	}
+	if got := n.Stats().VerifyOps.Load(); got != 1 {
+		t.Fatalf("VerifyOps = %d, want 1", got)
+	}
+	n.Stats().Reset()
+	if n.Stats().TagOps.Load() != 0 {
+		t.Fatal("reset did not clear counters")
+	}
+}
+
+func TestSigAuth(t *testing.T) {
+	nodes := NewSigAuthSet([]byte("master"), 4)
+	msg := []byte("reply view=1 slot=9")
+	sig := nodes[2].Tag(0, msg)
+	for j := 0; j < 4; j++ {
+		if !nodes[j].Verify(2, msg, sig) {
+			t.Fatalf("node %d rejected valid signature", j)
+		}
+		if !nodes[j].VerifyVector(2, msg, sig) {
+			t.Fatalf("node %d rejected valid signature as vector", j)
+		}
+	}
+	if nodes[0].Verify(1, msg, sig) {
+		t.Fatal("signature accepted under wrong signer identity")
+	}
+	if nodes[0].Verify(2, []byte("x"), sig) {
+		t.Fatal("signature accepted for wrong message")
+	}
+}
+
+func TestSigAuthDeterministicKeyring(t *testing.T) {
+	a := NewSigAuthSet([]byte("m"), 3)
+	b := NewSigAuthSet([]byte("m"), 3)
+	msg := []byte("hello")
+	if !b[0].Verify(1, msg, a[1].Tag(0, msg)) {
+		t.Fatal("independently derived keyrings disagree")
+	}
+}
+
+func TestAuthenticatorInterface(t *testing.T) {
+	var _ Authenticator = NewHMACAuth([]byte("m"), 0, 4)
+	var _ Authenticator = NewSigAuthSet([]byte("m"), 1)[0]
+}
+
+func BenchmarkHMACTagVector4(b *testing.B) {
+	n := NewHMACAuth([]byte("m"), 0, 4)
+	msg := make([]byte, 64)
+	for i := 0; i < b.N; i++ {
+		n.TagVector(msg)
+	}
+}
+
+func BenchmarkSigTag(b *testing.B) {
+	n := NewSigAuthSet([]byte("m"), 4)[0]
+	msg := make([]byte, 64)
+	for i := 0; i < b.N; i++ {
+		n.Tag(1, msg)
+	}
+}
+
+func BenchmarkSigVerify(b *testing.B) {
+	nodes := NewSigAuthSet([]byte("m"), 4)
+	msg := make([]byte, 64)
+	sig := nodes[0].Tag(1, msg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !nodes[1].Verify(0, msg, sig) {
+			b.Fatal("verify failed")
+		}
+	}
+}

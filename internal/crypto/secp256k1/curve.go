@@ -1,0 +1,377 @@
+// Package secp256k1 implements the secp256k1 elliptic curve and ECDSA
+// signatures from scratch on top of math/big.
+//
+// NeoBFT's aom-pk variant signs every aom message (or a hash-chained
+// subset of them) with secp256k1 on an FPGA co-processor. This package is
+// the software equivalent: it provides the same curve, the same
+// precomputed-generator-table optimization the FPGA uses to accelerate
+// scalar point multiplication, and deterministic (RFC 6979 style) nonces
+// so signing requires no random-number generator — mirroring the
+// hardware's avoidance of on-chip randomness.
+package secp256k1
+
+import (
+	"math/big"
+	"sync"
+)
+
+// Curve parameters for secp256k1: y² = x³ + 7 over GF(p).
+var (
+	// P is the field prime 2²⁵⁶ − 2³² − 977.
+	P *big.Int
+	// N is the order of the base point G.
+	N *big.Int
+	// B is the curve constant 7.
+	B = big.NewInt(7)
+	// Gx, Gy are the affine coordinates of the base point.
+	Gx *big.Int
+	Gy *big.Int
+
+	halfN *big.Int // N/2, for low-s signature normalization
+)
+
+func init() {
+	P, _ = new(big.Int).SetString("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f", 16)
+	N, _ = new(big.Int).SetString("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141", 16)
+	Gx, _ = new(big.Int).SetString("79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798", 16)
+	Gy, _ = new(big.Int).SetString("483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8", 16)
+	halfN = new(big.Int).Rsh(N, 1)
+}
+
+// Point is an affine point on the curve. The zero value (nil coordinates)
+// is the point at infinity.
+type Point struct {
+	X, Y *big.Int
+}
+
+// Infinity reports whether p is the point at infinity.
+func (p Point) Infinity() bool { return p.X == nil }
+
+// OnCurve reports whether p satisfies the curve equation (the point at
+// infinity is considered on the curve).
+func (p Point) OnCurve() bool {
+	if p.Infinity() {
+		return true
+	}
+	if p.X.Sign() < 0 || p.X.Cmp(P) >= 0 || p.Y.Sign() < 0 || p.Y.Cmp(P) >= 0 {
+		return false
+	}
+	// y² mod p
+	lhs := new(big.Int).Mul(p.Y, p.Y)
+	lhs.Mod(lhs, P)
+	// x³ + 7 mod p
+	rhs := new(big.Int).Mul(p.X, p.X)
+	rhs.Mul(rhs, p.X)
+	rhs.Add(rhs, B)
+	rhs.Mod(rhs, P)
+	return lhs.Cmp(rhs) == 0
+}
+
+// Equal reports whether two points are the same affine point.
+func (p Point) Equal(q Point) bool {
+	if p.Infinity() || q.Infinity() {
+		return p.Infinity() == q.Infinity()
+	}
+	return p.X.Cmp(q.X) == 0 && p.Y.Cmp(q.Y) == 0
+}
+
+// jacPoint is a point in Jacobian projective coordinates:
+// x = X/Z², y = Y/Z³. Z=0 marks the point at infinity.
+type jacPoint struct {
+	x, y, z *big.Int
+}
+
+func newJac() *jacPoint {
+	return &jacPoint{new(big.Int), new(big.Int), new(big.Int)}
+}
+
+func (j *jacPoint) infinity() bool { return j.z.Sign() == 0 }
+
+func fromAffine(p Point) *jacPoint {
+	j := newJac()
+	if p.Infinity() {
+		return j
+	}
+	j.x.Set(p.X)
+	j.y.Set(p.Y)
+	j.z.SetInt64(1)
+	return j
+}
+
+func (j *jacPoint) toAffine() Point {
+	if j.infinity() {
+		return Point{}
+	}
+	zinv := new(big.Int).ModInverse(j.z, P)
+	zinv2 := new(big.Int).Mul(zinv, zinv)
+	zinv2.Mod(zinv2, P)
+	x := new(big.Int).Mul(j.x, zinv2)
+	x.Mod(x, P)
+	zinv3 := zinv2.Mul(zinv2, zinv)
+	zinv3.Mod(zinv3, P)
+	y := new(big.Int).Mul(j.y, zinv3)
+	y.Mod(y, P)
+	return Point{x, y}
+}
+
+// double sets j = 2*a using the standard Jacobian doubling formulas
+// (a=0 curve, so the specialized M = 3X² form applies).
+func (j *jacPoint) double(a *jacPoint) {
+	if a.infinity() || a.y.Sign() == 0 {
+		j.z.SetInt64(0)
+		return
+	}
+	// S = 4XY²
+	y2 := new(big.Int).Mul(a.y, a.y)
+	y2.Mod(y2, P)
+	s := new(big.Int).Mul(a.x, y2)
+	s.Lsh(s, 2)
+	s.Mod(s, P)
+	// M = 3X²
+	m := new(big.Int).Mul(a.x, a.x)
+	m.Mul(m, big.NewInt(3))
+	m.Mod(m, P)
+	// X' = M² − 2S
+	x := new(big.Int).Mul(m, m)
+	x.Sub(x, new(big.Int).Lsh(s, 1))
+	x.Mod(x, P)
+	// Y' = M(S − X') − 8Y⁴
+	y4 := new(big.Int).Mul(y2, y2)
+	y4.Lsh(y4, 3)
+	y := new(big.Int).Sub(s, x)
+	y.Mul(y, m)
+	y.Sub(y, y4)
+	y.Mod(y, P)
+	// Z' = 2YZ
+	z := new(big.Int).Mul(a.y, a.z)
+	z.Lsh(z, 1)
+	z.Mod(z, P)
+	j.x, j.y, j.z = x, y, z
+}
+
+// addMixed sets j = a + b where b is an affine, non-infinity point.
+func (j *jacPoint) addMixed(a *jacPoint, b Point) {
+	if a.infinity() {
+		j.x.Set(b.X)
+		j.y.Set(b.Y)
+		j.z.SetInt64(1)
+		return
+	}
+	// U1 = X1, S1 = Y1 (b has Z=1); U2 = X2*Z1², S2 = Y2*Z1³
+	z1z1 := new(big.Int).Mul(a.z, a.z)
+	z1z1.Mod(z1z1, P)
+	u2 := new(big.Int).Mul(b.X, z1z1)
+	u2.Mod(u2, P)
+	s2 := new(big.Int).Mul(b.Y, z1z1)
+	s2.Mul(s2, a.z)
+	s2.Mod(s2, P)
+	h := new(big.Int).Sub(u2, a.x)
+	h.Mod(h, P)
+	r := new(big.Int).Sub(s2, a.y)
+	r.Mod(r, P)
+	if h.Sign() == 0 {
+		if r.Sign() == 0 {
+			j.double(a)
+			return
+		}
+		j.z.SetInt64(0)
+		return
+	}
+	h2 := new(big.Int).Mul(h, h)
+	h2.Mod(h2, P)
+	h3 := new(big.Int).Mul(h2, h)
+	h3.Mod(h3, P)
+	v := new(big.Int).Mul(a.x, h2)
+	v.Mod(v, P)
+	// X3 = r² − h³ − 2v
+	x := new(big.Int).Mul(r, r)
+	x.Sub(x, h3)
+	x.Sub(x, new(big.Int).Lsh(v, 1))
+	x.Mod(x, P)
+	// Y3 = r(v − X3) − Y1·h³
+	y := new(big.Int).Sub(v, x)
+	y.Mul(y, r)
+	t := new(big.Int).Mul(a.y, h3)
+	y.Sub(y, t)
+	y.Mod(y, P)
+	// Z3 = Z1·h
+	z := new(big.Int).Mul(a.z, h)
+	z.Mod(z, P)
+	j.x, j.y, j.z = x, y, z
+}
+
+// add sets j = a + b for general Jacobian points.
+func (j *jacPoint) add(a, b *jacPoint) {
+	if a.infinity() {
+		j.x.Set(b.x)
+		j.y.Set(b.y)
+		j.z.Set(b.z)
+		return
+	}
+	if b.infinity() {
+		j.x.Set(a.x)
+		j.y.Set(a.y)
+		j.z.Set(a.z)
+		return
+	}
+	z1z1 := new(big.Int).Mul(a.z, a.z)
+	z1z1.Mod(z1z1, P)
+	z2z2 := new(big.Int).Mul(b.z, b.z)
+	z2z2.Mod(z2z2, P)
+	u1 := new(big.Int).Mul(a.x, z2z2)
+	u1.Mod(u1, P)
+	u2 := new(big.Int).Mul(b.x, z1z1)
+	u2.Mod(u2, P)
+	s1 := new(big.Int).Mul(a.y, z2z2)
+	s1.Mul(s1, b.z)
+	s1.Mod(s1, P)
+	s2 := new(big.Int).Mul(b.y, z1z1)
+	s2.Mul(s2, a.z)
+	s2.Mod(s2, P)
+	h := new(big.Int).Sub(u2, u1)
+	h.Mod(h, P)
+	r := new(big.Int).Sub(s2, s1)
+	r.Mod(r, P)
+	if h.Sign() == 0 {
+		if r.Sign() == 0 {
+			j.double(a)
+			return
+		}
+		j.z.SetInt64(0)
+		return
+	}
+	h2 := new(big.Int).Mul(h, h)
+	h2.Mod(h2, P)
+	h3 := new(big.Int).Mul(h2, h)
+	h3.Mod(h3, P)
+	v := new(big.Int).Mul(u1, h2)
+	v.Mod(v, P)
+	x := new(big.Int).Mul(r, r)
+	x.Sub(x, h3)
+	x.Sub(x, new(big.Int).Lsh(v, 1))
+	x.Mod(x, P)
+	y := new(big.Int).Sub(v, x)
+	y.Mul(y, r)
+	t := new(big.Int).Mul(s1, h3)
+	y.Sub(y, t)
+	y.Mod(y, P)
+	z := new(big.Int).Mul(a.z, b.z)
+	z.Mul(z, h)
+	z.Mod(z, P)
+	j.x, j.y, j.z = x, y, z
+}
+
+// Add returns p + q.
+func Add(p, q Point) Point {
+	jp := fromAffine(p)
+	if q.Infinity() {
+		return p
+	}
+	out := newJac()
+	out.addMixed(jp, q)
+	return out.toAffine()
+}
+
+// Double returns 2p.
+func Double(p Point) Point {
+	out := newJac()
+	out.double(fromAffine(p))
+	return out.toAffine()
+}
+
+// Neg returns −p.
+func Neg(p Point) Point {
+	if p.Infinity() {
+		return p
+	}
+	y := new(big.Int).Sub(P, p.Y)
+	y.Mod(y, P)
+	return Point{new(big.Int).Set(p.X), y}
+}
+
+// ScalarMult returns k·p using plain double-and-add. k is reduced mod N.
+func ScalarMult(p Point, k *big.Int) Point {
+	k = new(big.Int).Mod(k, N)
+	acc := newJac()
+	tmp := newJac()
+	if p.Infinity() || k.Sign() == 0 {
+		return Point{}
+	}
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		tmp.double(acc)
+		acc, tmp = tmp, acc
+		if k.Bit(i) == 1 {
+			tmp.addMixed(acc, p)
+			acc, tmp = tmp, acc
+		}
+	}
+	return acc.toAffine()
+}
+
+// pointTable holds windowed multiples of a fixed point:
+// tab[w][v] = (v+1) · 2^(8w) · P for window w in [0,32) and digit v in
+// [0,255]. This mirrors the aom-pk FPGA's pre-compute module, which
+// continuously fills a block-RAM table of generator multiples so the
+// signer can compute k·G with table lookups and additions only. Receivers
+// build the same table for the sequencer's *public* key so verification
+// is cheap too.
+type pointTable [32][255]Point
+
+func buildPointTable(p Point) *pointTable {
+	t := new(pointTable)
+	base := Point{new(big.Int).Set(p.X), new(big.Int).Set(p.Y)} // 2^(8w)·P
+	for w := 0; w < 32; w++ {
+		acc := fromAffine(base)
+		t[w][0] = base
+		for v := 1; v < 255; v++ {
+			next := newJac()
+			next.addMixed(acc, base)
+			acc = next
+			t[w][v] = acc.toAffine()
+		}
+		// base <<= 8: one more addition past 255·2^(8w)·P gives 256·2^(8w)·P.
+		next := newJac()
+		next.addMixed(acc, base)
+		base = next.toAffine()
+	}
+	return t
+}
+
+// multJac returns k·P as a Jacobian point using the table. k must already
+// be reduced mod N.
+func (t *pointTable) multJac(k *big.Int) *jacPoint {
+	acc := newJac()
+	if k.Sign() == 0 {
+		return acc
+	}
+	tmp := newJac()
+	buf := k.Bytes() // big-endian
+	for i, b := range buf {
+		if b == 0 {
+			continue
+		}
+		w := len(buf) - 1 - i // byte significance → window index
+		tmp.addMixed(acc, t[w][int(b)-1])
+		acc, tmp = tmp, acc
+	}
+	return acc
+}
+
+var (
+	genTableOnce sync.Once
+	genTable     *pointTable
+)
+
+// BaseMult returns k·G using the windowed precomputed generator table.
+// k is reduced mod N.
+func BaseMult(k *big.Int) Point {
+	genTableOnce.Do(func() { genTable = buildPointTable(Point{Gx, Gy}) })
+	k = new(big.Int).Mod(k, N)
+	return genTable.multJac(k).toAffine()
+}
+
+// BaseMultSlow returns k·G without the precomputed table; it exists to
+// benchmark the FPGA precompute-table design against the naive approach.
+func BaseMultSlow(k *big.Int) Point {
+	return ScalarMult(Point{Gx, Gy}, k)
+}

@@ -1,0 +1,171 @@
+package secp256k1
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"errors"
+	"math/big"
+)
+
+// PrivateKey is a secp256k1 signing key.
+type PrivateKey struct {
+	D   *big.Int
+	Pub PublicKey
+}
+
+// PublicKey is a point on the curve.
+type PublicKey struct {
+	Point
+}
+
+// Signature is an ECDSA signature with s normalized to the low half of
+// the group order.
+type Signature struct {
+	R, S *big.Int
+}
+
+var (
+	// ErrInvalidKey is returned for out-of-range or zero private scalars.
+	ErrInvalidKey = errors.New("secp256k1: invalid private key")
+	// ErrInvalidSignature is returned when decoding a malformed signature.
+	ErrInvalidSignature = errors.New("secp256k1: invalid signature encoding")
+	// ErrInvalidPoint is returned when decoding a point not on the curve.
+	ErrInvalidPoint = errors.New("secp256k1: point not on curve")
+)
+
+// GenerateKey derives a private key deterministically from seed material.
+// The seed is hashed (with a domain separator) and reduced into [1, N−1];
+// the sequencer switch and the configuration service use this to derive
+// per-epoch keys from installed secrets.
+func GenerateKey(seed []byte) (*PrivateKey, error) {
+	h := sha256.New()
+	h.Write([]byte("neobft/secp256k1/keygen/v1"))
+	h.Write(seed)
+	for ctr := byte(0); ctr < 255; ctr++ {
+		hh := sha256.Sum256(append(h.Sum(nil), ctr))
+		d := new(big.Int).SetBytes(hh[:])
+		d.Mod(d, new(big.Int).Sub(N, big.NewInt(1)))
+		d.Add(d, big.NewInt(1))
+		if d.Sign() > 0 && d.Cmp(N) < 0 {
+			return NewPrivateKey(d)
+		}
+	}
+	return nil, ErrInvalidKey
+}
+
+// NewPrivateKey wraps an explicit scalar as a private key.
+func NewPrivateKey(d *big.Int) (*PrivateKey, error) {
+	if d == nil || d.Sign() <= 0 || d.Cmp(N) >= 0 {
+		return nil, ErrInvalidKey
+	}
+	dc := new(big.Int).Set(d)
+	return &PrivateKey{D: dc, Pub: PublicKey{BaseMult(dc)}}, nil
+}
+
+// hashToInt converts a message digest to an integer per SEC 1 §4.1.3:
+// take the leftmost bits of the digest up to the bit length of N.
+func hashToInt(digest []byte) *big.Int {
+	orderBytes := (N.BitLen() + 7) / 8
+	if len(digest) > orderBytes {
+		digest = digest[:orderBytes]
+	}
+	z := new(big.Int).SetBytes(digest)
+	excess := len(digest)*8 - N.BitLen()
+	if excess > 0 {
+		z.Rsh(z, uint(excess))
+	}
+	return z
+}
+
+// nonceRFC6979 derives a deterministic nonce k from the key and digest
+// following the HMAC-DRBG construction of RFC 6979. extra distinguishes
+// retry attempts.
+func nonceRFC6979(d *big.Int, digest []byte, extra byte) *big.Int {
+	x := d.FillBytes(make([]byte, 32))
+	h1 := hashToInt(digest).FillBytes(make([]byte, 32))
+
+	v := make([]byte, 32)
+	k := make([]byte, 32)
+	for i := range v {
+		v[i] = 0x01
+	}
+
+	mac := func(key []byte, parts ...[]byte) []byte {
+		m := hmac.New(sha256.New, key)
+		for _, p := range parts {
+			m.Write(p)
+		}
+		return m.Sum(nil)
+	}
+
+	k = mac(k, v, []byte{0x00}, x, h1, []byte{extra})
+	v = mac(k, v)
+	k = mac(k, v, []byte{0x01}, x, h1, []byte{extra})
+	v = mac(k, v)
+
+	for i := 0; i < 1000; i++ {
+		v = mac(k, v)
+		t := new(big.Int).SetBytes(v)
+		if t.Sign() > 0 && t.Cmp(N) < 0 {
+			return t
+		}
+		k = mac(k, v, []byte{0x00})
+		v = mac(k, v)
+	}
+	panic("secp256k1: nonce generation failed to converge")
+}
+
+// Sign produces an ECDSA signature over a 32-byte message digest. The
+// nonce is deterministic, so identical (key, digest) pairs yield identical
+// signatures — matching the FPGA signer, which has no entropy source.
+func (priv *PrivateKey) Sign(digest []byte) Signature {
+	z := hashToInt(digest)
+	for extra := byte(0); ; extra++ {
+		k := nonceRFC6979(priv.D, digest, extra)
+		p := BaseMult(k)
+		r := new(big.Int).Mod(p.X, N)
+		if r.Sign() == 0 {
+			continue
+		}
+		kinv := new(big.Int).ModInverse(k, N)
+		s := new(big.Int).Mul(r, priv.D)
+		s.Add(s, z)
+		s.Mul(s, kinv)
+		s.Mod(s, N)
+		if s.Sign() == 0 {
+			continue
+		}
+		if s.Cmp(halfN) > 0 { // low-s normalization
+			s.Sub(N, s)
+		}
+		return Signature{R: r, S: s}
+	}
+}
+
+// Verify checks an ECDSA signature over a 32-byte message digest.
+func (pub PublicKey) Verify(digest []byte, sig Signature) bool {
+	if pub.Infinity() || !pub.OnCurve() {
+		return false
+	}
+	r, s := sig.R, sig.S
+	if r == nil || s == nil || r.Sign() <= 0 || s.Sign() <= 0 || r.Cmp(N) >= 0 || s.Cmp(N) >= 0 {
+		return false
+	}
+	z := hashToInt(digest)
+	w := new(big.Int).ModInverse(s, N)
+	u1 := new(big.Int).Mul(z, w)
+	u1.Mod(u1, N)
+	u2 := new(big.Int).Mul(r, w)
+	u2.Mod(u2, N)
+
+	p1 := fromAffine(BaseMult(u1))
+	p2 := fromAffine(ScalarMult(pub.Point, u2))
+	sum := newJac()
+	sum.add(p1, p2)
+	if sum.infinity() {
+		return false
+	}
+	pt := sum.toAffine()
+	v := new(big.Int).Mod(pt.X, N)
+	return v.Cmp(r) == 0
+}

@@ -1,0 +1,350 @@
+package secp256k1
+
+import (
+	"crypto/sha256"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeneratorOnCurve(t *testing.T) {
+	g := Point{Gx, Gy}
+	if !g.OnCurve() {
+		t.Fatal("generator not on curve")
+	}
+}
+
+// TestKnownMultiples checks k·G against the well-known public keys of
+// private keys 1 and 2.
+func TestKnownMultiples(t *testing.T) {
+	g := Point{Gx, Gy}
+	one := BaseMult(big.NewInt(1))
+	if !one.Equal(g) {
+		t.Fatalf("1·G = %v, want G", one)
+	}
+	two := BaseMult(big.NewInt(2))
+	wantX, _ := new(big.Int).SetString("c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5", 16)
+	wantY, _ := new(big.Int).SetString("1ae168fea63dc339a3c58419466ceaeef7f632653266d0e1236431a950cfe52a", 16)
+	if two.X.Cmp(wantX) != 0 || two.Y.Cmp(wantY) != 0 {
+		t.Fatalf("2·G = (%x, %x), want (%x, %x)", two.X, two.Y, wantX, wantY)
+	}
+	if !two.OnCurve() {
+		t.Fatal("2·G not on curve")
+	}
+	if !two.Equal(Double(g)) {
+		t.Fatal("Double(G) != 2·G")
+	}
+	if !two.Equal(Add(g, g)) {
+		t.Fatal("Add(G, G) != 2·G")
+	}
+}
+
+func TestOrderAnnihilatesGenerator(t *testing.T) {
+	if !BaseMult(N).Infinity() {
+		t.Fatal("N·G is not the point at infinity")
+	}
+	if !ScalarMult(Point{Gx, Gy}, N).Infinity() {
+		t.Fatal("slow N·G is not the point at infinity")
+	}
+}
+
+func TestBaseMultMatchesSlow(t *testing.T) {
+	ks := []*big.Int{
+		big.NewInt(3),
+		big.NewInt(255),
+		big.NewInt(256),
+		big.NewInt(65537),
+		new(big.Int).Sub(N, big.NewInt(1)),
+		new(big.Int).Rsh(N, 1),
+	}
+	for _, k := range ks {
+		fast := BaseMult(k)
+		slow := BaseMultSlow(k)
+		if !fast.Equal(slow) {
+			t.Fatalf("BaseMult(%v) != BaseMultSlow", k)
+		}
+	}
+}
+
+func TestScalarMultDistributes(t *testing.T) {
+	// (a+b)·G == a·G + b·G for random-ish scalars.
+	f := func(a, b uint64) bool {
+		ba := new(big.Int).SetUint64(a)
+		bb := new(big.Int).SetUint64(b)
+		// Stretch into full-width scalars so the whole table is exercised.
+		ba.Mul(ba, ba).Mul(ba, ba)
+		bb.Mul(bb, bb).Mul(bb, bb)
+		sum := new(big.Int).Add(ba, bb)
+		lhs := BaseMult(sum)
+		rhs := Add(BaseMult(ba), BaseMult(bb))
+		return lhs.Equal(rhs)
+	}
+	cfg := &quick.Config{MaxCount: 16}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddCommutesAndAssociates(t *testing.T) {
+	p := BaseMult(big.NewInt(11))
+	q := BaseMult(big.NewInt(29))
+	r := BaseMult(big.NewInt(1020304))
+	if !Add(p, q).Equal(Add(q, p)) {
+		t.Fatal("addition not commutative")
+	}
+	if !Add(Add(p, q), r).Equal(Add(p, Add(q, r))) {
+		t.Fatal("addition not associative")
+	}
+}
+
+func TestNegation(t *testing.T) {
+	p := BaseMult(big.NewInt(12345))
+	if !Add(p, Neg(p)).Infinity() {
+		t.Fatal("p + (−p) is not infinity")
+	}
+	nm1 := new(big.Int).Sub(N, big.NewInt(12345))
+	if !BaseMult(nm1).Equal(Neg(p)) {
+		t.Fatal("(N−k)·G != −(k·G)")
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	priv, err := GenerateKey([]byte("sequencer-epoch-7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := sha256.Sum256([]byte("aom message 42"))
+	sig := priv.Sign(digest[:])
+	if !priv.Pub.Verify(digest[:], sig) {
+		t.Fatal("valid signature rejected")
+	}
+	// Tampered digest must fail.
+	bad := digest
+	bad[0] ^= 1
+	if priv.Pub.Verify(bad[:], sig) {
+		t.Fatal("signature accepted for wrong digest")
+	}
+	// Tampered signature must fail.
+	badSig := Signature{R: new(big.Int).Add(sig.R, big.NewInt(1)), S: sig.S}
+	if priv.Pub.Verify(digest[:], badSig) {
+		t.Fatal("tampered signature accepted")
+	}
+	// Wrong key must fail.
+	other, _ := GenerateKey([]byte("different key"))
+	if other.Pub.Verify(digest[:], sig) {
+		t.Fatal("signature accepted under wrong public key")
+	}
+}
+
+func TestSignDeterministic(t *testing.T) {
+	priv, _ := GenerateKey([]byte("det"))
+	digest := sha256.Sum256([]byte("msg"))
+	s1 := priv.Sign(digest[:])
+	s2 := priv.Sign(digest[:])
+	if s1.R.Cmp(s2.R) != 0 || s1.S.Cmp(s2.S) != 0 {
+		t.Fatal("deterministic signing produced differing signatures")
+	}
+}
+
+func TestSignLowS(t *testing.T) {
+	priv, _ := GenerateKey([]byte("lows"))
+	for i := 0; i < 8; i++ {
+		digest := sha256.Sum256([]byte{byte(i)})
+		sig := priv.Sign(digest[:])
+		if sig.S.Cmp(halfN) > 0 {
+			t.Fatal("signature s not normalized to low half")
+		}
+	}
+}
+
+func TestSignatureEncoding(t *testing.T) {
+	priv, _ := GenerateKey([]byte("enc"))
+	digest := sha256.Sum256([]byte("round trip"))
+	sig := priv.Sign(digest[:])
+	enc := sig.Encode()
+	dec, err := DecodeSignature(enc[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.R.Cmp(sig.R) != 0 || dec.S.Cmp(sig.S) != 0 {
+		t.Fatal("signature encode/decode mismatch")
+	}
+	if _, err := DecodeSignature(enc[:40]); err == nil {
+		t.Fatal("short signature accepted")
+	}
+	var zero [SignatureSize]byte
+	if _, err := DecodeSignature(zero[:]); err == nil {
+		t.Fatal("zero signature accepted")
+	}
+}
+
+func TestPointCompression(t *testing.T) {
+	for _, seed := range []string{"a", "b", "c", "d"} {
+		priv, _ := GenerateKey([]byte(seed))
+		enc := priv.Pub.EncodeCompressed()
+		dec, err := DecodeCompressed(enc[:])
+		if err != nil {
+			t.Fatalf("seed %q: %v", seed, err)
+		}
+		if !dec.Equal(priv.Pub.Point) {
+			t.Fatalf("seed %q: compression round trip mismatch", seed)
+		}
+	}
+	// x with no square root must be rejected.
+	var bad [CompressedPointSize]byte
+	bad[0] = 0x02
+	bad[32] = 0x05 // x=5: 5³+7=132 is not a QR mod p for secp256k1
+	if _, err := DecodeCompressed(bad[:]); err == nil {
+		// If 132 happens to be a QR the decode succeeds but must be on curve.
+		pub, _ := DecodeCompressed(bad[:])
+		if !pub.OnCurve() {
+			t.Fatal("off-curve point decoded")
+		}
+	}
+}
+
+func TestInvalidKeys(t *testing.T) {
+	if _, err := NewPrivateKey(big.NewInt(0)); err == nil {
+		t.Fatal("zero key accepted")
+	}
+	if _, err := NewPrivateKey(N); err == nil {
+		t.Fatal("key = N accepted")
+	}
+	if _, err := NewPrivateKey(nil); err == nil {
+		t.Fatal("nil key accepted")
+	}
+}
+
+func TestGenerateKeyDistinct(t *testing.T) {
+	a, _ := GenerateKey([]byte("x"))
+	b, _ := GenerateKey([]byte("y"))
+	if a.D.Cmp(b.D) == 0 {
+		t.Fatal("different seeds produced identical keys")
+	}
+	a2, _ := GenerateKey([]byte("x"))
+	if a.D.Cmp(a2.D) != 0 {
+		t.Fatal("key generation is not deterministic in the seed")
+	}
+}
+
+func BenchmarkSign(b *testing.B) {
+	priv, _ := GenerateKey([]byte("bench"))
+	digest := sha256.Sum256([]byte("bench msg"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		priv.Sign(digest[:])
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	priv, _ := GenerateKey([]byte("bench"))
+	digest := sha256.Sum256([]byte("bench msg"))
+	sig := priv.Sign(digest[:])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !priv.Pub.Verify(digest[:], sig) {
+			b.Fatal("verify failed")
+		}
+	}
+}
+
+func BenchmarkBaseMult(b *testing.B) {
+	k, _ := new(big.Int).SetString("deadbeefcafebabe0123456789abcdef00000000000000000000000000001234", 16)
+	BaseMult(k) // warm table
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BaseMult(k)
+	}
+}
+
+func BenchmarkBaseMultSlow(b *testing.B) {
+	k, _ := new(big.Int).SetString("deadbeefcafebabe0123456789abcdef00000000000000000000000000001234", 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BaseMultSlow(k)
+	}
+}
+
+func TestTableVerifier(t *testing.T) {
+	priv, _ := GenerateKey([]byte("tv"))
+	tv := NewTableVerifier(priv.Pub)
+	digest := sha256.Sum256([]byte("msg"))
+	sig := priv.Sign(digest[:])
+	if !tv.Verify(digest[:], sig) {
+		t.Fatal("table verifier rejected valid signature")
+	}
+	bad := digest
+	bad[5] ^= 1
+	if tv.Verify(bad[:], sig) {
+		t.Fatal("table verifier accepted wrong digest")
+	}
+	other, _ := GenerateKey([]byte("tv2"))
+	if NewTableVerifier(other.Pub).Verify(digest[:], sig) {
+		t.Fatal("table verifier accepted signature under wrong key")
+	}
+	if NewTableVerifier(PublicKey{}).Verify(digest[:], sig) {
+		t.Fatal("infinity-key verifier accepted a signature")
+	}
+}
+
+func TestTableVerifierMatchesGeneric(t *testing.T) {
+	priv, _ := GenerateKey([]byte("cmp"))
+	tv := NewTableVerifier(priv.Pub)
+	for i := 0; i < 4; i++ {
+		digest := sha256.Sum256([]byte{byte(i)})
+		sig := priv.Sign(digest[:])
+		if tv.Verify(digest[:], sig) != priv.Pub.Verify(digest[:], sig) {
+			t.Fatal("table and generic verifiers disagree")
+		}
+	}
+}
+
+func BenchmarkTableVerify(b *testing.B) {
+	priv, _ := GenerateKey([]byte("bench"))
+	tv := NewTableVerifier(priv.Pub)
+	digest := sha256.Sum256([]byte("bench msg"))
+	sig := priv.Sign(digest[:])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !tv.Verify(digest[:], sig) {
+			b.Fatal("verify failed")
+		}
+	}
+}
+
+func TestNonceDomainSeparation(t *testing.T) {
+	// Different digests must produce different nonces (same key): if two
+	// signatures shared a nonce, r would repeat and the key would leak.
+	priv, _ := GenerateKey([]byte("nonce"))
+	seen := map[string]bool{}
+	for i := 0; i < 16; i++ {
+		digest := sha256.Sum256([]byte{byte(i)})
+		sig := priv.Sign(digest[:])
+		r := sig.R.String()
+		if seen[r] {
+			t.Fatal("nonce (r value) repeated across distinct digests")
+		}
+		seen[r] = true
+	}
+}
+
+func TestDecodeCompressedGenerator(t *testing.T) {
+	g := PublicKey{Point{Gx, Gy}}
+	enc := g.EncodeCompressed()
+	dec, err := DecodeCompressed(enc[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Equal(g.Point) {
+		t.Fatal("generator compression round trip failed")
+	}
+	// Flipped parity bit decodes to the negated point.
+	enc[0] ^= 1
+	neg, err := DecodeCompressed(enc[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !neg.Equal(Neg(g.Point)) {
+		t.Fatal("parity flip did not negate the point")
+	}
+}

@@ -1,0 +1,143 @@
+// Package siphash implements the SipHash-2-4 and HalfSipHash-2-4 keyed
+// pseudorandom functions from scratch.
+//
+// NeoBFT's aom-hm switch variant computes a vector of HalfSipHash-based
+// HMACs in the Tofino data plane (one 32-bit lane per receiver). This
+// package is the software equivalent of that hash engine: HalfSipHash-2-4
+// with a 64-bit key and 32-bit output mirrors the in-switch design, while
+// full SipHash-2-4 (128-bit key, 64-bit output) is provided for
+// higher-strength host-side MACs.
+//
+// Reference: Aumasson & Bernstein, "SipHash: a fast short-input PRF",
+// INDOCRYPT 2012, and the public-domain reference implementation.
+package siphash
+
+import "math/bits"
+
+// Key is a 128-bit SipHash key.
+type Key [16]byte
+
+// HalfKey is a 64-bit HalfSipHash key, the key size used by the in-switch
+// HMAC engine.
+type HalfKey [8]byte
+
+func le64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func le32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// Sum64 computes SipHash-2-4 of data under key k.
+func Sum64(k Key, data []byte) uint64 {
+	k0 := le64(k[0:8])
+	k1 := le64(k[8:16])
+
+	v0 := k0 ^ 0x736f6d6570736575
+	v1 := k1 ^ 0x646f72616e646f6d
+	v2 := k0 ^ 0x6c7967656e657261
+	v3 := k1 ^ 0x7465646279746573
+
+	round := func() {
+		v0 += v1
+		v1 = bits.RotateLeft64(v1, 13)
+		v1 ^= v0
+		v0 = bits.RotateLeft64(v0, 32)
+		v2 += v3
+		v3 = bits.RotateLeft64(v3, 16)
+		v3 ^= v2
+		v0 += v3
+		v3 = bits.RotateLeft64(v3, 21)
+		v3 ^= v0
+		v2 += v1
+		v1 = bits.RotateLeft64(v1, 17)
+		v1 ^= v2
+		v2 = bits.RotateLeft64(v2, 32)
+	}
+
+	n := len(data)
+	for len(data) >= 8 {
+		m := le64(data)
+		v3 ^= m
+		round()
+		round()
+		v0 ^= m
+		data = data[8:]
+	}
+
+	var b uint64 = uint64(n) << 56
+	for i := len(data) - 1; i >= 0; i-- {
+		b |= uint64(data[i]) << (8 * uint(i))
+	}
+	v3 ^= b
+	round()
+	round()
+	v0 ^= b
+
+	v2 ^= 0xff
+	round()
+	round()
+	round()
+	round()
+	return v0 ^ v1 ^ v2 ^ v3
+}
+
+// Sum32 computes HalfSipHash-2-4 of data under key k, returning the 32-bit
+// digest used as one lane of an aom-hm HMAC vector.
+func Sum32(k HalfKey, data []byte) uint32 {
+	k0 := le32(k[0:4])
+	k1 := le32(k[4:8])
+
+	var v0, v1 uint32
+	v2 := uint32(0x6c796765)
+	v3 := uint32(0x74656462)
+	v0 ^= k0
+	v1 ^= k1
+	v2 ^= k0
+	v3 ^= k1
+
+	round := func() {
+		v0 += v1
+		v1 = bits.RotateLeft32(v1, 5)
+		v1 ^= v0
+		v0 = bits.RotateLeft32(v0, 16)
+		v2 += v3
+		v3 = bits.RotateLeft32(v3, 8)
+		v3 ^= v2
+		v0 += v3
+		v3 = bits.RotateLeft32(v3, 7)
+		v3 ^= v0
+		v2 += v1
+		v1 = bits.RotateLeft32(v1, 13)
+		v1 ^= v2
+		v2 = bits.RotateLeft32(v2, 16)
+	}
+
+	n := len(data)
+	for len(data) >= 4 {
+		m := le32(data)
+		v3 ^= m
+		round()
+		round()
+		v0 ^= m
+		data = data[4:]
+	}
+
+	var b uint32 = uint32(n) << 24
+	for i := len(data) - 1; i >= 0; i-- {
+		b |= uint32(data[i]) << (8 * uint(i))
+	}
+	v3 ^= b
+	round()
+	round()
+	v0 ^= b
+
+	v2 ^= 0xff
+	round()
+	round()
+	round()
+	round()
+	return v1 ^ v3
+}

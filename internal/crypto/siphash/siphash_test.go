@@ -1,0 +1,172 @@
+package siphash
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// refKey is the key 00 01 02 ... 0f used by the SipHash reference test
+// vectors (Appendix A of the SipHash paper).
+func refKey() Key {
+	var k Key
+	for i := range k {
+		k[i] = byte(i)
+	}
+	return k
+}
+
+func refHalfKey() HalfKey {
+	var k HalfKey
+	for i := range k {
+		k[i] = byte(i)
+	}
+	return k
+}
+
+// TestSum64PaperVector checks the test vector printed in Appendix A of
+// the SipHash paper: key 000102...0f, message 000102...0e (15 bytes).
+func TestSum64PaperVector(t *testing.T) {
+	msg := make([]byte, 15)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	got := Sum64(refKey(), msg)
+	const want uint64 = 0xa129ca6149be45e5
+	if got != want {
+		t.Fatalf("Sum64(paper vector) = %#016x, want %#016x", got, want)
+	}
+}
+
+// TestSum64ReferenceVectors checks the first entries of the reference
+// implementation's vectors_sip64 table (message is 0,1,2,... of increasing
+// length under the reference key).
+func TestSum64ReferenceVectors(t *testing.T) {
+	want := []uint64{
+		0x726fdb47dd0e0e31, // len 0
+		0x74f839c593dc67fd, // len 1
+		0x0d6c8009d9a94f5a, // len 2
+		0x85676696d7fb7e2d, // len 3
+		0xcf2794e0277187b7, // len 4
+		0x18765564cd99a68d, // len 5
+		0xcbc9466e58fee3ce, // len 6
+		0xab0200f58b01d137, // len 7
+		0x93f5f5799a932462, // len 8
+	}
+	k := refKey()
+	msg := make([]byte, 0, len(want))
+	for i, w := range want {
+		if got := Sum64(k, msg); got != w {
+			t.Errorf("Sum64(len %d) = %#016x, want %#016x", i, got, w)
+		}
+		msg = append(msg, byte(i))
+	}
+}
+
+func TestSum64KeySensitivity(t *testing.T) {
+	msg := []byte("authenticated ordered multicast")
+	k1 := refKey()
+	k2 := refKey()
+	k2[0] ^= 1
+	if Sum64(k1, msg) == Sum64(k2, msg) {
+		t.Fatal("flipping one key bit did not change the digest")
+	}
+}
+
+func TestSum32KeySensitivity(t *testing.T) {
+	msg := []byte("aom")
+	k1 := refHalfKey()
+	k2 := refHalfKey()
+	k2[7] ^= 0x80
+	if Sum32(k1, msg) == Sum32(k2, msg) {
+		t.Fatal("flipping one key bit did not change the digest")
+	}
+}
+
+func TestSum32MessageSensitivity(t *testing.T) {
+	k := refHalfKey()
+	seen := make(map[uint32][]byte)
+	msg := make([]byte, 64)
+	for i := range msg {
+		msg[i] = byte(i * 7)
+	}
+	for i := 0; i <= len(msg); i++ {
+		d := Sum32(k, msg[:i])
+		if prev, ok := seen[d]; ok {
+			t.Fatalf("collision between prefixes of length %d and %d", len(prev), i)
+		}
+		seen[d] = msg[:i]
+	}
+}
+
+// TestSum64LengthInDigest verifies that messages differing only by
+// trailing zero bytes hash differently (the length byte is mixed in).
+func TestSum64LengthInDigest(t *testing.T) {
+	k := refKey()
+	a := []byte{1, 2, 3}
+	b := []byte{1, 2, 3, 0}
+	if Sum64(k, a) == Sum64(k, b) {
+		t.Fatal("length extension by zero byte did not change digest")
+	}
+}
+
+func TestSum64Deterministic(t *testing.T) {
+	f := func(key [16]byte, msg []byte) bool {
+		return Sum64(Key(key), msg) == Sum64(Key(key), msg)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSum32Deterministic(t *testing.T) {
+	f := func(key [8]byte, msg []byte) bool {
+		return Sum32(HalfKey(key), msg) == Sum32(HalfKey(key), msg)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSum32Distribution sanity-checks that digests of a counter sequence
+// look uniform-ish (every output byte takes many values). A grossly broken
+// round function tends to fail this.
+func TestSum32Distribution(t *testing.T) {
+	k := refHalfKey()
+	var buckets [4]map[byte]bool
+	for i := range buckets {
+		buckets[i] = make(map[byte]bool)
+	}
+	var msg [8]byte
+	for i := 0; i < 1024; i++ {
+		msg[0] = byte(i)
+		msg[1] = byte(i >> 8)
+		d := Sum32(k, msg[:])
+		for j := 0; j < 4; j++ {
+			buckets[j][byte(d>>(8*j))] = true
+		}
+	}
+	for j, b := range buckets {
+		if len(b) < 200 {
+			t.Errorf("output byte %d takes only %d distinct values over 1024 inputs", j, len(b))
+		}
+	}
+}
+
+func BenchmarkSum64_16B(b *testing.B) {
+	k := refKey()
+	msg := make([]byte, 16)
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		Sum64(k, msg)
+	}
+}
+
+func BenchmarkSum32_40B(b *testing.B) {
+	// 40 bytes ~ digest(32) + seq(8): the aom-hm MAC input.
+	k := refHalfKey()
+	msg := make([]byte, 40)
+	b.SetBytes(40)
+	for i := 0; i < b.N; i++ {
+		Sum32(k, msg)
+	}
+}

@@ -1,0 +1,515 @@
+// Package hotstuff implements chained HotStuff (Yin et al., PODC '19),
+// the linear-communication BFT baseline of the paper's evaluation. A
+// rotating leader proposes blocks that carry a quorum certificate (QC)
+// over the previous block; replicas vote to the next leader; a block
+// commits once it heads a three-chain of consecutive QCs. The extra
+// phase buys O(N) view changes at the price of one more round — which is
+// why HotStuff has the highest commit latency in Fig 7.
+//
+// The timeout pacemaker is omitted: the evaluation exercises the
+// fault-free pipeline (leaders rotate via QC formation).
+package hotstuff
+
+import (
+	"crypto/sha256"
+	"sync"
+
+	"neobft/internal/crypto/auth"
+	"neobft/internal/replication"
+	"neobft/internal/transport"
+	"neobft/internal/wire"
+)
+
+// Message kinds.
+const (
+	kindPropose uint8 = replication.KindProtocolBase + iota
+	kindVote
+)
+
+// Config configures a HotStuff replica.
+type Config struct {
+	Self, N, F int
+	Members    []transport.NodeID
+	Conn       transport.Conn
+	Auth       auth.Authenticator
+	ClientAuth *auth.ReplicaSide
+	App        replication.App
+	// BatchSize caps requests per block (default 8).
+	BatchSize int
+}
+
+type qc struct {
+	view  uint64
+	block [32]byte
+	parts []part
+}
+
+type part struct {
+	Replica uint32
+	Tag     []byte
+}
+
+type block struct {
+	hash    [32]byte
+	view    uint64
+	height  uint64
+	parent  [32]byte
+	digest  [32]byte
+	batch   []*replication.Request
+	justify *qc
+}
+
+// Replica is a HotStuff replica.
+type Replica struct {
+	cfg  Config
+	conn transport.Conn
+
+	mu        sync.Mutex
+	blocks    map[[32]byte]*block
+	highQC    *qc
+	lockedQC  *qc
+	votes     map[[32]byte]map[uint32][]byte // block hash → replica → tag
+	voted     map[uint64]bool                // views this replica voted in
+	proposed  map[uint64]bool                // views this replica proposed in
+	lastExec  uint64                         // height executed through
+	committed map[[32]byte]bool
+	pending   []*replication.Request
+	inQueue   map[string]bool
+	table     *replication.ClientTable
+
+	executedOps uint64
+}
+
+var genesisHash [32]byte
+
+// New creates and starts a HotStuff replica.
+func New(cfg Config) *Replica {
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 8
+	}
+	r := &Replica{
+		cfg:       cfg,
+		conn:      cfg.Conn,
+		blocks:    map[[32]byte]*block{},
+		votes:     map[[32]byte]map[uint32][]byte{},
+		voted:     map[uint64]bool{},
+		proposed:  map[uint64]bool{},
+		committed: map[[32]byte]bool{},
+		inQueue:   map[string]bool{},
+		table:     replication.NewClientTable(),
+	}
+	// Genesis block at height 0 with a genesis QC at view 0.
+	g := &block{hash: genesisHash, view: 0, height: 0}
+	r.blocks[genesisHash] = g
+	r.highQC = &qc{view: 0, block: genesisHash}
+	r.lockedQC = r.highQC
+	cfg.Conn.SetHandler(r.handle)
+	return r
+}
+
+// Close is a no-op (no timers in the fault-free pipeline).
+func (r *Replica) Close() {}
+
+// Executed returns the number of executed client operations.
+func (r *Replica) Executed() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.executedOps
+}
+
+func (r *Replica) leaderOf(view uint64) int { return int(view) % r.cfg.N }
+
+func (r *Replica) broadcast(pkt []byte) {
+	for i, m := range r.cfg.Members {
+		if i == r.cfg.Self {
+			continue
+		}
+		r.conn.Send(m, pkt)
+	}
+}
+
+func blockHash(view, height uint64, parent, digest, qcBlock [32]byte) [32]byte {
+	w := wire.NewWriter(128)
+	w.Raw([]byte("hs-block"))
+	w.U64(view)
+	w.U64(height)
+	w.Bytes32(parent)
+	w.Bytes32(digest)
+	w.Bytes32(qcBlock)
+	return sha256.Sum256(w.Bytes())
+}
+
+func voteBody(view uint64, hash [32]byte, replica uint32) []byte {
+	w := wire.NewWriter(64)
+	w.Raw([]byte("hs-vote"))
+	w.U64(view)
+	w.Bytes32(hash)
+	w.U32(replica)
+	return w.Bytes()
+}
+
+func proposeBody(view uint64, hash [32]byte) []byte {
+	w := wire.NewWriter(64)
+	w.Raw([]byte("hs-prop"))
+	w.U64(view)
+	w.Bytes32(hash)
+	return w.Bytes()
+}
+
+func batchDigest(batch []*replication.Request) [32]byte {
+	var acc [32]byte
+	for _, req := range batch {
+		acc = replication.ChainHash(acc, replication.RequestDigest(req))
+	}
+	return acc
+}
+
+func reqKey(c transport.NodeID, id uint64) string {
+	w := wire.NewWriter(12)
+	w.U32(uint32(c))
+	w.U64(id)
+	return string(w.Bytes())
+}
+
+func (r *Replica) handle(from transport.NodeID, pkt []byte) {
+	if len(pkt) == 0 {
+		return
+	}
+	switch pkt[0] {
+	case replication.KindRequest:
+		r.onRequest(pkt[1:])
+	case kindPropose:
+		r.onPropose(pkt[1:])
+	case kindVote:
+		r.onVote(pkt[1:])
+	}
+}
+
+func (r *Replica) onRequest(body []byte) {
+	req, err := replication.UnmarshalRequest(body)
+	if err != nil {
+		return
+	}
+	if !r.cfg.ClientAuth.VerifyClient(int64(req.Client), req.SignedBody(), req.Auth) {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fresh, cached := r.table.Check(req.Client, req.ReqID)
+	if !fresh {
+		if cached != nil {
+			r.conn.Send(req.Client, cached.Marshal())
+		}
+		return
+	}
+	key := reqKey(req.Client, req.ReqID)
+	if !r.inQueue[key] {
+		r.inQueue[key] = true
+		r.pending = append(r.pending, req)
+	}
+	r.tryProposeLocked()
+}
+
+// tryProposeLocked proposes a block if this replica leads the view after
+// the highest QC and has something to propose (requests, or uncommitted
+// blocks that need the pipeline flushed). Caller holds r.mu.
+func (r *Replica) tryProposeLocked() {
+	view := r.highQC.view + 1
+	if r.leaderOf(view) != r.cfg.Self || r.proposed[view] {
+		return
+	}
+	// Filter requests that other leaders already committed.
+	live := r.pending[:0]
+	for _, req := range r.pending {
+		if fresh, _ := r.table.Check(req.Client, req.ReqID); fresh && r.inQueue[reqKey(req.Client, req.ReqID)] {
+			live = append(live, req)
+		}
+	}
+	r.pending = live
+	needFlush := r.uncommittedAboveLocked(r.highQC.block)
+	if len(r.pending) == 0 && !needFlush {
+		return
+	}
+	n := len(r.pending)
+	if n > r.cfg.BatchSize {
+		n = r.cfg.BatchSize
+	}
+	batch := append([]*replication.Request(nil), r.pending[:n]...)
+	r.pending = r.pending[n:]
+
+	parent := r.blocks[r.highQC.block]
+	if parent == nil {
+		return
+	}
+	digest := batchDigest(batch)
+	h := blockHash(view, parent.height+1, parent.hash, digest, r.highQC.block)
+	b := &block{
+		hash: h, view: view, height: parent.height + 1,
+		parent: parent.hash, digest: digest, batch: batch, justify: r.highQC,
+	}
+	r.blocks[h] = b
+	r.proposed[view] = true
+
+	body := proposeBody(view, h)
+	w := wire.NewWriter(1024)
+	w.U8(kindPropose)
+	w.VarBytes(body)
+	w.VarBytes(r.cfg.Auth.TagVector(body))
+	w.U64(view)
+	w.U64(b.height)
+	w.Bytes32(b.parent)
+	w.Bytes32(b.digest)
+	w.U32(uint32(len(batch)))
+	for _, req := range batch {
+		w.VarBytes(req.Marshal()[1:])
+	}
+	// justify QC
+	w.U64(b.justify.view)
+	w.Bytes32(b.justify.block)
+	w.U32(uint32(len(b.justify.parts)))
+	for _, p := range b.justify.parts {
+		w.U32(p.Replica)
+		w.VarBytes(p.Tag)
+	}
+	r.broadcast(w.Bytes())
+	// The proposer processes its own block (votes, commit rule).
+	r.processBlockLocked(b)
+}
+
+// uncommittedAboveLocked reports whether the chain tip has blocks that
+// still need pipeline progress to commit. Caller holds r.mu.
+func (r *Replica) uncommittedAboveLocked(tip [32]byte) bool {
+	b := r.blocks[tip]
+	return b != nil && b.height > r.lastExec
+}
+
+func (r *Replica) onPropose(pkt []byte) {
+	rd := wire.NewReader(pkt)
+	body := rd.VarBytes()
+	tag := append([]byte(nil), rd.VarBytes()...)
+	view := rd.U64()
+	height := rd.U64()
+	parent := rd.Bytes32()
+	digest := rd.Bytes32()
+	nb := rd.U32()
+	if rd.Err() != nil || nb > 1<<16 {
+		return
+	}
+	batch := make([]*replication.Request, nb)
+	for i := range batch {
+		req, err := replication.UnmarshalRequest(rd.VarBytes())
+		if err != nil {
+			return
+		}
+		batch[i] = req
+	}
+	qcView := rd.U64()
+	qcBlock := rd.Bytes32()
+	np := rd.U32()
+	if rd.Err() != nil || np > uint32(r.cfg.N) {
+		return
+	}
+	parts := make([]part, np)
+	for i := range parts {
+		parts[i].Replica = rd.U32()
+		parts[i].Tag = append([]byte(nil), rd.VarBytes()...)
+	}
+	if rd.Done() != nil {
+		return
+	}
+	br := wire.NewReader(body)
+	if !br.Prefix("hs-prop") {
+		return
+	}
+	bView := br.U64()
+	bHash := br.Bytes32()
+	if br.Done() != nil || bView != view {
+		return
+	}
+	if batchDigest(batch) != digest {
+		return
+	}
+	if blockHash(view, height, parent, digest, qcBlock) != bHash {
+		return
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.cfg.Auth.VerifyVector(r.leaderOf(view), body, tag) {
+		return
+	}
+	j := &qc{view: qcView, block: qcBlock, parts: parts}
+	if !r.validQCLocked(j) {
+		return
+	}
+	if _, dup := r.blocks[bHash]; dup {
+		return
+	}
+	pb := r.blocks[parent]
+	if pb == nil || pb.height+1 != height || parent != qcBlock {
+		return // chained HotStuff: blocks extend the justified block
+	}
+	b := &block{hash: bHash, view: view, height: height, parent: parent,
+		digest: digest, batch: batch, justify: j}
+	r.blocks[bHash] = b
+	// De-queue requests carried by the block.
+	for _, req := range batch {
+		delete(r.inQueue, reqKey(req.Client, req.ReqID))
+	}
+	r.processBlockLocked(b)
+}
+
+// validQCLocked verifies a quorum certificate (the genesis QC at view 0
+// is axiomatically valid). Caller holds r.mu.
+func (r *Replica) validQCLocked(q *qc) bool {
+	if q.view == 0 && q.block == genesisHash {
+		return true
+	}
+	seen := map[uint32]bool{}
+	valid := 0
+	for _, p := range q.parts {
+		if int(p.Replica) >= r.cfg.N || seen[p.Replica] {
+			continue
+		}
+		if !r.cfg.Auth.VerifyVector(int(p.Replica), voteBody(q.view, q.block, p.Replica), p.Tag) {
+			continue
+		}
+		seen[p.Replica] = true
+		valid++
+	}
+	return valid >= 2*r.cfg.F+1
+}
+
+// processBlockLocked applies the HotStuff state rules to a new block:
+// update highQC/lockedQC, run the three-chain commit rule, vote. Caller
+// holds r.mu.
+func (r *Replica) processBlockLocked(b *block) {
+	// Update the highest QC from the block's justify.
+	if b.justify.view > r.highQC.view {
+		r.highQC = b.justify
+	}
+	// Two-chain: lock the grandparent QC.
+	if jb := r.blocks[b.justify.block]; jb != nil && jb.justify != nil && jb.justify.view > r.lockedQC.view {
+		r.lockedQC = jb.justify
+	}
+	// Three-chain commit rule: b ← b1 ← b2 with consecutive heights.
+	if b1 := r.blocks[b.justify.block]; b1 != nil && b1.justify != nil {
+		if b2 := r.blocks[b1.justify.block]; b2 != nil && b1.parent == b2.hash && b.parent == b1.hash &&
+			b1.height == b2.height+1 && b.height == b1.height+1 {
+			r.commitLocked(b2)
+		}
+	}
+	// SafeNode: vote once per view, for blocks extending the locked block.
+	if !r.voted[b.view] && r.safeNodeLocked(b) {
+		r.voted[b.view] = true
+		vb := voteBody(b.view, b.hash, uint32(r.cfg.Self))
+		vt := r.cfg.Auth.TagVector(vb)
+		next := r.leaderOf(b.view + 1)
+		w := wire.NewWriter(128)
+		w.U8(kindVote)
+		w.U32(uint32(r.cfg.Self))
+		w.U64(b.view)
+		w.Bytes32(b.hash)
+		w.VarBytes(vt)
+		if next == r.cfg.Self {
+			r.recordVoteLocked(b.view, b.hash, uint32(r.cfg.Self), vt)
+		} else {
+			r.conn.Send(r.cfg.Members[next], w.Bytes())
+		}
+	}
+	r.tryProposeLocked()
+}
+
+// safeNodeLocked is the HotStuff voting rule. Caller holds r.mu.
+func (r *Replica) safeNodeLocked(b *block) bool {
+	if b.justify.view > r.lockedQC.view {
+		return true // liveness rule
+	}
+	// Safety rule: b extends the locked block.
+	h := b.parent
+	for {
+		if h == r.lockedQC.block {
+			return true
+		}
+		pb := r.blocks[h]
+		if pb == nil || pb.height == 0 {
+			return h == r.lockedQC.block
+		}
+		h = pb.parent
+	}
+}
+
+func (r *Replica) onVote(pkt []byte) {
+	rd := wire.NewReader(pkt)
+	replica := rd.U32()
+	view := rd.U64()
+	hash := rd.Bytes32()
+	tag := rd.VarBytes()
+	if rd.Done() != nil || int(replica) >= r.cfg.N {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.cfg.Auth.VerifyVector(int(replica), voteBody(view, hash, replica), tag) {
+		return
+	}
+	r.recordVoteLocked(view, hash, replica, append([]byte(nil), tag...))
+}
+
+func (r *Replica) recordVoteLocked(view uint64, hash [32]byte, replica uint32, tag []byte) {
+	m := r.votes[hash]
+	if m == nil {
+		m = map[uint32][]byte{}
+		r.votes[hash] = m
+	}
+	m[replica] = tag
+	if len(m) >= 2*r.cfg.F+1 && view >= r.highQC.view {
+		parts := make([]part, 0, len(m))
+		for rep, t := range m {
+			parts = append(parts, part{Replica: rep, Tag: t})
+		}
+		if view+1 > r.highQC.view {
+			r.highQC = &qc{view: view, block: hash, parts: parts}
+		}
+		r.tryProposeLocked()
+	}
+}
+
+// commitLocked executes a committed block and all uncommitted ancestors,
+// in height order. Caller holds r.mu.
+func (r *Replica) commitLocked(b *block) {
+	if r.committed[b.hash] || b.height <= r.lastExec {
+		return
+	}
+	// Collect the ancestor chain down to the last executed height.
+	var chain []*block
+	cur := b
+	for cur != nil && cur.height > r.lastExec && !r.committed[cur.hash] {
+		chain = append(chain, cur)
+		cur = r.blocks[cur.parent]
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		blk := chain[i]
+		r.committed[blk.hash] = true
+		r.lastExec = blk.height
+		for _, req := range blk.batch {
+			fresh, cached := r.table.Check(req.Client, req.ReqID)
+			if !fresh {
+				if cached != nil {
+					r.conn.Send(req.Client, cached.Marshal())
+				}
+				continue
+			}
+			result, _ := r.cfg.App.Execute(req.Op)
+			r.executedOps++
+			rep := &replication.Reply{
+				View: blk.view, Replica: uint32(r.cfg.Self), Slot: blk.height,
+				ReqID: req.ReqID, Result: result,
+			}
+			rep.Auth = r.cfg.ClientAuth.TagFor(int64(req.Client), rep.SignedBody())
+			r.table.Store(req.Client, req.ReqID, rep)
+			delete(r.inQueue, reqKey(req.Client, req.ReqID))
+			r.conn.Send(req.Client, rep.Marshal())
+		}
+	}
+}

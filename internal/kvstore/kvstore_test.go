@@ -1,0 +1,323 @@
+package kvstore
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// check validates B-Tree invariants: key ordering, node size bounds, and
+// uniform leaf depth.
+func (t *BTree) check() error {
+	_, err := t.root.check(true, "", "")
+	return err
+}
+
+func (n *node) check(isRoot bool, lo, hi string) (int, error) {
+	if !isRoot && len(n.items) < degree-1 {
+		return 0, fmt.Errorf("node underflow: %d items", len(n.items))
+	}
+	if len(n.items) > 2*degree-1 {
+		return 0, fmt.Errorf("node overflow: %d items", len(n.items))
+	}
+	for i := range n.items {
+		k := n.items[i].key
+		if i > 0 && n.items[i-1].key >= k {
+			return 0, fmt.Errorf("unsorted keys %q >= %q", n.items[i-1].key, k)
+		}
+		if lo != "" && k <= lo {
+			return 0, fmt.Errorf("key %q <= lower bound %q", k, lo)
+		}
+		if hi != "" && k >= hi {
+			return 0, fmt.Errorf("key %q >= upper bound %q", k, hi)
+		}
+	}
+	if n.leaf() {
+		return 0, nil
+	}
+	if len(n.children) != len(n.items)+1 {
+		return 0, fmt.Errorf("%d children for %d items", len(n.children), len(n.items))
+	}
+	depth := -1
+	for i, c := range n.children {
+		clo, chi := lo, hi
+		if i > 0 {
+			clo = n.items[i-1].key
+		}
+		if i < len(n.items) {
+			chi = n.items[i].key
+		}
+		d, err := c.check(false, clo, chi)
+		if err != nil {
+			return 0, err
+		}
+		if depth == -1 {
+			depth = d
+		} else if depth != d {
+			return 0, fmt.Errorf("leaf depth mismatch: %d vs %d", depth, d)
+		}
+	}
+	return depth + 1, nil
+}
+
+func TestBTreeBasic(t *testing.T) {
+	bt := NewBTree()
+	if _, found := bt.Get("missing"); found {
+		t.Fatal("found key in empty tree")
+	}
+	if old, existed := bt.Put("a", []byte("1")); existed || old != nil {
+		t.Fatal("fresh put reported existing key")
+	}
+	if old, existed := bt.Put("a", []byte("2")); !existed || string(old) != "1" {
+		t.Fatalf("overwrite: old=%q existed=%v", old, existed)
+	}
+	if v, found := bt.Get("a"); !found || string(v) != "2" {
+		t.Fatalf("get a = %q, %v", v, found)
+	}
+	if bt.Len() != 1 {
+		t.Fatalf("len = %d", bt.Len())
+	}
+	if old, existed := bt.Delete("a"); !existed || string(old) != "2" {
+		t.Fatalf("delete: %q %v", old, existed)
+	}
+	if bt.Len() != 0 {
+		t.Fatalf("len after delete = %d", bt.Len())
+	}
+	if _, existed := bt.Delete("a"); existed {
+		t.Fatal("double delete reported existing")
+	}
+}
+
+func TestBTreeAgainstMap(t *testing.T) {
+	// Randomized differential test against a reference map, with
+	// invariant checks along the way.
+	rng := rand.New(rand.NewSource(7))
+	bt := NewBTree()
+	ref := map[string]string{}
+	for i := 0; i < 20000; i++ {
+		key := fmt.Sprintf("key%04d", rng.Intn(3000))
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4: // put
+			val := fmt.Sprintf("v%d", i)
+			old, existed := bt.Put(key, []byte(val))
+			refOld, refExisted := ref[key]
+			if existed != refExisted || (existed && string(old) != refOld) {
+				t.Fatalf("put %q: old=%q/%v want %q/%v", key, old, existed, refOld, refExisted)
+			}
+			ref[key] = val
+		case 5, 6, 7: // get
+			v, found := bt.Get(key)
+			refV, refFound := ref[key]
+			if found != refFound || (found && string(v) != refV) {
+				t.Fatalf("get %q: %q/%v want %q/%v", key, v, found, refV, refFound)
+			}
+		default: // delete
+			old, existed := bt.Delete(key)
+			refOld, refExisted := ref[key]
+			if existed != refExisted || (existed && string(old) != refOld) {
+				t.Fatalf("delete %q: %q/%v want %q/%v", key, old, existed, refOld, refExisted)
+			}
+			delete(ref, key)
+		}
+		if i%997 == 0 {
+			if err := bt.check(); err != nil {
+				t.Fatalf("invariant violated after op %d: %v", i, err)
+			}
+			if bt.Len() != len(ref) {
+				t.Fatalf("size %d, want %d", bt.Len(), len(ref))
+			}
+		}
+	}
+	if err := bt.check(); err != nil {
+		t.Fatal(err)
+	}
+	if bt.Len() != len(ref) {
+		t.Fatalf("final size %d, want %d", bt.Len(), len(ref))
+	}
+}
+
+func TestBTreeScan(t *testing.T) {
+	bt := NewBTree()
+	var keys []string
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("k%05d", i*3)
+		keys = append(keys, k)
+		bt.Put(k, []byte(k))
+	}
+	var got []string
+	bt.Scan("k00300", "k00900", func(k string, v []byte) bool {
+		got = append(got, k)
+		return true
+	})
+	var want []string
+	for _, k := range keys {
+		if k >= "k00300" && k < "k00900" {
+			want = append(want, k)
+		}
+	}
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("scan returned %d keys, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("scan[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// Early termination.
+	count := 0
+	bt.Scan("", "", func(k string, v []byte) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("early-terminated scan visited %d", count)
+	}
+}
+
+func TestBTreeSequentialAndReverse(t *testing.T) {
+	for name, gen := range map[string]func(i int) string{
+		"ascending":  func(i int) string { return fmt.Sprintf("a%06d", i) },
+		"descending": func(i int) string { return fmt.Sprintf("a%06d", 99999-i) },
+	} {
+		bt := NewBTree()
+		for i := 0; i < 5000; i++ {
+			bt.Put(gen(i), []byte("x"))
+		}
+		if err := bt.check(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if bt.Len() != 5000 {
+			t.Fatalf("%s: len %d", name, bt.Len())
+		}
+		for i := 0; i < 5000; i++ {
+			if _, found := bt.Delete(gen(i)); !found {
+				t.Fatalf("%s: key %d missing at delete", name, i)
+			}
+		}
+		if bt.Len() != 0 {
+			t.Fatalf("%s: len %d after full delete", name, bt.Len())
+		}
+	}
+}
+
+func TestStoreExecuteAndUndo(t *testing.T) {
+	s := NewStore()
+	// Put with undo.
+	res, undo := s.Execute(EncodePut("k", []byte("v1")))
+	if res[0] != 0 { // existed = false
+		t.Fatalf("put result %v", res)
+	}
+	if undo == nil {
+		t.Fatal("put returned no undo")
+	}
+	res, undo2 := s.Execute(EncodePut("k", []byte("v2")))
+	if res[0] != 1 {
+		t.Fatalf("overwrite result %v", res)
+	}
+	// Undo the overwrite: k back to v1.
+	undo2()
+	if v, _ := s.Execute(EncodeGet("k")); string(v[5:]) != "v1" {
+		val, found := DecodeGetResult(v)
+		t.Fatalf("after undo: %q %v", val, found)
+	}
+	// Undo the original put: k gone.
+	undo()
+	res, _ = s.Execute(EncodeGet("k"))
+	if val, found := DecodeGetResult(res); found {
+		t.Fatalf("after full undo key still present: %q", val)
+	}
+}
+
+func TestStoreDeleteUndo(t *testing.T) {
+	s := NewStore()
+	s.Execute(EncodePut("k", []byte("v")))
+	res, undo := s.Execute(EncodeDelete("k"))
+	if res[0] != 1 || undo == nil {
+		t.Fatal("delete of present key must report existed and give undo")
+	}
+	undo()
+	res, _ = s.Execute(EncodeGet("k"))
+	if val, found := DecodeGetResult(res); !found || string(val) != "v" {
+		t.Fatalf("after delete-undo: %q %v", val, found)
+	}
+	// Deleting a missing key yields no undo.
+	if _, undo := s.Execute(EncodeDelete("missing")); undo != nil {
+		t.Fatal("delete of missing key returned undo")
+	}
+}
+
+func TestStoreScanOp(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 20; i++ {
+		s.Load(fmt.Sprintf("user%02d", i), []byte{byte(i)})
+	}
+	res, _ := s.Execute(EncodeScan("user05", "user15", 100))
+	count := uint32(res[0]) | uint32(res[1])<<8
+	if count != 10 {
+		t.Fatalf("scan count = %d, want 10", count)
+	}
+	res, _ = s.Execute(EncodeScan("user00", "", 3))
+	count = uint32(res[0])
+	if count != 3 {
+		t.Fatalf("limited scan count = %d, want 3", count)
+	}
+}
+
+func TestStoreBadOps(t *testing.T) {
+	s := NewStore()
+	for _, op := range [][]byte{nil, {0x99}, {OpPut}, {OpGet, 1, 2}} {
+		res, undo := s.Execute(op)
+		if undo != nil {
+			t.Fatalf("malformed op %v returned undo", op)
+		}
+		if len(res) == 0 || res[0] != 0xff {
+			t.Fatalf("malformed op %v result %v", op, res)
+		}
+	}
+}
+
+func TestBTreePutGetProperty(t *testing.T) {
+	f := func(keys []string) bool {
+		bt := NewBTree()
+		ref := map[string]bool{}
+		for _, k := range keys {
+			bt.Put(k, []byte(k))
+			ref[k] = true
+		}
+		if bt.Len() != len(ref) {
+			return false
+		}
+		for k := range ref {
+			v, found := bt.Get(k)
+			if !found || string(v) != k {
+				return false
+			}
+		}
+		return bt.check() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBTreePut(b *testing.B) {
+	bt := NewBTree()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt.Put(fmt.Sprintf("user%08d", i%100000), []byte("value"))
+	}
+}
+
+func BenchmarkBTreeGet(b *testing.B) {
+	bt := NewBTree()
+	for i := 0; i < 100000; i++ {
+		bt.Put(fmt.Sprintf("user%08d", i), []byte("value"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt.Get(fmt.Sprintf("user%08d", i%100000))
+	}
+}

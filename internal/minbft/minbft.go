@@ -1,0 +1,378 @@
+// Package minbft implements MinBFT (Veronese et al., 2013), the
+// trusted-component baseline of the paper's evaluation. Each replica owns
+// a USIG (unique sequential identifier generator, run in SGX in the
+// paper; see internal/usig): because the USIG makes equivocation
+// impossible, 2f+1 replicas suffice and agreement needs only two phases
+// — the primary's PREPARE (carrying a UI that fixes the order) and one
+// round of COMMITs, with execution after f+1 matching commits.
+//
+// The view-change protocol is out of scope (the evaluation exercises the
+// fault-free case); the authenticator complexity of the normal case —
+// O(N²) MACs, as Table 1 notes — is faithfully reproduced.
+package minbft
+
+import (
+	"sync"
+
+	"time"
+
+	"neobft/internal/crypto/auth"
+	"neobft/internal/replication"
+	"neobft/internal/transport"
+	"neobft/internal/usig"
+	"neobft/internal/wire"
+)
+
+// Message kinds.
+const (
+	kindPrepare uint8 = replication.KindProtocolBase + iota
+	kindCommit
+)
+
+// Config configures a MinBFT replica. N must be 2F+1.
+type Config struct {
+	Self, N, F int
+	Members    []transport.NodeID
+	Conn       transport.Conn
+	Auth       auth.Authenticator
+	ClientAuth *auth.ReplicaSide
+	App        replication.App
+	// USIG is the replica's trusted component.
+	USIG *usig.USIG
+	// BatchSize caps requests per prepare (default 8).
+	BatchSize int
+	// Window caps outstanding prepares (default 2).
+	Window int
+}
+
+type slot struct {
+	digest  [32]byte
+	batch   []*replication.Request
+	primUI  usig.UI
+	commits map[uint32]bool // replicas whose commit matched (incl. primary)
+	execed  bool
+}
+
+// Replica is a MinBFT replica.
+type Replica struct {
+	cfg  Config
+	conn transport.Conn
+
+	mu       sync.Mutex
+	view     uint64
+	slots    map[uint64]*slot // primary counter → slot
+	lastExec uint64           // last executed primary counter
+	lastSeen map[uint32]uint64
+	pending  []*replication.Request
+	inQueue  map[string]bool
+	table    *replication.ClientTable
+
+	executedOps uint64
+}
+
+// New creates and starts a MinBFT replica.
+func New(cfg Config) *Replica {
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 8
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 2
+	}
+	r := &Replica{
+		cfg:      cfg,
+		conn:     cfg.Conn,
+		slots:    map[uint64]*slot{},
+		lastSeen: map[uint32]uint64{},
+		inQueue:  map[string]bool{},
+		table:    replication.NewClientTable(),
+	}
+	cfg.Conn.SetHandler(r.handle)
+	return r
+}
+
+// Close is a no-op.
+func (r *Replica) Close() {}
+
+// Executed returns the number of executed client operations.
+func (r *Replica) Executed() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.executedOps
+}
+
+func (r *Replica) primary() int    { return int(r.view) % r.cfg.N }
+func (r *Replica) isPrimary() bool { return r.primary() == r.cfg.Self }
+
+func (r *Replica) broadcast(pkt []byte) {
+	for i, m := range r.cfg.Members {
+		if i == r.cfg.Self {
+			continue
+		}
+		r.conn.Send(m, pkt)
+	}
+}
+
+func prepareDigest(view uint64, batchD [32]byte) [32]byte {
+	w := wire.NewWriter(64)
+	w.Raw([]byte("minbft-prep"))
+	w.U64(view)
+	w.Bytes32(batchD)
+	return wire.Digest(w.Bytes())
+}
+
+func commitDigest(view uint64, replica uint32, primCounter uint64, batchD [32]byte) [32]byte {
+	w := wire.NewWriter(64)
+	w.Raw([]byte("minbft-commit"))
+	w.U64(view)
+	w.U32(replica)
+	w.U64(primCounter)
+	w.Bytes32(batchD)
+	return wire.Digest(w.Bytes())
+}
+
+func batchDigest(batch []*replication.Request) [32]byte {
+	var acc [32]byte
+	for _, req := range batch {
+		acc = replication.ChainHash(acc, replication.RequestDigest(req))
+	}
+	return acc
+}
+
+func reqKey(c transport.NodeID, id uint64) string {
+	w := wire.NewWriter(12)
+	w.U32(uint32(c))
+	w.U64(id)
+	return string(w.Bytes())
+}
+
+func (r *Replica) handle(from transport.NodeID, pkt []byte) {
+	if len(pkt) == 0 {
+		return
+	}
+	switch pkt[0] {
+	case replication.KindRequest:
+		r.onRequest(pkt[1:])
+	case kindPrepare:
+		r.onPrepare(pkt[1:])
+	case kindCommit:
+		r.onCommit(pkt[1:])
+	}
+}
+
+func (r *Replica) onRequest(body []byte) {
+	req, err := replication.UnmarshalRequest(body)
+	if err != nil {
+		return
+	}
+	if !r.cfg.ClientAuth.VerifyClient(int64(req.Client), req.SignedBody(), req.Auth) {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fresh, cached := r.table.Check(req.Client, req.ReqID)
+	if !fresh {
+		if cached != nil {
+			r.conn.Send(req.Client, cached.Marshal())
+		}
+		return
+	}
+	if !r.isPrimary() {
+		r.conn.Send(r.cfg.Members[r.primary()], append([]byte{replication.KindRequest}, body...))
+		return
+	}
+	key := reqKey(req.Client, req.ReqID)
+	if !r.inQueue[key] {
+		r.inQueue[key] = true
+		r.pending = append(r.pending, req)
+	}
+	r.tryIssueLocked()
+}
+
+func (r *Replica) tryIssueLocked() {
+	if !r.isPrimary() {
+		return
+	}
+	for len(r.pending) > 0 && r.cfg.USIG.Counter()-r.lastExec < uint64(r.cfg.Window) {
+		n := len(r.pending)
+		if n > r.cfg.BatchSize {
+			n = r.cfg.BatchSize
+		}
+		batch := r.pending[:n]
+		r.pending = r.pending[n:]
+		bd := batchDigest(batch)
+		ui := r.cfg.USIG.CreateUI(prepareDigest(r.view, bd))
+
+		s := &slot{digest: bd, batch: batch, primUI: ui, commits: map[uint32]bool{}}
+		r.slots[ui.Counter] = s
+
+		w := wire.NewWriter(512)
+		w.U8(kindPrepare)
+		w.U64(r.view)
+		w.U64(ui.Counter)
+		w.Bytes32(ui.Cert)
+		w.Bytes32(bd)
+		w.U32(uint32(len(batch)))
+		for _, req := range batch {
+			w.VarBytes(req.Marshal()[1:])
+		}
+		r.broadcast(w.Bytes())
+		r.maybeExecuteLocked()
+	}
+}
+
+func (r *Replica) onPrepare(pkt []byte) {
+	rd := wire.NewReader(pkt)
+	view := rd.U64()
+	counter := rd.U64()
+	cert := rd.Bytes32()
+	bd := rd.Bytes32()
+	nb := rd.U32()
+	if rd.Err() != nil || nb > 1<<16 {
+		return
+	}
+	batch := make([]*replication.Request, nb)
+	for i := range batch {
+		req, err := replication.UnmarshalRequest(rd.VarBytes())
+		if err != nil {
+			return
+		}
+		batch[i] = req
+	}
+	if rd.Done() != nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if view != r.view || r.isPrimary() {
+		return
+	}
+	prim := uint32(r.primary())
+	ui := usig.UI{Counter: counter, Cert: cert}
+	if !r.cfg.USIG.VerifyUI(prim, prepareDigest(view, bd), ui) {
+		return
+	}
+	// The UI counter must be sequential: gaps or repeats mean a faulty
+	// primary (the USIG makes forging impossible).
+	if counter != r.lastSeen[prim]+1 {
+		return
+	}
+	if batchDigest(batch) != bd {
+		return
+	}
+	r.lastSeen[prim] = counter
+	s := r.slots[counter]
+	if s == nil {
+		s = &slot{commits: map[uint32]bool{}}
+		r.slots[counter] = s
+	}
+	s.digest = bd
+	s.batch = batch
+	s.primUI = ui
+
+	// Broadcast our commit, certified by our own USIG. Execution needs
+	// f+1 commits from distinct replicas (the prepare itself is not a
+	// commit vote), which preserves MinBFT's four message delays.
+	myUI := r.cfg.USIG.CreateUI(commitDigest(view, uint32(r.cfg.Self), counter, bd))
+	s.commits[uint32(r.cfg.Self)] = true
+	w := wire.NewWriter(192)
+	w.U8(kindCommit)
+	w.U64(view)
+	w.U32(uint32(r.cfg.Self))
+	w.U64(counter)
+	w.Bytes32(bd)
+	w.U64(myUI.Counter)
+	w.Bytes32(myUI.Cert)
+	r.broadcast(w.Bytes())
+	r.maybeExecuteLocked()
+}
+
+func (r *Replica) onCommit(pkt []byte) {
+	rd := wire.NewReader(pkt)
+	view := rd.U64()
+	replica := rd.U32()
+	counter := rd.U64()
+	bd := rd.Bytes32()
+	uiCounter := rd.U64()
+	uiCert := rd.Bytes32()
+	if rd.Done() != nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if view != r.view || int(replica) >= r.cfg.N || replica == uint32(r.cfg.Self) {
+		return
+	}
+	ui := usig.UI{Counter: uiCounter, Cert: uiCert}
+	if !r.cfg.USIG.VerifyUI(replica, commitDigest(view, replica, counter, bd), ui) {
+		return
+	}
+	// Sequential counter per sender (skipping is equivocation evidence).
+	if uiCounter <= r.lastSeen[replica] {
+		return
+	}
+	r.lastSeen[replica] = uiCounter
+	s := r.slots[counter]
+	if s == nil {
+		s = &slot{commits: map[uint32]bool{}}
+		r.slots[counter] = s
+	}
+	if s.batch != nil && s.digest != bd {
+		return
+	}
+	s.commits[replica] = true
+	r.maybeExecuteLocked()
+}
+
+// maybeExecuteLocked executes slots in primary-counter order once they
+// hold f+1 matching commits. Caller holds r.mu.
+func (r *Replica) maybeExecuteLocked() {
+	for {
+		s := r.slots[r.lastExec+1]
+		if s == nil || s.execed || s.batch == nil || len(s.commits) < r.cfg.F+1 {
+			return
+		}
+		s.execed = true
+		r.lastExec++
+		for _, req := range s.batch {
+			fresh, cached := r.table.Check(req.Client, req.ReqID)
+			if !fresh {
+				if cached != nil {
+					r.conn.Send(req.Client, cached.Marshal())
+				}
+				continue
+			}
+			result, _ := r.cfg.App.Execute(req.Op)
+			r.executedOps++
+			rep := &replication.Reply{
+				View: r.view, Replica: uint32(r.cfg.Self), Slot: r.lastExec,
+				ReqID: req.ReqID, Result: result,
+			}
+			rep.Auth = r.cfg.ClientAuth.TagFor(int64(req.Client), rep.SignedBody())
+			r.table.Store(req.Client, req.ReqID, rep)
+			delete(r.inQueue, reqKey(req.Client, req.ReqID))
+			r.conn.Send(req.Client, rep.Marshal())
+		}
+		r.tryIssueLocked()
+	}
+}
+
+// NewClient builds a MinBFT client (f+1 matching replies).
+func NewClient(conn transport.Conn, master []byte, n, f int, members []transport.NodeID, timeout time.Duration) *replication.Client {
+	cl := replication.NewClient(replication.ClientConfig{
+		Conn: conn, N: n, F: f, Quorum: f + 1,
+		Auth:    auth.NewClientSide(master, int64(conn.ID()), n),
+		Timeout: timeout,
+		Submit: func(req *replication.Request, retry bool) {
+			pkt := req.Marshal()
+			if retry {
+				for _, m := range members {
+					conn.Send(m, pkt)
+				}
+				return
+			}
+			conn.Send(members[0], pkt)
+		},
+	})
+	conn.SetHandler(func(from transport.NodeID, pkt []byte) { cl.HandlePacket(from, pkt) })
+	return cl
+}

@@ -1,0 +1,576 @@
+package neobft
+
+import (
+	"time"
+
+	"neobft/internal/aom"
+	"neobft/internal/crypto/secp256k1"
+	"neobft/internal/transport"
+	"neobft/internal/wire"
+)
+
+// secpVerifier builds the signature verifier for an epoch's sequencer key.
+func secpVerifier(ep aom.EpochConfig) *secp256k1.TableVerifier {
+	return secp256k1.NewTableVerifier(ep.SwitchPub)
+}
+
+// gapSlot tracks the gap-agreement state for one log slot (§5.4).
+type gapSlot struct {
+	// Leader collection state.
+	findSent bool
+	recvCert *aom.OrderingCert
+	drops    map[uint32][]byte // replica → tag over gapDropBody
+	decided  bool
+
+	// Replica agreement state.
+	decision      *gapDecision
+	sentDrop      bool
+	sentPrepare   bool
+	sentCommit    bool
+	prepares      map[bool]map[uint32][]byte // recv-or-drop → replica → tag
+	commits       map[bool]map[uint32][]byte
+	committed     bool
+	committedRecv bool
+	gapCert       *GapCert
+}
+
+type gapDecision struct {
+	view ViewID
+	slot uint64
+	recv bool
+	cert *aom.OrderingCert // when recv
+}
+
+func (r *Replica) gapSlotFor(slot uint64) *gapSlot {
+	g := r.gaps[slot]
+	if g == nil {
+		g = &gapSlot{
+			drops:    map[uint32][]byte{},
+			prepares: map[bool]map[uint32][]byte{true: {}, false: {}},
+			commits:  map[bool]map[uint32][]byte{true: {}, false: {}},
+		}
+		r.gaps[slot] = g
+	}
+	return g
+}
+
+// startGapResolutionLocked reacts to a drop-notification for the next
+// log slot: the leader starts the gap agreement, a follower queries the
+// leader (§5.4). Caller holds r.mu.
+func (r *Replica) startGapResolutionLocked(slot uint64) {
+	r.blockedOn = slot
+	r.blockedSince = time.Now()
+	r.queryAttempts = 0
+
+	// A decision may already have been committed for this slot (we were
+	// slow); apply it immediately.
+	if g := r.gaps[slot]; g != nil && g.committed {
+		r.applyCommittedGapLocked(slot, g)
+		return
+	}
+	if r.isLeader() {
+		g := r.gapSlotFor(slot)
+		g.findSent = true
+		// The leader's own drop-notification is its gap-drop vote.
+		body := gapDropBody(r.view, uint32(r.cfg.Self), slot)
+		g.drops[uint32(r.cfg.Self)] = r.cfg.Auth.TagVector(body)
+		g.sentDrop = true
+		r.resendGapFindLocked(slot)
+		r.maybeDecideLocked(slot, g)
+		return
+	}
+	w := wire.NewWriter(32)
+	w.U8(kindQuery)
+	w.Raw(queryBody(r.view, slot))
+	r.conn.Send(r.leaderNode(), w.Bytes())
+}
+
+func (r *Replica) resendGapFindLocked(slot uint64) {
+	body := gapFindBody(r.view, slot)
+	w := wire.NewWriter(64)
+	w.U8(kindGapFind)
+	w.VarBytes(body)
+	w.VarBytes(r.cfg.Auth.TagVector(body))
+	r.broadcast(w.Bytes())
+}
+
+// certSlotLocked maps an ordering certificate to its log slot under the
+// certificate's epoch. Caller holds r.mu.
+func (r *Replica) certSlotLocked(c *aom.OrderingCert) (uint64, bool) {
+	start, ok := r.epochStart[c.Epoch]
+	if !ok {
+		return 0, false
+	}
+	return start + c.Seq, true
+}
+
+// verifyCertLocked validates an ordering certificate against the
+// verifier of its epoch. Caller holds r.mu.
+func (r *Replica) verifyCertLocked(c *aom.OrderingCert) bool {
+	v := r.verifiers[c.Epoch]
+	return v != nil && v.Verify(c) == nil
+}
+
+// --- query / query-reply -------------------------------------------------
+
+func (r *Replica) onQuery(from transport.NodeID, body []byte) {
+	rd := wire.NewReader(body)
+	view := UnpackView(rd.U64())
+	slot := rd.U64()
+	if rd.Done() != nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.status != StatusNormal || view != r.view {
+		return
+	}
+	if slot == 0 || slot > uint64(len(r.log)) {
+		return // nothing to share yet
+	}
+	e := r.log[slot-1]
+	if e.noOp || e.cert == nil {
+		return // resolved as no-op; the gap commit will reach the querier
+	}
+	w := wire.NewWriter(256 + len(e.cert.Payload))
+	w.U8(kindQueryReply)
+	w.U64(view.Pack())
+	w.U64(slot)
+	w.VarBytes(e.cert.Marshal())
+	r.conn.Send(from, w.Bytes())
+}
+
+func (r *Replica) onQueryReply(body []byte) {
+	rd := wire.NewReader(body)
+	view := UnpackView(rd.U64())
+	slot := rd.U64()
+	certBytes := rd.VarBytes()
+	if rd.Done() != nil {
+		return
+	}
+	cert, err := aom.UnmarshalCert(certBytes)
+	if err != nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.status != StatusNormal || view != r.view || r.blockedOn != slot {
+		return
+	}
+	// A gap-drop voter must wait for the agreement decision, not a
+	// query-reply (§5.4).
+	if g := r.gaps[slot]; g != nil && g.sentDrop {
+		return
+	}
+	if !r.verifyCertLocked(cert) {
+		return
+	}
+	if s, ok := r.certSlotLocked(cert); !ok || s != slot {
+		return
+	}
+	r.fillSlotLocked(slot, cert, nil)
+}
+
+// fillSlotLocked writes the resolution of the blocked slot and resumes
+// delivery processing. Caller holds r.mu; blockedOn must equal slot ==
+// len(log)+1.
+func (r *Replica) fillSlotLocked(slot uint64, cert *aom.OrderingCert, gapCert *GapCert) {
+	if cert != nil {
+		r.appendRequestLocked(cert)
+	} else {
+		r.appendEntryLocked(&logEntry{noOp: true, epoch: r.view.Epoch, gapCert: gapCert})
+		r.executeReadyLocked()
+	}
+	r.unblockLocked()
+}
+
+func (r *Replica) unblockLocked() {
+	r.blockedOn = 0
+	r.queryAttempts = 0
+	buf := r.buffered
+	r.buffered = nil
+	for _, d := range buf {
+		r.processDeliveryLocked(d) // re-buffers automatically if blocked again
+	}
+	// Sequence numbers consumed by the receiver whose deliveries were
+	// lost (e.g. across a view change) surface here as fresh gaps.
+	r.reconcileAOMLocked()
+}
+
+// --- gap find / votes ----------------------------------------------------
+
+func (r *Replica) onGapFind(pkt []byte) {
+	rd := wire.NewReader(pkt)
+	body := rd.VarBytes()
+	tag := rd.VarBytes()
+	if rd.Done() != nil {
+		return
+	}
+	br := wire.NewReader(body)
+	if !br.Prefix("gap-find") {
+		return
+	}
+	view := UnpackView(br.U64())
+	slot := br.U64()
+	if br.Done() != nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.status != StatusNormal || view != r.view {
+		return
+	}
+	if !r.cfg.Auth.VerifyVector(view.LeaderIndex(r.cfg.N), body, tag) {
+		return
+	}
+	if slot <= uint64(len(r.log)) {
+		e := r.log[slot-1]
+		if !e.noOp && e.cert != nil {
+			w := wire.NewWriter(256 + len(e.cert.Payload))
+			w.U8(kindGapRecv)
+			w.U64(view.Pack())
+			w.U64(slot)
+			w.VarBytes(e.cert.Marshal())
+			r.conn.Send(r.leaderNode(), w.Bytes())
+		}
+		return
+	}
+	if r.blockedOn == slot {
+		g := r.gapSlotFor(slot)
+		g.sentDrop = true
+		dropB := gapDropBody(view, uint32(r.cfg.Self), slot)
+		w := wire.NewWriter(96)
+		w.U8(kindGapDrop)
+		w.U32(uint32(r.cfg.Self))
+		w.VarBytes(dropB)
+		w.VarBytes(r.cfg.Auth.TagVector(dropB))
+		r.conn.Send(r.leaderNode(), w.Bytes())
+	}
+}
+
+func (r *Replica) onGapRecv(pkt []byte) {
+	rd := wire.NewReader(pkt)
+	view := UnpackView(rd.U64())
+	slot := rd.U64()
+	certBytes := rd.VarBytes()
+	if rd.Done() != nil {
+		return
+	}
+	cert, err := aom.UnmarshalCert(certBytes)
+	if err != nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.status != StatusNormal || view != r.view || !r.isLeader() {
+		return
+	}
+	g := r.gapSlotFor(slot)
+	if g.decided || g.recvCert != nil {
+		return
+	}
+	if !r.verifyCertLocked(cert) {
+		return
+	}
+	if s, ok := r.certSlotLocked(cert); !ok || s != slot {
+		return
+	}
+	g.recvCert = cert
+	r.maybeDecideLocked(slot, g)
+}
+
+func (r *Replica) onGapDrop(pkt []byte) {
+	rd := wire.NewReader(pkt)
+	replica := rd.U32()
+	body := rd.VarBytes()
+	tag := rd.VarBytes()
+	if rd.Done() != nil {
+		return
+	}
+	br := wire.NewReader(body)
+	if !br.Prefix("gap-drop") {
+		return
+	}
+	view := UnpackView(br.U64())
+	bodyReplica := br.U32()
+	slot := br.U64()
+	if br.Done() != nil || bodyReplica != replica {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.status != StatusNormal || view != r.view || !r.isLeader() {
+		return
+	}
+	if int(replica) >= r.cfg.N || !r.cfg.Auth.VerifyVector(int(replica), body, tag) {
+		return
+	}
+	g := r.gapSlotFor(slot)
+	if g.decided {
+		return
+	}
+	g.drops[replica] = append([]byte(nil), tag...)
+	r.maybeDecideLocked(slot, g)
+}
+
+// maybeDecideLocked broadcasts the leader's gap decision once it holds
+// one ordering certificate or 2f+1 drop votes (§5.4). Caller holds r.mu.
+func (r *Replica) maybeDecideLocked(slot uint64, g *gapSlot) {
+	if g.decided {
+		return
+	}
+	var recv bool
+	switch {
+	case g.recvCert != nil:
+		recv = true
+	case len(g.drops) >= 2*r.cfg.F+1:
+		recv = false
+	default:
+		return
+	}
+	g.decided = true
+	body := gapDecisionBody(r.view, slot, recv)
+	w := wire.NewWriter(512)
+	w.U8(kindGapDecision)
+	w.VarBytes(body)
+	w.VarBytes(r.cfg.Auth.TagVector(body))
+	if recv {
+		w.VarBytes(g.recvCert.Marshal())
+	} else {
+		parts := make([]SignedPart, 0, len(g.drops))
+		for rep, tag := range g.drops {
+			parts = append(parts, SignedPart{Replica: rep, Tag: tag})
+		}
+		marshalParts(w, parts)
+	}
+	r.broadcast(w.Bytes())
+	// The leader adopts its own decision.
+	r.acceptDecisionLocked(&gapDecision{view: r.view, slot: slot, recv: recv, cert: g.recvCert})
+}
+
+func (r *Replica) onGapDecision(pkt []byte) {
+	rd := wire.NewReader(pkt)
+	body := rd.VarBytes()
+	tag := rd.VarBytes()
+	br := wire.NewReader(body)
+	if !br.Prefix("gap-decision") {
+		return
+	}
+	view := UnpackView(br.U64())
+	slot := br.U64()
+	recv := br.Bool()
+	if br.Done() != nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.status != StatusNormal || view != r.view {
+		return
+	}
+	if !r.cfg.Auth.VerifyVector(view.LeaderIndex(r.cfg.N), body, tag) {
+		return
+	}
+	dec := &gapDecision{view: view, slot: slot, recv: recv}
+	if recv {
+		certBytes := rd.VarBytes()
+		if rd.Done() != nil {
+			return
+		}
+		cert, err := aom.UnmarshalCert(certBytes)
+		if err != nil || !r.verifyCertLocked(cert) {
+			return
+		}
+		if s, ok := r.certSlotLocked(cert); !ok || s != slot {
+			return
+		}
+		dec.cert = cert
+	} else {
+		parts := unmarshalParts(rd)
+		if rd.Done() != nil {
+			return
+		}
+		if !r.validDropQuorumLocked(view, slot, parts) {
+			return
+		}
+	}
+	r.acceptDecisionLocked(dec)
+}
+
+// validDropQuorumLocked checks 2f+1 distinct, valid gap-drop votes.
+// Caller holds r.mu.
+func (r *Replica) validDropQuorumLocked(view ViewID, slot uint64, parts []SignedPart) bool {
+	seen := map[uint32]bool{}
+	valid := 0
+	for _, p := range parts {
+		if int(p.Replica) >= r.cfg.N || seen[p.Replica] {
+			continue
+		}
+		if !r.cfg.Auth.VerifyVector(int(p.Replica), gapDropBody(view, p.Replica, slot), p.Tag) {
+			continue
+		}
+		seen[p.Replica] = true
+		valid++
+	}
+	return valid >= 2*r.cfg.F+1
+}
+
+// acceptDecisionLocked stores a validated decision and broadcasts this
+// replica's gap-prepare. Caller holds r.mu.
+func (r *Replica) acceptDecisionLocked(dec *gapDecision) {
+	g := r.gapSlotFor(dec.slot)
+	if g.decision != nil {
+		return
+	}
+	g.decision = dec
+	if !g.sentPrepare {
+		g.sentPrepare = true
+		body := gapPrepareBody(dec.view, uint32(r.cfg.Self), dec.slot, dec.recv)
+		tag := r.cfg.Auth.TagVector(body)
+		g.prepares[dec.recv][uint32(r.cfg.Self)] = tag
+		w := wire.NewWriter(96)
+		w.U8(kindGapPrepare)
+		w.U32(uint32(r.cfg.Self))
+		w.U64(dec.view.Pack())
+		w.U64(dec.slot)
+		w.Bool(dec.recv)
+		w.VarBytes(tag)
+		r.broadcast(w.Bytes())
+	}
+	r.maybePrepareCommitLocked(dec.slot, g)
+}
+
+func (r *Replica) onGapPrepare(pkt []byte) {
+	rd := wire.NewReader(pkt)
+	replica := rd.U32()
+	view := UnpackView(rd.U64())
+	slot := rd.U64()
+	recv := rd.Bool()
+	tag := rd.VarBytes()
+	if rd.Done() != nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.status != StatusNormal || view != r.view || int(replica) >= r.cfg.N {
+		return
+	}
+	if !r.cfg.Auth.VerifyVector(int(replica), gapPrepareBody(view, replica, slot, recv), tag) {
+		return
+	}
+	g := r.gapSlotFor(slot)
+	g.prepares[recv][replica] = append([]byte(nil), tag...)
+	r.maybePrepareCommitLocked(slot, g)
+}
+
+// maybePrepareCommitLocked sends gap-commit after 2f matching prepares
+// plus a matching validated decision (§5.4). Caller holds r.mu.
+func (r *Replica) maybePrepareCommitLocked(slot uint64, g *gapSlot) {
+	if g.sentCommit || g.decision == nil {
+		return
+	}
+	recv := g.decision.recv
+	if len(g.prepares[recv]) < 2*r.cfg.F {
+		return
+	}
+	g.sentCommit = true
+	body := gapCommitBody(g.decision.view, uint32(r.cfg.Self), slot, recv)
+	tag := r.cfg.Auth.TagVector(body)
+	g.commits[recv][uint32(r.cfg.Self)] = tag
+	w := wire.NewWriter(96)
+	w.U8(kindGapCommit)
+	w.U32(uint32(r.cfg.Self))
+	w.U64(g.decision.view.Pack())
+	w.U64(slot)
+	w.Bool(recv)
+	w.VarBytes(tag)
+	r.broadcast(w.Bytes())
+	r.maybeCommitGapLocked(slot, g)
+}
+
+func (r *Replica) onGapCommit(pkt []byte) {
+	rd := wire.NewReader(pkt)
+	replica := rd.U32()
+	view := UnpackView(rd.U64())
+	slot := rd.U64()
+	recv := rd.Bool()
+	tag := rd.VarBytes()
+	if rd.Done() != nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.status != StatusNormal || view != r.view || int(replica) >= r.cfg.N {
+		return
+	}
+	if !r.cfg.Auth.VerifyVector(int(replica), gapCommitBody(view, replica, slot, recv), tag) {
+		return
+	}
+	g := r.gapSlotFor(slot)
+	g.commits[recv][replica] = append([]byte(nil), tag...)
+	r.maybeCommitGapLocked(slot, g)
+}
+
+// maybeCommitGapLocked finalizes the slot after 2f+1 gap-commits. Caller
+// holds r.mu.
+func (r *Replica) maybeCommitGapLocked(slot uint64, g *gapSlot) {
+	if g.committed {
+		return
+	}
+	var recv bool
+	switch {
+	case len(g.commits[true]) >= 2*r.cfg.F+1:
+		recv = true
+	case len(g.commits[false]) >= 2*r.cfg.F+1:
+		recv = false
+	default:
+		return
+	}
+	// Committing requires this replica to know the decision content for
+	// recv (the certificate); for drop the commits alone suffice.
+	if recv && (g.decision == nil || g.decision.cert == nil) {
+		return
+	}
+	g.committed = true
+	g.committedRecv = recv
+	if !recv {
+		parts := make([]SignedPart, 0, len(g.commits[false]))
+		for rep, tag := range g.commits[false] {
+			parts = append(parts, SignedPart{Replica: rep, Tag: tag})
+		}
+		view := r.view
+		if g.decision != nil {
+			view = g.decision.view
+		}
+		g.gapCert = &GapCert{View: view, Slot: slot, Commits: parts}
+	}
+	r.gapAgreed++
+	r.applyCommittedGapLocked(slot, g)
+}
+
+// applyCommittedGapLocked applies a committed gap decision to the log.
+// Caller holds r.mu.
+func (r *Replica) applyCommittedGapLocked(slot uint64, g *gapSlot) {
+	logLen := uint64(len(r.log))
+	switch {
+	case r.blockedOn == slot && slot == logLen+1:
+		if g.committedRecv {
+			r.fillSlotLocked(slot, g.decision.cert, nil)
+		} else {
+			r.fillSlotLocked(slot, nil, g.gapCert)
+		}
+	case slot <= logLen:
+		e := r.log[slot-1]
+		if !g.committedRecv && !e.noOp {
+			// We speculatively executed a request that the group agreed
+			// to skip: roll back, rewrite as no-op, re-execute (§5.4).
+			r.rollbackToLocked(slot)
+			r.log[slot-1] = &logEntry{noOp: true, epoch: e.epoch, gapCert: g.gapCert}
+			r.recomputeHashesLocked(slot)
+			r.executeReadyLocked()
+		}
+		// recv decisions match what we already hold (aom ordering).
+	default:
+		// We have not reached the slot yet; the stored committed state
+		// applies when the delivery or drop-notification arrives.
+	}
+}

@@ -1,0 +1,407 @@
+// Package neobft implements the NeoBFT protocol (§5 of the paper): a BFT
+// state machine replication protocol co-designed with the aom network
+// primitive. In the common case replicas commit client operations in a
+// single round trip with no cross-replica coordination: the aom ordering
+// certificate alone fixes the request's position. Dropped aom messages
+// are resolved by a leader-driven binary agreement (§5.4); leader and
+// sequencer failures are handled by a PBFT-style view change extended
+// with epoch certificates (§5.5, §B.1); speculative execution is
+// periodically finalized by state synchronization (§B.2).
+package neobft
+
+import (
+	"fmt"
+
+	"neobft/internal/aom"
+	"neobft/internal/replication"
+	"neobft/internal/wire"
+)
+
+// ViewID identifies a view as the 2-tuple ⟨epoch-num, leader-num⟩ (§5.2).
+type ViewID struct {
+	Epoch  uint32
+	Leader uint32
+}
+
+// Pack encodes the view for Reply.View.
+func (v ViewID) Pack() uint64 { return uint64(v.Epoch)<<32 | uint64(v.Leader) }
+
+// UnpackView decodes a packed view.
+func UnpackView(u uint64) ViewID { return ViewID{Epoch: uint32(u >> 32), Leader: uint32(u)} }
+
+// Less orders views lexicographically: epoch major, leader minor.
+func (v ViewID) Less(o ViewID) bool {
+	if v.Epoch != o.Epoch {
+		return v.Epoch < o.Epoch
+	}
+	return v.Leader < o.Leader
+}
+
+// LeaderIndex returns the replica index that leads this view.
+func (v ViewID) LeaderIndex(n int) int { return int(v.Leader) % n }
+
+func (v ViewID) String() string { return fmt.Sprintf("⟨%d,%d⟩", v.Epoch, v.Leader) }
+
+// Message kinds (envelope first byte).
+const (
+	kindQuery uint8 = replication.KindProtocolBase + iota
+	kindQueryReply
+	kindGapFind
+	kindGapRecv
+	kindGapDrop
+	kindGapDecision
+	kindGapPrepare
+	kindGapCommit
+	kindViewChange
+	kindViewStart
+	kindEpochStart
+	kindSync
+	kindStateRequest
+	kindStateReply
+	kindTick
+)
+
+// SignedPart is a replica's authenticator vector over a message body,
+// usable by any group member (transferable within the group).
+type SignedPart struct {
+	Replica uint32
+	Tag     []byte
+}
+
+func marshalParts(w *wire.Writer, parts []SignedPart) {
+	w.U32(uint32(len(parts)))
+	for _, p := range parts {
+		w.U32(p.Replica)
+		w.VarBytes(p.Tag)
+	}
+}
+
+func unmarshalParts(r *wire.Reader) []SignedPart {
+	n := r.U32()
+	if r.Err() != nil || n > 1<<16 {
+		return nil
+	}
+	parts := make([]SignedPart, n)
+	for i := range parts {
+		parts[i].Replica = r.U32()
+		parts[i].Tag = append([]byte(nil), r.VarBytes()...)
+	}
+	return parts
+}
+
+// --- bodies that get authenticated --------------------------------------
+
+// queryBody: ⟨QUERY, view-id, log-slot-num⟩ — unsigned per §5.4.
+func queryBody(view ViewID, slot uint64) []byte {
+	w := wire.NewWriter(24)
+	w.U64(view.Pack())
+	w.U64(slot)
+	return w.Bytes()
+}
+
+// gapFindBody: ⟨GAP-FIND-MESSAGE, view-id, log-slot-num⟩_σl.
+func gapFindBody(view ViewID, slot uint64) []byte {
+	w := wire.NewWriter(24)
+	w.Raw([]byte("gap-find"))
+	w.U64(view.Pack())
+	w.U64(slot)
+	return w.Bytes()
+}
+
+// gapDropBody: ⟨GAP-DROP-MESSAGE, view-id, i, log-slot-num⟩_σi.
+func gapDropBody(view ViewID, replica uint32, slot uint64) []byte {
+	w := wire.NewWriter(32)
+	w.Raw([]byte("gap-drop"))
+	w.U64(view.Pack())
+	w.U32(replica)
+	w.U64(slot)
+	return w.Bytes()
+}
+
+// gapDecisionBody covers the decision content: recv certificates or the
+// drop quorum are carried alongside and validated separately.
+func gapDecisionBody(view ViewID, slot uint64, recv bool) []byte {
+	w := wire.NewWriter(32)
+	w.Raw([]byte("gap-decision"))
+	w.U64(view.Pack())
+	w.U64(slot)
+	w.Bool(recv)
+	return w.Bytes()
+}
+
+// gapPrepareBody: ⟨GAP-PREPARE, view-id, i, log-slot-num, recv-or-drop⟩_σi.
+func gapPrepareBody(view ViewID, replica uint32, slot uint64, recv bool) []byte {
+	w := wire.NewWriter(32)
+	w.Raw([]byte("gap-prepare"))
+	w.U64(view.Pack())
+	w.U32(replica)
+	w.U64(slot)
+	w.Bool(recv)
+	return w.Bytes()
+}
+
+// gapCommitBody: ⟨GAP-COMMIT, view-id, log-slot-num, recv-or-drop⟩_σi.
+// The sender is bound by its authenticator lane.
+func gapCommitBody(view ViewID, replica uint32, slot uint64, recv bool) []byte {
+	w := wire.NewWriter(32)
+	w.Raw([]byte("gap-commit"))
+	w.U64(view.Pack())
+	w.U32(replica)
+	w.U64(slot)
+	w.Bool(recv)
+	return w.Bytes()
+}
+
+// epochStartBody: ⟨EPOCH-START, e′, log-slot-num⟩_σi.
+func epochStartBody(epoch uint32, replica uint32, slot uint64) []byte {
+	w := wire.NewWriter(32)
+	w.Raw([]byte("epoch-start"))
+	w.U32(epoch)
+	w.U32(replica)
+	w.U64(slot)
+	return w.Bytes()
+}
+
+// syncBody: ⟨SYNC, view-id, log-slot-num, log-hash⟩_σi (drops carried
+// alongside with their own certificates).
+func syncBody(view ViewID, replica uint32, slot uint64, logHash [32]byte) []byte {
+	w := wire.NewWriter(64)
+	w.Raw([]byte("sync"))
+	w.U64(view.Pack())
+	w.U32(replica)
+	w.U64(slot)
+	w.Bytes32(logHash)
+	return w.Bytes()
+}
+
+// --- certificates --------------------------------------------------------
+
+// GapCert proves a slot was committed as a no-op: 2f+1 gap-commit
+// authenticators with decision drop (§5.4).
+type GapCert struct {
+	View    ViewID
+	Slot    uint64
+	Commits []SignedPart
+}
+
+func (g *GapCert) marshal(w *wire.Writer) {
+	w.U64(g.View.Pack())
+	w.U64(g.Slot)
+	marshalParts(w, g.Commits)
+}
+
+func unmarshalGapCert(r *wire.Reader) *GapCert {
+	g := &GapCert{}
+	g.View = UnpackView(r.U64())
+	g.Slot = r.U64()
+	g.Commits = unmarshalParts(r)
+	return g
+}
+
+// EpochCert proves the agreed starting log position of an epoch: 2f+1
+// epoch-start authenticators (§5.5).
+type EpochCert struct {
+	Epoch  uint32
+	Slot   uint64 // log position at which the epoch starts (last slot of previous epochs)
+	Starts []SignedPart
+}
+
+func (e *EpochCert) marshal(w *wire.Writer) {
+	w.U32(e.Epoch)
+	w.U64(e.Slot)
+	marshalParts(w, e.Starts)
+}
+
+func unmarshalEpochCert(r *wire.Reader) *EpochCert {
+	e := &EpochCert{}
+	e.Epoch = r.U32()
+	e.Slot = r.U64()
+	e.Starts = unmarshalParts(r)
+	return e
+}
+
+// --- log entries on the wire ---------------------------------------------
+
+// WireEntry is one log slot inside a view-change or state-reply message.
+type WireEntry struct {
+	Slot  uint64
+	Epoch uint32 // epoch in which the entry was appended
+	NoOp  bool
+	Cert  *aom.OrderingCert // nil for no-ops
+	Gap   *GapCert          // nil for requests
+}
+
+func marshalEntries(w *wire.Writer, entries []WireEntry) {
+	w.U32(uint32(len(entries)))
+	for _, e := range entries {
+		w.U64(e.Slot)
+		w.U32(e.Epoch)
+		w.Bool(e.NoOp)
+		if e.NoOp {
+			if e.Gap != nil {
+				w.Bool(true)
+				e.Gap.marshal(w)
+			} else {
+				w.Bool(false)
+			}
+		} else {
+			w.VarBytes(e.Cert.Marshal())
+		}
+	}
+}
+
+func unmarshalEntries(r *wire.Reader) ([]WireEntry, error) {
+	n := r.U32()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n > 1<<24 {
+		return nil, fmt.Errorf("neobft: unreasonable entry count %d", n)
+	}
+	entries := make([]WireEntry, n)
+	for i := range entries {
+		entries[i].Slot = r.U64()
+		entries[i].Epoch = r.U32()
+		entries[i].NoOp = r.Bool()
+		if entries[i].NoOp {
+			if r.Bool() {
+				entries[i].Gap = unmarshalGapCert(r)
+			}
+		} else {
+			certBytes := r.VarBytes()
+			if r.Err() != nil {
+				return nil, r.Err()
+			}
+			cert, err := aom.UnmarshalCert(certBytes)
+			if err != nil {
+				return nil, err
+			}
+			entries[i].Cert = cert
+		}
+	}
+	return entries, r.Err()
+}
+
+// viewChangeMsg: ⟨VIEW-CHANGE, view-id, v′, epoch-cert, log⟩_σi (§B.1).
+type viewChangeMsg struct {
+	Replica    uint32
+	CurView    ViewID
+	NewView    ViewID
+	EpochCerts []EpochCert
+	SyncPoint  uint64
+	Entries    []WireEntry // slots > SyncPoint
+	Tag        []byte      // authenticator over body
+}
+
+func (m *viewChangeMsg) body() []byte {
+	w := wire.NewWriter(256)
+	w.Raw([]byte("view-change"))
+	w.U32(m.Replica)
+	w.U64(m.CurView.Pack())
+	w.U64(m.NewView.Pack())
+	w.U32(uint32(len(m.EpochCerts)))
+	for i := range m.EpochCerts {
+		m.EpochCerts[i].marshal(w)
+	}
+	w.U64(m.SyncPoint)
+	marshalEntries(w, m.Entries)
+	return w.Bytes()
+}
+
+func (m *viewChangeMsg) marshal() []byte {
+	body := m.body()
+	w := wire.NewWriter(len(body) + len(m.Tag) + 16)
+	w.U8(kindViewChange)
+	w.VarBytes(body)
+	w.VarBytes(m.Tag)
+	return w.Bytes()
+}
+
+func unmarshalViewChange(pkt []byte) (*viewChangeMsg, error) {
+	r := wire.NewReader(pkt)
+	body := r.VarBytes()
+	tag := append([]byte(nil), r.VarBytes()...)
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	br := wire.NewReader(body)
+	if !br.Prefix("view-change") {
+		return nil, fmt.Errorf("neobft: bad view-change prefix")
+	}
+	m := &viewChangeMsg{Tag: tag}
+	m.Replica = br.U32()
+	m.CurView = UnpackView(br.U64())
+	m.NewView = UnpackView(br.U64())
+	nCerts := br.U32()
+	if br.Err() != nil || nCerts > 1<<10 {
+		return nil, fmt.Errorf("neobft: bad view-change certs")
+	}
+	m.EpochCerts = make([]EpochCert, nCerts)
+	for i := range m.EpochCerts {
+		m.EpochCerts[i] = *unmarshalEpochCert(br)
+	}
+	m.SyncPoint = br.U64()
+	entries, err := unmarshalEntries(br)
+	if err != nil {
+		return nil, err
+	}
+	m.Entries = entries
+	if err := br.Done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// viewStartMsg: ⟨VIEW-START, v′, view-change-msgs⟩_σl (§B.1).
+type viewStartMsg struct {
+	NewView ViewID
+	Msgs    [][]byte // marshaled viewChangeMsg packets (without envelope kind)
+	Tag     []byte
+}
+
+func (m *viewStartMsg) body() []byte {
+	w := wire.NewWriter(256)
+	w.Raw([]byte("view-start"))
+	w.U64(m.NewView.Pack())
+	w.U32(uint32(len(m.Msgs)))
+	for _, b := range m.Msgs {
+		w.VarBytes(b)
+	}
+	return w.Bytes()
+}
+
+func (m *viewStartMsg) marshal() []byte {
+	body := m.body()
+	w := wire.NewWriter(len(body) + 16)
+	w.U8(kindViewStart)
+	w.VarBytes(body)
+	w.VarBytes(m.Tag)
+	return w.Bytes()
+}
+
+func unmarshalViewStart(pkt []byte) (*viewStartMsg, error) {
+	r := wire.NewReader(pkt)
+	body := r.VarBytes()
+	tag := append([]byte(nil), r.VarBytes()...)
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	br := wire.NewReader(body)
+	if !br.Prefix("view-start") {
+		return nil, fmt.Errorf("neobft: bad view-start prefix")
+	}
+	m := &viewStartMsg{Tag: tag}
+	m.NewView = UnpackView(br.U64())
+	n := br.U32()
+	if br.Err() != nil || n > 1<<10 {
+		return nil, fmt.Errorf("neobft: bad view-start count")
+	}
+	m.Msgs = make([][]byte, n)
+	for i := range m.Msgs {
+		m.Msgs[i] = append([]byte(nil), br.VarBytes()...)
+	}
+	if err := br.Done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

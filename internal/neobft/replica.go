@@ -1,0 +1,603 @@
+package neobft
+
+import (
+	"sync"
+	"time"
+
+	"neobft/internal/aom"
+	"neobft/internal/configsvc"
+	"neobft/internal/crypto/auth"
+	"neobft/internal/replication"
+	"neobft/internal/transport"
+	"neobft/internal/wire"
+)
+
+// Status is the replica's operating mode.
+type Status int
+
+// Replica status values.
+const (
+	StatusNormal Status = iota
+	StatusViewChange
+)
+
+// Config configures a NeoBFT replica.
+type Config struct {
+	// Self is this replica's index; N = 3F+1 replicas tolerate F faults.
+	Self, N, F int
+	// Members are the replica node IDs, which are also the aom group
+	// members, in index order.
+	Members []transport.NodeID
+	// Group is the aom group ID.
+	Group uint32
+	// Conn is the replica's network attachment.
+	Conn transport.Conn
+	// Auth authenticates replica↔replica messages.
+	Auth auth.Authenticator
+	// ClientAuth verifies client request vectors and MACs replies.
+	ClientAuth *auth.ReplicaSide
+	// App is the replicated state machine.
+	App replication.App
+	// Variant selects the aom authenticator flavour.
+	Variant wire.AuthKind
+	// Byzantine enables the aom confirm exchange (untrusted network).
+	Byzantine bool
+	// ConfirmFlushEvery batches confirm messages (Byzantine mode).
+	ConfirmFlushEvery time.Duration
+	// ConfirmBatch is the confirm batch size (Byzantine mode).
+	ConfirmBatch int
+	// Svc is the configuration service (sequencer failover and epoch
+	// credentials). Required.
+	Svc *configsvc.Service
+	// SyncInterval is the state-synchronization period in log slots
+	// (§B.2). Default 256.
+	SyncInterval int
+	// QueryTimeout is how long a blocked replica waits for a query reply
+	// or gap decision before resending / suspecting the leader.
+	QueryTimeout time.Duration
+	// RequestTimeout is how long a client-unicast request may stay
+	// undelivered by aom before the replica suspects the sequencer.
+	RequestTimeout time.Duration
+	// ViewChangeTimeout bounds a view change attempt before moving to
+	// the next view.
+	ViewChangeTimeout time.Duration
+	// TickInterval drives the replica's internal timers. Default 10ms.
+	TickInterval time.Duration
+}
+
+// logEntry is one slot of the replica's log.
+type logEntry struct {
+	noOp    bool
+	cert    *aom.OrderingCert
+	req     *replication.Request // parsed from cert payload (nil for no-op)
+	authOK  bool                 // client authenticator verified
+	epoch   uint32               // epoch the slot belongs to
+	digest  [32]byte             // entry digest for the hash chain
+	logHash [32]byte             // chain value up to and including this slot
+	gapCert *GapCert             // proof for no-ops
+}
+
+type undoRec struct {
+	slot   uint64
+	client transport.NodeID
+	reqID  uint64
+	undo   func()
+}
+
+// Replica is a NeoBFT replica.
+type Replica struct {
+	cfg  Config
+	conn transport.Conn
+	recv *aom.Receiver
+
+	mu     sync.Mutex
+	status Status
+	view   ViewID
+	log    []*logEntry // log[i] is slot i+1
+	// epochStart[e] is the slot count when epoch e began (entries with
+	// slot > epochStart[e] and slot ≤ end belong to e).
+	epochStart map[uint32]uint64
+	epochCerts map[uint32]*EpochCert
+	verifiers  map[uint32]*aom.CertVerifier
+
+	specExecuted uint64 // highest slot executed (speculatively)
+	undoStack    []undoRec
+	clientTable  *replication.ClientTable
+	syncPoint    uint64
+
+	// blockedOn is the slot whose resolution gates further delivery
+	// processing; 0 when not blocked (§5.4).
+	blockedOn     uint64
+	blockedSince  time.Time
+	buffered      []aom.Delivery
+	queryAttempts int
+
+	gaps  map[uint64]*gapSlot
+	syncs map[uint64]map[uint32][32]byte // sync slot → replica → log hash
+
+	vc         *vcState
+	epochVotes map[uint32]map[uint32]epochVote
+	pendingVC  map[ViewID]map[uint32]*viewChangeMsg
+
+	// pendingClientReqs tracks requests received by unicast that have not
+	// yet appeared in the log (sequencer suspicion, §5.5).
+	pendingClientReqs map[string]time.Time
+
+	ticker   *time.Ticker
+	stopTick chan struct{}
+	stopOnce sync.Once
+
+	// counters
+	committedOps uint64
+	gapAgreed    uint64
+	viewChanges  uint64
+}
+
+// New creates and starts a NeoBFT replica. The initial view is epoch 1,
+// leader 0; the group must already exist at the configuration service.
+func New(cfg Config) *Replica {
+	if cfg.SyncInterval == 0 {
+		cfg.SyncInterval = 256
+	}
+	if cfg.QueryTimeout == 0 {
+		cfg.QueryTimeout = 50 * time.Millisecond
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 200 * time.Millisecond
+	}
+	if cfg.ViewChangeTimeout == 0 {
+		cfg.ViewChangeTimeout = 500 * time.Millisecond
+	}
+	if cfg.TickInterval == 0 {
+		cfg.TickInterval = 10 * time.Millisecond
+	}
+	r := &Replica{
+		cfg:               cfg,
+		conn:              cfg.Conn,
+		view:              ViewID{Epoch: 1, Leader: 0},
+		epochStart:        map[uint32]uint64{1: 0},
+		epochCerts:        map[uint32]*EpochCert{},
+		verifiers:         map[uint32]*aom.CertVerifier{},
+		clientTable:       replication.NewClientTable(),
+		gaps:              map[uint64]*gapSlot{},
+		syncs:             map[uint64]map[uint32][32]byte{},
+		pendingClientReqs: map[string]time.Time{},
+		stopTick:          make(chan struct{}),
+	}
+	ep, err := cfg.Svc.ReceiverEpochConfig(cfg.Group, cfg.Self)
+	if err != nil {
+		panic("neobft: group not configured: " + err.Error())
+	}
+	r.recv = aom.NewReceiver(aom.ReceiverConfig{
+		Group:             cfg.Group,
+		Variant:           cfg.Variant,
+		SelfIndex:         cfg.Self,
+		Members:           cfg.Members,
+		F:                 cfg.F,
+		Byzantine:         cfg.Byzantine,
+		Auth:              cfg.Auth,
+		Conn:              cfg.Conn,
+		Deliver:           r.onDeliver,
+		ConfirmBatch:      cfg.ConfirmBatch,
+		ConfirmFlushEvery: cfg.ConfirmFlushEvery,
+	}, ep)
+	r.installVerifier(1, ep)
+	cfg.Conn.SetHandler(r.handle)
+	r.ticker = time.NewTicker(cfg.TickInterval)
+	go r.tickLoop()
+	return r
+}
+
+// Close stops the replica's background machinery.
+func (r *Replica) Close() {
+	r.stopOnce.Do(func() {
+		close(r.stopTick)
+		r.ticker.Stop()
+		r.recv.Close()
+	})
+}
+
+func (r *Replica) installVerifier(epoch uint32, ep aom.EpochConfig) {
+	v := &aom.CertVerifier{
+		Variant:   r.cfg.Variant,
+		Group:     r.cfg.Group,
+		Epoch:     epoch,
+		SelfIndex: r.cfg.Self,
+		HMACKey:   ep.HMACKey,
+		Byzantine: r.cfg.Byzantine,
+		N:         r.cfg.N,
+		F:         r.cfg.F,
+		Auth:      r.cfg.Auth,
+	}
+	if r.cfg.Variant == wire.AuthPK {
+		// Reuse the receiver-independent table verifier.
+		v.PK = secpVerifier(ep)
+	}
+	r.verifiers[epoch] = v
+}
+
+// View returns the replica's current view.
+func (r *Replica) View() ViewID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.view
+}
+
+// Status returns the replica's operating mode.
+func (r *Replica) Status() Status {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.status
+}
+
+// LogLen returns the current log length (slots).
+func (r *Replica) LogLen() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return uint64(len(r.log))
+}
+
+// Executed returns the highest (speculatively) executed slot.
+func (r *Replica) Executed() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.specExecuted
+}
+
+// SyncPoint returns the committed prefix established by state sync.
+func (r *Replica) SyncPoint() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.syncPoint
+}
+
+// Committed returns how many client operations this replica has executed.
+func (r *Replica) Committed() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.committedOps
+}
+
+// GapAgreements returns how many slots were resolved through the gap
+// agreement protocol.
+func (r *Replica) GapAgreements() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gapAgreed
+}
+
+// ViewChanges returns how many view changes this replica has completed.
+func (r *Replica) ViewChanges() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.viewChanges
+}
+
+func (r *Replica) isLeader() bool { return r.view.LeaderIndex(r.cfg.N) == r.cfg.Self }
+
+func (r *Replica) leaderNode() transport.NodeID {
+	return r.cfg.Members[r.view.LeaderIndex(r.cfg.N)]
+}
+
+func (r *Replica) broadcast(pkt []byte) {
+	for i, m := range r.cfg.Members {
+		if i == r.cfg.Self {
+			continue
+		}
+		r.conn.Send(m, pkt)
+	}
+}
+
+// handle is the replica's network event handler.
+func (r *Replica) handle(from transport.NodeID, pkt []byte) {
+	if r.recv.HandlePacket(from, pkt) {
+		return
+	}
+	if len(pkt) == 0 {
+		return
+	}
+	switch pkt[0] {
+	case replication.KindRequest:
+		r.onClientRequest(from, pkt[1:])
+	case kindQuery:
+		r.onQuery(from, pkt[1:])
+	case kindQueryReply:
+		r.onQueryReply(pkt[1:])
+	case kindGapFind:
+		r.onGapFind(pkt[1:])
+	case kindGapRecv:
+		r.onGapRecv(pkt[1:])
+	case kindGapDrop:
+		r.onGapDrop(pkt[1:])
+	case kindGapDecision:
+		r.onGapDecision(pkt[1:])
+	case kindGapPrepare:
+		r.onGapPrepare(pkt[1:])
+	case kindGapCommit:
+		r.onGapCommit(pkt[1:])
+	case kindViewChange:
+		r.onViewChange(pkt[1:])
+	case kindViewStart:
+		r.onViewStart(pkt[1:])
+	case kindEpochStart:
+		r.onEpochStart(pkt[1:])
+	case kindSync:
+		r.onSync(pkt[1:])
+	case kindStateRequest:
+		r.onStateRequest(from, pkt[1:])
+	case kindStateReply:
+		r.onStateReply(pkt[1:])
+	}
+}
+
+// onDeliver receives ordered aom deliveries (messages and
+// drop-notifications). It runs on the replica's handler goroutine.
+func (r *Replica) onDeliver(d aom.Delivery) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.processDeliveryLocked(d)
+}
+
+func (r *Replica) processDeliveryLocked(d aom.Delivery) {
+	if r.status != StatusNormal || d.Epoch != r.view.Epoch {
+		return // deliveries from old epochs die with their epoch
+	}
+	if r.blockedOn != 0 {
+		r.buffered = append(r.buffered, d)
+		return
+	}
+	slot := r.epochStart[r.view.Epoch] + d.Seq
+	if slot != uint64(len(r.log))+1 {
+		return // stale or out-of-line delivery
+	}
+	// A gap agreement may already have committed this slot while we were
+	// behind; the committed decision wins over the raw delivery.
+	if g := r.gaps[slot]; g != nil && g.committed {
+		if g.committedRecv {
+			r.appendRequestLocked(g.decision.cert)
+		} else {
+			r.appendEntryLocked(&logEntry{noOp: true, epoch: r.view.Epoch, gapCert: g.gapCert})
+			r.executeReadyLocked()
+		}
+		return
+	}
+	if d.Dropped {
+		r.startGapResolutionLocked(slot)
+		return
+	}
+	r.appendRequestLocked(d.Cert)
+}
+
+// appendRequestLocked appends an oc to the next log slot, speculatively
+// executes it and replies to the client (§5.3). Caller holds r.mu.
+func (r *Replica) appendRequestLocked(cert *aom.OrderingCert) {
+	e := &logEntry{
+		cert:   cert,
+		epoch:  r.view.Epoch,
+		digest: cert.Digest, // verified against the payload by libAOM
+	}
+	if req, err := replication.UnmarshalRequest(requestBody(cert.Payload)); err == nil {
+		e.req = req
+		e.authOK = r.cfg.ClientAuth.VerifyClient(int64(req.Client), req.SignedBody(), req.Auth)
+	}
+	r.appendEntryLocked(e)
+	r.executeReadyLocked()
+}
+
+// appendEntryLocked pushes an entry, extends the hash chain, and may
+// initiate state synchronization. Caller holds r.mu.
+func (r *Replica) appendEntryLocked(e *logEntry) {
+	r.appendEntryNoSyncLocked(e)
+	r.maybeSyncLocked()
+}
+
+// appendEntryNoSyncLocked pushes an entry and extends the hash chain
+// without the sync trigger (used while rebuilding the log during view
+// changes). Caller holds r.mu.
+func (r *Replica) appendEntryNoSyncLocked(e *logEntry) {
+	var prev [32]byte
+	if n := len(r.log); n > 0 {
+		prev = r.log[n-1].logHash
+	}
+	if e.noOp {
+		e.digest = noOpDigest
+	}
+	e.logHash = replication.ChainHash(prev, e.digest)
+	r.log = append(r.log, e)
+}
+
+// noOpDigest marks no-op slots in the hash chain.
+var noOpDigest = wire.Digest([]byte("neobft/no-op"))
+
+// executeReadyLocked executes every consecutive filled slot beyond
+// specExecuted. Caller holds r.mu.
+func (r *Replica) executeReadyLocked() {
+	for r.specExecuted < uint64(len(r.log)) {
+		slot := r.specExecuted + 1
+		e := r.log[slot-1]
+		r.executeSlotLocked(slot, e)
+		r.specExecuted = slot
+	}
+}
+
+func (r *Replica) executeSlotLocked(slot uint64, e *logEntry) {
+	if e.noOp || e.req == nil || !e.authOK {
+		return // no-ops and unauthenticated requests leave state unchanged
+	}
+	req := e.req
+	fresh, cached := r.clientTable.Check(req.Client, req.ReqID)
+	if !fresh {
+		if cached != nil {
+			r.conn.Send(req.Client, cached.Marshal())
+		}
+		return
+	}
+	result, undo := r.cfg.App.Execute(req.Op)
+	if undo != nil {
+		r.undoStack = append(r.undoStack, undoRec{slot: slot, client: req.Client, reqID: req.ReqID, undo: undo})
+	}
+	r.committedOps++
+	rep := &replication.Reply{
+		View:    r.view.Pack(),
+		Replica: uint32(r.cfg.Self),
+		Slot:    slot,
+		LogHash: e.logHash,
+		ReqID:   req.ReqID,
+		Result:  result,
+	}
+	rep.Auth = r.cfg.ClientAuth.TagFor(int64(req.Client), rep.SignedBody())
+	r.clientTable.Store(req.Client, req.ReqID, rep)
+	delete(r.pendingClientReqs, clientReqKey(req.Client, req.ReqID))
+	r.conn.Send(req.Client, rep.Marshal())
+}
+
+// rollbackToLocked rolls application state back to just before slot
+// (§5.4): undoes speculative executions in reverse order, then re-executes
+// the log after the slot is rewritten. Caller holds r.mu and must rewrite
+// log[slot-1] and call reexecuteFromLocked afterwards.
+func (r *Replica) rollbackToLocked(slot uint64) {
+	for len(r.undoStack) > 0 {
+		top := r.undoStack[len(r.undoStack)-1]
+		if top.slot < slot {
+			break
+		}
+		top.undo()
+		r.clientTable.Forget(top.client)
+		r.undoStack = r.undoStack[:len(r.undoStack)-1]
+	}
+	if r.specExecuted >= slot {
+		r.specExecuted = slot - 1
+	}
+}
+
+// recomputeHashesLocked rebuilds the hash chain from slot onward after a
+// log rewrite. Caller holds r.mu.
+func (r *Replica) recomputeHashesLocked(slot uint64) {
+	var prev [32]byte
+	if slot > 1 {
+		prev = r.log[slot-2].logHash
+	}
+	for i := slot - 1; i < uint64(len(r.log)); i++ {
+		e := r.log[i]
+		d := e.digest
+		if e.noOp {
+			d = noOpDigest
+		}
+		e.logHash = replication.ChainHash(prev, d)
+		prev = e.logHash
+	}
+}
+
+// onClientRequest handles a request sent by unicast (the client's
+// fallback when aom replies are slow, §5.3). Executed requests are
+// answered from the client table; unseen requests start the sequencer
+// suspicion timer.
+func (r *Replica) onClientRequest(from transport.NodeID, body []byte) {
+	req, err := replication.UnmarshalRequest(body)
+	if err != nil {
+		return
+	}
+	if !r.cfg.ClientAuth.VerifyClient(int64(req.Client), req.SignedBody(), req.Auth) {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fresh, cached := r.clientTable.Check(req.Client, req.ReqID)
+	if !fresh {
+		if cached != nil {
+			r.conn.Send(req.Client, cached.Marshal())
+		}
+		return
+	}
+	key := clientReqKey(req.Client, req.ReqID)
+	if _, tracked := r.pendingClientReqs[key]; !tracked {
+		r.pendingClientReqs[key] = time.Now()
+	}
+}
+
+func clientReqKey(c transport.NodeID, reqID uint64) string {
+	w := wire.NewWriter(12)
+	w.U32(uint32(c))
+	w.U64(reqID)
+	return string(w.Bytes())
+}
+
+// requestBody strips the envelope kind from an aom payload carrying a
+// client request. Clients send the marshaled request (kind byte
+// included) as the aom payload.
+func requestBody(payload []byte) []byte {
+	if len(payload) > 0 && payload[0] == replication.KindRequest {
+		return payload[1:]
+	}
+	return payload
+}
+
+// tickLoop drives timers by checking deadlines periodically.
+func (r *Replica) tickLoop() {
+	for {
+		select {
+		case <-r.stopTick:
+			return
+		case <-r.ticker.C:
+			r.onTick()
+		}
+	}
+}
+
+func (r *Replica) onTick() {
+	r.mu.Lock()
+	now := time.Now()
+
+	// Blocked on a gap: resend query (non-leader) or gap-find (leader);
+	// after repeated failures, suspect the leader.
+	if r.status == StatusNormal && r.blockedOn != 0 && now.Sub(r.blockedSince) > r.cfg.QueryTimeout {
+		r.blockedSince = now
+		r.queryAttempts++
+		if r.queryAttempts > 5 {
+			r.startViewChangeLocked(ViewID{Epoch: r.view.Epoch, Leader: r.view.Leader + 1})
+			r.mu.Unlock()
+			return
+		}
+		slot := r.blockedOn
+		if r.isLeader() {
+			r.resendGapFindLocked(slot)
+		} else {
+			w := wire.NewWriter(32)
+			w.U8(kindQuery)
+			w.Raw(queryBody(r.view, slot))
+			r.conn.Send(r.leaderNode(), w.Bytes())
+		}
+	}
+
+	// Client-unicast requests not yet delivered by aom: suspect the
+	// sequencer and fail over to a new epoch (§5.5).
+	if r.status == StatusNormal {
+		for key, since := range r.pendingClientReqs {
+			if now.Sub(since) > r.cfg.RequestTimeout {
+				delete(r.pendingClientReqs, key)
+				r.suspectSequencerLocked()
+				break
+			}
+		}
+	}
+
+	// A view change that stalls moves to the next leader.
+	if r.status == StatusViewChange && r.vc != nil && now.Sub(r.vc.started) > r.cfg.ViewChangeTimeout {
+		next := ViewID{Epoch: r.vc.target.Epoch, Leader: r.vc.target.Leader + 1}
+		r.startViewChangeLocked(next)
+	}
+	r.mu.Unlock()
+}
+
+// suspectSequencerLocked reports the sequencer to the configuration
+// service and starts a view change into the new epoch. Caller holds r.mu.
+func (r *Replica) suspectSequencerLocked() {
+	view, err := r.cfg.Svc.Failover(r.cfg.Group, r.view.Epoch)
+	if err != nil {
+		return
+	}
+	if view.Epoch <= r.view.Epoch {
+		return
+	}
+	r.startViewChangeLocked(ViewID{Epoch: view.Epoch, Leader: r.view.Leader})
+}

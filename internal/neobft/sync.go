@@ -1,0 +1,264 @@
+package neobft
+
+import (
+	"neobft/internal/replication"
+	"neobft/internal/transport"
+	"neobft/internal/wire"
+)
+
+// State synchronization (§B.2): after every SyncInterval log entries, a
+// replica broadcasts ⟨SYNC, view-id, log-slot-num, drops⟩_σi, where drops
+// carries gap certificates for no-ops committed in the current view.
+// Once a replica collects 2f+1 syncs (including its own) for the same
+// slot with a matching log hash, everything up to that slot is final: the
+// sync-point advances, speculative undo state is released and gap
+// bookkeeping is garbage-collected. A replica that discovers a quorum
+// ahead of it requests a state transfer from the leader.
+
+// maybeSyncLocked initiates a sync round when the log reaches a multiple
+// of the sync interval. Caller holds r.mu.
+func (r *Replica) maybeSyncLocked() {
+	slot := uint64(len(r.log))
+	if slot == 0 || slot%uint64(r.cfg.SyncInterval) != 0 || slot <= r.syncPoint {
+		return
+	}
+	logHash := r.log[slot-1].logHash
+	r.recordSyncLocked(slot, uint32(r.cfg.Self), logHash)
+
+	// Collect gap certificates for no-ops above the current sync point.
+	var drops []*GapCert
+	for i := r.syncPoint; i < slot; i++ {
+		if e := r.log[i]; e.noOp && e.gapCert != nil {
+			drops = append(drops, e.gapCert)
+		}
+	}
+	body := syncBody(r.view, uint32(r.cfg.Self), slot, logHash)
+	w := wire.NewWriter(128)
+	w.U8(kindSync)
+	w.U32(uint32(r.cfg.Self))
+	w.VarBytes(body)
+	w.VarBytes(r.cfg.Auth.TagVector(body))
+	w.U32(uint32(len(drops)))
+	for _, g := range drops {
+		g.marshal(w)
+	}
+	r.broadcast(w.Bytes())
+	r.maybeAdvanceSyncLocked(slot, logHash)
+}
+
+func (r *Replica) recordSyncLocked(slot uint64, replica uint32, hash [32]byte) {
+	byRep := r.syncs[slot]
+	if byRep == nil {
+		byRep = map[uint32][32]byte{}
+		r.syncs[slot] = byRep
+	}
+	byRep[replica] = hash
+}
+
+func (r *Replica) onSync(pkt []byte) {
+	rd := wire.NewReader(pkt)
+	replica := rd.U32()
+	body := rd.VarBytes()
+	tag := rd.VarBytes()
+	nDrops := rd.U32()
+	if rd.Err() != nil || nDrops > 1<<16 {
+		return
+	}
+	drops := make([]*GapCert, nDrops)
+	for i := range drops {
+		drops[i] = unmarshalGapCert(rd)
+	}
+	if rd.Done() != nil {
+		return
+	}
+	br := wire.NewReader(body)
+	if !br.Prefix("sync") {
+		return
+	}
+	view := UnpackView(br.U64())
+	bodyReplica := br.U32()
+	slot := br.U64()
+	logHash := br.Bytes32()
+	if br.Done() != nil || bodyReplica != replica {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.status != StatusNormal || view != r.view || int(replica) >= r.cfg.N {
+		return
+	}
+	if !r.cfg.Auth.VerifyVector(int(replica), body, tag) {
+		return
+	}
+	// Apply certified no-ops we may have missed (§B.2): a valid gap
+	// certificate overwrites the slot with a no-op.
+	for _, g := range drops {
+		r.applySyncDropLocked(g)
+	}
+	r.recordSyncLocked(slot, replica, logHash)
+	r.maybeAdvanceSyncLocked(slot, logHash)
+}
+
+// applySyncDropLocked installs a gap-certified no-op learned through a
+// sync message. Caller holds r.mu.
+func (r *Replica) applySyncDropLocked(g *GapCert) {
+	slot := g.Slot
+	if slot == 0 || slot <= r.syncPoint {
+		return
+	}
+	if !r.validGapCertLocked(g, slot) {
+		return
+	}
+	if slot <= uint64(len(r.log)) {
+		e := r.log[slot-1]
+		if e.noOp {
+			if e.gapCert == nil {
+				e.gapCert = g
+			}
+			return
+		}
+		// We executed a request the group committed as a no-op.
+		r.rollbackToLocked(slot)
+		r.log[slot-1] = &logEntry{noOp: true, epoch: e.epoch, gapCert: g}
+		r.recomputeHashesLocked(slot)
+		r.executeReadyLocked()
+		return
+	}
+	// Remember for when the log reaches the slot.
+	gs := r.gapSlotFor(slot)
+	if !gs.committed {
+		gs.committed = true
+		gs.committedRecv = false
+		gs.gapCert = g
+	}
+}
+
+// maybeAdvanceSyncLocked advances the sync point on a 2f+1 quorum with a
+// matching hash; a quorum with a different hash or a far-ahead slot
+// triggers state transfer. Caller holds r.mu.
+func (r *Replica) maybeAdvanceSyncLocked(slot uint64, _ [32]byte) {
+	votes := r.syncs[slot]
+	if votes == nil {
+		return
+	}
+	counts := map[[32]byte]int{}
+	for _, h := range votes {
+		counts[h]++
+	}
+	for h, c := range counts {
+		if c < 2*r.cfg.F+1 {
+			continue
+		}
+		if slot <= uint64(len(r.log)) && r.log[slot-1].logHash == h {
+			if slot > r.syncPoint {
+				r.syncPoint = slot
+				r.pruneFinalizedLocked(slot)
+			}
+		} else if slot > uint64(len(r.log)) {
+			// A quorum is ahead of us: fetch the missing committed suffix.
+			r.requestStateLocked()
+		}
+		return
+	}
+}
+
+// pruneFinalizedLocked releases speculative bookkeeping for slots at or
+// below the new sync point. Caller holds r.mu.
+func (r *Replica) pruneFinalizedLocked(slot uint64) {
+	// Undo records below the sync point can never be rolled back.
+	keep := r.undoStack[:0]
+	for _, u := range r.undoStack {
+		if u.slot > slot {
+			keep = append(keep, u)
+		}
+	}
+	r.undoStack = keep
+	for s := range r.gaps {
+		if s <= slot {
+			delete(r.gaps, s)
+		}
+	}
+	for s := range r.syncs {
+		if s <= slot {
+			delete(r.syncs, s)
+		}
+	}
+}
+
+// --- state transfer -------------------------------------------------------
+
+// requestStateLocked asks the leader for log entries beyond our tail.
+// Caller holds r.mu.
+func (r *Replica) requestStateLocked() {
+	w := wire.NewWriter(24)
+	w.U8(kindStateRequest)
+	w.U64(r.view.Pack())
+	w.U64(uint64(len(r.log)))
+	r.conn.Send(r.leaderNode(), w.Bytes())
+}
+
+func (r *Replica) onStateRequest(from transport.NodeID, body []byte) {
+	rd := wire.NewReader(body)
+	view := UnpackView(rd.U64())
+	haveLen := rd.U64()
+	if rd.Done() != nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.status != StatusNormal || view != r.view {
+		return
+	}
+	if haveLen >= uint64(len(r.log)) {
+		return
+	}
+	entries := r.wireEntriesLocked(haveLen)
+	w := wire.NewWriter(1024)
+	w.U8(kindStateReply)
+	w.U64(r.view.Pack())
+	marshalEntries(w, entries)
+	r.conn.Send(from, w.Bytes())
+}
+
+func (r *Replica) onStateReply(body []byte) {
+	rd := wire.NewReader(body)
+	view := UnpackView(rd.U64())
+	entries, err := unmarshalEntries(rd)
+	if err != nil || rd.Done() != nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.status != StatusNormal || view != r.view {
+		return
+	}
+	for _, e := range entries {
+		slot := uint64(len(r.log)) + 1
+		if e.Slot < slot {
+			continue
+		}
+		if e.Slot > slot {
+			break // non-contiguous; stop
+		}
+		if e.NoOp {
+			if e.Gap == nil || !r.validGapCertLocked(e.Gap, e.Slot) {
+				break
+			}
+			r.appendEntryNoSyncLocked(&logEntry{noOp: true, epoch: e.Epoch, gapCert: e.Gap})
+			continue
+		}
+		if e.Cert == nil || !r.verifyCertLocked(e.Cert) {
+			break
+		}
+		if s, ok := r.certSlotLocked(e.Cert); !ok || s != e.Slot {
+			break
+		}
+		le := &logEntry{cert: e.Cert, epoch: e.Epoch, digest: wire.Digest(e.Cert.Payload)}
+		if req, err := replication.UnmarshalRequest(requestBody(e.Cert.Payload)); err == nil {
+			le.req = req
+			le.authOK = r.cfg.ClientAuth.VerifyClient(int64(req.Client), req.SignedBody(), req.Auth)
+		}
+		r.appendEntryNoSyncLocked(le)
+	}
+	r.executeReadyLocked()
+}

@@ -1,0 +1,600 @@
+package neobft
+
+import (
+	"sort"
+	"time"
+
+	"neobft/internal/replication"
+	"neobft/internal/wire"
+)
+
+// vcState tracks an in-progress view change (§5.5, §B.1).
+type vcState struct {
+	target  ViewID
+	started time.Time
+	// msgs collects validated view-change messages (leader of the target
+	// view), keyed by sender.
+	msgs map[uint32]*viewChangeMsg
+	// ownMsg is this replica's own view-change message.
+	ownMsg *viewChangeMsg
+	// wantEpoch, when nonzero, is the epoch whose certificate must form
+	// before the view change completes.
+	wantEpoch uint32
+}
+
+// startViewChangeLocked begins a view change toward target. Caller holds
+// r.mu.
+func (r *Replica) startViewChangeLocked(target ViewID) {
+	if !r.view.Less(target) {
+		return
+	}
+	r.status = StatusViewChange
+	r.blockedOn = 0
+	// Buffered aom deliveries are kept: they resume (or are re-resolved
+	// as gaps) once the new view starts.
+	r.vc = &vcState{target: target, started: time.Now(), msgs: map[uint32]*viewChangeMsg{}}
+
+	msg := &viewChangeMsg{
+		Replica:    uint32(r.cfg.Self),
+		CurView:    r.view,
+		NewView:    target,
+		EpochCerts: r.epochCertListLocked(),
+		SyncPoint:  r.syncPoint,
+		Entries:    r.wireEntriesLocked(r.syncPoint),
+	}
+	msg.Tag = r.cfg.Auth.TagVector(msg.body())
+	r.vc.ownMsg = msg
+	if target.LeaderIndex(r.cfg.N) == r.cfg.Self {
+		r.vc.msgs[uint32(r.cfg.Self)] = msg
+		// Adopt any view-change messages that arrived before we joined.
+		for rep, m := range r.pendingVC[target] {
+			if r.validateViewChangeLocked(m) {
+				r.vc.msgs[rep] = m
+			}
+		}
+	}
+	delete(r.pendingVC, target)
+	r.broadcast(msg.marshal())
+	r.maybeStartViewLocked()
+}
+
+func (r *Replica) epochCertListLocked() []EpochCert {
+	out := make([]EpochCert, 0, len(r.epochCerts))
+	for _, c := range r.epochCerts {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Epoch < out[j].Epoch })
+	return out
+}
+
+// wireEntriesLocked serializes log slots above base. Caller holds r.mu.
+func (r *Replica) wireEntriesLocked(base uint64) []WireEntry {
+	out := make([]WireEntry, 0, uint64(len(r.log))-base)
+	for i := base; i < uint64(len(r.log)); i++ {
+		e := r.log[i]
+		we := WireEntry{Slot: i + 1, Epoch: e.epoch, NoOp: e.noOp, Cert: e.cert, Gap: e.gapCert}
+		out = append(out, we)
+	}
+	return out
+}
+
+// onViewChange processes a ⟨VIEW-CHANGE⟩ message.
+func (r *Replica) onViewChange(pkt []byte) {
+	msg, err := unmarshalViewChange(pkt)
+	if err != nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if int(msg.Replica) >= r.cfg.N {
+		return
+	}
+	if !r.cfg.Auth.VerifyVector(int(msg.Replica), msg.body(), msg.Tag) {
+		return
+	}
+	if !r.view.Less(msg.NewView) {
+		return // old view change
+	}
+	// Pool the message per target view.
+	if r.pendingVC == nil {
+		r.pendingVC = map[ViewID]map[uint32]*viewChangeMsg{}
+	}
+	pool := r.pendingVC[msg.NewView]
+	if pool == nil {
+		pool = map[uint32]*viewChangeMsg{}
+		r.pendingVC[msg.NewView] = pool
+	}
+	pool[msg.Replica] = msg
+
+	// Join the view change once f+1 distinct replicas demand a view at
+	// least this new (standard PBFT join rule: at least one correct
+	// replica suspects a failure).
+	inVC := r.status == StatusViewChange && r.vc != nil && !r.vc.target.Less(msg.NewView)
+	if !inVC {
+		if len(pool) < r.cfg.F+1 {
+			return
+		}
+		if msg.NewView.Epoch > r.view.Epoch {
+			// The initiators already reported the sequencer; mirror the
+			// failover so we can derive the new epoch's credentials.
+			view, err := r.cfg.Svc.View(r.cfg.Group)
+			if err != nil || view.Epoch < msg.NewView.Epoch {
+				if _, err := r.cfg.Svc.Failover(r.cfg.Group, r.view.Epoch); err != nil {
+					return
+				}
+			}
+		}
+		r.startViewChangeLocked(msg.NewView)
+	}
+	if r.vc == nil || r.vc.target != msg.NewView {
+		return
+	}
+	if r.vc.target.LeaderIndex(r.cfg.N) != r.cfg.Self {
+		return // only the new leader collects
+	}
+	if !r.validateViewChangeLocked(msg) {
+		return
+	}
+	r.vc.msgs[msg.Replica] = msg
+	r.maybeStartViewLocked()
+}
+
+// validateViewChangeLocked checks the log inside a view-change message:
+// every entry holds a valid ordering certificate or a no-op supported by
+// a gap certificate, and entries are consecutive above the sync point
+// (§5.5 log validity). Caller holds r.mu.
+func (r *Replica) validateViewChangeLocked(m *viewChangeMsg) bool {
+	next := m.SyncPoint + 1
+	for i := range m.Entries {
+		e := &m.Entries[i]
+		if e.Slot != next {
+			return false
+		}
+		next++
+		if e.NoOp {
+			if e.Gap == nil || !r.validGapCertLocked(e.Gap, e.Slot) {
+				return false
+			}
+			continue
+		}
+		if e.Cert == nil || !r.verifyCertLocked(e.Cert) {
+			return false
+		}
+		start, ok := r.epochStartForLocked(e.Epoch, m)
+		if !ok || start+e.Cert.Seq != e.Slot || e.Cert.Epoch != e.Epoch {
+			return false
+		}
+	}
+	return true
+}
+
+// epochStartForLocked resolves an epoch's starting slot from local state
+// or the message's epoch certificates. Caller holds r.mu.
+func (r *Replica) epochStartForLocked(epoch uint32, m *viewChangeMsg) (uint64, bool) {
+	if s, ok := r.epochStart[epoch]; ok {
+		return s, true
+	}
+	for i := range m.EpochCerts {
+		c := &m.EpochCerts[i]
+		if c.Epoch == epoch && r.validEpochCertLocked(c) {
+			return c.Slot, true
+		}
+	}
+	return 0, false
+}
+
+// validGapCertLocked verifies a no-op's gap certificate: 2f+1 distinct
+// valid gap-commit authenticators with decision drop. Caller holds r.mu.
+func (r *Replica) validGapCertLocked(g *GapCert, slot uint64) bool {
+	if g.Slot != slot {
+		return false
+	}
+	seen := map[uint32]bool{}
+	valid := 0
+	for _, p := range g.Commits {
+		if int(p.Replica) >= r.cfg.N || seen[p.Replica] {
+			continue
+		}
+		if !r.cfg.Auth.VerifyVector(int(p.Replica), gapCommitBody(g.View, p.Replica, slot, false), p.Tag) {
+			continue
+		}
+		seen[p.Replica] = true
+		valid++
+	}
+	return valid >= 2*r.cfg.F+1
+}
+
+// validEpochCertLocked verifies an epoch certificate: 2f+1 distinct valid
+// epoch-start authenticators agreeing on the start slot. Caller holds r.mu.
+func (r *Replica) validEpochCertLocked(c *EpochCert) bool {
+	seen := map[uint32]bool{}
+	valid := 0
+	for _, p := range c.Starts {
+		if int(p.Replica) >= r.cfg.N || seen[p.Replica] {
+			continue
+		}
+		if !r.cfg.Auth.VerifyVector(int(p.Replica), epochStartBody(c.Epoch, p.Replica, c.Slot), p.Tag) {
+			continue
+		}
+		seen[p.Replica] = true
+		valid++
+	}
+	return valid >= 2*r.cfg.F+1
+}
+
+// maybeStartViewLocked lets the new leader broadcast ⟨VIEW-START⟩ once it
+// holds 2f+1 view-change messages (§B.1). Caller holds r.mu.
+func (r *Replica) maybeStartViewLocked() {
+	vc := r.vc
+	if vc == nil || vc.target.LeaderIndex(r.cfg.N) != r.cfg.Self {
+		return
+	}
+	if len(vc.msgs) < 2*r.cfg.F+1 {
+		return
+	}
+	msgs := make([]*viewChangeMsg, 0, len(vc.msgs))
+	raw := make([][]byte, 0, len(vc.msgs))
+	for _, m := range vc.msgs {
+		msgs = append(msgs, m)
+		raw = append(raw, m.marshal()[1:]) // strip envelope kind
+	}
+	vs := &viewStartMsg{NewView: vc.target, Msgs: raw}
+	vs.Tag = r.cfg.Auth.TagVector(vs.body())
+	r.broadcast(vs.marshal())
+	r.enterViewLocked(vc.target, msgs)
+}
+
+// onViewStart processes a ⟨VIEW-START⟩ from the new leader.
+func (r *Replica) onViewStart(pkt []byte) {
+	vs, err := unmarshalViewStart(pkt)
+	if err != nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.view.Less(vs.NewView) {
+		return
+	}
+	leader := vs.NewView.LeaderIndex(r.cfg.N)
+	if !r.cfg.Auth.VerifyVector(leader, vs.body(), vs.Tag) {
+		return
+	}
+	// Validate the 2f+1 enclosed view-change messages.
+	msgs := make([]*viewChangeMsg, 0, len(vs.Msgs))
+	seen := map[uint32]bool{}
+	for _, rawMsg := range vs.Msgs {
+		m, err := unmarshalViewChange(rawMsg)
+		if err != nil {
+			continue
+		}
+		if int(m.Replica) >= r.cfg.N || seen[m.Replica] || m.NewView != vs.NewView {
+			continue
+		}
+		if !r.cfg.Auth.VerifyVector(int(m.Replica), m.body(), m.Tag) {
+			continue
+		}
+		if !r.validateViewChangeLocked(m) {
+			continue
+		}
+		seen[m.Replica] = true
+		msgs = append(msgs, m)
+	}
+	if len(msgs) < 2*r.cfg.F+1 {
+		return
+	}
+	// Make sure the config service has moved if this starts a new epoch.
+	if vs.NewView.Epoch > r.view.Epoch {
+		if view, err := r.cfg.Svc.View(r.cfg.Group); err != nil || view.Epoch < vs.NewView.Epoch {
+			r.cfg.Svc.Failover(r.cfg.Group, r.view.Epoch)
+		}
+	}
+	r.enterViewLocked(vs.NewView, msgs)
+}
+
+// enterViewLocked merges the logs and installs the new view (§B.1).
+// Caller holds r.mu.
+func (r *Replica) enterViewLocked(target ViewID, msgs []*viewChangeMsg) {
+	merged, base, ok := r.mergeLogsLocked(msgs)
+	if !ok {
+		return
+	}
+	r.adoptMergedLocked(base, merged, msgs)
+
+	epochSwitch := target.Epoch > r.maxInstalledEpochLocked()
+	r.view = target
+	if r.vc == nil || r.vc.target != target {
+		r.vc = &vcState{target: target, started: time.Now()}
+	}
+	if epochSwitch {
+		// Broadcast ⟨EPOCH-START, e′, log-slot-num⟩ and wait for the
+		// epoch certificate before processing the new epoch (§B.1).
+		r.vc.wantEpoch = target.Epoch
+		slot := uint64(len(r.log))
+		body := epochStartBody(target.Epoch, uint32(r.cfg.Self), slot)
+		tag := r.cfg.Auth.TagVector(body)
+		r.recordEpochStartLocked(target.Epoch, uint32(r.cfg.Self), slot, tag)
+		w := wire.NewWriter(96)
+		w.U8(kindEpochStart)
+		w.U32(uint32(r.cfg.Self))
+		w.U32(target.Epoch)
+		w.U64(slot)
+		w.VarBytes(tag)
+		r.broadcast(w.Bytes())
+		r.maybeFinishEpochStartLocked()
+		return
+	}
+	r.finishViewChangeLocked()
+}
+
+func (r *Replica) maxInstalledEpochLocked() uint32 {
+	var maxE uint32
+	for e := range r.epochStart {
+		if e > maxE {
+			maxE = e
+		}
+	}
+	return maxE
+}
+
+// mergeLogsLocked implements the §B.1 merge over 2f+1 validated
+// view-change logs, returning the merged entries above the base (the
+// smallest sync point among the messages). Caller holds r.mu.
+func (r *Replica) mergeLogsLocked(msgs []*viewChangeMsg) ([]WireEntry, uint64, bool) {
+	if len(msgs) == 0 {
+		return nil, 0, false
+	}
+	base := msgs[0].SyncPoint
+	for _, m := range msgs {
+		if m.SyncPoint < base {
+			base = m.SyncPoint
+		}
+	}
+	// (1) Find the largest epoch supported by an epoch certificate.
+	maxEpoch := uint32(1)
+	epochStarts := map[uint32]uint64{1: 0}
+	for e, s := range r.epochStart {
+		epochStarts[e] = s
+		if e > maxEpoch {
+			maxEpoch = e
+		}
+	}
+	for _, m := range msgs {
+		for i := range m.EpochCerts {
+			c := &m.EpochCerts[i]
+			if _, known := epochStarts[c.Epoch]; !known {
+				if !r.validEpochCertLocked(c) {
+					continue
+				}
+				epochStarts[c.Epoch] = c.Slot
+			}
+			if c.Epoch > maxEpoch {
+				maxEpoch = c.Epoch
+			}
+		}
+	}
+	// Any entry's epoch also counts as "started" evidence if certified.
+	// (2)+(3) Pick the prefix donor and the longest log in maxEpoch.
+	var donor *viewChangeMsg // longest log that has started maxEpoch
+	for _, m := range msgs {
+		started := false
+		for _, e := range m.Entries {
+			if e.Epoch == maxEpoch {
+				started = true
+				break
+			}
+		}
+		if !started && epochStarts[maxEpoch] <= m.SyncPoint+uint64(len(m.Entries)) {
+			// The log reaches the epoch's start position (it may simply
+			// have no entries in the epoch yet).
+			started = true
+		}
+		if !started {
+			continue
+		}
+		if donor == nil || lastSlot(m) > lastSlot(donor) {
+			donor = m
+		}
+	}
+	if donor == nil {
+		// No log has started the newest certified epoch; fall back to the
+		// longest log overall.
+		for _, m := range msgs {
+			if donor == nil || lastSlot(m) > lastSlot(donor) {
+				donor = m
+			}
+		}
+	}
+	merged := map[uint64]WireEntry{}
+	for _, e := range donor.Entries {
+		merged[e.Slot] = e
+	}
+	// (4) Overlay no-ops (with valid gap certificates) from every log.
+	for _, m := range msgs {
+		for _, e := range m.Entries {
+			if e.NoOp {
+				merged[e.Slot] = e
+			}
+		}
+	}
+	// Build a consecutive suffix above base.
+	out := make([]WireEntry, 0, len(merged))
+	for slot := base + 1; ; slot++ {
+		e, ok := merged[slot]
+		if !ok {
+			break
+		}
+		out = append(out, e)
+	}
+	return out, base, true
+}
+
+func lastSlot(m *viewChangeMsg) uint64 {
+	if len(m.Entries) == 0 {
+		return m.SyncPoint
+	}
+	return m.Entries[len(m.Entries)-1].Slot
+}
+
+// adoptMergedLocked replaces the speculative log suffix with the merged
+// entries, rolling back and re-executing application state (§5.2).
+// Caller holds r.mu.
+func (r *Replica) adoptMergedLocked(base uint64, merged []WireEntry, msgs []*viewChangeMsg) {
+	// Adopt epoch certificates carried in the messages.
+	for _, m := range msgs {
+		for i := range m.EpochCerts {
+			c := &m.EpochCerts[i]
+			if _, ok := r.epochCerts[c.Epoch]; !ok && r.validEpochCertLocked(c) {
+				cc := *c
+				r.epochCerts[c.Epoch] = &cc
+				r.epochStart[c.Epoch] = c.Slot
+			}
+		}
+	}
+	keep := r.syncPoint
+	if keep < base {
+		keep = base
+	}
+	// Roll back all speculative execution above the committed prefix.
+	r.rollbackToLocked(keep + 1)
+	r.log = r.log[:min64(uint64(len(r.log)), keep)]
+	for _, e := range merged {
+		if e.Slot <= keep {
+			continue
+		}
+		le := &logEntry{noOp: e.NoOp, cert: e.Cert, epoch: e.Epoch, gapCert: e.Gap}
+		if !e.NoOp && e.Cert != nil {
+			le.digest = wire.Digest(e.Cert.Payload)
+			if req, err := replication.UnmarshalRequest(requestBody(e.Cert.Payload)); err == nil {
+				le.req = req
+				le.authOK = r.cfg.ClientAuth.VerifyClient(int64(req.Client), req.SignedBody(), req.Auth)
+			}
+		}
+		r.appendEntryNoSyncLocked(le)
+	}
+	r.recomputeHashesLocked(keep + 1)
+	r.executeReadyLocked()
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// finishViewChangeLocked completes the transition into the target view.
+// Caller holds r.mu.
+func (r *Replica) finishViewChangeLocked() {
+	r.status = StatusNormal
+	r.vc = nil
+	r.gaps = map[uint64]*gapSlot{}
+	r.blockedOn = 0
+	r.queryAttempts = 0
+	r.pendingClientReqs = map[string]time.Time{}
+	for v := range r.pendingVC {
+		if !r.view.Less(v) {
+			delete(r.pendingVC, v)
+		}
+	}
+	r.viewChanges++
+	// Re-process deliveries buffered across the view change and re-raise
+	// any aom sequence numbers that were consumed before the view change
+	// but whose slots did not survive the log merge: they become gaps the
+	// new leader resolves (§5.4).
+	buf := r.buffered
+	r.buffered = nil
+	for _, d := range buf {
+		r.processDeliveryLocked(d)
+	}
+	r.reconcileAOMLocked()
+}
+
+// reconcileAOMLocked compares the aom receiver's consumed sequence range
+// with the log and starts gap resolution for consumed-but-missing slots.
+// Caller holds r.mu.
+func (r *Replica) reconcileAOMLocked() {
+	if r.status != StatusNormal || r.blockedOn != 0 {
+		return
+	}
+	if r.recv.Epoch() != r.view.Epoch {
+		return
+	}
+	consumed := r.epochStart[r.view.Epoch] + r.recv.NextSeq() - 1
+	if consumed > uint64(len(r.log)) {
+		r.startGapResolutionLocked(uint64(len(r.log)) + 1)
+	}
+}
+
+// --- epoch start ----------------------------------------------------------
+
+// epochStartVotes accumulates ⟨EPOCH-START⟩ messages per epoch.
+type epochVote struct {
+	slot uint64
+	tag  []byte
+}
+
+func (r *Replica) recordEpochStartLocked(epoch uint32, replica uint32, slot uint64, tag []byte) {
+	if r.epochVotes == nil {
+		r.epochVotes = map[uint32]map[uint32]epochVote{}
+	}
+	byRep := r.epochVotes[epoch]
+	if byRep == nil {
+		byRep = map[uint32]epochVote{}
+		r.epochVotes[epoch] = byRep
+	}
+	byRep[replica] = epochVote{slot: slot, tag: append([]byte(nil), tag...)}
+}
+
+func (r *Replica) onEpochStart(pkt []byte) {
+	rd := wire.NewReader(pkt)
+	replica := rd.U32()
+	epoch := rd.U32()
+	slot := rd.U64()
+	tag := rd.VarBytes()
+	if rd.Done() != nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if int(replica) >= r.cfg.N {
+		return
+	}
+	if !r.cfg.Auth.VerifyVector(int(replica), epochStartBody(epoch, replica, slot), tag) {
+		return
+	}
+	r.recordEpochStartLocked(epoch, replica, slot, tag)
+	r.maybeFinishEpochStartLocked()
+}
+
+// maybeFinishEpochStartLocked installs the new epoch once 2f+1 matching
+// epoch-starts form the epoch certificate (§B.1). Caller holds r.mu.
+func (r *Replica) maybeFinishEpochStartLocked() {
+	if r.vc == nil || r.vc.wantEpoch == 0 {
+		return
+	}
+	epoch := r.vc.wantEpoch
+	mySlot := uint64(len(r.log))
+	votes := r.epochVotes[epoch]
+	parts := make([]SignedPart, 0, len(votes))
+	for rep, v := range votes {
+		if v.slot == mySlot {
+			parts = append(parts, SignedPart{Replica: rep, Tag: v.tag})
+		}
+	}
+	if len(parts) < 2*r.cfg.F+1 {
+		return
+	}
+	cert := &EpochCert{Epoch: epoch, Slot: mySlot, Starts: parts}
+	r.epochCerts[epoch] = cert
+	r.epochStart[epoch] = mySlot
+
+	// Install the new epoch's aom credentials.
+	view, err := r.cfg.Svc.View(r.cfg.Group)
+	if err == nil && view.Epoch == epoch {
+		ep := r.cfg.Svc.EpochConfigFor(view, r.cfg.Self)
+		r.recv.InstallEpoch(ep)
+		r.installVerifier(epoch, ep)
+	}
+	delete(r.epochVotes, epoch)
+	r.finishViewChangeLocked()
+}

@@ -1,0 +1,55 @@
+package pbft
+
+import (
+	"sync/atomic"
+	"time"
+
+	"neobft/internal/crypto/auth"
+	"neobft/internal/replication"
+	"neobft/internal/transport"
+)
+
+// Client is a PBFT client: it sends requests to the primary and accepts
+// a result after f+1 matching replies; on retransmission it broadcasts to
+// all replicas (which forward to the primary and arm failure timers).
+type Client struct {
+	base    *replication.Client
+	conn    transport.Conn
+	members []transport.NodeID
+	n       int
+	view    atomic.Uint64
+}
+
+// NewClient creates a PBFT client.
+func NewClient(conn transport.Conn, master []byte, n, f int, members []transport.NodeID, timeout time.Duration) *Client {
+	c := &Client{conn: conn, members: members, n: n}
+	c.base = replication.NewClient(replication.ClientConfig{
+		Conn: conn, N: n, F: f, Quorum: f + 1,
+		Auth:        auth.NewClientSide(master, int64(conn.ID()), n),
+		Timeout:     timeout,
+		Submit:      c.submit,
+		OnReplyHook: func(rep *replication.Reply) { c.view.Store(rep.View) },
+	})
+	conn.SetHandler(func(from transport.NodeID, pkt []byte) { c.base.HandlePacket(from, pkt) })
+	return c
+}
+
+func (c *Client) submit(req *replication.Request, retry bool) {
+	pkt := req.Marshal()
+	if retry {
+		for _, m := range c.members {
+			c.conn.Send(m, pkt)
+		}
+		return
+	}
+	primary := c.members[int(c.view.Load())%c.n]
+	c.conn.Send(primary, pkt)
+}
+
+// Invoke executes one operation.
+func (c *Client) Invoke(op []byte, deadline time.Duration) ([]byte, error) {
+	return c.base.Invoke(op, deadline)
+}
+
+// ID returns the client's node ID.
+func (c *Client) ID() transport.NodeID { return c.conn.ID() }

@@ -1,0 +1,566 @@
+// Package pbft implements Practical Byzantine Fault Tolerance (Castro &
+// Liskov, OSDI '99), the classical baseline of the paper's evaluation.
+// The normal case is the three-phase pre-prepare / prepare / commit
+// protocol with MAC-vector authenticators and request batching at the
+// primary; primary failure is handled by the standard view-change /
+// new-view protocol. Clients accept a result after f+1 matching replies.
+package pbft
+
+import (
+	"crypto/sha256"
+	"sync"
+	"time"
+
+	"neobft/internal/crypto/auth"
+	"neobft/internal/replication"
+	"neobft/internal/transport"
+	"neobft/internal/wire"
+)
+
+// Message kinds.
+const (
+	kindPrePrepare uint8 = replication.KindProtocolBase + iota
+	kindPrepare
+	kindCommit
+	kindViewChange
+	kindNewView
+	kindForward
+)
+
+// Config configures a PBFT replica.
+type Config struct {
+	Self, N, F int
+	Members    []transport.NodeID
+	Conn       transport.Conn
+	Auth       auth.Authenticator
+	ClientAuth *auth.ReplicaSide
+	App        replication.App
+	// BatchSize caps requests per pre-prepare (default 8).
+	BatchSize int
+	// Window caps outstanding (uncommitted) batches (default 2). A small
+	// window is what makes batching effective: requests arriving while
+	// the window is full accumulate into the next batch.
+	Window int
+	// RequestTimeout triggers primary suspicion for unexecuted client
+	// requests.
+	RequestTimeout time.Duration
+	// ViewChangeTimeout bounds a view-change attempt.
+	ViewChangeTimeout time.Duration
+	// TickInterval drives timers. Default 10ms.
+	TickInterval time.Duration
+}
+
+type slot struct {
+	view     uint64
+	digest   [32]byte
+	batch    []*replication.Request
+	prepares map[uint32][]byte
+	commits  map[uint32][]byte
+	prepared bool
+	// prepareProof retains the 2f prepare tags for view changes.
+	prepareProof []part
+	committed    bool
+	executed     bool
+	sentCommit   bool
+}
+
+type part struct {
+	Replica uint32
+	Tag     []byte
+}
+
+// Replica is a PBFT replica.
+type Replica struct {
+	cfg  Config
+	conn transport.Conn
+
+	mu       sync.Mutex
+	view     uint64
+	inVC     bool
+	vcTarget uint64
+	vcStart  time.Time
+	vcMsgs   map[uint64]map[uint32]*vcMsg // target view → replica → msg
+
+	seq      uint64 // primary's next sequence number (last assigned)
+	slots    map[uint64]*slot
+	lastExec uint64
+	pending  []*replication.Request
+	inQueue  map[string]bool // dedupe queued requests by (client, reqID)
+	table    *replication.ClientTable
+
+	pendingClientReqs map[string]time.Time
+
+	ticker   *time.Ticker
+	stopTick chan struct{}
+	stopOnce sync.Once
+
+	executedOps uint64
+	viewChanges uint64
+}
+
+// New creates and starts a PBFT replica.
+func New(cfg Config) *Replica {
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 8
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 2
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 300 * time.Millisecond
+	}
+	if cfg.ViewChangeTimeout == 0 {
+		cfg.ViewChangeTimeout = 500 * time.Millisecond
+	}
+	if cfg.TickInterval == 0 {
+		cfg.TickInterval = 10 * time.Millisecond
+	}
+	r := &Replica{
+		cfg:               cfg,
+		conn:              cfg.Conn,
+		slots:             map[uint64]*slot{},
+		inQueue:           map[string]bool{},
+		table:             replication.NewClientTable(),
+		vcMsgs:            map[uint64]map[uint32]*vcMsg{},
+		pendingClientReqs: map[string]time.Time{},
+		stopTick:          make(chan struct{}),
+	}
+	cfg.Conn.SetHandler(r.handle)
+	r.ticker = time.NewTicker(cfg.TickInterval)
+	go r.tickLoop()
+	return r
+}
+
+// Close stops the replica.
+func (r *Replica) Close() {
+	r.stopOnce.Do(func() {
+		close(r.stopTick)
+		r.ticker.Stop()
+	})
+}
+
+// View returns the current view number.
+func (r *Replica) View() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.view
+}
+
+// Executed returns the number of executed client operations.
+func (r *Replica) Executed() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.executedOps
+}
+
+// ViewChanges returns how many view changes completed at this replica.
+func (r *Replica) ViewChanges() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.viewChanges
+}
+
+func (r *Replica) primary() int    { return int(r.view) % r.cfg.N }
+func (r *Replica) isPrimary() bool { return r.primary() == r.cfg.Self }
+func (r *Replica) primaryNode() transport.NodeID {
+	return r.cfg.Members[r.primary()]
+}
+
+func (r *Replica) broadcast(pkt []byte) {
+	for i, m := range r.cfg.Members {
+		if i == r.cfg.Self {
+			continue
+		}
+		r.conn.Send(m, pkt)
+	}
+}
+
+func (r *Replica) slotFor(seq uint64) *slot {
+	s := r.slots[seq]
+	if s == nil {
+		s = &slot{prepares: map[uint32][]byte{}, commits: map[uint32][]byte{}}
+		r.slots[seq] = s
+	}
+	return s
+}
+
+// --- message bodies -------------------------------------------------------
+
+func ppBody(view, seq uint64, digest [32]byte) []byte {
+	w := wire.NewWriter(64)
+	w.Raw([]byte("pbft-pp"))
+	w.U64(view)
+	w.U64(seq)
+	w.Bytes32(digest)
+	return w.Bytes()
+}
+
+func prepBody(view, seq uint64, digest [32]byte, replica uint32) []byte {
+	w := wire.NewWriter(64)
+	w.Raw([]byte("pbft-prep"))
+	w.U64(view)
+	w.U64(seq)
+	w.Bytes32(digest)
+	w.U32(replica)
+	return w.Bytes()
+}
+
+func commitBody(view, seq uint64, digest [32]byte, replica uint32) []byte {
+	w := wire.NewWriter(64)
+	w.Raw([]byte("pbft-commit"))
+	w.U64(view)
+	w.U64(seq)
+	w.Bytes32(digest)
+	w.U32(replica)
+	return w.Bytes()
+}
+
+func batchDigest(batch []*replication.Request) [32]byte {
+	h := sha256.New()
+	for _, req := range batch {
+		d := replication.RequestDigest(req)
+		h.Write(d[:])
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+func marshalBatch(w *wire.Writer, batch []*replication.Request) {
+	w.U32(uint32(len(batch)))
+	for _, req := range batch {
+		w.VarBytes(req.Marshal()[1:]) // strip envelope kind
+	}
+}
+
+func unmarshalBatch(rd *wire.Reader) ([]*replication.Request, bool) {
+	n := rd.U32()
+	if rd.Err() != nil || n > 1<<16 {
+		return nil, false
+	}
+	batch := make([]*replication.Request, n)
+	for i := range batch {
+		req, err := replication.UnmarshalRequest(rd.VarBytes())
+		if err != nil {
+			return nil, false
+		}
+		batch[i] = req
+	}
+	return batch, true
+}
+
+// --- client requests -------------------------------------------------------
+
+func reqKey(c transport.NodeID, id uint64) string {
+	w := wire.NewWriter(12)
+	w.U32(uint32(c))
+	w.U64(id)
+	return string(w.Bytes())
+}
+
+func (r *Replica) handle(from transport.NodeID, pkt []byte) {
+	if len(pkt) == 0 {
+		return
+	}
+	switch pkt[0] {
+	case replication.KindRequest:
+		r.onRequest(pkt[1:], false)
+	case kindForward:
+		r.onRequest(pkt[1:], true)
+	case kindPrePrepare:
+		r.onPrePrepare(pkt[1:])
+	case kindPrepare:
+		r.onPrepare(pkt[1:])
+	case kindCommit:
+		r.onCommit(pkt[1:])
+	case kindViewChange:
+		r.onViewChange(pkt[1:])
+	case kindNewView:
+		r.onNewView(pkt[1:])
+	}
+}
+
+func (r *Replica) onRequest(body []byte, forwarded bool) {
+	req, err := replication.UnmarshalRequest(body)
+	if err != nil {
+		return
+	}
+	if !r.cfg.ClientAuth.VerifyClient(int64(req.Client), req.SignedBody(), req.Auth) {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fresh, cached := r.table.Check(req.Client, req.ReqID)
+	if !fresh {
+		if cached != nil {
+			r.conn.Send(req.Client, cached.Marshal())
+		}
+		return
+	}
+	key := reqKey(req.Client, req.ReqID)
+	if r.isPrimary() {
+		if !r.inQueue[key] {
+			r.inQueue[key] = true
+			r.pending = append(r.pending, req)
+		}
+		r.tryIssueLocked()
+		return
+	}
+	// Backup: forward to the primary and start the suspicion timer.
+	if !forwarded {
+		fw := append([]byte{kindForward}, body...)
+		r.conn.Send(r.primaryNode(), fw)
+	}
+	if _, ok := r.pendingClientReqs[key]; !ok {
+		r.pendingClientReqs[key] = time.Now()
+	}
+}
+
+// tryIssueLocked lets the primary cut batches while the window allows.
+// Caller holds r.mu.
+func (r *Replica) tryIssueLocked() {
+	if !r.isPrimary() || r.inVC {
+		return
+	}
+	outstanding := r.seq - r.lastExec
+	for len(r.pending) > 0 && outstanding < uint64(r.cfg.Window) {
+		n := len(r.pending)
+		if n > r.cfg.BatchSize {
+			n = r.cfg.BatchSize
+		}
+		batch := r.pending[:n]
+		r.pending = r.pending[n:]
+		r.seq++
+		seq := r.seq
+		s := r.slotFor(seq)
+		s.view = r.view
+		s.batch = batch
+		s.digest = batchDigest(batch)
+
+		body := ppBody(r.view, seq, s.digest)
+		w := wire.NewWriter(256)
+		w.U8(kindPrePrepare)
+		w.VarBytes(body)
+		w.VarBytes(r.cfg.Auth.TagVector(body))
+		marshalBatch(w, batch)
+		r.broadcast(w.Bytes())
+		outstanding = r.seq - r.lastExec
+	}
+}
+
+// --- three-phase agreement -------------------------------------------------
+
+func (r *Replica) onPrePrepare(pkt []byte) {
+	rd := wire.NewReader(pkt)
+	body := rd.VarBytes()
+	tag := rd.VarBytes()
+	batch, ok := unmarshalBatch(rd)
+	if !ok || rd.Done() != nil {
+		return
+	}
+	br := wire.NewReader(body)
+	if !br.Prefix("pbft-pp") {
+		return
+	}
+	view := br.U64()
+	seq := br.U64()
+	digest := br.Bytes32()
+	if br.Done() != nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.inVC || view != r.view || r.isPrimary() {
+		return
+	}
+	if !r.cfg.Auth.VerifyVector(r.primary(), body, tag) {
+		return
+	}
+	if batchDigest(batch) != digest {
+		return
+	}
+	s := r.slotFor(seq)
+	if s.batch != nil && s.view == view && s.digest != digest {
+		return // conflicting pre-prepare; ignore (view change handles)
+	}
+	s.view = view
+	s.batch = batch
+	s.digest = digest
+	// Send prepare.
+	pb := prepBody(view, seq, digest, uint32(r.cfg.Self))
+	ptag := r.cfg.Auth.TagVector(pb)
+	s.prepares[uint32(r.cfg.Self)] = ptag
+	w := wire.NewWriter(128)
+	w.U8(kindPrepare)
+	w.U32(uint32(r.cfg.Self))
+	w.U64(view)
+	w.U64(seq)
+	w.Bytes32(digest)
+	w.VarBytes(ptag)
+	r.broadcast(w.Bytes())
+	r.maybePreparedLocked(seq, s)
+}
+
+func (r *Replica) onPrepare(pkt []byte) {
+	rd := wire.NewReader(pkt)
+	replica := rd.U32()
+	view := rd.U64()
+	seq := rd.U64()
+	digest := rd.Bytes32()
+	tag := rd.VarBytes()
+	if rd.Done() != nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.inVC || view != r.view || int(replica) >= r.cfg.N {
+		return
+	}
+	if !r.cfg.Auth.VerifyVector(int(replica), prepBody(view, seq, digest, replica), tag) {
+		return
+	}
+	s := r.slotFor(seq)
+	if s.batch != nil && s.digest != digest {
+		return
+	}
+	s.prepares[replica] = append([]byte(nil), tag...)
+	r.maybePreparedLocked(seq, s)
+}
+
+// maybePreparedLocked checks the prepared predicate: a pre-prepare plus
+// 2f prepares from distinct backups. Caller holds r.mu.
+func (r *Replica) maybePreparedLocked(seq uint64, s *slot) {
+	if s.prepared || s.batch == nil {
+		return
+	}
+	// The primary's pre-prepare is its vote; count backup prepares.
+	need := 2 * r.cfg.F
+	if len(s.prepares) < need {
+		return
+	}
+	s.prepared = true
+	s.prepareProof = s.prepareProof[:0]
+	for rep, tag := range s.prepares {
+		s.prepareProof = append(s.prepareProof, part{Replica: rep, Tag: tag})
+	}
+	if !s.sentCommit {
+		s.sentCommit = true
+		cb := commitBody(r.view, seq, s.digest, uint32(r.cfg.Self))
+		ctag := r.cfg.Auth.TagVector(cb)
+		s.commits[uint32(r.cfg.Self)] = ctag
+		w := wire.NewWriter(128)
+		w.U8(kindCommit)
+		w.U32(uint32(r.cfg.Self))
+		w.U64(r.view)
+		w.U64(seq)
+		w.Bytes32(s.digest)
+		w.VarBytes(ctag)
+		r.broadcast(w.Bytes())
+	}
+	r.maybeCommittedLocked(seq, s)
+}
+
+func (r *Replica) onCommit(pkt []byte) {
+	rd := wire.NewReader(pkt)
+	replica := rd.U32()
+	view := rd.U64()
+	seq := rd.U64()
+	digest := rd.Bytes32()
+	tag := rd.VarBytes()
+	if rd.Done() != nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.inVC || view != r.view || int(replica) >= r.cfg.N {
+		return
+	}
+	if !r.cfg.Auth.VerifyVector(int(replica), commitBody(view, seq, digest, replica), tag) {
+		return
+	}
+	s := r.slotFor(seq)
+	if s.batch != nil && s.digest != digest {
+		return
+	}
+	s.commits[replica] = append([]byte(nil), tag...)
+	r.maybeCommittedLocked(seq, s)
+}
+
+func (r *Replica) maybeCommittedLocked(seq uint64, s *slot) {
+	if s.committed || !s.prepared {
+		return
+	}
+	if s.batch == nil || len(s.commits) < 2*r.cfg.F+1 {
+		return
+	}
+	s.committed = true
+	r.executeReadyLocked()
+}
+
+func (r *Replica) executeReadyLocked() {
+	for {
+		s := r.slots[r.lastExec+1]
+		if s == nil || !s.committed || s.executed {
+			return
+		}
+		seq := r.lastExec + 1
+		s.executed = true
+		r.lastExec = seq
+		for _, req := range s.batch {
+			fresh, cached := r.table.Check(req.Client, req.ReqID)
+			if !fresh {
+				if cached != nil {
+					r.conn.Send(req.Client, cached.Marshal())
+				}
+				continue
+			}
+			result, _ := r.cfg.App.Execute(req.Op)
+			r.executedOps++
+			rep := &replication.Reply{
+				View:    r.view,
+				Replica: uint32(r.cfg.Self),
+				Slot:    seq,
+				ReqID:   req.ReqID,
+				Result:  result,
+			}
+			rep.Auth = r.cfg.ClientAuth.TagFor(int64(req.Client), rep.SignedBody())
+			r.table.Store(req.Client, req.ReqID, rep)
+			delete(r.pendingClientReqs, reqKey(req.Client, req.ReqID))
+			delete(r.inQueue, reqKey(req.Client, req.ReqID))
+			r.conn.Send(req.Client, rep.Marshal())
+		}
+		r.tryIssueLocked()
+	}
+}
+
+// --- timers ---------------------------------------------------------------
+
+func (r *Replica) tickLoop() {
+	for {
+		select {
+		case <-r.stopTick:
+			return
+		case <-r.ticker.C:
+			r.onTick()
+		}
+	}
+}
+
+func (r *Replica) onTick() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := time.Now()
+	if !r.inVC {
+		for key, since := range r.pendingClientReqs {
+			if now.Sub(since) > r.cfg.RequestTimeout {
+				delete(r.pendingClientReqs, key)
+				r.startViewChangeLocked(r.view + 1)
+				return
+			}
+		}
+		return
+	}
+	if now.Sub(r.vcStart) > r.cfg.ViewChangeTimeout {
+		r.startViewChangeLocked(r.vcTarget + 1)
+	}
+}

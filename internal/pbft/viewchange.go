@@ -1,0 +1,380 @@
+package pbft
+
+import (
+	"time"
+
+	"neobft/internal/replication"
+	"neobft/internal/wire"
+)
+
+// PBFT view change. Without checkpoints (this implementation keeps the
+// whole log in memory, as the evaluation runs are bounded), a view-change
+// message carries a prepared-proof for every prepared slot: the batch,
+// its digest, the view it prepared in and the 2f prepare authenticators.
+// The new primary re-issues pre-prepares in the new view for every slot
+// above the smallest executed prefix in its 2f+1 view-change quorum,
+// filling unprepared holes with empty (no-op) batches.
+
+type preparedProof struct {
+	Seq    uint64
+	View   uint64
+	Digest [32]byte
+	Batch  []*replication.Request
+	Proof  []part
+}
+
+type vcMsg struct {
+	Replica  uint32
+	Target   uint64
+	LastExec uint64
+	Proofs   []preparedProof
+	Tag      []byte
+}
+
+func (m *vcMsg) body() []byte {
+	w := wire.NewWriter(256)
+	w.Raw([]byte("pbft-vc"))
+	w.U32(m.Replica)
+	w.U64(m.Target)
+	w.U64(m.LastExec)
+	w.U32(uint32(len(m.Proofs)))
+	for i := range m.Proofs {
+		p := &m.Proofs[i]
+		w.U64(p.Seq)
+		w.U64(p.View)
+		w.Bytes32(p.Digest)
+		marshalBatch(w, p.Batch)
+		w.U32(uint32(len(p.Proof)))
+		for _, pp := range p.Proof {
+			w.U32(pp.Replica)
+			w.VarBytes(pp.Tag)
+		}
+	}
+	return w.Bytes()
+}
+
+func (m *vcMsg) marshal() []byte {
+	body := m.body()
+	w := wire.NewWriter(len(body) + 64)
+	w.U8(kindViewChange)
+	w.VarBytes(body)
+	w.VarBytes(m.Tag)
+	return w.Bytes()
+}
+
+func unmarshalVC(pkt []byte) (*vcMsg, bool) {
+	rd := wire.NewReader(pkt)
+	body := rd.VarBytes()
+	tag := append([]byte(nil), rd.VarBytes()...)
+	if rd.Done() != nil {
+		return nil, false
+	}
+	br := wire.NewReader(body)
+	if !br.Prefix("pbft-vc") {
+		return nil, false
+	}
+	m := &vcMsg{Tag: tag}
+	m.Replica = br.U32()
+	m.Target = br.U64()
+	m.LastExec = br.U64()
+	n := br.U32()
+	if br.Err() != nil || n > 1<<20 {
+		return nil, false
+	}
+	m.Proofs = make([]preparedProof, n)
+	for i := range m.Proofs {
+		p := &m.Proofs[i]
+		p.Seq = br.U64()
+		p.View = br.U64()
+		p.Digest = br.Bytes32()
+		batch, ok := unmarshalBatch(br)
+		if !ok {
+			return nil, false
+		}
+		p.Batch = batch
+		np := br.U32()
+		if br.Err() != nil || np > 1<<16 {
+			return nil, false
+		}
+		p.Proof = make([]part, np)
+		for j := range p.Proof {
+			p.Proof[j].Replica = br.U32()
+			p.Proof[j].Tag = append([]byte(nil), br.VarBytes()...)
+		}
+	}
+	if br.Done() != nil {
+		return nil, false
+	}
+	return m, true
+}
+
+// startViewChangeLocked moves the replica into a view change toward
+// target. Caller holds r.mu.
+func (r *Replica) startViewChangeLocked(target uint64) {
+	if target <= r.view {
+		return
+	}
+	r.inVC = true
+	r.vcTarget = target
+	r.vcStart = time.Now()
+
+	m := &vcMsg{Replica: uint32(r.cfg.Self), Target: target, LastExec: r.lastExec}
+	for seq, s := range r.slots {
+		if s.prepared && s.batch != nil {
+			m.Proofs = append(m.Proofs, preparedProof{
+				Seq: seq, View: s.view, Digest: s.digest, Batch: s.batch, Proof: s.prepareProof,
+			})
+		}
+	}
+	m.Tag = r.cfg.Auth.TagVector(m.body())
+	r.storeVCLocked(m)
+	r.broadcast(m.marshal())
+	r.maybeNewViewLocked(target)
+}
+
+func (r *Replica) storeVCLocked(m *vcMsg) {
+	byRep := r.vcMsgs[m.Target]
+	if byRep == nil {
+		byRep = map[uint32]*vcMsg{}
+		r.vcMsgs[m.Target] = byRep
+	}
+	byRep[m.Replica] = m
+}
+
+func (r *Replica) onViewChange(pkt []byte) {
+	m, ok := unmarshalVC(pkt)
+	if !ok {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if int(m.Replica) >= r.cfg.N || m.Target <= r.view {
+		return
+	}
+	if !r.cfg.Auth.VerifyVector(int(m.Replica), m.body(), m.Tag) {
+		return
+	}
+	if !r.validProofsLocked(m) {
+		return
+	}
+	r.storeVCLocked(m)
+	// Join once f+1 distinct replicas demand a newer view.
+	if (!r.inVC || r.vcTarget < m.Target) && len(r.vcMsgs[m.Target]) >= r.cfg.F+1 {
+		r.startViewChangeLocked(m.Target)
+		return
+	}
+	r.maybeNewViewLocked(m.Target)
+}
+
+// validProofsLocked validates every prepared-proof in a view-change
+// message. Caller holds r.mu.
+func (r *Replica) validProofsLocked(m *vcMsg) bool {
+	for i := range m.Proofs {
+		p := &m.Proofs[i]
+		if batchDigest(p.Batch) != p.Digest {
+			return false
+		}
+		seen := map[uint32]bool{}
+		valid := 0
+		for _, pp := range p.Proof {
+			if int(pp.Replica) >= r.cfg.N || seen[pp.Replica] {
+				continue
+			}
+			if !r.cfg.Auth.VerifyVector(int(pp.Replica), prepBody(p.View, p.Seq, p.Digest, pp.Replica), pp.Tag) {
+				continue
+			}
+			seen[pp.Replica] = true
+			valid++
+		}
+		if valid < 2*r.cfg.F {
+			return false
+		}
+	}
+	return true
+}
+
+type nvMsg struct {
+	View uint64
+	VCs  [][]byte // marshaled vcMsg packets without envelope kind
+	Tag  []byte
+}
+
+func (m *nvMsg) body() []byte {
+	w := wire.NewWriter(256)
+	w.Raw([]byte("pbft-nv"))
+	w.U64(m.View)
+	w.U32(uint32(len(m.VCs)))
+	for _, b := range m.VCs {
+		w.VarBytes(b)
+	}
+	return w.Bytes()
+}
+
+// maybeNewViewLocked lets the primary of the target view broadcast a
+// NEW-VIEW once it holds 2f+1 view-change messages. Caller holds r.mu.
+func (r *Replica) maybeNewViewLocked(target uint64) {
+	if int(target)%r.cfg.N != r.cfg.Self {
+		return
+	}
+	if !r.inVC || r.vcTarget != target {
+		return
+	}
+	byRep := r.vcMsgs[target]
+	if len(byRep) < 2*r.cfg.F+1 {
+		return
+	}
+	msgs := make([]*vcMsg, 0, len(byRep))
+	raw := make([][]byte, 0, len(byRep))
+	for _, m := range byRep {
+		msgs = append(msgs, m)
+		raw = append(raw, m.marshal()[1:])
+	}
+	nv := &nvMsg{View: target, VCs: raw}
+	nv.Tag = r.cfg.Auth.TagVector(nv.body())
+	w := wire.NewWriter(1024)
+	w.U8(kindNewView)
+	w.VarBytes(nv.body())
+	w.VarBytes(nv.Tag)
+	r.broadcast(w.Bytes())
+	r.enterNewViewLocked(target, msgs)
+}
+
+func (r *Replica) onNewView(pkt []byte) {
+	rd := wire.NewReader(pkt)
+	body := rd.VarBytes()
+	tag := rd.VarBytes()
+	if rd.Done() != nil {
+		return
+	}
+	br := wire.NewReader(body)
+	if !br.Prefix("pbft-nv") {
+		return
+	}
+	view := br.U64()
+	n := br.U32()
+	if br.Err() != nil || n > uint32(r.cfg.N) {
+		return
+	}
+	rawVCs := make([][]byte, n)
+	for i := range rawVCs {
+		rawVCs[i] = br.VarBytes()
+	}
+	if br.Done() != nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if view <= r.view {
+		return
+	}
+	primary := int(view) % r.cfg.N
+	if !r.cfg.Auth.VerifyVector(primary, body, tag) {
+		return
+	}
+	seen := map[uint32]bool{}
+	msgs := make([]*vcMsg, 0, len(rawVCs))
+	for _, raw := range rawVCs {
+		m, ok := unmarshalVC(raw)
+		if !ok || int(m.Replica) >= r.cfg.N || seen[m.Replica] || m.Target != view {
+			continue
+		}
+		if !r.cfg.Auth.VerifyVector(int(m.Replica), m.body(), m.Tag) {
+			continue
+		}
+		if !r.validProofsLocked(m) {
+			continue
+		}
+		seen[m.Replica] = true
+		msgs = append(msgs, m)
+	}
+	if len(msgs) < 2*r.cfg.F+1 {
+		return
+	}
+	r.enterNewViewLocked(view, msgs)
+}
+
+// enterNewViewLocked installs the new view: every slot above the smallest
+// executed prefix in the quorum is re-issued with the prepared batch of
+// the highest view (or an empty no-op batch for holes). Caller holds r.mu.
+func (r *Replica) enterNewViewLocked(view uint64, msgs []*vcMsg) {
+	base := msgs[0].LastExec
+	var maxSeq uint64
+	chosen := map[uint64]*preparedProof{}
+	for _, m := range msgs {
+		if m.LastExec < base {
+			base = m.LastExec
+		}
+		if m.LastExec > maxSeq {
+			maxSeq = m.LastExec
+		}
+		for i := range m.Proofs {
+			p := &m.Proofs[i]
+			if p.Seq > maxSeq {
+				maxSeq = p.Seq
+			}
+			if cur, ok := chosen[p.Seq]; !ok || p.View > cur.View {
+				chosen[p.Seq] = p
+			}
+		}
+	}
+	r.view = view
+	r.inVC = false
+	r.viewChanges++
+	r.pendingClientReqs = map[string]time.Time{}
+	for t := range r.vcMsgs {
+		if t <= view {
+			delete(r.vcMsgs, t)
+		}
+	}
+	// Reset agreement state for all non-executed slots and adopt the
+	// chosen batches in the new view.
+	if r.seq < maxSeq {
+		r.seq = maxSeq
+	}
+	for seq := base + 1; seq <= maxSeq; seq++ {
+		s := r.slotFor(seq)
+		if s.executed {
+			continue
+		}
+		var batch []*replication.Request
+		var digest [32]byte
+		if p, ok := chosen[seq]; ok {
+			batch = p.Batch
+			digest = p.Digest
+		} else {
+			batch = nil
+			digest = batchDigest(nil)
+		}
+		s.view = view
+		s.batch = batch
+		s.digest = digest
+		s.prepared = false
+		s.committed = false
+		s.sentCommit = false
+		s.prepares = map[uint32][]byte{}
+		s.commits = map[uint32][]byte{}
+		if r.isPrimary() {
+			body := ppBody(view, seq, digest)
+			w := wire.NewWriter(256)
+			w.U8(kindPrePrepare)
+			w.VarBytes(body)
+			w.VarBytes(r.cfg.Auth.TagVector(body))
+			marshalBatch(w, batch)
+			r.broadcast(w.Bytes())
+		} else {
+			// Backups prepare the re-issued slot immediately.
+			pb := prepBody(view, seq, digest, uint32(r.cfg.Self))
+			ptag := r.cfg.Auth.TagVector(pb)
+			s.prepares[uint32(r.cfg.Self)] = ptag
+			w := wire.NewWriter(128)
+			w.U8(kindPrepare)
+			w.U32(uint32(r.cfg.Self))
+			w.U64(view)
+			w.U64(seq)
+			w.Bytes32(digest)
+			w.VarBytes(ptag)
+			r.broadcast(w.Bytes())
+		}
+	}
+	r.tryIssueLocked()
+}

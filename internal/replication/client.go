@@ -1,0 +1,160 @@
+package replication
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"neobft/internal/crypto/auth"
+	"neobft/internal/transport"
+)
+
+// ClientConfig configures a closed-loop protocol client.
+type ClientConfig struct {
+	// Conn is the client's network attachment.
+	Conn transport.Conn
+	// N and F are the replication parameters.
+	N, F int
+	// Quorum is how many matching replies complete an invocation
+	// (NeoBFT: 2f+1; PBFT/HotStuff/MinBFT: f+1; Zyzzyva uses its own
+	// client).
+	Quorum int
+	// MatchPosition additionally requires replies to agree on
+	// (View, Slot, LogHash), as NeoBFT does (§5.3).
+	MatchPosition bool
+	// Auth authenticates requests and verifies replies.
+	Auth *auth.ClientSide
+	// Submit sends a request into the protocol; retry is true on
+	// retransmissions (NeoBFT then also unicasts to all replicas).
+	Submit func(req *Request, retry bool)
+	// Timeout is the retransmission interval (default 100ms).
+	Timeout time.Duration
+	// OnReplyHook, if set, observes every authenticated reply (used by
+	// protocol clients to track the current primary from Reply.View).
+	OnReplyHook func(*Reply)
+}
+
+// Client is a closed-loop BFT client: one outstanding operation at a
+// time, retried until a quorum of matching replies arrives.
+type Client struct {
+	cfg ClientConfig
+
+	mu      sync.Mutex
+	reqID   uint64
+	pending *pendingOp
+}
+
+type replyKey struct {
+	view    uint64
+	slot    uint64
+	logHash [32]byte
+	result  string
+}
+
+type pendingOp struct {
+	reqID uint64
+	votes map[replyKey]map[uint32]bool
+	done  chan []byte
+}
+
+// NewClient creates a client. The caller must route inbound packets to
+// HandlePacket (typically from the Conn handler).
+func NewClient(cfg ClientConfig) *Client {
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 100 * time.Millisecond
+	}
+	return &Client{cfg: cfg}
+}
+
+// ID returns the client's node ID.
+func (c *Client) ID() transport.NodeID { return c.cfg.Conn.ID() }
+
+// Invoke executes one operation and blocks until it is successful
+// (quorum of matching, authenticated replies) or the deadline passes.
+func (c *Client) Invoke(op []byte, deadline time.Duration) ([]byte, error) {
+	c.mu.Lock()
+	c.reqID++
+	req := &Request{Client: c.cfg.Conn.ID(), ReqID: c.reqID, Op: op}
+	req.Auth = c.cfg.Auth.TagVector(req.SignedBody())
+	p := &pendingOp{
+		reqID: req.ReqID,
+		votes: make(map[replyKey]map[uint32]bool),
+		done:  make(chan []byte, 1),
+	}
+	c.pending = p
+	c.mu.Unlock()
+
+	c.cfg.Submit(req, false)
+	timer := time.NewTimer(c.cfg.Timeout)
+	defer timer.Stop()
+	overall := time.NewTimer(deadline)
+	defer overall.Stop()
+	for {
+		select {
+		case result := <-p.done:
+			c.mu.Lock()
+			c.pending = nil
+			c.mu.Unlock()
+			return result, nil
+		case <-timer.C:
+			c.cfg.Submit(req, true)
+			timer.Reset(c.cfg.Timeout)
+		case <-overall.C:
+			c.mu.Lock()
+			c.pending = nil
+			c.mu.Unlock()
+			return nil, fmt.Errorf("client %d: request %d timed out", c.cfg.Conn.ID(), req.ReqID)
+		}
+	}
+}
+
+// HandlePacket consumes a reply packet; it returns true if the packet was
+// a reply envelope.
+func (c *Client) HandlePacket(from transport.NodeID, pkt []byte) bool {
+	if len(pkt) == 0 || pkt[0] != KindReply {
+		return false
+	}
+	rep, err := UnmarshalReply(pkt[1:])
+	if err != nil {
+		return true
+	}
+	c.OnReply(rep)
+	return true
+}
+
+// OnReply feeds a decoded reply into the quorum counter.
+func (c *Client) OnReply(rep *Reply) {
+	if int(rep.Replica) >= c.cfg.N {
+		return
+	}
+	if !c.cfg.Auth.VerifyFrom(int(rep.Replica), rep.SignedBody(), rep.Auth) {
+		return
+	}
+	if c.cfg.OnReplyHook != nil {
+		c.cfg.OnReplyHook(rep)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := c.pending
+	if p == nil || rep.ReqID != p.reqID {
+		return
+	}
+	key := replyKey{result: string(rep.Result)}
+	if c.cfg.MatchPosition {
+		key.view = rep.View
+		key.slot = rep.Slot
+		key.logHash = rep.LogHash
+	}
+	voters := p.votes[key]
+	if voters == nil {
+		voters = make(map[uint32]bool)
+		p.votes[key] = voters
+	}
+	voters[rep.Replica] = true
+	if len(voters) >= c.cfg.Quorum {
+		select {
+		case p.done <- rep.Result:
+		default:
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package replication
+
+import "neobft/internal/transport"
+
+// ClientTable provides at-most-once execution semantics: it remembers the
+// highest request ID executed per client and caches the reply so
+// retransmitted requests are answered without re-execution (§C.1,
+// "standard at-most-once techniques").
+type ClientTable struct {
+	entries map[transport.NodeID]*clientEntry
+}
+
+type clientEntry struct {
+	lastReqID uint64
+	lastReply *Reply
+}
+
+// NewClientTable creates an empty table.
+func NewClientTable() *ClientTable {
+	return &ClientTable{entries: make(map[transport.NodeID]*clientEntry)}
+}
+
+// Check classifies an incoming request ID for a client:
+// fresh (execute it), duplicate (resend cached reply, returned non-nil),
+// or stale (older than the last executed; ignore).
+func (t *ClientTable) Check(client transport.NodeID, reqID uint64) (fresh bool, cached *Reply) {
+	e, ok := t.entries[client]
+	if !ok {
+		return true, nil
+	}
+	switch {
+	case reqID > e.lastReqID:
+		return true, nil
+	case reqID == e.lastReqID:
+		return false, e.lastReply
+	default:
+		return false, nil
+	}
+}
+
+// Store records the reply for a client's latest executed request.
+func (t *ClientTable) Store(client transport.NodeID, reqID uint64, reply *Reply) {
+	e, ok := t.entries[client]
+	if !ok {
+		e = &clientEntry{}
+		t.entries[client] = e
+	}
+	if reqID >= e.lastReqID {
+		e.lastReqID = reqID
+		e.lastReply = reply
+	}
+}
+
+// Forget removes a client's entry (used when rolling back speculative
+// state past the request that created it).
+func (t *ClientTable) Forget(client transport.NodeID) {
+	delete(t.entries, client)
+}
+
+// Len returns the number of tracked clients.
+func (t *ClientTable) Len() int { return len(t.entries) }

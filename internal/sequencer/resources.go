@@ -1,0 +1,74 @@
+package sequencer
+
+import "fmt"
+
+// This file reproduces the hardware resource inventories of the two aom
+// prototypes (Tables 2 and 3 of the paper) as the static design-point
+// description of the pipeline models in timing.go. The percentages are
+// the paper's synthesized utilization numbers; the structural quantities
+// (stage counts, hash instances, ports) are derived from the same model
+// constants the timing simulation uses, so the tables and the simulated
+// behaviour describe one consistent design.
+
+// SwitchPipeUsage is one row of Table 2: resource utilization of a Tofino
+// pipeline in the aom-hm prototype.
+type SwitchPipeUsage struct {
+	Module        string
+	Stages        int
+	ActionDataPct float64
+	HashBitPct    float64
+	HashUnitPct   float64
+	VLIWPct       float64
+}
+
+// HMACResources returns the switch resource usage of the aom HMAC-vector
+// prototype (Table 2). Pipe 0 carries ordinary forwarding plus aom
+// sequencing; pipe 1 is the dedicated folded HMAC pipeline running four
+// unrolled HalfSipHash instances over 12 recirculation passes.
+func HMACResources() []SwitchPipeUsage {
+	return []SwitchPipeUsage{
+		{Module: "Pipe 0", Stages: 7, ActionDataPct: 0.8, HashBitPct: 2.0, HashUnitPct: 0, VLIWPct: 3.4},
+		{Module: "Pipe 1", Stages: hmacPasses, ActionDataPct: 12.8, HashBitPct: 21.2, HashUnitPct: 77.8, VLIWPct: 12.0},
+	}
+}
+
+// FPGAUsage is one row of Table 3: resource utilization of the Alveo U50
+// co-processor in the aom-pk prototype.
+type FPGAUsage struct {
+	Module      string
+	LUTPct      float64
+	RegisterPct float64
+	BRAMPct     float64
+	DSPPct      float64
+}
+
+// FPGAAvailable reports the Alveo U50 resource totals (the "Available"
+// row of Table 3).
+type FPGAAvailable struct {
+	LUT      int // thousands
+	Register int // thousands
+	BRAM     float64
+	DSP      float64
+}
+
+// PKResources returns the FPGA resource usage of the aom public-key
+// co-processor (Table 3) and the device totals.
+func PKResources() ([]FPGAUsage, FPGAAvailable) {
+	rows := []FPGAUsage{
+		{Module: "Pipeline", LUTPct: 0.91, RegisterPct: 0.70, BRAMPct: 2.12, DSPPct: 0.57},
+		{Module: "Signer", LUTPct: 21.0, RegisterPct: 19.4, BRAMPct: 10.71, DSPPct: 28.52},
+		{Module: "Total", LUTPct: 34.69, RegisterPct: 29.22, BRAMPct: 28.76, DSPPct: 29.16},
+	}
+	avail := FPGAAvailable{LUT: 870, Register: 1740, BRAM: 1.34e3, DSP: 5.94e3}
+	return rows, avail
+}
+
+// DesignSummary describes the structural design points shared by the
+// timing model and the resource inventory, for documentation output.
+func DesignSummary() string {
+	return fmt.Sprintf(
+		"aom-hm: %d HalfSipHash lanes/bundle, %d recirculation passes, %d loopback ports, max group %d\n"+
+			"aom-pk: secp256k1 + SHA-256 hash chain, group-size-agnostic signer at %.2f Mpps",
+		SubgroupSize, hmacPasses, hmacPorts, SubgroupSize*hmacPorts,
+		PKModel(4).MaxThroughput()/1e6)
+}

@@ -1,0 +1,364 @@
+// Package simnet is an in-memory simulated data-center network. It
+// replaces the paper's physical testbed (nine servers behind a Tofino
+// switch): nodes attach with transport.Conn semantics, and the network
+// delivers packets with configurable one-way latency, jitter, seeded
+// random drops (Fig 9), link blocking (partitions, sequencer failure) and
+// a Byzantine duplication hook for equivocation experiments.
+//
+// Each node's handler runs on a dedicated delivery goroutine and receives
+// packets one at a time, modelling a single-threaded replica event loop.
+// Inboxes are bounded; overflow drops packets, which is exactly the
+// unreliable-network behaviour the protocols must tolerate.
+package simnet
+
+import (
+	"container/heap"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"neobft/internal/transport"
+)
+
+// Options configures a Network.
+type Options struct {
+	// Latency is the mean one-way packet latency. Zero means direct
+	// handoff (no timer machinery), which is what throughput experiments
+	// use.
+	Latency time.Duration
+	// Jitter adds a uniform random [0, Jitter) component to each packet.
+	Jitter time.Duration
+	// DropRate is the probability a packet is silently dropped. See also
+	// DropFilter.
+	DropRate float64
+	// DropFilter restricts random drops to matching (from, to) pairs.
+	// Nil means drops apply to every packet.
+	DropFilter func(from, to transport.NodeID) bool
+	// LatencyOverride, if set, can replace the one-way latency for a
+	// specific link (return ok=false to use the default). Used to model
+	// on-path devices like the aom sequencer switch, which splits a
+	// host-to-host path rather than adding a full host hop.
+	LatencyOverride func(from, to transport.NodeID) (time.Duration, bool)
+	// Seed makes drop and jitter decisions reproducible.
+	Seed int64
+	// InboxSize bounds each node's delivery queue (default 65536).
+	InboxSize int
+}
+
+// Stats reports network-wide packet counters.
+type Stats struct {
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64 // random drops + blocked links + inbox overflow
+}
+
+type packet struct {
+	from, to transport.NodeID
+	payload  []byte
+	deliver  time.Time
+}
+
+// Network is a simulated network fabric.
+type Network struct {
+	opts Options
+
+	mu      sync.RWMutex
+	nodes   map[transport.NodeID]*Node
+	blocked map[[2]transport.NodeID]bool
+	rng     *rand.Rand
+	rngMu   sync.Mutex
+
+	sent      atomic.Uint64
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
+
+	// tap, when set, observes every packet before delivery and may
+	// rewrite or suppress it (returns deliver=false). Used to inject
+	// Byzantine network behaviour in tests.
+	tap atomic.Pointer[func(from, to transport.NodeID, payload []byte) bool]
+
+	timerMu   sync.Mutex
+	timerCond *sync.Cond
+	timers    delayHeap
+	closed    bool
+}
+
+// New creates a network.
+func New(opts Options) *Network {
+	if opts.InboxSize == 0 {
+		opts.InboxSize = 65536
+	}
+	n := &Network{
+		opts:    opts,
+		nodes:   make(map[transport.NodeID]*Node),
+		blocked: make(map[[2]transport.NodeID]bool),
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+	}
+	n.timerCond = sync.NewCond(&n.timerMu)
+	if opts.Latency > 0 || opts.Jitter > 0 {
+		go n.timerLoop()
+	}
+	return n
+}
+
+// Join attaches a node with the given ID and returns its connection.
+// Joining an ID twice panics: IDs are assigned by the experiment harness.
+func (n *Network) Join(id transport.NodeID) *Node {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nodes[id]; ok {
+		panic("simnet: duplicate node ID")
+	}
+	nd := &Node{
+		net:   n,
+		id:    id,
+		inbox: make(chan packet, n.opts.InboxSize),
+		done:  make(chan struct{}),
+	}
+	n.nodes[id] = nd
+	go nd.deliveryLoop()
+	return nd
+}
+
+// BlockLink blocks or unblocks the directed link from→to. Blocked links
+// silently drop packets, modelling partitions and failed switches.
+func (n *Network) BlockLink(from, to transport.NodeID, block bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if block {
+		n.blocked[[2]transport.NodeID{from, to}] = true
+	} else {
+		delete(n.blocked, [2]transport.NodeID{from, to})
+	}
+}
+
+// BlockNode blocks or unblocks all traffic to and from a node.
+func (n *Network) BlockNode(id transport.NodeID, block bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for other := range n.nodes {
+		if block {
+			n.blocked[[2]transport.NodeID{id, other}] = true
+			n.blocked[[2]transport.NodeID{other, id}] = true
+		} else {
+			delete(n.blocked, [2]transport.NodeID{id, other})
+			delete(n.blocked, [2]transport.NodeID{other, id})
+		}
+	}
+}
+
+// SetTap installs a packet observer/rewriter; pass nil to remove. The tap
+// returns false to suppress delivery.
+func (n *Network) SetTap(tap func(from, to transport.NodeID, payload []byte) bool) {
+	if tap == nil {
+		n.tap.Store(nil)
+		return
+	}
+	n.tap.Store(&tap)
+}
+
+// Stats returns a snapshot of packet counters.
+func (n *Network) Stats() Stats {
+	return Stats{
+		Sent:      n.sent.Load(),
+		Delivered: n.delivered.Load(),
+		Dropped:   n.dropped.Load(),
+	}
+}
+
+// Close shuts down the network and all node delivery loops.
+func (n *Network) Close() {
+	n.timerMu.Lock()
+	n.closed = true
+	n.timerCond.Broadcast()
+	n.timerMu.Unlock()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, nd := range n.nodes {
+		nd.closeLocked()
+	}
+	n.nodes = map[transport.NodeID]*Node{}
+}
+
+func (n *Network) route(from, to transport.NodeID, payload []byte) {
+	n.sent.Add(1)
+
+	n.mu.RLock()
+	dst, ok := n.nodes[to]
+	blocked := n.blocked[[2]transport.NodeID{from, to}]
+	n.mu.RUnlock()
+	if !ok || blocked {
+		n.dropped.Add(1)
+		return
+	}
+
+	if rate := n.opts.DropRate; rate > 0 {
+		if n.opts.DropFilter == nil || n.opts.DropFilter(from, to) {
+			n.rngMu.Lock()
+			drop := n.rng.Float64() < rate
+			n.rngMu.Unlock()
+			if drop {
+				n.dropped.Add(1)
+				return
+			}
+		}
+	}
+
+	if t := n.tap.Load(); t != nil {
+		if !(*t)(from, to, payload) {
+			n.dropped.Add(1)
+			return
+		}
+	}
+
+	delay := n.opts.Latency
+	if o := n.opts.LatencyOverride; o != nil {
+		if d, ok := o(from, to); ok {
+			delay = d
+		}
+	}
+	if j := n.opts.Jitter; j > 0 {
+		n.rngMu.Lock()
+		delay += time.Duration(n.rng.Int63n(int64(j)))
+		n.rngMu.Unlock()
+	}
+	p := packet{from: from, to: to, payload: payload}
+	if delay == 0 {
+		dst.enqueue(p)
+		return
+	}
+	p.deliver = time.Now().Add(delay)
+	n.timerMu.Lock()
+	heap.Push(&n.timers, p)
+	n.timerCond.Signal()
+	n.timerMu.Unlock()
+}
+
+// timerLoop delivers delayed packets in timestamp order.
+func (n *Network) timerLoop() {
+	for {
+		n.timerMu.Lock()
+		for len(n.timers) == 0 && !n.closed {
+			n.timerCond.Wait()
+		}
+		if n.closed {
+			n.timerMu.Unlock()
+			return
+		}
+		next := n.timers[0]
+		now := time.Now()
+		if wait := next.deliver.Sub(now); wait > 0 {
+			n.timerMu.Unlock()
+			if wait > time.Millisecond {
+				// Long waits can afford the OS timer granularity.
+				time.Sleep(wait)
+			} else {
+				// Sub-millisecond delays need better precision than the
+				// runtime timer provides: yield-spin, giving the core to
+				// runnable protocol goroutines in the meantime.
+				for time.Now().Before(next.deliver) {
+					runtime.Gosched()
+				}
+			}
+			continue
+		}
+		heap.Pop(&n.timers)
+		n.timerMu.Unlock()
+
+		n.mu.RLock()
+		dst, ok := n.nodes[next.to]
+		n.mu.RUnlock()
+		if ok {
+			dst.enqueue(next)
+		} else {
+			n.dropped.Add(1)
+		}
+	}
+}
+
+// delayHeap orders packets by delivery time.
+type delayHeap []packet
+
+func (h delayHeap) Len() int            { return len(h) }
+func (h delayHeap) Less(i, j int) bool  { return h[i].deliver.Before(h[j].deliver) }
+func (h delayHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *delayHeap) Push(x interface{}) { *h = append(*h, x.(packet)) }
+func (h *delayHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Node is one attachment point on the simulated network. It implements
+// transport.Conn.
+type Node struct {
+	net     *Network
+	id      transport.NodeID
+	inbox   chan packet
+	handler atomic.Pointer[transport.Handler]
+	done    chan struct{}
+	closed  atomic.Bool
+}
+
+var _ transport.Conn = (*Node)(nil)
+
+// ID implements transport.Conn.
+func (nd *Node) ID() transport.NodeID { return nd.id }
+
+// Send implements transport.Conn.
+func (nd *Node) Send(to transport.NodeID, payload []byte) {
+	if nd.closed.Load() {
+		return
+	}
+	nd.net.route(nd.id, to, payload)
+}
+
+// SetHandler implements transport.Conn.
+func (nd *Node) SetHandler(h transport.Handler) {
+	nd.handler.Store(&h)
+}
+
+// Close implements transport.Conn.
+func (nd *Node) Close() error {
+	nd.net.mu.Lock()
+	defer nd.net.mu.Unlock()
+	if _, ok := nd.net.nodes[nd.id]; ok {
+		delete(nd.net.nodes, nd.id)
+		nd.closeLocked()
+	}
+	return nil
+}
+
+func (nd *Node) closeLocked() {
+	if nd.closed.CompareAndSwap(false, true) {
+		close(nd.done)
+	}
+}
+
+func (nd *Node) enqueue(p packet) {
+	select {
+	case nd.inbox <- p:
+	default:
+		nd.net.dropped.Add(1) // inbox overflow: the network is unreliable
+	}
+}
+
+func (nd *Node) deliveryLoop() {
+	for {
+		select {
+		case <-nd.done:
+			return
+		case p := <-nd.inbox:
+			if h := nd.handler.Load(); h != nil {
+				(*h)(p.from, p.payload)
+				nd.net.delivered.Add(1)
+			} else {
+				nd.net.dropped.Add(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,34 @@
+// Package transport defines the message-passing interface every protocol
+// in this repository runs against. Two implementations exist: the
+// in-memory simulated data-center network (internal/simnet), used for all
+// deterministic experiments, and a real UDP-socket transport
+// (internal/transport/udpnet) demonstrating the same protocol code on
+// actual sockets.
+package transport
+
+// NodeID identifies a participant on the network: replicas, clients, the
+// sequencer switch, and the configuration service each get one.
+type NodeID int32
+
+// NilNode is an invalid node ID.
+const NilNode NodeID = -1
+
+// Handler processes one inbound packet. Implementations of Conn invoke
+// the handler sequentially from a single goroutine per node, so protocol
+// state machines need no internal locking for message processing.
+type Handler func(from NodeID, packet []byte)
+
+// Conn is one node's attachment to the network. Send is best-effort and
+// non-blocking: the network may drop, delay or reorder packets, exactly
+// the asynchronous/unreliable model aom and the BFT protocols assume.
+type Conn interface {
+	// ID returns this node's identity.
+	ID() NodeID
+	// Send transmits a packet to another node, best-effort.
+	Send(to NodeID, packet []byte)
+	// SetHandler installs the inbound packet handler. It must be called
+	// before any packet is to be received.
+	SetHandler(h Handler)
+	// Close detaches the node from the network.
+	Close() error
+}

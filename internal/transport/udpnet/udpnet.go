@@ -1,0 +1,125 @@
+// Package udpnet implements transport.Conn over real UDP sockets. It is
+// the deployment-mode counterpart of internal/simnet: the same protocol
+// code drives either. An address book maps node IDs to UDP endpoints
+// (the configuration service would distribute this in a production
+// deployment; cmd/neokv builds it from flags).
+package udpnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"neobft/internal/transport"
+)
+
+// maxPacket bounds receive buffers; aom packets with HMAC vectors for 64
+// receivers plus payload fit comfortably.
+const maxPacket = 65535
+
+// AddressBook maps node IDs to UDP addresses. It is immutable after
+// construction.
+type AddressBook struct {
+	addrs map[transport.NodeID]*net.UDPAddr
+}
+
+// NewAddressBook resolves the given id→"host:port" table.
+func NewAddressBook(entries map[transport.NodeID]string) (*AddressBook, error) {
+	book := &AddressBook{addrs: make(map[transport.NodeID]*net.UDPAddr, len(entries))}
+	for id, hostport := range entries {
+		addr, err := net.ResolveUDPAddr("udp", hostport)
+		if err != nil {
+			return nil, fmt.Errorf("udpnet: resolving node %d address %q: %w", id, hostport, err)
+		}
+		book.addrs[id] = addr
+	}
+	return book, nil
+}
+
+// Conn is a UDP-socket attachment implementing transport.Conn. Each
+// outbound packet is prefixed with the 4-byte sender ID.
+type Conn struct {
+	id      transport.NodeID
+	sock    *net.UDPConn
+	book    *AddressBook
+	handler atomic.Pointer[transport.Handler]
+
+	closeOnce sync.Once
+	closed    atomic.Bool
+}
+
+var _ transport.Conn = (*Conn)(nil)
+
+// Listen binds the node's own address from the book and starts the
+// receive loop.
+func Listen(id transport.NodeID, book *AddressBook) (*Conn, error) {
+	self, ok := book.addrs[id]
+	if !ok {
+		return nil, fmt.Errorf("udpnet: node %d not in address book", id)
+	}
+	sock, err := net.ListenUDP("udp", self)
+	if err != nil {
+		return nil, fmt.Errorf("udpnet: listen %v: %w", self, err)
+	}
+	c := &Conn{id: id, sock: sock, book: book}
+	go c.readLoop()
+	return c, nil
+}
+
+// ID implements transport.Conn.
+func (c *Conn) ID() transport.NodeID { return c.id }
+
+// Send implements transport.Conn. Errors are swallowed: UDP is
+// best-effort and the protocols tolerate loss.
+func (c *Conn) Send(to transport.NodeID, packet []byte) {
+	if c.closed.Load() {
+		return
+	}
+	addr, ok := c.book.addrs[to]
+	if !ok {
+		return
+	}
+	buf := make([]byte, 4+len(packet))
+	binary.LittleEndian.PutUint32(buf, uint32(c.id))
+	copy(buf[4:], packet)
+	_, _ = c.sock.WriteToUDP(buf, addr)
+}
+
+// SetHandler implements transport.Conn.
+func (c *Conn) SetHandler(h transport.Handler) { c.handler.Store(&h) }
+
+// Close implements transport.Conn.
+func (c *Conn) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		c.closed.Store(true)
+		err = c.sock.Close()
+	})
+	return err
+}
+
+// LocalAddr returns the bound socket address (useful with port 0).
+func (c *Conn) LocalAddr() *net.UDPAddr {
+	return c.sock.LocalAddr().(*net.UDPAddr)
+}
+
+func (c *Conn) readLoop() {
+	buf := make([]byte, maxPacket)
+	for {
+		n, _, err := c.sock.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		if n < 4 {
+			continue
+		}
+		from := transport.NodeID(binary.LittleEndian.Uint32(buf))
+		if h := c.handler.Load(); h != nil {
+			payload := make([]byte, n-4)
+			copy(payload, buf[4:n])
+			(*h)(from, payload)
+		}
+	}
+}

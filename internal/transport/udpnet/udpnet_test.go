@@ -1,0 +1,141 @@
+package udpnet
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"neobft/internal/transport"
+)
+
+// freeBook builds an address book with n OS-assigned loopback ports.
+func freeBook(t *testing.T, n int) *AddressBook {
+	t.Helper()
+	entries := make(map[transport.NodeID]string, n)
+	for i := 0; i < n; i++ {
+		l, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries[transport.NodeID(i)] = l.LocalAddr().String()
+		l.Close()
+	}
+	book, err := NewAddressBook(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return book
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	book := freeBook(t, 2)
+	a, err := Listen(0, book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Listen(1, book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	got := make(chan string, 1)
+	var gotFrom atomic.Int32
+	b.SetHandler(func(from transport.NodeID, p []byte) {
+		gotFrom.Store(int32(from))
+		got <- string(p)
+	})
+
+	deadline := time.After(5 * time.Second)
+	// UDP on loopback is reliable in practice but retry anyway.
+	for {
+		a.Send(1, []byte("ping"))
+		select {
+		case msg := <-got:
+			if msg != "ping" {
+				t.Fatalf("got %q", msg)
+			}
+			if gotFrom.Load() != 0 {
+				t.Fatalf("from = %d, want 0", gotFrom.Load())
+			}
+			return
+		case <-time.After(50 * time.Millisecond):
+		case <-deadline:
+			t.Fatal("timed out waiting for UDP delivery")
+		}
+	}
+}
+
+func TestUDPSendToUnknownNode(t *testing.T) {
+	book := freeBook(t, 1)
+	a, err := Listen(0, book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.Send(99, []byte("void")) // must not panic
+}
+
+func TestUDPClosedSend(t *testing.T) {
+	book := freeBook(t, 2)
+	a, err := Listen(0, book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a.Send(1, []byte("x")) // must not panic
+	if err := a.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestUDPListenUnknownID(t *testing.T) {
+	book := freeBook(t, 1)
+	if _, err := Listen(5, book); err == nil {
+		t.Fatal("Listen with unknown ID succeeded")
+	}
+}
+
+func TestNewAddressBookBadAddr(t *testing.T) {
+	if _, err := NewAddressBook(map[transport.NodeID]string{0: "not an address"}); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}
+
+func TestUDPManyNodes(t *testing.T) {
+	const n = 4
+	book := freeBook(t, n)
+	conns := make([]*Conn, n)
+	counts := make([]atomic.Int64, n)
+	for i := 0; i < n; i++ {
+		c, err := Listen(transport.NodeID(i), book)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		conns[i] = c
+		idx := i
+		c.SetHandler(func(from transport.NodeID, p []byte) { counts[idx].Add(1) })
+	}
+	// Node 0 broadcasts to everyone else, with retries.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		allGot := true
+		for j := 1; j < n; j++ {
+			if counts[j].Load() == 0 {
+				conns[0].Send(transport.NodeID(j), []byte(fmt.Sprintf("to %d", j)))
+				allGot = false
+			}
+		}
+		if allGot {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("not all nodes received the broadcast")
+}

@@ -1,0 +1,81 @@
+// Package unreplicated implements the non-fault-tolerant baseline used in
+// Figs 7 and 10 of the paper: a single server executing client operations
+// directly. It provides the upper bound against which all replication
+// protocols are compared.
+package unreplicated
+
+import (
+	"sync"
+	"time"
+
+	"neobft/internal/crypto/auth"
+	"neobft/internal/replication"
+	"neobft/internal/transport"
+)
+
+// Server is the unreplicated service endpoint.
+type Server struct {
+	conn       transport.Conn
+	app        replication.App
+	clientAuth *auth.ReplicaSide
+
+	mu    sync.Mutex
+	table *replication.ClientTable
+	ops   uint64
+}
+
+// NewServer attaches an unreplicated server to conn.
+func NewServer(conn transport.Conn, app replication.App, clientAuth *auth.ReplicaSide) *Server {
+	s := &Server{conn: conn, app: app, clientAuth: clientAuth, table: replication.NewClientTable()}
+	conn.SetHandler(s.handle)
+	return s
+}
+
+// Ops returns the number of executed operations.
+func (s *Server) Ops() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ops
+}
+
+func (s *Server) handle(from transport.NodeID, pkt []byte) {
+	if len(pkt) == 0 || pkt[0] != replication.KindRequest {
+		return
+	}
+	req, err := replication.UnmarshalRequest(pkt[1:])
+	if err != nil {
+		return
+	}
+	if !s.clientAuth.VerifyClient(int64(req.Client), req.SignedBody(), req.Auth) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fresh, cached := s.table.Check(req.Client, req.ReqID)
+	if !fresh {
+		if cached != nil {
+			s.conn.Send(req.Client, cached.Marshal())
+		}
+		return
+	}
+	result, _ := s.app.Execute(req.Op)
+	s.ops++
+	rep := &replication.Reply{Replica: 0, ReqID: req.ReqID, Result: result}
+	rep.Auth = s.clientAuth.TagFor(int64(req.Client), rep.SignedBody())
+	s.table.Store(req.Client, req.ReqID, rep)
+	s.conn.Send(req.Client, rep.Marshal())
+}
+
+// NewClient builds a closed-loop client for the unreplicated server.
+func NewClient(conn transport.Conn, server transport.NodeID, master []byte, timeout time.Duration) *replication.Client {
+	cl := replication.NewClient(replication.ClientConfig{
+		Conn: conn, N: 1, F: 0, Quorum: 1,
+		Auth:    auth.NewClientSide(master, int64(conn.ID()), 1),
+		Timeout: timeout,
+		Submit: func(req *replication.Request, retry bool) {
+			conn.Send(server, req.Marshal())
+		},
+	})
+	conn.SetHandler(func(from transport.NodeID, pkt []byte) { cl.HandlePacket(from, pkt) })
+	return cl
+}

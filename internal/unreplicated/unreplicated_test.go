@@ -1,0 +1,70 @@
+package unreplicated
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"neobft/internal/crypto/auth"
+	"neobft/internal/replication"
+	"neobft/internal/simnet"
+)
+
+func rig(t *testing.T) (*Server, *replication.Client) {
+	t.Helper()
+	net := simnet.New(simnet.Options{})
+	t.Cleanup(net.Close)
+	srv := NewServer(net.Join(1), replication.EchoApp{}, auth.NewReplicaSide([]byte("m"), 0))
+	cl := NewClient(net.Join(100), 1, []byte("m"), 50*time.Millisecond)
+	return srv, cl
+}
+
+func TestEchoRoundTrip(t *testing.T) {
+	srv, cl := rig(t)
+	for i := 0; i < 5; i++ {
+		res, err := cl.Invoke([]byte{byte(i)}, 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(res, []byte{byte(i)}) {
+			t.Fatalf("echo %d = %v", i, res)
+		}
+	}
+	if srv.Ops() != 5 {
+		t.Fatalf("ops = %d", srv.Ops())
+	}
+}
+
+func TestDuplicateSuppressed(t *testing.T) {
+	net := simnet.New(simnet.Options{})
+	t.Cleanup(net.Close)
+	srv := NewServer(net.Join(1), replication.EchoApp{}, auth.NewReplicaSide([]byte("m"), 0))
+	conn := net.Join(100)
+	cl := NewClient(conn, 1, []byte("m"), 50*time.Millisecond)
+	if _, err := cl.Invoke([]byte("once"), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Replay the identical request; the server must not re-execute.
+	req := &replication.Request{Client: 100, ReqID: 1, Op: []byte("once")}
+	req.Auth = auth.NewClientSide([]byte("m"), 100, 1).TagVector(req.SignedBody())
+	for i := 0; i < 3; i++ {
+		conn.Send(1, req.Marshal())
+	}
+	time.Sleep(20 * time.Millisecond)
+	if srv.Ops() != 1 {
+		t.Fatalf("duplicates executed: ops = %d", srv.Ops())
+	}
+}
+
+func TestForgedRequestRejected(t *testing.T) {
+	net := simnet.New(simnet.Options{})
+	t.Cleanup(net.Close)
+	srv := NewServer(net.Join(1), replication.EchoApp{}, auth.NewReplicaSide([]byte("m"), 0))
+	evil := net.Join(200)
+	req := &replication.Request{Client: 200, ReqID: 1, Op: []byte("x"), Auth: make([]byte, 8)}
+	evil.Send(1, req.Marshal())
+	time.Sleep(10 * time.Millisecond)
+	if srv.Ops() != 0 {
+		t.Fatal("forged request executed")
+	}
+}

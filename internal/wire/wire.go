@@ -1,0 +1,184 @@
+// Package wire implements the binary encodings used on the wire: a
+// compact append-style Writer and sticky-error Reader for protocol
+// message codecs, and the aom packet header (§4.1 of the paper).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// ErrTruncated is reported when a Reader runs out of bytes.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// Writer appends fixed-width little-endian fields to a buffer. The zero
+// value is ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a Writer with the given capacity hint.
+func NewWriter(capacity int) *Writer {
+	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded buffer. The buffer is owned by the Writer
+// until Reset is called.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Reset clears the buffer, retaining capacity.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// U8 appends a byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// U16 appends a little-endian uint16.
+func (w *Writer) U16(v uint16) { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+
+// U32 appends a little-endian uint32.
+func (w *Writer) U32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+
+// U64 appends a little-endian uint64.
+func (w *Writer) U64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+
+// Bool appends a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// Bytes32 appends a fixed 32-byte value.
+func (w *Writer) Bytes32(v [32]byte) { w.buf = append(w.buf, v[:]...) }
+
+// VarBytes appends a length-prefixed (uint32) byte string.
+func (w *Writer) VarBytes(v []byte) {
+	w.U32(uint32(len(v)))
+	w.buf = append(w.buf, v...)
+}
+
+// Raw appends bytes with no length prefix.
+func (w *Writer) Raw(v []byte) { w.buf = append(w.buf, v...) }
+
+// Reader consumes fixed-width little-endian fields from a buffer. Errors
+// are sticky: after the first short read every accessor returns zero
+// values and Err reports ErrTruncated.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps buf for decoding. The Reader does not copy buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Err returns the sticky decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unconsumed bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// Done returns nil if the buffer was fully consumed without error.
+func (r *Reader) Done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return errors.New("wire: trailing bytes")
+	}
+	return nil
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.buf)-r.off < n {
+		r.err = ErrTruncated
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// Prefix consumes len(s) bytes and reports whether they equal s. On a
+// short buffer it reports false with the sticky error set.
+func (r *Reader) Prefix(s string) bool {
+	b := r.take(len(s))
+	return b != nil && string(b) == s
+}
+
+// U8 consumes one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 consumes a little-endian uint16.
+func (r *Reader) U16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U32 consumes a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 consumes a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// Bool consumes a one-byte boolean.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// Bytes32 consumes a fixed 32-byte value.
+func (r *Reader) Bytes32() (out [32]byte) {
+	b := r.take(32)
+	if b != nil {
+		copy(out[:], b)
+	}
+	return out
+}
+
+// VarBytes consumes a length-prefixed byte string. The returned slice
+// aliases the Reader's buffer.
+func (r *Reader) VarBytes() []byte {
+	n := r.U32()
+	if r.err != nil {
+		return nil
+	}
+	if uint64(n) > uint64(r.Remaining()) {
+		r.err = ErrTruncated
+		return nil
+	}
+	return r.take(int(n))
+}
+
+// Raw consumes all remaining bytes.
+func (r *Reader) Raw() []byte {
+	b := r.buf[r.off:]
+	r.off = len(r.buf)
+	return b
+}

@@ -1,0 +1,168 @@
+// Package ycsb generates YCSB-style key-value workloads (Cooper et al.,
+// SoCC '10). The paper's storage experiment (§6.5, Fig 10) runs YCSB
+// workload A — a 50/50 read/update mix over a zipfian request
+// distribution — against 100K preloaded records with 128-byte fields.
+package ycsb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"neobft/internal/kvstore"
+)
+
+// Distribution selects how keys are chosen.
+type Distribution int
+
+// Key distributions.
+const (
+	Uniform Distribution = iota
+	Zipfian
+)
+
+// Workload describes a YCSB workload mix.
+type Workload struct {
+	// ReadProportion and UpdateProportion must sum to at most 1; the
+	// remainder is inserts of new keys.
+	ReadProportion   float64
+	UpdateProportion float64
+	// RecordCount is the preloaded dataset size.
+	RecordCount int
+	// FieldLength is the value size in bytes.
+	FieldLength int
+	// Dist selects the request distribution.
+	Dist Distribution
+	// ZipfTheta is the zipfian skew (default 0.99, the YCSB default).
+	ZipfTheta float64
+}
+
+// WorkloadA returns YCSB workload A with the paper's parameters: 100K
+// records, 128-byte fields, 50% reads / 50% updates, zipfian.
+func WorkloadA() Workload {
+	return Workload{
+		ReadProportion:   0.5,
+		UpdateProportion: 0.5,
+		RecordCount:      100_000,
+		FieldLength:      128,
+		Dist:             Zipfian,
+		ZipfTheta:        0.99,
+	}
+}
+
+// Key formats record index i as a YCSB key.
+func Key(i int) string { return fmt.Sprintf("user%010d", i) }
+
+// Generator produces operations for one client. It is not safe for
+// concurrent use; create one per client goroutine.
+type Generator struct {
+	w       Workload
+	rng     *rand.Rand
+	zipf    *zipfGen
+	nextIns int
+	value   []byte
+}
+
+// NewGenerator creates a generator with its own seeded RNG.
+func NewGenerator(w Workload, seed int64) *Generator {
+	if w.ZipfTheta == 0 {
+		w.ZipfTheta = 0.99
+	}
+	g := &Generator{
+		w:       w,
+		rng:     rand.New(rand.NewSource(seed)),
+		nextIns: w.RecordCount,
+		value:   make([]byte, w.FieldLength),
+	}
+	if w.Dist == Zipfian {
+		g.zipf = newZipf(w.RecordCount, w.ZipfTheta)
+	}
+	for i := range g.value {
+		g.value[i] = byte('a' + i%26)
+	}
+	return g
+}
+
+// Next returns the next encoded KV operation.
+func (g *Generator) Next() []byte {
+	p := g.rng.Float64()
+	switch {
+	case p < g.w.ReadProportion:
+		return kvstore.EncodeGet(g.key())
+	case p < g.w.ReadProportion+g.w.UpdateProportion:
+		g.mutate()
+		return kvstore.EncodePut(g.key(), g.value)
+	default:
+		g.nextIns++
+		g.mutate()
+		return kvstore.EncodePut(Key(g.nextIns), g.value)
+	}
+}
+
+func (g *Generator) key() string {
+	var idx int
+	if g.zipf != nil {
+		idx = g.zipf.next(g.rng)
+	} else {
+		idx = g.rng.Intn(g.w.RecordCount)
+	}
+	return Key(idx)
+}
+
+// mutate varies the value slightly so updates are not byte-identical.
+func (g *Generator) mutate() {
+	if len(g.value) > 0 {
+		g.value[g.rng.Intn(len(g.value))] = byte('a' + g.rng.Intn(26))
+	}
+}
+
+// Load preloads the dataset into a store.
+func Load(s *kvstore.Store, w Workload) {
+	val := make([]byte, w.FieldLength)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	for i := 0; i < w.RecordCount; i++ {
+		s.Load(Key(i), val)
+	}
+}
+
+// zipfGen implements the Gray et al. quick zipfian generator used by
+// YCSB (skew toward low indices).
+type zipfGen struct {
+	n     int
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	zeta2 float64
+}
+
+func newZipf(n int, theta float64) *zipfGen {
+	z := &zipfGen{n: n, theta: theta}
+	z.zeta2 = zetaStatic(2, theta)
+	z.zetan = zetaStatic(n, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+func zetaStatic(n int, theta float64) float64 {
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+func (z *zipfGen) next(rng *rand.Rand) int {
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}

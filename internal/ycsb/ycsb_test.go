@@ -1,0 +1,119 @@
+package ycsb
+
+import (
+	"math/rand"
+	"testing"
+
+	"neobft/internal/kvstore"
+)
+
+func TestWorkloadAParameters(t *testing.T) {
+	w := WorkloadA()
+	if w.RecordCount != 100_000 || w.FieldLength != 128 {
+		t.Fatalf("workload A = %+v; paper uses 100K records, 128-byte fields", w)
+	}
+	if w.ReadProportion != 0.5 || w.UpdateProportion != 0.5 {
+		t.Fatal("workload A must be a 50/50 read/update mix")
+	}
+}
+
+func TestGeneratorMix(t *testing.T) {
+	w := WorkloadA()
+	w.RecordCount = 1000
+	g := NewGenerator(w, 1)
+	reads, writes := 0, 0
+	for i := 0; i < 10000; i++ {
+		op := g.Next()
+		switch op[0] {
+		case kvstore.OpGet:
+			reads++
+		case kvstore.OpPut:
+			writes++
+		default:
+			t.Fatalf("unexpected op code %d", op[0])
+		}
+	}
+	frac := float64(reads) / 10000
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("read fraction %.3f, want ~0.5", frac)
+	}
+	if writes == 0 {
+		t.Fatal("no writes generated")
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	z := newZipf(1000, 0.99)
+	rng := rand.New(rand.NewSource(2))
+	counts := make([]int, 1000)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		idx := z.next(rng)
+		if idx < 0 || idx >= 1000 {
+			t.Fatalf("index %d out of range", idx)
+		}
+		counts[idx]++
+	}
+	// The hottest 10% of keys must absorb well over half the draws.
+	hot := 0
+	for i := 0; i < 100; i++ {
+		hot += counts[i]
+	}
+	if frac := float64(hot) / draws; frac < 0.5 {
+		t.Fatalf("top-10%% keys got %.2f of draws; zipfian should be skewed", frac)
+	}
+	// Uniform, for contrast, spreads load.
+	w := Workload{ReadProportion: 1, RecordCount: 1000, FieldLength: 8, Dist: Uniform}
+	g := NewGenerator(w, 3)
+	uniCounts := map[string]int{}
+	for i := 0; i < draws; i++ {
+		op := g.Next()
+		uniCounts[string(op[5:])]++ // key bytes after opcode+len
+	}
+	max := 0
+	for _, c := range uniCounts {
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max)/draws > 0.01 {
+		t.Fatalf("uniform distribution has a hot key (%.3f)", float64(max)/draws)
+	}
+}
+
+func TestLoadAndRun(t *testing.T) {
+	s := kvstore.NewStore()
+	w := WorkloadA()
+	w.RecordCount = 500
+	Load(s, w)
+	if s.Len() != 500 {
+		t.Fatalf("loaded %d records", s.Len())
+	}
+	g := NewGenerator(w, 4)
+	gets, hits := 0, 0
+	for i := 0; i < 2000; i++ {
+		op := g.Next()
+		res, _ := s.Execute(op)
+		if op[0] == kvstore.OpGet {
+			gets++
+			if _, found := kvstore.DecodeGetResult(res); found {
+				hits++
+			}
+		}
+	}
+	if gets == 0 || hits != gets {
+		t.Fatalf("reads over the preloaded range must hit: %d/%d", hits, gets)
+	}
+}
+
+func TestGeneratorDeterministicPerSeed(t *testing.T) {
+	w := WorkloadA()
+	w.RecordCount = 100
+	a := NewGenerator(w, 9)
+	b := NewGenerator(w, 9)
+	for i := 0; i < 100; i++ {
+		if string(a.Next()) != string(b.Next()) {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}

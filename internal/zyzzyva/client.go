@@ -1,0 +1,276 @@
+package zyzzyva
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"neobft/internal/crypto/auth"
+	"neobft/internal/replication"
+	"neobft/internal/transport"
+	"neobft/internal/wire"
+)
+
+// Client implements Zyzzyva's two-path client protocol: complete on 3f+1
+// matching speculative responses; after SpecTimeout, assemble a commit
+// certificate from 2f+1 matching responses, distribute it, and complete
+// on 2f+1 local-commits.
+type Client struct {
+	conn    transport.Conn
+	members []transport.NodeID
+	n, f    int
+	cauth   *auth.ClientSide
+	timeout time.Duration
+	// SpecTimeout is how long the fast path waits for all 3f+1
+	// responses before falling back (the dominant cost of Zyzzyva-F).
+	specTimeout time.Duration
+
+	mu      sync.Mutex
+	reqID   uint64
+	pending *pendingOp
+
+	fastPath uint64
+	slowPath uint64
+}
+
+type specKey struct {
+	view    uint64
+	seq     uint64
+	history [32]byte
+	result  string
+}
+
+type pendingOp struct {
+	reqID    uint64
+	byKey    map[specKey]map[uint32][]byte // key → replica → group tag
+	digests  map[specKey][32]byte
+	commits  map[uint32]bool // local-commits
+	ccSeq    uint64
+	ccSent   bool
+	done     chan []byte
+	resultOf map[specKey][]byte
+}
+
+// NewClient creates a Zyzzyva client.
+func NewClient(conn transport.Conn, master []byte, n, f int, members []transport.NodeID, specTimeout, retransmit time.Duration) *Client {
+	c := &Client{
+		conn: conn, members: members, n: n, f: f,
+		cauth:       auth.NewClientSide(master, int64(conn.ID()), n),
+		timeout:     retransmit,
+		specTimeout: specTimeout,
+	}
+	conn.SetHandler(c.handle)
+	return c
+}
+
+// ID returns the client's node ID.
+func (c *Client) ID() transport.NodeID { return c.conn.ID() }
+
+// FastSlowCounts reports how many operations completed on each path.
+func (c *Client) FastSlowCounts() (fast, slow uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fastPath, c.slowPath
+}
+
+// Invoke executes one operation.
+func (c *Client) Invoke(op []byte, deadline time.Duration) ([]byte, error) {
+	c.mu.Lock()
+	c.reqID++
+	req := &replication.Request{Client: c.conn.ID(), ReqID: c.reqID, Op: op}
+	req.Auth = c.cauth.TagVector(req.SignedBody())
+	p := &pendingOp{
+		reqID:    req.ReqID,
+		byKey:    map[specKey]map[uint32][]byte{},
+		digests:  map[specKey][32]byte{},
+		commits:  map[uint32]bool{},
+		resultOf: map[specKey][]byte{},
+		done:     make(chan []byte, 1),
+	}
+	c.pending = p
+	c.mu.Unlock()
+
+	pkt := req.Marshal()
+	c.conn.Send(c.members[0], pkt) // primary of view 0
+
+	spec := time.NewTimer(c.specTimeout)
+	defer spec.Stop()
+	retrans := time.NewTimer(c.timeout)
+	defer retrans.Stop()
+	overall := time.NewTimer(deadline)
+	defer overall.Stop()
+	for {
+		select {
+		case result := <-p.done:
+			c.mu.Lock()
+			c.pending = nil
+			c.mu.Unlock()
+			return result, nil
+		case <-spec.C:
+			// Fast path expired: try the commit-certificate slow path.
+			c.mu.Lock()
+			c.trySlowPathLocked(p)
+			c.mu.Unlock()
+		case <-retrans.C:
+			for _, m := range c.members {
+				c.conn.Send(m, pkt)
+			}
+			retrans.Reset(c.timeout)
+		case <-overall.C:
+			c.mu.Lock()
+			c.pending = nil
+			c.mu.Unlock()
+			return nil, fmt.Errorf("zyzzyva client %d: request %d timed out", c.conn.ID(), req.ReqID)
+		}
+	}
+}
+
+func (c *Client) handle(from transport.NodeID, pkt []byte) {
+	if len(pkt) == 0 {
+		return
+	}
+	switch pkt[0] {
+	case kindSpecResponse:
+		c.onSpecResponse(pkt[1:])
+	case replication.KindReply:
+		// Cached reply for a duplicate: treat as a speculative response
+		// without a certificate contribution.
+		if rep, err := replication.UnmarshalReply(pkt[1:]); err == nil {
+			c.onReply(rep, [32]byte{}, nil)
+		}
+	case kindLocalCommit:
+		c.onLocalCommit(pkt[1:])
+	}
+}
+
+func (c *Client) onSpecResponse(body []byte) {
+	rd := wire.NewReader(body)
+	repBytes := rd.VarBytes()
+	digest := rd.Bytes32()
+	groupTag := append([]byte(nil), rd.VarBytes()...)
+	if rd.Done() != nil {
+		return
+	}
+	rep, err := replication.UnmarshalReply(repBytes)
+	if err != nil {
+		return
+	}
+	c.onReply(rep, digest, groupTag)
+}
+
+func (c *Client) onReply(rep *replication.Reply, digest [32]byte, groupTag []byte) {
+	if int(rep.Replica) >= c.n {
+		return
+	}
+	if !c.cauth.VerifyFrom(int(rep.Replica), rep.SignedBody(), rep.Auth) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := c.pending
+	if p == nil || rep.ReqID != p.reqID {
+		return
+	}
+	key := specKey{view: rep.View, seq: rep.Slot, history: rep.LogHash, result: string(rep.Result)}
+	m := p.byKey[key]
+	if m == nil {
+		m = map[uint32][]byte{}
+		p.byKey[key] = m
+	}
+	m[rep.Replica] = groupTag
+	p.digests[key] = digest
+	p.resultOf[key] = rep.Result
+	if len(m) >= 3*c.f+1 {
+		c.fastPath++
+		select {
+		case p.done <- rep.Result:
+		default:
+		}
+	}
+}
+
+// trySlowPathLocked sends the commit certificate if some response key has
+// at least 2f+1 matches. Caller holds c.mu.
+func (c *Client) trySlowPathLocked(p *pendingOp) {
+	if p.ccSent {
+		return
+	}
+	for key, m := range p.byKey {
+		withTag := 0
+		for _, tag := range m {
+			if tag != nil {
+				withTag++
+			}
+		}
+		if withTag < 2*c.f+1 {
+			continue
+		}
+		p.ccSent = true
+		p.ccSeq = key.seq
+		w := wire.NewWriter(512)
+		w.U8(kindCommit)
+		w.U64(key.view)
+		w.U64(key.seq)
+		w.Bytes32(key.history)
+		w.Bytes32(p.digests[key])
+		cnt := 0
+		var parts []struct {
+			rep uint32
+			tag []byte
+		}
+		for rep, tag := range m {
+			if tag == nil || cnt >= 2*c.f+1 {
+				continue
+			}
+			parts = append(parts, struct {
+				rep uint32
+				tag []byte
+			}{rep, tag})
+			cnt++
+		}
+		w.U32(uint32(len(parts)))
+		for _, pp := range parts {
+			w.U32(pp.rep)
+			w.VarBytes(pp.tag)
+		}
+		p.resultOf[specKey{}] = p.resultOf[key] // remember the committed result
+		for _, mm := range c.members {
+			c.conn.Send(mm, w.Bytes())
+		}
+		return
+	}
+}
+
+func (c *Client) onLocalCommit(body []byte) {
+	// Reconstruct the signed body: kind byte + fields.
+	rd := wire.NewReader(body)
+	view := rd.U64()
+	seq := rd.U64()
+	replica := rd.U32()
+	mac := rd.VarBytes()
+	if rd.Done() != nil || int(replica) >= c.n {
+		return
+	}
+	signed := wire.NewWriter(64)
+	signed.U8(kindLocalCommit)
+	signed.U64(view)
+	signed.U64(seq)
+	signed.U32(replica)
+	if !c.cauth.VerifyFrom(int(replica), signed.Bytes(), mac) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := c.pending
+	if p == nil || !p.ccSent || seq != p.ccSeq {
+		return
+	}
+	p.commits[replica] = true
+	if len(p.commits) >= 2*c.f+1 {
+		c.slowPath++
+		select {
+		case p.done <- p.resultOf[specKey{}]:
+		default:
+		}
+	}
+}

@@ -1,0 +1,387 @@
+// Package zyzzyva implements Zyzzyva (Kotla et al., SOSP '07), the
+// speculative BFT baseline of the paper's evaluation. The primary orders
+// requests and replicas execute speculatively, responding directly to the
+// client: a request completes in three message delays when the client
+// receives 3f+1 matching speculative responses. With fewer (but at least
+// 2f+1) matching responses the client falls back to the slow path,
+// distributing a commit certificate — which is exactly why a single
+// non-responding replica (Zyzzyva-F in Fig 7) collapses throughput.
+//
+// The view-change and fill-hole sub-protocols are out of scope (as in
+// the paper's comparison, which exercises the fault-free fast path and
+// the faulty-replica slow path).
+package zyzzyva
+
+import (
+	"sync"
+
+	"neobft/internal/crypto/auth"
+	"neobft/internal/replication"
+	"neobft/internal/transport"
+	"neobft/internal/wire"
+)
+
+// Message kinds.
+const (
+	kindOrderReq uint8 = replication.KindProtocolBase + iota
+	kindSpecResponse
+	kindCommit
+	kindLocalCommit
+)
+
+// Config configures a Zyzzyva replica.
+type Config struct {
+	Self, N, F int
+	Members    []transport.NodeID
+	Conn       transport.Conn
+	Auth       auth.Authenticator
+	ClientAuth *auth.ReplicaSide
+	App        replication.App
+	// BatchSize caps requests per order-req (default 8).
+	BatchSize int
+	// Window caps outstanding speculative batches (default 2).
+	Window int
+	// Silent makes the replica drop all protocol traffic (the
+	// non-responding Byzantine replica of the Zyzzyva-F experiment).
+	Silent bool
+}
+
+// Replica is a Zyzzyva replica.
+type Replica struct {
+	cfg  Config
+	conn transport.Conn
+
+	mu       sync.Mutex
+	view     uint64
+	seq      uint64 // primary: last assigned
+	lastExec uint64
+	history  [32]byte
+	pending  []*replication.Request
+	inQueue  map[string]bool
+	buffered map[uint64]*orderReq // out-of-order order-reqs
+	table    *replication.ClientTable
+	// maxCC is the highest sequence covered by a commit certificate.
+	maxCC uint64
+
+	executedOps uint64
+}
+
+type orderReq struct {
+	view    uint64
+	seq     uint64
+	digest  [32]byte
+	history [32]byte
+	batch   []*replication.Request
+}
+
+// New creates and starts a Zyzzyva replica.
+func New(cfg Config) *Replica {
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 8
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 2
+	}
+	r := &Replica{
+		cfg:      cfg,
+		conn:     cfg.Conn,
+		inQueue:  map[string]bool{},
+		buffered: map[uint64]*orderReq{},
+		table:    replication.NewClientTable(),
+	}
+	cfg.Conn.SetHandler(r.handle)
+	return r
+}
+
+// Close is a no-op (Zyzzyva replicas run no timers).
+func (r *Replica) Close() {}
+
+// Executed returns the number of executed client operations.
+func (r *Replica) Executed() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.executedOps
+}
+
+func (r *Replica) primary() int    { return int(r.view) % r.cfg.N }
+func (r *Replica) isPrimary() bool { return r.primary() == r.cfg.Self }
+
+func (r *Replica) broadcast(pkt []byte) {
+	for i, m := range r.cfg.Members {
+		if i == r.cfg.Self {
+			continue
+		}
+		r.conn.Send(m, pkt)
+	}
+}
+
+func orderBody(view, seq uint64, digest, history [32]byte) []byte {
+	w := wire.NewWriter(96)
+	w.Raw([]byte("zyz-order"))
+	w.U64(view)
+	w.U64(seq)
+	w.Bytes32(digest)
+	w.Bytes32(history)
+	return w.Bytes()
+}
+
+// specBody is the group-verifiable part of a speculative response; 2f+1
+// matching authenticators over it form a commit certificate.
+func specBody(view, seq uint64, history, digest [32]byte, replica uint32) []byte {
+	w := wire.NewWriter(96)
+	w.Raw([]byte("zyz-spec"))
+	w.U64(view)
+	w.U64(seq)
+	w.Bytes32(history)
+	w.Bytes32(digest)
+	w.U32(replica)
+	return w.Bytes()
+}
+
+func batchDigest(batch []*replication.Request) [32]byte {
+	var acc [32]byte
+	for _, req := range batch {
+		acc = replication.ChainHash(acc, replication.RequestDigest(req))
+	}
+	return acc
+}
+
+func reqKey(c transport.NodeID, id uint64) string {
+	w := wire.NewWriter(12)
+	w.U32(uint32(c))
+	w.U64(id)
+	return string(w.Bytes())
+}
+
+func (r *Replica) handle(from transport.NodeID, pkt []byte) {
+	if r.cfg.Silent || len(pkt) == 0 {
+		return
+	}
+	switch pkt[0] {
+	case replication.KindRequest:
+		r.onRequest(pkt[1:])
+	case kindOrderReq:
+		r.onOrderReq(pkt[1:])
+	case kindCommit:
+		r.onCommit(from, pkt[1:])
+	}
+}
+
+func (r *Replica) onRequest(body []byte) {
+	req, err := replication.UnmarshalRequest(body)
+	if err != nil {
+		return
+	}
+	if !r.cfg.ClientAuth.VerifyClient(int64(req.Client), req.SignedBody(), req.Auth) {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fresh, cached := r.table.Check(req.Client, req.ReqID)
+	if !fresh {
+		if cached != nil {
+			r.conn.Send(req.Client, cached.Marshal())
+		}
+		return
+	}
+	if !r.isPrimary() {
+		// Forward to the primary (client retransmissions broadcast).
+		r.conn.Send(r.cfg.Members[r.primary()], append([]byte{replication.KindRequest}, body...))
+		return
+	}
+	key := reqKey(req.Client, req.ReqID)
+	if !r.inQueue[key] {
+		r.inQueue[key] = true
+		r.pending = append(r.pending, req)
+	}
+	r.tryIssueLocked()
+}
+
+func (r *Replica) tryIssueLocked() {
+	if !r.isPrimary() {
+		return
+	}
+	for len(r.pending) > 0 && r.seq-r.lastExec < uint64(r.cfg.Window) {
+		n := len(r.pending)
+		if n > r.cfg.BatchSize {
+			n = r.cfg.BatchSize
+		}
+		batch := r.pending[:n]
+		r.pending = r.pending[n:]
+		r.seq++
+		digest := batchDigest(batch)
+		history := replication.ChainHash(r.history, digest)
+
+		body := orderBody(r.view, r.seq, digest, history)
+		w := wire.NewWriter(512)
+		w.U8(kindOrderReq)
+		w.VarBytes(body)
+		w.VarBytes(r.cfg.Auth.TagVector(body))
+		w.U32(uint32(len(batch)))
+		for _, req := range batch {
+			w.VarBytes(req.Marshal()[1:])
+		}
+		r.broadcast(w.Bytes())
+		// The primary executes speculatively too.
+		r.executeLocked(&orderReq{view: r.view, seq: r.seq, digest: digest, history: history, batch: batch})
+	}
+}
+
+func (r *Replica) onOrderReq(pkt []byte) {
+	rd := wire.NewReader(pkt)
+	body := rd.VarBytes()
+	tag := rd.VarBytes()
+	nb := rd.U32()
+	if rd.Err() != nil || nb > 1<<16 {
+		return
+	}
+	batch := make([]*replication.Request, nb)
+	for i := range batch {
+		req, err := replication.UnmarshalRequest(rd.VarBytes())
+		if err != nil {
+			return
+		}
+		batch[i] = req
+	}
+	if rd.Done() != nil {
+		return
+	}
+	br := wire.NewReader(body)
+	if !br.Prefix("zyz-order") {
+		return
+	}
+	view := br.U64()
+	seq := br.U64()
+	digest := br.Bytes32()
+	history := br.Bytes32()
+	if br.Done() != nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if view != r.view || r.isPrimary() {
+		return
+	}
+	if !r.cfg.Auth.VerifyVector(r.primary(), body, tag) {
+		return
+	}
+	if batchDigest(batch) != digest {
+		return
+	}
+	o := &orderReq{view: view, seq: seq, digest: digest, history: history, batch: batch}
+	if seq != r.lastExec+1 {
+		if seq > r.lastExec {
+			r.buffered[seq] = o
+		}
+		return
+	}
+	r.executeLocked(o)
+	for {
+		next, ok := r.buffered[r.lastExec+1]
+		if !ok {
+			break
+		}
+		delete(r.buffered, next.seq)
+		r.executeLocked(next)
+	}
+}
+
+// executeLocked speculatively executes a batch in order and sends
+// speculative responses straight to the clients. Caller holds r.mu.
+func (r *Replica) executeLocked(o *orderReq) {
+	// Verify the primary extended the history correctly.
+	want := replication.ChainHash(r.history, o.digest)
+	if o.history != want {
+		return
+	}
+	r.history = o.history
+	r.lastExec = o.seq
+	groupTag := r.cfg.Auth.TagVector(specBody(o.view, o.seq, o.history, o.digest, uint32(r.cfg.Self)))
+	for _, req := range o.batch {
+		if !r.cfg.ClientAuth.VerifyClient(int64(req.Client), req.SignedBody(), req.Auth) {
+			continue
+		}
+		fresh, cached := r.table.Check(req.Client, req.ReqID)
+		if !fresh {
+			if cached != nil {
+				r.conn.Send(req.Client, cached.Marshal())
+			}
+			continue
+		}
+		result, _ := r.cfg.App.Execute(req.Op)
+		r.executedOps++
+		rep := &replication.Reply{
+			View: o.view, Replica: uint32(r.cfg.Self), Slot: o.seq,
+			LogHash: o.history, ReqID: req.ReqID, Result: result, Speculative: true,
+		}
+		rep.Auth = r.cfg.ClientAuth.TagFor(int64(req.Client), rep.SignedBody())
+		r.table.Store(req.Client, req.ReqID, rep)
+
+		w := wire.NewWriter(256)
+		w.U8(kindSpecResponse)
+		w.VarBytes(rep.Marshal()[1:]) // the reply, envelope stripped
+		w.Bytes32(o.digest)
+		w.VarBytes(groupTag)
+		r.conn.Send(req.Client, w.Bytes())
+	}
+	delete(r.buffered, o.seq)
+	r.tryIssueLocked()
+}
+
+// onCommit processes a client's commit certificate: 2f+1 matching
+// speculative-response authenticators (§2.1; slow path).
+func (r *Replica) onCommit(from transport.NodeID, pkt []byte) {
+	rd := wire.NewReader(pkt)
+	view := rd.U64()
+	seq := rd.U64()
+	history := rd.Bytes32()
+	digest := rd.Bytes32()
+	np := rd.U32()
+	if rd.Err() != nil || np > uint32(r.cfg.N) {
+		return
+	}
+	type pt struct {
+		rep uint32
+		tag []byte
+	}
+	parts := make([]pt, np)
+	for i := range parts {
+		parts[i].rep = rd.U32()
+		parts[i].tag = rd.VarBytes()
+	}
+	if rd.Done() != nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seen := map[uint32]bool{}
+	valid := 0
+	for _, p := range parts {
+		if int(p.rep) >= r.cfg.N || seen[p.rep] {
+			continue
+		}
+		if !r.cfg.Auth.VerifyVector(int(p.rep), specBody(view, seq, history, digest, p.rep), p.tag) {
+			continue
+		}
+		seen[p.rep] = true
+		valid++
+	}
+	if valid < 2*r.cfg.F+1 {
+		return
+	}
+	if seq > r.maxCC {
+		r.maxCC = seq
+	}
+	// LOCAL-COMMIT back to the client.
+	w := wire.NewWriter(64)
+	w.U8(kindLocalCommit)
+	w.U64(view)
+	w.U64(seq)
+	w.U32(uint32(r.cfg.Self))
+	body := w.Bytes()
+	mac := r.cfg.ClientAuth.TagFor(int64(from), body)
+	out := wire.NewWriter(len(body) + 16)
+	out.Raw(body)
+	out.VarBytes(mac)
+	r.conn.Send(from, out.Bytes())
+}
