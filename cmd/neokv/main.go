@@ -22,6 +22,7 @@ import (
 	"neobft/internal/crypto/auth"
 	"neobft/internal/kvstore"
 	"neobft/internal/neobft"
+	"neobft/internal/runtime"
 	"neobft/internal/sequencer"
 	"neobft/internal/transport"
 	"neobft/internal/transport/udpnet"
@@ -50,6 +51,8 @@ func freePorts(n int) ([]string, error) {
 
 func main() {
 	benchDur := flag.Duration("bench", 0, "run YCSB-A closed-loop load for this long instead of the REPL")
+	verifyWorkers := flag.Int("verify-workers", 0,
+		"verification workers per replica (0 = runtime default, negative = inline)")
 	flag.Parse()
 
 	// One UDP socket per node: sequencer, replicas, client.
@@ -102,6 +105,7 @@ func main() {
 			App:        stores[i],
 			Variant:    wire.AuthHMAC,
 			Svc:        svc,
+			Runtime:    runtime.New(runtime.Config{Conn: conn, Workers: *verifyWorkers}),
 		})
 		defer r.Close()
 	}

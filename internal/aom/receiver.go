@@ -199,29 +199,148 @@ func (r *Receiver) ConfirmPackets() uint64 {
 	return r.cfPackets
 }
 
+// PreVerified carries the expensive, state-independent checks of one
+// packet, computed off the receiver's processing thread (by a runtime
+// verification worker). Verdicts that depend on epoch credentials record
+// the epoch they were computed under; if the epoch changed by apply
+// time, the receiver recomputes inline.
+type PreVerified struct {
+	// Hdr and Payload are the decoded aom header/payload (nil for
+	// confirm packets).
+	Hdr     *wire.AOMHeader
+	Payload []byte
+	// Epoch is the epoch the lane/signature verdicts were computed under.
+	Epoch uint32
+	// DigestOK records the payload-digest check (epoch-independent).
+	DigestOK bool
+	// LaneOK is the own-lane SipHash verdict for an aom-hm packet whose
+	// subgroup covers this receiver (nil otherwise).
+	LaneOK *bool
+	// SigOK is the sequencer-signature verdict for a signed aom-pk
+	// packet (nil otherwise).
+	SigOK *bool
+	// Confirm marks a confirm packet; ConfirmOK holds per-entry
+	// authenticator verdicts (epoch-independent: the verified input is
+	// taken entirely from the packet).
+	Confirm   bool
+	ConfirmOK []bool
+}
+
+// PreVerify runs every check of pkt that does not need the receiver's
+// ordering state: packet decoding, the payload digest, the receiver's
+// own HMAC lane (aom-hm), the sequencer signature (aom-pk), and confirm
+// authenticators. It is safe to call from concurrent worker goroutines.
+// The second return is false if the packet does not belong to libAOM.
+func (r *Receiver) PreVerify(pkt []byte) (*PreVerified, bool) {
+	if len(pkt) >= 2 && binary.LittleEndian.Uint16(pkt) == confirmMagic {
+		pv := &PreVerified{Confirm: true}
+		pv.ConfirmOK = r.preVerifyConfirm(pkt)
+		return pv, true
+	}
+	hdr, payload, err := wire.DecodeAOM(pkt)
+	if err != nil || hdr.Kind == wire.AuthNone {
+		return nil, false
+	}
+	pv := &PreVerified{Hdr: hdr, Payload: payload}
+	pv.DigestOK = hdr.Digest == wire.Digest(payload)
+	if !pv.DigestOK {
+		return pv, true
+	}
+	r.mu.Lock()
+	epoch, hmKey, pk := r.epoch, r.hmKey, r.pk
+	r.mu.Unlock()
+	pv.Epoch = epoch
+	switch r.cfg.Variant {
+	case wire.AuthHMAC:
+		if int(hdr.Subgroup) == r.cfg.SelfIndex/4 {
+			laneInSub := r.cfg.SelfIndex % 4
+			ok := false
+			if len(hdr.Auth) >= 4*(laneInSub+1) {
+				want := siphash.Sum32(hmKey, hdr.AuthInput())
+				ok = binary.LittleEndian.Uint32(hdr.Auth[4*laneInSub:]) == want
+			}
+			pv.LaneOK = &ok
+		}
+	case wire.AuthPK:
+		if hdr.Signed && pk != nil {
+			ok := false
+			if sig, err := secp256k1.DecodeSignature(hdr.Auth); err == nil {
+				h := hdr.PacketHash()
+				ok = pk.Verify(h[:], sig)
+			}
+			pv.SigOK = &ok
+		}
+	}
+	return pv, true
+}
+
+// preVerifyConfirm checks every entry's authenticator in a confirm
+// packet. The verified input (group, epoch, seq, hash) comes entirely
+// from the packet, so the verdicts hold under any receiver state.
+func (r *Receiver) preVerifyConfirm(pkt []byte) []bool {
+	rd := wire.NewReader(pkt)
+	if rd.U16() != confirmMagic {
+		return nil
+	}
+	group := rd.U32()
+	epoch := rd.U32()
+	sender := int(rd.U32())
+	count := int(rd.U32())
+	if rd.Err() != nil || count < 0 || count > 1<<16 ||
+		sender < 0 || sender >= len(r.cfg.Members) || r.cfg.Auth == nil {
+		return nil
+	}
+	out := make([]bool, 0, count)
+	for i := 0; i < count; i++ {
+		seq := rd.U64()
+		hash := rd.Bytes32()
+		tag := rd.VarBytes()
+		if rd.Err() != nil {
+			break
+		}
+		out = append(out, r.cfg.Auth.VerifyVector(sender, confirmInput(group, epoch, seq, hash), tag))
+	}
+	return out
+}
+
 // HandlePacket inspects a raw packet and consumes it if it belongs to
 // libAOM (a stamped aom packet or a confirm message). It returns true if
 // consumed. The owner demultiplexes all other traffic itself.
 func (r *Receiver) HandlePacket(from transport.NodeID, pkt []byte) bool {
-	if len(pkt) >= 2 {
-		switch binary.LittleEndian.Uint16(pkt) {
-		case confirmMagic:
-			r.handleConfirm(pkt)
-			return true
+	return r.HandlePacketPre(from, pkt, nil)
+}
+
+// HandlePacketPre is HandlePacket with optional pre-verified verdicts
+// from PreVerify. It must be called from the owner's single processing
+// goroutine (the runtime loop); pre may be nil.
+func (r *Receiver) HandlePacketPre(from transport.NodeID, pkt []byte, pre *PreVerified) bool {
+	if len(pkt) >= 2 && binary.LittleEndian.Uint16(pkt) == confirmMagic {
+		var oks []bool
+		if pre != nil && pre.Confirm {
+			oks = pre.ConfirmOK
 		}
+		r.handleConfirm(pkt, oks)
+		return true
 	}
-	hdr, payload, err := wire.DecodeAOM(pkt)
-	if err != nil {
-		return false
+	var hdr *wire.AOMHeader
+	var payload []byte
+	if pre != nil && pre.Hdr != nil {
+		hdr, payload = pre.Hdr, pre.Payload
+	} else {
+		var err error
+		hdr, payload, err = wire.DecodeAOM(pkt)
+		if err != nil {
+			return false
+		}
 	}
 	if hdr.Kind == wire.AuthNone {
 		return false // unstamped packet; not for receivers
 	}
-	r.handleAOM(hdr, payload)
+	r.handleAOM(hdr, payload, pre)
 	return true
 }
 
-func (r *Receiver) handleAOM(hdr *wire.AOMHeader, payload []byte) {
+func (r *Receiver) handleAOM(hdr *wire.AOMHeader, payload []byte, pre *PreVerified) {
 	r.mu.Lock()
 	if hdr.Epoch != r.epoch || hdr.Kind != r.cfg.Variant || hdr.Group != r.cfg.Group {
 		r.mu.Unlock()
@@ -231,15 +350,30 @@ func (r *Receiver) handleAOM(hdr *wire.AOMHeader, payload []byte) {
 		r.mu.Unlock()
 		return // already delivered or dropped
 	}
-	if hdr.Digest != wire.Digest(payload) {
+	if pre != nil {
+		if !pre.DigestOK {
+			r.mu.Unlock()
+			return
+		}
+		// Lane/signature verdicts are only valid for the epoch they were
+		// computed under; on mismatch (epoch switched while the packet
+		// was in the verification queue) fall back to inline checks.
+		if pre.Epoch != r.epoch {
+			pre = nil
+		}
+	} else if hdr.Digest != wire.Digest(payload) {
 		r.mu.Unlock()
 		return // corrupted or mismatched payload
 	}
+	var laneOK, sigOK *bool
+	if pre != nil {
+		laneOK, sigOK = pre.LaneOK, pre.SigOK
+	}
 	switch r.cfg.Variant {
 	case wire.AuthHMAC:
-		r.handleHM(hdr, payload)
+		r.handleHM(hdr, payload, laneOK)
 	case wire.AuthPK:
-		r.handlePK(hdr, payload)
+		r.handlePK(hdr, payload, sigOK)
 	}
 	deliveries := r.collectDeliveriesLocked()
 	cf := r.takeConfirmBatchLocked(false)
@@ -251,8 +385,9 @@ func (r *Receiver) handleAOM(hdr *wire.AOMHeader, payload []byte) {
 	}
 }
 
-// handleHM processes one aom-hm subgroup packet. Caller holds r.mu.
-func (r *Receiver) handleHM(hdr *wire.AOMHeader, payload []byte) {
+// handleHM processes one aom-hm subgroup packet. laneOK, when non-nil,
+// is the pre-verified own-lane verdict. Caller holds r.mu.
+func (r *Receiver) handleHM(hdr *wire.AOMHeader, payload []byte, laneOK *bool) {
 	nsub := int(hdr.NumSubgroups)
 	if nsub == 0 || int(hdr.Subgroup) >= nsub {
 		return
@@ -273,15 +408,18 @@ func (r *Receiver) handleHM(hdr *wire.AOMHeader, payload []byte) {
 	// Verify our own lane when the covering subgroup part arrives.
 	ownSub := uint8(r.cfg.SelfIndex / 4)
 	if hdr.Subgroup == ownSub {
-		laneInSub := r.cfg.SelfIndex % 4
-		if len(hdr.Auth) < 4*(laneInSub+1) {
-			delete(r.asm, hdr.Seq)
-			return
+		ok := false
+		if laneOK != nil {
+			ok = *laneOK
+		} else {
+			laneInSub := r.cfg.SelfIndex % 4
+			if len(hdr.Auth) >= 4*(laneInSub+1) {
+				want := siphash.Sum32(r.hmKey, hdr.AuthInput())
+				ok = binary.LittleEndian.Uint32(hdr.Auth[4*laneInSub:]) == want
+			}
 		}
-		want := siphash.Sum32(r.hmKey, hdr.AuthInput())
-		got := binary.LittleEndian.Uint32(hdr.Auth[4*laneInSub:])
-		if got != want {
-			delete(r.asm, hdr.Seq) // forged packet
+		if !ok {
+			delete(r.asm, hdr.Seq) // forged or truncated packet
 			return
 		}
 		a.ownOK = true
@@ -296,8 +434,9 @@ func (r *Receiver) handleHM(hdr *wire.AOMHeader, payload []byte) {
 	}
 }
 
-// handlePK processes one aom-pk packet. Caller holds r.mu.
-func (r *Receiver) handlePK(hdr *wire.AOMHeader, payload []byte) {
+// handlePK processes one aom-pk packet. sigOK, when non-nil, is the
+// pre-verified sequencer-signature verdict. Caller holds r.mu.
+func (r *Receiver) handlePK(hdr *wire.AOMHeader, payload []byte, sigOK *bool) {
 	if _, have := r.pend[hdr.Seq]; have {
 		return
 	}
@@ -306,12 +445,14 @@ func (r *Receiver) handlePK(hdr *wire.AOMHeader, payload []byte) {
 	}
 	p := &authPkt{hdr: hdr, payload: append([]byte(nil), payload...)}
 	if hdr.Signed {
-		sig, err := secp256k1.DecodeSignature(hdr.Auth)
-		if err != nil {
-			return
+		ok := false
+		if sigOK != nil {
+			ok = *sigOK
+		} else if sig, err := secp256k1.DecodeSignature(hdr.Auth); err == nil {
+			h := hdr.PacketHash()
+			ok = r.pk.Verify(h[:], sig)
 		}
-		h := hdr.PacketHash()
-		if !r.pk.Verify(h[:], sig) {
+		if !ok {
 			return
 		}
 		r.authenticated(p)
@@ -429,7 +570,10 @@ func (r *Receiver) checkQuorum(seq uint64) {
 	}
 }
 
-func (r *Receiver) handleConfirm(pkt []byte) {
+// handleConfirm processes a confirm packet. oks, when non-nil, holds
+// pre-verified per-entry authenticator verdicts (always valid: the
+// verified input comes entirely from the packet).
+func (r *Receiver) handleConfirm(pkt []byte, oks []bool) {
 	rd := wire.NewReader(pkt)
 	if rd.U16() != confirmMagic {
 		return
@@ -457,7 +601,13 @@ func (r *Receiver) handleConfirm(pkt []byte) {
 		if seq < r.nextSeq {
 			continue
 		}
-		if !r.cfg.Auth.VerifyVector(sender, confirmInput(group, epoch, seq, hash), tag) {
+		var tagOK bool
+		if i < len(oks) {
+			tagOK = oks[i]
+		} else {
+			tagOK = r.cfg.Auth.VerifyVector(sender, confirmInput(group, epoch, seq, hash), tag)
+		}
+		if !tagOK {
 			continue
 		}
 		r.storeConfirm(seq, hash, sender, append([]byte(nil), tag...))

@@ -12,6 +12,7 @@ import (
 	"neobft/internal/neobft"
 	"neobft/internal/pbft"
 	"neobft/internal/replication"
+	"neobft/internal/runtime"
 	"neobft/internal/sequencer"
 	"neobft/internal/simnet"
 	"neobft/internal/transport"
@@ -70,6 +71,10 @@ type Options struct {
 	// USIGDelay models the SGX enclave-transition cost per USIG call
 	// (MinBFT; default 10µs, the order of an ECALL/OCALL round trip).
 	USIGDelay time.Duration
+	// VerifyWorkers sets each replica runtime's verification worker
+	// count: 0 picks the runtime default, negative runs verification
+	// inline on the delivery goroutine.
+	VerifyWorkers int
 }
 
 // System is a running system under test.
@@ -176,24 +181,19 @@ func Build(o Options) *System {
 	return sys
 }
 
-// countingConn wraps a transport.Conn, counting inbound packets and the
-// wall-clock time spent inside the handler. The busy time of the busiest
-// replica is what bounds throughput when every replica has its own
-// machine (the paper's deployment), so ops ÷ max-busy-time projects the
-// bottleneck throughput from a co-located single-core run.
+// countingConn wraps a transport.Conn, counting inbound and outbound
+// packets. Handler busy time is measured by the replica runtimes (see
+// busyCounter), which time verification and apply work directly.
 type countingConn struct {
 	transport.Conn
-	count  atomic.Uint64
-	sent   atomic.Uint64
-	busyNS atomic.Int64
+	count atomic.Uint64
+	sent  atomic.Uint64
 }
 
 func (c *countingConn) SetHandler(h transport.Handler) {
 	c.Conn.SetHandler(func(from transport.NodeID, pkt []byte) {
 		c.count.Add(1)
-		start := time.Now()
 		h(from, pkt)
-		c.busyNS.Add(int64(time.Since(start)))
 	})
 }
 
@@ -234,11 +234,22 @@ func pktCounter(conns []*countingConn) func() []uint64 {
 	}
 }
 
-func busyCounter(conns []*countingConn) func() []time.Duration {
+// newRuntime builds one replica runtime over a counted conn, honoring
+// the benchmark's worker override.
+func newRuntime(conn *countingConn, workers int) *runtime.Runtime {
+	return runtime.New(runtime.Config{Conn: conn, Workers: workers})
+}
+
+// busyCounter reports per-replica busy time (verification + apply) from
+// the runtimes. The busy time of the busiest replica is what bounds
+// throughput when every replica has its own machine (the paper's
+// deployment), so ops ÷ max-busy-time projects the bottleneck
+// throughput from a co-located run.
+func busyCounter(rts []*runtime.Runtime) func() []time.Duration {
 	return func() []time.Duration {
-		out := make([]time.Duration, len(conns))
-		for i, c := range conns {
-			out[i] = time.Duration(c.busyNS.Load())
+		out := make([]time.Duration, len(rts))
+		for i, rt := range rts {
+			out[i] = rt.Busy()
 		}
 		return out
 	}
@@ -286,11 +297,13 @@ func buildNeo(sys *System, o Options, net *simnet.Network, f int) {
 		panic(err)
 	}
 	conns := make([]*countingConn, o.N)
+	rts := make([]*runtime.Runtime, o.N)
 	auths := make([]*auth.HMACAuth, o.N)
 	csides := make([]*auth.ReplicaSide, o.N)
 	replicas := make([]*neobft.Replica, o.N)
 	for i := 0; i < o.N; i++ {
 		conns[i] = joinCounting(net, mem[i])
+		rts[i] = newRuntime(conns[i], o.VerifyWorkers)
 		auths[i] = auth.NewHMACAuth([]byte(replicaMaster), i, o.N)
 		csides[i] = auth.NewReplicaSide([]byte(clientMaster), i)
 		replicas[i] = neobft.New(neobft.Config{
@@ -306,11 +319,12 @@ func buildNeo(sys *System, o Options, net *simnet.Network, f int) {
 			ConfirmFlushEvery: o.ConfirmFlushEvery,
 			ConfirmBatch:      16,
 			Svc:               svc,
+			Runtime:           rts[i],
 		})
 		sys.Replicas = append(sys.Replicas, replicas[i])
 	}
 	sys.PerReplicaMsgs = msgCounter(conns)
-	sys.PerReplicaBusy = busyCounter(conns)
+	sys.PerReplicaBusy = busyCounter(rts)
 	sys.PerReplicaPkts = pktCounter(conns)
 	sys.AuthOps = authCounter(auths, csides)
 	sys.Committed = func() uint64 { return replicas[0].Committed() }
@@ -341,11 +355,13 @@ func buildNeo(sys *System, o Options, net *simnet.Network, f int) {
 func buildPBFT(sys *System, o Options, net *simnet.Network, f int) {
 	mem := members(o.N)
 	conns := make([]*countingConn, o.N)
+	rts := make([]*runtime.Runtime, o.N)
 	auths := make([]*auth.HMACAuth, o.N)
 	csides := make([]*auth.ReplicaSide, o.N)
 	replicas := make([]*pbft.Replica, o.N)
 	for i := 0; i < o.N; i++ {
 		conns[i] = joinCounting(net, mem[i])
+		rts[i] = newRuntime(conns[i], o.VerifyWorkers)
 		auths[i] = auth.NewHMACAuth([]byte(replicaMaster), i, o.N)
 		csides[i] = auth.NewReplicaSide([]byte(clientMaster), i)
 		replicas[i] = pbft.New(pbft.Config{
@@ -356,11 +372,12 @@ func buildPBFT(sys *System, o Options, net *simnet.Network, f int) {
 			ClientAuth: csides[i],
 			App:        o.AppFactory(i),
 			BatchSize:  o.BatchSize,
+			Runtime:    rts[i],
 		})
 		sys.Replicas = append(sys.Replicas, replicas[i])
 	}
 	sys.PerReplicaMsgs = msgCounter(conns)
-	sys.PerReplicaBusy = busyCounter(conns)
+	sys.PerReplicaBusy = busyCounter(rts)
 	sys.PerReplicaPkts = pktCounter(conns)
 	sys.AuthOps = authCounter(auths, csides)
 	sys.Committed = func() uint64 { return replicas[0].Executed() }
@@ -379,11 +396,13 @@ func buildPBFT(sys *System, o Options, net *simnet.Network, f int) {
 func buildZyzzyva(sys *System, o Options, net *simnet.Network, f int) {
 	mem := members(o.N)
 	conns := make([]*countingConn, o.N)
+	rts := make([]*runtime.Runtime, o.N)
 	auths := make([]*auth.HMACAuth, o.N)
 	csides := make([]*auth.ReplicaSide, o.N)
 	replicas := make([]*zyzzyva.Replica, o.N)
 	for i := 0; i < o.N; i++ {
 		conns[i] = joinCounting(net, mem[i])
+		rts[i] = newRuntime(conns[i], o.VerifyWorkers)
 		auths[i] = auth.NewHMACAuth([]byte(replicaMaster), i, o.N)
 		csides[i] = auth.NewReplicaSide([]byte(clientMaster), i)
 		replicas[i] = zyzzyva.New(zyzzyva.Config{
@@ -395,6 +414,7 @@ func buildZyzzyva(sys *System, o Options, net *simnet.Network, f int) {
 			App:        o.AppFactory(i),
 			BatchSize:  o.BatchSize,
 			Silent:     o.Protocol == ZyzzyvaF && i == o.N-1,
+			Runtime:    rts[i],
 		})
 		sys.Replicas = append(sys.Replicas, replicas[i])
 	}
@@ -403,7 +423,7 @@ func buildZyzzyva(sys *System, o Options, net *simnet.Network, f int) {
 	// path while still penalizing Zyzzyva-F heavily per operation.
 	specTimeout := 20 * time.Millisecond
 	sys.PerReplicaMsgs = msgCounter(conns)
-	sys.PerReplicaBusy = busyCounter(conns)
+	sys.PerReplicaBusy = busyCounter(rts)
 	sys.PerReplicaPkts = pktCounter(conns)
 	sys.AuthOps = authCounter(auths, csides)
 	sys.Committed = func() uint64 { return replicas[0].Executed() }
@@ -422,11 +442,13 @@ func buildZyzzyva(sys *System, o Options, net *simnet.Network, f int) {
 func buildHotStuff(sys *System, o Options, net *simnet.Network, f int) {
 	mem := members(o.N)
 	conns := make([]*countingConn, o.N)
+	rts := make([]*runtime.Runtime, o.N)
 	auths := make([]*auth.HMACAuth, o.N)
 	csides := make([]*auth.ReplicaSide, o.N)
 	replicas := make([]*hotstuff.Replica, o.N)
 	for i := 0; i < o.N; i++ {
 		conns[i] = joinCounting(net, mem[i])
+		rts[i] = newRuntime(conns[i], o.VerifyWorkers)
 		auths[i] = auth.NewHMACAuth([]byte(replicaMaster), i, o.N)
 		csides[i] = auth.NewReplicaSide([]byte(clientMaster), i)
 		replicas[i] = hotstuff.New(hotstuff.Config{
@@ -437,11 +459,12 @@ func buildHotStuff(sys *System, o Options, net *simnet.Network, f int) {
 			ClientAuth: csides[i],
 			App:        o.AppFactory(i),
 			BatchSize:  o.BatchSize,
+			Runtime:    rts[i],
 		})
 		sys.Replicas = append(sys.Replicas, replicas[i])
 	}
 	sys.PerReplicaMsgs = msgCounter(conns)
-	sys.PerReplicaBusy = busyCounter(conns)
+	sys.PerReplicaBusy = busyCounter(rts)
 	sys.PerReplicaPkts = pktCounter(conns)
 	sys.AuthOps = authCounter(auths, csides)
 	sys.Committed = func() uint64 { return replicas[0].Executed() }
@@ -461,12 +484,14 @@ func buildMinBFT(sys *System, o Options, net *simnet.Network, f int) {
 	n := 2*f + 1 // trusted components reduce the replication factor
 	mem := members(n)
 	conns := make([]*countingConn, n)
+	rts := make([]*runtime.Runtime, n)
 	auths := make([]*auth.HMACAuth, n)
 	csides := make([]*auth.ReplicaSide, n)
 	usigs := make([]*usig.USIG, n)
 	replicas := make([]*minbft.Replica, n)
 	for i := 0; i < n; i++ {
 		conns[i] = joinCounting(net, mem[i])
+		rts[i] = newRuntime(conns[i], o.VerifyWorkers)
 		auths[i] = auth.NewHMACAuth([]byte(replicaMaster), i, n)
 		csides[i] = auth.NewReplicaSide([]byte(clientMaster), i)
 		usigs[i] = usig.New(uint32(i), []byte("sgx-master")).WithEnclaveDelay(o.USIGDelay)
@@ -479,11 +504,12 @@ func buildMinBFT(sys *System, o Options, net *simnet.Network, f int) {
 			App:        o.AppFactory(i),
 			USIG:       usigs[i],
 			BatchSize:  o.BatchSize,
+			Runtime:    rts[i],
 		})
 		sys.Replicas = append(sys.Replicas, replicas[i])
 	}
 	sys.PerReplicaMsgs = msgCounter(conns)
-	sys.PerReplicaBusy = busyCounter(conns)
+	sys.PerReplicaBusy = busyCounter(rts)
 	sys.PerReplicaPkts = pktCounter(conns)
 	baseAuth := authCounter(auths, csides)
 	sys.AuthOps = func() uint64 {
@@ -509,11 +535,14 @@ func buildMinBFT(sys *System, o Options, net *simnet.Network, f int) {
 
 func buildUnreplicated(sys *System, o Options, net *simnet.Network) {
 	conn := joinCounting(net, 1)
+	rt := newRuntime(conn, o.VerifyWorkers)
 	cside := auth.NewReplicaSide([]byte(clientMaster), 0)
-	srv := unreplicated.NewServer(conn, o.AppFactory(0), cside)
+	srv := unreplicated.New(unreplicated.Config{
+		Conn: conn, App: o.AppFactory(0), ClientAuth: cside, Runtime: rt,
+	})
 	sys.Replicas = append(sys.Replicas, srv)
 	sys.PerReplicaMsgs = msgCounter([]*countingConn{conn})
-	sys.PerReplicaBusy = busyCounter([]*countingConn{conn})
+	sys.PerReplicaBusy = busyCounter([]*runtime.Runtime{rt})
 	sys.PerReplicaPkts = pktCounter([]*countingConn{conn})
 	sys.AuthOps = authCounter(nil, []*auth.ReplicaSide{cside})
 	sys.Committed = srv.Ops
@@ -521,5 +550,8 @@ func buildUnreplicated(sys *System, o Options, net *simnet.Network) {
 		return unreplicated.NewClient(net.Join(clientBase+transport.NodeID(id)),
 			1, []byte(clientMaster), o.ClientTimeout)
 	}
-	sys.Close = net.Close
+	sys.Close = func() {
+		srv.Close()
+		net.Close()
+	}
 }

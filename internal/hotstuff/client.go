@@ -3,7 +3,6 @@ package hotstuff
 import (
 	"time"
 
-	"neobft/internal/crypto/auth"
 	"neobft/internal/replication"
 	"neobft/internal/transport"
 )
@@ -11,9 +10,8 @@ import (
 // NewClient builds a HotStuff client: requests broadcast to every
 // replica's mempool; a result is accepted after f+1 matching replies.
 func NewClient(conn transport.Conn, master []byte, n, f int, members []transport.NodeID, timeout time.Duration) *replication.Client {
-	cl := replication.NewClient(replication.ClientConfig{
+	return replication.NewWiredClient(replication.ClientConfig{
 		Conn: conn, N: n, F: f, Quorum: f + 1,
-		Auth:    auth.NewClientSide(master, int64(conn.ID()), n),
 		Timeout: timeout,
 		Submit: func(req *replication.Request, retry bool) {
 			pkt := req.Marshal()
@@ -21,7 +19,5 @@ func NewClient(conn transport.Conn, master []byte, n, f int, members []transport
 				conn.Send(m, pkt)
 			}
 		},
-	})
-	conn.SetHandler(func(from transport.NodeID, pkt []byte) { cl.HandlePacket(from, pkt) })
-	return cl
+	}, master)
 }

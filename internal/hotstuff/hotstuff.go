@@ -16,6 +16,7 @@ import (
 
 	"neobft/internal/crypto/auth"
 	"neobft/internal/replication"
+	"neobft/internal/runtime"
 	"neobft/internal/transport"
 	"neobft/internal/wire"
 )
@@ -36,6 +37,9 @@ type Config struct {
 	App        replication.App
 	// BatchSize caps requests per block (default 8).
 	BatchSize int
+	// Runtime hosts the replica's event loop and verification workers.
+	// If nil, New creates a default runtime over Conn.
+	Runtime *runtime.Runtime
 }
 
 type qc struct {
@@ -63,6 +67,7 @@ type block struct {
 type Replica struct {
 	cfg  Config
 	conn transport.Conn
+	rt   *runtime.Runtime
 
 	mu        sync.Mutex
 	blocks    map[[32]byte]*block
@@ -103,12 +108,19 @@ func New(cfg Config) *Replica {
 	r.blocks[genesisHash] = g
 	r.highQC = &qc{view: 0, block: genesisHash}
 	r.lockedQC = r.highQC
-	cfg.Conn.SetHandler(r.handle)
+	if cfg.Runtime == nil {
+		cfg.Runtime = runtime.New(runtime.Config{Conn: cfg.Conn})
+	}
+	r.rt = cfg.Runtime
+	r.rt.Start(r)
 	return r
 }
 
-// Close is a no-op (no timers in the fault-free pipeline).
-func (r *Replica) Close() {}
+// Close stops the replica's runtime.
+func (r *Replica) Close() { r.rt.Close() }
+
+// Runtime returns the replica's runtime (for stats and draining).
+func (r *Replica) Runtime() *runtime.Runtime { return r.rt }
 
 // Executed returns the number of executed client operations.
 func (r *Replica) Executed() uint64 {
@@ -171,28 +183,137 @@ func reqKey(c transport.NodeID, id uint64) string {
 	return string(w.Bytes())
 }
 
-func (r *Replica) handle(from transport.NodeID, pkt []byte) {
+// --- verify stage (worker goroutines) --------------------------------------
+
+type evRequest struct{ req *replication.Request }
+
+// evPropose carries a fully decoded block whose leader authenticator,
+// batch digest, block hash and justify QC were all verified off-loop.
+type evPropose struct{ b *block }
+
+type evVote struct {
+	replica uint32
+	view    uint64
+	hash    [32]byte
+	tag     []byte
+}
+
+// VerifyPacket implements runtime.Handler.
+func (r *Replica) VerifyPacket(from transport.NodeID, pkt []byte) runtime.Event {
 	if len(pkt) == 0 {
-		return
+		return nil
 	}
 	switch pkt[0] {
 	case replication.KindRequest:
-		r.onRequest(pkt[1:])
+		req, err := replication.UnmarshalRequest(pkt[1:])
+		if err != nil {
+			return nil
+		}
+		if !r.cfg.ClientAuth.VerifyClient(int64(req.Client), req.SignedBody(), req.Auth) {
+			return nil
+		}
+		return evRequest{req: req}
 	case kindPropose:
-		r.onPropose(pkt[1:])
+		b := r.verifyPropose(pkt[1:])
+		if b == nil {
+			return nil
+		}
+		return evPropose{b: b}
 	case kindVote:
-		r.onVote(pkt[1:])
+		rd := wire.NewReader(pkt[1:])
+		replica := rd.U32()
+		view := rd.U64()
+		hash := rd.Bytes32()
+		tag := append([]byte(nil), rd.VarBytes()...)
+		if rd.Done() != nil || int(replica) >= r.cfg.N {
+			return nil
+		}
+		if !r.cfg.Auth.VerifyVector(int(replica), voteBody(view, hash, replica), tag) {
+			return nil
+		}
+		return evVote{replica: replica, view: view, hash: hash, tag: tag}
+	}
+	return nil
+}
+
+// verifyPropose decodes and fully authenticates a proposal: every check
+// here depends only on the packet and the key material, never on the
+// block tree, which apply consults afterwards.
+func (r *Replica) verifyPropose(pkt []byte) *block {
+	rd := wire.NewReader(pkt)
+	body := rd.VarBytes()
+	tag := append([]byte(nil), rd.VarBytes()...)
+	view := rd.U64()
+	height := rd.U64()
+	parent := rd.Bytes32()
+	digest := rd.Bytes32()
+	nb := rd.U32()
+	if rd.Err() != nil || nb > 1<<16 {
+		return nil
+	}
+	batch := make([]*replication.Request, nb)
+	for i := range batch {
+		req, err := replication.UnmarshalRequest(rd.VarBytes())
+		if err != nil {
+			return nil
+		}
+		batch[i] = req
+	}
+	qcView := rd.U64()
+	qcBlock := rd.Bytes32()
+	np := rd.U32()
+	if rd.Err() != nil || np > uint32(r.cfg.N) {
+		return nil
+	}
+	parts := make([]part, np)
+	for i := range parts {
+		parts[i].Replica = rd.U32()
+		parts[i].Tag = append([]byte(nil), rd.VarBytes()...)
+	}
+	if rd.Done() != nil {
+		return nil
+	}
+	br := wire.NewReader(body)
+	if !br.Prefix("hs-prop") {
+		return nil
+	}
+	bView := br.U64()
+	bHash := br.Bytes32()
+	if br.Done() != nil || bView != view {
+		return nil
+	}
+	if batchDigest(batch) != digest {
+		return nil
+	}
+	if blockHash(view, height, parent, digest, qcBlock) != bHash {
+		return nil
+	}
+	if !r.cfg.Auth.VerifyVector(r.leaderOf(view), body, tag) {
+		return nil
+	}
+	j := &qc{view: qcView, block: qcBlock, parts: parts}
+	if !r.validQC(j) {
+		return nil
+	}
+	return &block{hash: bHash, view: view, height: height, parent: parent,
+		digest: digest, batch: batch, justify: j}
+}
+
+// ApplyEvent implements runtime.Handler.
+func (r *Replica) ApplyEvent(from transport.NodeID, ev runtime.Event) {
+	switch e := ev.(type) {
+	case evRequest:
+		r.onRequest(e.req)
+	case evPropose:
+		r.onPropose(e.b)
+	case evVote:
+		r.onVote(e)
 	}
 }
 
-func (r *Replica) onRequest(body []byte) {
-	req, err := replication.UnmarshalRequest(body)
-	if err != nil {
-		return
-	}
-	if !r.cfg.ClientAuth.VerifyClient(int64(req.Client), req.SignedBody(), req.Auth) {
-		return
-	}
+// --- apply stage (loop goroutine) ------------------------------------------
+
+func (r *Replica) onRequest(req *replication.Request) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	fresh, cached := r.table.Check(req.Client, req.ReqID)
@@ -283,85 +404,28 @@ func (r *Replica) uncommittedAboveLocked(tip [32]byte) bool {
 	return b != nil && b.height > r.lastExec
 }
 
-func (r *Replica) onPropose(pkt []byte) {
-	rd := wire.NewReader(pkt)
-	body := rd.VarBytes()
-	tag := append([]byte(nil), rd.VarBytes()...)
-	view := rd.U64()
-	height := rd.U64()
-	parent := rd.Bytes32()
-	digest := rd.Bytes32()
-	nb := rd.U32()
-	if rd.Err() != nil || nb > 1<<16 {
-		return
-	}
-	batch := make([]*replication.Request, nb)
-	for i := range batch {
-		req, err := replication.UnmarshalRequest(rd.VarBytes())
-		if err != nil {
-			return
-		}
-		batch[i] = req
-	}
-	qcView := rd.U64()
-	qcBlock := rd.Bytes32()
-	np := rd.U32()
-	if rd.Err() != nil || np > uint32(r.cfg.N) {
-		return
-	}
-	parts := make([]part, np)
-	for i := range parts {
-		parts[i].Replica = rd.U32()
-		parts[i].Tag = append([]byte(nil), rd.VarBytes()...)
-	}
-	if rd.Done() != nil {
-		return
-	}
-	br := wire.NewReader(body)
-	if !br.Prefix("hs-prop") {
-		return
-	}
-	bView := br.U64()
-	bHash := br.Bytes32()
-	if br.Done() != nil || bView != view {
-		return
-	}
-	if batchDigest(batch) != digest {
-		return
-	}
-	if blockHash(view, height, parent, digest, qcBlock) != bHash {
-		return
-	}
-
+func (r *Replica) onPropose(b *block) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if !r.cfg.Auth.VerifyVector(r.leaderOf(view), body, tag) {
+	if _, dup := r.blocks[b.hash]; dup {
 		return
 	}
-	j := &qc{view: qcView, block: qcBlock, parts: parts}
-	if !r.validQCLocked(j) {
-		return
-	}
-	if _, dup := r.blocks[bHash]; dup {
-		return
-	}
-	pb := r.blocks[parent]
-	if pb == nil || pb.height+1 != height || parent != qcBlock {
+	pb := r.blocks[b.parent]
+	if pb == nil || pb.height+1 != b.height || b.parent != b.justify.block {
 		return // chained HotStuff: blocks extend the justified block
 	}
-	b := &block{hash: bHash, view: view, height: height, parent: parent,
-		digest: digest, batch: batch, justify: j}
-	r.blocks[bHash] = b
+	r.blocks[b.hash] = b
 	// De-queue requests carried by the block.
-	for _, req := range batch {
+	for _, req := range b.batch {
 		delete(r.inQueue, reqKey(req.Client, req.ReqID))
 	}
 	r.processBlockLocked(b)
 }
 
-// validQCLocked verifies a quorum certificate (the genesis QC at view 0
-// is axiomatically valid). Caller holds r.mu.
-func (r *Replica) validQCLocked(q *qc) bool {
+// validQC verifies a quorum certificate (the genesis QC at view 0 is
+// axiomatically valid). It reads only immutable config and key material,
+// so verification workers call it off-loop.
+func (r *Replica) validQC(q *qc) bool {
 	if q.view == 0 && q.block == genesisHash {
 		return true
 	}
@@ -439,21 +503,10 @@ func (r *Replica) safeNodeLocked(b *block) bool {
 	}
 }
 
-func (r *Replica) onVote(pkt []byte) {
-	rd := wire.NewReader(pkt)
-	replica := rd.U32()
-	view := rd.U64()
-	hash := rd.Bytes32()
-	tag := rd.VarBytes()
-	if rd.Done() != nil || int(replica) >= r.cfg.N {
-		return
-	}
+func (r *Replica) onVote(e evVote) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if !r.cfg.Auth.VerifyVector(int(replica), voteBody(view, hash, replica), tag) {
-		return
-	}
-	r.recordVoteLocked(view, hash, replica, append([]byte(nil), tag...))
+	r.recordVoteLocked(e.view, e.hash, e.replica, e.tag)
 }
 
 func (r *Replica) recordVoteLocked(view uint64, hash [32]byte, replica uint32, tag []byte) {

@@ -18,6 +18,7 @@ import (
 
 	"neobft/internal/crypto/auth"
 	"neobft/internal/replication"
+	"neobft/internal/runtime"
 	"neobft/internal/transport"
 	"neobft/internal/usig"
 	"neobft/internal/wire"
@@ -43,6 +44,9 @@ type Config struct {
 	BatchSize int
 	// Window caps outstanding prepares (default 2).
 	Window int
+	// Runtime hosts the replica's event loop and verification workers.
+	// If nil, New creates a default runtime over Conn.
+	Runtime *runtime.Runtime
 }
 
 type slot struct {
@@ -57,6 +61,7 @@ type slot struct {
 type Replica struct {
 	cfg  Config
 	conn transport.Conn
+	rt   *runtime.Runtime
 
 	mu       sync.Mutex
 	view     uint64
@@ -78,20 +83,27 @@ func New(cfg Config) *Replica {
 	if cfg.Window == 0 {
 		cfg.Window = 2
 	}
+	if cfg.Runtime == nil {
+		cfg.Runtime = runtime.New(runtime.Config{Conn: cfg.Conn})
+	}
 	r := &Replica{
 		cfg:      cfg,
 		conn:     cfg.Conn,
+		rt:       cfg.Runtime,
 		slots:    map[uint64]*slot{},
 		lastSeen: map[uint32]uint64{},
 		inQueue:  map[string]bool{},
 		table:    replication.NewClientTable(),
 	}
-	cfg.Conn.SetHandler(r.handle)
+	r.rt.Start(r)
 	return r
 }
 
-// Close is a no-op.
-func (r *Replica) Close() {}
+// Close stops the replica's runtime.
+func (r *Replica) Close() { r.rt.Close() }
+
+// Runtime returns the replica's runtime (for stats and draining).
+func (r *Replica) Runtime() *runtime.Runtime { return r.rt }
 
 // Executed returns the number of executed client operations.
 func (r *Replica) Executed() uint64 {
@@ -145,28 +157,113 @@ func reqKey(c transport.NodeID, id uint64) string {
 	return string(w.Bytes())
 }
 
-func (r *Replica) handle(from transport.NodeID, pkt []byte) {
+// --- verify stage (worker goroutines) --------------------------------------
+//
+// USIG verification is where the pipeline pays off most for MinBFT: each
+// VerifyUI includes the emulated enclave latency (usig.Delay), so moving
+// it to workers overlaps enclave round-trips across packets. VerifyUI is
+// thread-safe (only CreateUI mutates the monotonic counter, and it keeps
+// running on the loop).
+
+type evRequest struct{ req *replication.Request }
+
+type evPrepare struct {
+	view, counter uint64
+	ui            usig.UI
+	bd            [32]byte
+	batch         []*replication.Request
+}
+
+type evCommit struct {
+	view    uint64
+	replica uint32
+	counter uint64
+	bd      [32]byte
+	ui      usig.UI
+}
+
+// VerifyPacket implements runtime.Handler.
+func (r *Replica) VerifyPacket(from transport.NodeID, pkt []byte) runtime.Event {
 	if len(pkt) == 0 {
-		return
+		return nil
 	}
 	switch pkt[0] {
 	case replication.KindRequest:
-		r.onRequest(pkt[1:])
+		req, err := replication.UnmarshalRequest(pkt[1:])
+		if err != nil {
+			return nil
+		}
+		if !r.cfg.ClientAuth.VerifyClient(int64(req.Client), req.SignedBody(), req.Auth) {
+			return nil
+		}
+		return evRequest{req: req}
 	case kindPrepare:
-		r.onPrepare(pkt[1:])
+		rd := wire.NewReader(pkt[1:])
+		view := rd.U64()
+		counter := rd.U64()
+		cert := rd.Bytes32()
+		bd := rd.Bytes32()
+		nb := rd.U32()
+		if rd.Err() != nil || nb > 1<<16 {
+			return nil
+		}
+		batch := make([]*replication.Request, nb)
+		for i := range batch {
+			req, err := replication.UnmarshalRequest(rd.VarBytes())
+			if err != nil {
+				return nil
+			}
+			batch[i] = req
+		}
+		if rd.Done() != nil {
+			return nil
+		}
+		// Verify against the claimed view's primary; apply rejects
+		// packets whose claimed view is not current.
+		prim := uint32(int(view) % r.cfg.N)
+		ui := usig.UI{Counter: counter, Cert: cert}
+		if !r.cfg.USIG.VerifyUI(prim, prepareDigest(view, bd), ui) {
+			return nil
+		}
+		if batchDigest(batch) != bd {
+			return nil
+		}
+		return evPrepare{view: view, counter: counter, ui: ui, bd: bd, batch: batch}
 	case kindCommit:
-		r.onCommit(pkt[1:])
+		rd := wire.NewReader(pkt[1:])
+		view := rd.U64()
+		replica := rd.U32()
+		counter := rd.U64()
+		bd := rd.Bytes32()
+		uiCounter := rd.U64()
+		uiCert := rd.Bytes32()
+		if rd.Done() != nil || int(replica) >= r.cfg.N {
+			return nil
+		}
+		ui := usig.UI{Counter: uiCounter, Cert: uiCert}
+		if !r.cfg.USIG.VerifyUI(replica, commitDigest(view, replica, counter, bd), ui) {
+			return nil
+		}
+		return evCommit{view: view, replica: replica, counter: counter, bd: bd, ui: ui}
+	}
+	return nil
+}
+
+// ApplyEvent implements runtime.Handler.
+func (r *Replica) ApplyEvent(from transport.NodeID, ev runtime.Event) {
+	switch e := ev.(type) {
+	case evRequest:
+		r.onRequest(e.req)
+	case evPrepare:
+		r.onPrepare(e)
+	case evCommit:
+		r.onCommit(e)
 	}
 }
 
-func (r *Replica) onRequest(body []byte) {
-	req, err := replication.UnmarshalRequest(body)
-	if err != nil {
-		return
-	}
-	if !r.cfg.ClientAuth.VerifyClient(int64(req.Client), req.SignedBody(), req.Auth) {
-		return
-	}
+// --- apply stage (loop goroutine) ------------------------------------------
+
+func (r *Replica) onRequest(req *replication.Request) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	fresh, cached := r.table.Check(req.Client, req.ReqID)
@@ -177,7 +274,7 @@ func (r *Replica) onRequest(body []byte) {
 		return
 	}
 	if !r.isPrimary() {
-		r.conn.Send(r.cfg.Members[r.primary()], append([]byte{replication.KindRequest}, body...))
+		r.conn.Send(r.cfg.Members[r.primary()], req.Marshal())
 		return
 	}
 	key := reqKey(req.Client, req.ReqID)
@@ -220,43 +317,17 @@ func (r *Replica) tryIssueLocked() {
 	}
 }
 
-func (r *Replica) onPrepare(pkt []byte) {
-	rd := wire.NewReader(pkt)
-	view := rd.U64()
-	counter := rd.U64()
-	cert := rd.Bytes32()
-	bd := rd.Bytes32()
-	nb := rd.U32()
-	if rd.Err() != nil || nb > 1<<16 {
-		return
-	}
-	batch := make([]*replication.Request, nb)
-	for i := range batch {
-		req, err := replication.UnmarshalRequest(rd.VarBytes())
-		if err != nil {
-			return
-		}
-		batch[i] = req
-	}
-	if rd.Done() != nil {
-		return
-	}
+func (r *Replica) onPrepare(e evPrepare) {
+	view, counter, bd := e.view, e.counter, e.bd
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if view != r.view || r.isPrimary() {
 		return
 	}
 	prim := uint32(r.primary())
-	ui := usig.UI{Counter: counter, Cert: cert}
-	if !r.cfg.USIG.VerifyUI(prim, prepareDigest(view, bd), ui) {
-		return
-	}
 	// The UI counter must be sequential: gaps or repeats mean a faulty
 	// primary (the USIG makes forging impossible).
 	if counter != r.lastSeen[prim]+1 {
-		return
-	}
-	if batchDigest(batch) != bd {
 		return
 	}
 	r.lastSeen[prim] = counter
@@ -266,8 +337,8 @@ func (r *Replica) onPrepare(pkt []byte) {
 		r.slots[counter] = s
 	}
 	s.digest = bd
-	s.batch = batch
-	s.primUI = ui
+	s.batch = e.batch
+	s.primUI = e.ui
 
 	// Broadcast our commit, certified by our own USIG. Execution needs
 	// f+1 commits from distinct replicas (the prepare itself is not a
@@ -286,31 +357,18 @@ func (r *Replica) onPrepare(pkt []byte) {
 	r.maybeExecuteLocked()
 }
 
-func (r *Replica) onCommit(pkt []byte) {
-	rd := wire.NewReader(pkt)
-	view := rd.U64()
-	replica := rd.U32()
-	counter := rd.U64()
-	bd := rd.Bytes32()
-	uiCounter := rd.U64()
-	uiCert := rd.Bytes32()
-	if rd.Done() != nil {
-		return
-	}
+func (r *Replica) onCommit(e evCommit) {
+	view, replica, counter, bd := e.view, e.replica, e.counter, e.bd
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if view != r.view || int(replica) >= r.cfg.N || replica == uint32(r.cfg.Self) {
-		return
-	}
-	ui := usig.UI{Counter: uiCounter, Cert: uiCert}
-	if !r.cfg.USIG.VerifyUI(replica, commitDigest(view, replica, counter, bd), ui) {
+	if view != r.view || replica == uint32(r.cfg.Self) {
 		return
 	}
 	// Sequential counter per sender (skipping is equivocation evidence).
-	if uiCounter <= r.lastSeen[replica] {
+	if e.ui.Counter <= r.lastSeen[replica] {
 		return
 	}
-	r.lastSeen[replica] = uiCounter
+	r.lastSeen[replica] = e.ui.Counter
 	s := r.slots[counter]
 	if s == nil {
 		s = &slot{commits: map[uint32]bool{}}
@@ -358,9 +416,8 @@ func (r *Replica) maybeExecuteLocked() {
 
 // NewClient builds a MinBFT client (f+1 matching replies).
 func NewClient(conn transport.Conn, master []byte, n, f int, members []transport.NodeID, timeout time.Duration) *replication.Client {
-	cl := replication.NewClient(replication.ClientConfig{
+	return replication.NewWiredClient(replication.ClientConfig{
 		Conn: conn, N: n, F: f, Quorum: f + 1,
-		Auth:    auth.NewClientSide(master, int64(conn.ID()), n),
 		Timeout: timeout,
 		Submit: func(req *replication.Request, retry bool) {
 			pkt := req.Marshal()
@@ -372,7 +429,5 @@ func NewClient(conn transport.Conn, master []byte, n, f int, members []transport
 			}
 			conn.Send(members[0], pkt)
 		},
-	})
-	conn.SetHandler(func(from transport.NodeID, pkt []byte) { cl.HandlePacket(from, pkt) })
-	return cl
+	}, master)
 }

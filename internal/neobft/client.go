@@ -5,7 +5,6 @@ import (
 
 	"neobft/internal/aom"
 	"neobft/internal/configsvc"
-	"neobft/internal/crypto/auth"
 	"neobft/internal/replication"
 	"neobft/internal/transport"
 )
@@ -51,19 +50,15 @@ func NewClient(o ClientOptions) (*Client, error) {
 		repls:  o.Replicas,
 		sender: aom.NewSender(o.Conn, o.Group, view.Sequencer),
 	}
-	c.base = replication.NewClient(replication.ClientConfig{
+	c.base = replication.NewWiredClient(replication.ClientConfig{
 		Conn:          o.Conn,
 		N:             o.N,
 		F:             o.F,
 		Quorum:        2*o.F + 1,
 		MatchPosition: true,
-		Auth:          auth.NewClientSide(o.Master, int64(o.Conn.ID()), o.N),
 		Submit:        c.submit,
 		Timeout:       o.Timeout,
-	})
-	o.Conn.SetHandler(func(from transport.NodeID, pkt []byte) {
-		c.base.HandlePacket(from, pkt)
-	})
+	}, o.Master)
 	return c, nil
 }
 

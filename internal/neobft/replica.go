@@ -2,12 +2,14 @@ package neobft
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"neobft/internal/aom"
 	"neobft/internal/configsvc"
 	"neobft/internal/crypto/auth"
 	"neobft/internal/replication"
+	"neobft/internal/runtime"
 	"neobft/internal/transport"
 	"neobft/internal/wire"
 )
@@ -63,6 +65,9 @@ type Config struct {
 	ViewChangeTimeout time.Duration
 	// TickInterval drives the replica's internal timers. Default 10ms.
 	TickInterval time.Duration
+	// Runtime hosts the replica's event loop and verification workers.
+	// If nil, New creates a default runtime over Conn.
+	Runtime *runtime.Runtime
 }
 
 // logEntry is one slot of the replica's log.
@@ -123,9 +128,14 @@ type Replica struct {
 	// yet appeared in the log (sequencer suspicion, §5.5).
 	pendingClientReqs map[string]time.Time
 
-	ticker   *time.Ticker
-	stopTick chan struct{}
+	rt       *runtime.Runtime
 	stopOnce sync.Once
+
+	// preAuth caches client-MAC verdicts computed by verification
+	// workers, keyed by the aom payload digest; the loop consumes them
+	// in appendRequestLocked. preAuthN bounds the map size.
+	preAuth  sync.Map // [32]byte → bool
+	preAuthN atomic.Int64
 
 	// counters
 	committedOps uint64
@@ -162,7 +172,6 @@ func New(cfg Config) *Replica {
 		gaps:              map[uint64]*gapSlot{},
 		syncs:             map[uint64]map[uint32][32]byte{},
 		pendingClientReqs: map[string]time.Time{},
-		stopTick:          make(chan struct{}),
 	}
 	ep, err := cfg.Svc.ReceiverEpochConfig(cfg.Group, cfg.Self)
 	if err != nil {
@@ -182,20 +191,25 @@ func New(cfg Config) *Replica {
 		ConfirmFlushEvery: cfg.ConfirmFlushEvery,
 	}, ep)
 	r.installVerifier(1, ep)
-	cfg.Conn.SetHandler(r.handle)
-	r.ticker = time.NewTicker(cfg.TickInterval)
-	go r.tickLoop()
+	if cfg.Runtime == nil {
+		cfg.Runtime = runtime.New(runtime.Config{Conn: cfg.Conn})
+	}
+	r.rt = cfg.Runtime
+	r.rt.ArmEvery(cfg.TickInterval, r.onTick)
+	r.rt.Start(r)
 	return r
 }
 
 // Close stops the replica's background machinery.
 func (r *Replica) Close() {
 	r.stopOnce.Do(func() {
-		close(r.stopTick)
-		r.ticker.Stop()
+		r.rt.Close()
 		r.recv.Close()
 	})
 }
+
+// Runtime returns the replica's runtime (for stats and draining).
+func (r *Replica) Runtime() *runtime.Runtime { return r.rt }
 
 func (r *Replica) installVerifier(epoch uint32, ep aom.EpochConfig) {
 	v := &aom.CertVerifier{
@@ -288,45 +302,117 @@ func (r *Replica) broadcast(pkt []byte) {
 	}
 }
 
-// handle is the replica's network event handler.
-func (r *Replica) handle(from transport.NodeID, pkt []byte) {
-	if r.recv.HandlePacket(from, pkt) {
-		return
+// Events produced by VerifyPacket and consumed by ApplyEvent.
+type (
+	// evAOM is a libAOM packet (stamped message or confirm) with its
+	// worker-computed verdicts.
+	evAOM struct {
+		pkt []byte
+		pre *aom.PreVerified
+	}
+	// evClientRequest is a unicast client request whose MAC verified.
+	evClientRequest struct{ req *replication.Request }
+	// evProto is a replica-to-replica protocol message; these rare-path
+	// messages carry their own proofs and are verified during apply.
+	evProto struct{ pkt []byte }
+)
+
+// preAuthCap bounds the worker-side client-MAC verdict cache.
+const preAuthCap = 4096
+
+// VerifyPacket implements runtime.Handler. It runs on verification
+// workers and performs all cryptographic checks that need no replica
+// state: the aom authenticator lane/signature and payload digest (via
+// the receiver's PreVerify), client-request MACs, and confirm
+// authenticators. Protocol messages (gap agreement, view change, state
+// sync) carry quorum proofs checked against replica state, so they pass
+// through to the loop untouched.
+func (r *Replica) VerifyPacket(from transport.NodeID, pkt []byte) runtime.Event {
+	if pre, consumed := r.recv.PreVerify(pkt); consumed {
+		if pre != nil && pre.Hdr != nil && pre.DigestOK {
+			r.preVerifyPayload(pre)
+		}
+		return evAOM{pkt: pkt, pre: pre}
 	}
 	if len(pkt) == 0 {
-		return
+		return nil
+	}
+	if pkt[0] == replication.KindRequest {
+		req, err := replication.UnmarshalRequest(pkt[1:])
+		if err != nil {
+			return nil
+		}
+		if !r.cfg.ClientAuth.VerifyClient(int64(req.Client), req.SignedBody(), req.Auth) {
+			return nil
+		}
+		return evClientRequest{req: req}
 	}
 	switch pkt[0] {
-	case replication.KindRequest:
-		r.onClientRequest(from, pkt[1:])
-	case kindQuery:
-		r.onQuery(from, pkt[1:])
-	case kindQueryReply:
-		r.onQueryReply(pkt[1:])
-	case kindGapFind:
-		r.onGapFind(pkt[1:])
-	case kindGapRecv:
-		r.onGapRecv(pkt[1:])
-	case kindGapDrop:
-		r.onGapDrop(pkt[1:])
-	case kindGapDecision:
-		r.onGapDecision(pkt[1:])
-	case kindGapPrepare:
-		r.onGapPrepare(pkt[1:])
-	case kindGapCommit:
-		r.onGapCommit(pkt[1:])
-	case kindViewChange:
-		r.onViewChange(pkt[1:])
-	case kindViewStart:
-		r.onViewStart(pkt[1:])
-	case kindEpochStart:
-		r.onEpochStart(pkt[1:])
-	case kindSync:
-		r.onSync(pkt[1:])
-	case kindStateRequest:
-		r.onStateRequest(from, pkt[1:])
-	case kindStateReply:
-		r.onStateReply(pkt[1:])
+	case kindQuery, kindQueryReply, kindGapFind, kindGapRecv, kindGapDrop,
+		kindGapDecision, kindGapPrepare, kindGapCommit, kindViewChange,
+		kindViewStart, kindEpochStart, kindSync, kindStateRequest, kindStateReply:
+		return evProto{pkt: pkt}
+	}
+	return nil
+}
+
+// preVerifyPayload verifies the client MAC of the request carried in a
+// pre-verified aom packet and caches the verdict by payload digest for
+// appendRequestLocked. Runs on verification workers.
+func (r *Replica) preVerifyPayload(pre *aom.PreVerified) {
+	req, err := replication.UnmarshalRequest(requestBody(pre.Payload))
+	if err != nil {
+		return
+	}
+	if r.preAuthN.Load() >= preAuthCap {
+		return // cache full; the loop falls back to inline verification
+	}
+	ok := r.cfg.ClientAuth.VerifyClient(int64(req.Client), req.SignedBody(), req.Auth)
+	if _, loaded := r.preAuth.LoadOrStore(pre.Hdr.Digest, ok); !loaded {
+		r.preAuthN.Add(1)
+	}
+}
+
+// ApplyEvent implements runtime.Handler: ordered, single-threaded
+// protocol processing on the runtime loop.
+func (r *Replica) ApplyEvent(from transport.NodeID, ev runtime.Event) {
+	switch e := ev.(type) {
+	case evAOM:
+		r.recv.HandlePacketPre(from, e.pkt, e.pre)
+	case evClientRequest:
+		r.onClientRequest(from, e.req)
+	case evProto:
+		pkt := e.pkt
+		switch pkt[0] {
+		case kindQuery:
+			r.onQuery(from, pkt[1:])
+		case kindQueryReply:
+			r.onQueryReply(pkt[1:])
+		case kindGapFind:
+			r.onGapFind(pkt[1:])
+		case kindGapRecv:
+			r.onGapRecv(pkt[1:])
+		case kindGapDrop:
+			r.onGapDrop(pkt[1:])
+		case kindGapDecision:
+			r.onGapDecision(pkt[1:])
+		case kindGapPrepare:
+			r.onGapPrepare(pkt[1:])
+		case kindGapCommit:
+			r.onGapCommit(pkt[1:])
+		case kindViewChange:
+			r.onViewChange(pkt[1:])
+		case kindViewStart:
+			r.onViewStart(pkt[1:])
+		case kindEpochStart:
+			r.onEpochStart(pkt[1:])
+		case kindSync:
+			r.onSync(pkt[1:])
+		case kindStateRequest:
+			r.onStateRequest(from, pkt[1:])
+		case kindStateReply:
+			r.onStateReply(pkt[1:])
+		}
 	}
 }
 
@@ -378,7 +464,12 @@ func (r *Replica) appendRequestLocked(cert *aom.OrderingCert) {
 	}
 	if req, err := replication.UnmarshalRequest(requestBody(cert.Payload)); err == nil {
 		e.req = req
-		e.authOK = r.cfg.ClientAuth.VerifyClient(int64(req.Client), req.SignedBody(), req.Auth)
+		if v, ok := r.preAuth.LoadAndDelete(cert.Digest); ok {
+			r.preAuthN.Add(-1)
+			e.authOK = v.(bool)
+		} else {
+			e.authOK = r.cfg.ClientAuth.VerifyClient(int64(req.Client), req.SignedBody(), req.Auth)
+		}
 	}
 	r.appendEntryLocked(e)
 	r.executeReadyLocked()
@@ -489,17 +580,10 @@ func (r *Replica) recomputeHashesLocked(slot uint64) {
 }
 
 // onClientRequest handles a request sent by unicast (the client's
-// fallback when aom replies are slow, §5.3). Executed requests are
-// answered from the client table; unseen requests start the sequencer
-// suspicion timer.
-func (r *Replica) onClientRequest(from transport.NodeID, body []byte) {
-	req, err := replication.UnmarshalRequest(body)
-	if err != nil {
-		return
-	}
-	if !r.cfg.ClientAuth.VerifyClient(int64(req.Client), req.SignedBody(), req.Auth) {
-		return
-	}
+// fallback when aom replies are slow, §5.3). The MAC was already
+// verified by VerifyPacket. Executed requests are answered from the
+// client table; unseen requests start the sequencer suspicion timer.
+func (r *Replica) onClientRequest(from transport.NodeID, req *replication.Request) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	fresh, cached := r.clientTable.Check(req.Client, req.ReqID)
@@ -532,18 +616,8 @@ func requestBody(payload []byte) []byte {
 	return payload
 }
 
-// tickLoop drives timers by checking deadlines periodically.
-func (r *Replica) tickLoop() {
-	for {
-		select {
-		case <-r.stopTick:
-			return
-		case <-r.ticker.C:
-			r.onTick()
-		}
-	}
-}
-
+// onTick drives timers by checking deadlines periodically. It runs on
+// the runtime loop (armed via ArmEvery in New).
 func (r *Replica) onTick() {
 	r.mu.Lock()
 	now := time.Now()

@@ -4,7 +4,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"neobft/internal/crypto/auth"
 	"neobft/internal/replication"
 	"neobft/internal/transport"
 )
@@ -23,14 +22,12 @@ type Client struct {
 // NewClient creates a PBFT client.
 func NewClient(conn transport.Conn, master []byte, n, f int, members []transport.NodeID, timeout time.Duration) *Client {
 	c := &Client{conn: conn, members: members, n: n}
-	c.base = replication.NewClient(replication.ClientConfig{
+	c.base = replication.NewWiredClient(replication.ClientConfig{
 		Conn: conn, N: n, F: f, Quorum: f + 1,
-		Auth:        auth.NewClientSide(master, int64(conn.ID()), n),
 		Timeout:     timeout,
 		Submit:      c.submit,
 		OnReplyHook: func(rep *replication.Reply) { c.view.Store(rep.View) },
-	})
-	conn.SetHandler(func(from transport.NodeID, pkt []byte) { c.base.HandlePacket(from, pkt) })
+	}, master)
 	return c
 }
 

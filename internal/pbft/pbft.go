@@ -13,6 +13,7 @@ import (
 
 	"neobft/internal/crypto/auth"
 	"neobft/internal/replication"
+	"neobft/internal/runtime"
 	"neobft/internal/transport"
 	"neobft/internal/wire"
 )
@@ -48,6 +49,9 @@ type Config struct {
 	ViewChangeTimeout time.Duration
 	// TickInterval drives timers. Default 10ms.
 	TickInterval time.Duration
+	// Runtime hosts the replica's event loop and verification workers.
+	// If nil, New creates a default runtime over Conn.
+	Runtime *runtime.Runtime
 }
 
 type slot struct {
@@ -90,9 +94,7 @@ type Replica struct {
 
 	pendingClientReqs map[string]time.Time
 
-	ticker   *time.Ticker
-	stopTick chan struct{}
-	stopOnce sync.Once
+	rt *runtime.Runtime
 
 	executedOps uint64
 	viewChanges uint64
@@ -115,6 +117,9 @@ func New(cfg Config) *Replica {
 	if cfg.TickInterval == 0 {
 		cfg.TickInterval = 10 * time.Millisecond
 	}
+	if cfg.Runtime == nil {
+		cfg.Runtime = runtime.New(runtime.Config{Conn: cfg.Conn})
+	}
 	r := &Replica{
 		cfg:               cfg,
 		conn:              cfg.Conn,
@@ -123,21 +128,18 @@ func New(cfg Config) *Replica {
 		table:             replication.NewClientTable(),
 		vcMsgs:            map[uint64]map[uint32]*vcMsg{},
 		pendingClientReqs: map[string]time.Time{},
-		stopTick:          make(chan struct{}),
+		rt:                cfg.Runtime,
 	}
-	cfg.Conn.SetHandler(r.handle)
-	r.ticker = time.NewTicker(cfg.TickInterval)
-	go r.tickLoop()
+	r.rt.ArmEvery(cfg.TickInterval, r.onTick)
+	r.rt.Start(r)
 	return r
 }
 
-// Close stops the replica.
-func (r *Replica) Close() {
-	r.stopOnce.Do(func() {
-		close(r.stopTick)
-		r.ticker.Stop()
-	})
-}
+// Close stops the replica and its runtime.
+func (r *Replica) Close() { r.rt.Close() }
+
+// Runtime returns the replica's runtime (for stats and draining).
+func (r *Replica) Runtime() *runtime.Runtime { return r.rt }
 
 // View returns the current view number.
 func (r *Replica) View() uint64 {
@@ -258,36 +260,171 @@ func reqKey(c transport.NodeID, id uint64) string {
 	return string(w.Bytes())
 }
 
-func (r *Replica) handle(from transport.NodeID, pkt []byte) {
+// --- verify stage (worker goroutines) --------------------------------------
+//
+// VerifyPacket decodes and authenticates packets off the loop. Checks
+// that depend on mutable state (current view, slot contents) stay in the
+// apply stage; authenticator verification only needs the *claimed* view,
+// since the verification key index is view % N and apply rejects packets
+// whose claimed view is not current.
+
+type evRequest struct {
+	req       *replication.Request
+	forwarded bool
+}
+
+type evPrePrepare struct {
+	view, seq uint64
+	digest    [32]byte
+	batch     []*replication.Request
+}
+
+type evPrepare struct {
+	replica   uint32
+	view, seq uint64
+	digest    [32]byte
+	tag       []byte
+}
+
+type evCommit struct {
+	replica   uint32
+	view, seq uint64
+	digest    [32]byte
+	tag       []byte
+}
+
+type evViewChange struct{ body []byte }
+type evNewView struct{ body []byte }
+
+// VerifyPacket implements runtime.Handler. It runs on verification
+// workers and must not touch loop-owned state.
+func (r *Replica) VerifyPacket(from transport.NodeID, pkt []byte) runtime.Event {
 	if len(pkt) == 0 {
-		return
+		return nil
 	}
 	switch pkt[0] {
-	case replication.KindRequest:
-		r.onRequest(pkt[1:], false)
-	case kindForward:
-		r.onRequest(pkt[1:], true)
+	case replication.KindRequest, kindForward:
+		req, err := replication.UnmarshalRequest(pkt[1:])
+		if err != nil {
+			return nil
+		}
+		if !r.cfg.ClientAuth.VerifyClient(int64(req.Client), req.SignedBody(), req.Auth) {
+			return nil
+		}
+		return evRequest{req: req, forwarded: pkt[0] == kindForward}
 	case kindPrePrepare:
-		r.onPrePrepare(pkt[1:])
+		rd := wire.NewReader(pkt[1:])
+		body := rd.VarBytes()
+		tag := rd.VarBytes()
+		batch, ok := unmarshalBatch(rd)
+		if !ok || rd.Done() != nil {
+			return nil
+		}
+		br := wire.NewReader(body)
+		if !br.Prefix("pbft-pp") {
+			return nil
+		}
+		view := br.U64()
+		seq := br.U64()
+		digest := br.Bytes32()
+		if br.Done() != nil {
+			return nil
+		}
+		if !r.cfg.Auth.VerifyVector(int(view)%r.cfg.N, body, tag) {
+			return nil
+		}
+		if batchDigest(batch) != digest {
+			return nil
+		}
+		return evPrePrepare{view: view, seq: seq, digest: digest, batch: batch}
 	case kindPrepare:
-		r.onPrepare(pkt[1:])
+		replica, view, seq, digest, tag, ok := decodeVote(pkt[1:])
+		if !ok || int(replica) >= r.cfg.N {
+			return nil
+		}
+		if !r.cfg.Auth.VerifyVector(int(replica), prepBody(view, seq, digest, replica), tag) {
+			return nil
+		}
+		return evPrepare{replica: replica, view: view, seq: seq, digest: digest, tag: tag}
 	case kindCommit:
-		r.onCommit(pkt[1:])
+		replica, view, seq, digest, tag, ok := decodeVote(pkt[1:])
+		if !ok || int(replica) >= r.cfg.N {
+			return nil
+		}
+		if !r.cfg.Auth.VerifyVector(int(replica), commitBody(view, seq, digest, replica), tag) {
+			return nil
+		}
+		return evCommit{replica: replica, view: view, seq: seq, digest: digest, tag: tag}
 	case kindViewChange:
-		r.onViewChange(pkt[1:])
+		return evViewChange{body: append([]byte(nil), pkt[1:]...)}
 	case kindNewView:
-		r.onNewView(pkt[1:])
+		return evNewView{body: append([]byte(nil), pkt[1:]...)}
+	}
+	return nil
+}
+
+// EncodePrepare builds a signed prepare packet exactly as a replica
+// would broadcast it. Exported for benchmarks and tests that flood a
+// replica's verification stage directly.
+func EncodePrepare(a auth.Authenticator, replica uint32, view, seq uint64, digest [32]byte) []byte {
+	tag := a.TagVector(prepBody(view, seq, digest, replica))
+	w := wire.NewWriter(128)
+	w.U8(kindPrepare)
+	w.U32(replica)
+	w.U64(view)
+	w.U64(seq)
+	w.Bytes32(digest)
+	w.VarBytes(tag)
+	return w.Bytes()
+}
+
+// EncodeCommit builds a signed commit packet exactly as a replica would
+// broadcast it. Exported for benchmarks and tests.
+func EncodeCommit(a auth.Authenticator, replica uint32, view, seq uint64, digest [32]byte) []byte {
+	tag := a.TagVector(commitBody(view, seq, digest, replica))
+	w := wire.NewWriter(128)
+	w.U8(kindCommit)
+	w.U32(replica)
+	w.U64(view)
+	w.U64(seq)
+	w.Bytes32(digest)
+	w.VarBytes(tag)
+	return w.Bytes()
+}
+
+func decodeVote(pkt []byte) (replica uint32, view, seq uint64, digest [32]byte, tag []byte, ok bool) {
+	rd := wire.NewReader(pkt)
+	replica = rd.U32()
+	view = rd.U64()
+	seq = rd.U64()
+	digest = rd.Bytes32()
+	tag = rd.VarBytes()
+	ok = rd.Done() == nil
+	return
+}
+
+// ApplyEvent implements runtime.Handler: it runs pre-verified events on
+// the loop goroutine.
+func (r *Replica) ApplyEvent(from transport.NodeID, ev runtime.Event) {
+	switch e := ev.(type) {
+	case evRequest:
+		r.onRequest(e.req, e.forwarded)
+	case evPrePrepare:
+		r.onPrePrepare(e)
+	case evPrepare:
+		r.onPrepare(e)
+	case evCommit:
+		r.onCommit(e)
+	case evViewChange:
+		r.onViewChange(e.body)
+	case evNewView:
+		r.onNewView(e.body)
 	}
 }
 
-func (r *Replica) onRequest(body []byte, forwarded bool) {
-	req, err := replication.UnmarshalRequest(body)
-	if err != nil {
-		return
-	}
-	if !r.cfg.ClientAuth.VerifyClient(int64(req.Client), req.SignedBody(), req.Auth) {
-		return
-	}
+// --- apply stage (loop goroutine) ------------------------------------------
+
+func (r *Replica) onRequest(req *replication.Request, forwarded bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	fresh, cached := r.table.Check(req.Client, req.ReqID)
@@ -308,7 +445,7 @@ func (r *Replica) onRequest(body []byte, forwarded bool) {
 	}
 	// Backup: forward to the primary and start the suspicion timer.
 	if !forwarded {
-		fw := append([]byte{kindForward}, body...)
+		fw := append([]byte{kindForward}, req.Marshal()[1:]...)
 		r.conn.Send(r.primaryNode(), fw)
 	}
 	if _, ok := r.pendingClientReqs[key]; !ok {
@@ -350,33 +487,11 @@ func (r *Replica) tryIssueLocked() {
 
 // --- three-phase agreement -------------------------------------------------
 
-func (r *Replica) onPrePrepare(pkt []byte) {
-	rd := wire.NewReader(pkt)
-	body := rd.VarBytes()
-	tag := rd.VarBytes()
-	batch, ok := unmarshalBatch(rd)
-	if !ok || rd.Done() != nil {
-		return
-	}
-	br := wire.NewReader(body)
-	if !br.Prefix("pbft-pp") {
-		return
-	}
-	view := br.U64()
-	seq := br.U64()
-	digest := br.Bytes32()
-	if br.Done() != nil {
-		return
-	}
+func (r *Replica) onPrePrepare(e evPrePrepare) {
+	view, seq, digest, batch := e.view, e.seq, e.digest, e.batch
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.inVC || view != r.view || r.isPrimary() {
-		return
-	}
-	if !r.cfg.Auth.VerifyVector(r.primary(), body, tag) {
-		return
-	}
-	if batchDigest(batch) != digest {
 		return
 	}
 	s := r.slotFor(seq)
@@ -401,30 +516,18 @@ func (r *Replica) onPrePrepare(pkt []byte) {
 	r.maybePreparedLocked(seq, s)
 }
 
-func (r *Replica) onPrepare(pkt []byte) {
-	rd := wire.NewReader(pkt)
-	replica := rd.U32()
-	view := rd.U64()
-	seq := rd.U64()
-	digest := rd.Bytes32()
-	tag := rd.VarBytes()
-	if rd.Done() != nil {
-		return
-	}
+func (r *Replica) onPrepare(e evPrepare) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.inVC || view != r.view || int(replica) >= r.cfg.N {
+	if r.inVC || e.view != r.view {
 		return
 	}
-	if !r.cfg.Auth.VerifyVector(int(replica), prepBody(view, seq, digest, replica), tag) {
+	s := r.slotFor(e.seq)
+	if s.batch != nil && s.digest != e.digest {
 		return
 	}
-	s := r.slotFor(seq)
-	if s.batch != nil && s.digest != digest {
-		return
-	}
-	s.prepares[replica] = append([]byte(nil), tag...)
-	r.maybePreparedLocked(seq, s)
+	s.prepares[e.replica] = append([]byte(nil), e.tag...)
+	r.maybePreparedLocked(e.seq, s)
 }
 
 // maybePreparedLocked checks the prepared predicate: a pre-prepare plus
@@ -460,30 +563,18 @@ func (r *Replica) maybePreparedLocked(seq uint64, s *slot) {
 	r.maybeCommittedLocked(seq, s)
 }
 
-func (r *Replica) onCommit(pkt []byte) {
-	rd := wire.NewReader(pkt)
-	replica := rd.U32()
-	view := rd.U64()
-	seq := rd.U64()
-	digest := rd.Bytes32()
-	tag := rd.VarBytes()
-	if rd.Done() != nil {
-		return
-	}
+func (r *Replica) onCommit(e evCommit) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.inVC || view != r.view || int(replica) >= r.cfg.N {
+	if r.inVC || e.view != r.view {
 		return
 	}
-	if !r.cfg.Auth.VerifyVector(int(replica), commitBody(view, seq, digest, replica), tag) {
+	s := r.slotFor(e.seq)
+	if s.batch != nil && s.digest != e.digest {
 		return
 	}
-	s := r.slotFor(seq)
-	if s.batch != nil && s.digest != digest {
-		return
-	}
-	s.commits[replica] = append([]byte(nil), tag...)
-	r.maybeCommittedLocked(seq, s)
+	s.commits[e.replica] = append([]byte(nil), e.tag...)
+	r.maybeCommittedLocked(e.seq, s)
 }
 
 func (r *Replica) maybeCommittedLocked(seq uint64, s *slot) {
@@ -535,17 +626,7 @@ func (r *Replica) executeReadyLocked() {
 
 // --- timers ---------------------------------------------------------------
 
-func (r *Replica) tickLoop() {
-	for {
-		select {
-		case <-r.stopTick:
-			return
-		case <-r.ticker.C:
-			r.onTick()
-		}
-	}
-}
-
+// onTick runs on the runtime loop via ArmEvery.
 func (r *Replica) onTick() {
 	r.mu.Lock()
 	defer r.mu.Unlock()

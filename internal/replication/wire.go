@@ -1,0 +1,31 @@
+package replication
+
+import (
+	"neobft/internal/crypto/auth"
+	"neobft/internal/transport"
+)
+
+// NewWiredClient deduplicates the per-protocol client boilerplate: it
+// derives the client-side MAC keys from master when cfg.Auth is unset,
+// builds the closed-loop Client, and installs its reply handler on
+// cfg.Conn. Protocol packages that need to observe non-reply packets
+// (Zyzzyva's speculative-response path) keep their own handler and call
+// HandlePacket themselves.
+func NewWiredClient(cfg ClientConfig, master []byte) *Client {
+	if cfg.Auth == nil {
+		cfg.Auth = auth.NewClientSide(master, int64(cfg.Conn.ID()), cfg.N)
+	}
+	cl := NewClient(cfg)
+	InstallHandler(cfg.Conn, func(from transport.NodeID, pkt []byte) {
+		cl.HandlePacket(from, pkt)
+	})
+	return cl
+}
+
+// InstallHandler is the single place protocol packages install a raw
+// packet handler (clients with bespoke dispatch, e.g. Zyzzyva's two-path
+// client). Replicas never use it — they receive through a runtime's
+// verify/apply pipeline instead.
+func InstallHandler(conn transport.Conn, h transport.Handler) {
+	conn.SetHandler(h)
+}

@@ -1,0 +1,289 @@
+// Package runtime is the shared replica runtime every protocol in this
+// repository runs on. It replaces each protocol package's ad-hoc use of a
+// raw transport.Conn with three shared facilities:
+//
+//  1. A single-threaded event loop that executes protocol state
+//     transitions, preserving the transport contract's no-locking
+//     invariant: ApplyEvent (and every timer callback and Inject'd
+//     function) runs on exactly one goroutine.
+//
+//  2. A parallel verification stage: a worker pool that classifies
+//     inbound packets and verifies client MACs, replica HMAC vectors,
+//     aom authenticators, USIG certificates and public-key signatures
+//     off the hot path. Workers may finish out of order; the loop
+//     retires tasks strictly in arrival order, so per-sender FIFO
+//     delivery (guaranteed by simnet/udpnet's single delivery
+//     goroutine) is preserved end to end.
+//
+//  3. Unified timers (Arm / ArmEvery / Cancel) whose callbacks fire on
+//     the loop goroutine, replacing scattered time.Ticker and
+//     time.AfterFunc usage in the protocol packages.
+//
+// Protocols implement Handler: VerifyPacket runs on worker goroutines
+// and must only touch state that is immutable or internally
+// synchronized (key material, signature tables, the packet itself);
+// ApplyEvent runs on the loop and owns all mutable protocol state.
+package runtime
+
+import (
+	stdruntime "runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"neobft/internal/transport"
+)
+
+// Event is a pre-verified protocol event produced by VerifyPacket and
+// consumed by ApplyEvent. A nil Event drops the packet.
+type Event any
+
+// Handler is the verify/apply pair a protocol registers with the runtime.
+type Handler interface {
+	// VerifyPacket classifies and authenticates one inbound packet. It is
+	// called from worker goroutines (or inline from the delivery
+	// goroutine when Workers < 0) and must not touch loop-owned state.
+	// Returning nil drops the packet.
+	VerifyPacket(from transport.NodeID, pkt []byte) Event
+	// ApplyEvent executes the state transition for a verified event. It
+	// is only ever called from the loop goroutine.
+	ApplyEvent(from transport.NodeID, ev Event)
+}
+
+// Config configures a Runtime.
+type Config struct {
+	// Conn is the node's transport endpoint. The runtime installs its
+	// handler on it at Start.
+	Conn transport.Conn
+	// Workers sets the verification pool size: 0 picks a default based
+	// on GOMAXPROCS; a negative value disables the pool and verifies
+	// inline on the delivery goroutine (the pre-refactor behavior, kept
+	// for benchmarking and single-core runs).
+	Workers int
+	// Queue bounds the number of in-flight packets (default 4096). When
+	// full, the delivery goroutine blocks, pushing back on the transport.
+	Queue int
+}
+
+type task struct {
+	from transport.NodeID
+	pkt  []byte
+	ev   Event
+	// done is closed once ev is populated. Pre-resolved tasks (inline
+	// verification, injected calls) reuse a shared closed channel.
+	done chan struct{}
+	// call, when set, is a loop-injected function instead of a packet.
+	call func()
+}
+
+// closedChan is a pre-closed channel shared by tasks that need no wait.
+var closedChan = func() chan struct{} {
+	c := make(chan struct{})
+	close(c)
+	return c
+}()
+
+// Runtime is a replica's event loop plus verification pool plus timers.
+type Runtime struct {
+	cfg     Config
+	workers int
+	handler Handler
+
+	// ordered carries tasks in arrival order to the loop; verifyq feeds
+	// the same tasks to the worker pool. Both are bounded by cfg.Queue.
+	// Tasks always enter ordered first, from the single delivery
+	// goroutine, so the head of ordered is available to a worker
+	// whenever verifyq is non-empty — the two queues cannot deadlock.
+	ordered chan *task
+	verifyq chan *task
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	started  atomic.Bool
+
+	verifyNS atomic.Int64
+	applyNS  atomic.Int64
+
+	timers timerState
+}
+
+// New creates a runtime over cfg.Conn. Call Start to begin delivery.
+func New(cfg Config) *Runtime {
+	if cfg.Queue <= 0 {
+		cfg.Queue = 4096
+	}
+	w := cfg.Workers
+	if w == 0 {
+		w = stdruntime.GOMAXPROCS(0) - 1
+		if w > 4 {
+			w = 4
+		}
+		if w < 1 {
+			w = 1
+		}
+	}
+	rt := &Runtime{
+		cfg:     cfg,
+		workers: w,
+		ordered: make(chan *task, cfg.Queue),
+		verifyq: make(chan *task, cfg.Queue),
+		stop:    make(chan struct{}),
+	}
+	rt.timers.init()
+	return rt
+}
+
+// Workers reports the resolved verification pool size (0 means inline).
+func (rt *Runtime) Workers() int {
+	if rt.cfg.Workers < 0 {
+		return 0
+	}
+	return rt.workers
+}
+
+// Start registers h and begins processing packets and timers. It must be
+// called exactly once, after the protocol's state is fully constructed.
+func (rt *Runtime) Start(h Handler) {
+	if h == nil {
+		panic("runtime: Start with nil handler")
+	}
+	if !rt.started.CompareAndSwap(false, true) {
+		panic("runtime: Start called twice")
+	}
+	rt.handler = h
+	if rt.cfg.Workers >= 0 {
+		for i := 0; i < rt.workers; i++ {
+			go rt.worker()
+		}
+	}
+	go rt.loop()
+	if rt.cfg.Conn != nil {
+		rt.cfg.Conn.SetHandler(rt.onPacket)
+	}
+}
+
+// Close stops the loop and workers. Safe to call multiple times and from
+// any goroutine, including the loop itself.
+func (rt *Runtime) Close() {
+	rt.stopOnce.Do(func() { close(rt.stop) })
+}
+
+// onPacket is the transport handler: it enqueues the packet in arrival
+// order and hands it to the verification pool (or verifies inline).
+func (rt *Runtime) onPacket(from transport.NodeID, pkt []byte) {
+	if rt.cfg.Workers < 0 {
+		start := time.Now()
+		ev := rt.handler.VerifyPacket(from, pkt)
+		rt.verifyNS.Add(time.Since(start).Nanoseconds())
+		if ev == nil {
+			return
+		}
+		t := &task{from: from, ev: ev, done: closedChan}
+		select {
+		case rt.ordered <- t:
+		case <-rt.stop:
+		}
+		return
+	}
+	t := &task{from: from, pkt: pkt, done: make(chan struct{})}
+	select {
+	case rt.ordered <- t:
+	case <-rt.stop:
+		return
+	}
+	select {
+	case rt.verifyq <- t:
+	case <-rt.stop:
+	}
+}
+
+// Inject schedules fn to run on the loop goroutine, ordered after every
+// packet already accepted. It is safe from any goroutine.
+func (rt *Runtime) Inject(fn func()) {
+	t := &task{done: closedChan, call: fn}
+	select {
+	case rt.ordered <- t:
+	case <-rt.stop:
+	}
+}
+
+// Flush blocks until every packet accepted before the call has been
+// verified and applied. Intended for tests and benchmarks.
+func (rt *Runtime) Flush() {
+	ch := make(chan struct{})
+	rt.Inject(func() { close(ch) })
+	select {
+	case <-ch:
+	case <-rt.stop:
+	}
+}
+
+func (rt *Runtime) worker() {
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case t := <-rt.verifyq:
+			start := time.Now()
+			t.ev = rt.handler.VerifyPacket(t.from, t.pkt)
+			rt.verifyNS.Add(time.Since(start).Nanoseconds())
+			close(t.done)
+		}
+	}
+}
+
+func (rt *Runtime) loop() {
+	tm := time.NewTimer(time.Hour)
+	defer tm.Stop()
+	for {
+		rt.timers.rearm(tm)
+		select {
+		case <-rt.stop:
+			return
+		case <-rt.timers.wake:
+			// A timer was armed or canceled; recompute the deadline.
+		case <-tm.C:
+			rt.runDueTimers()
+		case t := <-rt.ordered:
+			select {
+			case <-t.done:
+			case <-rt.stop:
+				return
+			}
+			start := time.Now()
+			switch {
+			case t.call != nil:
+				t.call()
+			case t.ev != nil:
+				rt.handler.ApplyEvent(t.from, t.ev)
+			}
+			rt.applyNS.Add(time.Since(start).Nanoseconds())
+		}
+	}
+}
+
+func (rt *Runtime) runDueTimers() {
+	for _, fn := range rt.timers.due(time.Now()) {
+		start := time.Now()
+		fn()
+		rt.applyNS.Add(time.Since(start).Nanoseconds())
+	}
+}
+
+// VerifyBusy returns cumulative wall time spent in VerifyPacket, summed
+// across workers (it can exceed elapsed time on multi-core hosts).
+func (rt *Runtime) VerifyBusy() time.Duration {
+	return time.Duration(rt.verifyNS.Load())
+}
+
+// ApplyBusy returns cumulative wall time spent applying events and
+// running timer callbacks on the loop goroutine.
+func (rt *Runtime) ApplyBusy() time.Duration {
+	return time.Duration(rt.applyNS.Load())
+}
+
+// Busy returns VerifyBusy + ApplyBusy: the total compute a replica spent
+// on protocol work, the quantity the bench harness projects capacity from.
+func (rt *Runtime) Busy() time.Duration {
+	return rt.VerifyBusy() + rt.ApplyBusy()
+}

@@ -1,0 +1,331 @@
+package runtime
+
+import (
+	"crypto/sha256"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"neobft/internal/transport"
+)
+
+// fakeConn is a minimal transport.Conn whose Deliver method plays the
+// role of the network's single delivery goroutine.
+type fakeConn struct {
+	id transport.NodeID
+	mu sync.Mutex
+	h  transport.Handler
+}
+
+func (c *fakeConn) ID() transport.NodeID { return c.id }
+func (c *fakeConn) Send(to transport.NodeID, pkt []byte) {}
+func (c *fakeConn) SetHandler(h transport.Handler) {
+	c.mu.Lock()
+	c.h = h
+	c.mu.Unlock()
+}
+func (c *fakeConn) Close() error { return nil }
+func (c *fakeConn) Deliver(from transport.NodeID, pkt []byte) {
+	c.mu.Lock()
+	h := c.h
+	c.mu.Unlock()
+	if h != nil {
+		h(from, pkt)
+	}
+}
+
+// recordingHandler burns a little CPU per packet in VerifyPacket (so
+// workers genuinely overlap and finish out of order) and records the
+// order events reach ApplyEvent. seen is deliberately unsynchronized:
+// under -race it proves ApplyEvent is single-threaded.
+type recordingHandler struct {
+	seen map[transport.NodeID][]uint64
+	n    atomic.Int64
+	drop func(pkt []byte) bool
+}
+
+type seqEvent struct {
+	seq uint64
+}
+
+func (h *recordingHandler) VerifyPacket(from transport.NodeID, pkt []byte) Event {
+	if h.drop != nil && h.drop(pkt) {
+		return nil
+	}
+	// Unequal per-packet work so later packets can overtake earlier ones
+	// inside the pool if ordering were broken.
+	sum := pkt
+	for i := 0; i < int(pkt[0])%7+1; i++ {
+		s := sha256.Sum256(sum)
+		sum = s[:]
+	}
+	var seq uint64
+	for _, b := range pkt[:8] {
+		seq = seq<<8 | uint64(b)
+	}
+	return seqEvent{seq: seq}
+}
+
+func (h *recordingHandler) ApplyEvent(from transport.NodeID, ev Event) {
+	h.seen[from] = append(h.seen[from], ev.(seqEvent).seq)
+	h.n.Add(1)
+}
+
+func packet(seq uint64) []byte {
+	p := make([]byte, 16)
+	for i := 0; i < 8; i++ {
+		p[7-i] = byte(seq >> (8 * i))
+	}
+	return p
+}
+
+// TestPerSenderFIFO drives interleaved packet streams from many senders
+// through the parallel verification stage and checks every sender's
+// packets are applied in exactly the order they arrived.
+func TestPerSenderFIFO(t *testing.T) {
+	conn := &fakeConn{id: 1}
+	rt := New(Config{Conn: conn, Workers: 8})
+	h := &recordingHandler{seen: map[transport.NodeID][]uint64{}}
+	rt.Start(h)
+	defer rt.Close()
+
+	const senders, perSender = 7, 500
+	for i := 0; i < perSender; i++ {
+		for s := 0; s < senders; s++ {
+			conn.Deliver(transport.NodeID(100+s), packet(uint64(i)))
+		}
+	}
+	rt.Flush()
+	if got := h.n.Load(); got != senders*perSender {
+		t.Fatalf("applied %d events, want %d", got, senders*perSender)
+	}
+	for s := 0; s < senders; s++ {
+		got := h.seen[transport.NodeID(100+s)]
+		if len(got) != perSender {
+			t.Fatalf("sender %d: %d events, want %d", s, len(got), perSender)
+		}
+		for i, seq := range got {
+			if seq != uint64(i) {
+				t.Fatalf("sender %d: event %d has seq %d — FIFO violated", s, i, seq)
+			}
+		}
+	}
+}
+
+// TestDroppedPacketsSkipApply checks a nil verdict from VerifyPacket
+// never reaches ApplyEvent and does not stall the ordered queue.
+func TestDroppedPacketsSkipApply(t *testing.T) {
+	conn := &fakeConn{id: 1}
+	rt := New(Config{Conn: conn, Workers: 4})
+	h := &recordingHandler{
+		seen: map[transport.NodeID][]uint64{},
+		drop: func(pkt []byte) bool { return pkt[7]%2 == 1 }, // odd seqs
+	}
+	rt.Start(h)
+	defer rt.Close()
+
+	for i := 0; i < 200; i++ {
+		conn.Deliver(9, packet(uint64(i)))
+	}
+	rt.Flush()
+	got := h.seen[9]
+	if len(got) != 100 {
+		t.Fatalf("applied %d events, want 100", len(got))
+	}
+	for i, seq := range got {
+		if seq != uint64(2*i) {
+			t.Fatalf("event %d has seq %d, want %d", i, seq, 2*i)
+		}
+	}
+}
+
+// TestInlineMode checks Workers < 0 verifies on the delivery goroutine
+// and still applies in order on the loop.
+func TestInlineMode(t *testing.T) {
+	conn := &fakeConn{id: 1}
+	rt := New(Config{Conn: conn, Workers: -1})
+	if rt.Workers() != 0 {
+		t.Fatalf("Workers() = %d in inline mode, want 0", rt.Workers())
+	}
+	h := &recordingHandler{seen: map[transport.NodeID][]uint64{}}
+	rt.Start(h)
+	defer rt.Close()
+	for i := 0; i < 300; i++ {
+		conn.Deliver(3, packet(uint64(i)))
+	}
+	rt.Flush()
+	got := h.seen[3]
+	if len(got) != 300 {
+		t.Fatalf("applied %d events, want 300", len(got))
+	}
+	for i, seq := range got {
+		if seq != uint64(i) {
+			t.Fatalf("event %d has seq %d — order violated", i, seq)
+		}
+	}
+	if rt.VerifyBusy() == 0 || rt.ApplyBusy() == 0 {
+		t.Fatalf("busy counters not advancing: verify=%v apply=%v", rt.VerifyBusy(), rt.ApplyBusy())
+	}
+}
+
+// loopChecker verifies that ApplyEvent, Inject'd functions, and timer
+// callbacks all run on the same goroutine by mutating an unsynchronized
+// counter — any overlap is a -race failure.
+type loopChecker struct {
+	counter int
+	applied atomic.Int64
+}
+
+func (h *loopChecker) VerifyPacket(from transport.NodeID, pkt []byte) Event { return pkt }
+func (h *loopChecker) ApplyEvent(from transport.NodeID, ev Event) {
+	h.counter++
+	h.applied.Add(1)
+}
+
+// TestTimersShareLoopWithApply floods packets while a fast periodic timer
+// and repeated one-shot timers mutate the same unsynchronized state as
+// ApplyEvent. Run under -race this fails if any callback escapes the loop.
+func TestTimersShareLoopWithApply(t *testing.T) {
+	conn := &fakeConn{id: 1}
+	rt := New(Config{Conn: conn, Workers: 4})
+	h := &loopChecker{}
+	rt.Start(h)
+	defer rt.Close()
+
+	ticks := 0
+	rt.ArmEvery(time.Millisecond, func() {
+		h.counter++
+		ticks++
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				// The transport contract forbids concurrent handler
+				// calls, so extra goroutines go through Inject instead.
+				rt.Inject(func() { h.counter++ })
+			}
+		}(g)
+	}
+	for i := 0; i < 1000; i++ {
+		conn.Deliver(5, packet(uint64(i)))
+	}
+	wg.Wait()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && h.applied.Load() < 1000 {
+		time.Sleep(time.Millisecond)
+	}
+	rt.Flush()
+	if h.applied.Load() != 1000 {
+		t.Fatalf("applied %d packets, want 1000", h.applied.Load())
+	}
+}
+
+// TestTimerFireAndCancel covers one-shot firing, cancellation before
+// firing, periodic repetition, and cancellation from inside the callback.
+func TestTimerFireAndCancel(t *testing.T) {
+	rt := New(Config{Workers: 1})
+	h := &loopChecker{}
+	rt.Start(h)
+	defer rt.Close()
+
+	fired := make(chan string, 64)
+	rt.Arm(5*time.Millisecond, func() { fired <- "oneshot" })
+	dead := rt.Arm(10*time.Millisecond, func() { fired <- "canceled" })
+	if !rt.Cancel(dead) {
+		t.Fatal("Cancel returned false for an armed timer")
+	}
+	if rt.Cancel(dead) {
+		t.Fatal("Cancel returned true for an already-canceled timer")
+	}
+
+	var periodicID TimerID
+	periodicFires := 0
+	periodicID = rt.ArmEvery(3*time.Millisecond, func() {
+		periodicFires++
+		fired <- "periodic"
+		if periodicFires == 3 {
+			if !rt.Cancel(periodicID) {
+				t.Error("self-Cancel of periodic timer returned false")
+			}
+		}
+	})
+
+	got := map[string]int{}
+	timeout := time.After(2 * time.Second)
+	for got["oneshot"] < 1 || got["periodic"] < 3 {
+		select {
+		case s := <-fired:
+			got[s]++
+		case <-timeout:
+			t.Fatalf("timed out; fired so far: %v", got)
+		}
+	}
+	// Give canceled timers a chance to misfire.
+	time.Sleep(30 * time.Millisecond)
+	close(fired)
+	for s := range fired {
+		got[s]++
+	}
+	if got["canceled"] != 0 {
+		t.Fatal("canceled one-shot timer fired")
+	}
+	if got["periodic"] > 3 {
+		t.Fatalf("periodic timer fired %d times after self-cancel, want 3", got["periodic"])
+	}
+	if got["oneshot"] != 1 {
+		t.Fatalf("one-shot fired %d times, want 1", got["oneshot"])
+	}
+}
+
+// TestCloseFromLoop checks Close can be called from a timer callback
+// (replica shutdown paths do this) without deadlocking.
+func TestCloseFromLoop(t *testing.T) {
+	rt := New(Config{Workers: 2})
+	rt.Start(&loopChecker{})
+	done := make(chan struct{})
+	rt.Arm(time.Millisecond, func() {
+		rt.Close()
+		close(done)
+	})
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close from loop deadlocked")
+	}
+}
+
+// TestConcurrentLoad hammers the runtime from one delivery goroutine per
+// conn-contract plus injectors and timers, as a -race soak.
+func TestConcurrentLoad(t *testing.T) {
+	conn := &fakeConn{id: 1}
+	rt := New(Config{Conn: conn, Workers: 6, Queue: 256})
+	h := &recordingHandler{seen: map[transport.NodeID][]uint64{}}
+	rt.Start(h)
+	defer rt.Close()
+
+	for i := 0; i < 8; i++ {
+		rt.ArmEvery(time.Millisecond, func() {})
+	}
+	const total = 5000
+	for i := 0; i < total; i++ {
+		conn.Deliver(transport.NodeID(i%16), packet(uint64(i/16)))
+	}
+	rt.Flush()
+	if got := h.n.Load(); got != total {
+		t.Fatalf("applied %d, want %d", got, total)
+	}
+	if rt.Busy() == 0 {
+		t.Fatal("Busy() did not advance")
+	}
+}
+
+func TestWorkersDefault(t *testing.T) {
+	rt := New(Config{})
+	if rt.Workers() < 1 {
+		t.Fatalf("default Workers() = %d, want >= 1", rt.Workers())
+	}
+}

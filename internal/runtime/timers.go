@@ -1,0 +1,175 @@
+package runtime
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// TimerID identifies an armed timer. The zero value is never issued.
+type TimerID uint64
+
+type timerEntry struct {
+	id     TimerID
+	when   time.Time
+	period time.Duration // 0 for one-shot
+	fn     func()
+	idx    int // heap index; -1 while firing or after removal
+}
+
+// timerState is the runtime's timer table. Arm/Cancel may be called from
+// any goroutine (typically the loop itself, inside ApplyEvent or a timer
+// callback); callbacks always run on the loop goroutine.
+type timerState struct {
+	mu     sync.Mutex
+	heap   timerHeap
+	byID   map[TimerID]*timerEntry
+	nextID TimerID
+	wake   chan struct{}
+}
+
+func (ts *timerState) init() {
+	ts.byID = map[TimerID]*timerEntry{}
+	ts.wake = make(chan struct{}, 1)
+}
+
+func (ts *timerState) signal() {
+	select {
+	case ts.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Arm schedules fn to run once on the loop goroutine after d.
+func (rt *Runtime) Arm(d time.Duration, fn func()) TimerID {
+	return rt.timers.arm(d, 0, fn)
+}
+
+// ArmEvery schedules fn to run on the loop goroutine every period,
+// starting one period from now.
+func (rt *Runtime) ArmEvery(period time.Duration, fn func()) TimerID {
+	return rt.timers.arm(period, period, fn)
+}
+
+// Cancel stops a timer. It reports whether the timer was still armed.
+// Canceling a periodic timer from inside its own callback stops future
+// firings.
+func (rt *Runtime) Cancel(id TimerID) bool {
+	return rt.timers.cancel(id)
+}
+
+func (ts *timerState) arm(d, period time.Duration, fn func()) TimerID {
+	ts.mu.Lock()
+	ts.nextID++
+	e := &timerEntry{id: ts.nextID, when: time.Now().Add(d), period: period, fn: fn}
+	ts.byID[e.id] = e
+	heap.Push(&ts.heap, e)
+	ts.mu.Unlock()
+	ts.signal()
+	return e.id
+}
+
+func (ts *timerState) cancel(id TimerID) bool {
+	ts.mu.Lock()
+	e, ok := ts.byID[id]
+	if ok {
+		delete(ts.byID, id)
+		if e.idx >= 0 {
+			heap.Remove(&ts.heap, e.idx)
+		}
+	}
+	ts.mu.Unlock()
+	if ok {
+		ts.signal()
+	}
+	return ok
+}
+
+// rearm resets tm to the next deadline (or far in the future if no timer
+// is armed). Called from the loop between events.
+func (ts *timerState) rearm(tm *time.Timer) {
+	if !tm.Stop() {
+		select {
+		case <-tm.C:
+		default:
+		}
+	}
+	ts.mu.Lock()
+	d := time.Hour
+	if len(ts.heap) > 0 {
+		d = time.Until(ts.heap[0].when)
+		if d < 0 {
+			d = 0
+		}
+	}
+	ts.mu.Unlock()
+	tm.Reset(d)
+}
+
+// due pops every expired timer and returns its callback. Periodic timers
+// are re-queued one period ahead unless canceled while firing (their fn
+// may call Cancel — entries are detached from the heap but stay in byID
+// while their callback is pending, so Cancel still finds them).
+func (ts *timerState) due(now time.Time) []func() {
+	ts.mu.Lock()
+	var fired []*timerEntry
+	for len(ts.heap) > 0 && !ts.heap[0].when.After(now) {
+		e := heap.Pop(&ts.heap).(*timerEntry)
+		if e.period == 0 {
+			delete(ts.byID, e.id)
+		}
+		fired = append(fired, e)
+	}
+	ts.mu.Unlock()
+	if len(fired) == 0 {
+		return nil
+	}
+	fns := make([]func(), len(fired))
+	for i, e := range fired {
+		e := e
+		if e.period == 0 {
+			fns[i] = e.fn
+			continue
+		}
+		fns[i] = func() {
+			e.fn()
+			ts.mu.Lock()
+			if _, live := ts.byID[e.id]; live {
+				e.when = e.when.Add(e.period)
+				if e.when.Before(time.Now()) {
+					// Missed periods (long apply stall): skip ahead
+					// rather than firing a burst of catch-up ticks.
+					e.when = time.Now().Add(e.period)
+				}
+				heap.Push(&ts.heap, e)
+			}
+			ts.mu.Unlock()
+		}
+	}
+	return fns
+}
+
+// timerHeap is a min-heap on when, tracking indices for O(log n) removal.
+type timerHeap []*timerEntry
+
+func (h timerHeap) Len() int           { return len(h) }
+func (h timerHeap) Less(i, j int) bool { return h[i].when.Before(h[j].when) }
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *timerHeap) Push(x any) {
+	e := x.(*timerEntry)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}

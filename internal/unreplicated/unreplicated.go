@@ -10,26 +10,51 @@ import (
 
 	"neobft/internal/crypto/auth"
 	"neobft/internal/replication"
+	"neobft/internal/runtime"
 	"neobft/internal/transport"
 )
 
+// Config configures an unreplicated server.
+type Config struct {
+	Conn       transport.Conn
+	App        replication.App
+	ClientAuth *auth.ReplicaSide
+	// Runtime hosts the server's event loop and verification workers.
+	// If nil, New creates a default runtime over Conn.
+	Runtime *runtime.Runtime
+}
+
 // Server is the unreplicated service endpoint.
 type Server struct {
-	conn       transport.Conn
-	app        replication.App
-	clientAuth *auth.ReplicaSide
+	cfg Config
+	rt  *runtime.Runtime
 
 	mu    sync.Mutex
 	table *replication.ClientTable
 	ops   uint64
 }
 
-// NewServer attaches an unreplicated server to conn.
-func NewServer(conn transport.Conn, app replication.App, clientAuth *auth.ReplicaSide) *Server {
-	s := &Server{conn: conn, app: app, clientAuth: clientAuth, table: replication.NewClientTable()}
-	conn.SetHandler(s.handle)
+// New creates and starts an unreplicated server.
+func New(cfg Config) *Server {
+	if cfg.Runtime == nil {
+		cfg.Runtime = runtime.New(runtime.Config{Conn: cfg.Conn})
+	}
+	s := &Server{cfg: cfg, rt: cfg.Runtime, table: replication.NewClientTable()}
+	s.rt.Start(s)
 	return s
 }
+
+// NewServer attaches an unreplicated server to conn with a default
+// runtime (compatibility constructor).
+func NewServer(conn transport.Conn, app replication.App, clientAuth *auth.ReplicaSide) *Server {
+	return New(Config{Conn: conn, App: app, ClientAuth: clientAuth})
+}
+
+// Close stops the server's runtime.
+func (s *Server) Close() { s.rt.Close() }
+
+// Runtime returns the server's runtime (for stats and draining).
+func (s *Server) Runtime() *runtime.Runtime { return s.rt }
 
 // Ops returns the number of executed operations.
 func (s *Server) Ops() uint64 {
@@ -38,44 +63,50 @@ func (s *Server) Ops() uint64 {
 	return s.ops
 }
 
-func (s *Server) handle(from transport.NodeID, pkt []byte) {
+type evRequest struct{ req *replication.Request }
+
+// VerifyPacket implements runtime.Handler: decode + client MAC off-loop.
+func (s *Server) VerifyPacket(from transport.NodeID, pkt []byte) runtime.Event {
 	if len(pkt) == 0 || pkt[0] != replication.KindRequest {
-		return
+		return nil
 	}
 	req, err := replication.UnmarshalRequest(pkt[1:])
 	if err != nil {
-		return
+		return nil
 	}
-	if !s.clientAuth.VerifyClient(int64(req.Client), req.SignedBody(), req.Auth) {
-		return
+	if !s.cfg.ClientAuth.VerifyClient(int64(req.Client), req.SignedBody(), req.Auth) {
+		return nil
 	}
+	return evRequest{req: req}
+}
+
+// ApplyEvent implements runtime.Handler: execute on the loop.
+func (s *Server) ApplyEvent(from transport.NodeID, ev runtime.Event) {
+	req := ev.(evRequest).req
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	fresh, cached := s.table.Check(req.Client, req.ReqID)
 	if !fresh {
 		if cached != nil {
-			s.conn.Send(req.Client, cached.Marshal())
+			s.cfg.Conn.Send(req.Client, cached.Marshal())
 		}
 		return
 	}
-	result, _ := s.app.Execute(req.Op)
+	result, _ := s.cfg.App.Execute(req.Op)
 	s.ops++
 	rep := &replication.Reply{Replica: 0, ReqID: req.ReqID, Result: result}
-	rep.Auth = s.clientAuth.TagFor(int64(req.Client), rep.SignedBody())
+	rep.Auth = s.cfg.ClientAuth.TagFor(int64(req.Client), rep.SignedBody())
 	s.table.Store(req.Client, req.ReqID, rep)
-	s.conn.Send(req.Client, rep.Marshal())
+	s.cfg.Conn.Send(req.Client, rep.Marshal())
 }
 
 // NewClient builds a closed-loop client for the unreplicated server.
 func NewClient(conn transport.Conn, server transport.NodeID, master []byte, timeout time.Duration) *replication.Client {
-	cl := replication.NewClient(replication.ClientConfig{
+	return replication.NewWiredClient(replication.ClientConfig{
 		Conn: conn, N: 1, F: 0, Quorum: 1,
-		Auth:    auth.NewClientSide(master, int64(conn.ID()), 1),
 		Timeout: timeout,
 		Submit: func(req *replication.Request, retry bool) {
 			conn.Send(server, req.Marshal())
 		},
-	})
-	conn.SetHandler(func(from transport.NodeID, pkt []byte) { cl.HandlePacket(from, pkt) })
-	return cl
+	}, master)
 }

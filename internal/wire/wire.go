@@ -11,6 +11,10 @@ import (
 // ErrTruncated is reported when a Reader runs out of bytes.
 var ErrTruncated = errors.New("wire: truncated message")
 
+// ErrMalformed marks a field whose bytes decode to no valid value (e.g.
+// a boolean that is neither 0 nor 1).
+var ErrMalformed = errors.New("wire: malformed field")
+
 // Writer appends fixed-width little-endian fields to a buffer. The zero
 // value is ready to use.
 type Writer struct {
@@ -150,8 +154,22 @@ func (r *Reader) U64() uint64 {
 	return binary.LittleEndian.Uint64(b)
 }
 
-// Bool consumes a one-byte boolean.
-func (r *Reader) Bool() bool { return r.U8() != 0 }
+// Bool consumes a one-byte boolean. Only 0 and 1 are valid: any other
+// value sets the sticky error, so every message has exactly one
+// encoding (decode→encode is the identity on accepted inputs).
+func (r *Reader) Bool() bool {
+	switch r.U8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		if r.err == nil {
+			r.err = ErrMalformed
+		}
+		return false
+	}
+}
 
 // Bytes32 consumes a fixed 32-byte value.
 func (r *Reader) Bytes32() (out [32]byte) {

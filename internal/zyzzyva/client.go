@@ -59,7 +59,7 @@ func NewClient(conn transport.Conn, master []byte, n, f int, members []transport
 		timeout:     retransmit,
 		specTimeout: specTimeout,
 	}
-	conn.SetHandler(c.handle)
+	replication.InstallHandler(conn, c.handle)
 	return c
 }
 

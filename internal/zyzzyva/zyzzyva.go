@@ -17,6 +17,7 @@ import (
 
 	"neobft/internal/crypto/auth"
 	"neobft/internal/replication"
+	"neobft/internal/runtime"
 	"neobft/internal/transport"
 	"neobft/internal/wire"
 )
@@ -44,12 +45,16 @@ type Config struct {
 	// Silent makes the replica drop all protocol traffic (the
 	// non-responding Byzantine replica of the Zyzzyva-F experiment).
 	Silent bool
+	// Runtime hosts the replica's event loop and verification workers.
+	// If nil, New creates a default runtime over Conn.
+	Runtime *runtime.Runtime
 }
 
 // Replica is a Zyzzyva replica.
 type Replica struct {
 	cfg  Config
 	conn transport.Conn
+	rt   *runtime.Runtime
 
 	mu       sync.Mutex
 	view     uint64
@@ -72,6 +77,10 @@ type orderReq struct {
 	digest  [32]byte
 	history [32]byte
 	batch   []*replication.Request
+	// authOK holds per-request client-MAC verdicts precomputed by the
+	// verification stage; nil means verify inline (the primary's own
+	// batches take that path).
+	authOK []bool
 }
 
 // New creates and starts a Zyzzyva replica.
@@ -82,19 +91,26 @@ func New(cfg Config) *Replica {
 	if cfg.Window == 0 {
 		cfg.Window = 2
 	}
+	if cfg.Runtime == nil {
+		cfg.Runtime = runtime.New(runtime.Config{Conn: cfg.Conn})
+	}
 	r := &Replica{
 		cfg:      cfg,
 		conn:     cfg.Conn,
+		rt:       cfg.Runtime,
 		inQueue:  map[string]bool{},
 		buffered: map[uint64]*orderReq{},
 		table:    replication.NewClientTable(),
 	}
-	cfg.Conn.SetHandler(r.handle)
+	r.rt.Start(r)
 	return r
 }
 
-// Close is a no-op (Zyzzyva replicas run no timers).
-func (r *Replica) Close() {}
+// Close stops the replica's runtime.
+func (r *Replica) Close() { r.rt.Close() }
+
+// Runtime returns the replica's runtime (for stats and draining).
+func (r *Replica) Runtime() *runtime.Runtime { return r.rt }
 
 // Executed returns the number of executed client operations.
 func (r *Replica) Executed() uint64 {
@@ -153,28 +169,146 @@ func reqKey(c transport.NodeID, id uint64) string {
 	return string(w.Bytes())
 }
 
-func (r *Replica) handle(from transport.NodeID, pkt []byte) {
+// --- verify stage (worker goroutines) --------------------------------------
+
+type evRequest struct{ req *replication.Request }
+
+type evOrderReq struct{ o *orderReq }
+
+type evCommit struct {
+	view, seq       uint64
+	history, digest [32]byte
+	valid           int
+}
+
+// VerifyPacket implements runtime.Handler: packet decoding, client MACs,
+// the primary's order-req authenticator, per-request client MACs in the
+// batch, and commit-certificate parts are all checked off the loop.
+func (r *Replica) VerifyPacket(from transport.NodeID, pkt []byte) runtime.Event {
 	if r.cfg.Silent || len(pkt) == 0 {
-		return
+		return nil
 	}
 	switch pkt[0] {
 	case replication.KindRequest:
-		r.onRequest(pkt[1:])
+		req, err := replication.UnmarshalRequest(pkt[1:])
+		if err != nil {
+			return nil
+		}
+		if !r.cfg.ClientAuth.VerifyClient(int64(req.Client), req.SignedBody(), req.Auth) {
+			return nil
+		}
+		return evRequest{req: req}
 	case kindOrderReq:
-		r.onOrderReq(pkt[1:])
+		o := r.verifyOrderReq(pkt[1:])
+		if o == nil {
+			return nil
+		}
+		return evOrderReq{o: o}
 	case kindCommit:
-		r.onCommit(from, pkt[1:])
+		return r.verifyCommit(pkt[1:])
+	}
+	return nil
+}
+
+// verifyOrderReq decodes and authenticates an order-req against the
+// *claimed* view's primary; apply rejects stale views.
+func (r *Replica) verifyOrderReq(pkt []byte) *orderReq {
+	rd := wire.NewReader(pkt)
+	body := rd.VarBytes()
+	tag := rd.VarBytes()
+	nb := rd.U32()
+	if rd.Err() != nil || nb > 1<<16 {
+		return nil
+	}
+	batch := make([]*replication.Request, nb)
+	for i := range batch {
+		req, err := replication.UnmarshalRequest(rd.VarBytes())
+		if err != nil {
+			return nil
+		}
+		batch[i] = req
+	}
+	if rd.Done() != nil {
+		return nil
+	}
+	br := wire.NewReader(body)
+	if !br.Prefix("zyz-order") {
+		return nil
+	}
+	view := br.U64()
+	seq := br.U64()
+	digest := br.Bytes32()
+	history := br.Bytes32()
+	if br.Done() != nil {
+		return nil
+	}
+	if !r.cfg.Auth.VerifyVector(int(view)%r.cfg.N, body, tag) {
+		return nil
+	}
+	if batchDigest(batch) != digest {
+		return nil
+	}
+	authOK := make([]bool, len(batch))
+	for i, req := range batch {
+		authOK[i] = r.cfg.ClientAuth.VerifyClient(int64(req.Client), req.SignedBody(), req.Auth)
+	}
+	return &orderReq{view: view, seq: seq, digest: digest, history: history, batch: batch, authOK: authOK}
+}
+
+// verifyCommit counts valid commit-certificate parts; the certificate
+// inputs are all carried in the packet, so this is loop-state-free.
+func (r *Replica) verifyCommit(pkt []byte) runtime.Event {
+	rd := wire.NewReader(pkt)
+	view := rd.U64()
+	seq := rd.U64()
+	history := rd.Bytes32()
+	digest := rd.Bytes32()
+	np := rd.U32()
+	if rd.Err() != nil || np > uint32(r.cfg.N) {
+		return nil
+	}
+	type pt struct {
+		rep uint32
+		tag []byte
+	}
+	parts := make([]pt, np)
+	for i := range parts {
+		parts[i].rep = rd.U32()
+		parts[i].tag = rd.VarBytes()
+	}
+	if rd.Done() != nil {
+		return nil
+	}
+	seen := map[uint32]bool{}
+	valid := 0
+	for _, p := range parts {
+		if int(p.rep) >= r.cfg.N || seen[p.rep] {
+			continue
+		}
+		if !r.cfg.Auth.VerifyVector(int(p.rep), specBody(view, seq, history, digest, p.rep), p.tag) {
+			continue
+		}
+		seen[p.rep] = true
+		valid++
+	}
+	return evCommit{view: view, seq: seq, history: history, digest: digest, valid: valid}
+}
+
+// ApplyEvent implements runtime.Handler.
+func (r *Replica) ApplyEvent(from transport.NodeID, ev runtime.Event) {
+	switch e := ev.(type) {
+	case evRequest:
+		r.onRequest(e.req)
+	case evOrderReq:
+		r.onOrderReq(e.o)
+	case evCommit:
+		r.onCommit(from, e)
 	}
 }
 
-func (r *Replica) onRequest(body []byte) {
-	req, err := replication.UnmarshalRequest(body)
-	if err != nil {
-		return
-	}
-	if !r.cfg.ClientAuth.VerifyClient(int64(req.Client), req.SignedBody(), req.Auth) {
-		return
-	}
+// --- apply stage (loop goroutine) ------------------------------------------
+
+func (r *Replica) onRequest(req *replication.Request) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	fresh, cached := r.table.Check(req.Client, req.ReqID)
@@ -186,7 +320,7 @@ func (r *Replica) onRequest(body []byte) {
 	}
 	if !r.isPrimary() {
 		// Forward to the primary (client retransmissions broadcast).
-		r.conn.Send(r.cfg.Members[r.primary()], append([]byte{replication.KindRequest}, body...))
+		r.conn.Send(r.cfg.Members[r.primary()], req.Marshal())
 		return
 	}
 	key := reqKey(req.Client, req.ReqID)
@@ -227,51 +361,15 @@ func (r *Replica) tryIssueLocked() {
 	}
 }
 
-func (r *Replica) onOrderReq(pkt []byte) {
-	rd := wire.NewReader(pkt)
-	body := rd.VarBytes()
-	tag := rd.VarBytes()
-	nb := rd.U32()
-	if rd.Err() != nil || nb > 1<<16 {
-		return
-	}
-	batch := make([]*replication.Request, nb)
-	for i := range batch {
-		req, err := replication.UnmarshalRequest(rd.VarBytes())
-		if err != nil {
-			return
-		}
-		batch[i] = req
-	}
-	if rd.Done() != nil {
-		return
-	}
-	br := wire.NewReader(body)
-	if !br.Prefix("zyz-order") {
-		return
-	}
-	view := br.U64()
-	seq := br.U64()
-	digest := br.Bytes32()
-	history := br.Bytes32()
-	if br.Done() != nil {
-		return
-	}
+func (r *Replica) onOrderReq(o *orderReq) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if view != r.view || r.isPrimary() {
+	if o.view != r.view || r.isPrimary() {
 		return
 	}
-	if !r.cfg.Auth.VerifyVector(r.primary(), body, tag) {
-		return
-	}
-	if batchDigest(batch) != digest {
-		return
-	}
-	o := &orderReq{view: view, seq: seq, digest: digest, history: history, batch: batch}
-	if seq != r.lastExec+1 {
-		if seq > r.lastExec {
-			r.buffered[seq] = o
+	if o.seq != r.lastExec+1 {
+		if o.seq > r.lastExec {
+			r.buffered[o.seq] = o
 		}
 		return
 	}
@@ -297,8 +395,14 @@ func (r *Replica) executeLocked(o *orderReq) {
 	r.history = o.history
 	r.lastExec = o.seq
 	groupTag := r.cfg.Auth.TagVector(specBody(o.view, o.seq, o.history, o.digest, uint32(r.cfg.Self)))
-	for _, req := range o.batch {
-		if !r.cfg.ClientAuth.VerifyClient(int64(req.Client), req.SignedBody(), req.Auth) {
+	for i, req := range o.batch {
+		// Pre-verified by the worker stage for backup batches; the
+		// primary checks its own (already once-verified) batch inline.
+		authOK := o.authOK != nil && o.authOK[i]
+		if o.authOK == nil {
+			authOK = r.cfg.ClientAuth.VerifyClient(int64(req.Client), req.SignedBody(), req.Auth)
+		}
+		if !authOK {
 			continue
 		}
 		fresh, cached := r.table.Check(req.Client, req.ReqID)
@@ -329,54 +433,22 @@ func (r *Replica) executeLocked(o *orderReq) {
 }
 
 // onCommit processes a client's commit certificate: 2f+1 matching
-// speculative-response authenticators (§2.1; slow path).
-func (r *Replica) onCommit(from transport.NodeID, pkt []byte) {
-	rd := wire.NewReader(pkt)
-	view := rd.U64()
-	seq := rd.U64()
-	history := rd.Bytes32()
-	digest := rd.Bytes32()
-	np := rd.U32()
-	if rd.Err() != nil || np > uint32(r.cfg.N) {
-		return
-	}
-	type pt struct {
-		rep uint32
-		tag []byte
-	}
-	parts := make([]pt, np)
-	for i := range parts {
-		parts[i].rep = rd.U32()
-		parts[i].tag = rd.VarBytes()
-	}
-	if rd.Done() != nil {
+// speculative-response authenticators (§2.1; slow path). The parts were
+// counted by the verification stage.
+func (r *Replica) onCommit(from transport.NodeID, e evCommit) {
+	if e.valid < 2*r.cfg.F+1 {
 		return
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	seen := map[uint32]bool{}
-	valid := 0
-	for _, p := range parts {
-		if int(p.rep) >= r.cfg.N || seen[p.rep] {
-			continue
-		}
-		if !r.cfg.Auth.VerifyVector(int(p.rep), specBody(view, seq, history, digest, p.rep), p.tag) {
-			continue
-		}
-		seen[p.rep] = true
-		valid++
-	}
-	if valid < 2*r.cfg.F+1 {
-		return
-	}
-	if seq > r.maxCC {
-		r.maxCC = seq
+	if e.seq > r.maxCC {
+		r.maxCC = e.seq
 	}
 	// LOCAL-COMMIT back to the client.
 	w := wire.NewWriter(64)
 	w.U8(kindLocalCommit)
-	w.U64(view)
-	w.U64(seq)
+	w.U64(e.view)
+	w.U64(e.seq)
 	w.U32(uint32(r.cfg.Self))
 	body := w.Bytes()
 	mac := r.cfg.ClientAuth.TagFor(int64(from), body)
