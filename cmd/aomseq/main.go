@@ -23,6 +23,7 @@ import (
 
 	"neobft/internal/configsvc"
 	"neobft/internal/crypto/siphash"
+	"neobft/internal/metrics"
 	"neobft/internal/sequencer"
 	"neobft/internal/transport"
 	"neobft/internal/transport/udpnet"
@@ -37,6 +38,10 @@ func main() {
 	master := flag.String("master", "aom-master", "HMAC key-derivation master secret")
 	variant := flag.String("variant", "hmac", "authenticator variant: hmac or pk")
 	signRate := flag.Float64("sign-rate", 0, "aom-pk signing-ratio controller rate (0 = sign all)")
+	metricsAddr := flag.String("metrics", "",
+		"serve /metrics (Prometheus text), /trace and /debug/pprof on this address (empty = disabled)")
+	traceDump := flag.String("trace-dump", "",
+		"write the sequencer's flight-recorder dump as JSON lines to this file on shutdown")
 	flag.Parse()
 
 	if *memberList == "" {
@@ -65,10 +70,14 @@ func main() {
 	if *variant == "pk" {
 		kind = wire.AuthPK
 	}
+	reg := metrics.NewRegistry()
+	exporter := &metrics.Exporter{}
+	exporter.Add(`node="sequencer"`, reg)
 	sw := sequencer.New(conn, sequencer.Options{
 		Variant:  kind,
 		PKSeed:   []byte(*master),
 		SignRate: *signRate,
+		Metrics:  reg,
 	})
 	cfg := sequencer.GroupConfig{
 		Group:   uint32(*group),
@@ -88,6 +97,15 @@ func main() {
 	log.Printf("aom sequencer up on %s: group %d epoch %d, %d receivers, variant %s",
 		*listen, *group, *epoch, len(memberIDs), *variant)
 
+	if *metricsAddr != "" {
+		srv, bound, err := metrics.Serve(*metricsAddr, exporter)
+		if err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("metrics on http://%s/metrics (traces at /trace, pprof at /debug/pprof/)", bound)
+	}
+
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
 	tick := time.NewTicker(10 * time.Second)
@@ -96,6 +114,18 @@ func main() {
 		select {
 		case <-stop:
 			log.Printf("shutting down; %d packets sequenced", sw.Stamped())
+			if *traceDump != "" {
+				f, err := os.Create(*traceDump)
+				if err != nil {
+					log.Printf("trace dump: %v", err)
+					return
+				}
+				if err := exporter.WriteTraces(f); err != nil {
+					log.Printf("trace dump: %v", err)
+				}
+				f.Close()
+				log.Printf("flight-recorder dump written to %s", *traceDump)
+			}
 			return
 		case <-tick.C:
 			log.Printf("sequenced %d packets (%d signed)", sw.Stamped(), sw.SignedCount())

@@ -21,6 +21,7 @@ import (
 	"neobft/internal/configsvc"
 	"neobft/internal/crypto/auth"
 	"neobft/internal/kvstore"
+	"neobft/internal/metrics"
 	"neobft/internal/neobft"
 	"neobft/internal/runtime"
 	"neobft/internal/sequencer"
@@ -53,7 +54,28 @@ func main() {
 	benchDur := flag.Duration("bench", 0, "run YCSB-A closed-loop load for this long instead of the REPL")
 	verifyWorkers := flag.Int("verify-workers", 0,
 		"verification workers per replica (0 = runtime default, negative = inline)")
+	metricsAddr := flag.String("metrics", "",
+		"serve /metrics (Prometheus text), /trace and /debug/pprof on this address (empty = disabled)")
+	traceDump := flag.String("trace-dump", "",
+		"write every node's flight-recorder dump as JSON lines to this file on exit")
 	flag.Parse()
+
+	exporter := &metrics.Exporter{}
+	if *traceDump != "" {
+		defer func() {
+			f, err := os.Create(*traceDump)
+			if err != nil {
+				log.Printf("trace dump: %v", err)
+				return
+			}
+			defer f.Close()
+			if err := exporter.WriteTraces(f); err != nil {
+				log.Printf("trace dump: %v", err)
+				return
+			}
+			log.Printf("flight-recorder dump written to %s", *traceDump)
+		}()
+	}
 
 	// One UDP socket per node: sequencer, replicas, client.
 	addrs, err := freePorts(nReplicas + 2)
@@ -80,7 +102,9 @@ func main() {
 		log.Fatal(err)
 	}
 	defer seqConn.Close()
-	sw := sequencer.New(seqConn, sequencer.Options{Variant: wire.AuthHMAC})
+	seqReg := metrics.NewRegistry()
+	exporter.Add(`node="sequencer"`, seqReg)
+	sw := sequencer.New(seqConn, sequencer.Options{Variant: wire.AuthHMAC, Metrics: seqReg})
 	svc.RegisterSwitch(configsvc.SwitchHandle{ID: seqID, SW: sw})
 	if _, err := svc.CreateGroup(groupID, memberIDs); err != nil {
 		log.Fatal(err)
@@ -95,6 +119,8 @@ func main() {
 		}
 		defer conn.Close()
 		stores[i] = kvstore.NewStore()
+		reg := metrics.NewRegistry()
+		exporter.Add(fmt.Sprintf(`replica="%d"`, i), reg)
 		r := neobft.New(neobft.Config{
 			Self: i, N: nReplicas, F: f,
 			Members:    memberIDs,
@@ -105,7 +131,8 @@ func main() {
 			App:        stores[i],
 			Variant:    wire.AuthHMAC,
 			Svc:        svc,
-			Runtime:    runtime.New(runtime.Config{Conn: conn, Workers: *verifyWorkers}),
+			Runtime:    runtime.New(runtime.Config{Conn: conn, Workers: *verifyWorkers, Metrics: reg}),
+			Metrics:    reg,
 		})
 		defer r.Close()
 	}
@@ -129,6 +156,15 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("NeoBFT KV cluster up over UDP: sequencer %s, %d replicas", addrs[0], nReplicas)
+
+	if *metricsAddr != "" {
+		srv, bound, err := metrics.Serve(*metricsAddr, exporter)
+		if err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("metrics on http://%s/metrics (traces at /trace, pprof at /debug/pprof/)", bound)
+	}
 
 	if *benchDur > 0 {
 		runBench(cl, stores[0], *benchDur)

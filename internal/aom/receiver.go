@@ -8,8 +8,17 @@ import (
 	"neobft/internal/crypto/auth"
 	"neobft/internal/crypto/secp256k1"
 	"neobft/internal/crypto/siphash"
+	"neobft/internal/metrics"
 	"neobft/internal/transport"
 	"neobft/internal/wire"
+)
+
+// Flight-recorder event kinds for rare receiver-side events.
+var (
+	tkAOMGap        = metrics.RegisterTraceKind("aom_gap")         // a=seq
+	tkAOMForcedDrop = metrics.RegisterTraceKind("aom_forced_drop") // a=seq
+	tkAOMLaneFail   = metrics.RegisterTraceKind("aom_lane_fail")   // a=seq
+	tkAOMSigFail    = metrics.RegisterTraceKind("aom_sig_fail")    // a=seq
 )
 
 // Delivery is one event handed to the application: either an aom message
@@ -65,6 +74,9 @@ type ReceiverConfig struct {
 	// sends pending confirms at this interval, letting batches form
 	// under load ("batch processing confirm messages", §6.2).
 	ConfirmFlushEvery time.Duration
+	// Metrics, when non-nil, receives the receiver's aom_* counters and
+	// flight-recorder events (shared with the owning replica's registry).
+	Metrics *metrics.Registry
 }
 
 // confirmMagic tags confirm packets on the wire.
@@ -114,6 +126,16 @@ type Receiver struct {
 	dropped   uint64
 	cfSent    uint64
 	cfPackets uint64
+
+	// metrics (nil-safe: all remain nil no-ops without a registry)
+	mDelivered *metrics.Counter
+	mDropped   *metrics.Counter
+	mGaps      *metrics.Counter
+	mCfEntries *metrics.Counter
+	mCfPackets *metrics.Counter
+	mLaneFail  *metrics.Counter
+	mSigFail   *metrics.Counter
+	trace      *metrics.Recorder
 }
 
 type cfEntry struct {
@@ -129,6 +151,21 @@ func NewReceiver(cfg ReceiverConfig, ep EpochConfig) *Receiver {
 		cfg.ConfirmBatch = 1
 	}
 	r := &Receiver{cfg: cfg}
+	if reg := cfg.Metrics; reg != nil {
+		r.mDelivered = reg.Counter("aom_delivered_total")
+		r.mDropped = reg.Counter("aom_dropped_total")
+		r.mGaps = reg.Counter("aom_gap_total")
+		r.mCfEntries = reg.Counter("aom_confirm_entries_total")
+		r.mCfPackets = reg.Counter("aom_confirm_packets_total")
+		r.mLaneFail = reg.Counter("aom_lane_fail_total")
+		r.mSigFail = reg.Counter("aom_sig_fail_total")
+		r.trace = reg.Recorder()
+		reg.Func("aom_reorder_pending", func() float64 {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			return float64(len(r.ready) + len(r.asm) + len(r.pend))
+		})
+	}
 	r.resetEpochLocked(ep)
 	if cfg.Byzantine && cfg.ConfirmFlushEvery > 0 {
 		r.flushStop = make(chan struct{})
@@ -420,6 +457,8 @@ func (r *Receiver) handleHM(hdr *wire.AOMHeader, payload []byte, laneOK *bool) {
 		}
 		if !ok {
 			delete(r.asm, hdr.Seq) // forged or truncated packet
+			r.mLaneFail.Inc()
+			r.trace.Record(tkAOMLaneFail, hdr.Seq, 0)
 			return
 		}
 		a.ownOK = true
@@ -453,6 +492,8 @@ func (r *Receiver) handlePK(hdr *wire.AOMHeader, payload []byte, sigOK *bool) {
 			ok = r.pk.Verify(h[:], sig)
 		}
 		if !ok {
+			r.mSigFail.Inc()
+			r.trace.Record(tkAOMSigFail, hdr.Seq, 0)
 			return
 		}
 		r.authenticated(p)
@@ -527,6 +568,7 @@ func (r *Receiver) authenticated(p *authPkt) {
 			r.storeConfirm(seq, hash, r.cfg.SelfIndex, tag)
 			r.pendingCf = append(r.pendingCf, cfEntry{seq: seq, hash: hash, tag: tag})
 			r.cfSent++
+			r.mCfEntries.Inc()
 		}
 		r.checkQuorum(seq)
 	}
@@ -641,6 +683,7 @@ func (r *Receiver) sendConfirms(batch []cfEntry) {
 	r.mu.Lock()
 	epoch := r.epoch
 	r.cfPackets++
+	r.mCfPackets.Inc()
 	r.mu.Unlock()
 	w := wire.NewWriter(64 + len(batch)*96)
 	w.U16(confirmMagic)
@@ -694,6 +737,7 @@ func (r *Receiver) collectDeliveriesLocked() []Delivery {
 			r.cleanupSeqLocked(r.nextSeq)
 			out = append(out, Delivery{Epoch: r.epoch, Seq: r.nextSeq, Payload: p.payload, Cert: cert})
 			r.delivered++
+			r.mDelivered.Inc()
 			r.nextSeq++
 			continue
 		}
@@ -702,6 +746,8 @@ func (r *Receiver) collectDeliveriesLocked() []Delivery {
 			delete(r.ready, r.nextSeq)
 			out = append(out, Delivery{Epoch: r.epoch, Seq: r.nextSeq, Dropped: true})
 			r.dropped++
+			r.mDropped.Inc()
+			r.trace.Record(tkAOMForcedDrop, r.nextSeq, uint64(r.epoch))
 			r.nextSeq++
 			continue
 		}
@@ -712,6 +758,9 @@ func (r *Receiver) collectDeliveriesLocked() []Delivery {
 		r.cleanupSeqLocked(r.nextSeq)
 		out = append(out, Delivery{Epoch: r.epoch, Seq: r.nextSeq, Dropped: true})
 		r.dropped++
+		r.mDropped.Inc()
+		r.mGaps.Inc()
+		r.trace.Record(tkAOMGap, r.nextSeq, uint64(r.epoch))
 		r.nextSeq++
 	}
 	return out

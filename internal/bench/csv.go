@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"time"
 
+	"neobft/internal/metrics"
 	"neobft/internal/sequencer"
 	"neobft/internal/simnet"
 )
@@ -25,6 +27,33 @@ func writeCSV(dir, name string, header []string, rows [][]string) error {
 		return err
 	}
 	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// writeCSVComment is writeCSV with a leading "# comment" line.
+// encoding/csv cannot emit comments, so the line is written to the file
+// directly before the csv.Writer takes over; csv.Reader consumers set
+// Comment = '#' to skip it.
+func writeCSVComment(dir, name, comment string, header []string, rows [][]string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintf(f, "# %s\n", comment); err != nil {
+		return err
+	}
 	w := csv.NewWriter(f)
 	if err := w.Write(header); err != nil {
 		return err
@@ -125,6 +154,56 @@ func CSVFig9(dir string, c ExpConfig) error {
 		[]string{"drop_rate", "tput_ops", "gap_agreements"}, rows)
 }
 
+// metricsSystems are the systems whose merged metric snapshots land in
+// metrics.csv: one representative per protocol family.
+var metricsSystems = []Protocol{Unreplicated, NeoHM, PBFT, Zyzzyva, HotStuff, MinBFT}
+
+// metricsCSVVersion identifies the metrics.csv column scheme; it is
+// bumped whenever flattening suffixes or name prefixes change, so
+// downstream plotting scripts can detect incompatible files from the
+// leading comment line.
+const metricsCSVVersion = "neobft-metrics-csv v1 (histogram columns: _count/_p50/_p99/_p999/_mean, latencies in ns)"
+
+// CSVMetrics runs a short load against one representative of each
+// protocol family and writes the system-wide metric snapshots as
+// metrics.csv: one row per system, one column per flattened metric.
+// Columns are the sorted union across all systems, zero-filled where a
+// system does not register the series, so the header is stable for a
+// given set of instrumented code paths.
+func CSVMetrics(dir string, c ExpConfig) error {
+	points := make(map[Protocol][]metrics.FlatPoint, len(metricsSystems))
+	colSet := map[string]bool{}
+	for _, p := range metricsSystems {
+		sys := Build(Options{Protocol: p})
+		res := Run(sys, Load{Clients: 4, Warmup: c.warmup(), Duration: c.window()})
+		sys.Close()
+		points[p] = res.Metrics
+		for _, pt := range res.Metrics {
+			colSet[pt.Name] = true
+		}
+	}
+	cols := make([]string, 0, len(colSet))
+	for name := range colSet {
+		cols = append(cols, name)
+	}
+	sort.Strings(cols)
+	header := append([]string{"system"}, cols...)
+	rows := make([][]string, 0, len(metricsSystems))
+	for _, p := range metricsSystems {
+		vals := make(map[string]float64, len(points[p]))
+		for _, pt := range points[p] {
+			vals[pt.Name] = pt.Value
+		}
+		row := make([]string, 0, len(header))
+		row = append(row, string(p))
+		for _, col := range cols {
+			row = append(row, ftoa(vals[col]))
+		}
+		rows = append(rows, row)
+	}
+	return writeCSVComment(dir, "metrics.csv", metricsCSVVersion, header, rows)
+}
+
 // CSVAll writes every figure's data series into dir.
 func CSVAll(dir string, c ExpConfig) error {
 	if err := CSVFig45(dir, c); err != nil {
@@ -136,5 +215,8 @@ func CSVAll(dir string, c ExpConfig) error {
 	if err := CSVFig7(dir, c); err != nil {
 		return err
 	}
-	return CSVFig9(dir, c)
+	if err := CSVFig9(dir, c); err != nil {
+		return err
+	}
+	return CSVMetrics(dir, c)
 }

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"neobft/internal/metrics"
 )
 
 // RunResult is the outcome of one closed-loop load run.
@@ -30,6 +32,13 @@ type RunResult struct {
 	PktsPerOp float64
 	// Committed is ops executed at replica 0 during the window.
 	Committed uint64
+	// Metrics is the system-wide metric snapshot: every node registry in
+	// sys.Metrics merged (counters summed, histograms bucket-merged) and
+	// flattened into sorted (name, value) points. Unlike the fields
+	// above, these are cumulative since system start — they include the
+	// warmup, because histogram percentiles cannot be windowed by
+	// differencing.
+	Metrics []metrics.FlatPoint
 }
 
 // Load describes one closed-loop run.
@@ -128,6 +137,13 @@ func Run(sys *System, load Load) RunResult {
 	wg.Wait()
 
 	var out RunResult
+	if len(sys.Metrics) > 0 {
+		snaps := make([][]metrics.Sample, len(sys.Metrics))
+		for i, reg := range sys.Metrics {
+			snaps[i] = reg.Snapshot()
+		}
+		out.Metrics = metrics.Flatten(metrics.Merge(snaps...))
+	}
 	for _, r := range results {
 		out.Latencies = append(out.Latencies, r.lats...)
 		out.Errors += r.errs

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"neobft/internal/metrics"
+)
+
+// flatValue finds a metric point by name in a flattened snapshot.
+func flatValue(t *testing.T, pts []metrics.FlatPoint, name string) float64 {
+	t.Helper()
+	for _, p := range pts {
+		if p.Name == name {
+			return p.Value
+		}
+	}
+	t.Fatalf("metric %q not in snapshot (%d points)", name, len(pts))
+	return 0
+}
+
+// TestMetricsCSVSmoke runs the metrics.csv exporter end to end and
+// checks that every protocol family's row carries nonzero runtime-stage
+// and protocol metric columns, and that the file leads with the
+// version comment.
+func TestMetricsCSVSmoke(t *testing.T) {
+	dir := t.TempDir()
+	if err := CSVMetrics(dir, ExpConfig{Short: true}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(filepath.Join(dir, "metrics.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	br := bufio.NewReader(f)
+	first, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(first, "# neobft-metrics-csv v1") {
+		t.Fatalf("missing version comment, got %q", first)
+	}
+
+	rd := csv.NewReader(br)
+	rows, err := rd.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1+len(metricsSystems) {
+		t.Fatalf("got %d rows, want header + %d systems", len(rows), len(metricsSystems))
+	}
+	header := rows[0]
+	col := map[string]int{}
+	for i, h := range header {
+		col[h] = i
+	}
+	for _, name := range []string{"system", "runtime_events_total", "runtime_verify_ns_count", "proto_commits_total"} {
+		if _, ok := col[name]; !ok {
+			t.Fatalf("column %q missing from header", name)
+		}
+	}
+	for _, row := range rows[1:] {
+		sysName := row[col["system"]]
+		for _, name := range []string{"runtime_events_total", "runtime_verify_ns_count", "proto_commits_total"} {
+			v, err := strconv.ParseFloat(row[col[name]], 64)
+			if err != nil {
+				t.Fatalf("%s %s: bad value %q", sysName, name, row[col[name]])
+			}
+			if v <= 0 {
+				t.Errorf("%s: %s = %v, want > 0", sysName, name, v)
+			}
+		}
+	}
+}

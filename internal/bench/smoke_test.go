@@ -15,6 +15,14 @@ func TestSmokeAllSystems(t *testing.T) {
 			if res.Throughput == 0 {
 				t.Fatalf("%s: zero throughput (errors=%d)", p, res.Errors)
 			}
+			// Every instrumented system must report live runtime-stage
+			// and protocol counters in the merged metric snapshot.
+			if v := flatValue(t, res.Metrics, "runtime_events_total"); v <= 0 {
+				t.Errorf("%s: runtime_events_total = %v, want > 0", p, v)
+			}
+			if v := flatValue(t, res.Metrics, "proto_commits_total"); v <= 0 {
+				t.Errorf("%s: proto_commits_total = %v, want > 0", p, v)
+			}
 			s := Summarize(res.Latencies)
 			t.Logf("%s: %.0f ops/s median %v p99 %v errors %d", p, res.Throughput, s.Median, s.P99, res.Errors)
 		})

@@ -7,6 +7,7 @@ package bench
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"time"
@@ -41,11 +42,18 @@ func Summarize(samples []time.Duration) LatencySummary {
 	}
 }
 
+// pct is the ceil nearest-rank percentile: the smallest sample such that
+// at least p% of the set is <= it. Truncating the rank instead of
+// rounding it up (the previous behaviour) returned the sample one rank
+// too low whenever p/100*n is fractional — e.g. p99 of 10 samples gave
+// rank 9 instead of rank 10.
 func pct(sorted []time.Duration, p float64) time.Duration {
 	if len(sorted) == 0 {
 		return 0
 	}
-	idx := int(p/100*float64(len(sorted))) - 1
+	// The epsilon keeps float noise (0.999*1000 = 999.0000000000001)
+	// from pushing an exact rank up a slot.
+	idx := int(math.Ceil(p/100*float64(len(sorted))-1e-9)) - 1
 	if idx < 0 {
 		idx = 0
 	}

@@ -29,6 +29,48 @@ func TestSummarize(t *testing.T) {
 	}
 }
 
+// TestPctNearestRank pins the ceil nearest-rank definition: pct returns
+// the smallest sample with at least p% of the set at or below it. The
+// n=10 rows are the cases the old truncating implementation got wrong
+// (p99 of 10 samples must be the maximum, not the 9th sample).
+func TestPctNearestRank(t *testing.T) {
+	seq := func(n int) []time.Duration {
+		out := make([]time.Duration, n)
+		for i := range out {
+			out[i] = time.Duration(i+1) * time.Microsecond
+		}
+		return out
+	}
+	cases := []struct {
+		name string
+		n    int
+		p    float64
+		want time.Duration
+	}{
+		{"p50 of 100", 100, 50, 50 * time.Microsecond},
+		{"p99 of 100", 100, 99, 99 * time.Microsecond},
+		{"p99.9 of 100", 100, 99.9, 100 * time.Microsecond},
+		{"p50 of 10", 10, 50, 5 * time.Microsecond},
+		{"p99 of 10", 10, 99, 10 * time.Microsecond},
+		{"p99.9 of 10", 10, 99.9, 10 * time.Microsecond},
+		{"p50 of 4", 4, 50, 2 * time.Microsecond},
+		{"p99 of 4", 4, 99, 4 * time.Microsecond},
+		{"p50 of 1", 1, 50, 1 * time.Microsecond},
+		{"p99.9 of 1", 1, 99.9, 1 * time.Microsecond},
+		{"p50 of 1000", 1000, 50, 500 * time.Microsecond},
+		{"p99 of 1000", 1000, 99, 990 * time.Microsecond},
+		{"p99.9 of 1000", 1000, 99.9, 999 * time.Microsecond},
+	}
+	for _, c := range cases {
+		if got := pct(seq(c.n), c.p); got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+	if got := pct(nil, 50); got != 0 {
+		t.Errorf("empty set: got %v, want 0", got)
+	}
+}
+
 func TestSummarizeDoesNotMutateInput(t *testing.T) {
 	samples := []time.Duration{5, 3, 1, 4, 2}
 	Summarize(samples)

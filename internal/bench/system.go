@@ -8,6 +8,7 @@ import (
 	"neobft/internal/configsvc"
 	"neobft/internal/crypto/auth"
 	"neobft/internal/hotstuff"
+	"neobft/internal/metrics"
 	"neobft/internal/minbft"
 	"neobft/internal/neobft"
 	"neobft/internal/pbft"
@@ -99,6 +100,11 @@ type System struct {
 	Committed func() uint64
 	// Replicas exposes protocol-specific handles (*neobft.Replica etc.).
 	Replicas []interface{}
+	// Metrics holds one registry per instrumented node: the replica
+	// registries in replica order, followed by sequencer-switch
+	// registries for the NeoBFT systems. Run merges them into the
+	// system-wide snapshot of RunResult.Metrics.
+	Metrics []*metrics.Registry
 	// Close stops everything.
 	Close func()
 }
@@ -235,9 +241,21 @@ func pktCounter(conns []*countingConn) func() []uint64 {
 }
 
 // newRuntime builds one replica runtime over a counted conn, honoring
-// the benchmark's worker override.
-func newRuntime(conn *countingConn, workers int) *runtime.Runtime {
-	return runtime.New(runtime.Config{Conn: conn, Workers: workers})
+// the benchmark's worker override and registering the runtime stages
+// into the replica's shared metrics registry.
+func newRuntime(conn *countingConn, workers int, reg *metrics.Registry) *runtime.Runtime {
+	return runtime.New(runtime.Config{Conn: conn, Workers: workers, Metrics: reg})
+}
+
+// newRegistries creates one shared metrics registry per replica and
+// records them on the system.
+func newRegistries(sys *System, n int) []*metrics.Registry {
+	regs := make([]*metrics.Registry, n)
+	for i := range regs {
+		regs[i] = metrics.NewRegistry()
+	}
+	sys.Metrics = append(sys.Metrics, regs...)
+	return regs
 }
 
 // busyCounter reports per-replica busy time (verification + apply) from
@@ -281,13 +299,17 @@ func buildNeo(sys *System, o Options, net *simnet.Network, f int) {
 	byz := o.Protocol == NeoBN
 	svc := configsvc.New(variant, []byte("aom-master"))
 	sys.Svc = svc
+	var swRegs []*metrics.Registry
 	for i := 0; i < 2; i++ {
 		id := switchBase + transport.NodeID(i)
+		swReg := metrics.NewRegistry()
 		sw := sequencer.New(net.Join(id), sequencer.Options{
 			Variant:  variant,
 			PKSeed:   []byte{byte(i + 1)},
 			SignRate: o.SignRate,
+			Metrics:  swReg,
 		})
+		swRegs = append(swRegs, swReg)
 		h := configsvc.SwitchHandle{ID: id, SW: sw}
 		sys.Switches = append(sys.Switches, h)
 		svc.RegisterSwitch(h)
@@ -301,9 +323,11 @@ func buildNeo(sys *System, o Options, net *simnet.Network, f int) {
 	auths := make([]*auth.HMACAuth, o.N)
 	csides := make([]*auth.ReplicaSide, o.N)
 	replicas := make([]*neobft.Replica, o.N)
+	regs := newRegistries(sys, o.N)
+	sys.Metrics = append(sys.Metrics, swRegs...)
 	for i := 0; i < o.N; i++ {
 		conns[i] = joinCounting(net, mem[i])
-		rts[i] = newRuntime(conns[i], o.VerifyWorkers)
+		rts[i] = newRuntime(conns[i], o.VerifyWorkers, regs[i])
 		auths[i] = auth.NewHMACAuth([]byte(replicaMaster), i, o.N)
 		csides[i] = auth.NewReplicaSide([]byte(clientMaster), i)
 		replicas[i] = neobft.New(neobft.Config{
@@ -320,6 +344,7 @@ func buildNeo(sys *System, o Options, net *simnet.Network, f int) {
 			ConfirmBatch:      16,
 			Svc:               svc,
 			Runtime:           rts[i],
+			Metrics:           regs[i],
 		})
 		sys.Replicas = append(sys.Replicas, replicas[i])
 	}
@@ -359,9 +384,10 @@ func buildPBFT(sys *System, o Options, net *simnet.Network, f int) {
 	auths := make([]*auth.HMACAuth, o.N)
 	csides := make([]*auth.ReplicaSide, o.N)
 	replicas := make([]*pbft.Replica, o.N)
+	regs := newRegistries(sys, o.N)
 	for i := 0; i < o.N; i++ {
 		conns[i] = joinCounting(net, mem[i])
-		rts[i] = newRuntime(conns[i], o.VerifyWorkers)
+		rts[i] = newRuntime(conns[i], o.VerifyWorkers, regs[i])
 		auths[i] = auth.NewHMACAuth([]byte(replicaMaster), i, o.N)
 		csides[i] = auth.NewReplicaSide([]byte(clientMaster), i)
 		replicas[i] = pbft.New(pbft.Config{
@@ -373,6 +399,7 @@ func buildPBFT(sys *System, o Options, net *simnet.Network, f int) {
 			App:        o.AppFactory(i),
 			BatchSize:  o.BatchSize,
 			Runtime:    rts[i],
+			Metrics:    regs[i],
 		})
 		sys.Replicas = append(sys.Replicas, replicas[i])
 	}
@@ -400,9 +427,10 @@ func buildZyzzyva(sys *System, o Options, net *simnet.Network, f int) {
 	auths := make([]*auth.HMACAuth, o.N)
 	csides := make([]*auth.ReplicaSide, o.N)
 	replicas := make([]*zyzzyva.Replica, o.N)
+	regs := newRegistries(sys, o.N)
 	for i := 0; i < o.N; i++ {
 		conns[i] = joinCounting(net, mem[i])
-		rts[i] = newRuntime(conns[i], o.VerifyWorkers)
+		rts[i] = newRuntime(conns[i], o.VerifyWorkers, regs[i])
 		auths[i] = auth.NewHMACAuth([]byte(replicaMaster), i, o.N)
 		csides[i] = auth.NewReplicaSide([]byte(clientMaster), i)
 		replicas[i] = zyzzyva.New(zyzzyva.Config{
@@ -415,6 +443,7 @@ func buildZyzzyva(sys *System, o Options, net *simnet.Network, f int) {
 			BatchSize:  o.BatchSize,
 			Silent:     o.Protocol == ZyzzyvaF && i == o.N-1,
 			Runtime:    rts[i],
+			Metrics:    regs[i],
 		})
 		sys.Replicas = append(sys.Replicas, replicas[i])
 	}
@@ -446,9 +475,10 @@ func buildHotStuff(sys *System, o Options, net *simnet.Network, f int) {
 	auths := make([]*auth.HMACAuth, o.N)
 	csides := make([]*auth.ReplicaSide, o.N)
 	replicas := make([]*hotstuff.Replica, o.N)
+	regs := newRegistries(sys, o.N)
 	for i := 0; i < o.N; i++ {
 		conns[i] = joinCounting(net, mem[i])
-		rts[i] = newRuntime(conns[i], o.VerifyWorkers)
+		rts[i] = newRuntime(conns[i], o.VerifyWorkers, regs[i])
 		auths[i] = auth.NewHMACAuth([]byte(replicaMaster), i, o.N)
 		csides[i] = auth.NewReplicaSide([]byte(clientMaster), i)
 		replicas[i] = hotstuff.New(hotstuff.Config{
@@ -460,6 +490,7 @@ func buildHotStuff(sys *System, o Options, net *simnet.Network, f int) {
 			App:        o.AppFactory(i),
 			BatchSize:  o.BatchSize,
 			Runtime:    rts[i],
+			Metrics:    regs[i],
 		})
 		sys.Replicas = append(sys.Replicas, replicas[i])
 	}
@@ -489,9 +520,10 @@ func buildMinBFT(sys *System, o Options, net *simnet.Network, f int) {
 	csides := make([]*auth.ReplicaSide, n)
 	usigs := make([]*usig.USIG, n)
 	replicas := make([]*minbft.Replica, n)
+	regs := newRegistries(sys, n)
 	for i := 0; i < n; i++ {
 		conns[i] = joinCounting(net, mem[i])
-		rts[i] = newRuntime(conns[i], o.VerifyWorkers)
+		rts[i] = newRuntime(conns[i], o.VerifyWorkers, regs[i])
 		auths[i] = auth.NewHMACAuth([]byte(replicaMaster), i, n)
 		csides[i] = auth.NewReplicaSide([]byte(clientMaster), i)
 		usigs[i] = usig.New(uint32(i), []byte("sgx-master")).WithEnclaveDelay(o.USIGDelay)
@@ -505,6 +537,7 @@ func buildMinBFT(sys *System, o Options, net *simnet.Network, f int) {
 			USIG:       usigs[i],
 			BatchSize:  o.BatchSize,
 			Runtime:    rts[i],
+			Metrics:    regs[i],
 		})
 		sys.Replicas = append(sys.Replicas, replicas[i])
 	}
@@ -535,10 +568,12 @@ func buildMinBFT(sys *System, o Options, net *simnet.Network, f int) {
 
 func buildUnreplicated(sys *System, o Options, net *simnet.Network) {
 	conn := joinCounting(net, 1)
-	rt := newRuntime(conn, o.VerifyWorkers)
+	regs := newRegistries(sys, 1)
+	rt := newRuntime(conn, o.VerifyWorkers, regs[0])
 	cside := auth.NewReplicaSide([]byte(clientMaster), 0)
 	srv := unreplicated.New(unreplicated.Config{
 		Conn: conn, App: o.AppFactory(0), ClientAuth: cside, Runtime: rt,
+		Metrics: regs[0],
 	})
 	sys.Replicas = append(sys.Replicas, srv)
 	sys.PerReplicaMsgs = msgCounter([]*countingConn{conn})

@@ -15,11 +15,15 @@ import (
 	"sync"
 
 	"neobft/internal/crypto/auth"
+	"neobft/internal/metrics"
 	"neobft/internal/replication"
 	"neobft/internal/runtime"
 	"neobft/internal/transport"
 	"neobft/internal/wire"
 )
+
+// Flight-recorder event kind for three-chain block commits.
+var tkHSCommit = metrics.RegisterTraceKind("hotstuff_block_commit") // a=height, b=view
 
 // Message kinds.
 const (
@@ -40,6 +44,9 @@ type Config struct {
 	// Runtime hosts the replica's event loop and verification workers.
 	// If nil, New creates a default runtime over Conn.
 	Runtime *runtime.Runtime
+	// Metrics is the replica's shared registry (runtime stages plus
+	// proto_* series). If nil, the runtime's registry is used.
+	Metrics *metrics.Registry
 }
 
 type qc struct {
@@ -83,6 +90,14 @@ type Replica struct {
 	table     *replication.ClientTable
 
 	executedOps uint64
+
+	// metrics (nil-safe no-ops when unconfigured)
+	reg         *metrics.Registry
+	mCommits    *metrics.Counter
+	mBlocks     *metrics.Counter
+	mAuthFail   *metrics.Counter
+	msgCounters map[uint8]*metrics.Counter
+	trace       *metrics.Recorder
 }
 
 var genesisHash [32]byte
@@ -109,12 +124,31 @@ func New(cfg Config) *Replica {
 	r.highQC = &qc{view: 0, block: genesisHash}
 	r.lockedQC = r.highQC
 	if cfg.Runtime == nil {
-		cfg.Runtime = runtime.New(runtime.Config{Conn: cfg.Conn})
+		cfg.Runtime = runtime.New(runtime.Config{Conn: cfg.Conn, Metrics: cfg.Metrics})
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = cfg.Runtime.Metrics()
+	}
+	r.cfg.Metrics = cfg.Metrics
+	r.cfg.Runtime = cfg.Runtime
+	reg := cfg.Metrics
+	r.reg = reg
+	r.mCommits = reg.Counter("proto_commits_total")
+	r.mBlocks = reg.Counter("proto_block_commits_total")
+	r.mAuthFail = reg.Counter("proto_auth_fail_total")
+	r.msgCounters = map[uint8]*metrics.Counter{
+		replication.KindRequest: reg.Counter("proto_msg_client_request_total"),
+		kindPropose:             reg.Counter("proto_msg_propose_total"),
+		kindVote:                reg.Counter("proto_msg_vote_total"),
+	}
+	r.trace = reg.Recorder()
 	r.rt = cfg.Runtime
 	r.rt.Start(r)
 	return r
 }
+
+// Metrics returns the replica's shared metrics registry.
+func (r *Replica) Metrics() *metrics.Registry { return r.reg }
 
 // Close stops the replica's runtime.
 func (r *Replica) Close() { r.rt.Close() }
@@ -203,6 +237,7 @@ func (r *Replica) VerifyPacket(from transport.NodeID, pkt []byte) runtime.Event 
 	if len(pkt) == 0 {
 		return nil
 	}
+	r.msgCounters[pkt[0]].Inc()
 	switch pkt[0] {
 	case replication.KindRequest:
 		req, err := replication.UnmarshalRequest(pkt[1:])
@@ -210,6 +245,7 @@ func (r *Replica) VerifyPacket(from transport.NodeID, pkt []byte) runtime.Event 
 			return nil
 		}
 		if !r.cfg.ClientAuth.VerifyClient(int64(req.Client), req.SignedBody(), req.Auth) {
+			r.mAuthFail.Inc()
 			return nil
 		}
 		return evRequest{req: req}
@@ -229,6 +265,7 @@ func (r *Replica) VerifyPacket(from transport.NodeID, pkt []byte) runtime.Event 
 			return nil
 		}
 		if !r.cfg.Auth.VerifyVector(int(replica), voteBody(view, hash, replica), tag) {
+			r.mAuthFail.Inc()
 			return nil
 		}
 		return evVote{replica: replica, view: view, hash: hash, tag: tag}
@@ -545,6 +582,8 @@ func (r *Replica) commitLocked(b *block) {
 		blk := chain[i]
 		r.committed[blk.hash] = true
 		r.lastExec = blk.height
+		r.mBlocks.Inc()
+		r.trace.Record(tkHSCommit, blk.height, blk.view)
 		for _, req := range blk.batch {
 			fresh, cached := r.table.Check(req.Client, req.ReqID)
 			if !fresh {
@@ -555,6 +594,7 @@ func (r *Replica) commitLocked(b *block) {
 			}
 			result, _ := r.cfg.App.Execute(req.Op)
 			r.executedOps++
+			r.mCommits.Inc()
 			rep := &replication.Reply{
 				View: blk.view, Replica: uint32(r.cfg.Self), Slot: blk.height,
 				ReqID: req.ReqID, Result: result,

@@ -1,0 +1,258 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total")
+	c.Inc()
+	c.Add(4)
+	if c.Load() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Load())
+	}
+	if again := r.Counter("ops_total"); again != c {
+		t.Fatal("Counter not idempotent per name")
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-2)
+	if g.Load() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Load())
+	}
+	// Nil receivers are no-ops so uninstrumented paths need no checks.
+	var nc *Counter
+	nc.Inc()
+	var ng *Gauge
+	ng.Set(1)
+	var nh *Histogram
+	nh.Observe(1)
+	var nr *Registry
+	if nr.Counter("x") != nil || nr.Snapshot() != nil {
+		t.Fatal("nil registry must return nil metrics")
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(0)    // bucket 0
+	h.Observe(1)    // bucket 1: [1,2)
+	h.Observe(1023) // bucket 10: [512,1024)
+	h.Observe(1024) // bucket 11: [1024,2048)
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("count = %d, want 4", s.Count)
+	}
+	for k, want := range map[int]uint64{0: 1, 1: 1, 10: 1, 11: 1} {
+		if s.Buckets[k] != want {
+			t.Fatalf("bucket %d = %d, want %d", k, s.Buckets[k], want)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := &Histogram{}
+	// 1000 observations uniform in [1000, 2000): all land in bucket 11
+	// ([1024,2048)) except the first few.
+	for i := 0; i < 1000; i++ {
+		h.Observe(uint64(1000 + i))
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		got := s.Quantile(q)
+		// True quantile is ~1000+1000q; power-of-two buckets guarantee a
+		// factor-of-two bound.
+		want := 1000 + 1000*q
+		if got < want/2 || got > want*2 {
+			t.Fatalf("q%.3f = %.0f, outside [%.0f, %.0f]", q, got, want/2, want*2)
+		}
+	}
+	if m := s.Mean(); m < 750 || m > 3000 {
+		t.Fatalf("mean = %.0f, outside factor-2 band of 1500", m)
+	}
+	if (&HistogramSnapshot{}).Quantile(0.99) != 0 {
+		t.Fatal("empty quantile not 0")
+	}
+}
+
+// TestHistogramConcurrency hammers one histogram from N goroutines while
+// a sampler snapshots continuously, asserting count conservation (every
+// observation lands in exactly one bucket) and per-bucket monotonicity
+// across snapshots. Run with -race.
+func TestHistogramConcurrency(t *testing.T) {
+	const (
+		workers = 8
+		perG    = 20000
+	)
+	h := &Histogram{}
+	stop := make(chan struct{})
+	var sampler sync.WaitGroup
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		var prev HistogramSnapshot
+		for {
+			s := h.Snapshot()
+			if s.Count > workers*perG {
+				t.Errorf("snapshot count %d exceeds total observations %d", s.Count, workers*perG)
+				return
+			}
+			var sum uint64
+			for k, n := range s.Buckets {
+				if n < prev.Buckets[k] {
+					t.Errorf("bucket %d decreased: %d -> %d", k, prev.Buckets[k], n)
+					return
+				}
+				sum += n
+			}
+			if sum != s.Count {
+				t.Errorf("bucket sum %d != count %d", sum, s.Count)
+				return
+			}
+			prev = *s
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			v := seed
+			for i := 0; i < perG; i++ {
+				v = v*6364136223846793005 + 1442695040888963407
+				h.Observe(v >> 40)
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+	close(stop)
+	sampler.Wait()
+
+	final := h.Snapshot()
+	if final.Count != workers*perG {
+		t.Fatalf("final count %d, want %d (observations lost or duplicated)", final.Count, workers*perG)
+	}
+}
+
+func TestRegistrySnapshotStableOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_last").Inc()
+	r.Gauge("a_first").Set(3)
+	r.Histogram("m_mid").Observe(100)
+	r.Func("q_func", func() float64 { return 42 })
+	snap := r.Snapshot()
+	names := make([]string, len(snap))
+	for i, s := range snap {
+		names[i] = s.Name
+	}
+	want := []string{"a_first", "m_mid", "q_func", "z_last"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("snapshot order %v, want %v", names, want)
+	}
+	flat := Flatten(snap)
+	byName := map[string]float64{}
+	for _, p := range flat {
+		byName[p.Name] = p.Value
+	}
+	if byName["q_func"] != 42 || byName["z_last"] != 1 || byName["m_mid_count"] != 1 {
+		t.Fatalf("flatten values wrong: %v", byName)
+	}
+	for i := 1; i < len(flat); i++ {
+		if flat[i].Name <= flat[i-1].Name {
+			t.Fatal("flatten order not strictly sorted")
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	r1, r2 := NewRegistry(), NewRegistry()
+	r1.Counter("proto_commits_total").Add(3)
+	r2.Counter("proto_commits_total").Add(4)
+	r1.Histogram("runtime_verify_ns").Observe(100)
+	r2.Histogram("runtime_verify_ns").Observe(100000)
+	merged := Merge(r1.Snapshot(), r2.Snapshot())
+	got := map[string]Sample{}
+	for _, s := range merged {
+		got[s.Name] = s
+	}
+	if got["proto_commits_total"].Value != 7 {
+		t.Fatalf("merged counter = %v, want 7", got["proto_commits_total"].Value)
+	}
+	if got["runtime_verify_ns"].Hist.Count != 2 {
+		t.Fatalf("merged hist count = %d, want 2", got["runtime_verify_ns"].Hist.Count)
+	}
+}
+
+func TestWriteTextExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("proto_commits_total").Add(9)
+	r.Histogram("runtime_verify_ns").ObserveDuration(1500 * time.Nanosecond)
+	var b strings.Builder
+	WriteText(&b, Group{Labels: `replica="0"`, Registry: r})
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE proto_commits_total counter",
+		`proto_commits_total{replica="0"} 9`,
+		"# TYPE runtime_verify_ns histogram",
+		`runtime_verify_ns_bucket{replica="0",le="2048"} 1`,
+		`runtime_verify_ns_bucket{replica="0",le="+Inf"} 1`,
+		`runtime_verify_ns_count{replica="0"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestQuantileMonotoneAcrossBuckets(t *testing.T) {
+	h := &Histogram{}
+	for i := 0; i < 100; i++ {
+		h.Observe(uint64(1) << uint(i%20))
+	}
+	s := h.Snapshot()
+	prev := -1.0
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999} {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone: q=%v -> %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestBucketUpper(t *testing.T) {
+	if BucketUpper(0) != 1 || BucketUpper(1) != 2 || BucketUpper(10) != 1024 {
+		t.Fatal("bucket bounds wrong")
+	}
+	if BucketUpper(64) != math.MaxUint64 {
+		t.Fatal("top bucket bound must saturate")
+	}
+}
+
+// BenchmarkHistogram measures the hot-path record cost (acceptance
+// target: < ~50ns/op even under -race).
+func BenchmarkHistogram(b *testing.B) {
+	h := &Histogram{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i))
+	}
+}
+
+func BenchmarkCounter(b *testing.B) {
+	c := &Counter{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

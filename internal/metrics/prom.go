@@ -1,0 +1,164 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Group pairs a registry with the Prometheus labels identifying its
+// component, e.g. `replica="2"` or `node="sequencer"`.
+type Group struct {
+	Labels   string
+	Registry *Registry
+}
+
+// WriteText writes every group in Prometheus text exposition format
+// (version 0.0.4): one # TYPE line per metric name, then one sample
+// line per group. Histograms expose cumulative le buckets plus _count.
+func WriteText(w io.Writer, groups ...Group) {
+	type cell struct {
+		labels string
+		sample Sample
+	}
+	kinds := map[string]Kind{}
+	cells := map[string][]cell{}
+	var names []string
+	for _, g := range groups {
+		for _, s := range g.Registry.Snapshot() {
+			if _, seen := kinds[s.Name]; !seen {
+				kinds[s.Name] = s.Kind
+				names = append(names, s.Name)
+			}
+			cells[s.Name] = append(cells[s.Name], cell{labels: g.Labels, sample: s})
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		switch kinds[name] {
+		case KindCounter:
+			fmt.Fprintf(w, "# TYPE %s counter\n", name)
+		case KindHistogram:
+			fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+		default:
+			fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+		}
+		for _, c := range cells[name] {
+			if c.sample.Kind != KindHistogram {
+				fmt.Fprintf(w, "%s%s %s\n", name, promLabels(c.labels), formatFloat(c.sample.Value))
+				continue
+			}
+			h := c.sample.Hist
+			var cum uint64
+			for k, n := range h.Buckets {
+				if n == 0 {
+					continue
+				}
+				cum += n
+				fmt.Fprintf(w, "%s_bucket%s %d\n", name,
+					promLabels(joinLabels(c.labels, fmt.Sprintf("le=%q", strconv.FormatUint(BucketUpper(k), 10)))), cum)
+			}
+			fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(joinLabels(c.labels, `le="+Inf"`)), h.Count)
+			fmt.Fprintf(w, "%s_sum%s %s\n", name, promLabels(c.labels), formatFloat(h.Mean()*float64(h.Count)))
+			fmt.Fprintf(w, "%s_count%s %d\n", name, promLabels(c.labels), h.Count)
+		}
+	}
+}
+
+func promLabels(l string) string {
+	if l == "" {
+		return ""
+	}
+	return "{" + l + "}"
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Exporter aggregates registries for HTTP exposition. It implements
+// http.Handler (the /metrics endpoint).
+type Exporter struct {
+	mu     sync.Mutex
+	groups []Group
+}
+
+// Add registers a registry under the given label set.
+func (e *Exporter) Add(labels string, reg *Registry) {
+	if reg == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.groups = append(e.groups, Group{Labels: labels, Registry: reg})
+}
+
+// Groups returns a copy of the registered groups.
+func (e *Exporter) Groups() []Group {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Group(nil), e.groups...)
+}
+
+// ServeHTTP serves the Prometheus text exposition.
+func (e *Exporter) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	WriteText(w, e.Groups()...)
+}
+
+// WriteTraces dumps every group's flight recorder as JSON lines, each
+// line tagged with its group's labels.
+func (e *Exporter) WriteTraces(w io.Writer) error {
+	for _, g := range e.Groups() {
+		src := strings.ReplaceAll(g.Labels, `"`, "")
+		if err := g.Registry.Recorder().WriteJSONLines(w, src); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Serve starts an HTTP server on addr exposing:
+//
+//	/metrics       Prometheus text exposition of every registered group
+//	/trace         flight-recorder dump as JSON lines
+//	/debug/pprof/  the standard net/http/pprof profiling endpoints
+//
+// It returns the running server (Close to stop) and the bound address
+// (useful with ":0").
+func Serve(addr string, e *Exporter) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", e)
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		e.WriteTraces(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return srv, ln.Addr(), nil
+}

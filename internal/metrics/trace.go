@@ -1,0 +1,164 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The flight recorder is a fixed-size ring buffer of rare-path protocol
+// events (gaps, view changes, epoch switches, drops). Recording is
+// lock-free and race-clean: a writer reserves a slot with one atomic
+// add, publishes the fields through atomics, and seals the slot with
+// its global sequence number; a concurrent dump skips slots it catches
+// mid-write. The buffer can be dumped on fault or on demand (the
+// -trace-dump flag of cmd/neokv, or the /trace HTTP endpoint) as JSON
+// lines.
+
+// TraceKind identifies an event type. Kinds are interned process-wide
+// so the hot path stores a uint32 instead of a string.
+type TraceKind uint32
+
+var (
+	traceKindMu    sync.RWMutex
+	traceKindNames = []string{"unknown"}
+	traceKindIDs   = map[string]TraceKind{"unknown": 0}
+)
+
+// RegisterTraceKind interns an event-type name, returning its id.
+// Registering the same name twice returns the same id.
+func RegisterTraceKind(name string) TraceKind {
+	traceKindMu.Lock()
+	defer traceKindMu.Unlock()
+	if id, ok := traceKindIDs[name]; ok {
+		return id
+	}
+	id := TraceKind(len(traceKindNames))
+	traceKindNames = append(traceKindNames, name)
+	traceKindIDs[name] = id
+	return id
+}
+
+// String returns the interned name.
+func (k TraceKind) String() string {
+	traceKindMu.RLock()
+	defer traceKindMu.RUnlock()
+	if int(k) < len(traceKindNames) {
+		return traceKindNames[k]
+	}
+	return "unknown"
+}
+
+// defaultRecorderSize is the per-component ring capacity (power of two).
+const defaultRecorderSize = 4096
+
+// traceSlot is one ring entry. All fields are atomics so concurrent
+// record/dump stays race-clean; seq doubles as the publication flag
+// (0 = empty or mid-write).
+type traceSlot struct {
+	seq  atomic.Uint64
+	ts   atomic.Int64
+	kind atomic.Uint32
+	a, b atomic.Uint64
+}
+
+// Recorder is a fixed-size ring buffer of trace events. A nil Recorder
+// is valid and records nothing.
+type Recorder struct {
+	slots []traceSlot
+	mask  uint64
+	next  atomic.Uint64
+}
+
+// NewRecorder creates a recorder with capacity rounded up to a power of
+// two (minimum 16).
+func NewRecorder(size int) *Recorder {
+	n := 16
+	for n < size {
+		n <<= 1
+	}
+	return &Recorder{slots: make([]traceSlot, n), mask: uint64(n - 1)}
+}
+
+// Record appends one event with two uint64 arguments (slot numbers,
+// epochs, counts — whatever the kind defines). Safe from any goroutine.
+func (r *Recorder) Record(kind TraceKind, a, b uint64) {
+	if r == nil {
+		return
+	}
+	seq := r.next.Add(1)
+	s := &r.slots[(seq-1)&r.mask]
+	s.seq.Store(0) // invalidate while rewriting
+	s.ts.Store(time.Now().UnixNano())
+	s.kind.Store(uint32(kind))
+	s.a.Store(a)
+	s.b.Store(b)
+	s.seq.Store(seq)
+}
+
+// TraceEvent is one dumped event.
+type TraceEvent struct {
+	Seq  uint64 `json:"seq"`
+	TS   int64  `json:"ts_ns"`
+	Kind string `json:"kind"`
+	A    uint64 `json:"a"`
+	B    uint64 `json:"b"`
+}
+
+// Events snapshots the ring in sequence order, skipping slots caught
+// mid-write.
+func (r *Recorder) Events() []TraceEvent {
+	if r == nil {
+		return nil
+	}
+	out := make([]TraceEvent, 0, len(r.slots))
+	for i := range r.slots {
+		s := &r.slots[i]
+		seq := s.seq.Load()
+		if seq == 0 {
+			continue
+		}
+		ev := TraceEvent{
+			Seq:  seq,
+			TS:   s.ts.Load(),
+			Kind: TraceKind(s.kind.Load()).String(),
+			A:    s.a.Load(),
+			B:    s.b.Load(),
+		}
+		if s.seq.Load() != seq {
+			continue // torn: overwritten while reading
+		}
+		out = append(out, ev)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Len returns how many events were ever recorded (the ring keeps the
+// most recent cap entries).
+func (r *Recorder) Len() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.next.Load()
+}
+
+// WriteJSONLines dumps the ring as one JSON object per line. src, when
+// non-empty, is added to every line (e.g. "replica=2") so dumps from
+// several recorders can be concatenated.
+func (r *Recorder) WriteJSONLines(w io.Writer, src string) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range r.Events() {
+		line := struct {
+			TraceEvent
+			Src string `json:"src,omitempty"`
+		}{ev, src}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

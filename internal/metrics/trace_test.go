@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	kGap := RegisterTraceKind("gap")
+	kVC := RegisterTraceKind("view_change")
+	if RegisterTraceKind("gap") != kGap {
+		t.Fatal("RegisterTraceKind not idempotent")
+	}
+	r := NewRecorder(16)
+	r.Record(kGap, 7, 1)
+	r.Record(kVC, 2, 3)
+	evs := r.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2", len(evs))
+	}
+	if evs[0].Kind != "gap" || evs[0].A != 7 || evs[0].B != 1 {
+		t.Fatalf("event 0 = %+v", evs[0])
+	}
+	if evs[1].Seq <= evs[0].Seq {
+		t.Fatal("events not in sequence order")
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+}
+
+func TestRecorderWraps(t *testing.T) {
+	k := RegisterTraceKind("tick")
+	r := NewRecorder(16)
+	for i := 0; i < 100; i++ {
+		r.Record(k, uint64(i), 0)
+	}
+	evs := r.Events()
+	if len(evs) != 16 {
+		t.Fatalf("ring holds %d, want 16", len(evs))
+	}
+	if evs[0].A != 84 || evs[15].A != 99 {
+		t.Fatalf("ring kept wrong window: first=%d last=%d", evs[0].A, evs[15].A)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	k := RegisterTraceKind("conc")
+	r := NewRecorder(64)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				evs := r.Events()
+				for i := 1; i < len(evs); i++ {
+					if evs[i].Seq <= evs[i-1].Seq {
+						t.Error("dump out of order")
+						return
+					}
+				}
+			}
+		}
+	}()
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(id uint64) {
+			defer writers.Done()
+			for i := 0; i < 5000; i++ {
+				r.Record(k, id, uint64(i))
+			}
+		}(uint64(w))
+	}
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+	if r.Len() != 20000 {
+		t.Fatalf("Len = %d, want 20000", r.Len())
+	}
+}
+
+func TestRecorderJSONLines(t *testing.T) {
+	k := RegisterTraceKind("dump")
+	r := NewRecorder(16)
+	r.Record(k, 1, 2)
+	var b strings.Builder
+	if err := r.WriteJSONLines(&b, "replica=3"); err != nil {
+		t.Fatal(err)
+	}
+	line := b.String()
+	for _, want := range []string{`"kind":"dump"`, `"a":1`, `"b":2`, `"src":"replica=3"`} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("JSONL missing %q: %s", want, line)
+		}
+	}
+	var nilRec *Recorder
+	if nilRec.Events() != nil || nilRec.Len() != 0 {
+		t.Fatal("nil recorder must be inert")
+	}
+	nilRec.Record(k, 0, 0)
+	if err := nilRec.WriteJSONLines(&b, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryRecorderLazy(t *testing.T) {
+	r := NewRegistry()
+	rec := r.Recorder()
+	if rec == nil || r.Recorder() != rec {
+		t.Fatal("registry recorder not lazily memoized")
+	}
+}

@@ -17,12 +17,16 @@ import (
 	"time"
 
 	"neobft/internal/crypto/auth"
+	"neobft/internal/metrics"
 	"neobft/internal/replication"
 	"neobft/internal/runtime"
 	"neobft/internal/transport"
 	"neobft/internal/usig"
 	"neobft/internal/wire"
 )
+
+// Flight-recorder event kind for rejected (non-sequential or forged) UIs.
+var tkMinbftUIFail = metrics.RegisterTraceKind("minbft_ui_fail") // a=replica, b=counter
 
 // Message kinds.
 const (
@@ -47,6 +51,9 @@ type Config struct {
 	// Runtime hosts the replica's event loop and verification workers.
 	// If nil, New creates a default runtime over Conn.
 	Runtime *runtime.Runtime
+	// Metrics is the replica's shared registry (runtime stages plus
+	// proto_* series). If nil, the runtime's registry is used.
+	Metrics *metrics.Registry
 }
 
 type slot struct {
@@ -73,6 +80,13 @@ type Replica struct {
 	table    *replication.ClientTable
 
 	executedOps uint64
+
+	// metrics (nil-safe no-ops when unconfigured)
+	reg         *metrics.Registry
+	mCommits    *metrics.Counter
+	mAuthFail   *metrics.Counter
+	msgCounters map[uint8]*metrics.Counter
+	trace       *metrics.Recorder
 }
 
 // New creates and starts a MinBFT replica.
@@ -84,7 +98,10 @@ func New(cfg Config) *Replica {
 		cfg.Window = 2
 	}
 	if cfg.Runtime == nil {
-		cfg.Runtime = runtime.New(runtime.Config{Conn: cfg.Conn})
+		cfg.Runtime = runtime.New(runtime.Config{Conn: cfg.Conn, Metrics: cfg.Metrics})
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = cfg.Runtime.Metrics()
 	}
 	r := &Replica{
 		cfg:      cfg,
@@ -95,9 +112,22 @@ func New(cfg Config) *Replica {
 		inQueue:  map[string]bool{},
 		table:    replication.NewClientTable(),
 	}
+	reg := cfg.Metrics
+	r.reg = reg
+	r.mCommits = reg.Counter("proto_commits_total")
+	r.mAuthFail = reg.Counter("proto_auth_fail_total")
+	r.msgCounters = map[uint8]*metrics.Counter{
+		replication.KindRequest: reg.Counter("proto_msg_client_request_total"),
+		kindPrepare:             reg.Counter("proto_msg_prepare_total"),
+		kindCommit:              reg.Counter("proto_msg_commit_total"),
+	}
+	r.trace = reg.Recorder()
 	r.rt.Start(r)
 	return r
 }
+
+// Metrics returns the replica's shared metrics registry.
+func (r *Replica) Metrics() *metrics.Registry { return r.reg }
 
 // Close stops the replica's runtime.
 func (r *Replica) Close() { r.rt.Close() }
@@ -187,6 +217,7 @@ func (r *Replica) VerifyPacket(from transport.NodeID, pkt []byte) runtime.Event 
 	if len(pkt) == 0 {
 		return nil
 	}
+	r.msgCounters[pkt[0]].Inc()
 	switch pkt[0] {
 	case replication.KindRequest:
 		req, err := replication.UnmarshalRequest(pkt[1:])
@@ -194,6 +225,7 @@ func (r *Replica) VerifyPacket(from transport.NodeID, pkt []byte) runtime.Event 
 			return nil
 		}
 		if !r.cfg.ClientAuth.VerifyClient(int64(req.Client), req.SignedBody(), req.Auth) {
+			r.mAuthFail.Inc()
 			return nil
 		}
 		return evRequest{req: req}
@@ -223,6 +255,8 @@ func (r *Replica) VerifyPacket(from transport.NodeID, pkt []byte) runtime.Event 
 		prim := uint32(int(view) % r.cfg.N)
 		ui := usig.UI{Counter: counter, Cert: cert}
 		if !r.cfg.USIG.VerifyUI(prim, prepareDigest(view, bd), ui) {
+			r.mAuthFail.Inc()
+			r.trace.Record(tkMinbftUIFail, uint64(prim), counter)
 			return nil
 		}
 		if batchDigest(batch) != bd {
@@ -242,6 +276,8 @@ func (r *Replica) VerifyPacket(from transport.NodeID, pkt []byte) runtime.Event 
 		}
 		ui := usig.UI{Counter: uiCounter, Cert: uiCert}
 		if !r.cfg.USIG.VerifyUI(replica, commitDigest(view, replica, counter, bd), ui) {
+			r.mAuthFail.Inc()
+			r.trace.Record(tkMinbftUIFail, uint64(replica), uiCounter)
 			return nil
 		}
 		return evCommit{view: view, replica: replica, counter: counter, bd: bd, ui: ui}
@@ -401,6 +437,7 @@ func (r *Replica) maybeExecuteLocked() {
 			}
 			result, _ := r.cfg.App.Execute(req.Op)
 			r.executedOps++
+			r.mCommits.Inc()
 			rep := &replication.Reply{
 				View: r.view, Replica: uint32(r.cfg.Self), Slot: r.lastExec,
 				ReqID: req.ReqID, Result: result,

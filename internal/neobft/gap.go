@@ -544,6 +544,12 @@ func (r *Replica) maybeCommitGapLocked(slot uint64, g *gapSlot) {
 		g.gapCert = &GapCert{View: view, Slot: slot, Commits: parts}
 	}
 	r.gapAgreed++
+	r.mGapAgree.Inc()
+	var recvBit uint64
+	if recv {
+		recvBit = 1
+	}
+	r.trace.Record(tkGapCommitted, slot, recvBit)
 	r.applyCommittedGapLocked(slot, g)
 }
 

@@ -8,6 +8,7 @@ import (
 	"neobft/internal/aom"
 	"neobft/internal/configsvc"
 	"neobft/internal/crypto/auth"
+	"neobft/internal/metrics"
 	"neobft/internal/replication"
 	"neobft/internal/runtime"
 	"neobft/internal/transport"
@@ -68,6 +69,9 @@ type Config struct {
 	// Runtime hosts the replica's event loop and verification workers.
 	// If nil, New creates a default runtime over Conn.
 	Runtime *runtime.Runtime
+	// Metrics is the replica's shared registry (runtime stages, proto_*
+	// and aom_* series). If nil, the runtime's registry is used.
+	Metrics *metrics.Registry
 }
 
 // logEntry is one slot of the replica's log.
@@ -141,6 +145,40 @@ type Replica struct {
 	committedOps uint64
 	gapAgreed    uint64
 	viewChanges  uint64
+
+	// metrics (nil-safe no-ops when unconfigured)
+	reg         *metrics.Registry
+	mCommits    *metrics.Counter
+	mGapAgree   *metrics.Counter
+	mViewChg    *metrics.Counter
+	mEpochChg   *metrics.Counter
+	mSyncAdv    *metrics.Counter
+	mStateXfer  *metrics.Counter
+	mAuthFail   *metrics.Counter
+	mMsgAOM     *metrics.Counter
+	mMsgClient  *metrics.Counter
+	msgCounters map[uint8]*metrics.Counter
+	trace       *metrics.Recorder
+}
+
+// Flight-recorder event kinds for the rare-path protocol machinery.
+var (
+	tkGapCommitted = metrics.RegisterTraceKind("neobft_gap_committed") // a=slot, b=1 if recv
+	tkViewChange   = metrics.RegisterTraceKind("neobft_view_change")   // a=epoch, b=leader
+	tkEpochStart   = metrics.RegisterTraceKind("neobft_epoch_start")   // a=epoch, b=slot
+	tkSyncPoint    = metrics.RegisterTraceKind("neobft_sync_point")    // a=slot
+	tkStateXfer    = metrics.RegisterTraceKind("neobft_state_transfer")
+)
+
+// neobftKindNames names the protocol message kinds for per-type counters.
+var neobftKindNames = map[uint8]string{
+	kindQuery: "query", kindQueryReply: "query_reply",
+	kindGapFind: "gap_find", kindGapRecv: "gap_recv", kindGapDrop: "gap_drop",
+	kindGapDecision: "gap_decision", kindGapPrepare: "gap_prepare",
+	kindGapCommit: "gap_commit", kindViewChange: "view_change",
+	kindViewStart: "view_start", kindEpochStart: "epoch_start",
+	kindSync: "sync", kindStateRequest: "state_request",
+	kindStateReply: "state_reply",
 }
 
 // New creates and starts a NeoBFT replica. The initial view is epoch 1,
@@ -173,6 +211,29 @@ func New(cfg Config) *Replica {
 		syncs:             map[uint64]map[uint32][32]byte{},
 		pendingClientReqs: map[string]time.Time{},
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		if cfg.Runtime != nil {
+			reg = cfg.Runtime.Metrics()
+		} else {
+			reg = metrics.NewRegistry()
+		}
+	}
+	r.reg = reg
+	r.mCommits = reg.Counter("proto_commits_total")
+	r.mGapAgree = reg.Counter("proto_gap_agreements_total")
+	r.mViewChg = reg.Counter("proto_view_changes_total")
+	r.mEpochChg = reg.Counter("proto_epoch_changes_total")
+	r.mSyncAdv = reg.Counter("proto_sync_rounds_total")
+	r.mStateXfer = reg.Counter("proto_state_transfers_total")
+	r.mAuthFail = reg.Counter("proto_auth_fail_total")
+	r.mMsgAOM = reg.Counter("proto_msg_aom_total")
+	r.mMsgClient = reg.Counter("proto_msg_client_request_total")
+	r.msgCounters = make(map[uint8]*metrics.Counter, len(neobftKindNames))
+	for k, name := range neobftKindNames {
+		r.msgCounters[k] = reg.Counter("proto_msg_" + name + "_total")
+	}
+	r.trace = reg.Recorder()
 	ep, err := cfg.Svc.ReceiverEpochConfig(cfg.Group, cfg.Self)
 	if err != nil {
 		panic("neobft: group not configured: " + err.Error())
@@ -189,10 +250,11 @@ func New(cfg Config) *Replica {
 		Deliver:           r.onDeliver,
 		ConfirmBatch:      cfg.ConfirmBatch,
 		ConfirmFlushEvery: cfg.ConfirmFlushEvery,
+		Metrics:           reg,
 	}, ep)
 	r.installVerifier(1, ep)
 	if cfg.Runtime == nil {
-		cfg.Runtime = runtime.New(runtime.Config{Conn: cfg.Conn})
+		cfg.Runtime = runtime.New(runtime.Config{Conn: cfg.Conn, Metrics: reg})
 	}
 	r.rt = cfg.Runtime
 	r.rt.ArmEvery(cfg.TickInterval, r.onTick)
@@ -210,6 +272,9 @@ func (r *Replica) Close() {
 
 // Runtime returns the replica's runtime (for stats and draining).
 func (r *Replica) Runtime() *runtime.Runtime { return r.rt }
+
+// Metrics returns the replica's shared metrics registry.
+func (r *Replica) Metrics() *metrics.Registry { return r.reg }
 
 func (r *Replica) installVerifier(epoch uint32, ep aom.EpochConfig) {
 	v := &aom.CertVerifier{
@@ -332,6 +397,7 @@ func (r *Replica) VerifyPacket(from transport.NodeID, pkt []byte) runtime.Event 
 		if pre != nil && pre.Hdr != nil && pre.DigestOK {
 			r.preVerifyPayload(pre)
 		}
+		r.mMsgAOM.Inc()
 		return evAOM{pkt: pkt, pre: pre}
 	}
 	if len(pkt) == 0 {
@@ -343,14 +409,17 @@ func (r *Replica) VerifyPacket(from transport.NodeID, pkt []byte) runtime.Event 
 			return nil
 		}
 		if !r.cfg.ClientAuth.VerifyClient(int64(req.Client), req.SignedBody(), req.Auth) {
+			r.mAuthFail.Inc()
 			return nil
 		}
+		r.mMsgClient.Inc()
 		return evClientRequest{req: req}
 	}
 	switch pkt[0] {
 	case kindQuery, kindQueryReply, kindGapFind, kindGapRecv, kindGapDrop,
 		kindGapDecision, kindGapPrepare, kindGapCommit, kindViewChange,
 		kindViewStart, kindEpochStart, kindSync, kindStateRequest, kindStateReply:
+		r.msgCounters[pkt[0]].Inc()
 		return evProto{pkt: pkt}
 	}
 	return nil
@@ -368,6 +437,9 @@ func (r *Replica) preVerifyPayload(pre *aom.PreVerified) {
 		return // cache full; the loop falls back to inline verification
 	}
 	ok := r.cfg.ClientAuth.VerifyClient(int64(req.Client), req.SignedBody(), req.Auth)
+	if !ok {
+		r.mAuthFail.Inc()
+	}
 	if _, loaded := r.preAuth.LoadOrStore(pre.Hdr.Digest, ok); !loaded {
 		r.preAuthN.Add(1)
 	}
@@ -469,6 +541,9 @@ func (r *Replica) appendRequestLocked(cert *aom.OrderingCert) {
 			e.authOK = v.(bool)
 		} else {
 			e.authOK = r.cfg.ClientAuth.VerifyClient(int64(req.Client), req.SignedBody(), req.Auth)
+			if !e.authOK {
+				r.mAuthFail.Inc()
+			}
 		}
 	}
 	r.appendEntryLocked(e)
@@ -528,6 +603,7 @@ func (r *Replica) executeSlotLocked(slot uint64, e *logEntry) {
 		r.undoStack = append(r.undoStack, undoRec{slot: slot, client: req.Client, reqID: req.ReqID, undo: undo})
 	}
 	r.committedOps++
+	r.mCommits.Inc()
 	rep := &replication.Reply{
 		View:    r.view.Pack(),
 		Replica: uint32(r.cfg.Self),

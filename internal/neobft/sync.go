@@ -152,6 +152,8 @@ func (r *Replica) maybeAdvanceSyncLocked(slot uint64, _ [32]byte) {
 		if slot <= uint64(len(r.log)) && r.log[slot-1].logHash == h {
 			if slot > r.syncPoint {
 				r.syncPoint = slot
+				r.mSyncAdv.Inc()
+				r.trace.Record(tkSyncPoint, slot, 0)
 				r.pruneFinalizedLocked(slot)
 			}
 		} else if slot > uint64(len(r.log)) {
@@ -190,6 +192,8 @@ func (r *Replica) pruneFinalizedLocked(slot uint64) {
 // requestStateLocked asks the leader for log entries beyond our tail.
 // Caller holds r.mu.
 func (r *Replica) requestStateLocked() {
+	r.mStateXfer.Inc()
+	r.trace.Record(tkStateXfer, uint64(len(r.log)), 0)
 	w := wire.NewWriter(24)
 	w.U8(kindStateRequest)
 	w.U64(r.view.Pack())

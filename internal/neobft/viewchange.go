@@ -497,6 +497,8 @@ func (r *Replica) finishViewChangeLocked() {
 		}
 	}
 	r.viewChanges++
+	r.mViewChg.Inc()
+	r.trace.Record(tkViewChange, uint64(r.view.Epoch), uint64(r.view.Leader))
 	// Re-process deliveries buffered across the view change and re-raise
 	// any aom sequence numbers that were consumed before the view change
 	// but whose slots did not survive the log merge: they become gaps the
@@ -587,6 +589,8 @@ func (r *Replica) maybeFinishEpochStartLocked() {
 	cert := &EpochCert{Epoch: epoch, Slot: mySlot, Starts: parts}
 	r.epochCerts[epoch] = cert
 	r.epochStart[epoch] = mySlot
+	r.mEpochChg.Inc()
+	r.trace.Record(tkEpochStart, uint64(epoch), mySlot)
 
 	// Install the new epoch's aom credentials.
 	view, err := r.cfg.Svc.View(r.cfg.Group)

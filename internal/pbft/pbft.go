@@ -12,11 +12,15 @@ import (
 	"time"
 
 	"neobft/internal/crypto/auth"
+	"neobft/internal/metrics"
 	"neobft/internal/replication"
 	"neobft/internal/runtime"
 	"neobft/internal/transport"
 	"neobft/internal/wire"
 )
+
+// Flight-recorder event kind for completed view changes.
+var tkPBFTViewChange = metrics.RegisterTraceKind("pbft_view_change") // a=view
 
 // Message kinds.
 const (
@@ -52,6 +56,9 @@ type Config struct {
 	// Runtime hosts the replica's event loop and verification workers.
 	// If nil, New creates a default runtime over Conn.
 	Runtime *runtime.Runtime
+	// Metrics is the replica's shared registry (runtime stages plus
+	// proto_* series). If nil, the runtime's registry is used.
+	Metrics *metrics.Registry
 }
 
 type slot struct {
@@ -98,6 +105,20 @@ type Replica struct {
 
 	executedOps uint64
 	viewChanges uint64
+
+	// metrics (nil-safe no-ops when unconfigured)
+	reg         *metrics.Registry
+	mCommits    *metrics.Counter
+	mViewChg    *metrics.Counter
+	mAuthFail   *metrics.Counter
+	msgCounters map[uint8]*metrics.Counter
+	trace       *metrics.Recorder
+}
+
+var pbftKindNames = map[uint8]string{
+	kindPrePrepare: "pre_prepare", kindPrepare: "prepare",
+	kindCommit: "commit", kindViewChange: "view_change",
+	kindNewView: "new_view", kindForward: "forward",
 }
 
 // New creates and starts a PBFT replica.
@@ -118,7 +139,10 @@ func New(cfg Config) *Replica {
 		cfg.TickInterval = 10 * time.Millisecond
 	}
 	if cfg.Runtime == nil {
-		cfg.Runtime = runtime.New(runtime.Config{Conn: cfg.Conn})
+		cfg.Runtime = runtime.New(runtime.Config{Conn: cfg.Conn, Metrics: cfg.Metrics})
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = cfg.Runtime.Metrics()
 	}
 	r := &Replica{
 		cfg:               cfg,
@@ -130,6 +154,17 @@ func New(cfg Config) *Replica {
 		pendingClientReqs: map[string]time.Time{},
 		rt:                cfg.Runtime,
 	}
+	reg := cfg.Metrics
+	r.reg = reg
+	r.mCommits = reg.Counter("proto_commits_total")
+	r.mViewChg = reg.Counter("proto_view_changes_total")
+	r.mAuthFail = reg.Counter("proto_auth_fail_total")
+	r.msgCounters = make(map[uint8]*metrics.Counter, len(pbftKindNames)+1)
+	r.msgCounters[replication.KindRequest] = reg.Counter("proto_msg_client_request_total")
+	for k, name := range pbftKindNames {
+		r.msgCounters[k] = reg.Counter("proto_msg_" + name + "_total")
+	}
+	r.trace = reg.Recorder()
 	r.rt.ArmEvery(cfg.TickInterval, r.onTick)
 	r.rt.Start(r)
 	return r
@@ -140,6 +175,9 @@ func (r *Replica) Close() { r.rt.Close() }
 
 // Runtime returns the replica's runtime (for stats and draining).
 func (r *Replica) Runtime() *runtime.Runtime { return r.rt }
+
+// Metrics returns the replica's shared metrics registry.
+func (r *Replica) Metrics() *metrics.Registry { return r.reg }
 
 // View returns the current view number.
 func (r *Replica) View() uint64 {
@@ -302,6 +340,7 @@ func (r *Replica) VerifyPacket(from transport.NodeID, pkt []byte) runtime.Event 
 	if len(pkt) == 0 {
 		return nil
 	}
+	r.msgCounters[pkt[0]].Inc()
 	switch pkt[0] {
 	case replication.KindRequest, kindForward:
 		req, err := replication.UnmarshalRequest(pkt[1:])
@@ -309,6 +348,7 @@ func (r *Replica) VerifyPacket(from transport.NodeID, pkt []byte) runtime.Event 
 			return nil
 		}
 		if !r.cfg.ClientAuth.VerifyClient(int64(req.Client), req.SignedBody(), req.Auth) {
+			r.mAuthFail.Inc()
 			return nil
 		}
 		return evRequest{req: req, forwarded: pkt[0] == kindForward}
@@ -331,6 +371,7 @@ func (r *Replica) VerifyPacket(from transport.NodeID, pkt []byte) runtime.Event 
 			return nil
 		}
 		if !r.cfg.Auth.VerifyVector(int(view)%r.cfg.N, body, tag) {
+			r.mAuthFail.Inc()
 			return nil
 		}
 		if batchDigest(batch) != digest {
@@ -343,6 +384,7 @@ func (r *Replica) VerifyPacket(from transport.NodeID, pkt []byte) runtime.Event 
 			return nil
 		}
 		if !r.cfg.Auth.VerifyVector(int(replica), prepBody(view, seq, digest, replica), tag) {
+			r.mAuthFail.Inc()
 			return nil
 		}
 		return evPrepare{replica: replica, view: view, seq: seq, digest: digest, tag: tag}
@@ -352,6 +394,7 @@ func (r *Replica) VerifyPacket(from transport.NodeID, pkt []byte) runtime.Event 
 			return nil
 		}
 		if !r.cfg.Auth.VerifyVector(int(replica), commitBody(view, seq, digest, replica), tag) {
+			r.mAuthFail.Inc()
 			return nil
 		}
 		return evCommit{replica: replica, view: view, seq: seq, digest: digest, tag: tag}
@@ -607,6 +650,7 @@ func (r *Replica) executeReadyLocked() {
 			}
 			result, _ := r.cfg.App.Execute(req.Op)
 			r.executedOps++
+			r.mCommits.Inc()
 			rep := &replication.Reply{
 				View:    r.view,
 				Replica: uint32(r.cfg.Self),

@@ -320,6 +320,8 @@ func (r *Replica) enterNewViewLocked(view uint64, msgs []*vcMsg) {
 	r.view = view
 	r.inVC = false
 	r.viewChanges++
+	r.mViewChg.Inc()
+	r.trace.Record(tkPBFTViewChange, view, 0)
 	r.pendingClientReqs = map[string]time.Time{}
 	for t := range r.vcMsgs {
 		if t <= view {

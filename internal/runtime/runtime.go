@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"neobft/internal/metrics"
 	"neobft/internal/transport"
 )
 
@@ -63,12 +64,20 @@ type Config struct {
 	// Queue bounds the number of in-flight packets (default 4096). When
 	// full, the delivery goroutine blocks, pushing back on the transport.
 	Queue int
+	// Metrics is the registry the runtime's stage instrumentation
+	// registers into (verify/apply latency histograms, queue depth,
+	// retirement lag). Replicas share one registry per node across the
+	// runtime, the protocol and libAOM. If nil, New creates a private one.
+	Metrics *metrics.Registry
 }
 
 type task struct {
 	from transport.NodeID
 	pkt  []byte
 	ev   Event
+	// enq is the arrival timestamp (UnixNano); the loop derives the
+	// retirement lag (queueing + verification) from it.
+	enq int64
 	// done is closed once ev is populated. Pre-resolved tasks (inline
 	// verification, injected calls) reuse a shared closed channel.
 	done chan struct{}
@@ -104,6 +113,13 @@ type Runtime struct {
 	verifyNS atomic.Int64
 	applyNS  atomic.Int64
 
+	metrics    *metrics.Registry
+	verifyHist *metrics.Histogram // per-packet VerifyPacket latency
+	applyHist  *metrics.Histogram // per-event ApplyEvent/timer latency
+	retireHist *metrics.Histogram // arrival → retirement lag
+	events     *metrics.Counter
+	timerFires *metrics.Counter
+
 	timers timerState
 }
 
@@ -129,8 +145,26 @@ func New(cfg Config) *Runtime {
 		verifyq: make(chan *task, cfg.Queue),
 		stop:    make(chan struct{}),
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	rt.metrics = reg
+	rt.verifyHist = reg.Histogram("runtime_verify_ns")
+	rt.applyHist = reg.Histogram("runtime_apply_ns")
+	rt.retireHist = reg.Histogram("runtime_retire_lag_ns")
+	rt.events = reg.Counter("runtime_events_total")
+	rt.timerFires = reg.Counter("runtime_timer_fires_total")
+	reg.Func("runtime_queue_depth", func() float64 { return float64(len(rt.ordered)) })
 	rt.timers.init()
 	return rt
+}
+
+// Metrics returns the registry the runtime registers its stage
+// instrumentation into (the one from Config.Metrics, or the private one
+// New created).
+func (rt *Runtime) Metrics() *metrics.Registry {
+	return rt.metrics
 }
 
 // Workers reports the resolved verification pool size (0 means inline).
@@ -174,18 +208,20 @@ func (rt *Runtime) onPacket(from transport.NodeID, pkt []byte) {
 	if rt.cfg.Workers < 0 {
 		start := time.Now()
 		ev := rt.handler.VerifyPacket(from, pkt)
-		rt.verifyNS.Add(time.Since(start).Nanoseconds())
+		d := time.Since(start)
+		rt.verifyNS.Add(d.Nanoseconds())
+		rt.verifyHist.ObserveDuration(d)
 		if ev == nil {
 			return
 		}
-		t := &task{from: from, ev: ev, done: closedChan}
+		t := &task{from: from, ev: ev, enq: start.UnixNano(), done: closedChan}
 		select {
 		case rt.ordered <- t:
 		case <-rt.stop:
 		}
 		return
 	}
-	t := &task{from: from, pkt: pkt, done: make(chan struct{})}
+	t := &task{from: from, pkt: pkt, enq: time.Now().UnixNano(), done: make(chan struct{})}
 	select {
 	case rt.ordered <- t:
 	case <-rt.stop:
@@ -226,7 +262,9 @@ func (rt *Runtime) worker() {
 		case t := <-rt.verifyq:
 			start := time.Now()
 			t.ev = rt.handler.VerifyPacket(t.from, t.pkt)
-			rt.verifyNS.Add(time.Since(start).Nanoseconds())
+			d := time.Since(start)
+			rt.verifyNS.Add(d.Nanoseconds())
+			rt.verifyHist.ObserveDuration(d)
 			close(t.done)
 		}
 	}
@@ -251,13 +289,21 @@ func (rt *Runtime) loop() {
 				return
 			}
 			start := time.Now()
+			if t.enq != 0 {
+				if lag := start.UnixNano() - t.enq; lag > 0 {
+					rt.retireHist.Observe(uint64(lag))
+				}
+			}
 			switch {
 			case t.call != nil:
 				t.call()
 			case t.ev != nil:
 				rt.handler.ApplyEvent(t.from, t.ev)
+				rt.events.Inc()
 			}
-			rt.applyNS.Add(time.Since(start).Nanoseconds())
+			d := time.Since(start)
+			rt.applyNS.Add(d.Nanoseconds())
+			rt.applyHist.ObserveDuration(d)
 		}
 	}
 }
@@ -266,7 +312,10 @@ func (rt *Runtime) runDueTimers() {
 	for _, fn := range rt.timers.due(time.Now()) {
 		start := time.Now()
 		fn()
-		rt.applyNS.Add(time.Since(start).Nanoseconds())
+		d := time.Since(start)
+		rt.applyNS.Add(d.Nanoseconds())
+		rt.applyHist.ObserveDuration(d)
+		rt.timerFires.Inc()
 	}
 }
 

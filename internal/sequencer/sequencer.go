@@ -23,8 +23,15 @@ import (
 
 	"neobft/internal/crypto/secp256k1"
 	"neobft/internal/crypto/siphash"
+	"neobft/internal/metrics"
 	"neobft/internal/transport"
 	"neobft/internal/wire"
+)
+
+// Flight-recorder event kinds for rare sequencer-side events.
+var (
+	tkSeqDrop  = metrics.RegisterTraceKind("seq_injected_drop") // a=seq
+	tkSeqEquiv = metrics.RegisterTraceKind("seq_equivocate")    // a=seq, b=victims
 )
 
 // SubgroupSize is the number of HMAC lanes the switch pipeline computes
@@ -76,6 +83,9 @@ type Options struct {
 	SignRate float64
 	// SignBurst is the precompute table (stock) capacity. Default 32.
 	SignBurst int
+	// Metrics, when non-nil, receives the switch's seq_* counters
+	// (stamped/signed packets, injected drops) and trace events.
+	Metrics *metrics.Registry
 }
 
 // Switch is a software aom sequencer. It attaches to the network as an
@@ -107,6 +117,12 @@ type Switch struct {
 
 	stamped uint64
 	signed  uint64
+
+	// metrics (nil-safe no-ops without a registry)
+	mStamped *metrics.Counter
+	mSigned  *metrics.Counter
+	mDrops   *metrics.Counter
+	trace    *metrics.Recorder
 }
 
 // New creates a switch on the given connection. The connection's handler
@@ -129,6 +145,22 @@ func New(conn transport.Conn, opts Options) *Switch {
 			panic("sequencer: key generation failed: " + err.Error())
 		}
 		s.pk = key
+	}
+	if reg := opts.Metrics; reg != nil {
+		s.mStamped = reg.Counter("seq_stamped_total")
+		s.mSigned = reg.Counter("seq_signed_total")
+		s.mDrops = reg.Counter("seq_injected_drops_total")
+		s.trace = reg.Recorder()
+		// Fraction of stamped aom-pk packets carrying a real signature
+		// (the rest ride the hash chain); 0 when nothing stamped yet.
+		reg.Func("seq_signing_ratio", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			if s.stamped == 0 {
+				return 0
+			}
+			return float64(s.signed) / float64(s.stamped)
+		})
 	}
 	conn.SetHandler(s.handle)
 	return s
@@ -227,6 +259,7 @@ func (s *Switch) handle(from transport.NodeID, pktBytes []byte) {
 	g.counter++
 	seq := g.counter
 	s.stamped++
+	s.mStamped.Inc()
 	stamp := wire.AOMHeader{
 		Kind:   s.opts.Variant,
 		Group:  hdr.Group,
@@ -237,6 +270,8 @@ func (s *Switch) handle(from transport.NodeID, pktBytes []byte) {
 
 	if s.fault == FaultDropAll || s.dropSeqs[seq] {
 		delete(s.dropSeqs, seq)
+		s.mDrops.Inc()
+		s.trace.Record(tkSeqDrop, seq, uint64(hdr.Group))
 		// The counter advanced: receivers will observe a gap.
 		if s.opts.Variant == wire.AuthPK {
 			stamp.Chain = g.chain
@@ -257,11 +292,13 @@ func (s *Switch) handle(from transport.NodeID, pktBytes []byte) {
 		s.forceSign = false
 		if stamp.Signed {
 			s.signed++
+			s.mSigned.Inc()
 		}
 		members := g.cfg.Members
 		equivFrom := len(members)
 		if s.fault == FaultEquivocate {
 			equivFrom = len(members) - s.equivVictims
+			s.trace.Record(tkSeqEquiv, seq, uint64(s.equivVictims))
 		}
 		s.mu.Unlock()
 		s.emitPK(members, &stamp, payload, equivFrom)

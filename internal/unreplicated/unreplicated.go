@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"neobft/internal/crypto/auth"
+	"neobft/internal/metrics"
 	"neobft/internal/replication"
 	"neobft/internal/runtime"
 	"neobft/internal/transport"
@@ -22,6 +23,9 @@ type Config struct {
 	// Runtime hosts the server's event loop and verification workers.
 	// If nil, New creates a default runtime over Conn.
 	Runtime *runtime.Runtime
+	// Metrics is the server's shared registry (runtime stages plus
+	// proto_* series). If nil, the runtime's registry is used.
+	Metrics *metrics.Registry
 }
 
 // Server is the unreplicated service endpoint.
@@ -32,17 +36,34 @@ type Server struct {
 	mu    sync.Mutex
 	table *replication.ClientTable
 	ops   uint64
+
+	// metrics (nil-safe no-ops when unconfigured)
+	reg       *metrics.Registry
+	mCommits  *metrics.Counter
+	mAuthFail *metrics.Counter
+	mMsgReq   *metrics.Counter
 }
 
 // New creates and starts an unreplicated server.
 func New(cfg Config) *Server {
 	if cfg.Runtime == nil {
-		cfg.Runtime = runtime.New(runtime.Config{Conn: cfg.Conn})
+		cfg.Runtime = runtime.New(runtime.Config{Conn: cfg.Conn, Metrics: cfg.Metrics})
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = cfg.Runtime.Metrics()
 	}
 	s := &Server{cfg: cfg, rt: cfg.Runtime, table: replication.NewClientTable()}
+	reg := cfg.Metrics
+	s.reg = reg
+	s.mCommits = reg.Counter("proto_commits_total")
+	s.mAuthFail = reg.Counter("proto_auth_fail_total")
+	s.mMsgReq = reg.Counter("proto_msg_client_request_total")
 	s.rt.Start(s)
 	return s
 }
+
+// Metrics returns the server's shared metrics registry.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
 
 // NewServer attaches an unreplicated server to conn with a default
 // runtime (compatibility constructor).
@@ -75,8 +96,10 @@ func (s *Server) VerifyPacket(from transport.NodeID, pkt []byte) runtime.Event {
 		return nil
 	}
 	if !s.cfg.ClientAuth.VerifyClient(int64(req.Client), req.SignedBody(), req.Auth) {
+		s.mAuthFail.Inc()
 		return nil
 	}
+	s.mMsgReq.Inc()
 	return evRequest{req: req}
 }
 
@@ -94,6 +117,7 @@ func (s *Server) ApplyEvent(from transport.NodeID, ev runtime.Event) {
 	}
 	result, _ := s.cfg.App.Execute(req.Op)
 	s.ops++
+	s.mCommits.Inc()
 	rep := &replication.Reply{Replica: 0, ReqID: req.ReqID, Result: result}
 	rep.Auth = s.cfg.ClientAuth.TagFor(int64(req.Client), rep.SignedBody())
 	s.table.Store(req.Client, req.ReqID, rep)

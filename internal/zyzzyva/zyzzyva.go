@@ -16,11 +16,15 @@ import (
 	"sync"
 
 	"neobft/internal/crypto/auth"
+	"neobft/internal/metrics"
 	"neobft/internal/replication"
 	"neobft/internal/runtime"
 	"neobft/internal/transport"
 	"neobft/internal/wire"
 )
+
+// Flight-recorder event kind for slow-path commit certificates.
+var tkZyzSlowPath = metrics.RegisterTraceKind("zyzzyva_slow_path") // a=seq
 
 // Message kinds.
 const (
@@ -48,6 +52,9 @@ type Config struct {
 	// Runtime hosts the replica's event loop and verification workers.
 	// If nil, New creates a default runtime over Conn.
 	Runtime *runtime.Runtime
+	// Metrics is the replica's shared registry (runtime stages plus
+	// proto_* series). If nil, the runtime's registry is used.
+	Metrics *metrics.Registry
 }
 
 // Replica is a Zyzzyva replica.
@@ -69,6 +76,19 @@ type Replica struct {
 	maxCC uint64
 
 	executedOps uint64
+
+	// metrics (nil-safe no-ops when unconfigured)
+	reg         *metrics.Registry
+	mCommits    *metrics.Counter
+	mSlowPath   *metrics.Counter
+	mAuthFail   *metrics.Counter
+	msgCounters map[uint8]*metrics.Counter
+	trace       *metrics.Recorder
+}
+
+var zyzKindNames = map[uint8]string{
+	kindOrderReq: "order_req", kindSpecResponse: "spec_response",
+	kindCommit: "commit", kindLocalCommit: "local_commit",
 }
 
 type orderReq struct {
@@ -92,7 +112,10 @@ func New(cfg Config) *Replica {
 		cfg.Window = 2
 	}
 	if cfg.Runtime == nil {
-		cfg.Runtime = runtime.New(runtime.Config{Conn: cfg.Conn})
+		cfg.Runtime = runtime.New(runtime.Config{Conn: cfg.Conn, Metrics: cfg.Metrics})
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = cfg.Runtime.Metrics()
 	}
 	r := &Replica{
 		cfg:      cfg,
@@ -102,9 +125,23 @@ func New(cfg Config) *Replica {
 		buffered: map[uint64]*orderReq{},
 		table:    replication.NewClientTable(),
 	}
+	reg := cfg.Metrics
+	r.reg = reg
+	r.mCommits = reg.Counter("proto_commits_total")
+	r.mSlowPath = reg.Counter("proto_slow_path_total")
+	r.mAuthFail = reg.Counter("proto_auth_fail_total")
+	r.msgCounters = make(map[uint8]*metrics.Counter, len(zyzKindNames)+1)
+	r.msgCounters[replication.KindRequest] = reg.Counter("proto_msg_client_request_total")
+	for k, name := range zyzKindNames {
+		r.msgCounters[k] = reg.Counter("proto_msg_" + name + "_total")
+	}
+	r.trace = reg.Recorder()
 	r.rt.Start(r)
 	return r
 }
+
+// Metrics returns the replica's shared metrics registry.
+func (r *Replica) Metrics() *metrics.Registry { return r.reg }
 
 // Close stops the replica's runtime.
 func (r *Replica) Close() { r.rt.Close() }
@@ -188,6 +225,7 @@ func (r *Replica) VerifyPacket(from transport.NodeID, pkt []byte) runtime.Event 
 	if r.cfg.Silent || len(pkt) == 0 {
 		return nil
 	}
+	r.msgCounters[pkt[0]].Inc()
 	switch pkt[0] {
 	case replication.KindRequest:
 		req, err := replication.UnmarshalRequest(pkt[1:])
@@ -195,6 +233,7 @@ func (r *Replica) VerifyPacket(from transport.NodeID, pkt []byte) runtime.Event 
 			return nil
 		}
 		if !r.cfg.ClientAuth.VerifyClient(int64(req.Client), req.SignedBody(), req.Auth) {
+			r.mAuthFail.Inc()
 			return nil
 		}
 		return evRequest{req: req}
@@ -243,6 +282,7 @@ func (r *Replica) verifyOrderReq(pkt []byte) *orderReq {
 		return nil
 	}
 	if !r.cfg.Auth.VerifyVector(int(view)%r.cfg.N, body, tag) {
+		r.mAuthFail.Inc()
 		return nil
 	}
 	if batchDigest(batch) != digest {
@@ -251,6 +291,9 @@ func (r *Replica) verifyOrderReq(pkt []byte) *orderReq {
 	authOK := make([]bool, len(batch))
 	for i, req := range batch {
 		authOK[i] = r.cfg.ClientAuth.VerifyClient(int64(req.Client), req.SignedBody(), req.Auth)
+		if !authOK[i] {
+			r.mAuthFail.Inc()
+		}
 	}
 	return &orderReq{view: view, seq: seq, digest: digest, history: history, batch: batch, authOK: authOK}
 }
@@ -414,6 +457,7 @@ func (r *Replica) executeLocked(o *orderReq) {
 		}
 		result, _ := r.cfg.App.Execute(req.Op)
 		r.executedOps++
+		r.mCommits.Inc()
 		rep := &replication.Reply{
 			View: o.view, Replica: uint32(r.cfg.Self), Slot: o.seq,
 			LogHash: o.history, ReqID: req.ReqID, Result: result, Speculative: true,
@@ -443,6 +487,8 @@ func (r *Replica) onCommit(from transport.NodeID, e evCommit) {
 	defer r.mu.Unlock()
 	if e.seq > r.maxCC {
 		r.maxCC = e.seq
+		r.mSlowPath.Inc()
+		r.trace.Record(tkZyzSlowPath, e.seq, 0)
 	}
 	// LOCAL-COMMIT back to the client.
 	w := wire.NewWriter(64)
