@@ -54,6 +54,8 @@ func main() {
 	benchDur := flag.Duration("bench", 0, "run YCSB-A closed-loop load for this long instead of the REPL")
 	verifyWorkers := flag.Int("verify-workers", 0,
 		"verification workers per replica (0 = runtime default, negative = inline)")
+	checkpointInterval := flag.Int("checkpoint-interval", 0,
+		"slots between checkpoints/sync points; bounds replica log memory (0 = protocol default)")
 	metricsAddr := flag.String("metrics", "",
 		"serve /metrics (Prometheus text), /trace and /debug/pprof on this address (empty = disabled)")
 	traceDump := flag.String("trace-dump", "",
@@ -103,6 +105,9 @@ func main() {
 	}
 	defer seqConn.Close()
 	seqReg := metrics.NewRegistry()
+	// Process-wide heap gauges live on exactly one registry so merged
+	// snapshots don't multiply the readings.
+	metrics.RegisterHeapGauges(seqReg)
 	exporter.Add(`node="sequencer"`, seqReg)
 	sw := sequencer.New(seqConn, sequencer.Options{Variant: wire.AuthHMAC, Metrics: seqReg})
 	svc.RegisterSwitch(configsvc.SwitchHandle{ID: seqID, SW: sw})
@@ -123,16 +128,17 @@ func main() {
 		exporter.Add(fmt.Sprintf(`replica="%d"`, i), reg)
 		r := neobft.New(neobft.Config{
 			Self: i, N: nReplicas, F: f,
-			Members:    memberIDs,
-			Group:      groupID,
-			Conn:       conn,
-			Auth:       auth.NewHMACAuth([]byte("replica-master"), i, nReplicas),
-			ClientAuth: auth.NewReplicaSide([]byte("client-master"), i),
-			App:        stores[i],
-			Variant:    wire.AuthHMAC,
-			Svc:        svc,
-			Runtime:    runtime.New(runtime.Config{Conn: conn, Workers: *verifyWorkers, Metrics: reg}),
-			Metrics:    reg,
+			Members:      memberIDs,
+			Group:        groupID,
+			Conn:         conn,
+			Auth:         auth.NewHMACAuth([]byte("replica-master"), i, nReplicas),
+			ClientAuth:   auth.NewReplicaSide([]byte("client-master"), i),
+			App:          stores[i],
+			Variant:      wire.AuthHMAC,
+			SyncInterval: *checkpointInterval,
+			Svc:          svc,
+			Runtime:      runtime.New(runtime.Config{Conn: conn, Workers: *verifyWorkers, Metrics: reg}),
+			Metrics:      reg,
 		})
 		defer r.Close()
 	}

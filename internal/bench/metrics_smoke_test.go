@@ -61,14 +61,16 @@ func TestMetricsCSVSmoke(t *testing.T) {
 	for i, h := range header {
 		col[h] = i
 	}
-	for _, name := range []string{"system", "runtime_events_total", "runtime_verify_ns_count", "proto_commits_total"} {
+	for _, name := range []string{"system", "runtime_events_total", "runtime_verify_ns_count", "proto_commits_total",
+		"runtime_heap_inuse_bytes", "runtime_heap_objects"} {
 		if _, ok := col[name]; !ok {
 			t.Fatalf("column %q missing from header", name)
 		}
 	}
 	for _, row := range rows[1:] {
 		sysName := row[col["system"]]
-		for _, name := range []string{"runtime_events_total", "runtime_verify_ns_count", "proto_commits_total"} {
+		for _, name := range []string{"runtime_events_total", "runtime_verify_ns_count", "proto_commits_total",
+			"runtime_heap_inuse_bytes"} {
 			v, err := strconv.ParseFloat(row[col[name]], 64)
 			if err != nil {
 				t.Fatalf("%s %s: bad value %q", sysName, name, row[col[name]])

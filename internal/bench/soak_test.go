@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"os"
+	goruntime "runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// watermarked is implemented by replica handles exposing the shared
+// seqlog window (all six protocols after the bounded-memory refactor).
+type watermarked interface {
+	LowWatermark() uint64
+	HighWatermark() uint64
+}
+
+// TestSoakMemoryBoundedLog drives at least 200k committed operations
+// through NeoBFT and PBFT with a small checkpoint interval and asserts
+// two invariants of the bounded-memory log:
+//
+//  1. every replica's retained window (high − low watermark) never
+//     exceeds two checkpoint intervals once checkpoints are flowing, and
+//  2. the process heap stays under a fixed ceiling — the ground truth
+//     that truncation actually releases slot memory.
+//
+// Gated behind NEOBFT_SOAK=1: it runs for minutes, not milliseconds.
+func TestSoakMemoryBoundedLog(t *testing.T) {
+	if os.Getenv("NEOBFT_SOAK") == "" {
+		t.Skip("set NEOBFT_SOAK=1 to run the memory-bounded soak")
+	}
+	const (
+		targetOps = 200_000
+		interval  = 64
+		clients   = 16
+		heapCeil  = uint64(1) << 30 // 1 GiB: orders beyond a bounded window's need
+	)
+	for _, p := range []Protocol{NeoHM, PBFT} {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			sys := Build(Options{Protocol: p, CheckpointInterval: interval})
+			defer sys.Close()
+
+			var stop atomic.Bool
+			var errs atomic.Uint64
+			var wg sync.WaitGroup
+			for i := 0; i < clients; i++ {
+				cl := sys.NewClient(i)
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for !stop.Load() {
+						if _, err := cl.Invoke([]byte("soak-op"), 10*time.Second); err != nil {
+							errs.Add(1)
+						}
+					}
+				}()
+			}
+
+			// Sample the window and heap while the load runs.
+			var maxWindow, maxHeap uint64
+			deadline := time.Now().Add(10 * time.Minute)
+			for sys.Committed() < targetOps {
+				if time.Now().After(deadline) {
+					stop.Store(true)
+					wg.Wait()
+					t.Fatalf("soak stalled: %d/%d ops committed (errors=%d)",
+						sys.Committed(), targetOps, errs.Load())
+				}
+				time.Sleep(100 * time.Millisecond)
+				for i, h := range sys.Replicas {
+					r, ok := h.(watermarked)
+					if !ok {
+						t.Fatalf("replica %d (%T) exposes no watermarks", i, h)
+					}
+					low, high := r.LowWatermark(), r.HighWatermark()
+					if high-low > maxWindow {
+						maxWindow = high - low
+					}
+					if low > 0 && high-low > 2*interval {
+						stop.Store(true)
+						wg.Wait()
+						t.Fatalf("replica %d window [%d,%d] = %d slots exceeds two intervals (%d)",
+							i, low, high, high-low, 2*interval)
+					}
+				}
+				var ms goruntime.MemStats
+				goruntime.ReadMemStats(&ms)
+				if ms.HeapInuse > maxHeap {
+					maxHeap = ms.HeapInuse
+				}
+				if ms.HeapInuse > heapCeil {
+					stop.Store(true)
+					wg.Wait()
+					t.Fatalf("heap in use %d MiB exceeds ceiling %d MiB at %d ops",
+						ms.HeapInuse>>20, heapCeil>>20, sys.Committed())
+				}
+			}
+			stop.Store(true)
+			wg.Wait()
+
+			committed := sys.Committed()
+			// Post-run: truncation must have happened (the low watermark
+			// advanced with the run, leaving at most two intervals live).
+			for i, h := range sys.Replicas {
+				r := h.(watermarked)
+				low, high := r.LowWatermark(), r.HighWatermark()
+				if low == 0 {
+					t.Fatalf("replica %d never truncated (high=%d)", i, high)
+				}
+				if high-low > 2*interval {
+					t.Fatalf("replica %d final window [%d,%d] exceeds two intervals", i, low, high)
+				}
+			}
+			goruntime.GC()
+			var ms goruntime.MemStats
+			goruntime.ReadMemStats(&ms)
+			t.Logf("%s: %d ops committed, errors=%d, max window %d slots, peak heap %d MiB, settled heap %d MiB",
+				p, committed, errs.Load(), maxWindow, maxHeap>>20, ms.HeapInuse>>20)
+		})
+	}
+}

@@ -59,6 +59,11 @@ type Options struct {
 	Net simnet.Options
 	// BatchSize for the batching baselines (default 8).
 	BatchSize int
+	// CheckpointInterval is the slot interval between checkpoints for
+	// every protocol (NeoBFT sync points, PBFT/Zyzzyva/MinBFT stable
+	// checkpoints, HotStuff/unreplicated compaction). 0 keeps each
+	// protocol's default.
+	CheckpointInterval int
 	// SignRate for the aom-pk signing-ratio controller (signatures/sec;
 	// 0 = sign everything).
 	SignRate float64
@@ -248,12 +253,15 @@ func newRuntime(conn *countingConn, workers int, reg *metrics.Registry) *runtime
 }
 
 // newRegistries creates one shared metrics registry per replica and
-// records them on the system.
+// records them on the system. The process-wide Go heap gauges are
+// registered on the first registry only: Merge sums Func samples, so
+// registering them per replica would multiply the (shared) heap by n.
 func newRegistries(sys *System, n int) []*metrics.Registry {
 	regs := make([]*metrics.Registry, n)
 	for i := range regs {
 		regs[i] = metrics.NewRegistry()
 	}
+	metrics.RegisterHeapGauges(regs[0])
 	sys.Metrics = append(sys.Metrics, regs...)
 	return regs
 }
@@ -340,6 +348,7 @@ func buildNeo(sys *System, o Options, net *simnet.Network, f int) {
 			App:               o.AppFactory(i),
 			Variant:           variant,
 			Byzantine:         byz,
+			SyncInterval:      o.CheckpointInterval,
 			ConfirmFlushEvery: o.ConfirmFlushEvery,
 			ConfirmBatch:      16,
 			Svc:               svc,
@@ -392,14 +401,15 @@ func buildPBFT(sys *System, o Options, net *simnet.Network, f int) {
 		csides[i] = auth.NewReplicaSide([]byte(clientMaster), i)
 		replicas[i] = pbft.New(pbft.Config{
 			Self: i, N: o.N, F: f,
-			Members:    mem,
-			Conn:       conns[i],
-			Auth:       auths[i],
-			ClientAuth: csides[i],
-			App:        o.AppFactory(i),
-			BatchSize:  o.BatchSize,
-			Runtime:    rts[i],
-			Metrics:    regs[i],
+			Members:            mem,
+			Conn:               conns[i],
+			Auth:               auths[i],
+			ClientAuth:         csides[i],
+			App:                o.AppFactory(i),
+			BatchSize:          o.BatchSize,
+			CheckpointInterval: o.CheckpointInterval,
+			Runtime:            rts[i],
+			Metrics:            regs[i],
 		})
 		sys.Replicas = append(sys.Replicas, replicas[i])
 	}
@@ -435,15 +445,16 @@ func buildZyzzyva(sys *System, o Options, net *simnet.Network, f int) {
 		csides[i] = auth.NewReplicaSide([]byte(clientMaster), i)
 		replicas[i] = zyzzyva.New(zyzzyva.Config{
 			Self: i, N: o.N, F: f,
-			Members:    mem,
-			Conn:       conns[i],
-			Auth:       auths[i],
-			ClientAuth: csides[i],
-			App:        o.AppFactory(i),
-			BatchSize:  o.BatchSize,
-			Silent:     o.Protocol == ZyzzyvaF && i == o.N-1,
-			Runtime:    rts[i],
-			Metrics:    regs[i],
+			Members:            mem,
+			Conn:               conns[i],
+			Auth:               auths[i],
+			ClientAuth:         csides[i],
+			App:                o.AppFactory(i),
+			BatchSize:          o.BatchSize,
+			CheckpointInterval: o.CheckpointInterval,
+			Silent:             o.Protocol == ZyzzyvaF && i == o.N-1,
+			Runtime:            rts[i],
+			Metrics:            regs[i],
 		})
 		sys.Replicas = append(sys.Replicas, replicas[i])
 	}
@@ -483,14 +494,15 @@ func buildHotStuff(sys *System, o Options, net *simnet.Network, f int) {
 		csides[i] = auth.NewReplicaSide([]byte(clientMaster), i)
 		replicas[i] = hotstuff.New(hotstuff.Config{
 			Self: i, N: o.N, F: f,
-			Members:    mem,
-			Conn:       conns[i],
-			Auth:       auths[i],
-			ClientAuth: csides[i],
-			App:        o.AppFactory(i),
-			BatchSize:  o.BatchSize,
-			Runtime:    rts[i],
-			Metrics:    regs[i],
+			Members:            mem,
+			Conn:               conns[i],
+			Auth:               auths[i],
+			ClientAuth:         csides[i],
+			App:                o.AppFactory(i),
+			BatchSize:          o.BatchSize,
+			CheckpointInterval: o.CheckpointInterval,
+			Runtime:            rts[i],
+			Metrics:            regs[i],
 		})
 		sys.Replicas = append(sys.Replicas, replicas[i])
 	}
@@ -529,15 +541,16 @@ func buildMinBFT(sys *System, o Options, net *simnet.Network, f int) {
 		usigs[i] = usig.New(uint32(i), []byte("sgx-master")).WithEnclaveDelay(o.USIGDelay)
 		replicas[i] = minbft.New(minbft.Config{
 			Self: i, N: n, F: f,
-			Members:    mem,
-			Conn:       conns[i],
-			Auth:       auths[i],
-			ClientAuth: csides[i],
-			App:        o.AppFactory(i),
-			USIG:       usigs[i],
-			BatchSize:  o.BatchSize,
-			Runtime:    rts[i],
-			Metrics:    regs[i],
+			Members:            mem,
+			Conn:               conns[i],
+			Auth:               auths[i],
+			ClientAuth:         csides[i],
+			App:                o.AppFactory(i),
+			USIG:               usigs[i],
+			BatchSize:          o.BatchSize,
+			CheckpointInterval: o.CheckpointInterval,
+			Runtime:            rts[i],
+			Metrics:            regs[i],
 		})
 		sys.Replicas = append(sys.Replicas, replicas[i])
 	}
@@ -573,7 +586,8 @@ func buildUnreplicated(sys *System, o Options, net *simnet.Network) {
 	cside := auth.NewReplicaSide([]byte(clientMaster), 0)
 	srv := unreplicated.New(unreplicated.Config{
 		Conn: conn, App: o.AppFactory(0), ClientAuth: cside, Runtime: rt,
-		Metrics: regs[0],
+		CheckpointInterval: o.CheckpointInterval,
+		Metrics:            regs[0],
 	})
 	sys.Replicas = append(sys.Replicas, srv)
 	sys.PerReplicaMsgs = msgCounter([]*countingConn{conn})

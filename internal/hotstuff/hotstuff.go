@@ -18,6 +18,7 @@ import (
 	"neobft/internal/metrics"
 	"neobft/internal/replication"
 	"neobft/internal/runtime"
+	"neobft/internal/seqlog"
 	"neobft/internal/transport"
 	"neobft/internal/wire"
 )
@@ -41,6 +42,11 @@ type Config struct {
 	App        replication.App
 	// BatchSize caps requests per block (default 8).
 	BatchSize int
+	// CheckpointInterval is the number of committed heights between
+	// compactions (default 128). Three-chain commits are final, so
+	// compaction is purely local: no checkpoint vote exchange is needed,
+	// the block tree and vote maps are simply pruned below the boundary.
+	CheckpointInterval int
 	// Runtime hosts the replica's event loop and verification workers.
 	// If nil, New creates a default runtime over Conn.
 	Runtime *runtime.Runtime
@@ -88,6 +94,9 @@ type Replica struct {
 	pending   []*replication.Request
 	inQueue   map[string]bool
 	table     *replication.ClientTable
+	// log holds committed blocks in the live watermark window; interval
+	// compaction truncates it and prunes the tree maps below it.
+	log seqlog.Log[*block]
 
 	executedOps uint64
 
@@ -96,6 +105,11 @@ type Replica struct {
 	mCommits    *metrics.Counter
 	mBlocks     *metrics.Counter
 	mAuthFail   *metrics.Counter
+	mCkpt       *metrics.Counter
+	mTruncated  *metrics.Counter
+	mVoteRej    *metrics.Counter
+	gLow        *metrics.Gauge
+	gHigh       *metrics.Gauge
 	msgCounters map[uint8]*metrics.Counter
 	trace       *metrics.Recorder
 }
@@ -106,6 +120,9 @@ var genesisHash [32]byte
 func New(cfg Config) *Replica {
 	if cfg.BatchSize == 0 {
 		cfg.BatchSize = 8
+	}
+	if cfg.CheckpointInterval == 0 {
+		cfg.CheckpointInterval = 128
 	}
 	r := &Replica{
 		cfg:       cfg,
@@ -136,6 +153,11 @@ func New(cfg Config) *Replica {
 	r.mCommits = reg.Counter("proto_commits_total")
 	r.mBlocks = reg.Counter("proto_block_commits_total")
 	r.mAuthFail = reg.Counter("proto_auth_fail_total")
+	r.mCkpt = reg.Counter("proto_checkpoints_total")
+	r.mTruncated = reg.Counter("proto_truncated_slots_total")
+	r.mVoteRej = reg.Counter("proto_sync_horizon_rejects_total")
+	r.gLow = reg.Gauge("proto_log_low_watermark")
+	r.gHigh = reg.Gauge("proto_log_high_watermark")
 	r.msgCounters = map[uint8]*metrics.Counter{
 		replication.KindRequest: reg.Counter("proto_msg_client_request_total"),
 		kindPropose:             reg.Counter("proto_msg_propose_total"),
@@ -161,6 +183,30 @@ func (r *Replica) Executed() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.executedOps
+}
+
+// LowWatermark returns the committed log's low watermark (last
+// compaction boundary).
+func (r *Replica) LowWatermark() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.log.Low()
+}
+
+// HighWatermark returns the highest committed height retained in the
+// log.
+func (r *Replica) HighWatermark() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.log.High()
+}
+
+// BlockTreeSize returns the number of blocks currently retained (for
+// memory-bound assertions in tests).
+func (r *Replica) BlockTreeSize() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.blocks)
 }
 
 func (r *Replica) leaderOf(view uint64) int { return int(view) % r.cfg.N }
@@ -547,6 +593,13 @@ func (r *Replica) onVote(e evVote) {
 }
 
 func (r *Replica) recordVoteLocked(view uint64, hash [32]byte, replica uint32, tag []byte) {
+	if view < r.highQC.view {
+		// A QC at or above this view already formed: the vote can never
+		// contribute to a new highQC, so recording it would only grow the
+		// vote map (a Byzantine replica could mint one per packet).
+		r.mVoteRej.Inc()
+		return
+	}
 	m := r.votes[hash]
 	if m == nil {
 		m = map[uint32][]byte{}
@@ -604,5 +657,44 @@ func (r *Replica) commitLocked(b *block) {
 			delete(r.inQueue, reqKey(req.Client, req.ReqID))
 			r.conn.Send(req.Client, rep.Marshal())
 		}
+		r.log.Append(blk)
+		r.gHigh.Set(int64(r.log.High()))
+		if blk.height%uint64(r.cfg.CheckpointInterval) == 0 {
+			r.compactLocked(blk)
+		}
 	}
+}
+
+// compactLocked prunes everything below a committed interval boundary.
+// Three-chain commits are irrevocable, so — unlike PBFT or Zyzzyva — no
+// checkpoint vote exchange is needed before discarding history: local
+// finality is the stability rule. Caller holds r.mu.
+func (r *Replica) compactLocked(b *block) {
+	r.mCkpt.Inc()
+	dropped := r.log.TruncateTo(b.height)
+	r.mTruncated.Add(uint64(dropped))
+	for h, blk := range r.blocks {
+		if blk.height < b.height {
+			delete(r.blocks, h)
+			delete(r.committed, h)
+			delete(r.votes, h)
+		}
+	}
+	// Vote sets whose block never arrived are stale or forged by now.
+	for h := range r.votes {
+		if _, ok := r.blocks[h]; !ok {
+			delete(r.votes, h)
+		}
+	}
+	for v := range r.voted {
+		if v < b.view {
+			delete(r.voted, v)
+		}
+	}
+	for v := range r.proposed {
+		if v < b.view {
+			delete(r.proposed, v)
+		}
+	}
+	r.gLow.Set(int64(r.log.Low()))
 }

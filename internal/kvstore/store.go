@@ -180,6 +180,49 @@ func (s *Store) Execute(op []byte) ([]byte, func()) {
 	return errResult("unknown op"), nil
 }
 
+// Snapshot implements replication.Snapshotter: a deterministic dump of
+// every (key, value) pair in key order. Two stores holding the same map
+// produce identical bytes, so checkpoint digests computed over the
+// snapshot match across replicas.
+func (s *Store) Snapshot() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w := wire.NewWriter(16 + 32*s.tree.Len())
+	w.U32(uint32(s.tree.Len()))
+	s.tree.Scan("", "", func(k string, v []byte) bool {
+		w.VarBytes([]byte(k))
+		w.VarBytes(v)
+		return true
+	})
+	return w.Bytes()
+}
+
+// Restore implements replication.Snapshotter: it replaces the tree with
+// the snapshot's contents.
+func (s *Store) Restore(data []byte) error {
+	r := wire.NewReader(data)
+	n := r.U32()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	tree := NewBTree()
+	for i := uint32(0); i < n; i++ {
+		k := string(r.VarBytes())
+		v := append([]byte(nil), r.VarBytes()...)
+		if r.Err() != nil {
+			return r.Err()
+		}
+		tree.Put(k, v)
+	}
+	if err := r.Done(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tree = tree
+	return nil
+}
+
 func errResult(msg string) []byte {
 	w := wire.NewWriter(8 + len(msg))
 	w.U8(0xff)

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	goruntime "runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -297,6 +298,23 @@ func (r *Registry) Func(name string, fn func() float64) {
 	}
 	r.items[name] = fn
 	r.funcs[name] = fn
+}
+
+// RegisterHeapGauges exports the Go runtime's heap occupancy as
+// runtime_heap_inuse_bytes and runtime_heap_objects. The readings are
+// process-wide, so register them on exactly one registry per merged
+// snapshot (Merge sums Func samples).
+func RegisterHeapGauges(r *Registry) {
+	r.Func("runtime_heap_inuse_bytes", func() float64 {
+		var ms goruntime.MemStats
+		goruntime.ReadMemStats(&ms)
+		return float64(ms.HeapInuse)
+	})
+	r.Func("runtime_heap_objects", func() float64 {
+		var ms goruntime.MemStats
+		goruntime.ReadMemStats(&ms)
+		return float64(ms.HeapObjects)
+	})
 }
 
 // Recorder returns the registry's flight recorder, creating it with the

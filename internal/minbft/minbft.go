@@ -20,6 +20,7 @@ import (
 	"neobft/internal/metrics"
 	"neobft/internal/replication"
 	"neobft/internal/runtime"
+	"neobft/internal/seqlog"
 	"neobft/internal/transport"
 	"neobft/internal/usig"
 	"neobft/internal/wire"
@@ -32,7 +33,14 @@ var tkMinbftUIFail = metrics.RegisterTraceKind("minbft_ui_fail") // a=replica, b
 const (
 	kindPrepare uint8 = replication.KindProtocolBase + iota
 	kindCommit
+	kindCheckpoint
+	kindStateFetch
+	kindStateSnap
 )
+
+// ckptDomain separates MinBFT checkpoint authenticators from other
+// protocols sharing the seqlog wire helpers.
+const ckptDomain = "minbft-ckpt"
 
 // Config configures a MinBFT replica. N must be 2F+1.
 type Config struct {
@@ -48,6 +56,10 @@ type Config struct {
 	BatchSize int
 	// Window caps outstanding prepares (default 2).
 	Window int
+	// CheckpointInterval is the number of slots between checkpoints
+	// (default 128). Because the USIG rules out equivocation, f+1
+	// matching checkpoint votes suffice for stability (vs 2f+1 in PBFT).
+	CheckpointInterval int
 	// Runtime hosts the replica's event loop and verification workers.
 	// If nil, New creates a default runtime over Conn.
 	Runtime *runtime.Runtime
@@ -72,12 +84,21 @@ type Replica struct {
 
 	mu       sync.Mutex
 	view     uint64
-	slots    map[uint64]*slot // primary counter → slot
-	lastExec uint64           // last executed primary counter
+	log      seqlog.Log[*slot] // primary counter → slot, watermark-bounded
+	lastExec uint64            // last executed primary counter
 	lastSeen map[uint32]uint64
 	pending  []*replication.Request
 	inQueue  map[string]bool
 	table    *replication.ClientTable
+
+	// ckpt collects f+1 matching checkpoint votes into stable
+	// certificates; stability truncates the log window.
+	ckpt         *seqlog.Engine
+	pendingCkpt  map[uint64]*pendingCkpt
+	stable       *stableCkpt
+	aheadClaims  map[uint32]uint64
+	lastFetch    time.Time
+	snapInstalls uint64
 
 	executedOps uint64
 
@@ -85,8 +106,30 @@ type Replica struct {
 	reg         *metrics.Registry
 	mCommits    *metrics.Counter
 	mAuthFail   *metrics.Counter
+	mCkpt       *metrics.Counter
+	mTruncated  *metrics.Counter
+	mSnapServe  *metrics.Counter
+	mSnapInst   *metrics.Counter
+	mHorizonRej *metrics.Counter
+	gLow        *metrics.Gauge
+	gHigh       *metrics.Gauge
 	msgCounters map[uint8]*metrics.Counter
 	trace       *metrics.Recorder
+}
+
+// pendingCkpt is a checkpoint this replica has taken but whose
+// certificate has not yet formed.
+type pendingCkpt struct {
+	seq         uint64
+	stateDigest [32]byte
+	snapshot    []byte
+	digest      [32]byte // seqlog.Digest(ckptDomain, seq, stateDigest)
+}
+
+// stableCkpt is the latest checkpoint with an f+1 certificate.
+type stableCkpt struct {
+	pendingCkpt
+	cert *seqlog.Cert
 }
 
 // New creates and starts a MinBFT replica.
@@ -97,6 +140,9 @@ func New(cfg Config) *Replica {
 	if cfg.Window == 0 {
 		cfg.Window = 2
 	}
+	if cfg.CheckpointInterval == 0 {
+		cfg.CheckpointInterval = 128
+	}
 	if cfg.Runtime == nil {
 		cfg.Runtime = runtime.New(runtime.Config{Conn: cfg.Conn, Metrics: cfg.Metrics})
 	}
@@ -104,22 +150,34 @@ func New(cfg Config) *Replica {
 		cfg.Metrics = cfg.Runtime.Metrics()
 	}
 	r := &Replica{
-		cfg:      cfg,
-		conn:     cfg.Conn,
-		rt:       cfg.Runtime,
-		slots:    map[uint64]*slot{},
-		lastSeen: map[uint32]uint64{},
-		inQueue:  map[string]bool{},
-		table:    replication.NewClientTable(),
+		cfg:         cfg,
+		conn:        cfg.Conn,
+		rt:          cfg.Runtime,
+		lastSeen:    map[uint32]uint64{},
+		inQueue:     map[string]bool{},
+		table:       replication.NewClientTable(),
+		ckpt:        seqlog.NewEngine(cfg.F + 1),
+		pendingCkpt: map[uint64]*pendingCkpt{},
+		aheadClaims: map[uint32]uint64{},
 	}
 	reg := cfg.Metrics
 	r.reg = reg
 	r.mCommits = reg.Counter("proto_commits_total")
 	r.mAuthFail = reg.Counter("proto_auth_fail_total")
+	r.mCkpt = reg.Counter("proto_checkpoints_total")
+	r.mTruncated = reg.Counter("proto_truncated_slots_total")
+	r.mSnapServe = reg.Counter("proto_state_snapshots_served_total")
+	r.mSnapInst = reg.Counter("proto_state_snapshots_installed_total")
+	r.mHorizonRej = reg.Counter("proto_sync_horizon_rejects_total")
+	r.gLow = reg.Gauge("proto_log_low_watermark")
+	r.gHigh = reg.Gauge("proto_log_high_watermark")
 	r.msgCounters = map[uint8]*metrics.Counter{
 		replication.KindRequest: reg.Counter("proto_msg_client_request_total"),
 		kindPrepare:             reg.Counter("proto_msg_prepare_total"),
 		kindCommit:              reg.Counter("proto_msg_commit_total"),
+		kindCheckpoint:          reg.Counter("proto_msg_checkpoint_total"),
+		kindStateFetch:          reg.Counter("proto_msg_state_fetch_total"),
+		kindStateSnap:           reg.Counter("proto_msg_state_snapshot_total"),
 	}
 	r.trace = reg.Recorder()
 	r.rt.Start(r)
@@ -142,8 +200,57 @@ func (r *Replica) Executed() uint64 {
 	return r.executedOps
 }
 
+// LowWatermark returns the log's low watermark (last stable checkpoint).
+func (r *Replica) LowWatermark() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.log.Low()
+}
+
+// HighWatermark returns the highest materialized log slot.
+func (r *Replica) HighWatermark() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.log.High()
+}
+
+// SnapshotInstalls returns how many snapshot state transfers this
+// replica has installed.
+func (r *Replica) SnapshotInstalls() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.snapInstalls
+}
+
 func (r *Replica) primary() int    { return int(r.view) % r.cfg.N }
 func (r *Replica) isPrimary() bool { return r.primary() == r.cfg.Self }
+
+// horizonLocked is the highest primary counter this replica will
+// materialize a slot for: two checkpoint intervals above the last stable
+// checkpoint. Caller holds r.mu.
+func (r *Replica) horizonLocked() uint64 {
+	return r.log.Low() + 2*uint64(r.cfg.CheckpointInterval)
+}
+
+// slotFor materializes the dense window up to counter and returns its
+// slot, or nil when the counter lies outside the watermark window (below
+// the last stable checkpoint, or beyond the horizon — the latter bounds
+// memory against Byzantine far-future commits). Caller holds r.mu.
+func (r *Replica) slotFor(counter uint64) *slot {
+	if counter == 0 || counter <= r.log.Low() {
+		return nil
+	}
+	if counter > r.horizonLocked() {
+		r.mHorizonRej.Inc()
+		return nil
+	}
+	for r.log.High() < counter {
+		r.log.Append(&slot{commits: map[uint32]bool{}})
+	}
+	r.gHigh.Set(int64(r.log.High()))
+	s, _ := r.log.Get(counter)
+	return s
+}
 
 func (r *Replica) broadcast(pkt []byte) {
 	for i, m := range r.cfg.Members {
@@ -211,6 +318,17 @@ type evCommit struct {
 	bd      [32]byte
 	ui      usig.UI
 }
+
+type evCheckpoint struct {
+	replica uint32
+	seq     uint64
+	digest  [32]byte
+	tag     []byte
+}
+
+type evStateFetch struct{ haveExec uint64 }
+
+type evStateSnap struct{ body []byte }
 
 // VerifyPacket implements runtime.Handler.
 func (r *Replica) VerifyPacket(from transport.NodeID, pkt []byte) runtime.Event {
@@ -281,6 +399,30 @@ func (r *Replica) VerifyPacket(from transport.NodeID, pkt []byte) runtime.Event 
 			return nil
 		}
 		return evCommit{view: view, replica: replica, counter: counter, bd: bd, ui: ui}
+	case kindCheckpoint:
+		rd := wire.NewReader(pkt[1:])
+		replica := rd.U32()
+		seq := rd.U64()
+		stateD := rd.Bytes32()
+		tag := append([]byte(nil), rd.VarBytes()...)
+		if rd.Done() != nil || int(replica) >= r.cfg.N {
+			return nil
+		}
+		digest := seqlog.Digest(ckptDomain, seq, stateD)
+		if !r.cfg.Auth.VerifyVector(int(replica), seqlog.Body(ckptDomain, seq, digest, replica), tag) {
+			r.mAuthFail.Inc()
+			return nil
+		}
+		return evCheckpoint{replica: replica, seq: seq, digest: digest, tag: tag}
+	case kindStateFetch:
+		rd := wire.NewReader(pkt[1:])
+		have := rd.U64()
+		if rd.Done() != nil {
+			return nil
+		}
+		return evStateFetch{haveExec: have}
+	case kindStateSnap:
+		return evStateSnap{body: append([]byte(nil), pkt[1:]...)}
 	}
 	return nil
 }
@@ -294,6 +436,12 @@ func (r *Replica) ApplyEvent(from transport.NodeID, ev runtime.Event) {
 		r.onPrepare(e)
 	case evCommit:
 		r.onCommit(e)
+	case evCheckpoint:
+		r.onCheckpoint(e)
+	case evStateFetch:
+		r.onStateFetch(from, e.haveExec)
+	case evStateSnap:
+		r.onStateSnap(e.body)
 	}
 }
 
@@ -326,6 +474,11 @@ func (r *Replica) tryIssueLocked() {
 		return
 	}
 	for len(r.pending) > 0 && r.cfg.USIG.Counter()-r.lastExec < uint64(r.cfg.Window) {
+		if r.cfg.USIG.Counter()+1 > r.horizonLocked() {
+			// The watermark window is full: wait for a checkpoint to
+			// stabilize before consuming another USIG counter.
+			return
+		}
 		n := len(r.pending)
 		if n > r.cfg.BatchSize {
 			n = r.cfg.BatchSize
@@ -335,8 +488,13 @@ func (r *Replica) tryIssueLocked() {
 		bd := batchDigest(batch)
 		ui := r.cfg.USIG.CreateUI(prepareDigest(r.view, bd))
 
-		s := &slot{digest: bd, batch: batch, primUI: ui, commits: map[uint32]bool{}}
-		r.slots[ui.Counter] = s
+		s := r.slotFor(ui.Counter)
+		if s == nil {
+			return
+		}
+		s.digest = bd
+		s.batch = batch
+		s.primUI = ui
 
 		w := wire.NewWriter(512)
 		w.U8(kindPrepare)
@@ -366,12 +524,14 @@ func (r *Replica) onPrepare(e evPrepare) {
 	if counter != r.lastSeen[prim]+1 {
 		return
 	}
-	r.lastSeen[prim] = counter
-	s := r.slots[counter]
+	s := r.slotFor(counter)
 	if s == nil {
-		s = &slot{commits: map[uint32]bool{}}
-		r.slots[counter] = s
+		// Outside the watermark window (e.g. beyond the horizon while this
+		// replica waits on a snapshot transfer): don't advance lastSeen, so
+		// the primary's retransmission after catch-up is still sequential.
+		return
 	}
+	r.lastSeen[prim] = counter
 	s.digest = bd
 	s.batch = e.batch
 	s.primUI = e.ui
@@ -405,10 +565,9 @@ func (r *Replica) onCommit(e evCommit) {
 		return
 	}
 	r.lastSeen[replica] = e.ui.Counter
-	s := r.slots[counter]
+	s := r.slotFor(counter)
 	if s == nil {
-		s = &slot{commits: map[uint32]bool{}}
-		r.slots[counter] = s
+		return
 	}
 	if s.batch != nil && s.digest != bd {
 		return
@@ -421,8 +580,8 @@ func (r *Replica) onCommit(e evCommit) {
 // hold f+1 matching commits. Caller holds r.mu.
 func (r *Replica) maybeExecuteLocked() {
 	for {
-		s := r.slots[r.lastExec+1]
-		if s == nil || s.execed || s.batch == nil || len(s.commits) < r.cfg.F+1 {
+		s, ok := r.log.Get(r.lastExec + 1)
+		if !ok || s.execed || s.batch == nil || len(s.commits) < r.cfg.F+1 {
 			return
 		}
 		s.execed = true
@@ -446,6 +605,11 @@ func (r *Replica) maybeExecuteLocked() {
 			r.table.Store(req.Client, req.ReqID, rep)
 			delete(r.inQueue, reqKey(req.Client, req.ReqID))
 			r.conn.Send(req.Client, rep.Marshal())
+		}
+		if r.lastExec%uint64(r.cfg.CheckpointInterval) == 0 {
+			if st := r.ckpt.Stable(); st == nil || r.lastExec > st.Slot {
+				r.captureCheckpointLocked(r.lastExec)
+			}
 		}
 		r.tryIssueLocked()
 	}

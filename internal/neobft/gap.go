@@ -41,6 +41,24 @@ type gapDecision struct {
 	cert *aom.OrderingCert // when recv
 }
 
+// gapSlotInWindowLocked bounds the per-slot gap-agreement state a remote
+// message may allocate: slots already finalized by a stable checkpoint
+// are refused as stale, and slots more than one sync interval above the
+// local high watermark are refused as a Byzantine memory-exhaustion
+// vector (a faulty replica could otherwise plant unbounded far-future
+// state that no checkpoint would ever garbage-collect). Caller holds
+// r.mu.
+func (r *Replica) gapSlotInWindowLocked(slot uint64) bool {
+	if slot == 0 || slot <= r.syncPoint {
+		return false
+	}
+	if slot > r.syncHorizonLocked() {
+		r.mSyncReject.Inc()
+		return false
+	}
+	return true
+}
+
 func (r *Replica) gapSlotFor(slot uint64) *gapSlot {
 	g := r.gaps[slot]
 	if g == nil {
@@ -125,10 +143,18 @@ func (r *Replica) onQuery(from transport.NodeID, body []byte) {
 	if r.status != StatusNormal || view != r.view {
 		return
 	}
-	if slot == 0 || slot > uint64(len(r.log)) {
+	if slot == 0 || slot > r.log.High() {
 		return // nothing to share yet
 	}
-	e := r.log[slot-1]
+	e, ok := r.log.Get(slot)
+	if !ok {
+		// Below the low watermark: the slot is final and its certificate
+		// gone. Ship the stable checkpoint snapshot so the querier jumps
+		// straight past the truncated region instead of timing out into a
+		// view change.
+		r.serveSnapshotLocked(from)
+		return
+	}
 	if e.noOp || e.cert == nil {
 		return // resolved as no-op; the gap commit will reach the querier
 	}
@@ -173,7 +199,7 @@ func (r *Replica) onQueryReply(body []byte) {
 
 // fillSlotLocked writes the resolution of the blocked slot and resumes
 // delivery processing. Caller holds r.mu; blockedOn must equal slot ==
-// len(log)+1.
+// high watermark + 1.
 func (r *Replica) fillSlotLocked(slot uint64, cert *aom.OrderingCert, gapCert *GapCert) {
 	if cert != nil {
 		r.appendRequestLocked(cert)
@@ -223,8 +249,11 @@ func (r *Replica) onGapFind(pkt []byte) {
 	if !r.cfg.Auth.VerifyVector(view.LeaderIndex(r.cfg.N), body, tag) {
 		return
 	}
-	if slot <= uint64(len(r.log)) {
-		e := r.log[slot-1]
+	if slot <= r.log.High() {
+		e, ok := r.log.Get(slot)
+		if !ok {
+			return // truncated: final by stable checkpoint
+		}
 		if !e.noOp && e.cert != nil {
 			w := wire.NewWriter(256 + len(e.cert.Payload))
 			w.U8(kindGapRecv)
@@ -265,6 +294,9 @@ func (r *Replica) onGapRecv(pkt []byte) {
 	if r.status != StatusNormal || view != r.view || !r.isLeader() {
 		return
 	}
+	if !r.gapSlotInWindowLocked(slot) {
+		return
+	}
 	g := r.gapSlotFor(slot)
 	if g.decided || g.recvCert != nil {
 		return
@@ -303,6 +335,9 @@ func (r *Replica) onGapDrop(pkt []byte) {
 		return
 	}
 	if int(replica) >= r.cfg.N || !r.cfg.Auth.VerifyVector(int(replica), body, tag) {
+		return
+	}
+	if !r.gapSlotInWindowLocked(slot) {
 		return
 	}
 	g := r.gapSlotFor(slot)
@@ -368,6 +403,9 @@ func (r *Replica) onGapDecision(pkt []byte) {
 		return
 	}
 	if !r.cfg.Auth.VerifyVector(view.LeaderIndex(r.cfg.N), body, tag) {
+		return
+	}
+	if !r.gapSlotInWindowLocked(slot) {
 		return
 	}
 	dec := &gapDecision{view: view, slot: slot, recv: recv}
@@ -457,6 +495,9 @@ func (r *Replica) onGapPrepare(pkt []byte) {
 	if !r.cfg.Auth.VerifyVector(int(replica), gapPrepareBody(view, replica, slot, recv), tag) {
 		return
 	}
+	if !r.gapSlotInWindowLocked(slot) {
+		return
+	}
 	g := r.gapSlotFor(slot)
 	g.prepares[recv][replica] = append([]byte(nil), tag...)
 	r.maybePrepareCommitLocked(slot, g)
@@ -503,6 +544,9 @@ func (r *Replica) onGapCommit(pkt []byte) {
 		return
 	}
 	if !r.cfg.Auth.VerifyVector(int(replica), gapCommitBody(view, replica, slot, recv), tag) {
+		return
+	}
+	if !r.gapSlotInWindowLocked(slot) {
 		return
 	}
 	g := r.gapSlotFor(slot)
@@ -556,21 +600,24 @@ func (r *Replica) maybeCommitGapLocked(slot uint64, g *gapSlot) {
 // applyCommittedGapLocked applies a committed gap decision to the log.
 // Caller holds r.mu.
 func (r *Replica) applyCommittedGapLocked(slot uint64, g *gapSlot) {
-	logLen := uint64(len(r.log))
+	logHigh := r.log.High()
 	switch {
-	case r.blockedOn == slot && slot == logLen+1:
+	case r.blockedOn == slot && slot == logHigh+1:
 		if g.committedRecv {
 			r.fillSlotLocked(slot, g.decision.cert, nil)
 		} else {
 			r.fillSlotLocked(slot, nil, g.gapCert)
 		}
-	case slot <= logLen:
-		e := r.log[slot-1]
+	case slot <= logHigh:
+		e, ok := r.log.Get(slot)
+		if !ok {
+			return // below the low watermark: finalized by checkpoint
+		}
 		if !g.committedRecv && !e.noOp {
 			// We speculatively executed a request that the group agreed
 			// to skip: roll back, rewrite as no-op, re-execute (§5.4).
 			r.rollbackToLocked(slot)
-			r.log[slot-1] = &logEntry{noOp: true, epoch: e.epoch, gapCert: g.gapCert}
+			r.log.Set(slot, &logEntry{noOp: true, epoch: e.epoch, gapCert: g.gapCert})
 			r.recomputeHashesLocked(slot)
 			r.executeReadyLocked()
 		}

@@ -58,8 +58,14 @@ const (
 	kindSync
 	kindStateRequest
 	kindStateReply
+	kindStateSnapshot
 	kindTick
 )
+
+// ckptDomain is the authenticated-body domain for checkpoint votes
+// (state synchronization, §B.2). Checkpoint bodies are view-independent
+// so certificates survive view changes.
+const ckptDomain = "neobft-ckpt"
 
 // SignedPart is a replica's authenticator vector over a message body,
 // usable by any group member (transferable within the group).
@@ -159,18 +165,6 @@ func epochStartBody(epoch uint32, replica uint32, slot uint64) []byte {
 	w.U32(epoch)
 	w.U32(replica)
 	w.U64(slot)
-	return w.Bytes()
-}
-
-// syncBody: ⟨SYNC, view-id, log-slot-num, log-hash⟩_σi (drops carried
-// alongside with their own certificates).
-func syncBody(view ViewID, replica uint32, slot uint64, logHash [32]byte) []byte {
-	w := wire.NewWriter(64)
-	w.Raw([]byte("sync"))
-	w.U64(view.Pack())
-	w.U32(replica)
-	w.U64(slot)
-	w.Bytes32(logHash)
 	return w.Bytes()
 }
 

@@ -44,6 +44,28 @@ func (a *counterApp) value() int64 {
 	return a.sum
 }
 
+// Snapshot/Restore implement replication.Snapshotter so state-transfer
+// tests can verify application state travels with checkpoints.
+func (a *counterApp) Snapshot() []byte {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	w := wire.NewWriter(8)
+	w.U64(uint64(a.sum))
+	return w.Bytes()
+}
+
+func (a *counterApp) Restore(data []byte) error {
+	r := wire.NewReader(data)
+	sum := int64(r.U64())
+	if err := r.Done(); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	a.sum = sum
+	a.mu.Unlock()
+	return nil
+}
+
 type cluster struct {
 	t        *testing.T
 	net      *simnet.Network
@@ -62,6 +84,9 @@ type clusterOpts struct {
 	netOpts   simnet.Options
 	swOpts    sequencer.Options
 	fast      bool // aggressive timeouts for failure tests
+	// appFactory overrides the default counterApp state machine (tests
+	// using it must not read c.apps, which stays nil).
+	appFactory func(i int) replication.App
 }
 
 const group = 1
@@ -95,8 +120,14 @@ func newCluster(t *testing.T, o clusterOpts) *cluster {
 		t.Fatal(err)
 	}
 	for i := 0; i < o.n; i++ {
-		app := &counterApp{}
-		c.apps = append(c.apps, app)
+		var app replication.App
+		if o.appFactory != nil {
+			app = o.appFactory(i)
+		} else {
+			ca := &counterApp{}
+			c.apps = append(c.apps, ca)
+			app = ca
+		}
 		cfg := Config{
 			Self: i, N: o.n, F: c.f,
 			Members:    members,

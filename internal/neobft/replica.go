@@ -11,6 +11,7 @@ import (
 	"neobft/internal/metrics"
 	"neobft/internal/replication"
 	"neobft/internal/runtime"
+	"neobft/internal/seqlog"
 	"neobft/internal/transport"
 	"neobft/internal/wire"
 )
@@ -102,7 +103,13 @@ type Replica struct {
 	mu     sync.Mutex
 	status Status
 	view   ViewID
-	log    []*logEntry // log[i] is slot i+1
+	// log is the memory-bounded slot store: slots keep their absolute
+	// numbers while everything at or below the stable checkpoint (the low
+	// watermark) is truncated away.
+	log seqlog.Log[*logEntry]
+	// baseHash is the hash-chain value at the log's low watermark (zero
+	// before any truncation).
+	baseHash [32]byte
 	// epochStart[e] is the slot count when epoch e began (entries with
 	// slot > epochStart[e] and slot ≤ end belong to e).
 	epochStart map[uint32]uint64
@@ -114,6 +121,14 @@ type Replica struct {
 	clientTable  *replication.ClientTable
 	syncPoint    uint64
 
+	// ckpt collects checkpoint votes into stable certificates; pending
+	// holds snapshots captured at interval boundaries awaiting stability,
+	// and stable is the latest stable checkpoint (served during state
+	// transfer).
+	ckpt    *seqlog.Engine
+	pending map[uint64]*pendingCkpt
+	stable  *stableCkpt
+
 	// blockedOn is the slot whose resolution gates further delivery
 	// processing; 0 when not blocked (§5.4).
 	blockedOn     uint64
@@ -121,8 +136,7 @@ type Replica struct {
 	buffered      []aom.Delivery
 	queryAttempts int
 
-	gaps  map[uint64]*gapSlot
-	syncs map[uint64]map[uint32][32]byte // sync slot → replica → log hash
+	gaps map[uint64]*gapSlot
 
 	vc         *vcState
 	epochVotes map[uint32]map[uint32]epochVote
@@ -145,6 +159,7 @@ type Replica struct {
 	committedOps uint64
 	gapAgreed    uint64
 	viewChanges  uint64
+	snapInstalls uint64
 
 	// metrics (nil-safe no-ops when unconfigured)
 	reg         *metrics.Registry
@@ -154,11 +169,35 @@ type Replica struct {
 	mEpochChg   *metrics.Counter
 	mSyncAdv    *metrics.Counter
 	mStateXfer  *metrics.Counter
+	mCkpt       *metrics.Counter
+	mTruncated  *metrics.Counter
+	mSnapServe  *metrics.Counter
+	mSnapInst   *metrics.Counter
+	mSyncReject *metrics.Counter
+	gLow        *metrics.Gauge
+	gHigh       *metrics.Gauge
 	mAuthFail   *metrics.Counter
 	mMsgAOM     *metrics.Counter
 	mMsgClient  *metrics.Counter
 	msgCounters map[uint8]*metrics.Counter
 	trace       *metrics.Recorder
+}
+
+// pendingCkpt is a checkpoint captured when execution crossed an
+// interval boundary, awaiting a stable certificate.
+type pendingCkpt struct {
+	slot        uint64
+	logHash     [32]byte
+	stateDigest [32]byte
+	snapshot    []byte
+	digest      [32]byte // seqlog.Digest(ckptDomain, slot, logHash, stateDigest)
+}
+
+// stableCkpt is the latest stable checkpoint: the snapshot this replica
+// serves during state transfer plus its 2f+1 certificate.
+type stableCkpt struct {
+	pendingCkpt
+	cert *seqlog.Cert
 }
 
 // Flight-recorder event kinds for the rare-path protocol machinery.
@@ -178,7 +217,7 @@ var neobftKindNames = map[uint8]string{
 	kindGapCommit: "gap_commit", kindViewChange: "view_change",
 	kindViewStart: "view_start", kindEpochStart: "epoch_start",
 	kindSync: "sync", kindStateRequest: "state_request",
-	kindStateReply: "state_reply",
+	kindStateReply: "state_reply", kindStateSnapshot: "state_snapshot",
 }
 
 // New creates and starts a NeoBFT replica. The initial view is epoch 1,
@@ -208,7 +247,8 @@ func New(cfg Config) *Replica {
 		verifiers:         map[uint32]*aom.CertVerifier{},
 		clientTable:       replication.NewClientTable(),
 		gaps:              map[uint64]*gapSlot{},
-		syncs:             map[uint64]map[uint32][32]byte{},
+		ckpt:              seqlog.NewEngine(2*cfg.F + 1),
+		pending:           map[uint64]*pendingCkpt{},
 		pendingClientReqs: map[string]time.Time{},
 	}
 	reg := cfg.Metrics
@@ -226,6 +266,13 @@ func New(cfg Config) *Replica {
 	r.mEpochChg = reg.Counter("proto_epoch_changes_total")
 	r.mSyncAdv = reg.Counter("proto_sync_rounds_total")
 	r.mStateXfer = reg.Counter("proto_state_transfers_total")
+	r.mCkpt = reg.Counter("proto_checkpoints_total")
+	r.mTruncated = reg.Counter("proto_truncated_slots_total")
+	r.mSnapServe = reg.Counter("proto_state_snapshots_served_total")
+	r.mSnapInst = reg.Counter("proto_state_snapshots_installed_total")
+	r.mSyncReject = reg.Counter("proto_sync_horizon_rejects_total")
+	r.gLow = reg.Gauge("proto_log_low_watermark")
+	r.gHigh = reg.Gauge("proto_log_high_watermark")
 	r.mAuthFail = reg.Counter("proto_auth_fail_total")
 	r.mMsgAOM = reg.Counter("proto_msg_aom_total")
 	r.mMsgClient = reg.Counter("proto_msg_client_request_total")
@@ -309,11 +356,48 @@ func (r *Replica) Status() Status {
 	return r.status
 }
 
-// LogLen returns the current log length (slots).
+// LogLen returns the highest appended slot (the high watermark; slots
+// below the low watermark have been truncated but keep their numbers).
 func (r *Replica) LogLen() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return uint64(len(r.log))
+	return r.log.High()
+}
+
+// LowWatermark returns the highest truncated slot (the stable
+// checkpoint below which memory has been reclaimed).
+func (r *Replica) LowWatermark() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.log.Low()
+}
+
+// HighWatermark returns the highest appended slot (alias of LogLen,
+// named for symmetry with the other protocols' watermark accessors).
+func (r *Replica) HighWatermark() uint64 { return r.LogLen() }
+
+// CheckpointVotes returns the number of slots with outstanding
+// checkpoint votes (for Byzantine-bounding tests).
+func (r *Replica) CheckpointVotes() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ckpt.Votes()
+}
+
+// GapSlots returns the number of slots with live gap-agreement state
+// (for Byzantine-bounding tests).
+func (r *Replica) GapSlots() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.gaps)
+}
+
+// SnapshotInstalls returns how many snapshot state transfers this
+// replica has installed.
+func (r *Replica) SnapshotInstalls() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.snapInstalls
 }
 
 // Executed returns the highest (speculatively) executed slot.
@@ -418,7 +502,8 @@ func (r *Replica) VerifyPacket(from transport.NodeID, pkt []byte) runtime.Event 
 	switch pkt[0] {
 	case kindQuery, kindQueryReply, kindGapFind, kindGapRecv, kindGapDrop,
 		kindGapDecision, kindGapPrepare, kindGapCommit, kindViewChange,
-		kindViewStart, kindEpochStart, kindSync, kindStateRequest, kindStateReply:
+		kindViewStart, kindEpochStart, kindSync, kindStateRequest, kindStateReply,
+		kindStateSnapshot:
 		r.msgCounters[pkt[0]].Inc()
 		return evProto{pkt: pkt}
 	}
@@ -484,6 +569,8 @@ func (r *Replica) ApplyEvent(from transport.NodeID, ev runtime.Event) {
 			r.onStateRequest(from, pkt[1:])
 		case kindStateReply:
 			r.onStateReply(pkt[1:])
+		case kindStateSnapshot:
+			r.onStateSnapshot(pkt[1:])
 		}
 	}
 }
@@ -505,7 +592,7 @@ func (r *Replica) processDeliveryLocked(d aom.Delivery) {
 		return
 	}
 	slot := r.epochStart[r.view.Epoch] + d.Seq
-	if slot != uint64(len(r.log))+1 {
+	if slot != r.log.High()+1 {
 		return // stale or out-of-line delivery
 	}
 	// A gap agreement may already have committed this slot while we were
@@ -550,39 +637,48 @@ func (r *Replica) appendRequestLocked(cert *aom.OrderingCert) {
 	r.executeReadyLocked()
 }
 
-// appendEntryLocked pushes an entry, extends the hash chain, and may
-// initiate state synchronization. Caller holds r.mu.
+// appendEntryLocked pushes an entry and extends the hash chain.
+// Checkpoints are triggered by execution crossing an interval boundary
+// (executeReadyLocked), not by appends, so the snapshot captures the
+// state exactly at the checkpoint slot. Caller holds r.mu.
 func (r *Replica) appendEntryLocked(e *logEntry) {
 	r.appendEntryNoSyncLocked(e)
-	r.maybeSyncLocked()
 }
 
 // appendEntryNoSyncLocked pushes an entry and extends the hash chain
-// without the sync trigger (used while rebuilding the log during view
-// changes). Caller holds r.mu.
+// (also used while rebuilding the log during view changes). Caller
+// holds r.mu.
 func (r *Replica) appendEntryNoSyncLocked(e *logEntry) {
-	var prev [32]byte
-	if n := len(r.log); n > 0 {
-		prev = r.log[n-1].logHash
+	prev := r.baseHash
+	if last, ok := r.log.Last(); ok {
+		prev = last.logHash
 	}
 	if e.noOp {
 		e.digest = noOpDigest
 	}
 	e.logHash = replication.ChainHash(prev, e.digest)
-	r.log = append(r.log, e)
+	r.log.Append(e)
+	r.gHigh.Set(int64(r.log.High()))
 }
 
 // noOpDigest marks no-op slots in the hash chain.
 var noOpDigest = wire.Digest([]byte("neobft/no-op"))
 
 // executeReadyLocked executes every consecutive filled slot beyond
-// specExecuted. Caller holds r.mu.
+// specExecuted, capturing a checkpoint whenever execution crosses an
+// interval boundary (§B.2). Caller holds r.mu.
 func (r *Replica) executeReadyLocked() {
-	for r.specExecuted < uint64(len(r.log)) {
+	for r.specExecuted < r.log.High() {
 		slot := r.specExecuted + 1
-		e := r.log[slot-1]
+		e, ok := r.log.Get(slot)
+		if !ok {
+			return
+		}
 		r.executeSlotLocked(slot, e)
 		r.specExecuted = slot
+		if r.cfg.SyncInterval > 0 && slot%uint64(r.cfg.SyncInterval) == 0 && slot > r.syncPoint {
+			r.captureCheckpointLocked(slot)
+		}
 	}
 }
 
@@ -635,17 +731,30 @@ func (r *Replica) rollbackToLocked(slot uint64) {
 	if r.specExecuted >= slot {
 		r.specExecuted = slot - 1
 	}
+	// Checkpoints captured at or above the rollback point no longer
+	// describe the state that will exist there; re-execution across the
+	// boundary re-captures and re-votes.
+	for s := range r.pending {
+		if s >= slot {
+			delete(r.pending, s)
+		}
+	}
 }
 
 // recomputeHashesLocked rebuilds the hash chain from slot onward after a
 // log rewrite. Caller holds r.mu.
 func (r *Replica) recomputeHashesLocked(slot uint64) {
-	var prev [32]byte
-	if slot > 1 {
-		prev = r.log[slot-2].logHash
+	prev := r.baseHash
+	if slot-1 > r.log.Low() {
+		if p, ok := r.log.Get(slot - 1); ok {
+			prev = p.logHash
+		}
 	}
-	for i := slot - 1; i < uint64(len(r.log)); i++ {
-		e := r.log[i]
+	for s := slot; s <= r.log.High(); s++ {
+		e, ok := r.log.Get(s)
+		if !ok {
+			return
+		}
 		d := e.digest
 		if e.noOp {
 			d = noOpDigest

@@ -1,64 +1,112 @@
 package neobft
 
 import (
+	"crypto/sha256"
+
 	"neobft/internal/replication"
+	"neobft/internal/seqlog"
 	"neobft/internal/transport"
 	"neobft/internal/wire"
 )
 
-// State synchronization (§B.2): after every SyncInterval log entries, a
-// replica broadcasts ⟨SYNC, view-id, log-slot-num, drops⟩_σi, where drops
-// carries gap certificates for no-ops committed in the current view.
-// Once a replica collects 2f+1 syncs (including its own) for the same
-// slot with a matching log hash, everything up to that slot is final: the
-// sync-point advances, speculative undo state is released and gap
-// bookkeeping is garbage-collected. A replica that discovers a quorum
-// ahead of it requests a state transfer from the leader.
+// State synchronization (§B.2), built on the shared seqlog checkpoint
+// engine: when execution crosses a SyncInterval boundary at slot s, the
+// replica captures a snapshot of its application + client-table state,
+// folds H(s ‖ log-hash ‖ state-digest) into a checkpoint digest, and
+// broadcasts ⟨SYNC, s, log-hash, state-digest, drops⟩_σi (drops carries
+// gap certificates for no-ops above the previous checkpoint). 2f+1
+// matching votes form a stable checkpoint certificate: the sync point
+// advances, speculative undo state is released, gap bookkeeping is
+// garbage-collected, and the log is truncated below the new low
+// watermark. A replica that discovers a stable certificate beyond its
+// own log fetches the snapshot plus the log suffix from the leader
+// instead of replaying from slot 1.
 
-// maybeSyncLocked initiates a sync round when the log reaches a multiple
-// of the sync interval. Caller holds r.mu.
-func (r *Replica) maybeSyncLocked() {
-	slot := uint64(len(r.log))
-	if slot == 0 || slot%uint64(r.cfg.SyncInterval) != 0 || slot <= r.syncPoint {
+// syncHorizonLocked is the highest slot for which this replica accepts
+// sync votes or gap-agreement state: one interval above the local high
+// watermark. A Byzantine replica claiming far-future slots would
+// otherwise plant per-slot state that is never garbage-collected.
+// Caller holds r.mu.
+func (r *Replica) syncHorizonLocked() uint64 {
+	return r.log.High() + uint64(r.cfg.SyncInterval)
+}
+
+// snapshotLocked captures the replica-level snapshot bundle (application
+// state plus client table). Caller holds r.mu.
+func (r *Replica) snapshotLocked() []byte {
+	return replication.CaptureSnapshot(r.cfg.App, r.clientTable)
+}
+
+// restoreSnapshotLocked installs replica-level snapshot bytes. Caller
+// holds r.mu.
+func (r *Replica) restoreSnapshotLocked(snap []byte) bool {
+	if replication.InstallSnapshot(r.cfg.App, r.clientTable, snap) != nil {
+		return false
+	}
+	// Cached replies in the snapshot are canonicalized (no authenticator);
+	// re-stamp them as this replica's.
+	r.clientTable.Reauth(uint32(r.cfg.Self), func(c transport.NodeID, body []byte) []byte {
+		return r.cfg.ClientAuth.TagFor(int64(c), body)
+	})
+	return true
+}
+
+// captureCheckpointLocked runs when execution crosses an interval
+// boundary: capture the snapshot, vote, and broadcast the sync message.
+// Caller holds r.mu.
+func (r *Replica) captureCheckpointLocked(slot uint64) {
+	e, ok := r.log.Get(slot)
+	if !ok {
 		return
 	}
-	logHash := r.log[slot-1].logHash
-	r.recordSyncLocked(slot, uint32(r.cfg.Self), logHash)
+	snap := r.snapshotLocked()
+	stateD := sha256.Sum256(snap)
+	p := &pendingCkpt{
+		slot:        slot,
+		logHash:     e.logHash,
+		stateDigest: stateD,
+		snapshot:    snap,
+		digest:      seqlog.Digest(ckptDomain, slot, e.logHash, stateD),
+	}
+	r.pending[slot] = p
+	r.mCkpt.Inc()
 
 	// Collect gap certificates for no-ops above the current sync point.
 	var drops []*GapCert
-	for i := r.syncPoint; i < slot; i++ {
-		if e := r.log[i]; e.noOp && e.gapCert != nil {
-			drops = append(drops, e.gapCert)
+	r.log.Ascend(r.syncPoint+1, func(s uint64, le *logEntry) bool {
+		if s > slot {
+			return false
 		}
-	}
-	body := syncBody(r.view, uint32(r.cfg.Self), slot, logHash)
-	w := wire.NewWriter(128)
+		if le.noOp && le.gapCert != nil {
+			drops = append(drops, le.gapCert)
+		}
+		return true
+	})
+	body := seqlog.Body(ckptDomain, slot, p.digest, uint32(r.cfg.Self))
+	tag := r.cfg.Auth.TagVector(body)
+	w := wire.NewWriter(192)
 	w.U8(kindSync)
 	w.U32(uint32(r.cfg.Self))
-	w.VarBytes(body)
-	w.VarBytes(r.cfg.Auth.TagVector(body))
+	w.U64(slot)
+	w.Bytes32(e.logHash)
+	w.Bytes32(stateD)
+	w.VarBytes(tag)
 	w.U32(uint32(len(drops)))
 	for _, g := range drops {
 		g.marshal(w)
 	}
 	r.broadcast(w.Bytes())
-	r.maybeAdvanceSyncLocked(slot, logHash)
-}
-
-func (r *Replica) recordSyncLocked(slot uint64, replica uint32, hash [32]byte) {
-	byRep := r.syncs[slot]
-	if byRep == nil {
-		byRep = map[uint32][32]byte{}
-		r.syncs[slot] = byRep
+	if cert := r.ckpt.Add(slot, uint32(r.cfg.Self), p.digest, tag); cert != nil {
+		r.advanceStableLocked(cert)
 	}
-	byRep[replica] = hash
 }
 
 func (r *Replica) onSync(pkt []byte) {
 	rd := wire.NewReader(pkt)
 	replica := rd.U32()
-	body := rd.VarBytes()
+	slot := rd.U64()
+	logHash := rd.Bytes32()
+	stateD := rd.Bytes32()
 	tag := rd.VarBytes()
 	nDrops := rd.U32()
 	if rd.Err() != nil || nDrops > 1<<16 {
@@ -71,23 +119,24 @@ func (r *Replica) onSync(pkt []byte) {
 	if rd.Done() != nil {
 		return
 	}
-	br := wire.NewReader(body)
-	if !br.Prefix("sync") {
-		return
-	}
-	view := UnpackView(br.U64())
-	bodyReplica := br.U32()
-	slot := br.U64()
-	logHash := br.Bytes32()
-	if br.Done() != nil || bodyReplica != replica {
-		return
-	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.status != StatusNormal || view != r.view || int(replica) >= r.cfg.N {
+	// Checkpoint votes are view-independent; only refuse them while the
+	// log is in flux during a view change.
+	if r.status != StatusNormal || int(replica) >= r.cfg.N {
 		return
 	}
-	if !r.cfg.Auth.VerifyVector(int(replica), body, tag) {
+	if slot == 0 || slot%uint64(r.cfg.SyncInterval) != 0 || slot <= r.syncPoint {
+		return
+	}
+	// Byzantine bounding: refuse votes for slots far beyond anything this
+	// replica has appended (they would pool in the engine forever).
+	if slot > r.syncHorizonLocked() {
+		r.mSyncReject.Inc()
+		return
+	}
+	digest := seqlog.Digest(ckptDomain, slot, logHash, stateD)
+	if !r.cfg.Auth.VerifyVector(int(replica), seqlog.Body(ckptDomain, slot, digest, replica), tag) {
 		return
 	}
 	// Apply certified no-ops we may have missed (§B.2): a valid gap
@@ -95,8 +144,9 @@ func (r *Replica) onSync(pkt []byte) {
 	for _, g := range drops {
 		r.applySyncDropLocked(g)
 	}
-	r.recordSyncLocked(slot, replica, logHash)
-	r.maybeAdvanceSyncLocked(slot, logHash)
+	if cert := r.ckpt.Add(slot, replica, digest, tag); cert != nil {
+		r.advanceStableLocked(cert)
+	}
 }
 
 // applySyncDropLocked installs a gap-certified no-op learned through a
@@ -106,11 +156,13 @@ func (r *Replica) applySyncDropLocked(g *GapCert) {
 	if slot == 0 || slot <= r.syncPoint {
 		return
 	}
+	if slot > r.syncHorizonLocked() {
+		return
+	}
 	if !r.validGapCertLocked(g, slot) {
 		return
 	}
-	if slot <= uint64(len(r.log)) {
-		e := r.log[slot-1]
+	if e, ok := r.log.Get(slot); ok {
 		if e.noOp {
 			if e.gapCert == nil {
 				e.gapCert = g
@@ -119,10 +171,13 @@ func (r *Replica) applySyncDropLocked(g *GapCert) {
 		}
 		// We executed a request the group committed as a no-op.
 		r.rollbackToLocked(slot)
-		r.log[slot-1] = &logEntry{noOp: true, epoch: e.epoch, gapCert: g}
+		r.log.Set(slot, &logEntry{noOp: true, epoch: e.epoch, gapCert: g})
 		r.recomputeHashesLocked(slot)
 		r.executeReadyLocked()
 		return
+	}
+	if slot <= r.log.High() {
+		return // below the low watermark: already final
 	}
 	// Remember for when the log reaches the slot.
 	gs := r.gapSlotFor(slot)
@@ -133,35 +188,46 @@ func (r *Replica) applySyncDropLocked(g *GapCert) {
 	}
 }
 
-// maybeAdvanceSyncLocked advances the sync point on a 2f+1 quorum with a
-// matching hash; a quorum with a different hash or a far-ahead slot
-// triggers state transfer. Caller holds r.mu.
-func (r *Replica) maybeAdvanceSyncLocked(slot uint64, _ [32]byte) {
-	votes := r.syncs[slot]
-	if votes == nil {
+// advanceStableLocked reacts to a newly formed stable checkpoint
+// certificate: advance the sync point and truncate if the local state
+// matches, or fetch state if the quorum is ahead of us. Caller holds
+// r.mu.
+func (r *Replica) advanceStableLocked(cert *seqlog.Cert) {
+	if cert.Slot <= r.syncPoint {
 		return
 	}
-	counts := map[[32]byte]int{}
-	for _, h := range votes {
-		counts[h]++
-	}
-	for h, c := range counts {
-		if c < 2*r.cfg.F+1 {
-			continue
-		}
-		if slot <= uint64(len(r.log)) && r.log[slot-1].logHash == h {
-			if slot > r.syncPoint {
-				r.syncPoint = slot
-				r.mSyncAdv.Inc()
-				r.trace.Record(tkSyncPoint, slot, 0)
-				r.pruneFinalizedLocked(slot)
-			}
-		} else if slot > uint64(len(r.log)) {
-			// A quorum is ahead of us: fetch the missing committed suffix.
-			r.requestStateLocked()
-		}
+	p := r.pending[cert.Slot]
+	if p != nil && p.digest == cert.Digest {
+		r.syncPoint = cert.Slot
+		r.stable = &stableCkpt{pendingCkpt: *p, cert: cert}
+		r.mSyncAdv.Inc()
+		r.trace.Record(tkSyncPoint, cert.Slot, 0)
+		r.pruneFinalizedLocked(cert.Slot)
+		r.truncateLocked(cert.Slot, p.logHash)
 		return
 	}
+	// The quorum checkpointed a state we do not hold (we are behind, or
+	// our speculative state diverged): fetch the committed state.
+	r.requestStateLocked()
+}
+
+// truncateLocked reclaims log memory below the stable checkpoint: the
+// slot's chain hash becomes the new base and everything at or below it
+// is dropped. Caller holds r.mu.
+func (r *Replica) truncateLocked(slot uint64, logHash [32]byte) {
+	if slot <= r.log.Low() {
+		return
+	}
+	r.baseHash = logHash
+	dropped := r.log.TruncateTo(slot)
+	r.mTruncated.Add(uint64(dropped))
+	for s := range r.pending {
+		if s <= slot {
+			delete(r.pending, s)
+		}
+	}
+	r.gLow.Set(int64(r.log.Low()))
+	r.gHigh.Set(int64(r.log.High()))
 }
 
 // pruneFinalizedLocked releases speculative bookkeeping for slots at or
@@ -180,24 +246,21 @@ func (r *Replica) pruneFinalizedLocked(slot uint64) {
 			delete(r.gaps, s)
 		}
 	}
-	for s := range r.syncs {
-		if s <= slot {
-			delete(r.syncs, s)
-		}
-	}
 }
 
 // --- state transfer -------------------------------------------------------
 
-// requestStateLocked asks the leader for log entries beyond our tail.
-// Caller holds r.mu.
+// requestStateLocked asks the leader for committed state beyond our
+// tail: the reply is either the log suffix above our high watermark or,
+// when we are below the leader's low watermark, a snapshot. Caller
+// holds r.mu.
 func (r *Replica) requestStateLocked() {
 	r.mStateXfer.Inc()
-	r.trace.Record(tkStateXfer, uint64(len(r.log)), 0)
+	r.trace.Record(tkStateXfer, r.log.High(), 0)
 	w := wire.NewWriter(24)
 	w.U8(kindStateRequest)
 	w.U64(r.view.Pack())
-	w.U64(uint64(len(r.log)))
+	w.U64(r.log.High())
 	r.conn.Send(r.leaderNode(), w.Bytes())
 }
 
@@ -213,7 +276,14 @@ func (r *Replica) onStateRequest(from transport.NodeID, body []byte) {
 	if r.status != StatusNormal || view != r.view {
 		return
 	}
-	if haveLen >= uint64(len(r.log)) {
+	if haveLen >= r.log.High() {
+		return
+	}
+	if haveLen < r.log.Low() {
+		// The requester's log ends below our low watermark; those slots
+		// are truncated. Ship the stable checkpoint snapshot instead — the
+		// requester follows up for the suffix above it.
+		r.serveSnapshotLocked(from)
 		return
 	}
 	entries := r.wireEntriesLocked(haveLen)
@@ -222,6 +292,24 @@ func (r *Replica) onStateRequest(from transport.NodeID, body []byte) {
 	w.U64(r.view.Pack())
 	marshalEntries(w, entries)
 	r.conn.Send(from, w.Bytes())
+}
+
+// serveSnapshotLocked ships the stable checkpoint snapshot to a replica
+// whose log ends below our low watermark. The certificate inside binds
+// the snapshot digest, so the transfer carries its own proof. Caller
+// holds r.mu.
+func (r *Replica) serveSnapshotLocked(to transport.NodeID) {
+	if r.stable == nil {
+		return
+	}
+	r.mSnapServe.Inc()
+	w := wire.NewWriter(256 + len(r.stable.snapshot))
+	w.U8(kindStateSnapshot)
+	w.U64(r.view.Pack())
+	w.VarBytes(r.stable.cert.Marshal())
+	w.Bytes32(r.stable.logHash)
+	w.VarBytes(r.stable.snapshot)
+	r.conn.Send(to, w.Bytes())
 }
 
 func (r *Replica) onStateReply(body []byte) {
@@ -237,7 +325,7 @@ func (r *Replica) onStateReply(body []byte) {
 		return
 	}
 	for _, e := range entries {
-		slot := uint64(len(r.log)) + 1
+		slot := r.log.High() + 1
 		if e.Slot < slot {
 			continue
 		}
@@ -265,4 +353,77 @@ func (r *Replica) onStateReply(body []byte) {
 		r.appendEntryNoSyncLocked(le)
 	}
 	r.executeReadyLocked()
+}
+
+// onStateSnapshot installs a snapshot-based state transfer: a stable
+// checkpoint certificate, the chain hash at its slot, and the snapshot
+// bytes. The certificate's 2f+1 authenticated votes bind the snapshot
+// digest, so the snapshot needs no further trust in the sender.
+func (r *Replica) onStateSnapshot(body []byte) {
+	rd := wire.NewReader(body)
+	view := UnpackView(rd.U64())
+	certB := rd.VarBytes()
+	logHash := rd.Bytes32()
+	snap := append([]byte(nil), rd.VarBytes()...)
+	if rd.Done() != nil {
+		return
+	}
+	cert, err := seqlog.UnmarshalCert(certB)
+	if err != nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.status != StatusNormal || view != r.view {
+		return
+	}
+	if cert.Slot <= r.syncPoint || cert.Slot <= r.log.High() {
+		return // nothing a snapshot would teach us
+	}
+	if !cert.Verify(ckptDomain, r.cfg.N, 2*r.cfg.F+1, func(rep uint32, b, tag []byte) bool {
+		return r.cfg.Auth.VerifyVector(int(rep), b, tag)
+	}) {
+		return
+	}
+	stateD := sha256.Sum256(snap)
+	if cert.Digest != seqlog.Digest(ckptDomain, cert.Slot, logHash, stateD) {
+		return
+	}
+	if !r.restoreSnapshotLocked(snap) {
+		return
+	}
+	// Adopt the checkpointed state wholesale: the log restarts at the
+	// certificate's slot and the snapshot replaces speculative state.
+	r.undoStack = nil
+	r.pending = map[uint64]*pendingCkpt{}
+	r.log.Reset(cert.Slot)
+	r.baseHash = logHash
+	r.specExecuted = cert.Slot
+	r.syncPoint = cert.Slot
+	r.stable = &stableCkpt{
+		pendingCkpt: pendingCkpt{
+			slot: cert.Slot, logHash: logHash, stateDigest: stateD,
+			snapshot: snap, digest: cert.Digest,
+		},
+		cert: cert,
+	}
+	r.ckpt.SetStable(cert)
+	r.pruneFinalizedLocked(cert.Slot)
+	r.snapInstalls++
+	r.mSnapInst.Inc()
+	r.trace.Record(tkStateXfer, cert.Slot, 1)
+	r.gLow.Set(int64(r.log.Low()))
+	r.gHigh.Set(int64(r.log.High()))
+
+	// Resume: drop the blocked-slot marker (it referred to a slot now
+	// below the checkpoint or will be re-raised), re-process buffered
+	// deliveries, and fetch the suffix above the checkpoint.
+	r.blockedOn = 0
+	r.queryAttempts = 0
+	buf := r.buffered
+	r.buffered = nil
+	for _, d := range buf {
+		r.processDeliveryLocked(d)
+	}
+	r.requestStateLocked()
 }

@@ -67,14 +67,18 @@ func (r *Replica) epochCertListLocked() []EpochCert {
 	return out
 }
 
-// wireEntriesLocked serializes log slots above base. Caller holds r.mu.
+// wireEntriesLocked serializes log slots above base. Slots at or below
+// the low watermark are truncated and cannot be served; the suffix
+// starts at the live window. Caller holds r.mu.
 func (r *Replica) wireEntriesLocked(base uint64) []WireEntry {
-	out := make([]WireEntry, 0, uint64(len(r.log))-base)
-	for i := base; i < uint64(len(r.log)); i++ {
-		e := r.log[i]
-		we := WireEntry{Slot: i + 1, Epoch: e.epoch, NoOp: e.noOp, Cert: e.cert, Gap: e.gapCert}
-		out = append(out, we)
+	if base < r.log.Low() {
+		base = r.log.Low()
 	}
+	out := make([]WireEntry, 0, r.log.High()-base)
+	r.log.Ascend(base+1, func(slot uint64, e *logEntry) bool {
+		out = append(out, WireEntry{Slot: slot, Epoch: e.epoch, NoOp: e.noOp, Cert: e.cert, Gap: e.gapCert})
+		return true
+	})
 	return out
 }
 
@@ -309,7 +313,7 @@ func (r *Replica) enterViewLocked(target ViewID, msgs []*viewChangeMsg) {
 		// Broadcast ⟨EPOCH-START, e′, log-slot-num⟩ and wait for the
 		// epoch certificate before processing the new epoch (§B.1).
 		r.vc.wantEpoch = target.Epoch
-		slot := uint64(len(r.log))
+		slot := r.log.High()
 		body := epochStartBody(target.Epoch, uint32(r.cfg.Self), slot)
 		tag := r.cfg.Auth.TagVector(body)
 		r.recordEpochStartLocked(target.Epoch, uint32(r.cfg.Self), slot, tag)
@@ -456,7 +460,7 @@ func (r *Replica) adoptMergedLocked(base uint64, merged []WireEntry, msgs []*vie
 	}
 	// Roll back all speculative execution above the committed prefix.
 	r.rollbackToLocked(keep + 1)
-	r.log = r.log[:min64(uint64(len(r.log)), keep)]
+	r.log.TruncateFrom(keep + 1)
 	for _, e := range merged {
 		if e.Slot <= keep {
 			continue
@@ -473,13 +477,6 @@ func (r *Replica) adoptMergedLocked(base uint64, merged []WireEntry, msgs []*vie
 	}
 	r.recomputeHashesLocked(keep + 1)
 	r.executeReadyLocked()
-}
-
-func min64(a, b uint64) uint64 {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // finishViewChangeLocked completes the transition into the target view.
@@ -522,8 +519,8 @@ func (r *Replica) reconcileAOMLocked() {
 		return
 	}
 	consumed := r.epochStart[r.view.Epoch] + r.recv.NextSeq() - 1
-	if consumed > uint64(len(r.log)) {
-		r.startGapResolutionLocked(uint64(len(r.log)) + 1)
+	if consumed > r.log.High() {
+		r.startGapResolutionLocked(r.log.High() + 1)
 	}
 }
 
@@ -575,7 +572,7 @@ func (r *Replica) maybeFinishEpochStartLocked() {
 		return
 	}
 	epoch := r.vc.wantEpoch
-	mySlot := uint64(len(r.log))
+	mySlot := r.log.High()
 	votes := r.epochVotes[epoch]
 	parts := make([]SignedPart, 0, len(votes))
 	for rep, v := range votes {

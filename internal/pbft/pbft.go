@@ -15,6 +15,7 @@ import (
 	"neobft/internal/metrics"
 	"neobft/internal/replication"
 	"neobft/internal/runtime"
+	"neobft/internal/seqlog"
 	"neobft/internal/transport"
 	"neobft/internal/wire"
 )
@@ -30,7 +31,14 @@ const (
 	kindViewChange
 	kindNewView
 	kindForward
+	kindCheckpoint
+	kindStateFetch
+	kindStateSnap
 )
+
+// ckptDomain separates PBFT checkpoint authenticators from other
+// protocols sharing the seqlog checkpoint wire format.
+const ckptDomain = "pbft-ckpt"
 
 // Config configures a PBFT replica.
 type Config struct {
@@ -46,6 +54,11 @@ type Config struct {
 	// window is what makes batching effective: requests arriving while
 	// the window is full accumulate into the next batch.
 	Window int
+	// CheckpointInterval is the checkpoint period in sequence numbers
+	// (default 128): after executing a multiple of it, replicas exchange
+	// signed state digests, and 2f+1 matching ones form a stable
+	// checkpoint certificate that truncates the log below it.
+	CheckpointInterval int
 	// RequestTimeout triggers primary suspicion for unexecuted client
 	// requests.
 	RequestTimeout time.Duration
@@ -92,33 +105,74 @@ type Replica struct {
 	vcStart  time.Time
 	vcMsgs   map[uint64]map[uint32]*vcMsg // target view → replica → msg
 
-	seq      uint64 // primary's next sequence number (last assigned)
-	slots    map[uint64]*slot
+	seq uint64 // primary's next sequence number (last assigned)
+	// log is the memory-bounded agreement window: slots keep their
+	// absolute sequence numbers while everything at or below the stable
+	// checkpoint (the low watermark) is truncated away.
+	log      seqlog.Log[*slot]
 	lastExec uint64
 	pending  []*replication.Request
 	inQueue  map[string]bool // dedupe queued requests by (client, reqID)
 	table    *replication.ClientTable
 
+	// ckpt collects checkpoint votes into stable certificates; pendingCkpt
+	// holds snapshots captured at interval boundaries awaiting stability,
+	// stable is the latest stable checkpoint (served during state
+	// transfer), and aheadClaims records, per replica, the highest
+	// checkpoint seq claimed beyond our window (f+1 such claims prove we
+	// are behind and trigger a state fetch).
+	ckpt        *seqlog.Engine
+	pendingCkpt map[uint64]*pendingCkpt
+	stable      *stableCkpt
+	aheadClaims map[uint32]uint64
+	lastFetch   time.Time
+
 	pendingClientReqs map[string]time.Time
 
 	rt *runtime.Runtime
 
-	executedOps uint64
-	viewChanges uint64
+	executedOps  uint64
+	viewChanges  uint64
+	snapInstalls uint64
 
 	// metrics (nil-safe no-ops when unconfigured)
 	reg         *metrics.Registry
 	mCommits    *metrics.Counter
 	mViewChg    *metrics.Counter
 	mAuthFail   *metrics.Counter
+	mCkpt       *metrics.Counter
+	mTruncated  *metrics.Counter
+	mSnapServe  *metrics.Counter
+	mSnapInst   *metrics.Counter
+	mHorizonRej *metrics.Counter
+	gLow        *metrics.Gauge
+	gHigh       *metrics.Gauge
 	msgCounters map[uint8]*metrics.Counter
 	trace       *metrics.Recorder
+}
+
+// pendingCkpt is a checkpoint captured when execution crossed an
+// interval boundary, awaiting a stable certificate.
+type pendingCkpt struct {
+	seq         uint64
+	stateDigest [32]byte
+	snapshot    []byte
+	digest      [32]byte // seqlog.Digest(ckptDomain, seq, stateDigest)
+}
+
+// stableCkpt is the latest stable checkpoint: the snapshot this replica
+// serves during state transfer plus its 2f+1 certificate.
+type stableCkpt struct {
+	pendingCkpt
+	cert *seqlog.Cert
 }
 
 var pbftKindNames = map[uint8]string{
 	kindPrePrepare: "pre_prepare", kindPrepare: "prepare",
 	kindCommit: "commit", kindViewChange: "view_change",
 	kindNewView: "new_view", kindForward: "forward",
+	kindCheckpoint: "checkpoint", kindStateFetch: "state_fetch",
+	kindStateSnap: "state_snapshot",
 }
 
 // New creates and starts a PBFT replica.
@@ -128,6 +182,9 @@ func New(cfg Config) *Replica {
 	}
 	if cfg.Window == 0 {
 		cfg.Window = 2
+	}
+	if cfg.CheckpointInterval == 0 {
+		cfg.CheckpointInterval = 128
 	}
 	if cfg.RequestTimeout == 0 {
 		cfg.RequestTimeout = 300 * time.Millisecond
@@ -147,9 +204,11 @@ func New(cfg Config) *Replica {
 	r := &Replica{
 		cfg:               cfg,
 		conn:              cfg.Conn,
-		slots:             map[uint64]*slot{},
 		inQueue:           map[string]bool{},
 		table:             replication.NewClientTable(),
+		ckpt:              seqlog.NewEngine(2*cfg.F + 1),
+		pendingCkpt:       map[uint64]*pendingCkpt{},
+		aheadClaims:       map[uint32]uint64{},
 		vcMsgs:            map[uint64]map[uint32]*vcMsg{},
 		pendingClientReqs: map[string]time.Time{},
 		rt:                cfg.Runtime,
@@ -159,6 +218,13 @@ func New(cfg Config) *Replica {
 	r.mCommits = reg.Counter("proto_commits_total")
 	r.mViewChg = reg.Counter("proto_view_changes_total")
 	r.mAuthFail = reg.Counter("proto_auth_fail_total")
+	r.mCkpt = reg.Counter("proto_checkpoints_total")
+	r.mTruncated = reg.Counter("proto_truncated_slots_total")
+	r.mSnapServe = reg.Counter("proto_state_snapshots_served_total")
+	r.mSnapInst = reg.Counter("proto_state_snapshots_installed_total")
+	r.mHorizonRej = reg.Counter("proto_sync_horizon_rejects_total")
+	r.gLow = reg.Gauge("proto_log_low_watermark")
+	r.gHigh = reg.Gauge("proto_log_high_watermark")
 	r.msgCounters = make(map[uint8]*metrics.Counter, len(pbftKindNames)+1)
 	r.msgCounters[replication.KindRequest] = reg.Counter("proto_msg_client_request_total")
 	for k, name := range pbftKindNames {
@@ -200,6 +266,37 @@ func (r *Replica) ViewChanges() uint64 {
 	return r.viewChanges
 }
 
+// LowWatermark returns the stable checkpoint sequence number below which
+// the log has been truncated.
+func (r *Replica) LowWatermark() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.log.Low()
+}
+
+// HighWatermark returns the highest materialized slot.
+func (r *Replica) HighWatermark() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.log.High()
+}
+
+// SnapshotInstalls returns how many snapshot state transfers this
+// replica has installed.
+func (r *Replica) SnapshotInstalls() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.snapInstalls
+}
+
+// CheckpointVotes returns the number of slots with outstanding
+// checkpoint votes (for Byzantine-bounding tests).
+func (r *Replica) CheckpointVotes() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ckpt.Votes()
+}
+
 func (r *Replica) primary() int    { return int(r.view) % r.cfg.N }
 func (r *Replica) isPrimary() bool { return r.primary() == r.cfg.Self }
 func (r *Replica) primaryNode() transport.NodeID {
@@ -215,12 +312,32 @@ func (r *Replica) broadcast(pkt []byte) {
 	}
 }
 
+// horizonLocked is the high watermark of the agreement window: two
+// checkpoint intervals above the stable checkpoint (PBFT's H = h + L).
+// Slots beyond it are refused, which both implements the watermark rule
+// and bounds the memory a Byzantine replica can pin with far-future
+// votes. Caller holds r.mu.
+func (r *Replica) horizonLocked() uint64 {
+	return r.log.Low() + 2*uint64(r.cfg.CheckpointInterval)
+}
+
+// slotFor returns the slot for seq, materializing the dense window up to
+// it. Sequence numbers at or below the stable checkpoint (already
+// truncated) or beyond the watermark window return nil; callers skip
+// them. Caller holds r.mu.
 func (r *Replica) slotFor(seq uint64) *slot {
-	s := r.slots[seq]
-	if s == nil {
-		s = &slot{prepares: map[uint32][]byte{}, commits: map[uint32][]byte{}}
-		r.slots[seq] = s
+	if seq == 0 || seq <= r.log.Low() {
+		return nil
 	}
+	if seq > r.horizonLocked() {
+		r.mHorizonRej.Inc()
+		return nil
+	}
+	for r.log.High() < seq {
+		r.log.Append(&slot{prepares: map[uint32][]byte{}, commits: map[uint32][]byte{}})
+	}
+	r.gHigh.Set(int64(r.log.High()))
+	s, _ := r.log.Get(seq)
 	return s
 }
 
@@ -334,6 +451,16 @@ type evCommit struct {
 type evViewChange struct{ body []byte }
 type evNewView struct{ body []byte }
 
+type evCheckpoint struct {
+	replica uint32
+	seq     uint64
+	stateD  [32]byte
+	tag     []byte
+}
+
+type evStateFetch struct{ haveExec uint64 }
+type evStateSnap struct{ body []byte }
+
 // VerifyPacket implements runtime.Handler. It runs on verification
 // workers and must not touch loop-owned state.
 func (r *Replica) VerifyPacket(from transport.NodeID, pkt []byte) runtime.Event {
@@ -402,6 +529,30 @@ func (r *Replica) VerifyPacket(from transport.NodeID, pkt []byte) runtime.Event 
 		return evViewChange{body: append([]byte(nil), pkt[1:]...)}
 	case kindNewView:
 		return evNewView{body: append([]byte(nil), pkt[1:]...)}
+	case kindCheckpoint:
+		rd := wire.NewReader(pkt[1:])
+		replica := rd.U32()
+		seq := rd.U64()
+		stateD := rd.Bytes32()
+		tag := append([]byte(nil), rd.VarBytes()...)
+		if rd.Done() != nil || int(replica) >= r.cfg.N {
+			return nil
+		}
+		digest := seqlog.Digest(ckptDomain, seq, stateD)
+		if !r.cfg.Auth.VerifyVector(int(replica), seqlog.Body(ckptDomain, seq, digest, replica), tag) {
+			r.mAuthFail.Inc()
+			return nil
+		}
+		return evCheckpoint{replica: replica, seq: seq, stateD: stateD, tag: tag}
+	case kindStateFetch:
+		rd := wire.NewReader(pkt[1:])
+		haveExec := rd.U64()
+		if rd.Done() != nil {
+			return nil
+		}
+		return evStateFetch{haveExec: haveExec}
+	case kindStateSnap:
+		return evStateSnap{body: append([]byte(nil), pkt[1:]...)}
 	}
 	return nil
 }
@@ -462,6 +613,12 @@ func (r *Replica) ApplyEvent(from transport.NodeID, ev runtime.Event) {
 		r.onViewChange(e.body)
 	case evNewView:
 		r.onNewView(e.body)
+	case evCheckpoint:
+		r.onCheckpoint(e)
+	case evStateFetch:
+		r.onStateFetch(from, e.haveExec)
+	case evStateSnap:
+		r.onStateSnap(e.body)
 	}
 }
 
@@ -504,6 +661,10 @@ func (r *Replica) tryIssueLocked() {
 	}
 	outstanding := r.seq - r.lastExec
 	for len(r.pending) > 0 && outstanding < uint64(r.cfg.Window) {
+		s := r.slotFor(r.seq + 1)
+		if s == nil {
+			return // watermark window full: wait for the next stable checkpoint
+		}
 		n := len(r.pending)
 		if n > r.cfg.BatchSize {
 			n = r.cfg.BatchSize
@@ -512,7 +673,6 @@ func (r *Replica) tryIssueLocked() {
 		r.pending = r.pending[n:]
 		r.seq++
 		seq := r.seq
-		s := r.slotFor(seq)
 		s.view = r.view
 		s.batch = batch
 		s.digest = batchDigest(batch)
@@ -538,6 +698,9 @@ func (r *Replica) onPrePrepare(e evPrePrepare) {
 		return
 	}
 	s := r.slotFor(seq)
+	if s == nil {
+		return
+	}
 	if s.batch != nil && s.view == view && s.digest != digest {
 		return // conflicting pre-prepare; ignore (view change handles)
 	}
@@ -566,6 +729,9 @@ func (r *Replica) onPrepare(e evPrepare) {
 		return
 	}
 	s := r.slotFor(e.seq)
+	if s == nil {
+		return
+	}
 	if s.batch != nil && s.digest != e.digest {
 		return
 	}
@@ -613,6 +779,9 @@ func (r *Replica) onCommit(e evCommit) {
 		return
 	}
 	s := r.slotFor(e.seq)
+	if s == nil {
+		return
+	}
 	if s.batch != nil && s.digest != e.digest {
 		return
 	}
@@ -633,8 +802,8 @@ func (r *Replica) maybeCommittedLocked(seq uint64, s *slot) {
 
 func (r *Replica) executeReadyLocked() {
 	for {
-		s := r.slots[r.lastExec+1]
-		if s == nil || !s.committed || s.executed {
+		s, ok := r.log.Get(r.lastExec + 1)
+		if !ok || !s.committed || s.executed {
 			return
 		}
 		seq := r.lastExec + 1
@@ -663,6 +832,11 @@ func (r *Replica) executeReadyLocked() {
 			delete(r.pendingClientReqs, reqKey(req.Client, req.ReqID))
 			delete(r.inQueue, reqKey(req.Client, req.ReqID))
 			r.conn.Send(req.Client, rep.Marshal())
+		}
+		if seq%uint64(r.cfg.CheckpointInterval) == 0 {
+			if st := r.ckpt.Stable(); st == nil || seq > st.Slot {
+				r.captureCheckpointLocked(seq)
+			}
 		}
 		r.tryIssueLocked()
 	}

@@ -10,6 +10,7 @@ import (
 	"neobft/internal/replication"
 	"neobft/internal/simnet"
 	"neobft/internal/transport"
+	"neobft/internal/wire"
 )
 
 type counterApp struct {
@@ -30,6 +31,28 @@ func (a *counterApp) value() int64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.sum
+}
+
+// Snapshot/Restore implement replication.Snapshotter so state-transfer
+// tests can verify application state travels with checkpoints.
+func (a *counterApp) Snapshot() []byte {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	w := wire.NewWriter(8)
+	w.U64(uint64(a.sum))
+	return w.Bytes()
+}
+
+func (a *counterApp) Restore(data []byte) error {
+	r := wire.NewReader(data)
+	sum := int64(r.U64())
+	if err := r.Done(); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	a.sum = sum
+	a.mu.Unlock()
+	return nil
 }
 
 type cluster struct {

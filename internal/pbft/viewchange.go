@@ -4,16 +4,20 @@ import (
 	"time"
 
 	"neobft/internal/replication"
+	"neobft/internal/seqlog"
 	"neobft/internal/wire"
 )
 
-// PBFT view change. Without checkpoints (this implementation keeps the
-// whole log in memory, as the evaluation runs are bounded), a view-change
-// message carries a prepared-proof for every prepared slot: the batch,
-// its digest, the view it prepared in and the 2f prepare authenticators.
-// The new primary re-issues pre-prepares in the new view for every slot
-// above the smallest executed prefix in its 2f+1 view-change quorum,
-// filling unprepared holes with empty (no-op) batches.
+// PBFT view change (Castro & Liskov §4.4). A view-change message
+// carries the replica's stable checkpoint certificate plus a
+// prepared-proof for every prepared slot above it: the batch, its
+// digest, the view it prepared in and the 2f prepare authenticators.
+// The new primary's recovery base is the highest stable checkpoint in
+// its 2f+1 quorum — everything below it is finalized by certificate and
+// needs no proofs — and it re-issues pre-prepares in the new view for
+// every slot above that base, filling unprepared holes with empty
+// (no-op) batches. Replicas whose execution is below the base fetch the
+// checkpoint snapshot instead of the truncated batches.
 
 type preparedProof struct {
 	Seq    uint64
@@ -27,8 +31,13 @@ type vcMsg struct {
 	Replica  uint32
 	Target   uint64
 	LastExec uint64
-	Proofs   []preparedProof
-	Tag      []byte
+	// StableSeq/StableCert carry the replica's stable checkpoint (zero /
+	// empty before the first checkpoint forms). Prepared-proofs cover
+	// only slots above StableSeq.
+	StableSeq  uint64
+	StableCert []byte // marshaled seqlog.Cert
+	Proofs     []preparedProof
+	Tag        []byte
 }
 
 func (m *vcMsg) body() []byte {
@@ -37,6 +46,8 @@ func (m *vcMsg) body() []byte {
 	w.U32(m.Replica)
 	w.U64(m.Target)
 	w.U64(m.LastExec)
+	w.U64(m.StableSeq)
+	w.VarBytes(m.StableCert)
 	w.U32(uint32(len(m.Proofs)))
 	for i := range m.Proofs {
 		p := &m.Proofs[i]
@@ -77,6 +88,8 @@ func unmarshalVC(pkt []byte) (*vcMsg, bool) {
 	m.Replica = br.U32()
 	m.Target = br.U64()
 	m.LastExec = br.U64()
+	m.StableSeq = br.U64()
+	m.StableCert = append([]byte(nil), br.VarBytes()...)
 	n := br.U32()
 	if br.Err() != nil || n > 1<<20 {
 		return nil, false
@@ -119,13 +132,20 @@ func (r *Replica) startViewChangeLocked(target uint64) {
 	r.vcStart = time.Now()
 
 	m := &vcMsg{Replica: uint32(r.cfg.Self), Target: target, LastExec: r.lastExec}
-	for seq, s := range r.slots {
+	if r.stable != nil {
+		m.StableSeq = r.stable.seq
+		m.StableCert = r.stable.cert.Marshal()
+	}
+	// Proofs cover only the live window above the stable checkpoint; the
+	// certificate vouches for everything below it.
+	r.log.Ascend(r.log.Low()+1, func(seq uint64, s *slot) bool {
 		if s.prepared && s.batch != nil {
 			m.Proofs = append(m.Proofs, preparedProof{
 				Seq: seq, View: s.view, Digest: s.digest, Batch: s.batch, Proof: s.prepareProof,
 			})
 		}
-	}
+		return true
+	})
 	m.Tag = r.cfg.Auth.TagVector(m.body())
 	r.storeVCLocked(m)
 	r.broadcast(m.marshal())
@@ -166,11 +186,36 @@ func (r *Replica) onViewChange(pkt []byte) {
 	r.maybeNewViewLocked(m.Target)
 }
 
-// validProofsLocked validates every prepared-proof in a view-change
-// message. Caller holds r.mu.
+// validStableLocked validates the stable checkpoint certificate carried
+// in a view-change message, returning the parsed certificate (nil when
+// the message legitimately carries none). Caller holds r.mu.
+func (r *Replica) validStableLocked(m *vcMsg) (*seqlog.Cert, bool) {
+	if m.StableSeq == 0 && len(m.StableCert) == 0 {
+		return nil, true
+	}
+	cert, err := seqlog.UnmarshalCert(m.StableCert)
+	if err != nil || cert.Slot != m.StableSeq {
+		return nil, false
+	}
+	if !cert.Verify(ckptDomain, r.cfg.N, 2*r.cfg.F+1, func(rep uint32, b, tag []byte) bool {
+		return r.cfg.Auth.VerifyVector(int(rep), b, tag)
+	}) {
+		return nil, false
+	}
+	return cert, true
+}
+
+// validProofsLocked validates a view-change message's stable checkpoint
+// certificate and every prepared-proof above it. Caller holds r.mu.
 func (r *Replica) validProofsLocked(m *vcMsg) bool {
+	if _, ok := r.validStableLocked(m); !ok {
+		return false
+	}
 	for i := range m.Proofs {
 		p := &m.Proofs[i]
+		if p.Seq <= m.StableSeq {
+			return false
+		}
 		if batchDigest(p.Batch) != p.Digest {
 			return false
 		}
@@ -293,16 +338,25 @@ func (r *Replica) onNewView(pkt []byte) {
 	r.enterNewViewLocked(view, msgs)
 }
 
-// enterNewViewLocked installs the new view: every slot above the smallest
-// executed prefix in the quorum is re-issued with the prepared batch of
-// the highest view (or an empty no-op batch for holes). Caller holds r.mu.
+// enterNewViewLocked installs the new view. The recovery base is the
+// highest stable checkpoint in the quorum — slots at or below it are
+// finalized by certificate, and their batches may no longer exist
+// anywhere — and every slot above it up to the quorum's tip is
+// re-issued with the prepared batch of the highest view (or an empty
+// no-op batch for holes). Caller holds r.mu.
 func (r *Replica) enterNewViewLocked(view uint64, msgs []*vcMsg) {
-	base := msgs[0].LastExec
+	var base uint64
+	var baseCert *seqlog.Cert
+	var baseFrom uint32
 	var maxSeq uint64
 	chosen := map[uint64]*preparedProof{}
 	for _, m := range msgs {
-		if m.LastExec < base {
-			base = m.LastExec
+		if m.StableSeq > base {
+			if c, ok := r.validStableLocked(m); ok && c != nil {
+				base = m.StableSeq
+				baseCert = c
+				baseFrom = m.Replica
+			}
 		}
 		if m.LastExec > maxSeq {
 			maxSeq = m.LastExec
@@ -316,6 +370,9 @@ func (r *Replica) enterNewViewLocked(view uint64, msgs []*vcMsg) {
 				chosen[p.Seq] = p
 			}
 		}
+	}
+	if baseCert != nil {
+		r.ckpt.SetStable(baseCert)
 	}
 	r.view = view
 	r.inVC = false
@@ -335,7 +392,9 @@ func (r *Replica) enterNewViewLocked(view uint64, msgs []*vcMsg) {
 	}
 	for seq := base + 1; seq <= maxSeq; seq++ {
 		s := r.slotFor(seq)
-		if s.executed {
+		if s == nil || s.executed {
+			// Below our low watermark (already checkpointed locally) or
+			// beyond our window (recovered by checkpoint fetch later).
 			continue
 		}
 		var batch []*replication.Request
@@ -377,6 +436,12 @@ func (r *Replica) enterNewViewLocked(view uint64, msgs []*vcMsg) {
 			w.VarBytes(ptag)
 			r.broadcast(w.Bytes())
 		}
+	}
+	if r.lastExec < base {
+		// Our execution is below the quorum's stable checkpoint: the
+		// batches for those slots are garbage-collected, so fetch the
+		// snapshot from the replica that supplied the certificate.
+		r.sendStateFetchLocked(int(baseFrom))
 	}
 	r.tryIssueLocked()
 }

@@ -18,7 +18,7 @@ type fakeConn struct {
 	h  transport.Handler
 }
 
-func (c *fakeConn) ID() transport.NodeID { return c.id }
+func (c *fakeConn) ID() transport.NodeID                 { return c.id }
 func (c *fakeConn) Send(to transport.NodeID, pkt []byte) {}
 func (c *fakeConn) SetHandler(h transport.Handler) {
 	c.mu.Lock()

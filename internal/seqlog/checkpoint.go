@@ -1,0 +1,194 @@
+// Checkpoint engine: collects per-replica signed checkpoint digests and
+// promotes a quorum of matching ones into a stable checkpoint
+// certificate, the finality point below which the log may be truncated.
+package seqlog
+
+import (
+	"errors"
+
+	"neobft/internal/wire"
+)
+
+// Body returns the canonical byte string a replica authenticates when
+// voting for checkpoint (slot, digest). It is deliberately
+// view-independent (like PBFT's ⟨CHECKPOINT, n, d, i⟩) so certificates
+// built from these votes survive view changes.
+func Body(domain string, slot uint64, digest [32]byte, replica uint32) []byte {
+	w := wire.NewWriter(64 + len(domain))
+	w.Raw([]byte(domain))
+	w.U64(slot)
+	w.Bytes32(digest)
+	w.U32(replica)
+	return w.Bytes()
+}
+
+// Digest folds a checkpoint's components (typically the log hash and the
+// application state digest at the checkpoint slot) into the single
+// digest replicas vote on.
+func Digest(domain string, slot uint64, parts ...[32]byte) [32]byte {
+	w := wire.NewWriter(16 + len(domain) + 32*len(parts))
+	w.Raw([]byte(domain))
+	w.U64(slot)
+	for _, p := range parts {
+		w.Bytes32(p)
+	}
+	return wire.Digest(w.Bytes())
+}
+
+// Part is one replica's authenticated vote inside a certificate.
+type Part struct {
+	Replica uint32
+	Tag     []byte
+}
+
+// Cert is a stable checkpoint certificate: a quorum of authenticated
+// votes for the same (slot, digest).
+type Cert struct {
+	Slot   uint64
+	Digest [32]byte
+	Parts  []Part
+}
+
+// Marshal encodes the certificate.
+func (c *Cert) Marshal() []byte {
+	w := wire.NewWriter(64 + 48*len(c.Parts))
+	w.U64(c.Slot)
+	w.Bytes32(c.Digest)
+	w.U16(uint16(len(c.Parts)))
+	for _, p := range c.Parts {
+		w.U32(p.Replica)
+		w.VarBytes(p.Tag)
+	}
+	return w.Bytes()
+}
+
+var errCertTooManyParts = errors.New("seqlog: certificate part count out of range")
+
+// UnmarshalCert decodes a certificate. It validates structure only;
+// call Verify to check the votes.
+func UnmarshalCert(b []byte) (*Cert, error) {
+	rd := wire.NewReader(b)
+	c := &Cert{}
+	c.Slot = rd.U64()
+	c.Digest = rd.Bytes32()
+	n := rd.U16()
+	if n > 1<<10 {
+		return nil, errCertTooManyParts
+	}
+	c.Parts = make([]Part, n)
+	for i := range c.Parts {
+		c.Parts[i].Replica = rd.U32()
+		c.Parts[i].Tag = append([]byte(nil), rd.VarBytes()...)
+	}
+	if err := rd.Done(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Verify checks that the certificate holds at least quorum votes from
+// distinct replicas in [0, n), each authenticating Body(domain, slot,
+// digest, replica) under verify.
+func (c *Cert) Verify(domain string, n, quorum int, verify func(replica uint32, body, tag []byte) bool) bool {
+	seen := make(map[uint32]bool, len(c.Parts))
+	valid := 0
+	for _, p := range c.Parts {
+		if int(p.Replica) >= n || seen[p.Replica] {
+			return false
+		}
+		seen[p.Replica] = true
+		if !verify(p.Replica, Body(domain, c.Slot, c.Digest, p.Replica), p.Tag) {
+			return false
+		}
+		valid++
+	}
+	return valid >= quorum
+}
+
+type ckptVote struct {
+	digest [32]byte
+	tag    []byte
+}
+
+// Engine accumulates checkpoint votes and forms stable certificates.
+// Votes are keyed by (slot, replica); a replica re-voting for a slot
+// replaces its earlier vote (speculative protocols re-checkpoint after
+// rollback). The engine assumes the caller has already authenticated
+// each vote's tag against Body(domain, slot, digest, replica).
+type Engine struct {
+	// Quorum is the number of matching votes that makes a checkpoint
+	// stable (2f+1 for PBFT-style protocols, f+1 for MinBFT).
+	Quorum int
+
+	votes  map[uint64]map[uint32]ckptVote
+	stable *Cert
+}
+
+// NewEngine creates an engine with the given stability quorum.
+func NewEngine(quorum int) *Engine {
+	return &Engine{Quorum: quorum, votes: make(map[uint64]map[uint32]ckptVote)}
+}
+
+// Stable returns the highest stable certificate formed so far (nil if
+// none).
+func (e *Engine) Stable() *Cert { return e.stable }
+
+// SetStable installs an externally obtained certificate (e.g. received
+// during state transfer) if it is higher than the current one.
+func (e *Engine) SetStable(c *Cert) {
+	if c == nil {
+		return
+	}
+	if e.stable == nil || c.Slot > e.stable.Slot {
+		e.stable = c
+		e.prune(c.Slot)
+	}
+}
+
+// Add records a replica's authenticated vote for (slot, digest). If the
+// vote completes a quorum of matching digests at a slot above the
+// current stable checkpoint, the new stable certificate is formed,
+// votes at or below it are discarded, and the certificate is returned;
+// otherwise Add returns nil.
+func (e *Engine) Add(slot uint64, replica uint32, digest [32]byte, tag []byte) *Cert {
+	if e.stable != nil && slot <= e.stable.Slot {
+		return nil
+	}
+	m := e.votes[slot]
+	if m == nil {
+		m = make(map[uint32]ckptVote)
+		e.votes[slot] = m
+	}
+	m[replica] = ckptVote{digest: digest, tag: append([]byte(nil), tag...)}
+
+	matching := 0
+	for _, v := range m {
+		if v.digest == digest {
+			matching++
+		}
+	}
+	if matching < e.Quorum {
+		return nil
+	}
+	cert := &Cert{Slot: slot, Digest: digest}
+	for r, v := range m {
+		if v.digest == digest {
+			cert.Parts = append(cert.Parts, Part{Replica: r, Tag: v.tag})
+		}
+	}
+	e.stable = cert
+	e.prune(slot)
+	return cert
+}
+
+// Votes returns the number of slots with outstanding (non-stable)
+// votes, for bounding checks in tests.
+func (e *Engine) Votes() int { return len(e.votes) }
+
+func (e *Engine) prune(slot uint64) {
+	for s := range e.votes {
+		if s <= slot {
+			delete(e.votes, s)
+		}
+	}
+}

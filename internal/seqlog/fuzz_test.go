@@ -1,0 +1,39 @@
+package seqlog
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshalCert throws arbitrary bytes at the checkpoint-certificate
+// decoder: it must never panic, and anything it accepts must survive a
+// marshal → unmarshal round trip unchanged (canonical encoding).
+func FuzzUnmarshalCert(f *testing.F) {
+	f.Add([]byte{})
+	f.Add((&Cert{Slot: 7, Digest: [32]byte{1, 2, 3}}).Marshal())
+	f.Add((&Cert{
+		Slot:   1 << 40,
+		Digest: Digest("fuzz", 1<<40, [32]byte{0xFF}),
+		Parts: []Part{
+			{Replica: 0, Tag: []byte("tag-0")},
+			{Replica: 3, Tag: bytes.Repeat([]byte{0xAB}, 32)},
+		},
+	}).Marshal())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := UnmarshalCert(data)
+		if err != nil {
+			return
+		}
+		re := c.Marshal()
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted non-canonical encoding:\n in: %x\nout: %x", data, re)
+		}
+		c2, err := UnmarshalCert(re)
+		if err != nil {
+			t.Fatalf("re-unmarshal of canonical bytes failed: %v", err)
+		}
+		if c2.Slot != c.Slot || c2.Digest != c.Digest || len(c2.Parts) != len(c.Parts) {
+			t.Fatal("round trip changed certificate")
+		}
+	})
+}

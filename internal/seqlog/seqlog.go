@@ -1,0 +1,189 @@
+// Package seqlog is the shared memory-bounded replicated-log subsystem:
+// an offset-indexed log store whose slots are addressed by absolute
+// sequence number over a truncatable ring buffer, plus a checkpoint
+// engine that collects quorums of matching signed checkpoint digests
+// into stable checkpoint certificates (PBFT-style; NeoBFT §B.2 builds
+// its periodic state synchronization on the same structure). Every
+// protocol in this repository stores its per-slot state in a Log and
+// reclaims memory below the low watermark once the corresponding
+// checkpoint becomes stable, so replicas can run indefinitely under
+// sustained load without the log growing without bound.
+package seqlog
+
+// Log is an offset-indexed log store. Slots are numbered from 1 and
+// addressed by absolute sequence number forever, even as old slots are
+// truncated away: the live window is (Low, High], backed by a ring
+// buffer that wraps and grows on demand. The zero value is an empty log
+// with both watermarks at 0.
+//
+// Log is not safe for concurrent use; callers hold their replica lock.
+type Log[T any] struct {
+	buf   []T
+	start int    // ring index of slot low+1
+	n     int    // number of live slots
+	low   uint64 // low watermark: highest truncated slot
+}
+
+// Low returns the low watermark: the highest slot that has been
+// truncated away (0 if nothing was truncated).
+func (l *Log[T]) Low() uint64 { return l.low }
+
+// High returns the high watermark: the highest slot ever appended
+// (0 for an empty, never-truncated log).
+func (l *Log[T]) High() uint64 { return l.low + uint64(l.n) }
+
+// Len returns the number of live (non-truncated) slots.
+func (l *Log[T]) Len() int { return l.n }
+
+// idx maps an absolute slot in (low, low+n] to its ring index.
+func (l *Log[T]) idx(slot uint64) int {
+	i := l.start + int(slot-l.low-1)
+	if i >= len(l.buf) {
+		i -= len(l.buf)
+	}
+	return i
+}
+
+// Append stores v in the next slot and returns its absolute number.
+func (l *Log[T]) Append(v T) uint64 {
+	if l.n == len(l.buf) {
+		l.grow()
+	}
+	i := l.start + l.n
+	if i >= len(l.buf) {
+		i -= len(l.buf)
+	}
+	l.buf[i] = v
+	l.n++
+	return l.low + uint64(l.n)
+}
+
+func (l *Log[T]) grow() {
+	newCap := 2 * len(l.buf)
+	if newCap < 8 {
+		newCap = 8
+	}
+	nb := make([]T, newCap)
+	for i := 0; i < l.n; i++ {
+		j := l.start + i
+		if j >= len(l.buf) {
+			j -= len(l.buf)
+		}
+		nb[i] = l.buf[j]
+	}
+	l.buf = nb
+	l.start = 0
+}
+
+// Get returns the value at an absolute slot. ok is false below the low
+// watermark (truncated) and above the high watermark (not yet appended).
+func (l *Log[T]) Get(slot uint64) (v T, ok bool) {
+	if slot <= l.low || slot > l.low+uint64(l.n) {
+		return v, false
+	}
+	return l.buf[l.idx(slot)], true
+}
+
+// Set overwrites the value at a live absolute slot; it reports whether
+// the slot was in the live window.
+func (l *Log[T]) Set(slot uint64, v T) bool {
+	if slot <= l.low || slot > l.low+uint64(l.n) {
+		return false
+	}
+	l.buf[l.idx(slot)] = v
+	return true
+}
+
+// Last returns the value at the high watermark (ok false when the live
+// window is empty).
+func (l *Log[T]) Last() (v T, ok bool) {
+	if l.n == 0 {
+		return v, false
+	}
+	return l.buf[l.idx(l.low+uint64(l.n))], true
+}
+
+// TruncateTo drops every slot ≤ slot, advancing the low watermark.
+// Requests at or below the current low watermark are no-ops; requests
+// above the high watermark are clamped to it (the watermark never moves
+// past what was appended). Truncated cells are zeroed so the garbage
+// collector can reclaim what they referenced. Returns the number of
+// slots dropped.
+func (l *Log[T]) TruncateTo(slot uint64) int {
+	if slot <= l.low {
+		return 0
+	}
+	if slot > l.low+uint64(l.n) {
+		slot = l.low + uint64(l.n)
+	}
+	drop := int(slot - l.low)
+	var zero T
+	for i := 0; i < drop; i++ {
+		j := l.start + i
+		if j >= len(l.buf) {
+			j -= len(l.buf)
+		}
+		l.buf[j] = zero
+	}
+	l.start += drop
+	if len(l.buf) > 0 && l.start >= len(l.buf) {
+		l.start -= len(l.buf)
+	}
+	l.n -= drop
+	l.low = slot
+	return drop
+}
+
+// TruncateFrom drops every slot ≥ slot (the suffix), lowering the high
+// watermark; the low watermark is unchanged. Used by view changes that
+// rewrite uncommitted log tails. A slot at or below low+1 empties the
+// live window. Returns the number of slots dropped.
+func (l *Log[T]) TruncateFrom(slot uint64) int {
+	high := l.low + uint64(l.n)
+	if slot > high {
+		return 0
+	}
+	keep := 0
+	if slot > l.low+1 {
+		keep = int(slot - l.low - 1)
+	}
+	drop := l.n - keep
+	var zero T
+	for i := keep; i < l.n; i++ {
+		j := l.start + i
+		if j >= len(l.buf) {
+			j -= len(l.buf)
+		}
+		l.buf[j] = zero
+	}
+	l.n = keep
+	return drop
+}
+
+// Reset empties the log and sets the low watermark, as after installing
+// a snapshot taken at slot low: the next Append lands in slot low+1.
+func (l *Log[T]) Reset(low uint64) {
+	var zero T
+	for i := 0; i < l.n; i++ {
+		j := l.start + i
+		if j >= len(l.buf) {
+			j -= len(l.buf)
+		}
+		l.buf[j] = zero
+	}
+	l.start, l.n = 0, 0
+	l.low = low
+}
+
+// Ascend calls fn for each live slot ≥ from in increasing slot order,
+// stopping early when fn returns false.
+func (l *Log[T]) Ascend(from uint64, fn func(slot uint64, v T) bool) {
+	if from <= l.low {
+		from = l.low + 1
+	}
+	for s := from; s <= l.low+uint64(l.n); s++ {
+		if !fn(s, l.buf[l.idx(s)]) {
+			return
+		}
+	}
+}

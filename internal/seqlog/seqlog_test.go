@@ -1,0 +1,284 @@
+package seqlog
+
+import (
+	"testing"
+)
+
+func TestLogAppendGet(t *testing.T) {
+	var l Log[int]
+	for i := 1; i <= 100; i++ {
+		if slot := l.Append(i); slot != uint64(i) {
+			t.Fatalf("Append returned slot %d, want %d", slot, i)
+		}
+	}
+	if l.Low() != 0 || l.High() != 100 || l.Len() != 100 {
+		t.Fatalf("watermarks low=%d high=%d len=%d, want 0/100/100", l.Low(), l.High(), l.Len())
+	}
+	for i := 1; i <= 100; i++ {
+		v, ok := l.Get(uint64(i))
+		if !ok || v != i {
+			t.Fatalf("Get(%d) = %d, %v", i, v, ok)
+		}
+	}
+	if _, ok := l.Get(0); ok {
+		t.Fatal("Get(0) should fail")
+	}
+	if _, ok := l.Get(101); ok {
+		t.Fatal("Get above high watermark should fail")
+	}
+	if v, ok := l.Last(); !ok || v != 100 {
+		t.Fatalf("Last = %d, %v", v, ok)
+	}
+}
+
+// TestLogWatermarks is the table-driven watermark-arithmetic and
+// truncation edge-case suite: truncate-at-zero, re-truncate (idempotent
+// and clamped), access below the low watermark, and ring wraparound.
+func TestLogWatermarks(t *testing.T) {
+	cases := []struct {
+		name     string
+		appends  int // slots appended up front
+		truncate []uint64
+		wantLow  uint64
+		wantHigh uint64
+	}{
+		{name: "truncate-at-zero", appends: 5, truncate: []uint64{0}, wantLow: 0, wantHigh: 5},
+		{name: "truncate-empty-log", appends: 0, truncate: []uint64{7}, wantLow: 0, wantHigh: 0},
+		{name: "truncate-half", appends: 10, truncate: []uint64{5}, wantLow: 5, wantHigh: 10},
+		{name: "re-truncate-lower-noop", appends: 10, truncate: []uint64{6, 3}, wantLow: 6, wantHigh: 10},
+		{name: "re-truncate-same-noop", appends: 10, truncate: []uint64{6, 6}, wantLow: 6, wantHigh: 10},
+		{name: "re-truncate-advance", appends: 10, truncate: []uint64{3, 7}, wantLow: 7, wantHigh: 10},
+		{name: "truncate-past-high-clamps", appends: 4, truncate: []uint64{99}, wantLow: 4, wantHigh: 4},
+		{name: "truncate-all", appends: 8, truncate: []uint64{8}, wantLow: 8, wantHigh: 8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var l Log[uint64]
+			for i := 1; i <= tc.appends; i++ {
+				l.Append(uint64(i))
+			}
+			for _, s := range tc.truncate {
+				l.TruncateTo(s)
+			}
+			if l.Low() != tc.wantLow || l.High() != tc.wantHigh {
+				t.Fatalf("low=%d high=%d, want %d/%d", l.Low(), l.High(), tc.wantLow, tc.wantHigh)
+			}
+			// Everything at or below low is inaccessible; above it, values
+			// keep their absolute-slot identity.
+			for s := uint64(0); s <= tc.wantLow; s++ {
+				if _, ok := l.Get(s); ok {
+					t.Fatalf("Get(%d) below low watermark %d succeeded", s, tc.wantLow)
+				}
+			}
+			for s := tc.wantLow + 1; s <= tc.wantHigh; s++ {
+				v, ok := l.Get(s)
+				if !ok || v != s {
+					t.Fatalf("Get(%d) = %d, %v after truncation", s, v, ok)
+				}
+			}
+		})
+	}
+}
+
+// TestLogWraparound interleaves appends and truncations so the live
+// window crosses the backing array boundary many times without growing.
+func TestLogWraparound(t *testing.T) {
+	var l Log[uint64]
+	next := uint64(1)
+	for i := 0; i < 6; i++ {
+		l.Append(next)
+		next++
+	}
+	capBefore := len(l.buf)
+	for round := 0; round < 50; round++ {
+		// Drop 4, append 4: the window slides through the ring.
+		l.TruncateTo(l.Low() + 4)
+		for i := 0; i < 4; i++ {
+			l.Append(next)
+			next++
+		}
+		if l.Len() != 6 {
+			t.Fatalf("round %d: len = %d, want 6", round, l.Len())
+		}
+		for s := l.Low() + 1; s <= l.High(); s++ {
+			v, ok := l.Get(s)
+			if !ok || v != s {
+				t.Fatalf("round %d: Get(%d) = %d, %v", round, s, v, ok)
+			}
+		}
+	}
+	if len(l.buf) != capBefore {
+		t.Fatalf("ring grew from %d to %d despite bounded window", capBefore, len(l.buf))
+	}
+}
+
+func TestLogTruncateFrom(t *testing.T) {
+	var l Log[uint64]
+	for i := uint64(1); i <= 10; i++ {
+		l.Append(i)
+	}
+	l.TruncateTo(3)
+	if n := l.TruncateFrom(8); n != 3 {
+		t.Fatalf("TruncateFrom(8) dropped %d, want 3", n)
+	}
+	if l.Low() != 3 || l.High() != 7 {
+		t.Fatalf("low=%d high=%d, want 3/7", l.Low(), l.High())
+	}
+	// Appends continue from the new high watermark.
+	if slot := l.Append(8); slot != 8 {
+		t.Fatalf("Append landed in slot %d, want 8", slot)
+	}
+	// TruncateFrom at or below low+1 empties the live window.
+	l.TruncateFrom(l.Low() + 1)
+	if l.Len() != 0 || l.Low() != 3 || l.High() != 3 {
+		t.Fatalf("after emptying: len=%d low=%d high=%d", l.Len(), l.Low(), l.High())
+	}
+	// TruncateFrom above high is a no-op.
+	if n := l.TruncateFrom(99); n != 0 {
+		t.Fatalf("TruncateFrom above high dropped %d", n)
+	}
+}
+
+func TestLogReset(t *testing.T) {
+	var l Log[int]
+	for i := 0; i < 20; i++ {
+		l.Append(i)
+	}
+	l.Reset(256)
+	if l.Low() != 256 || l.High() != 256 || l.Len() != 0 {
+		t.Fatalf("after Reset(256): low=%d high=%d len=%d", l.Low(), l.High(), l.Len())
+	}
+	if slot := l.Append(42); slot != 257 {
+		t.Fatalf("first append after reset landed in %d, want 257", slot)
+	}
+}
+
+func TestLogSetAndAscend(t *testing.T) {
+	var l Log[uint64]
+	for i := uint64(1); i <= 10; i++ {
+		l.Append(i)
+	}
+	l.TruncateTo(4)
+	if l.Set(4, 99) {
+		t.Fatal("Set below low watermark succeeded")
+	}
+	if l.Set(11, 99) {
+		t.Fatal("Set above high watermark succeeded")
+	}
+	if !l.Set(7, 70) {
+		t.Fatal("Set of live slot failed")
+	}
+	var got []uint64
+	l.Ascend(0, func(slot uint64, v uint64) bool {
+		got = append(got, v)
+		return true
+	})
+	want := []uint64{5, 6, 70, 8, 9, 10}
+	if len(got) != len(want) {
+		t.Fatalf("Ascend visited %d slots, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ascend[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// Early stop.
+	count := 0
+	l.Ascend(6, func(uint64, uint64) bool { count++; return count < 2 })
+	if count != 2 {
+		t.Fatalf("Ascend early stop visited %d", count)
+	}
+}
+
+func TestEngineQuorum(t *testing.T) {
+	e := NewEngine(3)
+	d1 := Digest("test", 10, [32]byte{1})
+	d2 := Digest("test", 10, [32]byte{2})
+	if d1 == d2 {
+		t.Fatal("digests should differ")
+	}
+	if c := e.Add(10, 0, d1, []byte("t0")); c != nil {
+		t.Fatal("single vote formed a certificate")
+	}
+	if c := e.Add(10, 1, d2, []byte("t1")); c != nil {
+		t.Fatal("mismatched vote formed a certificate")
+	}
+	if c := e.Add(10, 2, d1, []byte("t2")); c != nil {
+		t.Fatal("two matching votes formed a certificate at quorum 3")
+	}
+	c := e.Add(10, 3, d1, []byte("t3"))
+	if c == nil {
+		t.Fatal("quorum of matching votes formed no certificate")
+	}
+	if c.Slot != 10 || c.Digest != d1 || len(c.Parts) != 3 {
+		t.Fatalf("cert slot=%d parts=%d", c.Slot, len(c.Parts))
+	}
+	if e.Stable() != c {
+		t.Fatal("Stable() does not return the formed certificate")
+	}
+	// Votes at or below the stable slot are discarded.
+	if e.Votes() != 0 {
+		t.Fatalf("votes not pruned: %d slots outstanding", e.Votes())
+	}
+	if c := e.Add(10, 0, d1, []byte("t0")); c != nil {
+		t.Fatal("vote at stable slot formed a certificate")
+	}
+	// Re-voting replaces: replica 1 switches from d2 to d1 at a later slot.
+	d3 := Digest("test", 20, [32]byte{3})
+	e.Add(20, 0, d3, []byte("u0"))
+	e.Add(20, 1, d2, []byte("u1"))
+	e.Add(20, 1, d3, []byte("u1b"))
+	if c := e.Add(20, 2, d3, []byte("u2")); c == nil {
+		t.Fatal("replaced vote did not count toward quorum")
+	}
+}
+
+func TestCertRoundTripAndVerify(t *testing.T) {
+	c := &Cert{Slot: 512, Digest: Digest("d", 512, [32]byte{9})}
+	for i := 0; i < 3; i++ {
+		c.Parts = append(c.Parts, Part{Replica: uint32(i), Tag: []byte{byte(i), 0xAA}})
+	}
+	got, err := UnmarshalCert(c.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Slot != c.Slot || got.Digest != c.Digest || len(got.Parts) != 3 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	okVerify := func(replica uint32, body, tag []byte) bool {
+		return string(Body("d", c.Slot, c.Digest, replica)) == string(body)
+	}
+	if !got.Verify("d", 4, 3, okVerify) {
+		t.Fatal("valid cert failed verification")
+	}
+	if got.Verify("d", 4, 4, okVerify) {
+		t.Fatal("cert passed with quorum above part count")
+	}
+	if got.Verify("d", 2, 3, okVerify) {
+		t.Fatal("cert passed with out-of-range replica index")
+	}
+	// Duplicate replica parts are rejected.
+	dup := &Cert{Slot: 1, Digest: c.Digest, Parts: []Part{{Replica: 0}, {Replica: 0}}}
+	if dup.Verify("d", 4, 2, okVerify) {
+		t.Fatal("cert with duplicate replica passed")
+	}
+	badVerify := func(uint32, []byte, []byte) bool { return false }
+	if got.Verify("d", 4, 3, badVerify) {
+		t.Fatal("cert passed with failing authenticator")
+	}
+}
+
+func TestUnmarshalCertRejects(t *testing.T) {
+	if _, err := UnmarshalCert(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := UnmarshalCert([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short input accepted")
+	}
+	// Trailing bytes are rejected.
+	c := &Cert{Slot: 1}
+	b := append(c.Marshal(), 0)
+	if _, err := UnmarshalCert(b); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}

@@ -5,6 +5,7 @@
 package unreplicated
 
 import (
+	"crypto/sha256"
 	"sync"
 	"time"
 
@@ -12,14 +13,24 @@ import (
 	"neobft/internal/metrics"
 	"neobft/internal/replication"
 	"neobft/internal/runtime"
+	"neobft/internal/seqlog"
 	"neobft/internal/transport"
 )
+
+// ckptDomain separates the server's checkpoint digests from the
+// replicated protocols sharing the seqlog helpers.
+const ckptDomain = "unrep-ckpt"
 
 // Config configures an unreplicated server.
 type Config struct {
 	Conn       transport.Conn
 	App        replication.App
 	ClientAuth *auth.ReplicaSide
+	// CheckpointInterval is the number of operations between checkpoints
+	// (default 128). With a single server every checkpoint is trivially
+	// stable: the log truncates immediately, so the window never exceeds
+	// one interval.
+	CheckpointInterval int
 	// Runtime hosts the server's event loop and verification workers.
 	// If nil, New creates a default runtime over Conn.
 	Runtime *runtime.Runtime
@@ -36,12 +47,21 @@ type Server struct {
 	mu    sync.Mutex
 	table *replication.ClientTable
 	ops   uint64
+	// log records executed operation digests in the live window; the
+	// single-vote checkpoint engine stabilizes and truncates it every
+	// CheckpointInterval operations.
+	log  seqlog.Log[[32]byte]
+	ckpt *seqlog.Engine
 
 	// metrics (nil-safe no-ops when unconfigured)
-	reg       *metrics.Registry
-	mCommits  *metrics.Counter
-	mAuthFail *metrics.Counter
-	mMsgReq   *metrics.Counter
+	reg        *metrics.Registry
+	mCommits   *metrics.Counter
+	mAuthFail  *metrics.Counter
+	mMsgReq    *metrics.Counter
+	mCkpt      *metrics.Counter
+	mTruncated *metrics.Counter
+	gLow       *metrics.Gauge
+	gHigh      *metrics.Gauge
 }
 
 // New creates and starts an unreplicated server.
@@ -52,12 +72,20 @@ func New(cfg Config) *Server {
 	if cfg.Metrics == nil {
 		cfg.Metrics = cfg.Runtime.Metrics()
 	}
-	s := &Server{cfg: cfg, rt: cfg.Runtime, table: replication.NewClientTable()}
+	if cfg.CheckpointInterval == 0 {
+		cfg.CheckpointInterval = 128
+	}
+	s := &Server{cfg: cfg, rt: cfg.Runtime, table: replication.NewClientTable(),
+		ckpt: seqlog.NewEngine(1)}
 	reg := cfg.Metrics
 	s.reg = reg
 	s.mCommits = reg.Counter("proto_commits_total")
 	s.mAuthFail = reg.Counter("proto_auth_fail_total")
 	s.mMsgReq = reg.Counter("proto_msg_client_request_total")
+	s.mCkpt = reg.Counter("proto_checkpoints_total")
+	s.mTruncated = reg.Counter("proto_truncated_slots_total")
+	s.gLow = reg.Gauge("proto_log_low_watermark")
+	s.gHigh = reg.Gauge("proto_log_high_watermark")
 	s.rt.Start(s)
 	return s
 }
@@ -82,6 +110,20 @@ func (s *Server) Ops() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.ops
+}
+
+// LowWatermark returns the log's low watermark (last checkpoint).
+func (s *Server) LowWatermark() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.log.Low()
+}
+
+// HighWatermark returns the highest retained log slot.
+func (s *Server) HighWatermark() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.log.High()
 }
 
 type evRequest struct{ req *replication.Request }
@@ -118,10 +160,31 @@ func (s *Server) ApplyEvent(from transport.NodeID, ev runtime.Event) {
 	result, _ := s.cfg.App.Execute(req.Op)
 	s.ops++
 	s.mCommits.Inc()
+	slot := s.log.Append(replication.RequestDigest(req))
+	s.gHigh.Set(int64(s.log.High()))
+	if slot%uint64(s.cfg.CheckpointInterval) == 0 {
+		s.checkpointLocked(slot)
+	}
 	rep := &replication.Reply{Replica: 0, ReqID: req.ReqID, Result: result}
 	rep.Auth = s.cfg.ClientAuth.TagFor(int64(req.Client), rep.SignedBody())
 	s.table.Store(req.Client, req.ReqID, rep)
 	s.cfg.Conn.Send(req.Client, rep.Marshal())
+}
+
+// checkpointLocked stabilizes the log at slot: with no peers, the
+// server's own vote is the full quorum, so the certificate forms
+// immediately and the window truncates on the spot. Caller holds s.mu.
+func (s *Server) checkpointLocked(slot uint64) {
+	snap := replication.CaptureSnapshot(s.cfg.App, s.table)
+	stateD := sha256.Sum256(snap)
+	digest := seqlog.Digest(ckptDomain, slot, stateD)
+	s.mCkpt.Inc()
+	if cert := s.ckpt.Add(slot, 0, digest, nil); cert != nil {
+		dropped := s.log.TruncateTo(cert.Slot)
+		s.mTruncated.Add(uint64(dropped))
+		s.gLow.Set(int64(s.log.Low()))
+		s.gHigh.Set(int64(s.log.High()))
+	}
 }
 
 // NewClient builds a closed-loop client for the unreplicated server.

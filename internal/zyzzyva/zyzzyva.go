@@ -14,11 +14,13 @@ package zyzzyva
 
 import (
 	"sync"
+	"time"
 
 	"neobft/internal/crypto/auth"
 	"neobft/internal/metrics"
 	"neobft/internal/replication"
 	"neobft/internal/runtime"
+	"neobft/internal/seqlog"
 	"neobft/internal/transport"
 	"neobft/internal/wire"
 )
@@ -32,7 +34,14 @@ const (
 	kindSpecResponse
 	kindCommit
 	kindLocalCommit
+	kindCheckpoint
+	kindStateFetch
+	kindStateSnap
 )
+
+// ckptDomain separates Zyzzyva checkpoint authenticators from other
+// protocols sharing the seqlog wire helpers.
+const ckptDomain = "zyz-ckpt"
 
 // Config configures a Zyzzyva replica.
 type Config struct {
@@ -46,6 +55,10 @@ type Config struct {
 	BatchSize int
 	// Window caps outstanding speculative batches (default 2).
 	Window int
+	// CheckpointInterval is the number of batches between checkpoints
+	// (default 128). Stable checkpoints truncate the ordered-batch log
+	// and bound the out-of-order buffer.
+	CheckpointInterval int
 	// Silent makes the replica drop all protocol traffic (the
 	// non-responding Byzantine replica of the Zyzzyva-F experiment).
 	Silent bool
@@ -70,10 +83,20 @@ type Replica struct {
 	history  [32]byte
 	pending  []*replication.Request
 	inQueue  map[string]bool
-	buffered map[uint64]*orderReq // out-of-order order-reqs
+	buffered map[uint64]*orderReq // out-of-order order-reqs, horizon-bounded
 	table    *replication.ClientTable
 	// maxCC is the highest sequence covered by a commit certificate.
 	maxCC uint64
+
+	// log retains executed batches in the live watermark window; stable
+	// checkpoints truncate it (and pendingCkpt / buffered entries below
+	// the new low watermark).
+	log          seqlog.Log[*orderReq]
+	ckpt         *seqlog.Engine
+	pendingCkpt  map[uint64]*pendingCkpt
+	stable       *stableCkpt
+	lastFetch    time.Time
+	snapInstalls uint64
 
 	executedOps uint64
 
@@ -82,13 +105,38 @@ type Replica struct {
 	mCommits    *metrics.Counter
 	mSlowPath   *metrics.Counter
 	mAuthFail   *metrics.Counter
+	mCkpt       *metrics.Counter
+	mTruncated  *metrics.Counter
+	mSnapServe  *metrics.Counter
+	mSnapInst   *metrics.Counter
+	mHorizonRej *metrics.Counter
+	gLow        *metrics.Gauge
+	gHigh       *metrics.Gauge
 	msgCounters map[uint8]*metrics.Counter
 	trace       *metrics.Recorder
+}
+
+// pendingCkpt is a checkpoint this replica has taken but whose
+// certificate has not yet formed.
+type pendingCkpt struct {
+	seq         uint64
+	history     [32]byte
+	stateDigest [32]byte
+	snapshot    []byte
+	digest      [32]byte // seqlog.Digest(ckptDomain, seq, history, stateDigest)
+}
+
+// stableCkpt is the latest checkpoint with a 2f+1 certificate.
+type stableCkpt struct {
+	pendingCkpt
+	cert *seqlog.Cert
 }
 
 var zyzKindNames = map[uint8]string{
 	kindOrderReq: "order_req", kindSpecResponse: "spec_response",
 	kindCommit: "commit", kindLocalCommit: "local_commit",
+	kindCheckpoint: "checkpoint", kindStateFetch: "state_fetch",
+	kindStateSnap: "state_snapshot",
 }
 
 type orderReq struct {
@@ -111,6 +159,9 @@ func New(cfg Config) *Replica {
 	if cfg.Window == 0 {
 		cfg.Window = 2
 	}
+	if cfg.CheckpointInterval == 0 {
+		cfg.CheckpointInterval = 128
+	}
 	if cfg.Runtime == nil {
 		cfg.Runtime = runtime.New(runtime.Config{Conn: cfg.Conn, Metrics: cfg.Metrics})
 	}
@@ -118,18 +169,27 @@ func New(cfg Config) *Replica {
 		cfg.Metrics = cfg.Runtime.Metrics()
 	}
 	r := &Replica{
-		cfg:      cfg,
-		conn:     cfg.Conn,
-		rt:       cfg.Runtime,
-		inQueue:  map[string]bool{},
-		buffered: map[uint64]*orderReq{},
-		table:    replication.NewClientTable(),
+		cfg:         cfg,
+		conn:        cfg.Conn,
+		rt:          cfg.Runtime,
+		inQueue:     map[string]bool{},
+		buffered:    map[uint64]*orderReq{},
+		table:       replication.NewClientTable(),
+		ckpt:        seqlog.NewEngine(2*cfg.F + 1),
+		pendingCkpt: map[uint64]*pendingCkpt{},
 	}
 	reg := cfg.Metrics
 	r.reg = reg
 	r.mCommits = reg.Counter("proto_commits_total")
 	r.mSlowPath = reg.Counter("proto_slow_path_total")
 	r.mAuthFail = reg.Counter("proto_auth_fail_total")
+	r.mCkpt = reg.Counter("proto_checkpoints_total")
+	r.mTruncated = reg.Counter("proto_truncated_slots_total")
+	r.mSnapServe = reg.Counter("proto_state_snapshots_served_total")
+	r.mSnapInst = reg.Counter("proto_state_snapshots_installed_total")
+	r.mHorizonRej = reg.Counter("proto_sync_horizon_rejects_total")
+	r.gLow = reg.Gauge("proto_log_low_watermark")
+	r.gHigh = reg.Gauge("proto_log_high_watermark")
 	r.msgCounters = make(map[uint8]*metrics.Counter, len(zyzKindNames)+1)
 	r.msgCounters[replication.KindRequest] = reg.Counter("proto_msg_client_request_total")
 	for k, name := range zyzKindNames {
@@ -156,8 +216,38 @@ func (r *Replica) Executed() uint64 {
 	return r.executedOps
 }
 
+// LowWatermark returns the log's low watermark (last stable checkpoint).
+func (r *Replica) LowWatermark() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.log.Low()
+}
+
+// HighWatermark returns the highest retained log slot.
+func (r *Replica) HighWatermark() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.log.High()
+}
+
+// SnapshotInstalls returns how many snapshot state transfers this
+// replica has installed.
+func (r *Replica) SnapshotInstalls() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.snapInstalls
+}
+
 func (r *Replica) primary() int    { return int(r.view) % r.cfg.N }
 func (r *Replica) isPrimary() bool { return r.primary() == r.cfg.Self }
+
+// horizonLocked is the highest sequence number this replica will buffer
+// or count checkpoint votes for: two checkpoint intervals above the last
+// stable checkpoint, mirroring PBFT's high watermark H = h + 2K. Caller
+// holds r.mu.
+func (r *Replica) horizonLocked() uint64 {
+	return r.log.Low() + 2*uint64(r.cfg.CheckpointInterval)
+}
 
 func (r *Replica) broadcast(pkt []byte) {
 	for i, m := range r.cfg.Members {
@@ -218,6 +308,17 @@ type evCommit struct {
 	valid           int
 }
 
+type evCheckpoint struct {
+	replica uint32
+	seq     uint64
+	digest  [32]byte
+	tag     []byte
+}
+
+type evStateFetch struct{ haveExec uint64 }
+
+type evStateSnap struct{ body []byte }
+
 // VerifyPacket implements runtime.Handler: packet decoding, client MACs,
 // the primary's order-req authenticator, per-request client MACs in the
 // batch, and commit-certificate parts are all checked off the loop.
@@ -245,8 +346,39 @@ func (r *Replica) VerifyPacket(from transport.NodeID, pkt []byte) runtime.Event 
 		return evOrderReq{o: o}
 	case kindCommit:
 		return r.verifyCommit(pkt[1:])
+	case kindCheckpoint:
+		return r.verifyCheckpoint(pkt[1:])
+	case kindStateFetch:
+		rd := wire.NewReader(pkt[1:])
+		have := rd.U64()
+		if rd.Done() != nil {
+			return nil
+		}
+		return evStateFetch{haveExec: have}
+	case kindStateSnap:
+		return evStateSnap{body: append([]byte(nil), pkt[1:]...)}
 	}
 	return nil
+}
+
+// verifyCheckpoint authenticates a checkpoint vote on the workers; the
+// loop only pools pre-verified votes.
+func (r *Replica) verifyCheckpoint(pkt []byte) runtime.Event {
+	rd := wire.NewReader(pkt)
+	replica := rd.U32()
+	seq := rd.U64()
+	history := rd.Bytes32()
+	stateD := rd.Bytes32()
+	tag := append([]byte(nil), rd.VarBytes()...)
+	if rd.Done() != nil || int(replica) >= r.cfg.N {
+		return nil
+	}
+	digest := seqlog.Digest(ckptDomain, seq, history, stateD)
+	if !r.cfg.Auth.VerifyVector(int(replica), seqlog.Body(ckptDomain, seq, digest, replica), tag) {
+		r.mAuthFail.Inc()
+		return nil
+	}
+	return evCheckpoint{replica: replica, seq: seq, digest: digest, tag: tag}
 }
 
 // verifyOrderReq decodes and authenticates an order-req against the
@@ -346,6 +478,12 @@ func (r *Replica) ApplyEvent(from transport.NodeID, ev runtime.Event) {
 		r.onOrderReq(e.o)
 	case evCommit:
 		r.onCommit(from, e)
+	case evCheckpoint:
+		r.onCheckpoint(e)
+	case evStateFetch:
+		r.onStateFetch(from, e.haveExec)
+	case evStateSnap:
+		r.onStateSnap(e.body)
 	}
 }
 
@@ -411,6 +549,15 @@ func (r *Replica) onOrderReq(o *orderReq) {
 		return
 	}
 	if o.seq != r.lastExec+1 {
+		if o.seq > r.horizonLocked() {
+			// The primary is ordering beyond our watermark window: we are
+			// too far behind to catch up by buffering (the group will have
+			// truncated these slots' predecessors). Drop the batch and
+			// fetch the stable snapshot instead.
+			r.mHorizonRej.Inc()
+			r.maybeFetchLocked(r.primary())
+			return
+		}
 		if o.seq > r.lastExec {
 			r.buffered[o.seq] = o
 		}
@@ -437,6 +584,8 @@ func (r *Replica) executeLocked(o *orderReq) {
 	}
 	r.history = o.history
 	r.lastExec = o.seq
+	r.log.Append(o)
+	r.gHigh.Set(int64(r.log.High()))
 	groupTag := r.cfg.Auth.TagVector(specBody(o.view, o.seq, o.history, o.digest, uint32(r.cfg.Self)))
 	for i, req := range o.batch {
 		// Pre-verified by the worker stage for backup batches; the
@@ -473,6 +622,11 @@ func (r *Replica) executeLocked(o *orderReq) {
 		r.conn.Send(req.Client, w.Bytes())
 	}
 	delete(r.buffered, o.seq)
+	if o.seq%uint64(r.cfg.CheckpointInterval) == 0 {
+		if st := r.ckpt.Stable(); st == nil || o.seq > st.Slot {
+			r.captureCheckpointLocked(o.seq)
+		}
+	}
 	r.tryIssueLocked()
 }
 
