@@ -1,12 +1,14 @@
 // Command neobench regenerates the tables and figures of the NeoBFT
 // paper's evaluation (§6) against the software reproduction in this
-// repository.
+// repository, and runs the deterministic chaos gauntlet.
 //
 // Usage:
 //
 //	neobench -experiment fig7            # one experiment
 //	neobench -experiment all -short      # quick pass over everything
 //	neobench -list                       # what can be run
+//	neobench -chaos crash-restart -seed 1   # one fault scenario, fixed seed
+//	neobench -chaos all -chaos-protocol pbft
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"strings"
 
 	"neobft/internal/bench"
+	"neobft/internal/chaos"
 )
 
 var experiments = map[string]func(*os.File, bench.ExpConfig){
@@ -41,7 +44,15 @@ func main() {
 	short := flag.Bool("short", false, "quick mode: shorter windows, fewer sweep points")
 	list := flag.Bool("list", false, "list available experiments")
 	csvDir := flag.String("csv", "", "also write plot-ready CSV data series into this directory")
+	seed := flag.Int64("seed", 0, "simulated-network and fault-schedule seed (0 = time-derived)")
+	chaosScen := flag.String("chaos", "", "run a chaos scenario instead of experiments: a scenario name, 'all', or 'list'")
+	chaosProto := flag.String("chaos-protocol", "neobft", "protocol under chaos (neobft, pbft, minbft, zyzzyva, hotstuff, ...)")
+	chaosOut := flag.String("chaos-out", "", "write chaos replay artifacts (schedule, failure traces) into this directory")
 	flag.Parse()
+
+	if *chaosScen != "" {
+		os.Exit(runChaos(*chaosScen, *chaosProto, *seed, *short, *chaosOut))
+	}
 
 	if *list {
 		names := make([]string, 0, len(experiments))
@@ -50,9 +61,10 @@ func main() {
 		}
 		sort.Strings(names)
 		fmt.Println("experiments:", strings.Join(names, " "), "all")
+		fmt.Println("chaos scenarios:", strings.Join(chaos.Scenarios(), " "), "all")
 		return
 	}
-	cfg := bench.ExpConfig{Short: *short}
+	cfg := bench.ExpConfig{Short: *short, Seed: *seed}
 	if *csvDir != "" {
 		if err := bench.CSVAll(*csvDir, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "csv export: %v\n", err)
@@ -72,4 +84,48 @@ func main() {
 		os.Exit(1)
 	}
 	fn(os.Stdout, cfg)
+}
+
+// runChaos executes one scenario (or the whole library) and returns the
+// process exit code: nonzero iff any run violated safety.
+func runChaos(scenario, protocol string, seed int64, short bool, outDir string) int {
+	if scenario == "list" {
+		fmt.Println("chaos scenarios:", strings.Join(chaos.Scenarios(), " "), "all")
+		return 0
+	}
+	p, err := bench.ChaosProtocol(protocol)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		return 1
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	scenarios := []string{scenario}
+	if scenario == "all" {
+		scenarios = chaos.Scenarios()
+	}
+	failed := 0
+	for _, s := range scenarios {
+		ok, err := bench.RunChaos(os.Stdout, bench.ChaosConfig{
+			Protocol: p,
+			Scenario: s,
+			Seed:     seed,
+			Short:    short,
+			OutDir:   outDir,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos %s: %v\n", s, err)
+			return 1
+		}
+		if !ok {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "chaos gauntlet: %d/%d scenario(s) UNSAFE\n", failed, len(scenarios))
+		return 1
+	}
+	fmt.Printf("chaos gauntlet: %d scenario(s) safe\n", len(scenarios))
+	return 0
 }

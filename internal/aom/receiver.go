@@ -221,6 +221,19 @@ func (r *Receiver) NextSeq() uint64 {
 	return r.nextSeq
 }
 
+// SkipTo marks multicast sequence numbers at or below seq as already
+// consumed in the current epoch, so the next expected delivery is
+// seq+1. A replica restarting from a stable checkpoint uses it to
+// resume the ordered stream where the checkpoint left off rather than
+// re-declaring every slot since epoch start as a gap.
+func (r *Receiver) SkipTo(seq uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if seq >= r.nextSeq {
+		r.nextSeq = seq + 1
+	}
+}
+
 // Stats returns (delivered messages, drop-notifications, confirms sent).
 func (r *Receiver) Stats() (delivered, dropped, confirms uint64) {
 	r.mu.Lock()

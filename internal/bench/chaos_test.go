@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"neobft/internal/chaos"
+	"neobft/internal/neobft"
+)
+
+// A full chaos run: the crash-restart scenario against Neo-HM, with the
+// safety checker verifying histories and acks afterwards.
+func TestChaosCrashRestartNeoBFT(t *testing.T) {
+	sched, err := chaos.Scenario("crash-restart", chaos.ScenarioConfig{
+		Seed:     1,
+		Horizon:  1500 * time.Millisecond,
+		Replicas: 4,
+		Settle:   time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := Build(Options{
+		Protocol:           NeoHM,
+		CheckpointInterval: 32,
+		ClientTimeout:      200 * time.Millisecond,
+		Chaos:              sched,
+	})
+	defer sys.Close()
+	res := Run(sys, Load{
+		Clients:   4,
+		Warmup:    200 * time.Millisecond,
+		Duration:  1500 * time.Millisecond,
+		OpTimeout: 5 * time.Second,
+	})
+	if res.Chaos == nil {
+		t.Fatal("chaos armed but RunResult.Chaos is nil")
+	}
+	if !res.Chaos.Check.Ok() {
+		t.Fatalf("safety violations:\n%v\napplied:\n%v",
+			res.Chaos.Check.Violations, res.Chaos.Report.Applied)
+	}
+	rep := res.Chaos.Report
+	if rep.Crashes != 1 || rep.Restarts < 1 {
+		t.Fatalf("crashes=%d restarts=%d, want 1 and >=1\napplied:\n%v",
+			rep.Crashes, rep.Restarts, rep.Applied)
+	}
+	if res.Chaos.Check.AckedChecked == 0 {
+		t.Fatal("no acknowledged operations were checked")
+	}
+	if res.Seed != sys.Net.Seed() {
+		t.Fatalf("RunResult.Seed = %d, want network seed %d", res.Seed, sys.Net.Seed())
+	}
+}
+
+// The checker must reject a run where a replica silently lost committed
+// operations: drop acked tail entries from every history and re-check.
+func TestChaosCheckerFlagsInjectedLoss(t *testing.T) {
+	sched, err := chaos.Scenario("crash-restart", chaos.ScenarioConfig{
+		Seed: 7, Horizon: 800 * time.Millisecond, Settle: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := Build(Options{
+		Protocol:      PBFT,
+		ClientTimeout: 200 * time.Millisecond,
+		Chaos:         sched,
+	})
+	defer sys.Close()
+	res := Run(sys, Load{
+		Clients:   2,
+		Warmup:    100 * time.Millisecond,
+		Duration:  800 * time.Millisecond,
+		OpTimeout: 5 * time.Second,
+	})
+	if res.Chaos == nil || !res.Chaos.Check.Ok() {
+		t.Fatalf("baseline run not safe: %+v", res.Chaos)
+	}
+	if res.Chaos.Check.AckedChecked == 0 {
+		t.Fatal("no acks to corrupt")
+	}
+	// Treat every executed op of the longest history as acked (execution
+	// precedes the reply, so this is a superset of the real ack set),
+	// then silently lose the tail op from every replica. The checker
+	// must flag the lost commit.
+	longest := sys.RecApps[0].History()
+	for _, ra := range sys.RecApps[1:] {
+		if h := ra.History(); len(h) > len(longest) {
+			longest = h
+		}
+	}
+	var acks []chaos.Ack
+	for _, e := range longest {
+		acks = append(acks, chaos.Ack{Client: e.Client, Seq: e.Seq})
+	}
+	histories := make(map[int][]chaos.Entry)
+	for i, ra := range sys.RecApps {
+		ra.DropTail(1)
+		histories[i] = ra.History()
+	}
+	if verdict := chaos.Check(histories, acks); verdict.Ok() {
+		t.Fatal("checker passed a run with a lost committed operation")
+	}
+}
+
+// Cold crash-restart of a NeoBFT replica mid-load: the replica loses all
+// local state and must recover via snapshot state transfer from peers,
+// rejoining before load ends.
+func TestColdRestartRecoversViaSnapshot(t *testing.T) {
+	sys := Build(Options{
+		Protocol:           NeoHM,
+		CheckpointInterval: 16,
+		ClientTimeout:      200 * time.Millisecond,
+	})
+	defer sys.Close()
+
+	stopc := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		cl := sys.NewClient(c)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			op := make([]byte, 32)
+			for {
+				select {
+				case <-stopc:
+					return
+				default:
+				}
+				cl.Invoke(op, 2*time.Second)
+			}
+		}()
+	}
+	defer func() { close(stopc); wg.Wait() }()
+
+	waitCommitted := func(target uint64, what string) {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		for time.Now().Before(deadline) {
+			if sys.Committed() >= target {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %s (committed=%d, want >=%d)", what, sys.Committed(), target)
+	}
+	waitCommitted(64, "initial load")
+
+	if err := sys.Crash(3); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Alive(3) {
+		t.Fatal("replica 3 still alive after crash")
+	}
+	// Let the survivors advance well past the victim's last checkpoint.
+	waitCommitted(sys.Committed()+64, "progress with replica down")
+
+	if err := sys.Restart(3, true); err != nil {
+		t.Fatal(err)
+	}
+	target := sys.Committed()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		r3, ok := sys.Replicas[3].(*neobft.Replica)
+		if ok && r3.SnapshotInstalls() >= 1 && sys.ExecutedAt(3) >= target {
+			return // recovered via state transfer and caught up
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	r3 := sys.Replicas[3].(*neobft.Replica)
+	t.Fatalf("replica 3 did not recover: snapshotInstalls=%d executed=%d target=%d",
+		r3.SnapshotInstalls(), sys.ExecutedAt(3), target)
+}

@@ -16,6 +16,8 @@ import (
 // sweeps; full mode uses longer windows and more points.
 type ExpConfig struct {
 	Short bool
+	// Seed fixes the simulated network's randomness (0 = time-derived).
+	Seed int64
 }
 
 func (c ExpConfig) window() time.Duration {
@@ -97,7 +99,7 @@ func Fig7(w io.Writer, c ExpConfig) {
 	best := map[Protocol][2]float64{} // measured, projected
 	for _, p := range fig7Systems {
 		for _, cc := range clients {
-			opts := Options{Protocol: p, Net: simnet.Options{Latency: hopLatency}}
+			opts := Options{Protocol: p, Net: simnet.Options{Latency: hopLatency, Seed: c.Seed}}
 			if p == NeoPK {
 				// Software signing is ~6K sig/s (the FPGA does 1.11M); a
 				// 2000/s ratio controller keeps token waits short for
@@ -157,7 +159,7 @@ func Fig8(w io.Writer, c ExpConfig) {
 }
 
 func runFig8Point(p Protocol, n int, c ExpConfig) RunResult {
-	opts := Options{Protocol: p, N: n}
+	opts := Options{Protocol: p, N: n, Net: simnet.Options{Seed: c.Seed}}
 	if p == NeoPK {
 		opts.SignRate = 2000
 	}
@@ -177,7 +179,7 @@ func Fig9(w io.Writer, c ExpConfig) {
 		var best RunResult
 		var gaps, dropped uint64
 		for trial := 0; trial < 2; trial++ {
-			sys := Build(Options{Protocol: NeoHM, DropRate: rate})
+			sys := Build(Options{Protocol: NeoHM, DropRate: rate, Net: simnet.Options{Seed: c.Seed}})
 			res := Run(sys, Load{Clients: 16, Warmup: c.warmup(), Duration: 2 * c.window()})
 			if res.Throughput > best.Throughput {
 				best = res
@@ -210,6 +212,7 @@ func Fig10(w io.Writer, c ExpConfig) {
 	for _, p := range fig7Systems {
 		opts := Options{
 			Protocol: p,
+			Net:      simnet.Options{Seed: c.Seed},
 			AppFactory: func(int) replication.App {
 				s := kvstore.NewStore()
 				ycsb.Load(s, wl)
@@ -264,7 +267,7 @@ func Table1(w io.Writer, c ExpConfig) {
 	t := &Table{Header: []string{"protocol", "repl factor", "bottleneck", "auth", "delays",
 		"meas msgs/op", "meas pkts/op", "meas auth/op"}}
 	for _, r := range rows {
-		sys := Build(Options{Protocol: r.p, BatchSize: 1})
+		sys := Build(Options{Protocol: r.p, BatchSize: 1, Net: simnet.Options{Seed: c.Seed}})
 		res := Run(sys, Load{Clients: 4, Warmup: c.warmup(), Duration: c.window()})
 		sys.Close()
 		t.Add(string(r.p), r.factor, r.bottleneck, r.auth, r.delays,
@@ -309,7 +312,7 @@ func Table3(w io.Writer, _ ExpConfig) {
 // load, sequencer crash, view change into a new epoch, recovery.
 func Failover(w io.Writer, c ExpConfig) {
 	fmt.Fprintln(w, "§6.4 — sequencer switch failover timeline (Neo-HM)")
-	sys := Build(Options{Protocol: NeoHM, ClientTimeout: 100 * time.Millisecond})
+	sys := Build(Options{Protocol: NeoHM, ClientTimeout: 100 * time.Millisecond, Net: simnet.Options{Seed: c.Seed}})
 	defer sys.Close()
 
 	// Tighten failure detection like the paper's deployment.

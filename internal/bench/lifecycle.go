@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"neobft/internal/chaos"
+	"neobft/internal/metrics"
+	"neobft/internal/runtime"
+	"neobft/internal/simnet"
+	"neobft/internal/transport"
+)
+
+// lifecycle implements crash–restart node management for a built system.
+// The protocol-specific pieces — persisting a checkpoint, stopping a
+// replica, booting a replacement — are closures the build functions fill
+// in; everything else (network membership, conn swapping, runtime
+// replacement, busy-time accounting across incarnations) is shared.
+type lifecycle struct {
+	mu       sync.Mutex
+	net      *simnet.Network
+	mem      []transport.NodeID
+	conns    []*countingConn
+	rts      []*runtime.Runtime
+	regs     []*metrics.Registry
+	workers  int
+	alive    []bool
+	blobs    [][]byte
+	busyBase []time.Duration
+
+	// persist returns replica i's restart blob (nil if it has no stable
+	// checkpoint yet — the restart is then effectively cold).
+	persist func(i int) []byte
+	// stop closes replica i (and with it, its runtime).
+	stop func(i int)
+	// boot constructs a replacement replica i over lc.conns[i]/lc.rts[i],
+	// restoring from blob (nil ⇒ cold start). Called with lc.mu held.
+	boot func(i int, restore []byte)
+	// executed reports ops executed at replica i. Called with lc.mu held.
+	executed func(i int) uint64
+	// progress reports replica i's absolute log progress for catch-up
+	// measurement — unlike executed it must not reset across
+	// incarnations (a restored replica resumes at its checkpoint slot).
+	// Nil means executed already has that property. Called with lc.mu
+	// held.
+	progress func(i int) uint64
+}
+
+// installLifecycle wires a lifecycle into the system, overriding the
+// accessors that must stay correct across replica replacement. Build
+// functions call it last, after the base accessors are set.
+func installLifecycle(sys *System, net *simnet.Network, o Options,
+	mem []transport.NodeID, conns []*countingConn, rts []*runtime.Runtime,
+	regs []*metrics.Registry) *lifecycle {
+	n := len(mem)
+	lc := &lifecycle{
+		net: net, mem: mem, conns: conns, rts: rts, regs: regs,
+		workers:  o.VerifyWorkers,
+		alive:    make([]bool, n),
+		blobs:    make([][]byte, n),
+		busyBase: make([]time.Duration, n),
+	}
+	for i := range lc.alive {
+		lc.alive[i] = true
+	}
+	sys.NumReplicas = n
+	sys.Crash = lc.Crash
+	sys.Restart = lc.Restart
+	sys.Alive = lc.Alive
+	sys.SkewClock = lc.SkewClock
+	sys.ExecutedAt = lc.Progress
+	sys.ReplicaID = func(i int) transport.NodeID { return mem[i] }
+	sys.PerReplicaBusy = lc.busy
+	sys.Committed = func() uint64 { return lc.Executed(0) }
+	return lc
+}
+
+// Crash persists replica i's stable checkpoint, stops it, and detaches
+// it from the network.
+func (lc *lifecycle) Crash(i int) error {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if i < 0 || i >= len(lc.alive) {
+		return fmt.Errorf("bench: no replica %d", i)
+	}
+	if !lc.alive[i] {
+		return fmt.Errorf("bench: replica %d already down", i)
+	}
+	lc.blobs[i] = lc.persist(i)
+	lc.stop(i)
+	lc.busyBase[i] += lc.rts[i].Busy()
+	lc.conns[i].Close()
+	lc.alive[i] = false
+	return nil
+}
+
+// Restart rejoins the network under the same node ID and boots a
+// replacement replica: warm from the blob its crash persisted, or cold
+// (blob discarded — recovery must come from peers).
+func (lc *lifecycle) Restart(i int, cold bool) error {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if i < 0 || i >= len(lc.alive) {
+		return fmt.Errorf("bench: no replica %d", i)
+	}
+	if lc.alive[i] {
+		return fmt.Errorf("bench: replica %d already running", i)
+	}
+	lc.conns[i].swap(lc.net.Join(lc.mem[i]))
+	// Same registry across incarnations: counters keep accumulating and
+	// the runtime's Func gauges are re-pointed at the new instance.
+	lc.rts[i] = newRuntime(lc.conns[i], lc.workers, lc.regs[i])
+	restore := lc.blobs[i]
+	if cold {
+		restore = nil
+	}
+	lc.boot(i, restore)
+	lc.alive[i] = true
+	return nil
+}
+
+// Alive reports whether replica i is running.
+func (lc *lifecycle) Alive(i int) bool {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return i >= 0 && i < len(lc.alive) && lc.alive[i]
+}
+
+// SkewClock multiplies replica i's timer durations by factor.
+func (lc *lifecycle) SkewClock(i int, factor float64) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if i >= 0 && i < len(lc.rts) && lc.alive[i] {
+		lc.rts[i].SetTimerScale(factor)
+	}
+}
+
+// Executed reports ops executed at replica i (0 while it is down).
+func (lc *lifecycle) Executed(i int) uint64 {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if i < 0 || i >= len(lc.alive) || !lc.alive[i] {
+		return 0
+	}
+	return lc.executed(i)
+}
+
+// Progress reports replica i's restart-stable log progress (0 while it
+// is down).
+func (lc *lifecycle) Progress(i int) uint64 {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if i < 0 || i >= len(lc.alive) || !lc.alive[i] {
+		return 0
+	}
+	if lc.progress != nil {
+		return lc.progress(i)
+	}
+	return lc.executed(i)
+}
+
+// busy reports per-replica handler busy time summed across incarnations.
+func (lc *lifecycle) busy() []time.Duration {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	out := make([]time.Duration, len(lc.rts))
+	for i, rt := range lc.rts {
+		out[i] = lc.busyBase[i] + rt.Busy()
+	}
+	return out
+}
+
+// fleet adapts the system to the chaos executor's fault surface.
+func (sys *System) fleet() chaos.Fleet {
+	return chaos.Fleet{
+		Net:            sys.Net,
+		Replicas:       sys.NumReplicas,
+		ReplicaID:      sys.ReplicaID,
+		Crash:          sys.Crash,
+		Restart:        sys.Restart,
+		Alive:          sys.Alive,
+		SkewClock:      sys.SkewClock,
+		CrashSequencer: sys.CrashSequencer,
+		Executed:       sys.ExecutedAt,
+	}
+}

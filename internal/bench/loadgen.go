@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"neobft/internal/chaos"
 	"neobft/internal/metrics"
 )
 
@@ -39,6 +40,24 @@ type RunResult struct {
 	// warmup, because histogram percentiles cannot be windowed by
 	// differencing.
 	Metrics []metrics.FlatPoint
+	// Seed is the simulated network's randomness seed — rerunning with
+	// the same seed reproduces the same drop/jitter decisions.
+	Seed int64
+	// Chaos holds the fault-injection report and safety-check result
+	// when the system was built with Options.Chaos.
+	Chaos *ChaosOutcome
+}
+
+// ChaosOutcome bundles what a chaos run did and whether it was safe.
+type ChaosOutcome struct {
+	// Schedule is the executed fault timeline.
+	Schedule *chaos.Schedule
+	// Report is what the executor actually applied, with recovery
+	// latencies for restarted replicas.
+	Report chaos.Report
+	// Check is the post-run safety verdict over the surviving replicas'
+	// execution histories and the client-visible acks.
+	Check chaos.Result
 }
 
 // Load describes one closed-loop run.
@@ -74,8 +93,17 @@ var defaultOp = func(client, seq int) []byte {
 // Run drives closed-loop clients against the system and measures
 // latency and throughput in the measured window.
 func Run(sys *System, load Load) RunResult {
+	chaosArmed := sys.Chaos != nil
 	if load.Op == nil {
-		load.Op = defaultOp
+		if chaosArmed {
+			// Chaos ops carry a (client, seq) header so the post-run
+			// checker can match acks against execution histories.
+			load.Op = func(client, seq int) []byte {
+				return chaos.EncodeOp(uint32(client), uint64(seq), 64)
+			}
+		} else {
+			load.Op = defaultOp
+		}
 	}
 	if load.OpTimeout == 0 {
 		load.OpTimeout = 30 * time.Second
@@ -92,6 +120,7 @@ func Run(sys *System, load Load) RunResult {
 		stop      atomic.Bool
 		wg        sync.WaitGroup
 		results   = make([]clientResult, load.Clients)
+		acks      chaos.AckRecorder
 	)
 	for c := 0; c < load.Clients; c++ {
 		cl := sys.NewClient(c)
@@ -106,6 +135,11 @@ func Run(sys *System, load Load) RunResult {
 				start := time.Now()
 				_, err := cl.Invoke(op, load.OpTimeout)
 				elapsed := time.Since(start)
+				if err == nil && chaosArmed {
+					if client, s, ok := chaos.DecodeOp(op); ok {
+						acks.Record(client, s)
+					}
+				}
 				if !measuring.Load() {
 					continue
 				}
@@ -125,6 +159,10 @@ func Run(sys *System, load Load) RunResult {
 	committed0 := sys.Committed()
 	measuring.Store(true)
 	start := time.Now()
+	var exec *chaos.Executor
+	if chaosArmed {
+		exec = chaos.Start(sys.fleet(), sys.Chaos)
+	}
 	time.Sleep(load.Duration)
 	measuring.Store(false)
 	window := time.Since(start)
@@ -133,10 +171,38 @@ func Run(sys *System, load Load) RunResult {
 	pkts1 := sys.PerReplicaPkts()
 	auth1 := sys.AuthOps()
 	committed1 := sys.Committed()
-	stop.Store(true)
-	wg.Wait()
+	var chaosOut *ChaosOutcome
+	if exec != nil {
+		// Heal the fleet and wait the settle window with clients still
+		// driving load, so restarted replicas observe traffic to catch
+		// up against.
+		report := exec.Finish()
+		stop.Store(true)
+		wg.Wait()
+		// Clients are drained: every ack's op has executed (execution
+		// precedes the reply quorum), so histories collected now cover
+		// all acks.
+		histories := make(map[int][]chaos.Entry)
+		for i, ra := range sys.RecApps {
+			if ra != nil && sys.Alive(i) {
+				histories[i] = ra.History()
+			}
+		}
+		chaosOut = &ChaosOutcome{
+			Schedule: sys.Chaos,
+			Report:   report,
+			Check:    chaos.Check(histories, acks.Acks()),
+		}
+	} else {
+		stop.Store(true)
+		wg.Wait()
+	}
 
 	var out RunResult
+	if sys.Net != nil {
+		out.Seed = sys.Net.Seed()
+	}
+	out.Chaos = chaosOut
 	if len(sys.Metrics) > 0 {
 		snaps := make([][]metrics.Sample, len(sys.Metrics))
 		for i, reg := range sys.Metrics {

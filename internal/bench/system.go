@@ -2,9 +2,11 @@ package bench
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"neobft/internal/chaos"
 	"neobft/internal/configsvc"
 	"neobft/internal/crypto/auth"
 	"neobft/internal/hotstuff"
@@ -81,6 +83,11 @@ type Options struct {
 	// count: 0 picks the runtime default, negative runs verification
 	// inline on the delivery goroutine.
 	VerifyWorkers int
+	// Chaos arms the fault-injection harness: Run executes the schedule
+	// during the measured window, wraps every replica's app in a
+	// chaos.RecordingApp, and safety-checks the execution histories
+	// afterwards (RunResult.Chaos).
+	Chaos *chaos.Schedule
 }
 
 // System is a running system under test.
@@ -112,12 +119,58 @@ type System struct {
 	Metrics []*metrics.Registry
 	// Close stops everything.
 	Close func()
+
+	// Node lifecycle (chaos harness). Crash persists replica i's stable
+	// checkpoint and stops it; Restart boots it again, warm from that
+	// blob or cold (discarding it, forcing snapshot state transfer from
+	// peers). All are installed for every protocol.
+	Crash   func(i int) error
+	Restart func(i int, cold bool) error
+	// Alive reports whether replica i is running.
+	Alive func(i int) bool
+	// SkewClock multiplies replica i's timer durations by factor.
+	SkewClock func(i int, factor float64)
+	// CrashSequencer crashes the live sequencer switch (NeoBFT systems
+	// only; nil or false otherwise).
+	CrashSequencer func() bool
+	// ExecutedAt reports ops executed at replica i.
+	ExecutedAt func(i int) uint64
+	// ReplicaID maps replica index to network node ID.
+	ReplicaID func(i int) transport.NodeID
+	// NumReplicas is the replica count actually built (MinBFT runs 2f+1).
+	NumReplicas int
+
+	// Chaos is the armed schedule (nil unless Options.Chaos was set) and
+	// RecApps the per-replica recording wrappers feeding the checker.
+	Chaos   *chaos.Schedule
+	RecApps []*chaos.RecordingApp
 }
 
 const (
 	switchBase = transport.NodeID(20000)
 	clientBase = transport.NodeID(10000)
 )
+
+// FleetSize reports how many replicas Build will create for the given
+// protocol and configured N (0 = default). Chaos schedules are generated
+// against this count so fault targets stay in range.
+func FleetSize(p Protocol, n int) int {
+	if n == 0 {
+		n = 4
+	}
+	f := (n - 1) / 3
+	if f < 1 && p != Unreplicated {
+		f = 1
+	}
+	switch p {
+	case Unreplicated:
+		return 1
+	case MinBFT:
+		return 2*f + 1
+	default:
+		return n
+	}
+}
 
 // Build constructs and starts a system under test.
 func Build(o Options) *System {
@@ -172,6 +225,22 @@ func Build(o Options) *System {
 	}
 	net := simnet.New(netOpts)
 	sys := &System{Name: string(o.Protocol), Net: net}
+	if o.Chaos != nil {
+		// Wrap every replica's app so execution histories are recorded
+		// for the post-run safety check. The wrapper snapshots/restores
+		// the history alongside the inner app, so state transfer carries
+		// it to recovering replicas.
+		sys.Chaos = o.Chaos
+		inner := o.AppFactory
+		o.AppFactory = func(i int) replication.App {
+			ra := chaos.NewRecordingApp(inner(i))
+			for len(sys.RecApps) <= i {
+				sys.RecApps = append(sys.RecApps, nil)
+			}
+			sys.RecApps[i] = ra
+			return ra
+		}
+	}
 
 	switch o.Protocol {
 	case NeoHM, NeoPK, NeoBN:
@@ -195,14 +264,37 @@ func Build(o Options) *System {
 // countingConn wraps a transport.Conn, counting inbound and outbound
 // packets. Handler busy time is measured by the replica runtimes (see
 // busyCounter), which time verification and apply work directly.
+//
+// The inner conn is swappable: a crash–restart cycle closes the old
+// simnet node and joins a fresh one, but keeps the countingConn (and its
+// counters) so per-replica packet accounting spans restarts.
 type countingConn struct {
-	transport.Conn
+	mu    sync.RWMutex
+	conn  transport.Conn
 	count atomic.Uint64
 	sent  atomic.Uint64
 }
 
+func (c *countingConn) inner() transport.Conn {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.conn
+}
+
+// swap replaces the inner conn (the handler is re-installed by the new
+// replica's runtime right after).
+func (c *countingConn) swap(conn transport.Conn) {
+	c.mu.Lock()
+	c.conn = conn
+	c.mu.Unlock()
+}
+
+func (c *countingConn) ID() transport.NodeID { return c.inner().ID() }
+
+func (c *countingConn) Close() error { return c.inner().Close() }
+
 func (c *countingConn) SetHandler(h transport.Handler) {
-	c.Conn.SetHandler(func(from transport.NodeID, pkt []byte) {
+	c.inner().SetHandler(func(from transport.NodeID, pkt []byte) {
 		c.count.Add(1)
 		h(from, pkt)
 	})
@@ -210,7 +302,7 @@ func (c *countingConn) SetHandler(h transport.Handler) {
 
 func (c *countingConn) Send(to transport.NodeID, pkt []byte) {
 	c.sent.Add(1)
-	c.Conn.Send(to, pkt)
+	c.inner().Send(to, pkt)
 }
 
 func members(n int) []transport.NodeID {
@@ -222,7 +314,7 @@ func members(n int) []transport.NodeID {
 }
 
 func joinCounting(net *simnet.Network, id transport.NodeID) *countingConn {
-	return &countingConn{Conn: net.Join(id)}
+	return &countingConn{conn: net.Join(id)}
 }
 
 func msgCounter(conns []*countingConn) func() []uint64 {
@@ -384,6 +476,47 @@ func buildNeo(sys *System, o Options, net *simnet.Network, f int) {
 		}
 		net.Close()
 	}
+	sys.CrashSequencer = func() bool {
+		v, err := svc.View(1)
+		if err != nil {
+			return false
+		}
+		for _, h := range sys.Switches {
+			if h.ID == v.Sequencer {
+				h.SW.SetFault(sequencer.FaultCrash)
+				return true
+			}
+		}
+		return false
+	}
+	lc := installLifecycle(sys, net, o, mem, conns, rts, regs)
+	lc.persist = func(i int) []byte { return replicas[i].Persist() }
+	lc.stop = func(i int) { replicas[i].Close() }
+	lc.executed = func(i int) uint64 { return replicas[i].Committed() }
+	// The op counter resets on restart; the speculative-execution slot is
+	// restored from the checkpoint, so catch-up is measured against it.
+	lc.progress = func(i int) uint64 { return replicas[i].Executed() }
+	lc.boot = func(i int, restore []byte) {
+		replicas[i] = neobft.New(neobft.Config{
+			Self: i, N: o.N, F: f,
+			Members:           mem,
+			Group:             1,
+			Conn:              conns[i],
+			Auth:              auths[i],
+			ClientAuth:        csides[i],
+			App:               o.AppFactory(i),
+			Variant:           variant,
+			Byzantine:         byz,
+			SyncInterval:      o.CheckpointInterval,
+			ConfirmFlushEvery: o.ConfirmFlushEvery,
+			ConfirmBatch:      16,
+			Svc:               svc,
+			Runtime:           lc.rts[i],
+			Metrics:           regs[i],
+			Restore:           restore,
+		})
+		sys.Replicas[i] = replicas[i]
+	}
 }
 
 func buildPBFT(sys *System, o Options, net *simnet.Network, f int) {
@@ -427,6 +560,26 @@ func buildPBFT(sys *System, o Options, net *simnet.Network, f int) {
 			r.Close()
 		}
 		net.Close()
+	}
+	lc := installLifecycle(sys, net, o, mem, conns, rts, regs)
+	lc.persist = func(i int) []byte { return replicas[i].Persist() }
+	lc.stop = func(i int) { replicas[i].Close() }
+	lc.executed = func(i int) uint64 { return replicas[i].Executed() }
+	lc.boot = func(i int, restore []byte) {
+		replicas[i] = pbft.New(pbft.Config{
+			Self: i, N: o.N, F: f,
+			Members:            mem,
+			Conn:               conns[i],
+			Auth:               auths[i],
+			ClientAuth:         csides[i],
+			App:                o.AppFactory(i),
+			BatchSize:          o.BatchSize,
+			CheckpointInterval: o.CheckpointInterval,
+			Runtime:            lc.rts[i],
+			Metrics:            regs[i],
+			Restore:            restore,
+		})
+		sys.Replicas[i] = replicas[i]
 	}
 }
 
@@ -477,6 +630,27 @@ func buildZyzzyva(sys *System, o Options, net *simnet.Network, f int) {
 		}
 		net.Close()
 	}
+	lc := installLifecycle(sys, net, o, mem, conns, rts, regs)
+	lc.persist = func(i int) []byte { return replicas[i].Persist() }
+	lc.stop = func(i int) { replicas[i].Close() }
+	lc.executed = func(i int) uint64 { return replicas[i].Executed() }
+	lc.boot = func(i int, restore []byte) {
+		replicas[i] = zyzzyva.New(zyzzyva.Config{
+			Self: i, N: o.N, F: f,
+			Members:            mem,
+			Conn:               conns[i],
+			Auth:               auths[i],
+			ClientAuth:         csides[i],
+			App:                o.AppFactory(i),
+			BatchSize:          o.BatchSize,
+			CheckpointInterval: o.CheckpointInterval,
+			Silent:             o.Protocol == ZyzzyvaF && i == o.N-1,
+			Runtime:            lc.rts[i],
+			Metrics:            regs[i],
+			Restore:            restore,
+		})
+		sys.Replicas[i] = replicas[i]
+	}
 }
 
 func buildHotStuff(sys *System, o Options, net *simnet.Network, f int) {
@@ -520,6 +694,26 @@ func buildHotStuff(sys *System, o Options, net *simnet.Network, f int) {
 			r.Close()
 		}
 		net.Close()
+	}
+	lc := installLifecycle(sys, net, o, mem, conns, rts, regs)
+	lc.persist = func(i int) []byte { return replicas[i].Persist() }
+	lc.stop = func(i int) { replicas[i].Close() }
+	lc.executed = func(i int) uint64 { return replicas[i].Executed() }
+	lc.boot = func(i int, restore []byte) {
+		replicas[i] = hotstuff.New(hotstuff.Config{
+			Self: i, N: o.N, F: f,
+			Members:            mem,
+			Conn:               conns[i],
+			Auth:               auths[i],
+			ClientAuth:         csides[i],
+			App:                o.AppFactory(i),
+			BatchSize:          o.BatchSize,
+			CheckpointInterval: o.CheckpointInterval,
+			Runtime:            lc.rts[i],
+			Metrics:            regs[i],
+			Restore:            restore,
+		})
+		sys.Replicas[i] = replicas[i]
 	}
 }
 
@@ -577,30 +771,68 @@ func buildMinBFT(sys *System, o Options, net *simnet.Network, f int) {
 		}
 		net.Close()
 	}
+	lc := installLifecycle(sys, net, o, mem, conns, rts, regs)
+	lc.persist = func(i int) []byte { return replicas[i].Persist() }
+	lc.stop = func(i int) { replicas[i].Close() }
+	lc.executed = func(i int) uint64 { return replicas[i].Executed() }
+	lc.boot = func(i int, restore []byte) {
+		// The USIG instance survives the restart: it models a trusted
+		// counter in an enclave, whose monotonic state outlives crashes
+		// of the untrusted replica process around it.
+		replicas[i] = minbft.New(minbft.Config{
+			Self: i, N: n, F: f,
+			Members:            mem,
+			Conn:               conns[i],
+			Auth:               auths[i],
+			ClientAuth:         csides[i],
+			App:                o.AppFactory(i),
+			USIG:               usigs[i],
+			BatchSize:          o.BatchSize,
+			CheckpointInterval: o.CheckpointInterval,
+			Runtime:            lc.rts[i],
+			Metrics:            regs[i],
+			Restore:            restore,
+		})
+		sys.Replicas[i] = replicas[i]
+	}
 }
 
 func buildUnreplicated(sys *System, o Options, net *simnet.Network) {
-	conn := joinCounting(net, 1)
+	mem := members(1)
+	conns := []*countingConn{joinCounting(net, mem[0])}
 	regs := newRegistries(sys, 1)
-	rt := newRuntime(conn, o.VerifyWorkers, regs[0])
+	rts := []*runtime.Runtime{newRuntime(conns[0], o.VerifyWorkers, regs[0])}
 	cside := auth.NewReplicaSide([]byte(clientMaster), 0)
-	srv := unreplicated.New(unreplicated.Config{
-		Conn: conn, App: o.AppFactory(0), ClientAuth: cside, Runtime: rt,
+	servers := []*unreplicated.Server{unreplicated.New(unreplicated.Config{
+		Conn: conns[0], App: o.AppFactory(0), ClientAuth: cside, Runtime: rts[0],
 		CheckpointInterval: o.CheckpointInterval,
 		Metrics:            regs[0],
-	})
-	sys.Replicas = append(sys.Replicas, srv)
-	sys.PerReplicaMsgs = msgCounter([]*countingConn{conn})
-	sys.PerReplicaBusy = busyCounter([]*runtime.Runtime{rt})
-	sys.PerReplicaPkts = pktCounter([]*countingConn{conn})
+	})}
+	sys.Replicas = append(sys.Replicas, servers[0])
+	sys.PerReplicaMsgs = msgCounter(conns)
+	sys.PerReplicaBusy = busyCounter(rts)
+	sys.PerReplicaPkts = pktCounter(conns)
 	sys.AuthOps = authCounter(nil, []*auth.ReplicaSide{cside})
-	sys.Committed = srv.Ops
+	sys.Committed = servers[0].Ops
 	sys.NewClient = func(id int) Invoker {
 		return unreplicated.NewClient(net.Join(clientBase+transport.NodeID(id)),
 			1, []byte(clientMaster), o.ClientTimeout)
 	}
 	sys.Close = func() {
-		srv.Close()
+		servers[0].Close()
 		net.Close()
+	}
+	lc := installLifecycle(sys, net, o, mem, conns, rts, regs)
+	lc.persist = func(i int) []byte { return servers[i].Persist() }
+	lc.stop = func(i int) { servers[i].Close() }
+	lc.executed = func(i int) uint64 { return servers[i].Ops() }
+	lc.boot = func(i int, restore []byte) {
+		servers[i] = unreplicated.New(unreplicated.Config{
+			Conn: conns[i], App: o.AppFactory(i), ClientAuth: cside, Runtime: lc.rts[i],
+			CheckpointInterval: o.CheckpointInterval,
+			Metrics:            regs[i],
+			Restore:            restore,
+		})
+		sys.Replicas[i] = servers[i]
 	}
 }

@@ -1,0 +1,397 @@
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"neobft/internal/simnet"
+	"neobft/internal/transport"
+)
+
+// Fleet is the executor's handle on a running replicated system. The
+// bench package fills it with closures over its protocol-specific node
+// lifecycle; the executor only ever drives faults through this surface,
+// so it works against any of the protocols.
+type Fleet struct {
+	// Net is the simulated network the fleet runs on.
+	Net *simnet.Network
+	// Replicas is the fleet size n.
+	Replicas int
+	// ReplicaID maps replica index to its network node ID.
+	ReplicaID func(i int) transport.NodeID
+	// Crash stops replica i, persisting its stable checkpoint for a
+	// later warm restart.
+	Crash func(i int) error
+	// Restart boots replica i again; cold discards the persisted
+	// checkpoint, forcing recovery from peers.
+	Restart func(i int, cold bool) error
+	// Alive reports whether replica i is currently running.
+	Alive func(i int) bool
+	// SkewClock multiplies replica i's timer durations by factor.
+	SkewClock func(i int, factor float64)
+	// CrashSequencer kills the active sequencer, triggering epoch
+	// failover. Nil (or returning false) for protocols without one.
+	CrashSequencer func() bool
+	// Executed returns how many operations replica i has executed, used
+	// to measure catch-up after a restart.
+	Executed func(i int) uint64
+}
+
+// Recovery is the measured catch-up of one restarted replica.
+type Recovery struct {
+	Replica int
+	// Latency is restart-to-caught-up time (reaching the executed count
+	// the rest of the fleet had at restart).
+	Latency time.Duration
+	// CaughtUp is false if the replica never reached the target before
+	// the run ended.
+	CaughtUp bool
+}
+
+// Report summarizes what the executor actually did.
+type Report struct {
+	// Digest is the schedule's replay fingerprint.
+	Digest string
+	// Applied lists every applied event in timeline form.
+	Applied []string
+	// Skipped counts events that could not be applied (e.g. crashing an
+	// already-dead replica, sequencer crash on a sequencer-less protocol).
+	Skipped int
+
+	Crashes      int
+	Restarts     int
+	SeqFailovers int
+	Partitions   int
+	Duplicated   uint64
+	Corrupted    uint64
+	Recoveries   []Recovery
+}
+
+// Executor replays a Schedule against a Fleet in real time.
+type Executor struct {
+	fleet Fleet
+	sched *Schedule
+	start time.Time
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	// Byzantine mangling state: active probabilities as float bits, and
+	// a per-link packet counter so each decision depends only on the
+	// schedule seed and that link's packet index — not on goroutine
+	// interleaving across links.
+	dupBits atomic.Uint64
+	corBits atomic.Uint64
+	linkMu  sync.Mutex
+	linkCnt map[uint64]uint64
+
+	mu        sync.Mutex
+	report    Report
+	crashedAt map[int]time.Time
+}
+
+// action is one expanded timeline step (Dur events contribute an end
+// step restoring the baseline).
+type action struct {
+	at    time.Duration
+	ev    Event
+	endOf bool
+}
+
+// Start launches the schedule against the fleet. The caller invokes it
+// at the start of the measured window and must call Finish afterwards.
+func Start(fleet Fleet, sched *Schedule) *Executor {
+	x := &Executor{
+		fleet:     fleet,
+		sched:     sched,
+		start:     time.Now(),
+		stop:      make(chan struct{}),
+		linkCnt:   make(map[uint64]uint64),
+		crashedAt: make(map[int]time.Time),
+	}
+	x.report.Digest = sched.Digest()
+	if fleet.Net != nil {
+		fleet.Net.SetMangler(x.mangle)
+	}
+
+	var actions []action
+	for _, e := range sched.Events {
+		actions = append(actions, action{at: e.At, ev: e})
+		switch e.Kind {
+		case KindDropRate, KindDuplicate, KindCorrupt:
+			actions = append(actions, action{at: e.At + e.Dur, ev: e, endOf: true})
+		}
+	}
+	sort.SliceStable(actions, func(i, j int) bool { return actions[i].at < actions[j].at })
+
+	x.wg.Add(1)
+	go func() {
+		defer x.wg.Done()
+		for _, a := range actions {
+			wait := time.Until(x.start.Add(a.at))
+			if wait > 0 {
+				select {
+				case <-time.After(wait):
+				case <-x.stop:
+					return
+				}
+			}
+			x.apply(a)
+		}
+	}()
+	return x
+}
+
+func (x *Executor) applied(format string, args ...any) {
+	line := fmt.Sprintf("%8.3fs %s", time.Since(x.start).Seconds(), fmt.Sprintf(format, args...))
+	x.mu.Lock()
+	x.report.Applied = append(x.report.Applied, line)
+	x.mu.Unlock()
+}
+
+func (x *Executor) skipped(format string, args ...any) {
+	x.mu.Lock()
+	x.report.Skipped++
+	x.report.Applied = append(x.report.Applied,
+		fmt.Sprintf("%8.3fs skipped: %s", time.Since(x.start).Seconds(), fmt.Sprintf(format, args...)))
+	x.mu.Unlock()
+}
+
+func (x *Executor) apply(a action) {
+	e := a.ev
+	if a.endOf {
+		switch e.Kind {
+		case KindDropRate:
+			x.fleet.Net.SetDrop(-1, nil)
+			x.applied("drop-rate restored to baseline")
+		case KindDuplicate:
+			x.dupBits.Store(0)
+			x.applied("duplicate burst ended")
+		case KindCorrupt:
+			x.corBits.Store(0)
+			x.applied("corrupt burst ended")
+		}
+		return
+	}
+	switch e.Kind {
+	case KindCrash, KindRestart, KindPartition, KindHeal, KindClockSkew:
+		// Replica-targeted events: a schedule generated for a larger
+		// fleet (e.g. 3f+1) may name replicas a 2f+1 protocol lacks.
+		if e.Target < 0 || e.Target >= x.fleet.Replicas {
+			x.skipped("%s replica=%d (fleet has %d replicas)", e.Kind, e.Target, x.fleet.Replicas)
+			return
+		}
+	}
+	switch e.Kind {
+	case KindCrash:
+		if x.fleet.Alive == nil || !x.fleet.Alive(e.Target) {
+			x.skipped("crash replica=%d (not running)", e.Target)
+			return
+		}
+		if err := x.fleet.Crash(e.Target); err != nil {
+			x.skipped("crash replica=%d: %v", e.Target, err)
+			return
+		}
+		x.mu.Lock()
+		x.report.Crashes++
+		x.crashedAt[e.Target] = time.Now()
+		x.mu.Unlock()
+		x.applied("crash replica=%d", e.Target)
+	case KindRestart:
+		if x.fleet.Alive != nil && x.fleet.Alive(e.Target) {
+			x.skipped("restart replica=%d (already running)", e.Target)
+			return
+		}
+		target := x.fleetExecutedMax(e.Target)
+		if err := x.fleet.Restart(e.Target, e.Cold); err != nil {
+			x.skipped("restart replica=%d: %v", e.Target, err)
+			return
+		}
+		x.mu.Lock()
+		x.report.Restarts++
+		x.mu.Unlock()
+		mode := "warm"
+		if e.Cold {
+			mode = "cold"
+		}
+		x.applied("restart replica=%d mode=%s", e.Target, mode)
+		x.watchRecovery(e.Target, target)
+	case KindPartition:
+		x.fleet.Net.BlockNode(x.fleet.ReplicaID(e.Target), true)
+		x.mu.Lock()
+		x.report.Partitions++
+		x.mu.Unlock()
+		x.applied("partition replica=%d", e.Target)
+	case KindHeal:
+		x.fleet.Net.BlockNode(x.fleet.ReplicaID(e.Target), false)
+		x.applied("heal replica=%d", e.Target)
+	case KindDropRate:
+		x.fleet.Net.SetDrop(e.Rate, nil)
+		x.applied("drop-rate=%.4f for %.3fs", e.Rate, e.Dur.Seconds())
+	case KindSeqCrash:
+		if x.fleet.CrashSequencer == nil || !x.fleet.CrashSequencer() {
+			x.skipped("seq-crash (protocol has no sequencer)")
+			return
+		}
+		x.mu.Lock()
+		x.report.SeqFailovers++
+		x.mu.Unlock()
+		x.applied("sequencer crashed; epoch failover initiated")
+	case KindDuplicate:
+		x.dupBits.Store(math.Float64bits(e.Rate))
+		x.applied("duplicate rate=%.4f for %.3fs", e.Rate, e.Dur.Seconds())
+	case KindCorrupt:
+		x.corBits.Store(math.Float64bits(e.Rate))
+		x.applied("corrupt rate=%.4f for %.3fs", e.Rate, e.Dur.Seconds())
+	case KindClockSkew:
+		if x.fleet.SkewClock == nil {
+			x.skipped("clock-skew replica=%d (no timer handle)", e.Target)
+			return
+		}
+		x.fleet.SkewClock(e.Target, e.Factor)
+		x.applied("clock-skew replica=%d factor=%.2f", e.Target, e.Factor)
+	}
+}
+
+// fleetExecutedMax is the highest executed count among running replicas
+// other than exclude — the catch-up target for a restarting replica.
+func (x *Executor) fleetExecutedMax(exclude int) uint64 {
+	var max uint64
+	if x.fleet.Executed == nil {
+		return 0
+	}
+	for i := 0; i < x.fleet.Replicas; i++ {
+		if i == exclude || (x.fleet.Alive != nil && !x.fleet.Alive(i)) {
+			continue
+		}
+		if n := x.fleet.Executed(i); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// watchRecovery polls the restarted replica until it catches up to the
+// fleet's executed count at restart time, recording the latency.
+func (x *Executor) watchRecovery(i int, target uint64) {
+	if x.fleet.Executed == nil {
+		return
+	}
+	restartAt := time.Now()
+	x.wg.Add(1)
+	go func() {
+		defer x.wg.Done()
+		tick := time.NewTicker(10 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				if x.fleet.Executed(i) >= target {
+					x.mu.Lock()
+					x.report.Recoveries = append(x.report.Recoveries,
+						Recovery{Replica: i, Latency: time.Since(restartAt), CaughtUp: true})
+					x.mu.Unlock()
+					return
+				}
+			case <-x.stop:
+				x.mu.Lock()
+				x.report.Recoveries = append(x.report.Recoveries,
+					Recovery{Replica: i, Latency: time.Since(restartAt), CaughtUp: false})
+				x.mu.Unlock()
+				return
+			}
+		}
+	}()
+}
+
+// mangle is the deterministic Byzantine packet mangler. Each directed
+// link keeps its own packet counter; decisions hash (seed, link, count)
+// so a replay with the same seed mangles the same packets regardless of
+// delivery interleaving across links.
+func (x *Executor) mangle(from, to transport.NodeID, payload []byte) [][]byte {
+	dup := math.Float64frombits(x.dupBits.Load())
+	cor := math.Float64frombits(x.corBits.Load())
+	if dup == 0 && cor == 0 {
+		return nil
+	}
+	key := uint64(uint32(from))<<32 | uint64(uint32(to))
+	x.linkMu.Lock()
+	cnt := x.linkCnt[key]
+	x.linkCnt[key] = cnt + 1
+	x.linkMu.Unlock()
+	h := mix64(uint64(x.sched.Seed) ^ mix64(key^mix64(cnt+0x632be59bd9b4e019)))
+	u1 := float64(h>>11) / (1 << 53)
+	h2 := mix64(h)
+	u2 := float64(h2>>11) / (1 << 53)
+	if cor > 0 && u1 < cor && len(payload) > 0 {
+		c := append([]byte(nil), payload...)
+		c[int(h2%uint64(len(c)))] ^= 0xff
+		x.corrupted()
+		return [][]byte{c}
+	}
+	if dup > 0 && u2 < dup {
+		x.duplicated()
+		return [][]byte{payload, payload}
+	}
+	return nil
+}
+
+func (x *Executor) corrupted() {
+	x.mu.Lock()
+	x.report.Corrupted++
+	x.mu.Unlock()
+}
+
+func (x *Executor) duplicated() {
+	x.mu.Lock()
+	x.report.Duplicated++
+	x.mu.Unlock()
+}
+
+// Finish ends fault injection, heals the fleet (restarts any replica
+// still down, unblocks partitions, restores drop/mangling/timers),
+// waits the schedule's settle window so recovery machinery can finish,
+// and returns the report. Safety checking runs after Finish.
+func (x *Executor) Finish() Report {
+	// Heal everything before stopping recovery watchers so a restart
+	// issued here is still measured.
+	if x.fleet.Net != nil {
+		x.fleet.Net.SetDrop(-1, nil)
+		x.fleet.Net.SetMangler(nil)
+	}
+	x.dupBits.Store(0)
+	x.corBits.Store(0)
+	for i := 0; i < x.fleet.Replicas; i++ {
+		if x.fleet.Net != nil && x.fleet.ReplicaID != nil {
+			x.fleet.Net.BlockNode(x.fleet.ReplicaID(i), false)
+		}
+		if x.fleet.SkewClock != nil {
+			x.fleet.SkewClock(i, 1)
+		}
+		if x.fleet.Alive != nil && !x.fleet.Alive(i) && x.fleet.Restart != nil {
+			target := x.fleetExecutedMax(i)
+			if err := x.fleet.Restart(i, false); err == nil {
+				x.mu.Lock()
+				x.report.Restarts++
+				x.mu.Unlock()
+				x.applied("final heal: restart replica=%d", i)
+				x.watchRecovery(i, target)
+			}
+		}
+	}
+	if x.sched.Settle > 0 {
+		time.Sleep(x.sched.Settle)
+	}
+	close(x.stop)
+	x.wg.Wait()
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	sort.Slice(x.report.Recoveries, func(i, j int) bool {
+		return x.report.Recoveries[i].Replica < x.report.Recoveries[j].Replica
+	})
+	return x.report
+}

@@ -1,0 +1,321 @@
+// Package chaos is a deterministic, seeded fault-injection harness for
+// the replicated protocols: it scripts fault timelines (Schedule),
+// executes them against a live bench system over internal/simnet
+// (Executor), and verifies state-machine-replication safety afterwards
+// (Check + RecordingApp). Every random choice — event placement, burst
+// rates, per-packet corruption decisions — derives from a single seed,
+// so a failing run is replayed exactly by re-running with the same seed.
+//
+// The scenario library mirrors the paper's failure experiments: packet
+// drop rates (Fig 9), gap agreement under heavy loss, sequencer crash
+// with epoch failover (Fig 12), leader partition forcing a view change
+// (Fig 13), Byzantine packet duplication/corruption (Fig 10), plus
+// crash–restart of a replica, exercising the checkpoint/snapshot
+// recovery machinery end to end.
+package chaos
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+	"strings"
+	"time"
+
+	"neobft/internal/wire"
+)
+
+// Kind is the type of a fault event.
+type Kind uint8
+
+const (
+	// KindCrash stops replica Target, persisting its stable checkpoint
+	// for a later warm restart.
+	KindCrash Kind = 1 + iota
+	// KindRestart boots replica Target again: warm from the blob its
+	// crash persisted, or cold (Cold=true, blob discarded) so it must
+	// recover entirely from peers via snapshot state transfer.
+	KindRestart
+	// KindPartition isolates replica Target from every other node.
+	KindPartition
+	// KindHeal reconnects replica Target.
+	KindHeal
+	// KindDropRate sets the network-wide random drop probability to
+	// Rate; after Dur it reverts to the configured baseline.
+	KindDropRate
+	// KindSeqCrash crashes the active sequencer switch; recovery is the
+	// configuration service's epoch failover to the backup.
+	KindSeqCrash
+	// KindDuplicate duplicates packets with probability Rate for Dur.
+	KindDuplicate
+	// KindCorrupt flips a byte in packets with probability Rate for Dur
+	// (authenticators must reject them — corruption behaves as loss).
+	KindCorrupt
+	// KindClockSkew multiplies replica Target's timer durations by
+	// Factor (1 restores nominal time).
+	KindClockSkew
+)
+
+var kindNames = map[Kind]string{
+	KindCrash: "crash", KindRestart: "restart", KindPartition: "partition",
+	KindHeal: "heal", KindDropRate: "drop-rate", KindSeqCrash: "seq-crash",
+	KindDuplicate: "duplicate", KindCorrupt: "corrupt", KindClockSkew: "clock-skew",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one scripted fault.
+type Event struct {
+	// At is the event's offset from the start of the measured window.
+	At   time.Duration
+	Kind Kind
+	// Target is the replica index for replica-scoped kinds.
+	Target int
+	// Cold marks a KindRestart that discards the persisted checkpoint.
+	Cold bool
+	// Rate is the probability for KindDropRate/Duplicate/Corrupt.
+	Rate float64
+	// Dur is how long rate faults stay active before reverting.
+	Dur time.Duration
+	// Factor is the KindClockSkew timer multiplier.
+	Factor float64
+}
+
+// String renders the event as one deterministic timeline line.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8.3fs %-10s", e.At.Seconds(), e.Kind)
+	switch e.Kind {
+	case KindCrash, KindPartition, KindHeal:
+		fmt.Fprintf(&b, " replica=%d", e.Target)
+	case KindRestart:
+		mode := "warm"
+		if e.Cold {
+			mode = "cold"
+		}
+		fmt.Fprintf(&b, " replica=%d mode=%s", e.Target, mode)
+	case KindDropRate, KindDuplicate, KindCorrupt:
+		fmt.Fprintf(&b, " rate=%.4f dur=%.3fs", e.Rate, e.Dur.Seconds())
+	case KindClockSkew:
+		fmt.Fprintf(&b, " replica=%d factor=%.2f", e.Target, e.Factor)
+	}
+	return b.String()
+}
+
+// Schedule is a seeded fault timeline plus the quiesce window the
+// executor waits after healing before safety is checked.
+type Schedule struct {
+	Name   string
+	Seed   int64
+	Events []Event
+	Settle time.Duration
+}
+
+const scheduleVersion = 1
+
+// Marshal renders the schedule as canonical bytes: equal schedules
+// produce equal bytes, which is how replay tests assert that the same
+// seed yields the same fault timeline.
+func (s *Schedule) Marshal() []byte {
+	w := wire.NewWriter(64 + 32*len(s.Events))
+	w.U8(scheduleVersion)
+	w.VarBytes([]byte(s.Name))
+	w.U64(uint64(s.Seed))
+	w.U64(uint64(s.Settle))
+	w.U32(uint32(len(s.Events)))
+	for _, e := range s.Events {
+		w.U64(uint64(e.At))
+		w.U8(uint8(e.Kind))
+		w.U32(uint32(e.Target))
+		w.Bool(e.Cold)
+		w.U64(math.Float64bits(e.Rate))
+		w.U64(uint64(e.Dur))
+		w.U64(math.Float64bits(e.Factor))
+	}
+	return w.Bytes()
+}
+
+// Digest is the hex sha256 of the canonical bytes — the replay
+// fingerprint logged by neobench and CI.
+func (s *Schedule) Digest() string {
+	sum := sha256.Sum256(s.Marshal())
+	return hex.EncodeToString(sum[:8])
+}
+
+// String renders the whole timeline, one event per line.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule %s seed=%d digest=%s settle=%.3fs\n",
+		s.Name, s.Seed, s.Digest(), s.Settle.Seconds())
+	for _, e := range s.Events {
+		b.WriteString("  " + e.String() + "\n")
+	}
+	return b.String()
+}
+
+// ScenarioConfig parameterizes scenario generation.
+type ScenarioConfig struct {
+	// Seed drives every random choice in the generated schedule.
+	Seed int64
+	// Horizon is the measured load window events are placed inside.
+	Horizon time.Duration
+	// Replicas is the fleet size n (victim/leader indices derive from it).
+	Replicas int
+	// Settle overrides the post-heal quiesce window (default Horizon/4,
+	// clamped to [500ms, 2s]).
+	Settle time.Duration
+}
+
+// scenarioNames lists the library in presentation order.
+var scenarioNames = []string{
+	"crash-restart",
+	"crash-restart-cold",
+	"drop-rate",
+	"gap-agreement",
+	"seq-failover",
+	"view-change",
+	"partition",
+	"byzantine",
+	"clock-skew",
+}
+
+// Scenarios returns the names of the built-in scenario library.
+func Scenarios() []string {
+	return append([]string(nil), scenarioNames...)
+}
+
+// mix64 is a splitmix64-style finalizer for seed derivation.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func nameSeed(name string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Scenario generates the named schedule deterministically from cfg:
+// same name + config ⇒ byte-identical schedule. Event times carry small
+// seeded jitter so different seeds explore different interleavings.
+func Scenario(name string, cfg ScenarioConfig) (*Schedule, error) {
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 3 * time.Second
+	}
+	if cfg.Replicas == 0 {
+		cfg.Replicas = 4
+	}
+	if cfg.Settle == 0 {
+		cfg.Settle = cfg.Horizon / 4
+		if cfg.Settle < 500*time.Millisecond {
+			cfg.Settle = 500 * time.Millisecond
+		}
+		if cfg.Settle > 2*time.Second {
+			cfg.Settle = 2 * time.Second
+		}
+	}
+	rng := rand.New(rand.NewPCG(
+		mix64(uint64(cfg.Seed)^nameSeed(name)),
+		mix64(uint64(cfg.Seed)+0x9e3779b97f4a7c15),
+	))
+	H := cfg.Horizon
+	// at places an event at fraction f of the horizon, jittered by up to
+	// ±5% of the horizon.
+	at := func(f float64) time.Duration {
+		j := (rng.Float64() - 0.5) * 0.1
+		return time.Duration((f + j) * float64(H))
+	}
+	// rate draws from [lo, hi).
+	rate := func(lo, hi float64) float64 { return lo + rng.Float64()*(hi-lo) }
+	victim := cfg.Replicas - 1 // never the initial leader
+	leader := 0
+
+	s := &Schedule{Name: name, Seed: cfg.Seed, Settle: cfg.Settle}
+	switch name {
+	case "crash-restart":
+		// Crash a backup mid-load; warm-restart it from its persisted
+		// checkpoint so it rejoins via seqlog catch-up.
+		s.Events = []Event{
+			{At: at(0.25), Kind: KindCrash, Target: victim},
+			{At: at(0.55), Kind: KindRestart, Target: victim},
+		}
+	case "crash-restart-cold":
+		// Cold restart: the persisted checkpoint is discarded, forcing
+		// full recovery via snapshot state transfer from peers.
+		s.Events = []Event{
+			{At: at(0.25), Kind: KindCrash, Target: victim},
+			{At: at(0.55), Kind: KindRestart, Target: victim, Cold: true},
+		}
+	case "drop-rate":
+		// Fig 9: sustained low loss plus a heavier burst.
+		s.Events = []Event{
+			{At: at(0.1), Kind: KindDropRate, Rate: rate(0.005, 0.015), Dur: H / 2},
+			{At: at(0.7), Kind: KindDropRate, Rate: rate(0.03, 0.06), Dur: H / 8},
+		}
+	case "gap-agreement":
+		// Loss heavy enough that drop notifications and gap agreement
+		// fire repeatedly.
+		s.Events = []Event{
+			{At: at(0.15), Kind: KindDropRate, Rate: rate(0.05, 0.10), Dur: H / 6},
+			{At: at(0.5), Kind: KindDropRate, Rate: rate(0.05, 0.10), Dur: H / 6},
+		}
+	case "seq-failover":
+		// Fig 12: the active sequencer dies; the configuration service
+		// fails over to the backup switch in a new epoch.
+		s.Events = []Event{
+			{At: at(0.35), Kind: KindSeqCrash},
+		}
+	case "view-change":
+		// Fig 13: partition the leader; suspicion timers force a view
+		// change, then the old leader heals and catches up.
+		s.Events = []Event{
+			{At: at(0.3), Kind: KindPartition, Target: leader},
+			{At: at(0.7), Kind: KindHeal, Target: leader},
+		}
+	case "partition":
+		// Minority partition: quorum keeps committing, the isolated
+		// backup falls behind and recovers on heal.
+		s.Events = []Event{
+			{At: at(0.2), Kind: KindPartition, Target: victim},
+			{At: at(0.6), Kind: KindHeal, Target: victim},
+		}
+	case "byzantine":
+		// Fig 10: network-level misbehaviour — duplicated and corrupted
+		// packets the authenticators must reject.
+		s.Events = []Event{
+			{At: at(0.1), Kind: KindDuplicate, Rate: rate(0.02, 0.06), Dur: H / 2},
+			{At: at(0.45), Kind: KindCorrupt, Rate: rate(0.01, 0.03), Dur: H / 4},
+		}
+	case "clock-skew":
+		// One replica's timers run slow: its retransmit/suspicion
+		// machinery lags but safety must hold.
+		s.Events = []Event{
+			{At: at(0.2), Kind: KindClockSkew, Target: victim, Factor: 3 + 2*rng.Float64()},
+			{At: at(0.7), Kind: KindClockSkew, Target: victim, Factor: 1},
+		}
+	default:
+		return nil, fmt.Errorf("chaos: unknown scenario %q (have %s)", name, strings.Join(scenarioNames, ", "))
+	}
+	for i := range s.Events {
+		if s.Events[i].At < 0 {
+			s.Events[i].At = 0
+		}
+	}
+	sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].At < s.Events[j].At })
+	return s, nil
+}

@@ -53,6 +53,15 @@ type Config struct {
 	// Metrics is the replica's shared registry (runtime stages plus
 	// proto_* series). If nil, the runtime's registry is used.
 	Metrics *metrics.Registry
+	// Restore, if non-nil, boots the replica from a Persist() blob.
+	// Three-chain commits are locally final, so the blob is just the
+	// executed height plus state snapshot — no certificate is involved.
+	// HotStuff has no peer state-transfer path: a restored replica
+	// resumes with its committed state but cannot vote on blocks whose
+	// ancestry predates the restart, so it follows passively until the
+	// chain catches it up (or forever, if proposals reference pruned
+	// parents — the known liveness gap of restart without block sync).
+	Restore []byte
 }
 
 type qc struct {
@@ -165,8 +174,50 @@ func New(cfg Config) *Replica {
 	}
 	r.trace = reg.Recorder()
 	r.rt = cfg.Runtime
+	if cfg.Restore != nil {
+		r.restoreFromPersist(cfg.Restore)
+	}
 	r.rt.Start(r)
 	return r
+}
+
+// Persist captures the replica's durable recovery state: the executed
+// height and a state snapshot. Commits are locally final in HotStuff, so
+// unlike the quorum-checkpoint protocols no certificate is needed.
+func (r *Replica) Persist() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := replication.CaptureSnapshot(r.cfg.App, r.table)
+	w := wire.NewWriter(64 + len(snap))
+	w.U64(r.lastExec)
+	w.U64(r.executedOps)
+	w.VarBytes(snap)
+	return w.Bytes()
+}
+
+// restoreFromPersist boots from a Persist blob. Called from New before
+// the runtime starts.
+func (r *Replica) restoreFromPersist(blob []byte) {
+	rd := wire.NewReader(blob)
+	height := rd.U64()
+	ops := rd.U64()
+	snap := append([]byte(nil), rd.VarBytes()...)
+	if rd.Done() != nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if replication.InstallSnapshot(r.cfg.App, r.table, snap) != nil {
+		return
+	}
+	r.table.Reauth(uint32(r.cfg.Self), func(c transport.NodeID, b []byte) []byte {
+		return r.cfg.ClientAuth.TagFor(int64(c), b)
+	})
+	r.lastExec = height
+	r.executedOps = ops
+	r.log.Reset(height)
+	r.gLow.Set(int64(r.log.Low()))
+	r.gHigh.Set(int64(r.log.High()))
 }
 
 // Metrics returns the replica's shared metrics registry.

@@ -174,17 +174,25 @@ func (r *Replica) onStateSnap(body []byte) {
 	if cert.Slot <= r.lastExec {
 		return
 	}
+	r.installSnapshotLocked(cert, snap)
+}
+
+// installSnapshotLocked verifies a checkpoint certificate against its
+// snapshot and, if sound, adopts the checkpointed state wholesale. It is
+// the shared tail of snapshot state transfer (onStateSnap) and
+// crash-restart recovery (Config.Restore). Caller holds r.mu.
+func (r *Replica) installSnapshotLocked(cert *seqlog.Cert, snap []byte) bool {
 	if !cert.Verify(ckptDomain, r.cfg.N, r.cfg.F+1, func(rep uint32, b, tag []byte) bool {
 		return r.cfg.Auth.VerifyVector(int(rep), b, tag)
 	}) {
-		return
+		return false
 	}
 	stateD := sha256.Sum256(snap)
 	if cert.Digest != seqlog.Digest(ckptDomain, cert.Slot, stateD) {
-		return
+		return false
 	}
 	if replication.InstallSnapshot(r.cfg.App, r.table, snap) != nil {
-		return
+		return false
 	}
 	r.table.Reauth(uint32(r.cfg.Self), func(c transport.NodeID, b []byte) []byte {
 		return r.cfg.ClientAuth.TagFor(int64(c), b)
@@ -218,4 +226,42 @@ func (r *Replica) onStateSnap(body []byte) {
 	r.gLow.Set(int64(r.log.Low()))
 	r.gHigh.Set(int64(r.log.High()))
 	r.tryIssueLocked()
+	return true
+}
+
+// Persist captures the replica's durable recovery state: the latest
+// stable checkpoint certificate and snapshot. A replica restarted with
+// this blob (Config.Restore) resumes from the checkpoint. Nil means no
+// checkpoint is stable yet and a restart recovers entirely from peers.
+// The USIG state is deliberately not part of the blob: it models the
+// trusted counter surviving in the enclave, so the harness hands the
+// same USIG instance back to the restarted replica.
+func (r *Replica) Persist() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stable == nil {
+		return nil
+	}
+	w := wire.NewWriter(256 + len(r.stable.snapshot))
+	w.VarBytes(r.stable.cert.Marshal())
+	w.VarBytes(r.stable.snapshot)
+	return w.Bytes()
+}
+
+// restoreFromPersist boots from a Persist blob. Called from New before
+// the runtime starts.
+func (r *Replica) restoreFromPersist(blob []byte) {
+	rd := wire.NewReader(blob)
+	certB := rd.VarBytes()
+	snap := append([]byte(nil), rd.VarBytes()...)
+	if rd.Done() != nil {
+		return
+	}
+	cert, err := seqlog.UnmarshalCert(certB)
+	if err != nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.installSnapshotLocked(cert, snap)
 }

@@ -66,6 +66,11 @@ type Config struct {
 	// Metrics is the replica's shared registry (runtime stages plus
 	// proto_* series). If nil, the runtime's registry is used.
 	Metrics *metrics.Registry
+	// Restore, if non-nil, boots the replica from a Persist() blob: the
+	// stable checkpoint certificate plus snapshot captured before a
+	// crash. The USIG instance must be the same one the crashed replica
+	// used (the trusted counter lives in the enclave).
+	Restore []byte
 }
 
 type slot struct {
@@ -180,6 +185,9 @@ func New(cfg Config) *Replica {
 		kindStateSnap:           reg.Counter("proto_msg_state_snapshot_total"),
 	}
 	r.trace = reg.Recorder()
+	if cfg.Restore != nil {
+		r.restoreFromPersist(cfg.Restore)
+	}
 	r.rt.Start(r)
 	return r
 }

@@ -198,9 +198,18 @@ func (r *Replica) onQueryReply(body []byte) {
 }
 
 // fillSlotLocked writes the resolution of the blocked slot and resumes
-// delivery processing. Caller holds r.mu; blockedOn must equal slot ==
-// high watermark + 1.
+// delivery processing. Caller holds r.mu; blockedOn must equal slot,
+// which was the high watermark + 1 when the block was raised.
 func (r *Replica) fillSlotLocked(slot uint64, cert *aom.OrderingCert, gapCert *GapCert) {
+	// State transfer may have filled the slot (and slots beyond it) while
+	// the query or gap agreement was in flight; appending the resolution
+	// now would land its payload at the wrong slot. The transferred
+	// content is certificate-checked against the same sequence number, so
+	// the late resolution only unblocks.
+	if slot <= r.log.High() {
+		r.unblockLocked()
+		return
+	}
 	if cert != nil {
 		r.appendRequestLocked(cert)
 	} else {

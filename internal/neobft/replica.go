@@ -73,6 +73,12 @@ type Config struct {
 	// Metrics is the replica's shared registry (runtime stages, proto_*
 	// and aom_* series). If nil, the runtime's registry is used.
 	Metrics *metrics.Registry
+	// Restore, if non-nil, boots the replica from a Persist() blob: the
+	// stable checkpoint (certificate + chain hash + snapshot) plus the
+	// view and epoch-start table captured before a crash. The blob is
+	// honoured only if its epoch is still the group's current epoch;
+	// otherwise the replica cold-starts and recovers from peers.
+	Restore []byte
 }
 
 // logEntry is one slot of the replica's log.
@@ -304,6 +310,9 @@ func New(cfg Config) *Replica {
 		cfg.Runtime = runtime.New(runtime.Config{Conn: cfg.Conn, Metrics: reg})
 	}
 	r.rt = cfg.Runtime
+	if cfg.Restore != nil {
+		r.restoreFromPersist(cfg.Restore)
+	}
 	r.rt.ArmEvery(cfg.TickInterval, r.onTick)
 	r.rt.Start(r)
 	return r
@@ -584,6 +593,7 @@ func (r *Replica) onDeliver(d aom.Delivery) {
 }
 
 func (r *Replica) processDeliveryLocked(d aom.Delivery) {
+
 	if r.status != StatusNormal || d.Epoch != r.view.Epoch {
 		return // deliveries from old epochs die with their epoch
 	}

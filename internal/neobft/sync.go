@@ -2,6 +2,7 @@ package neobft
 
 import (
 	"crypto/sha256"
+	"sort"
 
 	"neobft/internal/replication"
 	"neobft/internal/seqlog"
@@ -245,6 +246,111 @@ func (r *Replica) pruneFinalizedLocked(slot uint64) {
 		if s <= slot {
 			delete(r.gaps, s)
 		}
+	}
+}
+
+// --- crash-restart persistence --------------------------------------------
+
+// Persist captures the replica's durable recovery state: the view, the
+// epoch-start table (needed to map aom sequence numbers back to log
+// slots), and the latest stable checkpoint (certificate, chain hash,
+// snapshot). A replica restarted with this blob (Config.Restore)
+// resumes with its log window at the checkpoint slot, its aom receiver
+// skipped past the checkpointed sequence numbers, and catches up on
+// later slots through gap resolution / state transfer. Nil means no
+// checkpoint is stable yet: a restart recovers entirely from peers via
+// snapshot state transfer (a cold restart).
+func (r *Replica) Persist() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stable == nil {
+		return nil
+	}
+	epochs := make([]uint32, 0, len(r.epochStart))
+	for e := range r.epochStart {
+		epochs = append(epochs, e)
+	}
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+	w := wire.NewWriter(512 + len(r.stable.snapshot))
+	w.U64(r.view.Pack())
+	w.U32(uint32(len(epochs)))
+	for _, e := range epochs {
+		w.U32(e)
+		w.U64(r.epochStart[e])
+	}
+	w.VarBytes(r.stable.cert.Marshal())
+	w.Bytes32(r.stable.logHash)
+	w.VarBytes(r.stable.snapshot)
+	return w.Bytes()
+}
+
+// restoreFromPersist boots from a Persist blob. Called from New after
+// the receiver exists but before the runtime starts. The blob is only
+// honoured when its view's epoch matches the epoch the receiver was
+// configured with by the configuration service: a checkpoint persisted
+// under a superseded sequencer epoch cannot seed the current ordered
+// stream, so the replica falls back to a cold start and recovers via
+// snapshot state transfer instead.
+func (r *Replica) restoreFromPersist(blob []byte) {
+	rd := wire.NewReader(blob)
+	view := UnpackView(rd.U64())
+	nEpochs := rd.U32()
+	if rd.Err() != nil || nEpochs > 1<<16 {
+		return
+	}
+	starts := make(map[uint32]uint64, nEpochs)
+	for i := uint32(0); i < nEpochs; i++ {
+		e := rd.U32()
+		starts[e] = rd.U64()
+	}
+	certB := rd.VarBytes()
+	logHash := rd.Bytes32()
+	snap := append([]byte(nil), rd.VarBytes()...)
+	if rd.Done() != nil {
+		return
+	}
+	cert, err := seqlog.UnmarshalCert(certB)
+	if err != nil {
+		return
+	}
+	if view.Epoch != r.recv.Epoch() {
+		return // superseded epoch: cold-start and fetch state from peers
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !cert.Verify(ckptDomain, r.cfg.N, 2*r.cfg.F+1, func(rep uint32, b, tag []byte) bool {
+		return r.cfg.Auth.VerifyVector(int(rep), b, tag)
+	}) {
+		return
+	}
+	stateD := sha256.Sum256(snap)
+	if cert.Digest != seqlog.Digest(ckptDomain, cert.Slot, logHash, stateD) {
+		return
+	}
+	if !r.restoreSnapshotLocked(snap) {
+		return
+	}
+	r.view = view
+	r.epochStart = starts
+	r.log.Reset(cert.Slot)
+	r.baseHash = logHash
+	r.specExecuted = cert.Slot
+	r.syncPoint = cert.Slot
+	r.stable = &stableCkpt{
+		pendingCkpt: pendingCkpt{
+			slot: cert.Slot, logHash: logHash, stateDigest: stateD,
+			snapshot: snap, digest: cert.Digest,
+		},
+		cert: cert,
+	}
+	r.ckpt.SetStable(cert)
+	r.gLow.Set(int64(r.log.Low()))
+	r.gHigh.Set(int64(r.log.High()))
+	// Resume the aom stream where the checkpoint left off: sequence
+	// numbers are per-epoch, so the receiver skips past the slots the
+	// checkpoint already covers in the current epoch.
+	if start, ok := starts[view.Epoch]; ok && cert.Slot >= start {
+		r.recv.SkipTo(cert.Slot - start)
 	}
 }
 

@@ -72,6 +72,11 @@ type Config struct {
 	// Metrics is the replica's shared registry (runtime stages plus
 	// proto_* series). If nil, the runtime's registry is used.
 	Metrics *metrics.Registry
+	// Restore, if non-nil, boots the replica from a Persist() blob: the
+	// stable checkpoint certificate plus snapshot captured before a
+	// crash. The replica resumes with its log window at the checkpoint
+	// slot and catches up on later slots through the normal protocol.
+	Restore []byte
 }
 
 type slot struct {
@@ -231,6 +236,9 @@ func New(cfg Config) *Replica {
 		r.msgCounters[k] = reg.Counter("proto_msg_" + name + "_total")
 	}
 	r.trace = reg.Recorder()
+	if cfg.Restore != nil {
+		r.restoreFromPersist(cfg.Restore)
+	}
 	r.rt.ArmEvery(cfg.TickInterval, r.onTick)
 	r.rt.Start(r)
 	return r

@@ -329,3 +329,37 @@ func TestWorkersDefault(t *testing.T) {
 		t.Fatalf("default Workers() = %d, want >= 1", rt.Workers())
 	}
 }
+
+func TestTimerScaleStretchesTimers(t *testing.T) {
+	rt := New(Config{Workers: 1})
+	rt.Start(&loopChecker{})
+	defer rt.Close()
+
+	// With a 20x slowdown a 5ms timer must not fire before ~100ms; with
+	// nominal scale it fires almost immediately. Measure both.
+	rt.SetTimerScale(20)
+	slow := make(chan time.Time, 1)
+	start := time.Now()
+	rt.Arm(5*time.Millisecond, func() { slow <- time.Now() })
+
+	rt.SetTimerScale(1)
+	fast := make(chan time.Time, 1)
+	rt.Arm(5*time.Millisecond, func() { fast <- time.Now() })
+
+	select {
+	case at := <-fast:
+		if d := at.Sub(start); d > 80*time.Millisecond {
+			t.Fatalf("nominal timer took %v", d)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("nominal timer never fired")
+	}
+	select {
+	case at := <-slow:
+		if d := at.Sub(start); d < 80*time.Millisecond {
+			t.Fatalf("skewed timer fired after %v, want >= ~100ms", d)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("skewed timer never fired")
+	}
+}

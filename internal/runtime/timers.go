@@ -2,7 +2,9 @@ package runtime
 
 import (
 	"container/heap"
+	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -26,6 +28,40 @@ type timerState struct {
 	byID   map[TimerID]*timerEntry
 	nextID TimerID
 	wake   chan struct{}
+	// scale holds the float64 bits of the clock-skew factor (0 = unset,
+	// treated as 1). Durations are multiplied by it when a timer is
+	// armed and when a periodic timer re-queues, so a skewed replica's
+	// timeouts run slow (scale > 1) or fast (scale < 1).
+	scale atomic.Uint64
+}
+
+func (ts *timerState) scaleFactor() float64 {
+	bits := ts.scale.Load()
+	if bits == 0 {
+		return 1
+	}
+	return math.Float64frombits(bits)
+}
+
+func (ts *timerState) scaled(d time.Duration) time.Duration {
+	f := ts.scaleFactor()
+	if f == 1 {
+		return d
+	}
+	return time.Duration(float64(d) * f)
+}
+
+// SetTimerScale sets the clock-skew factor applied to timer durations:
+// timers armed (and periodic timers re-queued) from now on fire after
+// scale×duration. Chaos experiments use it to model a replica whose
+// clock runs slow or fast relative to the fleet. Scale 1 restores
+// nominal time; non-positive values are ignored.
+func (rt *Runtime) SetTimerScale(scale float64) {
+	if scale <= 0 {
+		return
+	}
+	rt.timers.scale.Store(math.Float64bits(scale))
+	rt.timers.signal()
 }
 
 func (ts *timerState) init() {
@@ -61,7 +97,7 @@ func (rt *Runtime) Cancel(id TimerID) bool {
 func (ts *timerState) arm(d, period time.Duration, fn func()) TimerID {
 	ts.mu.Lock()
 	ts.nextID++
-	e := &timerEntry{id: ts.nextID, when: time.Now().Add(d), period: period, fn: fn}
+	e := &timerEntry{id: ts.nextID, when: time.Now().Add(ts.scaled(d)), period: period, fn: fn}
 	ts.byID[e.id] = e
 	heap.Push(&ts.heap, e)
 	ts.mu.Unlock()
@@ -135,11 +171,12 @@ func (ts *timerState) due(now time.Time) []func() {
 			e.fn()
 			ts.mu.Lock()
 			if _, live := ts.byID[e.id]; live {
-				e.when = e.when.Add(e.period)
+				p := ts.scaled(e.period)
+				e.when = e.when.Add(p)
 				if e.when.Before(time.Now()) {
 					// Missed periods (long apply stall): skip ahead
 					// rather than firing a burst of catch-up ticks.
-					e.when = time.Now().Add(e.period)
+					e.when = time.Now().Add(p)
 				}
 				heap.Push(&ts.heap, e)
 			}

@@ -3,17 +3,24 @@
 // switch): nodes attach with transport.Conn semantics, and the network
 // delivers packets with configurable one-way latency, jitter, seeded
 // random drops (Fig 9), link blocking (partitions, sequencer failure) and
-// a Byzantine duplication hook for equivocation experiments.
+// Byzantine duplication/corruption hooks for equivocation and chaos
+// experiments.
 //
 // Each node's handler runs on a dedicated delivery goroutine and receives
 // packets one at a time, modelling a single-threaded replica event loop.
 // Inboxes are bounded; overflow drops packets, which is exactly the
 // unreliable-network behaviour the protocols must tolerate.
+//
+// Randomness is per-link: every directed (from, to) pair owns a PCG
+// stream seeded from (Options.Seed, from, to), so the drop/jitter
+// decision sequence on a link depends only on the seed and the packets
+// sent over that link — not on how goroutines interleave across links.
+// That is what makes seeded chaos schedules replayable.
 package simnet
 
 import (
 	"container/heap"
-	"math/rand"
+	"math/rand/v2"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -60,6 +67,20 @@ type packet struct {
 	deliver  time.Time
 }
 
+// dropConfig is a dynamic override of the configured drop behaviour,
+// installed by SetDrop for chaos drop-rate bursts.
+type dropConfig struct {
+	rate   float64
+	filter func(from, to transport.NodeID) bool
+}
+
+// Mangler inspects a packet about to enter the fabric and returns the
+// list of payloads to actually carry: nil keeps the original payload,
+// an empty slice swallows the packet, and multiple entries duplicate it
+// (each drawn an independent jitter). Payload corruption is modelled by
+// returning a rewritten copy. Used for Byzantine chaos injection.
+type Mangler func(from, to transport.NodeID, payload []byte) [][]byte
+
 // Network is a simulated network fabric.
 type Network struct {
 	opts Options
@@ -67,22 +88,47 @@ type Network struct {
 	mu      sync.RWMutex
 	nodes   map[transport.NodeID]*Node
 	blocked map[[2]transport.NodeID]bool
-	rng     *rand.Rand
-	rngMu   sync.Mutex
+
+	linkMu sync.RWMutex
+	links  map[[2]transport.NodeID]*linkRand
 
 	sent      atomic.Uint64
 	delivered atomic.Uint64
 	dropped   atomic.Uint64
+
+	// drop, when set, overrides Options.DropRate/DropFilter at runtime
+	// (chaos drop bursts).
+	drop atomic.Pointer[dropConfig]
 
 	// tap, when set, observes every packet before delivery and may
 	// rewrite or suppress it (returns deliver=false). Used to inject
 	// Byzantine network behaviour in tests.
 	tap atomic.Pointer[func(from, to transport.NodeID, payload []byte) bool]
 
+	// mangler, when set, may swallow, rewrite or duplicate packets.
+	mangler atomic.Pointer[Mangler]
+
 	timerMu   sync.Mutex
 	timerCond *sync.Cond
 	timers    delayHeap
 	closed    bool
+}
+
+// linkRand is the PCG stream owned by one directed link.
+type linkRand struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// mix64 is a splitmix64-style finalizer used to derive per-link PCG
+// seeds from (network seed, endpoint IDs).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // New creates a network.
@@ -94,7 +140,7 @@ func New(opts Options) *Network {
 		opts:    opts,
 		nodes:   make(map[transport.NodeID]*Node),
 		blocked: make(map[[2]transport.NodeID]bool),
-		rng:     rand.New(rand.NewSource(opts.Seed)),
+		links:   make(map[[2]transport.NodeID]*linkRand),
 	}
 	n.timerCond = sync.NewCond(&n.timerMu)
 	if opts.Latency > 0 || opts.Jitter > 0 {
@@ -103,8 +149,36 @@ func New(opts Options) *Network {
 	return n
 }
 
+// Seed returns the seed this network draws its randomness from, so
+// harnesses can log it for replay.
+func (n *Network) Seed() int64 { return n.opts.Seed }
+
+// linkRNG returns the PCG stream for the directed link from→to,
+// creating it deterministically from the network seed on first use.
+func (n *Network) linkRNG(from, to transport.NodeID) *linkRand {
+	key := [2]transport.NodeID{from, to}
+	n.linkMu.RLock()
+	lr := n.links[key]
+	n.linkMu.RUnlock()
+	if lr != nil {
+		return lr
+	}
+	n.linkMu.Lock()
+	defer n.linkMu.Unlock()
+	if lr = n.links[key]; lr == nil {
+		s := uint64(n.opts.Seed)
+		a := mix64(s ^ mix64(uint64(uint32(from))+0x9e3779b97f4a7c15))
+		b := mix64(s ^ mix64(uint64(uint32(to))+0xc2b2ae3d27d4eb4f))
+		lr = &linkRand{rng: rand.New(rand.NewPCG(a, b))}
+		n.links[key] = lr
+	}
+	return lr
+}
+
 // Join attaches a node with the given ID and returns its connection.
 // Joining an ID twice panics: IDs are assigned by the experiment harness.
+// A closed node's ID may be reused, which is how the chaos harness models
+// a crashed process restarting.
 func (n *Network) Join(id transport.NodeID) *Node {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -159,6 +233,28 @@ func (n *Network) SetTap(tap func(from, to transport.NodeID, payload []byte) boo
 	n.tap.Store(&tap)
 }
 
+// SetMangler installs a packet mangler; pass nil to remove. The mangler
+// runs after the tap and the random-drop decision, so duplicated packets
+// each still draw independent jitter but share one drop decision.
+func (n *Network) SetMangler(m Mangler) {
+	if m == nil {
+		n.mangler.Store(nil)
+		return
+	}
+	n.mangler.Store(&m)
+}
+
+// SetDrop overrides the configured random-drop behaviour at runtime:
+// rate applies to links matching filter (nil filter = all links).
+// Passing a negative rate removes the override, restoring Options.
+func (n *Network) SetDrop(rate float64, filter func(from, to transport.NodeID) bool) {
+	if rate < 0 {
+		n.drop.Store(nil)
+		return
+	}
+	n.drop.Store(&dropConfig{rate: rate, filter: filter})
+}
+
 // Stats returns a snapshot of packet counters.
 func (n *Network) Stats() Stats {
 	return Stats{
@@ -194,11 +290,16 @@ func (n *Network) route(from, to transport.NodeID, payload []byte) {
 		return
 	}
 
-	if rate := n.opts.DropRate; rate > 0 {
-		if n.opts.DropFilter == nil || n.opts.DropFilter(from, to) {
-			n.rngMu.Lock()
-			drop := n.rng.Float64() < rate
-			n.rngMu.Unlock()
+	rate, filter := n.opts.DropRate, n.opts.DropFilter
+	if dc := n.drop.Load(); dc != nil {
+		rate, filter = dc.rate, dc.filter
+	}
+	if rate > 0 {
+		if filter == nil || filter(from, to) {
+			lr := n.linkRNG(from, to)
+			lr.mu.Lock()
+			drop := lr.rng.Float64() < rate
+			lr.mu.Unlock()
 			if drop {
 				n.dropped.Add(1)
 				return
@@ -213,6 +314,25 @@ func (n *Network) route(from, to transport.NodeID, payload []byte) {
 		}
 	}
 
+	if m := n.mangler.Load(); m != nil {
+		if out := (*m)(from, to, payload); out != nil {
+			if len(out) == 0 {
+				n.dropped.Add(1)
+				return
+			}
+			for _, p := range out[1:] {
+				n.deliverOne(from, to, p, dst)
+			}
+			payload = out[0]
+		}
+	}
+
+	n.deliverOne(from, to, payload, dst)
+}
+
+// deliverOne carries one payload over from→to, drawing its jitter from
+// the link's stream.
+func (n *Network) deliverOne(from, to transport.NodeID, payload []byte, dst *Node) {
 	delay := n.opts.Latency
 	if o := n.opts.LatencyOverride; o != nil {
 		if d, ok := o(from, to); ok {
@@ -220,9 +340,10 @@ func (n *Network) route(from, to transport.NodeID, payload []byte) {
 		}
 	}
 	if j := n.opts.Jitter; j > 0 {
-		n.rngMu.Lock()
-		delay += time.Duration(n.rng.Int63n(int64(j)))
-		n.rngMu.Unlock()
+		lr := n.linkRNG(from, to)
+		lr.mu.Lock()
+		delay += time.Duration(lr.rng.Int64N(int64(j)))
+		lr.mu.Unlock()
 	}
 	p := packet{from: from, to: to, payload: payload}
 	if delay == 0 {

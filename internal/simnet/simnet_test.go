@@ -348,3 +348,152 @@ func TestJitterSpreadsDeliveries(t *testing.T) {
 		t.Fatalf("jitter did not spread deliveries: span %v", max.Sub(min))
 	}
 }
+
+func TestPerLinkDropDeterminism(t *testing.T) {
+	// The drop decision sequence on a link depends only on (seed, from,
+	// to) and the packet count on that link — not on traffic elsewhere
+	// or goroutine interleaving. Run the same per-link workload twice,
+	// the second time with interleaved cross-traffic, and require
+	// byte-identical drop patterns.
+	pattern := func(cross bool) []bool {
+		net := New(Options{DropRate: 0.5, Seed: 42})
+		defer net.Close()
+		a := net.Join(1)
+		b := net.Join(2)
+		c := net.Join(3)
+		var mu sync.Mutex
+		var got []byte
+		b.SetHandler(func(from transport.NodeID, p []byte) {
+			mu.Lock()
+			got = append(got, p[0])
+			mu.Unlock()
+		})
+		c.SetHandler(func(from transport.NodeID, p []byte) {})
+		var wg sync.WaitGroup
+		if cross {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 200; i++ {
+					a.Send(3, []byte{byte(i)})
+				}
+			}()
+		}
+		for i := 0; i < 200; i++ {
+			a.Send(2, []byte{byte(i)})
+		}
+		wg.Wait()
+		time.Sleep(20 * time.Millisecond)
+		mu.Lock()
+		defer mu.Unlock()
+		delivered := make([]bool, 200)
+		for _, seq := range got {
+			delivered[seq] = true
+		}
+		return delivered
+	}
+	base := pattern(false)
+	withCross := pattern(true)
+	for i := range base {
+		if base[i] != withCross[i] {
+			t.Fatalf("drop pattern diverged at packet %d with cross-traffic", i)
+		}
+	}
+	// Sanity: rate 0.5 should both drop and deliver something.
+	var n int
+	for _, d := range base {
+		if d {
+			n++
+		}
+	}
+	if n == 0 || n == 200 {
+		t.Fatalf("drop rate 0.5 delivered %d/200", n)
+	}
+}
+
+func TestSetDropOverride(t *testing.T) {
+	net := New(Options{Seed: 5})
+	defer net.Close()
+	a := net.Join(1)
+	b := net.Join(2)
+	var count atomic.Int64
+	b.SetHandler(func(from transport.NodeID, p []byte) { count.Add(1) })
+
+	net.SetDrop(1.0, nil)
+	a.Send(2, []byte("x"))
+	time.Sleep(5 * time.Millisecond)
+	if count.Load() != 0 {
+		t.Fatal("dynamic drop override did not drop")
+	}
+	net.SetDrop(-1, nil) // restore configured behaviour (no drops)
+	a.Send(2, []byte("y"))
+	waitFor(t, func() bool { return count.Load() == 1 }, "delivery after override removed")
+}
+
+func TestManglerDuplicatesCorruptsSwallows(t *testing.T) {
+	net := New(Options{Seed: 5})
+	defer net.Close()
+	a := net.Join(1)
+	b := net.Join(2)
+	var mu sync.Mutex
+	var got []string
+	b.SetHandler(func(from transport.NodeID, p []byte) {
+		mu.Lock()
+		got = append(got, string(p))
+		mu.Unlock()
+	})
+	net.SetMangler(func(from, to transport.NodeID, payload []byte) [][]byte {
+		switch string(payload) {
+		case "dup":
+			return [][]byte{payload, payload}
+		case "corrupt":
+			c := append([]byte(nil), payload...)
+			c[0] ^= 0xff
+			return [][]byte{c}
+		case "swallow":
+			return [][]byte{}
+		}
+		return nil
+	})
+	a.Send(2, []byte("dup"))
+	a.Send(2, []byte("corrupt"))
+	a.Send(2, []byte("swallow"))
+	a.Send(2, []byte("pass"))
+	waitFor(t, func() bool { mu.Lock(); defer mu.Unlock(); return len(got) == 4 }, "4 deliveries")
+	time.Sleep(5 * time.Millisecond)
+	mu.Lock()
+	counts := map[string]int{}
+	for _, s := range got {
+		counts[s]++
+	}
+	corrupted := string([]byte{'c' ^ 0xff}) + "orrupt"
+	if counts["dup"] != 2 || counts["pass"] != 1 || counts[corrupted] != 1 {
+		mu.Unlock()
+		t.Fatalf("mangled deliveries = %q", got)
+	}
+	if counts["swallow"] != 0 {
+		mu.Unlock()
+		t.Fatalf("swallowed packet delivered: %q", got)
+	}
+	mu.Unlock()
+	net.SetMangler(nil)
+	a.Send(2, []byte("dup"))
+	waitFor(t, func() bool { mu.Lock(); defer mu.Unlock(); return len(got) == 5 }, "unmangled delivery")
+}
+
+func TestRejoinAfterClose(t *testing.T) {
+	// A crashed node (Close) can rejoin under the same ID — the chaos
+	// harness's restart lifecycle.
+	net := New(Options{})
+	defer net.Close()
+	a := net.Join(1)
+	b := net.Join(2)
+	var count atomic.Int64
+	b.SetHandler(func(from transport.NodeID, p []byte) { count.Add(1) })
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a2 := net.Join(1)
+	a2.Send(2, []byte("x"))
+	waitFor(t, func() bool { return count.Load() == 1 }, "post-restart delivery")
+}

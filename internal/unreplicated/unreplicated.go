@@ -15,6 +15,7 @@ import (
 	"neobft/internal/runtime"
 	"neobft/internal/seqlog"
 	"neobft/internal/transport"
+	"neobft/internal/wire"
 )
 
 // ckptDomain separates the server's checkpoint digests from the
@@ -37,6 +38,11 @@ type Config struct {
 	// Metrics is the server's shared registry (runtime stages plus
 	// proto_* series). If nil, the runtime's registry is used.
 	Metrics *metrics.Registry
+	// Restore, if non-nil, boots the server from a Persist() blob: the
+	// executed-operation count plus state snapshot. With no peers there
+	// is nothing to catch up from — operations past the blob are simply
+	// lost, which is exactly the baseline's (lack of a) fault model.
+	Restore []byte
 }
 
 // Server is the unreplicated service endpoint.
@@ -86,8 +92,46 @@ func New(cfg Config) *Server {
 	s.mTruncated = reg.Counter("proto_truncated_slots_total")
 	s.gLow = reg.Gauge("proto_log_low_watermark")
 	s.gHigh = reg.Gauge("proto_log_high_watermark")
+	if cfg.Restore != nil {
+		s.restoreFromPersist(cfg.Restore)
+	}
 	s.rt.Start(s)
 	return s
+}
+
+// Persist captures the server's durable recovery state: the operation
+// count and a state snapshot.
+func (s *Server) Persist() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := replication.CaptureSnapshot(s.cfg.App, s.table)
+	w := wire.NewWriter(32 + len(snap))
+	w.U64(s.ops)
+	w.VarBytes(snap)
+	return w.Bytes()
+}
+
+// restoreFromPersist boots from a Persist blob. Called from New before
+// the runtime starts.
+func (s *Server) restoreFromPersist(blob []byte) {
+	rd := wire.NewReader(blob)
+	ops := rd.U64()
+	snap := append([]byte(nil), rd.VarBytes()...)
+	if rd.Done() != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if replication.InstallSnapshot(s.cfg.App, s.table, snap) != nil {
+		return
+	}
+	s.table.Reauth(0, func(c transport.NodeID, b []byte) []byte {
+		return s.cfg.ClientAuth.TagFor(int64(c), b)
+	})
+	s.ops = ops
+	s.log.Reset(ops)
+	s.gLow.Set(int64(s.log.Low()))
+	s.gHigh.Set(int64(s.log.High()))
 }
 
 // Metrics returns the server's shared metrics registry.

@@ -194,8 +194,12 @@ func (r *Reader) VarBytes() []byte {
 	return r.take(int(n))
 }
 
-// Raw consumes all remaining bytes.
+// Raw consumes all remaining bytes. Like every other read it yields
+// nothing once the sticky error is set.
 func (r *Reader) Raw() []byte {
+	if r.err != nil {
+		return nil
+	}
 	b := r.buf[r.off:]
 	r.off = len(r.buf)
 	return b

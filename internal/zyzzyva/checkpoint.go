@@ -156,17 +156,25 @@ func (r *Replica) onStateSnap(body []byte) {
 	if cert.Slot <= r.lastExec {
 		return
 	}
+	r.installSnapshotLocked(cert, history, snap)
+}
+
+// installSnapshotLocked verifies a checkpoint certificate against its
+// history hash and snapshot and, if sound, adopts the checkpointed state
+// wholesale. Shared tail of snapshot state transfer (onStateSnap) and
+// crash-restart recovery (Config.Restore). Caller holds r.mu.
+func (r *Replica) installSnapshotLocked(cert *seqlog.Cert, history [32]byte, snap []byte) bool {
 	if !cert.Verify(ckptDomain, r.cfg.N, 2*r.cfg.F+1, func(rep uint32, b, tag []byte) bool {
 		return r.cfg.Auth.VerifyVector(int(rep), b, tag)
 	}) {
-		return
+		return false
 	}
 	stateD := sha256.Sum256(snap)
 	if cert.Digest != seqlog.Digest(ckptDomain, cert.Slot, history, stateD) {
-		return
+		return false
 	}
 	if replication.InstallSnapshot(r.cfg.App, r.table, snap) != nil {
-		return
+		return false
 	}
 	r.table.Reauth(uint32(r.cfg.Self), func(c transport.NodeID, b []byte) []byte {
 		return r.cfg.ClientAuth.TagFor(int64(c), b)
@@ -205,4 +213,42 @@ func (r *Replica) onStateSnap(body []byte) {
 		delete(r.buffered, next.seq)
 		r.executeLocked(next)
 	}
+	return true
+}
+
+// Persist captures the replica's durable recovery state: the latest
+// stable checkpoint certificate, its history hash, and the snapshot. A
+// replica restarted with this blob (Config.Restore) resumes the
+// speculative chain from the certified point; nil means no checkpoint
+// is stable yet.
+func (r *Replica) Persist() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stable == nil {
+		return nil
+	}
+	w := wire.NewWriter(256 + len(r.stable.snapshot))
+	w.VarBytes(r.stable.cert.Marshal())
+	w.Bytes32(r.stable.history)
+	w.VarBytes(r.stable.snapshot)
+	return w.Bytes()
+}
+
+// restoreFromPersist boots from a Persist blob. Called from New before
+// the runtime starts.
+func (r *Replica) restoreFromPersist(blob []byte) {
+	rd := wire.NewReader(blob)
+	certB := rd.VarBytes()
+	history := rd.Bytes32()
+	snap := append([]byte(nil), rd.VarBytes()...)
+	if rd.Done() != nil {
+		return
+	}
+	cert, err := seqlog.UnmarshalCert(certB)
+	if err != nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.installSnapshotLocked(cert, history, snap)
 }

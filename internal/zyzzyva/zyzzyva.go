@@ -68,6 +68,10 @@ type Config struct {
 	// Metrics is the replica's shared registry (runtime stages plus
 	// proto_* series). If nil, the runtime's registry is used.
 	Metrics *metrics.Registry
+	// Restore, if non-nil, boots the replica from a Persist() blob: the
+	// stable checkpoint certificate, history hash and snapshot captured
+	// before a crash.
+	Restore []byte
 }
 
 // Replica is a Zyzzyva replica.
@@ -196,6 +200,9 @@ func New(cfg Config) *Replica {
 		r.msgCounters[k] = reg.Counter("proto_msg_" + name + "_total")
 	}
 	r.trace = reg.Recorder()
+	if cfg.Restore != nil {
+		r.restoreFromPersist(cfg.Restore)
+	}
 	r.rt.Start(r)
 	return r
 }
