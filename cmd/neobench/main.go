@@ -6,6 +6,7 @@
 //
 //	neobench -experiment fig7            # one experiment
 //	neobench -experiment all -short      # quick pass over everything
+//	neobench -transport udp -experiment table1 -short   # over real loopback sockets
 //	neobench -list                       # what can be run
 //	neobench -chaos crash-restart -seed 1   # one fault scenario, fixed seed
 //	neobench -chaos all -chaos-protocol pbft
@@ -44,13 +45,29 @@ func main() {
 	short := flag.Bool("short", false, "quick mode: shorter windows, fewer sweep points")
 	list := flag.Bool("list", false, "list available experiments")
 	csvDir := flag.String("csv", "", "also write plot-ready CSV data series into this directory")
+	metricsCSV := flag.String("metrics-csv", "",
+		"write only the per-system metric snapshot (metrics.csv) into this directory and exit")
 	seed := flag.Int64("seed", 0, "simulated-network and fault-schedule seed (0 = time-derived)")
 	chaosScen := flag.String("chaos", "", "run a chaos scenario instead of experiments: a scenario name, 'all', or 'list'")
 	chaosProto := flag.String("chaos-protocol", "neobft", "protocol under chaos (neobft, pbft, minbft, zyzzyva, hotstuff, ...)")
 	chaosOut := flag.String("chaos-out", "", "write chaos replay artifacts (schedule, failure traces) into this directory")
+	transportName := flag.String("transport", "simnet",
+		"fabric to run experiments over: simnet (deterministic, default) or udp (real loopback sockets)")
 	flag.Parse()
 
+	switch *transportName {
+	case "simnet", "udp":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -transport %q (want simnet or udp)\n", *transportName)
+		os.Exit(1)
+	}
 	if *chaosScen != "" {
+		if *transportName != "simnet" {
+			// Chaos schedules need partition/drop/mangle injection, which
+			// only the simulated network provides.
+			fmt.Fprintln(os.Stderr, "-chaos requires -transport simnet")
+			os.Exit(1)
+		}
 		os.Exit(runChaos(*chaosScen, *chaosProto, *seed, *short, *chaosOut))
 	}
 
@@ -64,7 +81,15 @@ func main() {
 		fmt.Println("chaos scenarios:", strings.Join(chaos.Scenarios(), " "), "all")
 		return
 	}
-	cfg := bench.ExpConfig{Short: *short, Seed: *seed}
+	cfg := bench.ExpConfig{Short: *short, Seed: *seed, Transport: *transportName}
+	if *metricsCSV != "" {
+		if err := bench.CSVMetrics(*metricsCSV, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics csv: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics.csv written to %s\n", *metricsCSV)
+		return
+	}
 	if *csvDir != "" {
 		if err := bench.CSVAll(*csvDir, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "csv export: %v\n", err)

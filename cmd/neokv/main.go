@@ -1,11 +1,25 @@
 // Command neokv runs a NeoBFT-replicated B-Tree key-value store over
-// real UDP sockets on this machine: a software aom sequencer, four
-// replicas, and an interactive client, each bound to its own loopback
-// socket. It demonstrates that the same protocol code that drives the
-// simulated-network experiments also runs on the real network stack.
+// real UDP sockets. It demonstrates that the same protocol code that
+// drives the simulated-network experiments also runs on the real
+// network stack.
+//
+// By default every node lives in this one process, each bound to its
+// own loopback socket:
 //
 //	neokv                 # interactive: get/put/del/scan commands on stdin
 //	neokv -bench 5s       # closed-loop YCSB-A load instead
+//
+// With -role, neokv runs a single node of a multi-process cluster
+// described by a shared peers file (see Peers for the format):
+//
+//	neokv -role sequencer -peers cluster.peers
+//	neokv -role replica -id 1 -peers cluster.peers   # ... one per replica
+//	neokv -role client -peers cluster.peers
+//
+// All processes must share the peers file; key material derives
+// deterministically from compiled-in master secrets, so no further
+// coordination is needed. The multi-process path supports the HMAC
+// sequencer variant only.
 package main
 
 import (
@@ -13,13 +27,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"neobft/internal/configsvc"
 	"neobft/internal/crypto/auth"
+	"neobft/internal/crypto/secp256k1"
 	"neobft/internal/kvstore"
 	"neobft/internal/metrics"
 	"neobft/internal/neobft"
@@ -31,32 +47,34 @@ import (
 	"neobft/internal/ycsb"
 )
 
-const (
-	nReplicas = 4
-	f         = 1
-	groupID   = 1
+const groupID = 1
+
+// Master secrets shared by every process of a cluster. A deployment
+// beyond localhost demos would distribute real secrets out of band.
+var (
+	aomMaster     = []byte("aom-master")
+	replicaMaster = []byte("replica-master")
+	clientMaster  = []byte("client-master")
 )
 
-func freePorts(n int) ([]string, error) {
-	out := make([]string, n)
-	for i := range out {
-		l, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
-		if err != nil {
-			return nil, err
-		}
-		out[i] = l.LocalAddr().String()
-		l.Close()
-	}
-	return out, nil
+type options struct {
+	benchDur           time.Duration
+	verifyWorkers      int
+	checkpointInterval int
+	metricsAddr        string
 }
 
 func main() {
-	benchDur := flag.Duration("bench", 0, "run YCSB-A closed-loop load for this long instead of the REPL")
-	verifyWorkers := flag.Int("verify-workers", 0,
+	role := flag.String("role", "all", "all | sequencer | replica | client (non-all roles need -peers)")
+	id := flag.Int("id", 0, "node ID for -role replica; must match a replica line in the peers file")
+	peersPath := flag.String("peers", "", "peers file describing the multi-process cluster")
+	var o options
+	flag.DurationVar(&o.benchDur, "bench", 0, "run YCSB-A closed-loop load for this long instead of the REPL (all/client roles)")
+	flag.IntVar(&o.verifyWorkers, "verify-workers", 0,
 		"verification workers per replica (0 = runtime default, negative = inline)")
-	checkpointInterval := flag.Int("checkpoint-interval", 0,
+	flag.IntVar(&o.checkpointInterval, "checkpoint-interval", 0,
 		"slots between checkpoints/sync points; bounds replica log memory (0 = protocol default)")
-	metricsAddr := flag.String("metrics", "",
+	flag.StringVar(&o.metricsAddr, "metrics", "",
 		"serve /metrics (Prometheus text), /trace and /debug/pprof on this address (empty = disabled)")
 	traceDump := flag.String("trace-dump", "",
 		"write every node's flight-recorder dump as JSON lines to this file on exit")
@@ -79,36 +97,135 @@ func main() {
 		}()
 	}
 
-	// One UDP socket per node: sequencer, replicas, client.
-	addrs, err := freePorts(nReplicas + 2)
+	if *role == "all" {
+		runAll(o, exporter)
+		return
+	}
+	if *peersPath == "" {
+		log.Fatalf("-role %s needs -peers", *role)
+	}
+	peers, err := LoadPeers(*peersPath)
 	if err != nil {
 		log.Fatal(err)
 	}
+	book, err := udpnet.NewAddressBook(peers.Addrs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	switch *role {
+	case "sequencer":
+		runSequencer(o, exporter, peers, book)
+	case "replica":
+		runReplica(o, exporter, peers, book, transport.NodeID(*id))
+	case "client":
+		runClient(o, exporter, peers, book)
+	default:
+		log.Fatalf("unknown -role %q (want all, sequencer, replica, or client)", *role)
+	}
+}
+
+// connConfig is the socket tuning every neokv node uses.
+func connConfig(reg *metrics.Registry) udpnet.Config {
+	return udpnet.Config{RcvBuf: 1 << 20, SndBuf: 1 << 20, Metrics: reg}
+}
+
+// remoteSvc builds the configuration-service replica a non-sequencer
+// process runs: the sequencer switch is known only by identity, and all
+// key material derives from the shared master secret.
+func remoteSvc(peers *Peers) *configsvc.Service {
+	svc := configsvc.New(wire.AuthHMAC, aomMaster)
+	svc.RegisterRemoteSwitch(peers.Seq, secp256k1.PublicKey{})
+	if _, err := svc.CreateGroup(groupID, peers.Members); err != nil {
+		log.Fatal(err)
+	}
+	return svc
+}
+
+// buildReplica assembles one replica on an established connection.
+func buildReplica(o options, conn transport.Conn, idx int, members []transport.NodeID,
+	svc *configsvc.Service, store *kvstore.Store, reg *metrics.Registry) *neobft.Replica {
+	return neobft.New(neobft.Config{
+		Self: idx, N: len(members), F: (len(members) - 1) / 3,
+		Members:      members,
+		Group:        groupID,
+		Conn:         conn,
+		Auth:         auth.NewHMACAuth(replicaMaster, idx, len(members)),
+		ClientAuth:   auth.NewReplicaSide(clientMaster, idx),
+		App:          store,
+		Variant:      wire.AuthHMAC,
+		SyncInterval: o.checkpointInterval,
+		Svc:          svc,
+		Runtime:      runtime.New(runtime.Config{Conn: conn, Workers: o.verifyWorkers, Metrics: reg}),
+		Metrics:      reg,
+	})
+}
+
+func serveMetrics(o options, exporter *metrics.Exporter) func() {
+	if o.metricsAddr == "" {
+		return func() {}
+	}
+	srv, bound, err := metrics.Serve(o.metricsAddr, exporter)
+	if err != nil {
+		log.Fatalf("metrics: %v", err)
+	}
+	log.Printf("metrics on http://%s/metrics (traces at /trace, pprof at /debug/pprof/)", bound)
+	return func() { srv.Close() }
+}
+
+func awaitSignal() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	s := <-ch
+	log.Printf("caught %v, shutting down", s)
+}
+
+// runAll hosts the whole cluster in this process. Every node joins a
+// loopback fabric that binds kernel-assigned ports and publishes the
+// bound addresses, so there is no pick-then-rebind window where another
+// process could claim a port.
+func runAll(o options, exporter *metrics.Exporter) {
+	const nReplicas = 4
 	seqID := transport.NodeID(100)
 	clientID := transport.NodeID(200)
-	entries := map[transport.NodeID]string{seqID: addrs[0], clientID: addrs[nReplicas+1]}
 	memberIDs := make([]transport.NodeID, nReplicas)
-	for i := 0; i < nReplicas; i++ {
+	for i := range memberIDs {
 		memberIDs[i] = transport.NodeID(i + 1)
-		entries[memberIDs[i]] = addrs[i+1]
-	}
-	book, err := udpnet.NewAddressBook(entries)
-	if err != nil {
-		log.Fatal(err)
 	}
 
-	// Sequencer switch.
-	svc := configsvc.New(wire.AuthHMAC, []byte("aom-master"))
-	seqConn, err := udpnet.Listen(seqID, book)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer seqConn.Close()
 	seqReg := metrics.NewRegistry()
 	// Process-wide heap gauges live on exactly one registry so merged
 	// snapshots don't multiply the readings.
 	metrics.RegisterHeapGauges(seqReg)
 	exporter.Add(`node="sequencer"`, seqReg)
+	replicaRegs := make([]*metrics.Registry, nReplicas)
+	for i := range replicaRegs {
+		replicaRegs[i] = metrics.NewRegistry()
+		exporter.Add(fmt.Sprintf(`replica="%d"`, i), replicaRegs[i])
+	}
+	fab := udpnet.NewLoopback(udpnet.FabricConfig{
+		Config: connConfig(nil),
+		MetricsFor: func(id transport.NodeID) *metrics.Registry {
+			if id == seqID {
+				return seqReg
+			}
+			if i := int(id) - 1; i >= 0 && i < nReplicas {
+				return replicaRegs[i]
+			}
+			return nil
+		},
+	})
+	defer fab.Close()
+	join := func(id transport.NodeID) transport.Conn {
+		conn, err := fab.Join(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return conn
+	}
+
+	// Sequencer switch.
+	svc := configsvc.New(wire.AuthHMAC, aomMaster)
+	seqConn := join(seqID)
 	sw := sequencer.New(seqConn, sequencer.Options{Variant: wire.AuthHMAC, Metrics: seqReg})
 	svc.RegisterSwitch(configsvc.SwitchHandle{ID: seqID, SW: sw})
 	if _, err := svc.CreateGroup(groupID, memberIDs); err != nil {
@@ -118,42 +235,17 @@ func main() {
 	// Replicas.
 	stores := make([]*kvstore.Store, nReplicas)
 	for i := 0; i < nReplicas; i++ {
-		conn, err := udpnet.Listen(memberIDs[i], book)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer conn.Close()
 		stores[i] = kvstore.NewStore()
-		reg := metrics.NewRegistry()
-		exporter.Add(fmt.Sprintf(`replica="%d"`, i), reg)
-		r := neobft.New(neobft.Config{
-			Self: i, N: nReplicas, F: f,
-			Members:      memberIDs,
-			Group:        groupID,
-			Conn:         conn,
-			Auth:         auth.NewHMACAuth([]byte("replica-master"), i, nReplicas),
-			ClientAuth:   auth.NewReplicaSide([]byte("client-master"), i),
-			App:          stores[i],
-			Variant:      wire.AuthHMAC,
-			SyncInterval: *checkpointInterval,
-			Svc:          svc,
-			Runtime:      runtime.New(runtime.Config{Conn: conn, Workers: *verifyWorkers, Metrics: reg}),
-			Metrics:      reg,
-		})
+		r := buildReplica(o, join(memberIDs[i]), i, memberIDs, svc, stores[i], replicaRegs[i])
 		defer r.Close()
 	}
 
 	// Client.
-	clientConn, err := udpnet.Listen(clientID, book)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer clientConn.Close()
 	cl, err := neobft.NewClient(neobft.ClientOptions{
-		Conn:     clientConn,
-		Master:   []byte("client-master"),
+		Conn:     join(clientID),
+		Master:   clientMaster,
 		N:        nReplicas,
-		F:        f,
+		F:        (nReplicas - 1) / 3,
 		Replicas: memberIDs,
 		Group:    groupID,
 		Svc:      svc,
@@ -161,19 +253,92 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("NeoBFT KV cluster up over UDP: sequencer %s, %d replicas", addrs[0], nReplicas)
-
-	if *metricsAddr != "" {
-		srv, bound, err := metrics.Serve(*metricsAddr, exporter)
-		if err != nil {
-			log.Fatalf("metrics: %v", err)
-		}
-		defer srv.Close()
-		log.Printf("metrics on http://%s/metrics (traces at /trace, pprof at /debug/pprof/)", bound)
+	seqAddr := "?"
+	if uc, ok := seqConn.(*udpnet.Conn); ok {
+		seqAddr = uc.LocalAddr().String()
 	}
+	log.Printf("NeoBFT KV cluster up over UDP: sequencer %s, %d replicas", seqAddr, nReplicas)
 
-	if *benchDur > 0 {
-		runBench(cl, stores[0], *benchDur)
+	defer serveMetrics(o, exporter)()
+
+	if o.benchDur > 0 {
+		runBench(cl, stores[0], o.benchDur)
+		return
+	}
+	repl(cl)
+}
+
+func runSequencer(o options, exporter *metrics.Exporter, peers *Peers, book *udpnet.AddressBook) {
+	reg := metrics.NewRegistry()
+	metrics.RegisterHeapGauges(reg)
+	exporter.Add(`node="sequencer"`, reg)
+	conn, err := udpnet.ListenConfig(peers.Seq, book, connConfig(reg))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	svc := configsvc.New(wire.AuthHMAC, aomMaster)
+	sw := sequencer.New(conn, sequencer.Options{Variant: wire.AuthHMAC, Metrics: reg})
+	svc.RegisterSwitch(configsvc.SwitchHandle{ID: peers.Seq, SW: sw})
+	if _, err := svc.CreateGroup(groupID, peers.Members); err != nil {
+		log.Fatal(err)
+	}
+	defer serveMetrics(o, exporter)()
+	log.Printf("sequencer %d up on %s (group %d, %d members)",
+		peers.Seq, conn.LocalAddr(), groupID, len(peers.Members))
+	awaitSignal()
+}
+
+func runReplica(o options, exporter *metrics.Exporter, peers *Peers, book *udpnet.AddressBook, id transport.NodeID) {
+	idx := peers.MemberIndex(id)
+	if idx < 0 {
+		log.Fatalf("-id %d is not a replica in the peers file (members %v)", id, peers.Members)
+	}
+	reg := metrics.NewRegistry()
+	metrics.RegisterHeapGauges(reg)
+	exporter.Add(fmt.Sprintf(`replica="%d"`, idx), reg)
+	conn, err := udpnet.ListenConfig(id, book, connConfig(reg))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	r := buildReplica(o, conn, idx, peers.Members, remoteSvc(peers), kvstore.NewStore(), reg)
+	defer r.Close()
+	defer serveMetrics(o, exporter)()
+	log.Printf("replica %d (index %d of %d, f=%d) up on %s",
+		id, idx, len(peers.Members), peers.F(), conn.LocalAddr())
+	awaitSignal()
+}
+
+func runClient(o options, exporter *metrics.Exporter, peers *Peers, book *udpnet.AddressBook) {
+	if len(peers.Clients) == 0 {
+		log.Fatal("peers file has no client line")
+	}
+	id := peers.Clients[0]
+	reg := metrics.NewRegistry()
+	metrics.RegisterHeapGauges(reg)
+	exporter.Add(`node="client"`, reg)
+	conn, err := udpnet.ListenConfig(id, book, connConfig(reg))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	cl, err := neobft.NewClient(neobft.ClientOptions{
+		Conn:     conn,
+		Master:   clientMaster,
+		N:        len(peers.Members),
+		F:        peers.F(),
+		Replicas: peers.Members,
+		Group:    groupID,
+		Svc:      remoteSvc(peers),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer serveMetrics(o, exporter)()
+	log.Printf("client %d up on %s against %d replicas", id, conn.LocalAddr(), len(peers.Members))
+	if o.benchDur > 0 {
+		runBench(cl, nil, o.benchDur)
 		return
 	}
 	repl(cl)
@@ -182,9 +347,7 @@ func main() {
 func runBench(cl *neobft.Client, store *kvstore.Store, d time.Duration) {
 	wl := ycsb.WorkloadA()
 	wl.RecordCount = 10_000
-	log.Printf("preloading %d records...", wl.RecordCount)
-	// Preload through the protocol would be slow; load each store
-	// directly via replicated puts of a smaller seed set instead.
+	log.Printf("running YCSB-A for %v...", d)
 	gen := ycsb.NewGenerator(wl, 1)
 	deadline := time.Now().Add(d)
 	ops := 0
@@ -199,8 +362,12 @@ func runBench(cl *neobft.Client, store *kvstore.Store, d time.Duration) {
 		latSum += time.Since(start)
 		ops++
 	}
-	log.Printf("YCSB-A: %d ops in %v (%.0f ops/s, mean latency %v); store holds %d keys",
-		ops, d, float64(ops)/d.Seconds(), latSum/time.Duration(max(ops, 1)), store.Len())
+	extra := ""
+	if store != nil {
+		extra = fmt.Sprintf("; store holds %d keys", store.Len())
+	}
+	log.Printf("YCSB-A: %d ops in %v (%.0f ops/s, mean latency %v)%s",
+		ops, d, float64(ops)/d.Seconds(), latSum/time.Duration(max(ops, 1)), extra)
 }
 
 func repl(cl *neobft.Client) {

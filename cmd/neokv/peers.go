@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"neobft/internal/transport"
+)
+
+// Peers describes a multi-process cluster: one line per node, shared by
+// every process so they agree on identities and addresses.
+//
+// File format (whitespace-separated; '#' starts a comment):
+//
+//	sequencer 100 127.0.0.1:7000
+//	replica   1   127.0.0.1:7001
+//	replica   2   127.0.0.1:7002
+//	replica   3   127.0.0.1:7003
+//	replica   4   127.0.0.1:7004
+//	client    200 127.0.0.1:7005
+type Peers struct {
+	Seq     transport.NodeID
+	Members []transport.NodeID // replica node IDs, sorted ascending
+	Clients []transport.NodeID
+	Addrs   map[transport.NodeID]string
+}
+
+// F returns the fault tolerance implied by the replica count (n = 3f+1).
+func (p *Peers) F() int { return (len(p.Members) - 1) / 3 }
+
+// MemberIndex returns id's position in the sorted member list, or -1.
+func (p *Peers) MemberIndex(id transport.NodeID) int {
+	for i, m := range p.Members {
+		if m == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// LoadPeers reads and validates a peers file.
+func LoadPeers(path string) (*Peers, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parsePeers(f.Name(), bufio.NewScanner(f))
+}
+
+func parsePeers(name string, sc *bufio.Scanner) (*Peers, error) {
+	p := &Peers{Addrs: make(map[transport.NodeID]string)}
+	seenSeq := false
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%s:%d: want \"<role> <id> <host:port>\", got %d fields", name, lineno, len(fields))
+		}
+		role, idStr, addr := fields[0], fields[1], fields[2]
+		n, err := strconv.ParseUint(idStr, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad node ID %q: %v", name, lineno, idStr, err)
+		}
+		id := transport.NodeID(n)
+		if _, dup := p.Addrs[id]; dup {
+			return nil, fmt.Errorf("%s:%d: duplicate node ID %d", name, lineno, id)
+		}
+		if !strings.Contains(addr, ":") {
+			return nil, fmt.Errorf("%s:%d: address %q is not host:port", name, lineno, addr)
+		}
+		switch role {
+		case "sequencer":
+			if seenSeq {
+				return nil, fmt.Errorf("%s:%d: more than one sequencer", name, lineno)
+			}
+			seenSeq = true
+			p.Seq = id
+		case "replica":
+			p.Members = append(p.Members, id)
+		case "client":
+			p.Clients = append(p.Clients, id)
+		default:
+			return nil, fmt.Errorf("%s:%d: unknown role %q (want sequencer, replica, or client)", name, lineno, role)
+		}
+		p.Addrs[id] = addr
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !seenSeq {
+		return nil, fmt.Errorf("%s: no sequencer line", name)
+	}
+	n := len(p.Members)
+	if n < 4 || (n-1)%3 != 0 {
+		return nil, fmt.Errorf("%s: %d replicas; need n = 3f+1 with f >= 1 (4, 7, 10, ...)", name, n)
+	}
+	sort.Slice(p.Members, func(i, j int) bool { return p.Members[i] < p.Members[j] })
+	return p, nil
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func parse(t *testing.T, text string) (*Peers, error) {
+	t.Helper()
+	return parsePeers("peers", bufio.NewScanner(strings.NewReader(text)))
+}
+
+const goodPeers = `
+# four replicas, one sequencer, one client
+sequencer 100 127.0.0.1:7000
+replica 2 127.0.0.1:7002   # out of order on purpose
+replica 1 127.0.0.1:7001
+replica 4 127.0.0.1:7004
+replica 3 127.0.0.1:7003
+client 200 127.0.0.1:7005
+`
+
+func TestParsePeers(t *testing.T) {
+	p, err := parse(t, goodPeers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seq != 100 {
+		t.Errorf("Seq = %d, want 100", p.Seq)
+	}
+	if len(p.Members) != 4 || p.Members[0] != 1 || p.Members[3] != 4 {
+		t.Errorf("Members = %v, want sorted [1 2 3 4]", p.Members)
+	}
+	if p.F() != 1 {
+		t.Errorf("F() = %d, want 1", p.F())
+	}
+	if got := p.MemberIndex(3); got != 2 {
+		t.Errorf("MemberIndex(3) = %d, want 2", got)
+	}
+	if got := p.MemberIndex(99); got != -1 {
+		t.Errorf("MemberIndex(99) = %d, want -1", got)
+	}
+	if len(p.Clients) != 1 || p.Clients[0] != 200 {
+		t.Errorf("Clients = %v, want [200]", p.Clients)
+	}
+	if p.Addrs[4] != "127.0.0.1:7004" {
+		t.Errorf("Addrs[4] = %q", p.Addrs[4])
+	}
+}
+
+func TestParsePeersErrors(t *testing.T) {
+	cases := []struct {
+		name, text, wantErr string
+	}{
+		{"no sequencer", "replica 1 a:1\nreplica 2 a:2\nreplica 3 a:3\nreplica 4 a:4\n", "no sequencer"},
+		{"two sequencers", "sequencer 100 a:1\nsequencer 101 a:2\n", "more than one sequencer"},
+		{"dup id", "sequencer 100 a:1\nreplica 100 a:2\n", "duplicate node ID"},
+		{"bad field count", "sequencer 100\n", "got 2 fields"},
+		{"bad id", "sequencer x a:1\n", "bad node ID"},
+		{"bad addr", "sequencer 100 nocolon\n", "not host:port"},
+		{"bad role", "observer 5 a:1\n", "unknown role"},
+		{"wrong replica count", "sequencer 100 a:1\nreplica 1 a:2\nreplica 2 a:3\n", "3f+1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parse(t, tc.text)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}

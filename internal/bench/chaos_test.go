@@ -7,6 +7,7 @@ import (
 
 	"neobft/internal/chaos"
 	"neobft/internal/neobft"
+	"neobft/internal/transport"
 )
 
 // A full chaos run: the crash-restart scenario against Neo-HM, with the
@@ -49,8 +50,12 @@ func TestChaosCrashRestartNeoBFT(t *testing.T) {
 	if res.Chaos.Check.AckedChecked == 0 {
 		t.Fatal("no acknowledged operations were checked")
 	}
-	if res.Seed != sys.Net.Seed() {
-		t.Fatalf("RunResult.Seed = %d, want network seed %d", res.Seed, sys.Net.Seed())
+	seeded, ok := sys.Net.(transport.Seeded)
+	if !ok {
+		t.Fatal("simnet fabric does not implement transport.Seeded")
+	}
+	if res.Seed != seeded.Seed() {
+		t.Fatalf("RunResult.Seed = %d, want network seed %d", res.Seed, seeded.Seed())
 	}
 }
 

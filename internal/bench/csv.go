@@ -119,7 +119,7 @@ func CSVFig7(dir string, c ExpConfig) error {
 			if p == NeoPK {
 				opts.SignRate = 2000
 			}
-			sys := Build(opts)
+			sys := c.build(opts)
 			res := Run(sys, Load{Clients: cc, Warmup: c.warmup(), Duration: c.window()})
 			sys.Close()
 			s := Summarize(res.Latencies)
@@ -139,7 +139,7 @@ func CSVFig7(dir string, c ExpConfig) error {
 func CSVFig9(dir string, c ExpConfig) error {
 	var rows [][]string
 	for _, rate := range []float64{0, 0.00001, 0.0001, 0.001, 0.01} {
-		sys := Build(Options{Protocol: NeoHM, DropRate: rate})
+		sys := c.build(Options{Protocol: NeoHM, DropRate: rate})
 		res := Run(sys, Load{Clients: 16, Warmup: c.warmup(), Duration: c.window()})
 		var gaps uint64
 		for _, r := range sys.Replicas {
@@ -162,7 +162,7 @@ var metricsSystems = []Protocol{Unreplicated, NeoHM, PBFT, Zyzzyva, HotStuff, Mi
 // bumped whenever flattening suffixes or name prefixes change, so
 // downstream plotting scripts can detect incompatible files from the
 // leading comment line.
-const metricsCSVVersion = "neobft-metrics-csv v1 (histogram columns: _count/_p50/_p99/_p999/_mean, latencies in ns)"
+const metricsCSVVersion = "neobft-metrics-csv v2 (transport column; histogram columns: _count/_p50/_p99/_p999/_mean, latencies in ns)"
 
 // CSVMetrics runs a short load against one representative of each
 // protocol family and writes the system-wide metric snapshots as
@@ -172,12 +172,14 @@ const metricsCSVVersion = "neobft-metrics-csv v1 (histogram columns: _count/_p50
 // given set of instrumented code paths.
 func CSVMetrics(dir string, c ExpConfig) error {
 	points := make(map[Protocol][]metrics.FlatPoint, len(metricsSystems))
+	transports := make(map[Protocol]string, len(metricsSystems))
 	colSet := map[string]bool{}
 	for _, p := range metricsSystems {
-		sys := Build(Options{Protocol: p})
+		sys := c.build(Options{Protocol: p})
 		res := Run(sys, Load{Clients: 4, Warmup: c.warmup(), Duration: c.window()})
 		sys.Close()
 		points[p] = res.Metrics
+		transports[p] = res.Transport
 		for _, pt := range res.Metrics {
 			colSet[pt.Name] = true
 		}
@@ -187,7 +189,7 @@ func CSVMetrics(dir string, c ExpConfig) error {
 		cols = append(cols, name)
 	}
 	sort.Strings(cols)
-	header := append([]string{"system"}, cols...)
+	header := append([]string{"system", "transport"}, cols...)
 	rows := make([][]string, 0, len(metricsSystems))
 	for _, p := range metricsSystems {
 		vals := make(map[string]float64, len(points[p]))
@@ -195,7 +197,7 @@ func CSVMetrics(dir string, c ExpConfig) error {
 			vals[pt.Name] = pt.Value
 		}
 		row := make([]string, 0, len(header))
-		row = append(row, string(p))
+		row = append(row, string(p), transports[p])
 		for _, col := range cols {
 			row = append(row, ftoa(vals[col]))
 		}

@@ -18,6 +18,16 @@ type ExpConfig struct {
 	Short bool
 	// Seed fixes the simulated network's randomness (0 = time-derived).
 	Seed int64
+	// Transport selects the fabric every experiment system builds over
+	// ("" / "simnet", or "udp" for real loopback sockets). Simnet-only
+	// knobs (latency model, injected drops) are inert on other fabrics.
+	Transport string
+}
+
+// build constructs a system with the experiment-wide transport applied.
+func (c ExpConfig) build(o Options) *System {
+	o.Transport = c.Transport
+	return Build(o)
 }
 
 func (c ExpConfig) window() time.Duration {
@@ -106,7 +116,7 @@ func Fig7(w io.Writer, c ExpConfig) {
 				// closed-loop clients while the hash chain covers bursts.
 				opts.SignRate = 2000
 			}
-			sys := Build(opts)
+			sys := c.build(opts)
 			res := Run(sys, Load{Clients: cc, Warmup: c.warmup(), Duration: c.window()})
 			sys.Close()
 			s := Summarize(res.Latencies)
@@ -163,7 +173,7 @@ func runFig8Point(p Protocol, n int, c ExpConfig) RunResult {
 	if p == NeoPK {
 		opts.SignRate = 2000
 	}
-	sys := Build(opts)
+	sys := c.build(opts)
 	defer sys.Close()
 	return Run(sys, Load{Clients: 8, Warmup: c.warmup(), Duration: c.window()})
 }
@@ -179,7 +189,7 @@ func Fig9(w io.Writer, c ExpConfig) {
 		var best RunResult
 		var gaps, dropped uint64
 		for trial := 0; trial < 2; trial++ {
-			sys := Build(Options{Protocol: NeoHM, DropRate: rate, Net: simnet.Options{Seed: c.Seed}})
+			sys := c.build(Options{Protocol: NeoHM, DropRate: rate, Net: simnet.Options{Seed: c.Seed}})
 			res := Run(sys, Load{Clients: 16, Warmup: c.warmup(), Duration: 2 * c.window()})
 			if res.Throughput > best.Throughput {
 				best = res
@@ -189,7 +199,9 @@ func Fig9(w io.Writer, c ExpConfig) {
 						gaps += nr.GapAgreements()
 					}
 				}
-				dropped = sys.Net.Stats().Dropped
+				if sn, ok := sys.Net.(interface{ Stats() simnet.Stats }); ok {
+					dropped = sn.Stats().Dropped
+				}
 			}
 			sys.Close()
 		}
@@ -222,7 +234,7 @@ func Fig10(w io.Writer, c ExpConfig) {
 		if p == NeoPK {
 			opts.SignRate = 2000
 		}
-		sys := Build(opts)
+		sys := c.build(opts)
 		// Generators are stateful and per client; Run invokes Op from the
 		// client's own goroutine, so indexing by client ID is safe.
 		gens := make([]*ycsb.Generator, 64)
@@ -267,7 +279,7 @@ func Table1(w io.Writer, c ExpConfig) {
 	t := &Table{Header: []string{"protocol", "repl factor", "bottleneck", "auth", "delays",
 		"meas msgs/op", "meas pkts/op", "meas auth/op"}}
 	for _, r := range rows {
-		sys := Build(Options{Protocol: r.p, BatchSize: 1, Net: simnet.Options{Seed: c.Seed}})
+		sys := c.build(Options{Protocol: r.p, BatchSize: 1, Net: simnet.Options{Seed: c.Seed}})
 		res := Run(sys, Load{Clients: 4, Warmup: c.warmup(), Duration: c.window()})
 		sys.Close()
 		t.Add(string(r.p), r.factor, r.bottleneck, r.auth, r.delays,
@@ -312,7 +324,7 @@ func Table3(w io.Writer, _ ExpConfig) {
 // load, sequencer crash, view change into a new epoch, recovery.
 func Failover(w io.Writer, c ExpConfig) {
 	fmt.Fprintln(w, "§6.4 — sequencer switch failover timeline (Neo-HM)")
-	sys := Build(Options{Protocol: NeoHM, ClientTimeout: 100 * time.Millisecond, Net: simnet.Options{Seed: c.Seed}})
+	sys := c.build(Options{Protocol: NeoHM, ClientTimeout: 100 * time.Millisecond, Net: simnet.Options{Seed: c.Seed}})
 	defer sys.Close()
 
 	// Tighten failure detection like the paper's deployment.

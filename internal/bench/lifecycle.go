@@ -8,7 +8,6 @@ import (
 	"neobft/internal/chaos"
 	"neobft/internal/metrics"
 	"neobft/internal/runtime"
-	"neobft/internal/simnet"
 	"neobft/internal/transport"
 )
 
@@ -19,7 +18,7 @@ import (
 // replacement, busy-time accounting across incarnations) is shared.
 type lifecycle struct {
 	mu       sync.Mutex
-	net      *simnet.Network
+	fab      transport.Fabric
 	mem      []transport.NodeID
 	conns    []*countingConn
 	rts      []*runtime.Runtime
@@ -50,12 +49,12 @@ type lifecycle struct {
 // installLifecycle wires a lifecycle into the system, overriding the
 // accessors that must stay correct across replica replacement. Build
 // functions call it last, after the base accessors are set.
-func installLifecycle(sys *System, net *simnet.Network, o Options,
+func installLifecycle(sys *System, fab transport.Fabric, o Options,
 	mem []transport.NodeID, conns []*countingConn, rts []*runtime.Runtime,
 	regs []*metrics.Registry) *lifecycle {
 	n := len(mem)
 	lc := &lifecycle{
-		net: net, mem: mem, conns: conns, rts: rts, regs: regs,
+		fab: fab, mem: mem, conns: conns, rts: rts, regs: regs,
 		workers:  o.VerifyWorkers,
 		alive:    make([]bool, n),
 		blobs:    make([][]byte, n),
@@ -107,7 +106,11 @@ func (lc *lifecycle) Restart(i int, cold bool) error {
 	if lc.alive[i] {
 		return fmt.Errorf("bench: replica %d already running", i)
 	}
-	lc.conns[i].swap(lc.net.Join(lc.mem[i]))
+	conn, err := lc.fab.Join(lc.mem[i])
+	if err != nil {
+		return fmt.Errorf("bench: rejoin replica %d: %w", i, err)
+	}
+	lc.conns[i].swap(conn)
 	// Same registry across incarnations: counters keep accumulating and
 	// the runtime's Func gauges are re-pointed at the new instance.
 	lc.rts[i] = newRuntime(lc.conns[i], lc.workers, lc.regs[i])

@@ -7,6 +7,7 @@ import (
 
 	"neobft/internal/chaos"
 	"neobft/internal/metrics"
+	"neobft/internal/transport"
 )
 
 // RunResult is the outcome of one closed-loop load run.
@@ -41,8 +42,11 @@ type RunResult struct {
 	// differencing.
 	Metrics []metrics.FlatPoint
 	// Seed is the simulated network's randomness seed — rerunning with
-	// the same seed reproduces the same drop/jitter decisions.
+	// the same seed reproduces the same drop/jitter decisions. Zero on
+	// fabrics without replayable randomness (udp).
 	Seed int64
+	// Transport names the fabric the run used ("simnet", "udp", ...).
+	Transport string
 	// Chaos holds the fault-injection report and safety-check result
 	// when the system was built with Options.Chaos.
 	Chaos *ChaosOutcome
@@ -199,8 +203,9 @@ func Run(sys *System, load Load) RunResult {
 	}
 
 	var out RunResult
-	if sys.Net != nil {
-		out.Seed = sys.Net.Seed()
+	out.Transport = sys.Transport
+	if s, ok := sys.Net.(transport.Seeded); ok {
+		out.Seed = s.Seed()
 	}
 	out.Chaos = chaosOut
 	if len(sys.Metrics) > 0 {

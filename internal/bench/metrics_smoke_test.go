@@ -44,7 +44,7 @@ func TestMetricsCSVSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.HasPrefix(first, "# neobft-metrics-csv v1") {
+	if !strings.HasPrefix(first, "# neobft-metrics-csv v2") {
 		t.Fatalf("missing version comment, got %q", first)
 	}
 
@@ -61,7 +61,7 @@ func TestMetricsCSVSmoke(t *testing.T) {
 	for i, h := range header {
 		col[h] = i
 	}
-	for _, name := range []string{"system", "runtime_events_total", "runtime_verify_ns_count", "proto_commits_total",
+	for _, name := range []string{"system", "transport", "runtime_events_total", "runtime_verify_ns_count", "proto_commits_total",
 		"runtime_heap_inuse_bytes", "runtime_heap_objects"} {
 		if _, ok := col[name]; !ok {
 			t.Fatalf("column %q missing from header", name)

@@ -19,6 +19,7 @@ import (
 	"neobft/internal/sequencer"
 	"neobft/internal/simnet"
 	"neobft/internal/transport"
+	"neobft/internal/transport/udpnet"
 	"neobft/internal/unreplicated"
 	"neobft/internal/usig"
 	"neobft/internal/wire"
@@ -83,6 +84,13 @@ type Options struct {
 	// count: 0 picks the runtime default, negative runs verification
 	// inline on the delivery goroutine.
 	VerifyWorkers int
+	// Transport selects the fabric the system assembles over: "" or
+	// "simnet" for the simulated network (configured by Net), "udp" for
+	// real loopback UDP sockets. Ignored when Fabric is set.
+	Transport string
+	// Fabric, when set, is used directly instead of building one from
+	// Transport — e.g. a udpnet.Fabric over a multi-machine address book.
+	Fabric transport.Fabric
 	// Chaos arms the fault-injection harness: Run executes the schedule
 	// during the measured window, wraps every replica's app in a
 	// chaos.RecordingApp, and safety-checks the execution histories
@@ -92,10 +100,16 @@ type Options struct {
 
 // System is a running system under test.
 type System struct {
-	Name     string
-	Net      *simnet.Network
-	Svc      *configsvc.Service
-	Switches []configsvc.SwitchHandle
+	Name string
+	// Net is the fabric the system runs over. Capability interfaces
+	// (transport.Partitioner, transport.Seeded, ...) are type-asserted by
+	// callers that need simnet-only features.
+	Net transport.Fabric
+	// Transport names the fabric kind actually built ("simnet", "udp",
+	// or "custom" for a caller-supplied fabric).
+	Transport string
+	Svc       *configsvc.Service
+	Switches  []configsvc.SwitchHandle
 
 	// NewClient builds a closed-loop client with a unique identity.
 	NewClient func(id int) Invoker
@@ -196,35 +210,63 @@ func Build(o Options) *System {
 	if f < 1 && o.Protocol != Unreplicated {
 		f = 1
 	}
-	netOpts := o.Net
-	if netOpts.Latency > 0 && netOpts.LatencyOverride == nil {
-		// The sequencer switch sits on the client→replica path: traffic
-		// through it pays half the host-to-host latency on each leg plus
-		// the authentication-pipeline latency on the stamped leg
-		// (Figs 4-5: ~9µs for aom-hm, ~3µs for aom-pk).
-		half := netOpts.Latency / 2
-		pipeline := 9 * time.Microsecond
-		if o.Protocol == NeoPK {
-			pipeline = 3 * time.Microsecond
+	sys := &System{Name: string(o.Protocol)}
+	var fab transport.Fabric
+	switch {
+	case o.Fabric != nil:
+		fab = o.Fabric
+		sys.Transport = o.Transport
+		if sys.Transport == "" {
+			sys.Transport = "custom"
 		}
-		netOpts.LatencyOverride = func(from, to transport.NodeID) (time.Duration, bool) {
-			if to >= switchBase {
-				return half, true
+	case o.Transport == "udp":
+		// Real loopback UDP sockets, bound on demand. Per-node conn
+		// counters land in the node's shared metrics registry (replica i
+		// has node ID i+1; switches and clients get private registries).
+		fab = udpnet.NewLoopback(udpnet.FabricConfig{
+			Config: udpnet.Config{RcvBuf: 1 << 20, SndBuf: 1 << 20},
+			MetricsFor: func(id transport.NodeID) *metrics.Registry {
+				if i := int(id) - 1; i >= 0 && i < len(sys.Metrics) {
+					return sys.Metrics[i]
+				}
+				return nil
+			},
+		})
+		sys.Transport = "udp"
+	case o.Transport == "" || o.Transport == "simnet":
+		netOpts := o.Net
+		if netOpts.Latency > 0 && netOpts.LatencyOverride == nil {
+			// The sequencer switch sits on the client→replica path: traffic
+			// through it pays half the host-to-host latency on each leg plus
+			// the authentication-pipeline latency on the stamped leg
+			// (Figs 4-5: ~9µs for aom-hm, ~3µs for aom-pk).
+			half := netOpts.Latency / 2
+			pipeline := 9 * time.Microsecond
+			if o.Protocol == NeoPK {
+				pipeline = 3 * time.Microsecond
 			}
-			if from >= switchBase {
-				return half + pipeline, true
+			netOpts.LatencyOverride = func(from, to transport.NodeID) (time.Duration, bool) {
+				if to >= switchBase {
+					return half, true
+				}
+				if from >= switchBase {
+					return half + pipeline, true
+				}
+				return 0, false
 			}
-			return 0, false
 		}
-	}
-	if o.DropRate > 0 {
-		netOpts.DropRate = o.DropRate
-		netOpts.DropFilter = func(from, to transport.NodeID) bool {
-			return from >= switchBase // only aom multicast drops
+		if o.DropRate > 0 {
+			netOpts.DropRate = o.DropRate
+			netOpts.DropFilter = func(from, to transport.NodeID) bool {
+				return from >= switchBase // only aom multicast drops
+			}
 		}
+		fab = simnet.Fabric{Network: simnet.New(netOpts)}
+		sys.Transport = "simnet"
+	default:
+		panic(fmt.Sprintf("bench: unknown transport %q", o.Transport))
 	}
-	net := simnet.New(netOpts)
-	sys := &System{Name: string(o.Protocol), Net: net}
+	sys.Net = fab
 	if o.Chaos != nil {
 		// Wrap every replica's app so execution histories are recorded
 		// for the post-run safety check. The wrapper snapshots/restores
@@ -244,21 +286,32 @@ func Build(o Options) *System {
 
 	switch o.Protocol {
 	case NeoHM, NeoPK, NeoBN:
-		buildNeo(sys, o, net, f)
+		buildNeo(sys, o, fab, f)
 	case PBFT:
-		buildPBFT(sys, o, net, f)
+		buildPBFT(sys, o, fab, f)
 	case Zyzzyva, ZyzzyvaF:
-		buildZyzzyva(sys, o, net, f)
+		buildZyzzyva(sys, o, fab, f)
 	case HotStuff:
-		buildHotStuff(sys, o, net, f)
+		buildHotStuff(sys, o, fab, f)
 	case MinBFT:
-		buildMinBFT(sys, o, net, f)
+		buildMinBFT(sys, o, fab, f)
 	case Unreplicated:
-		buildUnreplicated(sys, o, net)
+		buildUnreplicated(sys, o, fab)
 	default:
 		panic(fmt.Sprintf("bench: unknown protocol %q", o.Protocol))
 	}
 	return sys
+}
+
+// join attaches a node to the fabric, panicking on failure — system
+// assembly joins statically chosen IDs, for which failure is a
+// programming error (duplicate ID) or an unusable environment.
+func join(fab transport.Fabric, id transport.NodeID) transport.Conn {
+	c, err := fab.Join(id)
+	if err != nil {
+		panic(fmt.Sprintf("bench: join node %d: %v", id, err))
+	}
+	return c
 }
 
 // countingConn wraps a transport.Conn, counting inbound and outbound
@@ -313,8 +366,8 @@ func members(n int) []transport.NodeID {
 	return out
 }
 
-func joinCounting(net *simnet.Network, id transport.NodeID) *countingConn {
-	return &countingConn{conn: net.Join(id)}
+func joinCounting(fab transport.Fabric, id transport.NodeID) *countingConn {
+	return &countingConn{conn: join(fab, id)}
 }
 
 func msgCounter(conns []*countingConn) func() []uint64 {
@@ -391,7 +444,7 @@ const (
 	clientMaster  = "client-master"
 )
 
-func buildNeo(sys *System, o Options, net *simnet.Network, f int) {
+func buildNeo(sys *System, o Options, fab transport.Fabric, f int) {
 	variant := wire.AuthHMAC
 	if o.Protocol == NeoPK {
 		variant = wire.AuthPK
@@ -403,7 +456,7 @@ func buildNeo(sys *System, o Options, net *simnet.Network, f int) {
 	for i := 0; i < 2; i++ {
 		id := switchBase + transport.NodeID(i)
 		swReg := metrics.NewRegistry()
-		sw := sequencer.New(net.Join(id), sequencer.Options{
+		sw := sequencer.New(join(fab, id), sequencer.Options{
 			Variant:  variant,
 			PKSeed:   []byte{byte(i + 1)},
 			SignRate: o.SignRate,
@@ -426,7 +479,7 @@ func buildNeo(sys *System, o Options, net *simnet.Network, f int) {
 	regs := newRegistries(sys, o.N)
 	sys.Metrics = append(sys.Metrics, swRegs...)
 	for i := 0; i < o.N; i++ {
-		conns[i] = joinCounting(net, mem[i])
+		conns[i] = joinCounting(fab, mem[i])
 		rts[i] = newRuntime(conns[i], o.VerifyWorkers, regs[i])
 		auths[i] = auth.NewHMACAuth([]byte(replicaMaster), i, o.N)
 		csides[i] = auth.NewReplicaSide([]byte(clientMaster), i)
@@ -456,7 +509,7 @@ func buildNeo(sys *System, o Options, net *simnet.Network, f int) {
 	sys.Committed = func() uint64 { return replicas[0].Committed() }
 	sys.NewClient = func(id int) Invoker {
 		cl, err := neobft.NewClient(neobft.ClientOptions{
-			Conn:     net.Join(clientBase + transport.NodeID(id)),
+			Conn:     join(fab, clientBase+transport.NodeID(id)),
 			Master:   []byte(clientMaster),
 			N:        o.N,
 			F:        f,
@@ -474,7 +527,7 @@ func buildNeo(sys *System, o Options, net *simnet.Network, f int) {
 		for _, r := range replicas {
 			r.Close()
 		}
-		net.Close()
+		fab.Close()
 	}
 	sys.CrashSequencer = func() bool {
 		v, err := svc.View(1)
@@ -489,7 +542,7 @@ func buildNeo(sys *System, o Options, net *simnet.Network, f int) {
 		}
 		return false
 	}
-	lc := installLifecycle(sys, net, o, mem, conns, rts, regs)
+	lc := installLifecycle(sys, fab, o, mem, conns, rts, regs)
 	lc.persist = func(i int) []byte { return replicas[i].Persist() }
 	lc.stop = func(i int) { replicas[i].Close() }
 	lc.executed = func(i int) uint64 { return replicas[i].Committed() }
@@ -519,7 +572,7 @@ func buildNeo(sys *System, o Options, net *simnet.Network, f int) {
 	}
 }
 
-func buildPBFT(sys *System, o Options, net *simnet.Network, f int) {
+func buildPBFT(sys *System, o Options, fab transport.Fabric, f int) {
 	mem := members(o.N)
 	conns := make([]*countingConn, o.N)
 	rts := make([]*runtime.Runtime, o.N)
@@ -528,7 +581,7 @@ func buildPBFT(sys *System, o Options, net *simnet.Network, f int) {
 	replicas := make([]*pbft.Replica, o.N)
 	regs := newRegistries(sys, o.N)
 	for i := 0; i < o.N; i++ {
-		conns[i] = joinCounting(net, mem[i])
+		conns[i] = joinCounting(fab, mem[i])
 		rts[i] = newRuntime(conns[i], o.VerifyWorkers, regs[i])
 		auths[i] = auth.NewHMACAuth([]byte(replicaMaster), i, o.N)
 		csides[i] = auth.NewReplicaSide([]byte(clientMaster), i)
@@ -552,16 +605,16 @@ func buildPBFT(sys *System, o Options, net *simnet.Network, f int) {
 	sys.AuthOps = authCounter(auths, csides)
 	sys.Committed = func() uint64 { return replicas[0].Executed() }
 	sys.NewClient = func(id int) Invoker {
-		return pbft.NewClient(net.Join(clientBase+transport.NodeID(id)),
+		return pbft.NewClient(join(fab, clientBase+transport.NodeID(id)),
 			[]byte(clientMaster), o.N, f, mem, o.ClientTimeout)
 	}
 	sys.Close = func() {
 		for _, r := range replicas {
 			r.Close()
 		}
-		net.Close()
+		fab.Close()
 	}
-	lc := installLifecycle(sys, net, o, mem, conns, rts, regs)
+	lc := installLifecycle(sys, fab, o, mem, conns, rts, regs)
 	lc.persist = func(i int) []byte { return replicas[i].Persist() }
 	lc.stop = func(i int) { replicas[i].Close() }
 	lc.executed = func(i int) uint64 { return replicas[i].Executed() }
@@ -583,7 +636,7 @@ func buildPBFT(sys *System, o Options, net *simnet.Network, f int) {
 	}
 }
 
-func buildZyzzyva(sys *System, o Options, net *simnet.Network, f int) {
+func buildZyzzyva(sys *System, o Options, fab transport.Fabric, f int) {
 	mem := members(o.N)
 	conns := make([]*countingConn, o.N)
 	rts := make([]*runtime.Runtime, o.N)
@@ -592,7 +645,7 @@ func buildZyzzyva(sys *System, o Options, net *simnet.Network, f int) {
 	replicas := make([]*zyzzyva.Replica, o.N)
 	regs := newRegistries(sys, o.N)
 	for i := 0; i < o.N; i++ {
-		conns[i] = joinCounting(net, mem[i])
+		conns[i] = joinCounting(fab, mem[i])
 		rts[i] = newRuntime(conns[i], o.VerifyWorkers, regs[i])
 		auths[i] = auth.NewHMACAuth([]byte(replicaMaster), i, o.N)
 		csides[i] = auth.NewReplicaSide([]byte(clientMaster), i)
@@ -621,16 +674,16 @@ func buildZyzzyva(sys *System, o Options, net *simnet.Network, f int) {
 	sys.AuthOps = authCounter(auths, csides)
 	sys.Committed = func() uint64 { return replicas[0].Executed() }
 	sys.NewClient = func(id int) Invoker {
-		return zyzzyva.NewClient(net.Join(clientBase+transport.NodeID(id)),
+		return zyzzyva.NewClient(join(fab, clientBase+transport.NodeID(id)),
 			[]byte(clientMaster), o.N, f, mem, specTimeout, o.ClientTimeout)
 	}
 	sys.Close = func() {
 		for _, r := range replicas {
 			r.Close()
 		}
-		net.Close()
+		fab.Close()
 	}
-	lc := installLifecycle(sys, net, o, mem, conns, rts, regs)
+	lc := installLifecycle(sys, fab, o, mem, conns, rts, regs)
 	lc.persist = func(i int) []byte { return replicas[i].Persist() }
 	lc.stop = func(i int) { replicas[i].Close() }
 	lc.executed = func(i int) uint64 { return replicas[i].Executed() }
@@ -653,7 +706,7 @@ func buildZyzzyva(sys *System, o Options, net *simnet.Network, f int) {
 	}
 }
 
-func buildHotStuff(sys *System, o Options, net *simnet.Network, f int) {
+func buildHotStuff(sys *System, o Options, fab transport.Fabric, f int) {
 	mem := members(o.N)
 	conns := make([]*countingConn, o.N)
 	rts := make([]*runtime.Runtime, o.N)
@@ -662,7 +715,7 @@ func buildHotStuff(sys *System, o Options, net *simnet.Network, f int) {
 	replicas := make([]*hotstuff.Replica, o.N)
 	regs := newRegistries(sys, o.N)
 	for i := 0; i < o.N; i++ {
-		conns[i] = joinCounting(net, mem[i])
+		conns[i] = joinCounting(fab, mem[i])
 		rts[i] = newRuntime(conns[i], o.VerifyWorkers, regs[i])
 		auths[i] = auth.NewHMACAuth([]byte(replicaMaster), i, o.N)
 		csides[i] = auth.NewReplicaSide([]byte(clientMaster), i)
@@ -686,16 +739,16 @@ func buildHotStuff(sys *System, o Options, net *simnet.Network, f int) {
 	sys.AuthOps = authCounter(auths, csides)
 	sys.Committed = func() uint64 { return replicas[0].Executed() }
 	sys.NewClient = func(id int) Invoker {
-		return hotstuff.NewClient(net.Join(clientBase+transport.NodeID(id)),
+		return hotstuff.NewClient(join(fab, clientBase+transport.NodeID(id)),
 			[]byte(clientMaster), o.N, f, mem, o.ClientTimeout)
 	}
 	sys.Close = func() {
 		for _, r := range replicas {
 			r.Close()
 		}
-		net.Close()
+		fab.Close()
 	}
-	lc := installLifecycle(sys, net, o, mem, conns, rts, regs)
+	lc := installLifecycle(sys, fab, o, mem, conns, rts, regs)
 	lc.persist = func(i int) []byte { return replicas[i].Persist() }
 	lc.stop = func(i int) { replicas[i].Close() }
 	lc.executed = func(i int) uint64 { return replicas[i].Executed() }
@@ -717,7 +770,7 @@ func buildHotStuff(sys *System, o Options, net *simnet.Network, f int) {
 	}
 }
 
-func buildMinBFT(sys *System, o Options, net *simnet.Network, f int) {
+func buildMinBFT(sys *System, o Options, fab transport.Fabric, f int) {
 	n := 2*f + 1 // trusted components reduce the replication factor
 	mem := members(n)
 	conns := make([]*countingConn, n)
@@ -728,7 +781,7 @@ func buildMinBFT(sys *System, o Options, net *simnet.Network, f int) {
 	replicas := make([]*minbft.Replica, n)
 	regs := newRegistries(sys, n)
 	for i := 0; i < n; i++ {
-		conns[i] = joinCounting(net, mem[i])
+		conns[i] = joinCounting(fab, mem[i])
 		rts[i] = newRuntime(conns[i], o.VerifyWorkers, regs[i])
 		auths[i] = auth.NewHMACAuth([]byte(replicaMaster), i, n)
 		csides[i] = auth.NewReplicaSide([]byte(clientMaster), i)
@@ -762,16 +815,16 @@ func buildMinBFT(sys *System, o Options, net *simnet.Network, f int) {
 	}
 	sys.Committed = func() uint64 { return replicas[0].Executed() }
 	sys.NewClient = func(id int) Invoker {
-		return minbft.NewClient(net.Join(clientBase+transport.NodeID(id)),
+		return minbft.NewClient(join(fab, clientBase+transport.NodeID(id)),
 			[]byte(clientMaster), n, f, mem, o.ClientTimeout)
 	}
 	sys.Close = func() {
 		for _, r := range replicas {
 			r.Close()
 		}
-		net.Close()
+		fab.Close()
 	}
-	lc := installLifecycle(sys, net, o, mem, conns, rts, regs)
+	lc := installLifecycle(sys, fab, o, mem, conns, rts, regs)
 	lc.persist = func(i int) []byte { return replicas[i].Persist() }
 	lc.stop = func(i int) { replicas[i].Close() }
 	lc.executed = func(i int) uint64 { return replicas[i].Executed() }
@@ -797,9 +850,9 @@ func buildMinBFT(sys *System, o Options, net *simnet.Network, f int) {
 	}
 }
 
-func buildUnreplicated(sys *System, o Options, net *simnet.Network) {
+func buildUnreplicated(sys *System, o Options, fab transport.Fabric) {
 	mem := members(1)
-	conns := []*countingConn{joinCounting(net, mem[0])}
+	conns := []*countingConn{joinCounting(fab, mem[0])}
 	regs := newRegistries(sys, 1)
 	rts := []*runtime.Runtime{newRuntime(conns[0], o.VerifyWorkers, regs[0])}
 	cside := auth.NewReplicaSide([]byte(clientMaster), 0)
@@ -815,14 +868,14 @@ func buildUnreplicated(sys *System, o Options, net *simnet.Network) {
 	sys.AuthOps = authCounter(nil, []*auth.ReplicaSide{cside})
 	sys.Committed = servers[0].Ops
 	sys.NewClient = func(id int) Invoker {
-		return unreplicated.NewClient(net.Join(clientBase+transport.NodeID(id)),
+		return unreplicated.NewClient(join(fab, clientBase+transport.NodeID(id)),
 			1, []byte(clientMaster), o.ClientTimeout)
 	}
 	sys.Close = func() {
 		servers[0].Close()
-		net.Close()
+		fab.Close()
 	}
-	lc := installLifecycle(sys, net, o, mem, conns, rts, regs)
+	lc := installLifecycle(sys, fab, o, mem, conns, rts, regs)
 	lc.persist = func(i int) []byte { return servers[i].Persist() }
 	lc.stop = func(i int) { servers[i].Close() }
 	lc.executed = func(i int) uint64 { return servers[i].Ops() }

@@ -8,7 +8,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"neobft/internal/simnet"
 	"neobft/internal/transport"
 )
 
@@ -17,8 +16,12 @@ import (
 // lifecycle; the executor only ever drives faults through this surface,
 // so it works against any of the protocols.
 type Fleet struct {
-	// Net is the simulated network the fleet runs on.
-	Net *simnet.Network
+	// Net is the fabric the fleet runs on. Network-level fault events
+	// (partitions, drop bursts, packet mangling) require the optional
+	// transport capability interfaces, which only simnet implements; on
+	// a fabric without them those events are recorded as skipped, while
+	// process-level faults (crash, restart, clock skew) still apply.
+	Net transport.Fabric
 	// Replicas is the fleet size n.
 	Replicas int
 	// ReplicaID maps replica index to its network node ID.
@@ -89,9 +92,25 @@ type Executor struct {
 	linkMu  sync.Mutex
 	linkCnt map[uint64]uint64
 
+	// canMangle records whether the fabric accepted the Byzantine packet
+	// mangler at Start (duplicate/corrupt events are skipped otherwise).
+	canMangle bool
+
 	mu        sync.Mutex
 	report    Report
 	crashedAt map[int]time.Time
+}
+
+// partitioner and dropInjector surface the fabric's optional fault
+// capabilities (nil fabric or missing capability → ok=false).
+func (x *Executor) partitioner() (transport.Partitioner, bool) {
+	p, ok := x.fleet.Net.(transport.Partitioner)
+	return p, ok
+}
+
+func (x *Executor) dropInjector() (transport.LossInjector, bool) {
+	d, ok := x.fleet.Net.(transport.LossInjector)
+	return d, ok
 }
 
 // action is one expanded timeline step (Dur events contribute an end
@@ -114,8 +133,9 @@ func Start(fleet Fleet, sched *Schedule) *Executor {
 		crashedAt: make(map[int]time.Time),
 	}
 	x.report.Digest = sched.Digest()
-	if fleet.Net != nil {
-		fleet.Net.SetMangler(x.mangle)
+	if m, ok := fleet.Net.(transport.Mangleable); ok {
+		m.SetMangler(x.mangle)
+		x.canMangle = true
 	}
 
 	var actions []action
@@ -166,14 +186,20 @@ func (x *Executor) apply(a action) {
 	if a.endOf {
 		switch e.Kind {
 		case KindDropRate:
-			x.fleet.Net.SetDrop(-1, nil)
-			x.applied("drop-rate restored to baseline")
+			if d, ok := x.dropInjector(); ok {
+				d.SetDrop(-1, nil)
+				x.applied("drop-rate restored to baseline")
+			}
 		case KindDuplicate:
 			x.dupBits.Store(0)
-			x.applied("duplicate burst ended")
+			if x.canMangle {
+				x.applied("duplicate burst ended")
+			}
 		case KindCorrupt:
 			x.corBits.Store(0)
-			x.applied("corrupt burst ended")
+			if x.canMangle {
+				x.applied("corrupt burst ended")
+			}
 		}
 		return
 	}
@@ -221,16 +247,31 @@ func (x *Executor) apply(a action) {
 		x.applied("restart replica=%d mode=%s", e.Target, mode)
 		x.watchRecovery(e.Target, target)
 	case KindPartition:
-		x.fleet.Net.BlockNode(x.fleet.ReplicaID(e.Target), true)
+		p, ok := x.partitioner()
+		if !ok {
+			x.skipped("partition replica=%d (fabric not partitionable)", e.Target)
+			return
+		}
+		p.BlockNode(x.fleet.ReplicaID(e.Target), true)
 		x.mu.Lock()
 		x.report.Partitions++
 		x.mu.Unlock()
 		x.applied("partition replica=%d", e.Target)
 	case KindHeal:
-		x.fleet.Net.BlockNode(x.fleet.ReplicaID(e.Target), false)
+		p, ok := x.partitioner()
+		if !ok {
+			x.skipped("heal replica=%d (fabric not partitionable)", e.Target)
+			return
+		}
+		p.BlockNode(x.fleet.ReplicaID(e.Target), false)
 		x.applied("heal replica=%d", e.Target)
 	case KindDropRate:
-		x.fleet.Net.SetDrop(e.Rate, nil)
+		d, ok := x.dropInjector()
+		if !ok {
+			x.skipped("drop-rate=%.4f (fabric has no loss injector)", e.Rate)
+			return
+		}
+		d.SetDrop(e.Rate, nil)
 		x.applied("drop-rate=%.4f for %.3fs", e.Rate, e.Dur.Seconds())
 	case KindSeqCrash:
 		if x.fleet.CrashSequencer == nil || !x.fleet.CrashSequencer() {
@@ -242,9 +283,17 @@ func (x *Executor) apply(a action) {
 		x.mu.Unlock()
 		x.applied("sequencer crashed; epoch failover initiated")
 	case KindDuplicate:
+		if !x.canMangle {
+			x.skipped("duplicate rate=%.4f (fabric not mangleable)", e.Rate)
+			return
+		}
 		x.dupBits.Store(math.Float64bits(e.Rate))
 		x.applied("duplicate rate=%.4f for %.3fs", e.Rate, e.Dur.Seconds())
 	case KindCorrupt:
+		if !x.canMangle {
+			x.skipped("corrupt rate=%.4f (fabric not mangleable)", e.Rate)
+			return
+		}
 		x.corBits.Store(math.Float64bits(e.Rate))
 		x.applied("corrupt rate=%.4f for %.3fs", e.Rate, e.Dur.Seconds())
 	case KindClockSkew:
@@ -359,15 +408,18 @@ func (x *Executor) duplicated() {
 func (x *Executor) Finish() Report {
 	// Heal everything before stopping recovery watchers so a restart
 	// issued here is still measured.
-	if x.fleet.Net != nil {
-		x.fleet.Net.SetDrop(-1, nil)
-		x.fleet.Net.SetMangler(nil)
+	if d, ok := x.dropInjector(); ok {
+		d.SetDrop(-1, nil)
+	}
+	if m, ok := x.fleet.Net.(transport.Mangleable); ok {
+		m.SetMangler(nil)
 	}
 	x.dupBits.Store(0)
 	x.corBits.Store(0)
+	part, canPart := x.partitioner()
 	for i := 0; i < x.fleet.Replicas; i++ {
-		if x.fleet.Net != nil && x.fleet.ReplicaID != nil {
-			x.fleet.Net.BlockNode(x.fleet.ReplicaID(i), false)
+		if canPart && x.fleet.ReplicaID != nil {
+			part.BlockNode(x.fleet.ReplicaID(i), false)
 		}
 		if x.fleet.SkewClock != nil {
 			x.fleet.SkewClock(i, 1)

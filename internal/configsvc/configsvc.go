@@ -29,6 +29,31 @@ type SwitchHandle struct {
 	SW *sequencer.Switch
 }
 
+// switchControl is what the service needs from a registered switch:
+// pushing group state and reading its signing identity. An in-process
+// switch implements it directly; a remote one is represented by a stub.
+type switchControl interface {
+	InstallGroup(sequencer.GroupConfig)
+	PublicKey() secp256k1.PublicKey
+}
+
+type switchEntry struct {
+	id  transport.NodeID
+	ctl switchControl
+}
+
+// remoteSwitch stands in for a sequencer switch hosted by another
+// process. Group installation is a no-op here: every process in a
+// multi-process deployment runs its own Service seeded with the same
+// master secret, and the process actually hosting the switch installs
+// the (identically derived) keys locally.
+type remoteSwitch struct {
+	pub secp256k1.PublicKey
+}
+
+func (r remoteSwitch) InstallGroup(sequencer.GroupConfig) {}
+func (r remoteSwitch) PublicKey() secp256k1.PublicKey     { return r.pub }
+
 // View is the published state of one aom group: where to send, which
 // epoch is live, and the credentials receivers need.
 type View struct {
@@ -51,7 +76,7 @@ type Service struct {
 	master  []byte
 
 	mu       sync.Mutex
-	switches []SwitchHandle
+	switches []switchEntry
 	groups   map[uint32]*groupState
 }
 
@@ -66,12 +91,25 @@ func New(variant wire.AuthKind, master []byte) *Service {
 	}
 }
 
-// RegisterSwitch adds a sequencer switch to the pool of failover
-// candidates.
+// RegisterSwitch adds an in-process sequencer switch to the pool of
+// failover candidates.
 func (s *Service) RegisterSwitch(h SwitchHandle) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.switches = append(s.switches, h)
+	s.switches = append(s.switches, switchEntry{id: h.ID, ctl: h.SW})
+}
+
+// RegisterRemoteSwitch adds a sequencer switch that lives in another
+// process: only its network identity (and, for the PK variant, its
+// public key) are known here. HMAC-variant deployments need nothing
+// else — per-epoch keys derive deterministically from the shared master
+// secret on every process. PK-variant multi-process deployments would
+// additionally need the remote switch's key distribution, which this
+// model does not implement.
+func (s *Service) RegisterRemoteSwitch(id transport.NodeID, pub secp256k1.PublicKey) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.switches = append(s.switches, switchEntry{id: id, ctl: remoteSwitch{pub: pub}})
 }
 
 // DeriveHMACKey returns receiver idx's lane key for (group, epoch). Both
@@ -122,9 +160,9 @@ func (s *Service) installLocked(g *groupState) {
 			cfg.HMACKeys[i] = s.DeriveHMACKey(g.view.Group, g.view.Epoch, i)
 		}
 	}
-	h.SW.InstallGroup(cfg)
-	g.view.Sequencer = h.ID
-	g.view.SwitchPub = h.SW.PublicKey()
+	h.ctl.InstallGroup(cfg)
+	g.view.Sequencer = h.id
+	g.view.SwitchPub = h.ctl.PublicKey()
 }
 
 // View returns the current published view of a group.

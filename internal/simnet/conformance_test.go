@@ -1,0 +1,17 @@
+package simnet_test
+
+import (
+	"testing"
+
+	"neobft/internal/simnet"
+	"neobft/internal/transport"
+	"neobft/internal/transport/transporttest"
+)
+
+// TestFabricConformance runs the shared transport conformance suite
+// against the simulated network.
+func TestFabricConformance(t *testing.T) {
+	transporttest.Run(t, func(t *testing.T) transport.Fabric {
+		return simnet.Fabric{Network: simnet.New(simnet.Options{Seed: 1})}
+	})
+}

@@ -79,7 +79,10 @@ type dropConfig struct {
 // an empty slice swallows the packet, and multiple entries duplicate it
 // (each drawn an independent jitter). Payload corruption is modelled by
 // returning a rewritten copy. Used for Byzantine chaos injection.
-type Mangler func(from, to transport.NodeID, payload []byte) [][]byte
+//
+// It aliases transport.MangleFunc so *Network satisfies the
+// transport.Mangleable capability interface.
+type Mangler = transport.MangleFunc
 
 // Network is a simulated network fabric.
 type Network struct {
@@ -152,6 +155,31 @@ func New(opts Options) *Network {
 // Seed returns the seed this network draws its randomness from, so
 // harnesses can log it for replay.
 func (n *Network) Seed() int64 { return n.opts.Seed }
+
+// Fabric adapts a Network to transport.Fabric. The embedded *Network
+// keeps every simnet capability — BlockNode, SetDrop, SetMangler, Seed,
+// Stats — visible through the transport capability interfaces, so fault
+// injection still works after the adaptation.
+type Fabric struct{ *Network }
+
+var (
+	_ transport.Fabric       = Fabric{}
+	_ transport.Partitioner  = Fabric{}
+	_ transport.LossInjector = Fabric{}
+	_ transport.Mangleable   = Fabric{}
+	_ transport.Seeded       = Fabric{}
+)
+
+// Join implements transport.Fabric.
+func (f Fabric) Join(id transport.NodeID) (transport.Conn, error) {
+	return f.Network.Join(id), nil
+}
+
+// Close implements transport.Fabric.
+func (f Fabric) Close() error {
+	f.Network.Close()
+	return nil
+}
 
 // linkRNG returns the PCG stream for the directed link from→to,
 // creating it deterministically from the network seed on first use.

@@ -1,0 +1,268 @@
+// Package transporttest is the conformance suite for transport.Fabric
+// implementations. It asserts the parts of the Conn contract every
+// protocol in this repository leans on:
+//
+//   - packets are delivered, and per-sender order is preserved (gaps
+//     from best-effort loss are allowed, reordering is not)
+//   - the handler is invoked sequentially from one goroutine
+//   - no new handler invocation starts after Close returns
+//   - large packets survive intact
+//   - Send to an unknown node, and oversize Send, return promptly
+//     without panicking
+//   - a closed node's ID can rejoin (crash–restart)
+//
+// Both simnet and udpnet run this suite; a future fabric (TCP, RDMA,
+// shared memory) gets protocol compatibility by passing it.
+package transporttest
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"neobft/internal/transport"
+)
+
+// Run executes the conformance suite against fresh fabrics produced by
+// newFabric. Each subtest gets its own fabric; Run closes them.
+func Run(t *testing.T, newFabric func(t *testing.T) transport.Fabric) {
+	t.Run("DeliveryAndSenderOrder", func(t *testing.T) { testDeliveryOrder(t, newFabric(t)) })
+	t.Run("SequentialHandler", func(t *testing.T) { testSequentialHandler(t, newFabric(t)) })
+	t.Run("NoDeliveryAfterClose", func(t *testing.T) { testNoDeliveryAfterClose(t, newFabric(t)) })
+	t.Run("LargePacket", func(t *testing.T) { testLargePacket(t, newFabric(t)) })
+	t.Run("SendToUnknownTolerated", func(t *testing.T) { testSendUnknown(t, newFabric(t)) })
+	t.Run("OversizeSendTolerated", func(t *testing.T) { testOversize(t, newFabric(t)) })
+	t.Run("RejoinAfterClose", func(t *testing.T) { testRejoin(t, newFabric(t)) })
+}
+
+func mustJoin(t *testing.T, fab transport.Fabric, id transport.NodeID) transport.Conn {
+	t.Helper()
+	c, err := fab.Join(id)
+	if err != nil {
+		t.Fatalf("Join(%d): %v", id, err)
+	}
+	return c
+}
+
+// testDeliveryOrder sends a numbered sequence and asserts the receiver
+// sees a (possibly gappy) strictly increasing subsequence — per-sender
+// FIFO over a lossy best-effort transport.
+func testDeliveryOrder(t *testing.T, fab transport.Fabric) {
+	defer fab.Close()
+	a := mustJoin(t, fab, 1)
+	b := mustJoin(t, fab, 2)
+
+	const total = 200
+	var received atomic.Int64
+	var outOfOrder atomic.Int64
+	last := int64(-1)
+	b.SetHandler(func(from transport.NodeID, pkt []byte) {
+		if from != 1 || len(pkt) != 8 {
+			return
+		}
+		seq := int64(binary.LittleEndian.Uint64(pkt))
+		if seq <= last {
+			outOfOrder.Add(1)
+		}
+		last = seq
+		received.Add(1)
+	})
+	buf := make([]byte, 8)
+	for i := 0; i < total; i++ {
+		binary.LittleEndian.PutUint64(buf, uint64(i))
+		a.Send(2, buf)
+		// The transport owns the slice after Send on zero-copy fabrics;
+		// allocate the next frame fresh.
+		buf = make([]byte, 8)
+	}
+	waitFor(t, 5*time.Second, func() bool { return received.Load() >= total/2 },
+		"fewer than half the packets delivered")
+	if n := outOfOrder.Load(); n != 0 {
+		t.Fatalf("%d packets delivered out of per-sender order", n)
+	}
+}
+
+// testSequentialHandler floods a node from two senders and asserts no
+// two handler invocations ever overlap.
+func testSequentialHandler(t *testing.T, fab transport.Fabric) {
+	defer fab.Close()
+	a := mustJoin(t, fab, 1)
+	b := mustJoin(t, fab, 2)
+	c := mustJoin(t, fab, 3)
+
+	var inFlight atomic.Int32
+	var overlapped atomic.Bool
+	var received atomic.Int64
+	c.SetHandler(func(from transport.NodeID, pkt []byte) {
+		if !inFlight.CompareAndSwap(0, 1) {
+			overlapped.Store(true)
+		}
+		time.Sleep(50 * time.Microsecond) // widen any overlap window
+		inFlight.Store(0)
+		received.Add(1)
+	})
+	for i := 0; i < 50; i++ {
+		a.Send(3, []byte{byte(i)})
+		b.Send(3, []byte{byte(i)})
+	}
+	waitFor(t, 5*time.Second, func() bool { return received.Load() >= 20 },
+		"too few packets delivered to exercise the handler")
+	if overlapped.Load() {
+		t.Fatal("handler invocations overlapped: not sequential from one goroutine")
+	}
+}
+
+// testNoDeliveryAfterClose closes the receiver, settles, and asserts the
+// delivery count stays frozen while a peer keeps sending.
+func testNoDeliveryAfterClose(t *testing.T, fab transport.Fabric) {
+	defer fab.Close()
+	a := mustJoin(t, fab, 1)
+	b := mustJoin(t, fab, 2)
+
+	var received atomic.Int64
+	b.SetHandler(func(from transport.NodeID, pkt []byte) { received.Add(1) })
+	a.Send(2, []byte("pre"))
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// An invocation in flight at Close may complete; settle it out.
+	time.Sleep(50 * time.Millisecond)
+	frozen := received.Load()
+	for i := 0; i < 20; i++ {
+		a.Send(2, []byte("post"))
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if got := received.Load(); got != frozen {
+		t.Fatalf("%d deliveries after Close returned", got-frozen)
+	}
+}
+
+// testLargePacket round-trips a 32 KiB payload — above any small-buffer
+// size class, below datagram limits — and checks it arrives intact.
+func testLargePacket(t *testing.T, fab transport.Fabric) {
+	defer fab.Close()
+	a := mustJoin(t, fab, 1)
+	b := mustJoin(t, fab, 2)
+
+	const size = 32 << 10
+	var ok atomic.Bool
+	var bad atomic.Bool
+	b.SetHandler(func(from transport.NodeID, pkt []byte) {
+		if len(pkt) != size {
+			bad.Store(true)
+			return
+		}
+		for i := range pkt {
+			if pkt[i] != byte(i*7) {
+				bad.Store(true)
+				return
+			}
+		}
+		ok.Store(true)
+	})
+	mk := func() []byte {
+		p := make([]byte, size)
+		for i := range p {
+			p[i] = byte(i * 7)
+		}
+		return p
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !ok.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("large packet never delivered intact")
+		}
+		a.Send(2, mk()) // retried: best-effort transports may drop
+		time.Sleep(20 * time.Millisecond)
+	}
+	if bad.Load() {
+		t.Fatal("large packet delivered corrupted or truncated")
+	}
+}
+
+// testSendUnknown asserts Send to an ID nobody joined returns promptly
+// and doesn't panic or wedge the conn.
+func testSendUnknown(t *testing.T, fab transport.Fabric) {
+	defer fab.Close()
+	a := mustJoin(t, fab, 1)
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100; i++ {
+			a.Send(4242, []byte("nobody home"))
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Send to unknown node blocked")
+	}
+}
+
+// testOversize sends a payload beyond any sane datagram limit and
+// asserts the call returns promptly without panicking, and that the conn
+// still works afterwards.
+func testOversize(t *testing.T, fab transport.Fabric) {
+	defer fab.Close()
+	a := mustJoin(t, fab, 1)
+	b := mustJoin(t, fab, 2)
+	var received atomic.Int64
+	b.SetHandler(func(from transport.NodeID, pkt []byte) { received.Add(1) })
+
+	done := make(chan struct{})
+	go func() {
+		a.Send(2, make([]byte, 70000))
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("oversize Send blocked")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for received.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("conn unusable after oversize Send")
+		}
+		a.Send(2, []byte("still alive"))
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// testRejoin closes a node and joins its ID again — the crash–restart
+// model the bench lifecycle depends on.
+func testRejoin(t *testing.T, fab transport.Fabric) {
+	defer fab.Close()
+	a := mustJoin(t, fab, 1)
+	b := mustJoin(t, fab, 2)
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	b2, err := fab.Join(2)
+	if err != nil {
+		t.Fatalf("rejoin after Close: %v", err)
+	}
+	var received atomic.Int64
+	b2.SetHandler(func(from transport.NodeID, pkt []byte) { received.Add(1) })
+	deadline := time.Now().Add(5 * time.Second)
+	for received.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("rejoined node never received a packet")
+		}
+		a.Send(2, []byte("welcome back"))
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal(msg)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,17 @@
+package udpnet_test
+
+import (
+	"testing"
+
+	"neobft/internal/transport"
+	"neobft/internal/transport/transporttest"
+	"neobft/internal/transport/udpnet"
+)
+
+// TestFabricConformance runs the shared transport conformance suite
+// against real loopback UDP sockets.
+func TestFabricConformance(t *testing.T) {
+	transporttest.Run(t, func(t *testing.T) transport.Fabric {
+		return udpnet.NewLoopback(udpnet.FabricConfig{})
+	})
+}

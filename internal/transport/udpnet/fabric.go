@@ -1,0 +1,125 @@
+package udpnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"neobft/internal/metrics"
+	"neobft/internal/transport"
+)
+
+// FabricConfig configures a UDP Fabric. The embedded Config applies to
+// every conn the fabric creates.
+type FabricConfig struct {
+	Config
+	// MetricsFor, when set, supplies the per-node metrics registry a
+	// joining conn wires its counters into (nil result falls back to
+	// Config.Metrics / a private registry). The bench harness uses this
+	// to land udp_* counters next to each replica's protocol metrics.
+	MetricsFor func(id transport.NodeID) *metrics.Registry
+	// AutoBind lets Join attach node IDs missing from the address book
+	// by binding 127.0.0.1 port 0 and publishing the bound address to
+	// the book — a single-machine cluster needs no pre-assigned ports,
+	// and the former probe-then-reuse port race cannot occur.
+	AutoBind bool
+}
+
+// Fabric assembles a cluster of udpnet conns over a shared address book.
+// It implements transport.Fabric; it deliberately implements none of the
+// fault-injection capability interfaces — packets on real sockets are
+// beyond omniscient control.
+type Fabric struct {
+	book *AddressBook
+	cfg  FabricConfig
+
+	mu     sync.Mutex
+	conns  map[transport.NodeID]*Conn
+	closed bool
+}
+
+var _ transport.Fabric = (*Fabric)(nil)
+
+// NewFabric creates a fabric over an existing address book (typically
+// loaded from a peers file).
+func NewFabric(book *AddressBook, cfg FabricConfig) *Fabric {
+	return &Fabric{
+		book:  book,
+		cfg:   cfg,
+		conns: make(map[transport.NodeID]*Conn),
+	}
+}
+
+// NewLoopback creates a single-process fabric: an empty address book
+// with AutoBind, so every Join binds a fresh loopback port and publishes
+// it. This is the deployment-mode twin of simnet.New for tests and the
+// default single-process neokv.
+func NewLoopback(cfg FabricConfig) *Fabric {
+	cfg.AutoBind = true
+	book, _ := NewAddressBook(nil)
+	return NewFabric(book, cfg)
+}
+
+// Book exposes the fabric's address book (e.g. to print bound ports).
+func (f *Fabric) Book() *AddressBook { return f.book }
+
+// Join implements transport.Fabric. A closed node's ID may be rejoined
+// (crash–restart); in AutoBind mode the restarted node gets a fresh port
+// and republishes it, so peers — which resolve addresses per Send —
+// reach the new incarnation.
+func (f *Fabric) Join(id transport.NodeID) (transport.Conn, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, fmt.Errorf("udpnet: fabric closed")
+	}
+	if _, live := f.conns[id]; live {
+		return nil, fmt.Errorf("udpnet: node %d already joined", id)
+	}
+	cfg := f.cfg.Config
+	if f.cfg.MetricsFor != nil {
+		if reg := f.cfg.MetricsFor(id); reg != nil {
+			cfg.Metrics = reg
+		}
+	}
+	bind := f.book.Lookup(id)
+	if bind == nil {
+		if !f.cfg.AutoBind {
+			return nil, fmt.Errorf("udpnet: node %d not in address book", id)
+		}
+		bind = &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)}
+	}
+	c, err := listenAddr(id, f.book, bind, cfg)
+	if err != nil {
+		return nil, err
+	}
+	f.book.Set(id, c.LocalAddr())
+	c.onClose = func() {
+		f.mu.Lock()
+		if f.conns[id] == c {
+			delete(f.conns, id)
+		}
+		f.mu.Unlock()
+	}
+	f.conns[id] = c
+	return c, nil
+}
+
+// Close implements transport.Fabric: it closes every live conn.
+func (f *Fabric) Close() error {
+	f.mu.Lock()
+	f.closed = true
+	conns := make([]*Conn, 0, len(f.conns))
+	for _, c := range f.conns {
+		conns = append(conns, c)
+	}
+	f.conns = make(map[transport.NodeID]*Conn)
+	f.mu.Unlock()
+	var first error
+	for _, c := range conns {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

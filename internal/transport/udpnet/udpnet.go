@@ -1,8 +1,21 @@
-// Package udpnet implements transport.Conn over real UDP sockets. It is
-// the deployment-mode counterpart of internal/simnet: the same protocol
-// code drives either. An address book maps node IDs to UDP endpoints
-// (the configuration service would distribute this in a production
-// deployment; cmd/neokv builds it from flags).
+// Package udpnet implements transport.Conn and transport.Fabric over
+// real UDP sockets. It is the deployment-mode counterpart of
+// internal/simnet: the same protocol code drives either. An address book
+// maps node IDs to UDP endpoints; in a multi-process cluster the book is
+// loaded from a peers file (cmd/neokv), while single-process harnesses
+// let the fabric bind loopback port 0 and publish the bound addresses.
+//
+// The send path never blocks the caller: Send frames the packet into a
+// pooled buffer and hands it to a bounded per-conn queue drained by a
+// writer goroutine. A full queue, an unknown destination, an oversize
+// payload or a socket error drops the packet — counted per kind in the
+// metrics registry, with a flight-recorder trace on the first occurrence
+// of each kind — exactly the lossy-network behaviour the protocols
+// already tolerate. The receive path separates the socket read loop from
+// handler execution with a second bounded queue, so a slow handler
+// overflows the (counted) user-space queue instead of silently filling
+// the kernel socket buffer; receive staging buffers are pooled rather
+// than allocated per packet.
 package udpnet
 
 import (
@@ -12,20 +25,32 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"neobft/internal/metrics"
 	"neobft/internal/transport"
 )
 
-// maxPacket bounds receive buffers; aom packets with HMAC vectors for 64
-// receivers plus payload fit comfortably.
-const maxPacket = 65535
+const (
+	// headerLen is the wire frame overhead: each datagram is prefixed
+	// with the 4-byte little-endian sender ID.
+	headerLen = 4
+	// maxDatagram bounds receive and send staging buffers.
+	maxDatagram = 65535
+	// MaxPayload is the largest packet payload Send accepts by default:
+	// the IPv4 UDP datagram limit minus the sender-ID frame.
+	MaxPayload = 65507 - headerLen
+)
 
-// AddressBook maps node IDs to UDP addresses. It is immutable after
-// construction.
+// AddressBook maps node IDs to UDP addresses. Entries may be added or
+// replaced at runtime (a fabric in AutoBind mode publishes dynamically
+// bound ports, and a restarted node republishes its new one); senders
+// resolve the destination on every Send, so they follow rebinds.
 type AddressBook struct {
+	mu    sync.RWMutex
 	addrs map[transport.NodeID]*net.UDPAddr
 }
 
-// NewAddressBook resolves the given id→"host:port" table.
+// NewAddressBook resolves the given id→"host:port" table. A nil or empty
+// table is valid: entries can be published later with Set.
 func NewAddressBook(entries map[transport.NodeID]string) (*AddressBook, error) {
 	book := &AddressBook{addrs: make(map[transport.NodeID]*net.UDPAddr, len(entries))}
 	for id, hostport := range entries {
@@ -38,32 +63,210 @@ func NewAddressBook(entries map[transport.NodeID]string) (*AddressBook, error) {
 	return book, nil
 }
 
-// Conn is a UDP-socket attachment implementing transport.Conn. Each
-// outbound packet is prefixed with the 4-byte sender ID.
+// Lookup returns the current address for a node, or nil if unknown.
+func (b *AddressBook) Lookup(id transport.NodeID) *net.UDPAddr {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.addrs[id]
+}
+
+// Set publishes (or replaces) a node's address.
+func (b *AddressBook) Set(id transport.NodeID, addr *net.UDPAddr) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.addrs[id] = addr
+}
+
+// Config tunes one connection. The zero value is production-safe.
+type Config struct {
+	// SendQueue bounds the outbound queue between Send and the writer
+	// goroutine (default 1024). Send never blocks: overflow drops the
+	// packet and counts it.
+	SendQueue int
+	// RecvQueue bounds packets staged between the socket read loop and
+	// handler dispatch (default 1024). Overflow drops and counts.
+	RecvQueue int
+	// RcvBuf and SndBuf size the socket's SO_RCVBUF / SO_SNDBUF in bytes
+	// (0 keeps the OS default). Heavy-traffic deployments want these in
+	// the megabytes so bursts ride out scheduling hiccups.
+	RcvBuf, SndBuf int
+	// MaxPacket caps the payload size Send accepts and guards the
+	// receive path (default MaxPayload). Larger payloads are dropped
+	// with the oversize counter, never fragmented or truncated.
+	MaxPacket int
+	// Metrics receives the conn's tx/rx/drop counters and first-drop
+	// flight-recorder traces (nil = a private registry).
+	Metrics *metrics.Registry
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.SendQueue <= 0 {
+		cfg.SendQueue = 1024
+	}
+	if cfg.RecvQueue <= 0 {
+		cfg.RecvQueue = 1024
+	}
+	if cfg.MaxPacket <= 0 || cfg.MaxPacket > MaxPayload {
+		cfg.MaxPacket = MaxPayload
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	return cfg
+}
+
+// dropKind classifies why a packet was dropped.
+type dropKind uint8
+
+const (
+	dropTxUnknown  dropKind = iota // destination not in the address book
+	dropTxOversize                 // payload exceeds MaxPacket
+	dropTxOverflow                 // send queue full
+	dropTxSockErr                  // sendto(2) failed
+	dropRxOverflow                 // receive queue full
+	dropRxShort                    // datagram shorter than the frame header
+	nDropKinds
+)
+
+var dropCounterNames = [nDropKinds]string{
+	dropTxUnknown:  "udp_tx_drop_unknown_total",
+	dropTxOversize: "udp_tx_drop_oversize_total",
+	dropTxOverflow: "udp_tx_drop_overflow_total",
+	dropTxSockErr:  "udp_tx_drop_sockerr_total",
+	dropRxOverflow: "udp_rx_drop_overflow_total",
+	dropRxShort:    "udp_rx_drop_short_total",
+}
+
+// Flight-recorder kinds: one trace per conn on the first drop of each
+// kind, so a silent misconfiguration (wrong peer ID, undersized queue)
+// leaves a visible mark without flooding the ring on sustained loss.
+var (
+	traceTxDrop = metrics.RegisterTraceKind("udp_tx_drop")
+	traceRxDrop = metrics.RegisterTraceKind("udp_rx_drop")
+)
+
+// Stats is a snapshot of one conn's packet counters.
+type Stats struct {
+	TxPackets, RxPackets uint64
+	TxBytes, RxBytes     uint64
+	// Drops indexes by kind: unknown-dest, oversize, send-queue
+	// overflow, socket error, recv-queue overflow, short datagram.
+	TxDropUnknown, TxDropOversize, TxDropOverflow, TxDropSockErr uint64
+	RxDropOverflow, RxDropShort                                  uint64
+}
+
+// Buffer pools for send/receive staging. Two size classes: most protocol
+// messages fit the small class; snapshots and aom packets with large
+// payloads use full-datagram buffers.
+const smallBufSize = 2048
+
+var smallPool = sync.Pool{New: func() any { b := make([]byte, smallBufSize); return &b }}
+var largePool = sync.Pool{New: func() any { b := make([]byte, maxDatagram); return &b }}
+
+func getBuf(n int) *[]byte {
+	if n <= smallBufSize {
+		return smallPool.Get().(*[]byte)
+	}
+	return largePool.Get().(*[]byte)
+}
+
+func putBuf(b *[]byte) {
+	if cap(*b) >= maxDatagram {
+		largePool.Put(b)
+	} else {
+		smallPool.Put(b)
+	}
+}
+
+type txItem struct {
+	addr *net.UDPAddr
+	buf  *[]byte
+	n    int
+}
+
+type rxItem struct {
+	buf *[]byte
+	n   int
+}
+
+// Conn is a UDP-socket attachment implementing transport.Conn.
 type Conn struct {
-	id      transport.NodeID
-	sock    *net.UDPConn
-	book    *AddressBook
+	id   transport.NodeID
+	sock *net.UDPConn
+	book *AddressBook
+	cfg  Config
+
 	handler atomic.Pointer[transport.Handler]
+	sendq   chan txItem
+	rxq     chan rxItem
+	stop    chan struct{}
 
 	closeOnce sync.Once
 	closed    atomic.Bool
+	// onClose, when set (by a Fabric), releases the conn's ID for rejoin.
+	onClose func()
+
+	txPkts, rxPkts   *metrics.Counter
+	txBytes, rxBytes *metrics.Counter
+	drops            [nDropKinds]*metrics.Counter
+	traced           [nDropKinds]atomic.Bool
+	rec              *metrics.Recorder
+
+	// testStall, when non-nil, parks the writer goroutine until the
+	// channel is closed — lets tests jam the send queue deterministically.
+	testStall chan struct{}
 }
 
 var _ transport.Conn = (*Conn)(nil)
 
 // Listen binds the node's own address from the book and starts the
-// receive loop.
+// receive, dispatch and writer goroutines.
 func Listen(id transport.NodeID, book *AddressBook) (*Conn, error) {
-	self, ok := book.addrs[id]
-	if !ok {
+	return ListenConfig(id, book, Config{})
+}
+
+// ListenConfig is Listen with explicit tuning.
+func ListenConfig(id transport.NodeID, book *AddressBook, cfg Config) (*Conn, error) {
+	self := book.Lookup(id)
+	if self == nil {
 		return nil, fmt.Errorf("udpnet: node %d not in address book", id)
 	}
-	sock, err := net.ListenUDP("udp", self)
+	return listenAddr(id, book, self, cfg)
+}
+
+func listenAddr(id transport.NodeID, book *AddressBook, bind *net.UDPAddr, cfg Config) (*Conn, error) {
+	cfg = cfg.withDefaults()
+	sock, err := net.ListenUDP("udp", bind)
 	if err != nil {
-		return nil, fmt.Errorf("udpnet: listen %v: %w", self, err)
+		return nil, fmt.Errorf("udpnet: listen %v: %w", bind, err)
 	}
-	c := &Conn{id: id, sock: sock, book: book}
+	// Buffer sizing is best-effort: the kernel clamps to rmem_max/wmem_max.
+	if cfg.RcvBuf > 0 {
+		_ = sock.SetReadBuffer(cfg.RcvBuf)
+	}
+	if cfg.SndBuf > 0 {
+		_ = sock.SetWriteBuffer(cfg.SndBuf)
+	}
+	c := &Conn{
+		id:    id,
+		sock:  sock,
+		book:  book,
+		cfg:   cfg,
+		sendq: make(chan txItem, cfg.SendQueue),
+		rxq:   make(chan rxItem, cfg.RecvQueue),
+		stop:  make(chan struct{}),
+	}
+	reg := cfg.Metrics
+	c.txPkts = reg.Counter("udp_tx_packets_total")
+	c.rxPkts = reg.Counter("udp_rx_packets_total")
+	c.txBytes = reg.Counter("udp_tx_bytes_total")
+	c.rxBytes = reg.Counter("udp_rx_bytes_total")
+	for k := range c.drops {
+		c.drops[k] = reg.Counter(dropCounterNames[k])
+	}
+	c.rec = reg.Recorder()
+	go c.writeLoop()
+	go c.dispatchLoop()
 	go c.readLoop()
 	return c, nil
 }
@@ -71,31 +274,51 @@ func Listen(id transport.NodeID, book *AddressBook) (*Conn, error) {
 // ID implements transport.Conn.
 func (c *Conn) ID() transport.NodeID { return c.id }
 
-// Send implements transport.Conn. Errors are swallowed: UDP is
-// best-effort and the protocols tolerate loss.
+// Send implements transport.Conn. It never blocks: the packet is framed
+// into a pooled buffer and queued for the writer goroutine; if the queue
+// is full, the destination unknown, or the payload oversize, the packet
+// is dropped and counted. UDP is best-effort and the protocols tolerate
+// loss, so no error surfaces to the caller.
 func (c *Conn) Send(to transport.NodeID, packet []byte) {
 	if c.closed.Load() {
 		return
 	}
-	addr, ok := c.book.addrs[to]
-	if !ok {
+	if len(packet) > c.cfg.MaxPacket {
+		c.dropTx(dropTxOversize, to, uint64(len(packet)))
 		return
 	}
-	buf := make([]byte, 4+len(packet))
+	addr := c.book.Lookup(to)
+	if addr == nil {
+		c.dropTx(dropTxUnknown, to, 0)
+		return
+	}
+	n := headerLen + len(packet)
+	bp := getBuf(n)
+	buf := (*bp)[:n]
 	binary.LittleEndian.PutUint32(buf, uint32(c.id))
-	copy(buf[4:], packet)
-	_, _ = c.sock.WriteToUDP(buf, addr)
+	copy(buf[headerLen:], packet)
+	select {
+	case c.sendq <- txItem{addr: addr, buf: bp, n: n}:
+	default:
+		putBuf(bp)
+		c.dropTx(dropTxOverflow, to, uint64(len(c.sendq)))
+	}
 }
 
 // SetHandler implements transport.Conn.
 func (c *Conn) SetHandler(h transport.Handler) { c.handler.Store(&h) }
 
-// Close implements transport.Conn.
+// Close implements transport.Conn. After it returns no new handler
+// invocation starts; a delivery already in flight may complete.
 func (c *Conn) Close() error {
 	var err error
 	c.closeOnce.Do(func() {
 		c.closed.Store(true)
+		close(c.stop)
 		err = c.sock.Close()
+		if c.onClose != nil {
+			c.onClose()
+		}
 	})
 	return err
 }
@@ -105,21 +328,113 @@ func (c *Conn) LocalAddr() *net.UDPAddr {
 	return c.sock.LocalAddr().(*net.UDPAddr)
 }
 
-func (c *Conn) readLoop() {
-	buf := make([]byte, maxPacket)
+// Stats snapshots the conn's packet counters. Counters live in the
+// metrics registry, so conns sharing one registry (e.g. across restart
+// incarnations of the same node) accumulate into the same series.
+func (c *Conn) Stats() Stats {
+	return Stats{
+		TxPackets:      c.txPkts.Load(),
+		RxPackets:      c.rxPkts.Load(),
+		TxBytes:        c.txBytes.Load(),
+		RxBytes:        c.rxBytes.Load(),
+		TxDropUnknown:  c.drops[dropTxUnknown].Load(),
+		TxDropOversize: c.drops[dropTxOversize].Load(),
+		TxDropOverflow: c.drops[dropTxOverflow].Load(),
+		TxDropSockErr:  c.drops[dropTxSockErr].Load(),
+		RxDropOverflow: c.drops[dropRxOverflow].Load(),
+		RxDropShort:    c.drops[dropRxShort].Load(),
+	}
+}
+
+func (c *Conn) dropTx(kind dropKind, to transport.NodeID, detail uint64) {
+	c.drops[kind].Inc()
+	if c.traced[kind].CompareAndSwap(false, true) {
+		c.rec.Record(traceTxDrop, uint64(uint32(to)), uint64(kind)<<32|detail&0xffffffff)
+	}
+}
+
+func (c *Conn) dropRx(kind dropKind, detail uint64) {
+	c.drops[kind].Inc()
+	if c.traced[kind].CompareAndSwap(false, true) {
+		c.rec.Record(traceRxDrop, uint64(uint32(c.id)), uint64(kind)<<32|detail&0xffffffff)
+	}
+}
+
+// writeLoop drains the send queue onto the socket, returning staging
+// buffers to the pool after each sendto.
+func (c *Conn) writeLoop() {
 	for {
-		n, _, err := c.sock.ReadFromUDP(buf)
+		select {
+		case <-c.stop:
+			return
+		case it := <-c.sendq:
+			if c.testStall != nil {
+				select {
+				case <-c.testStall:
+				case <-c.stop:
+					putBuf(it.buf)
+					return
+				}
+			}
+			_, err := c.sock.WriteToUDP((*it.buf)[:it.n], it.addr)
+			if err != nil {
+				c.dropTx(dropTxSockErr, transport.NilNode, 0)
+			} else {
+				c.txPkts.Inc()
+				c.txBytes.Add(uint64(it.n))
+			}
+			putBuf(it.buf)
+		}
+	}
+}
+
+// readLoop pulls datagrams off the socket into pooled staging buffers
+// and hands them to the dispatcher, so the socket is drained even while
+// a handler is busy — backpressure lands on the counted rxq, not the
+// invisible kernel buffer.
+func (c *Conn) readLoop() {
+	for {
+		bp := largePool.Get().(*[]byte)
+		n, _, err := c.sock.ReadFromUDP(*bp)
 		if err != nil {
+			largePool.Put(bp)
 			return // socket closed
 		}
-		if n < 4 {
+		if n < headerLen {
+			largePool.Put(bp)
+			c.dropRx(dropRxShort, uint64(n))
 			continue
 		}
-		from := transport.NodeID(binary.LittleEndian.Uint32(buf))
-		if h := c.handler.Load(); h != nil {
-			payload := make([]byte, n-4)
-			copy(payload, buf[4:n])
-			(*h)(from, payload)
+		select {
+		case c.rxq <- rxItem{buf: bp, n: n}:
+		default:
+			largePool.Put(bp)
+			c.dropRx(dropRxOverflow, uint64(len(c.rxq)))
+		}
+	}
+}
+
+// dispatchLoop invokes the handler sequentially — the transport.Conn
+// single-delivery-goroutine contract. The payload is copied out of the
+// pooled staging buffer because packet ownership passes to the handler.
+func (c *Conn) dispatchLoop() {
+	for {
+		select {
+		case <-c.stop:
+			return
+		case it := <-c.rxq:
+			from := transport.NodeID(binary.LittleEndian.Uint32(*it.buf))
+			payload := make([]byte, it.n-headerLen)
+			copy(payload, (*it.buf)[headerLen:it.n])
+			largePool.Put(it.buf)
+			if c.closed.Load() {
+				return
+			}
+			if h := c.handler.Load(); h != nil {
+				c.rxPkts.Inc()
+				c.rxBytes.Add(uint64(len(payload)))
+				(*h)(from, payload)
+			}
 		}
 	}
 }

@@ -139,3 +139,136 @@ func TestUDPManyNodes(t *testing.T) {
 	}
 	t.Fatal("not all nodes received the broadcast")
 }
+
+// TestUDPSendNeverBlocks jams the writer goroutine via the test stall
+// hook and verifies Send returns promptly once the queue fills, counting
+// the overflow drops instead of stalling the caller.
+func TestUDPSendNeverBlocks(t *testing.T) {
+	book := freeBook(t, 2)
+	a, err := ListenConfig(0, book, Config{SendQueue: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	stall := make(chan struct{})
+	a.testStall = stall
+	defer close(stall)
+
+	const sends = 64
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < sends; i++ {
+			a.Send(1, []byte("jam"))
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Send blocked with a stalled writer and a full queue")
+	}
+	if d := a.Stats().TxDropOverflow; d == 0 {
+		t.Fatal("expected overflow drops with a stalled writer")
+	} else if d < sends-4-1 {
+		t.Fatalf("overflow drops = %d, want >= %d", d, sends-4-1)
+	}
+}
+
+func TestUDPDropCounters(t *testing.T) {
+	book := freeBook(t, 2)
+	a, err := Listen(0, book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	a.Send(99, []byte("void"))
+	if got := a.Stats().TxDropUnknown; got != 1 {
+		t.Fatalf("TxDropUnknown = %d, want 1", got)
+	}
+	a.Send(1, make([]byte, MaxPayload+1))
+	if got := a.Stats().TxDropOversize; got != 1 {
+		t.Fatalf("TxDropOversize = %d, want 1", got)
+	}
+}
+
+func TestUDPFabricLoopback(t *testing.T) {
+	f := NewLoopback(FabricConfig{})
+	defer f.Close()
+
+	ca, err := f.Join(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := f.Join(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan struct{}, 1)
+	cb.SetHandler(func(from transport.NodeID, p []byte) {
+		select {
+		case got <- struct{}{}:
+		default:
+		}
+	})
+	deadline := time.After(5 * time.Second)
+	for {
+		ca.Send(2, []byte("hello"))
+		select {
+		case <-got:
+			return
+		case <-time.After(20 * time.Millisecond):
+		case <-deadline:
+			t.Fatal("no delivery over loopback fabric")
+		}
+	}
+}
+
+// TestUDPFabricRejoin models crash–restart: after Close, the same ID
+// joins again on a fresh port and peers (which resolve addresses per
+// Send) reach the new incarnation.
+func TestUDPFabricRejoin(t *testing.T) {
+	f := NewLoopback(FabricConfig{})
+	defer f.Close()
+
+	ca, err := f.Join(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := f.Join(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Join(2); err == nil {
+		t.Fatal("duplicate Join succeeded")
+	}
+	oldAddr := cb.(*Conn).LocalAddr().String()
+	if err := cb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cb2, err := f.Join(2)
+	if err != nil {
+		t.Fatalf("rejoin after close: %v", err)
+	}
+	if cb2.(*Conn).LocalAddr().String() == oldAddr {
+		t.Log("rejoined on the same port (possible but unusual)")
+	}
+	got := make(chan struct{}, 1)
+	cb2.SetHandler(func(from transport.NodeID, p []byte) {
+		select {
+		case got <- struct{}{}:
+		default:
+		}
+	})
+	deadline := time.After(5 * time.Second)
+	for {
+		ca.Send(2, []byte("again"))
+		select {
+		case <-got:
+			return
+		case <-time.After(20 * time.Millisecond):
+		case <-deadline:
+			t.Fatal("restarted node unreachable")
+		}
+	}
+}
