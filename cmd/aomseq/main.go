@@ -120,7 +120,7 @@ func main() {
 					log.Printf("trace dump: %v", err)
 					return
 				}
-				if err := exporter.WriteTraces(f); err != nil {
+				if err := exporter.WriteTraces(f, ""); err != nil {
 					log.Printf("trace dump: %v", err)
 				}
 				f.Close()

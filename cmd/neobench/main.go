@@ -18,9 +18,11 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 
 	"neobft/internal/bench"
 	"neobft/internal/chaos"
+	"neobft/internal/tracing"
 )
 
 var experiments = map[string]func(*os.File, bench.ExpConfig){
@@ -53,6 +55,10 @@ func main() {
 	chaosOut := flag.String("chaos-out", "", "write chaos replay artifacts (schedule, failure traces) into this directory")
 	transportName := flag.String("transport", "simnet",
 		"fabric to run experiments over: simnet (deterministic, default) or udp (real loopback sockets)")
+	traceRate := flag.Float64("trace-rate", 0,
+		"causal-tracing sample rate: fraction of requests traced end to end (0 = off, 1 = all)")
+	spanDump := flag.String("span-dump", "",
+		"append every traced run's spans (JSON lines) to this file; merge with cmd/neotrace")
 	flag.Parse()
 
 	switch *transportName {
@@ -81,7 +87,25 @@ func main() {
 		fmt.Println("chaos scenarios:", strings.Join(chaos.Scenarios(), " "), "all")
 		return
 	}
-	cfg := bench.ExpConfig{Short: *short, Seed: *seed, Transport: *transportName}
+	cfg := bench.ExpConfig{Short: *short, Seed: *seed, Transport: *transportName, TraceRate: *traceRate}
+	if *spanDump != "" {
+		if *traceRate <= 0 {
+			fmt.Fprintln(os.Stderr, "-span-dump needs -trace-rate > 0")
+			os.Exit(1)
+		}
+		f, err := os.Create(*spanDump)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "span dump: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		var mu sync.Mutex
+		cfg.SpanSink = func(spans []tracing.Span) {
+			mu.Lock()
+			defer mu.Unlock()
+			tracing.WriteSpans(f, spans)
+		}
+	}
 	if *metricsCSV != "" {
 		if err := bench.CSVMetrics(*metricsCSV, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "metrics csv: %v\n", err)

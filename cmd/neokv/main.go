@@ -41,6 +41,7 @@ import (
 	"neobft/internal/neobft"
 	"neobft/internal/runtime"
 	"neobft/internal/sequencer"
+	"neobft/internal/tracing"
 	"neobft/internal/transport"
 	"neobft/internal/transport/udpnet"
 	"neobft/internal/wire"
@@ -62,6 +63,43 @@ type options struct {
 	verifyWorkers      int
 	checkpointInterval int
 	metricsAddr        string
+	sampleRate         float64
+	spanDump           string
+
+	// tracers collects every tracer this process created, for the
+	// shutdown span dump (-span-dump) and the /spans endpoint.
+	tracers []*tracing.Tracer
+}
+
+// tracer creates (and remembers) one tracer per node this process
+// hosts, registering its span dump with the exporter. Every neokv node
+// gets a tracer: cross-process trace propagation needs each hop to peel
+// envelopes, and sampling is decided at the client by -sample-rate.
+func (o *options) tracer(node string, reg *metrics.Registry, exporter *metrics.Exporter) *tracing.Tracer {
+	tr := tracing.New(tracing.Config{Node: node, Rate: o.sampleRate, Metrics: reg})
+	o.tracers = append(o.tracers, tr)
+	exporter.AddSpans(fmt.Sprintf("node=%q", node), tr.WriteJSONLines)
+	return tr
+}
+
+// dumpSpans writes every tracer's spans to -span-dump on shutdown.
+func (o *options) dumpSpans() {
+	if o.spanDump == "" {
+		return
+	}
+	f, err := os.Create(o.spanDump)
+	if err != nil {
+		log.Printf("span dump: %v", err)
+		return
+	}
+	defer f.Close()
+	for _, tr := range o.tracers {
+		if err := tr.WriteJSONLines(f); err != nil {
+			log.Printf("span dump: %v", err)
+			return
+		}
+	}
+	log.Printf("span dump written to %s", o.spanDump)
 }
 
 func main() {
@@ -75,9 +113,13 @@ func main() {
 	flag.IntVar(&o.checkpointInterval, "checkpoint-interval", 0,
 		"slots between checkpoints/sync points; bounds replica log memory (0 = protocol default)")
 	flag.StringVar(&o.metricsAddr, "metrics", "",
-		"serve /metrics (Prometheus text), /trace and /debug/pprof on this address (empty = disabled)")
+		"serve /metrics (Prometheus text), /trace, /spans and /debug/pprof on this address (empty = disabled)")
 	traceDump := flag.String("trace-dump", "",
 		"write every node's flight-recorder dump as JSON lines to this file on exit")
+	flag.Float64Var(&o.sampleRate, "sample-rate", 0,
+		"causal-trace sampling rate for requests this process originates (0 = off, 1 = every request); replicas and sequencers propagate regardless")
+	flag.StringVar(&o.spanDump, "span-dump", "",
+		"write every node's causal-span dump as JSON lines to this file on exit (merge with neotrace)")
 	flag.Parse()
 
 	exporter := &metrics.Exporter{}
@@ -89,7 +131,7 @@ func main() {
 				return
 			}
 			defer f.Close()
-			if err := exporter.WriteTraces(f); err != nil {
+			if err := exporter.WriteTraces(f, ""); err != nil {
 				log.Printf("trace dump: %v", err)
 				return
 			}
@@ -141,21 +183,23 @@ func remoteSvc(peers *Peers) *configsvc.Service {
 	return svc
 }
 
-// buildReplica assembles one replica on an established connection.
+// buildReplica assembles one replica on an established connection. The
+// conn is wrapped for trace propagation; tr may be nil.
 func buildReplica(o options, conn transport.Conn, idx int, members []transport.NodeID,
-	svc *configsvc.Service, store *kvstore.Store, reg *metrics.Registry) *neobft.Replica {
+	svc *configsvc.Service, store *kvstore.Store, reg *metrics.Registry, tr *tracing.Tracer) *neobft.Replica {
+	wc := tracing.WrapConn(conn, tr)
 	return neobft.New(neobft.Config{
 		Self: idx, N: len(members), F: (len(members) - 1) / 3,
 		Members:      members,
 		Group:        groupID,
-		Conn:         conn,
+		Conn:         wc,
 		Auth:         auth.NewHMACAuth(replicaMaster, idx, len(members)),
 		ClientAuth:   auth.NewReplicaSide(clientMaster, idx),
 		App:          store,
 		Variant:      wire.AuthHMAC,
 		SyncInterval: o.checkpointInterval,
 		Svc:          svc,
-		Runtime:      runtime.New(runtime.Config{Conn: conn, Workers: o.verifyWorkers, Metrics: reg}),
+		Runtime:      runtime.New(runtime.Config{Conn: wc, Workers: o.verifyWorkers, Metrics: reg, Tracer: tr}),
 		Metrics:      reg,
 	})
 }
@@ -226,7 +270,9 @@ func runAll(o options, exporter *metrics.Exporter) {
 	// Sequencer switch.
 	svc := configsvc.New(wire.AuthHMAC, aomMaster)
 	seqConn := join(seqID)
-	sw := sequencer.New(seqConn, sequencer.Options{Variant: wire.AuthHMAC, Metrics: seqReg})
+	seqTr := o.tracer("sequencer", seqReg, exporter)
+	sw := sequencer.New(tracing.WrapConn(seqConn, seqTr),
+		sequencer.Options{Variant: wire.AuthHMAC, Metrics: seqReg, Tracer: seqTr})
 	svc.RegisterSwitch(configsvc.SwitchHandle{ID: seqID, SW: sw})
 	if _, err := svc.CreateGroup(groupID, memberIDs); err != nil {
 		log.Fatal(err)
@@ -236,13 +282,15 @@ func runAll(o options, exporter *metrics.Exporter) {
 	stores := make([]*kvstore.Store, nReplicas)
 	for i := 0; i < nReplicas; i++ {
 		stores[i] = kvstore.NewStore()
-		r := buildReplica(o, join(memberIDs[i]), i, memberIDs, svc, stores[i], replicaRegs[i])
+		rtr := o.tracer(fmt.Sprintf("replica-%d", i), replicaRegs[i], exporter)
+		r := buildReplica(o, join(memberIDs[i]), i, memberIDs, svc, stores[i], replicaRegs[i], rtr)
 		defer r.Close()
 	}
 
 	// Client.
+	clTr := o.tracer("client", nil, exporter)
 	cl, err := neobft.NewClient(neobft.ClientOptions{
-		Conn:     join(clientID),
+		Conn:     tracing.WrapConn(join(clientID), clTr),
 		Master:   clientMaster,
 		N:        nReplicas,
 		F:        (nReplicas - 1) / 3,
@@ -253,6 +301,7 @@ func runAll(o options, exporter *metrics.Exporter) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer o.dumpSpans()
 	seqAddr := "?"
 	if uc, ok := seqConn.(*udpnet.Conn); ok {
 		seqAddr = uc.LocalAddr().String()
@@ -261,11 +310,12 @@ func runAll(o options, exporter *metrics.Exporter) {
 
 	defer serveMetrics(o, exporter)()
 
+	tcl := tracing.WrapInvoker(cl, clTr)
 	if o.benchDur > 0 {
-		runBench(cl, stores[0], o.benchDur)
+		runBench(tcl, stores[0], o.benchDur)
 		return
 	}
-	repl(cl)
+	repl(tcl)
 }
 
 func runSequencer(o options, exporter *metrics.Exporter, peers *Peers, book *udpnet.AddressBook) {
@@ -278,11 +328,14 @@ func runSequencer(o options, exporter *metrics.Exporter, peers *Peers, book *udp
 	}
 	defer conn.Close()
 	svc := configsvc.New(wire.AuthHMAC, aomMaster)
-	sw := sequencer.New(conn, sequencer.Options{Variant: wire.AuthHMAC, Metrics: reg})
+	tr := o.tracer("sequencer", reg, exporter)
+	sw := sequencer.New(tracing.WrapConn(conn, tr),
+		sequencer.Options{Variant: wire.AuthHMAC, Metrics: reg, Tracer: tr})
 	svc.RegisterSwitch(configsvc.SwitchHandle{ID: peers.Seq, SW: sw})
 	if _, err := svc.CreateGroup(groupID, peers.Members); err != nil {
 		log.Fatal(err)
 	}
+	defer o.dumpSpans()
 	defer serveMetrics(o, exporter)()
 	log.Printf("sequencer %d up on %s (group %d, %d members)",
 		peers.Seq, conn.LocalAddr(), groupID, len(peers.Members))
@@ -302,8 +355,10 @@ func runReplica(o options, exporter *metrics.Exporter, peers *Peers, book *udpne
 		log.Fatal(err)
 	}
 	defer conn.Close()
-	r := buildReplica(o, conn, idx, peers.Members, remoteSvc(peers), kvstore.NewStore(), reg)
+	tr := o.tracer(fmt.Sprintf("replica-%d", idx), reg, exporter)
+	r := buildReplica(o, conn, idx, peers.Members, remoteSvc(peers), kvstore.NewStore(), reg, tr)
 	defer r.Close()
+	defer o.dumpSpans()
 	defer serveMetrics(o, exporter)()
 	log.Printf("replica %d (index %d of %d, f=%d) up on %s",
 		id, idx, len(peers.Members), peers.F(), conn.LocalAddr())
@@ -323,8 +378,9 @@ func runClient(o options, exporter *metrics.Exporter, peers *Peers, book *udpnet
 		log.Fatal(err)
 	}
 	defer conn.Close()
+	tr := o.tracer("client", reg, exporter)
 	cl, err := neobft.NewClient(neobft.ClientOptions{
-		Conn:     conn,
+		Conn:     tracing.WrapConn(conn, tr),
 		Master:   clientMaster,
 		N:        len(peers.Members),
 		F:        peers.F(),
@@ -335,16 +391,18 @@ func runClient(o options, exporter *metrics.Exporter, peers *Peers, book *udpnet
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer o.dumpSpans()
 	defer serveMetrics(o, exporter)()
 	log.Printf("client %d up on %s against %d replicas", id, conn.LocalAddr(), len(peers.Members))
+	tcl := tracing.WrapInvoker(cl, tr)
 	if o.benchDur > 0 {
-		runBench(cl, nil, o.benchDur)
+		runBench(tcl, nil, o.benchDur)
 		return
 	}
-	repl(cl)
+	repl(tcl)
 }
 
-func runBench(cl *neobft.Client, store *kvstore.Store, d time.Duration) {
+func runBench(cl tracing.Invoker, store *kvstore.Store, d time.Duration) {
 	wl := ycsb.WorkloadA()
 	wl.RecordCount = 10_000
 	log.Printf("running YCSB-A for %v...", d)
@@ -370,7 +428,7 @@ func runBench(cl *neobft.Client, store *kvstore.Store, d time.Duration) {
 		ops, d, float64(ops)/d.Seconds(), latSum/time.Duration(max(ops, 1)), extra)
 }
 
-func repl(cl *neobft.Client) {
+func repl(cl tracing.Invoker) {
 	fmt.Println("commands: get <k> | put <k> <v> | del <k> | scan <from> <to> | quit")
 	sc := bufio.NewScanner(os.Stdin)
 	for {

@@ -1,0 +1,86 @@
+// Command neotrace merges causal span dumps from one or more processes
+// (neokv -span-dump files, /spans endpoint captures, neobench
+// -span-dump output) into per-request commit-path timelines with the
+// five-phase latency attribution: order, transit, verify, apply, reply.
+//
+// Dumps need no clock synchronization: per-node offsets are recovered
+// from the traces' own causal edges (a span cannot start before the
+// parent span that caused it); residual skew is absorbed by the transit
+// phase. Malformed or truncated dump lines — a crashed process's
+// partial flush — are counted and skipped, not fatal.
+//
+// Usage:
+//
+//	neotrace node1.jsonl node2.jsonl client.jsonl
+//	neotrace -o report.txt -csv phases.csv spans/*.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"neobft/internal/tracing"
+)
+
+func main() {
+	csvPath := flag.String("csv", "", "also write the aggregate phase columns (metrics-csv v3) to this file")
+	outPath := flag.String("o", "", "write the text report to this file instead of stdout")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: neotrace [flags] dump.jsonl...\n\nMerges span dumps into per-request commit-path timelines.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var spans []tracing.Span
+	skipped := 0
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		ss, skip, err := tracing.ReadDump(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		spans = append(spans, ss...)
+		skipped += skip
+	}
+
+	rep := tracing.BuildTimelines(spans)
+	rep.Skipped += skipped
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	tracing.WriteReport(out, rep)
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		tracing.WriteCSV(f, rep)
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "neotrace: %v\n", err)
+	os.Exit(1)
+}

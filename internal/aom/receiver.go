@@ -9,6 +9,7 @@ import (
 	"neobft/internal/crypto/secp256k1"
 	"neobft/internal/crypto/siphash"
 	"neobft/internal/metrics"
+	"neobft/internal/tracing"
 	"neobft/internal/transport"
 	"neobft/internal/wire"
 )
@@ -77,6 +78,10 @@ type ReceiverConfig struct {
 	// Metrics, when non-nil, receives the receiver's aom_* counters and
 	// flight-recorder events (shared with the owning replica's registry).
 	Metrics *metrics.Registry
+	// Tracer, when non-nil, records a zero-duration delivery-marker span
+	// (with the aom sequence number) for each ordered delivery that
+	// happens while a sampled trace context is active on the tracer.
+	Tracer *tracing.Tracer
 }
 
 // confirmMagic tags confirm packets on the wire.
@@ -749,6 +754,10 @@ func (r *Receiver) collectDeliveriesLocked() []Delivery {
 			delete(r.ready, r.nextSeq)
 			r.cleanupSeqLocked(r.nextSeq)
 			out = append(out, Delivery{Epoch: r.epoch, Seq: r.nextSeq, Payload: p.payload, Cert: cert})
+			if trace, parent := r.cfg.Tracer.Active(); trace != 0 {
+				r.cfg.Tracer.Span(r.cfg.Tracer.SpanID(), trace, parent,
+					tracing.PhaseDeliver, time.Now(), 0, r.nextSeq, 0)
+			}
 			r.delivered++
 			r.mDelivered.Inc()
 			r.nextSeq++

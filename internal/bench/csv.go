@@ -162,7 +162,7 @@ var metricsSystems = []Protocol{Unreplicated, NeoHM, PBFT, Zyzzyva, HotStuff, Mi
 // bumped whenever flattening suffixes or name prefixes change, so
 // downstream plotting scripts can detect incompatible files from the
 // leading comment line.
-const metricsCSVVersion = "neobft-metrics-csv v2 (transport column; histogram columns: _count/_p50/_p99/_p999/_mean, latencies in ns)"
+const metricsCSVVersion = "neobft-metrics-csv v3 (transport column; histogram columns: _count/_p50/_p99/_p999/_mean; phase_*_ns tracing histogram columns when traced; latencies in ns)"
 
 // CSVMetrics runs a short load against one representative of each
 // protocol family and writes the system-wide metric snapshots as

@@ -9,6 +9,7 @@ import (
 	"neobft/internal/replication"
 	"neobft/internal/sequencer"
 	"neobft/internal/simnet"
+	"neobft/internal/tracing"
 	"neobft/internal/ycsb"
 )
 
@@ -22,12 +23,28 @@ type ExpConfig struct {
 	// ("" / "simnet", or "udp" for real loopback sockets). Simnet-only
 	// knobs (latency model, injected drops) are inert on other fabrics.
 	Transport string
+	// TraceRate arms causal tracing on every experiment system (see
+	// Options.TraceRate); 0 leaves tracing off.
+	TraceRate float64
+	// SpanSink, when non-nil and tracing is armed, receives each
+	// experiment system's drained spans at Close — cmd/neobench points it
+	// at the -span-dump file, which cmd/neotrace then merges.
+	SpanSink func([]tracing.Span)
 }
 
 // build constructs a system with the experiment-wide transport applied.
 func (c ExpConfig) build(o Options) *System {
 	o.Transport = c.Transport
-	return Build(o)
+	o.TraceRate = c.TraceRate
+	sys := Build(o)
+	if c.SpanSink != nil && c.TraceRate > 0 {
+		inner := sys.Close
+		sys.Close = func() {
+			c.SpanSink(sys.DrainSpans())
+			inner()
+		}
+	}
+	return sys
 }
 
 func (c ExpConfig) window() time.Duration {

@@ -8,6 +8,7 @@ import (
 	"neobft/internal/chaos"
 	"neobft/internal/metrics"
 	"neobft/internal/runtime"
+	"neobft/internal/tracing"
 	"neobft/internal/transport"
 )
 
@@ -17,10 +18,16 @@ import (
 // in; everything else (network membership, conn swapping, runtime
 // replacement, busy-time accounting across incarnations) is shared.
 type lifecycle struct {
-	mu       sync.Mutex
-	fab      transport.Fabric
-	mem      []transport.NodeID
+	mu  sync.Mutex
+	fab transport.Fabric
+	mem []transport.NodeID
+	// conns are the swappable counting conns; rconns the conns replicas
+	// and runtimes actually use (the counting conn, wrapped for tracing
+	// when the system is traced — the wrapper survives restarts because
+	// the counting conn underneath it is what swaps).
 	conns    []*countingConn
+	rconns   []transport.Conn
+	trs      []*tracing.Tracer
 	rts      []*runtime.Runtime
 	regs     []*metrics.Registry
 	workers  int
@@ -50,11 +57,12 @@ type lifecycle struct {
 // accessors that must stay correct across replica replacement. Build
 // functions call it last, after the base accessors are set.
 func installLifecycle(sys *System, fab transport.Fabric, o Options,
-	mem []transport.NodeID, conns []*countingConn, rts []*runtime.Runtime,
+	mem []transport.NodeID, conns []*countingConn, rconns []transport.Conn,
+	trs []*tracing.Tracer, rts []*runtime.Runtime,
 	regs []*metrics.Registry) *lifecycle {
 	n := len(mem)
 	lc := &lifecycle{
-		fab: fab, mem: mem, conns: conns, rts: rts, regs: regs,
+		fab: fab, mem: mem, conns: conns, rconns: rconns, trs: trs, rts: rts, regs: regs,
 		workers:  o.VerifyWorkers,
 		alive:    make([]bool, n),
 		blobs:    make([][]byte, n),
@@ -111,9 +119,10 @@ func (lc *lifecycle) Restart(i int, cold bool) error {
 		return fmt.Errorf("bench: rejoin replica %d: %w", i, err)
 	}
 	lc.conns[i].swap(conn)
-	// Same registry across incarnations: counters keep accumulating and
-	// the runtime's Func gauges are re-pointed at the new instance.
-	lc.rts[i] = newRuntime(lc.conns[i], lc.workers, lc.regs[i])
+	// Same registry and tracer across incarnations: counters keep
+	// accumulating and the runtime's Func gauges are re-pointed at the
+	// new instance.
+	lc.rts[i] = newRuntime(lc.rconns[i], lc.workers, lc.regs[i], lc.trs[i])
 	restore := lc.blobs[i]
 	if cold {
 		restore = nil
@@ -186,5 +195,6 @@ func (sys *System) fleet() chaos.Fleet {
 		SkewClock:      sys.SkewClock,
 		CrashSequencer: sys.CrashSequencer,
 		Executed:       sys.ExecutedAt,
+		Tracer:         sys.chaosTr,
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"neobft/internal/chaos"
 	"neobft/internal/metrics"
+	"neobft/internal/tracing"
 	"neobft/internal/transport"
 )
 
@@ -50,6 +51,13 @@ type RunResult struct {
 	// Chaos holds the fault-injection report and safety-check result
 	// when the system was built with Options.Chaos.
 	Chaos *ChaosOutcome
+	// Spans holds every node's recorded causal spans when the system was
+	// built with Options.TraceRate > 0 (nil otherwise). Like Metrics they
+	// are cumulative since system start: the span buffers are append-once
+	// and this is a snapshot, so a second Run on the same system also
+	// returns the first run's spans. Feed them to tracing.BuildTimelines
+	// for the commit-path phase attribution.
+	Spans []tracing.Span
 }
 
 // ChaosOutcome bundles what a chaos run did and whether it was safe.
@@ -215,6 +223,7 @@ func Run(sys *System, load Load) RunResult {
 		}
 		out.Metrics = metrics.Flatten(metrics.Merge(snaps...))
 	}
+	out.Spans = sys.DrainSpans()
 	for _, r := range results {
 		out.Latencies = append(out.Latencies, r.lats...)
 		out.Errors += r.errs

@@ -44,7 +44,7 @@ func TestMetricsCSVSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.HasPrefix(first, "# neobft-metrics-csv v2") {
+	if !strings.HasPrefix(first, "# neobft-metrics-csv v3") {
 		t.Fatalf("missing version comment, got %q", first)
 	}
 

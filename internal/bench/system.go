@@ -18,6 +18,7 @@ import (
 	"neobft/internal/runtime"
 	"neobft/internal/sequencer"
 	"neobft/internal/simnet"
+	"neobft/internal/tracing"
 	"neobft/internal/transport"
 	"neobft/internal/transport/udpnet"
 	"neobft/internal/unreplicated"
@@ -96,6 +97,14 @@ type Options struct {
 	// chaos.RecordingApp, and safety-checks the execution histories
 	// afterwards (RunResult.Chaos).
 	Chaos *chaos.Schedule
+	// TraceRate arms cross-node causal tracing: every node gets a
+	// tracer, every conn is wrapped to attach/peel trace envelopes, and
+	// clients root a sampled trace for roughly this fraction of
+	// operations (1 = every op). 0 leaves tracing off entirely — no
+	// wrappers are composed and the message path is the untraced one.
+	TraceRate float64
+	// TraceBuf caps each node tracer's span buffer (0 = tracing default).
+	TraceBuf int
 }
 
 // System is a running system under test.
@@ -158,6 +167,57 @@ type System struct {
 	// RecApps the per-replica recording wrappers feeding the checker.
 	Chaos   *chaos.Schedule
 	RecApps []*chaos.RecordingApp
+
+	// Tracers holds every node tracer created for this system — replicas
+	// and sequencer switches at build time, clients as NewClient runs —
+	// when Options.TraceRate > 0; empty otherwise. DrainSpans merges
+	// their span buffers into the dump cmd/neotrace consumes.
+	Tracers []*tracing.Tracer
+	traceMu sync.Mutex
+	// clientReg is the registry all client tracers share (phase_e2e_ns /
+	// phase_reply_ns are observed client-side); appended to Metrics after
+	// the replica and switch registries so index-based node→registry
+	// mappings stay stable.
+	clientReg *metrics.Registry
+	// chaosTr records injected faults as always-sampled spans.
+	chaosTr *tracing.Tracer
+}
+
+// newTracer creates one node tracer when tracing is enabled, recording
+// it on the system for DrainSpans. With tracing off it returns nil, and
+// every wrap helper below passes the inner value through untouched.
+func (sys *System) newTracer(o Options, node string, reg *metrics.Registry) *tracing.Tracer {
+	if o.TraceRate <= 0 {
+		return nil
+	}
+	tr := tracing.New(tracing.Config{Node: node, Rate: o.TraceRate, BufCap: o.TraceBuf, Metrics: reg})
+	sys.traceMu.Lock()
+	sys.Tracers = append(sys.Tracers, tr)
+	sys.traceMu.Unlock()
+	return tr
+}
+
+// DrainSpans snapshots every tracer's recorded spans, across all nodes
+// and clients — the in-process equivalent of concatenating per-process
+// span dumps. Feed the result to tracing.BuildTimelines.
+func (sys *System) DrainSpans() []tracing.Span {
+	sys.traceMu.Lock()
+	trs := append([]*tracing.Tracer(nil), sys.Tracers...)
+	sys.traceMu.Unlock()
+	var out []tracing.Span
+	for _, tr := range trs {
+		out = append(out, tr.Drain()...)
+	}
+	return out
+}
+
+// traceInvoker decorates a protocol client with the trace-root wrapper
+// (sampling decision + request span) when tracing is on.
+func traceInvoker(in Invoker, tr *tracing.Tracer) Invoker {
+	if tr == nil {
+		return in
+	}
+	return tracing.WrapInvoker(in, tr)
 }
 
 const (
@@ -211,6 +271,9 @@ func Build(o Options) *System {
 		f = 1
 	}
 	sys := &System{Name: string(o.Protocol)}
+	if o.TraceRate > 0 {
+		sys.clientReg = metrics.NewRegistry()
+	}
 	var fab transport.Fabric
 	switch {
 	case o.Fabric != nil:
@@ -299,6 +362,13 @@ func Build(o Options) *System {
 		buildUnreplicated(sys, o, fab)
 	default:
 		panic(fmt.Sprintf("bench: unknown protocol %q", o.Protocol))
+	}
+	if o.TraceRate > 0 {
+		// Appended after the replica and switch registries: the udp
+		// fabric's MetricsFor maps node ID i+1 to Metrics[i], so the
+		// client registry must not shift those indices.
+		sys.Metrics = append(sys.Metrics, sys.clientReg)
+		sys.chaosTr = sys.newTracer(o, "chaos", nil)
 	}
 	return sys
 }
@@ -390,11 +460,12 @@ func pktCounter(conns []*countingConn) func() []uint64 {
 	}
 }
 
-// newRuntime builds one replica runtime over a counted conn, honoring
-// the benchmark's worker override and registering the runtime stages
-// into the replica's shared metrics registry.
-func newRuntime(conn *countingConn, workers int, reg *metrics.Registry) *runtime.Runtime {
-	return runtime.New(runtime.Config{Conn: conn, Workers: workers, Metrics: reg})
+// newRuntime builds one replica runtime over a counted (and, when
+// tracing, envelope-wrapped) conn, honoring the benchmark's worker
+// override and registering the runtime stages into the replica's shared
+// metrics registry.
+func newRuntime(conn transport.Conn, workers int, reg *metrics.Registry, tr *tracing.Tracer) *runtime.Runtime {
+	return runtime.New(runtime.Config{Conn: conn, Workers: workers, Metrics: reg, Tracer: tr})
 }
 
 // newRegistries creates one shared metrics registry per replica and
@@ -456,11 +527,13 @@ func buildNeo(sys *System, o Options, fab transport.Fabric, f int) {
 	for i := 0; i < 2; i++ {
 		id := switchBase + transport.NodeID(i)
 		swReg := metrics.NewRegistry()
-		sw := sequencer.New(join(fab, id), sequencer.Options{
+		swTr := sys.newTracer(o, fmt.Sprintf("sequencer-%d", i), swReg)
+		sw := sequencer.New(tracing.WrapConn(join(fab, id), swTr), sequencer.Options{
 			Variant:  variant,
 			PKSeed:   []byte{byte(i + 1)},
 			SignRate: o.SignRate,
 			Metrics:  swReg,
+			Tracer:   swTr,
 		})
 		swRegs = append(swRegs, swReg)
 		h := configsvc.SwitchHandle{ID: id, SW: sw}
@@ -472,6 +545,8 @@ func buildNeo(sys *System, o Options, fab transport.Fabric, f int) {
 		panic(err)
 	}
 	conns := make([]*countingConn, o.N)
+	rconns := make([]transport.Conn, o.N)
+	trs := make([]*tracing.Tracer, o.N)
 	rts := make([]*runtime.Runtime, o.N)
 	auths := make([]*auth.HMACAuth, o.N)
 	csides := make([]*auth.ReplicaSide, o.N)
@@ -480,14 +555,16 @@ func buildNeo(sys *System, o Options, fab transport.Fabric, f int) {
 	sys.Metrics = append(sys.Metrics, swRegs...)
 	for i := 0; i < o.N; i++ {
 		conns[i] = joinCounting(fab, mem[i])
-		rts[i] = newRuntime(conns[i], o.VerifyWorkers, regs[i])
+		trs[i] = sys.newTracer(o, fmt.Sprintf("replica-%d", i), regs[i])
+		rconns[i] = tracing.WrapConn(conns[i], trs[i])
+		rts[i] = newRuntime(rconns[i], o.VerifyWorkers, regs[i], trs[i])
 		auths[i] = auth.NewHMACAuth([]byte(replicaMaster), i, o.N)
 		csides[i] = auth.NewReplicaSide([]byte(clientMaster), i)
 		replicas[i] = neobft.New(neobft.Config{
 			Self: i, N: o.N, F: f,
 			Members:           mem,
 			Group:             1,
-			Conn:              conns[i],
+			Conn:              rconns[i],
 			Auth:              auths[i],
 			ClientAuth:        csides[i],
 			App:               o.AppFactory(i),
@@ -508,8 +585,9 @@ func buildNeo(sys *System, o Options, fab transport.Fabric, f int) {
 	sys.AuthOps = authCounter(auths, csides)
 	sys.Committed = func() uint64 { return replicas[0].Committed() }
 	sys.NewClient = func(id int) Invoker {
+		ctr := sys.newTracer(o, fmt.Sprintf("client-%d", id), sys.clientReg)
 		cl, err := neobft.NewClient(neobft.ClientOptions{
-			Conn:     join(fab, clientBase+transport.NodeID(id)),
+			Conn:     tracing.WrapConn(join(fab, clientBase+transport.NodeID(id)), ctr),
 			Master:   []byte(clientMaster),
 			N:        o.N,
 			F:        f,
@@ -521,7 +599,7 @@ func buildNeo(sys *System, o Options, fab transport.Fabric, f int) {
 		if err != nil {
 			panic(err)
 		}
-		return cl
+		return traceInvoker(cl, ctr)
 	}
 	sys.Close = func() {
 		for _, r := range replicas {
@@ -542,7 +620,7 @@ func buildNeo(sys *System, o Options, fab transport.Fabric, f int) {
 		}
 		return false
 	}
-	lc := installLifecycle(sys, fab, o, mem, conns, rts, regs)
+	lc := installLifecycle(sys, fab, o, mem, conns, rconns, trs, rts, regs)
 	lc.persist = func(i int) []byte { return replicas[i].Persist() }
 	lc.stop = func(i int) { replicas[i].Close() }
 	lc.executed = func(i int) uint64 { return replicas[i].Committed() }
@@ -554,7 +632,7 @@ func buildNeo(sys *System, o Options, fab transport.Fabric, f int) {
 			Self: i, N: o.N, F: f,
 			Members:           mem,
 			Group:             1,
-			Conn:              conns[i],
+			Conn:              rconns[i],
 			Auth:              auths[i],
 			ClientAuth:        csides[i],
 			App:               o.AppFactory(i),
@@ -575,6 +653,8 @@ func buildNeo(sys *System, o Options, fab transport.Fabric, f int) {
 func buildPBFT(sys *System, o Options, fab transport.Fabric, f int) {
 	mem := members(o.N)
 	conns := make([]*countingConn, o.N)
+	rconns := make([]transport.Conn, o.N)
+	trs := make([]*tracing.Tracer, o.N)
 	rts := make([]*runtime.Runtime, o.N)
 	auths := make([]*auth.HMACAuth, o.N)
 	csides := make([]*auth.ReplicaSide, o.N)
@@ -582,13 +662,15 @@ func buildPBFT(sys *System, o Options, fab transport.Fabric, f int) {
 	regs := newRegistries(sys, o.N)
 	for i := 0; i < o.N; i++ {
 		conns[i] = joinCounting(fab, mem[i])
-		rts[i] = newRuntime(conns[i], o.VerifyWorkers, regs[i])
+		trs[i] = sys.newTracer(o, fmt.Sprintf("replica-%d", i), regs[i])
+		rconns[i] = tracing.WrapConn(conns[i], trs[i])
+		rts[i] = newRuntime(rconns[i], o.VerifyWorkers, regs[i], trs[i])
 		auths[i] = auth.NewHMACAuth([]byte(replicaMaster), i, o.N)
 		csides[i] = auth.NewReplicaSide([]byte(clientMaster), i)
 		replicas[i] = pbft.New(pbft.Config{
 			Self: i, N: o.N, F: f,
 			Members:            mem,
-			Conn:               conns[i],
+			Conn:               rconns[i],
 			Auth:               auths[i],
 			ClientAuth:         csides[i],
 			App:                o.AppFactory(i),
@@ -605,8 +687,10 @@ func buildPBFT(sys *System, o Options, fab transport.Fabric, f int) {
 	sys.AuthOps = authCounter(auths, csides)
 	sys.Committed = func() uint64 { return replicas[0].Executed() }
 	sys.NewClient = func(id int) Invoker {
-		return pbft.NewClient(join(fab, clientBase+transport.NodeID(id)),
-			[]byte(clientMaster), o.N, f, mem, o.ClientTimeout)
+		ctr := sys.newTracer(o, fmt.Sprintf("client-%d", id), sys.clientReg)
+		return traceInvoker(pbft.NewClient(
+			tracing.WrapConn(join(fab, clientBase+transport.NodeID(id)), ctr),
+			[]byte(clientMaster), o.N, f, mem, o.ClientTimeout), ctr)
 	}
 	sys.Close = func() {
 		for _, r := range replicas {
@@ -614,7 +698,7 @@ func buildPBFT(sys *System, o Options, fab transport.Fabric, f int) {
 		}
 		fab.Close()
 	}
-	lc := installLifecycle(sys, fab, o, mem, conns, rts, regs)
+	lc := installLifecycle(sys, fab, o, mem, conns, rconns, trs, rts, regs)
 	lc.persist = func(i int) []byte { return replicas[i].Persist() }
 	lc.stop = func(i int) { replicas[i].Close() }
 	lc.executed = func(i int) uint64 { return replicas[i].Executed() }
@@ -622,7 +706,7 @@ func buildPBFT(sys *System, o Options, fab transport.Fabric, f int) {
 		replicas[i] = pbft.New(pbft.Config{
 			Self: i, N: o.N, F: f,
 			Members:            mem,
-			Conn:               conns[i],
+			Conn:               rconns[i],
 			Auth:               auths[i],
 			ClientAuth:         csides[i],
 			App:                o.AppFactory(i),
@@ -639,6 +723,8 @@ func buildPBFT(sys *System, o Options, fab transport.Fabric, f int) {
 func buildZyzzyva(sys *System, o Options, fab transport.Fabric, f int) {
 	mem := members(o.N)
 	conns := make([]*countingConn, o.N)
+	rconns := make([]transport.Conn, o.N)
+	trs := make([]*tracing.Tracer, o.N)
 	rts := make([]*runtime.Runtime, o.N)
 	auths := make([]*auth.HMACAuth, o.N)
 	csides := make([]*auth.ReplicaSide, o.N)
@@ -646,13 +732,15 @@ func buildZyzzyva(sys *System, o Options, fab transport.Fabric, f int) {
 	regs := newRegistries(sys, o.N)
 	for i := 0; i < o.N; i++ {
 		conns[i] = joinCounting(fab, mem[i])
-		rts[i] = newRuntime(conns[i], o.VerifyWorkers, regs[i])
+		trs[i] = sys.newTracer(o, fmt.Sprintf("replica-%d", i), regs[i])
+		rconns[i] = tracing.WrapConn(conns[i], trs[i])
+		rts[i] = newRuntime(rconns[i], o.VerifyWorkers, regs[i], trs[i])
 		auths[i] = auth.NewHMACAuth([]byte(replicaMaster), i, o.N)
 		csides[i] = auth.NewReplicaSide([]byte(clientMaster), i)
 		replicas[i] = zyzzyva.New(zyzzyva.Config{
 			Self: i, N: o.N, F: f,
 			Members:            mem,
-			Conn:               conns[i],
+			Conn:               rconns[i],
 			Auth:               auths[i],
 			ClientAuth:         csides[i],
 			App:                o.AppFactory(i),
@@ -674,8 +762,10 @@ func buildZyzzyva(sys *System, o Options, fab transport.Fabric, f int) {
 	sys.AuthOps = authCounter(auths, csides)
 	sys.Committed = func() uint64 { return replicas[0].Executed() }
 	sys.NewClient = func(id int) Invoker {
-		return zyzzyva.NewClient(join(fab, clientBase+transport.NodeID(id)),
-			[]byte(clientMaster), o.N, f, mem, specTimeout, o.ClientTimeout)
+		ctr := sys.newTracer(o, fmt.Sprintf("client-%d", id), sys.clientReg)
+		return traceInvoker(zyzzyva.NewClient(
+			tracing.WrapConn(join(fab, clientBase+transport.NodeID(id)), ctr),
+			[]byte(clientMaster), o.N, f, mem, specTimeout, o.ClientTimeout), ctr)
 	}
 	sys.Close = func() {
 		for _, r := range replicas {
@@ -683,7 +773,7 @@ func buildZyzzyva(sys *System, o Options, fab transport.Fabric, f int) {
 		}
 		fab.Close()
 	}
-	lc := installLifecycle(sys, fab, o, mem, conns, rts, regs)
+	lc := installLifecycle(sys, fab, o, mem, conns, rconns, trs, rts, regs)
 	lc.persist = func(i int) []byte { return replicas[i].Persist() }
 	lc.stop = func(i int) { replicas[i].Close() }
 	lc.executed = func(i int) uint64 { return replicas[i].Executed() }
@@ -691,7 +781,7 @@ func buildZyzzyva(sys *System, o Options, fab transport.Fabric, f int) {
 		replicas[i] = zyzzyva.New(zyzzyva.Config{
 			Self: i, N: o.N, F: f,
 			Members:            mem,
-			Conn:               conns[i],
+			Conn:               rconns[i],
 			Auth:               auths[i],
 			ClientAuth:         csides[i],
 			App:                o.AppFactory(i),
@@ -709,6 +799,8 @@ func buildZyzzyva(sys *System, o Options, fab transport.Fabric, f int) {
 func buildHotStuff(sys *System, o Options, fab transport.Fabric, f int) {
 	mem := members(o.N)
 	conns := make([]*countingConn, o.N)
+	rconns := make([]transport.Conn, o.N)
+	trs := make([]*tracing.Tracer, o.N)
 	rts := make([]*runtime.Runtime, o.N)
 	auths := make([]*auth.HMACAuth, o.N)
 	csides := make([]*auth.ReplicaSide, o.N)
@@ -716,13 +808,15 @@ func buildHotStuff(sys *System, o Options, fab transport.Fabric, f int) {
 	regs := newRegistries(sys, o.N)
 	for i := 0; i < o.N; i++ {
 		conns[i] = joinCounting(fab, mem[i])
-		rts[i] = newRuntime(conns[i], o.VerifyWorkers, regs[i])
+		trs[i] = sys.newTracer(o, fmt.Sprintf("replica-%d", i), regs[i])
+		rconns[i] = tracing.WrapConn(conns[i], trs[i])
+		rts[i] = newRuntime(rconns[i], o.VerifyWorkers, regs[i], trs[i])
 		auths[i] = auth.NewHMACAuth([]byte(replicaMaster), i, o.N)
 		csides[i] = auth.NewReplicaSide([]byte(clientMaster), i)
 		replicas[i] = hotstuff.New(hotstuff.Config{
 			Self: i, N: o.N, F: f,
 			Members:            mem,
-			Conn:               conns[i],
+			Conn:               rconns[i],
 			Auth:               auths[i],
 			ClientAuth:         csides[i],
 			App:                o.AppFactory(i),
@@ -739,8 +833,10 @@ func buildHotStuff(sys *System, o Options, fab transport.Fabric, f int) {
 	sys.AuthOps = authCounter(auths, csides)
 	sys.Committed = func() uint64 { return replicas[0].Executed() }
 	sys.NewClient = func(id int) Invoker {
-		return hotstuff.NewClient(join(fab, clientBase+transport.NodeID(id)),
-			[]byte(clientMaster), o.N, f, mem, o.ClientTimeout)
+		ctr := sys.newTracer(o, fmt.Sprintf("client-%d", id), sys.clientReg)
+		return traceInvoker(hotstuff.NewClient(
+			tracing.WrapConn(join(fab, clientBase+transport.NodeID(id)), ctr),
+			[]byte(clientMaster), o.N, f, mem, o.ClientTimeout), ctr)
 	}
 	sys.Close = func() {
 		for _, r := range replicas {
@@ -748,7 +844,7 @@ func buildHotStuff(sys *System, o Options, fab transport.Fabric, f int) {
 		}
 		fab.Close()
 	}
-	lc := installLifecycle(sys, fab, o, mem, conns, rts, regs)
+	lc := installLifecycle(sys, fab, o, mem, conns, rconns, trs, rts, regs)
 	lc.persist = func(i int) []byte { return replicas[i].Persist() }
 	lc.stop = func(i int) { replicas[i].Close() }
 	lc.executed = func(i int) uint64 { return replicas[i].Executed() }
@@ -756,7 +852,7 @@ func buildHotStuff(sys *System, o Options, fab transport.Fabric, f int) {
 		replicas[i] = hotstuff.New(hotstuff.Config{
 			Self: i, N: o.N, F: f,
 			Members:            mem,
-			Conn:               conns[i],
+			Conn:               rconns[i],
 			Auth:               auths[i],
 			ClientAuth:         csides[i],
 			App:                o.AppFactory(i),
@@ -774,6 +870,8 @@ func buildMinBFT(sys *System, o Options, fab transport.Fabric, f int) {
 	n := 2*f + 1 // trusted components reduce the replication factor
 	mem := members(n)
 	conns := make([]*countingConn, n)
+	rconns := make([]transport.Conn, n)
+	trs := make([]*tracing.Tracer, n)
 	rts := make([]*runtime.Runtime, n)
 	auths := make([]*auth.HMACAuth, n)
 	csides := make([]*auth.ReplicaSide, n)
@@ -782,14 +880,16 @@ func buildMinBFT(sys *System, o Options, fab transport.Fabric, f int) {
 	regs := newRegistries(sys, n)
 	for i := 0; i < n; i++ {
 		conns[i] = joinCounting(fab, mem[i])
-		rts[i] = newRuntime(conns[i], o.VerifyWorkers, regs[i])
+		trs[i] = sys.newTracer(o, fmt.Sprintf("replica-%d", i), regs[i])
+		rconns[i] = tracing.WrapConn(conns[i], trs[i])
+		rts[i] = newRuntime(rconns[i], o.VerifyWorkers, regs[i], trs[i])
 		auths[i] = auth.NewHMACAuth([]byte(replicaMaster), i, n)
 		csides[i] = auth.NewReplicaSide([]byte(clientMaster), i)
 		usigs[i] = usig.New(uint32(i), []byte("sgx-master")).WithEnclaveDelay(o.USIGDelay)
 		replicas[i] = minbft.New(minbft.Config{
 			Self: i, N: n, F: f,
 			Members:            mem,
-			Conn:               conns[i],
+			Conn:               rconns[i],
 			Auth:               auths[i],
 			ClientAuth:         csides[i],
 			App:                o.AppFactory(i),
@@ -815,8 +915,10 @@ func buildMinBFT(sys *System, o Options, fab transport.Fabric, f int) {
 	}
 	sys.Committed = func() uint64 { return replicas[0].Executed() }
 	sys.NewClient = func(id int) Invoker {
-		return minbft.NewClient(join(fab, clientBase+transport.NodeID(id)),
-			[]byte(clientMaster), n, f, mem, o.ClientTimeout)
+		ctr := sys.newTracer(o, fmt.Sprintf("client-%d", id), sys.clientReg)
+		return traceInvoker(minbft.NewClient(
+			tracing.WrapConn(join(fab, clientBase+transport.NodeID(id)), ctr),
+			[]byte(clientMaster), n, f, mem, o.ClientTimeout), ctr)
 	}
 	sys.Close = func() {
 		for _, r := range replicas {
@@ -824,7 +926,7 @@ func buildMinBFT(sys *System, o Options, fab transport.Fabric, f int) {
 		}
 		fab.Close()
 	}
-	lc := installLifecycle(sys, fab, o, mem, conns, rts, regs)
+	lc := installLifecycle(sys, fab, o, mem, conns, rconns, trs, rts, regs)
 	lc.persist = func(i int) []byte { return replicas[i].Persist() }
 	lc.stop = func(i int) { replicas[i].Close() }
 	lc.executed = func(i int) uint64 { return replicas[i].Executed() }
@@ -835,7 +937,7 @@ func buildMinBFT(sys *System, o Options, fab transport.Fabric, f int) {
 		replicas[i] = minbft.New(minbft.Config{
 			Self: i, N: n, F: f,
 			Members:            mem,
-			Conn:               conns[i],
+			Conn:               rconns[i],
 			Auth:               auths[i],
 			ClientAuth:         csides[i],
 			App:                o.AppFactory(i),
@@ -854,10 +956,12 @@ func buildUnreplicated(sys *System, o Options, fab transport.Fabric) {
 	mem := members(1)
 	conns := []*countingConn{joinCounting(fab, mem[0])}
 	regs := newRegistries(sys, 1)
-	rts := []*runtime.Runtime{newRuntime(conns[0], o.VerifyWorkers, regs[0])}
+	trs := []*tracing.Tracer{sys.newTracer(o, "replica-0", regs[0])}
+	rconns := []transport.Conn{tracing.WrapConn(conns[0], trs[0])}
+	rts := []*runtime.Runtime{newRuntime(rconns[0], o.VerifyWorkers, regs[0], trs[0])}
 	cside := auth.NewReplicaSide([]byte(clientMaster), 0)
 	servers := []*unreplicated.Server{unreplicated.New(unreplicated.Config{
-		Conn: conns[0], App: o.AppFactory(0), ClientAuth: cside, Runtime: rts[0],
+		Conn: rconns[0], App: o.AppFactory(0), ClientAuth: cside, Runtime: rts[0],
 		CheckpointInterval: o.CheckpointInterval,
 		Metrics:            regs[0],
 	})}
@@ -868,20 +972,22 @@ func buildUnreplicated(sys *System, o Options, fab transport.Fabric) {
 	sys.AuthOps = authCounter(nil, []*auth.ReplicaSide{cside})
 	sys.Committed = servers[0].Ops
 	sys.NewClient = func(id int) Invoker {
-		return unreplicated.NewClient(join(fab, clientBase+transport.NodeID(id)),
-			1, []byte(clientMaster), o.ClientTimeout)
+		ctr := sys.newTracer(o, fmt.Sprintf("client-%d", id), sys.clientReg)
+		return traceInvoker(unreplicated.NewClient(
+			tracing.WrapConn(join(fab, clientBase+transport.NodeID(id)), ctr),
+			1, []byte(clientMaster), o.ClientTimeout), ctr)
 	}
 	sys.Close = func() {
 		servers[0].Close()
 		fab.Close()
 	}
-	lc := installLifecycle(sys, fab, o, mem, conns, rts, regs)
+	lc := installLifecycle(sys, fab, o, mem, conns, rconns, trs, rts, regs)
 	lc.persist = func(i int) []byte { return servers[i].Persist() }
 	lc.stop = func(i int) { servers[i].Close() }
 	lc.executed = func(i int) uint64 { return servers[i].Ops() }
 	lc.boot = func(i int, restore []byte) {
 		servers[i] = unreplicated.New(unreplicated.Config{
-			Conn: conns[i], App: o.AppFactory(i), ClientAuth: cside, Runtime: lc.rts[i],
+			Conn: rconns[i], App: o.AppFactory(i), ClientAuth: cside, Runtime: lc.rts[i],
 			CheckpointInterval: o.CheckpointInterval,
 			Metrics:            regs[i],
 			Restore:            restore,

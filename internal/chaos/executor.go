@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"neobft/internal/tracing"
 	"neobft/internal/transport"
 )
 
@@ -42,6 +43,10 @@ type Fleet struct {
 	// Executed returns how many operations replica i has executed, used
 	// to measure catch-up after a restart.
 	Executed func(i int) uint64
+	// Tracer, when non-nil, records every applied fault as an
+	// always-sampled span (tracing.PhaseFault), so injected faults land
+	// on merged neotrace timelines next to the requests they disturbed.
+	Tracer *tracing.Tracer
 }
 
 // Recovery is the measured catch-up of one restarted replica.
@@ -167,7 +172,9 @@ func Start(fleet Fleet, sched *Schedule) *Executor {
 }
 
 func (x *Executor) applied(format string, args ...any) {
-	line := fmt.Sprintf("%8.3fs %s", time.Since(x.start).Seconds(), fmt.Sprintf(format, args...))
+	msg := fmt.Sprintf(format, args...)
+	x.fleet.Tracer.Always(tracing.PhaseFault, time.Now(), 0, 0, 0, msg)
+	line := fmt.Sprintf("%8.3fs %s", time.Since(x.start).Seconds(), msg)
 	x.mu.Lock()
 	x.report.Applied = append(x.report.Applied, line)
 	x.mu.Unlock()

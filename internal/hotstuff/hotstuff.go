@@ -19,6 +19,7 @@ import (
 	"neobft/internal/replication"
 	"neobft/internal/runtime"
 	"neobft/internal/seqlog"
+	"neobft/internal/tracing"
 	"neobft/internal/transport"
 	"neobft/internal/wire"
 )
@@ -101,6 +102,10 @@ type Replica struct {
 	lastExec  uint64                         // height executed through
 	committed map[[32]byte]bool
 	pending   []*replication.Request
+	// pendingTr mirrors pending with each request's trace ref (closed
+	// into an ordering span at proposal time), including through the
+	// committed-elsewhere compaction filter.
+	pendingTr []tracing.Ref
 	inQueue   map[string]bool
 	table     *replication.ClientTable
 	// log holds committed blocks in the live watermark window; interval
@@ -461,6 +466,7 @@ func (r *Replica) onRequest(req *replication.Request) {
 	if !r.inQueue[key] {
 		r.inQueue[key] = true
 		r.pending = append(r.pending, req)
+		r.pendingTr = append(r.pendingTr, r.rt.Tracer().ActiveRef())
 	}
 	r.tryProposeLocked()
 }
@@ -475,12 +481,15 @@ func (r *Replica) tryProposeLocked() {
 	}
 	// Filter requests that other leaders already committed.
 	live := r.pending[:0]
-	for _, req := range r.pending {
+	liveTr := r.pendingTr[:0]
+	for i, req := range r.pending {
 		if fresh, _ := r.table.Check(req.Client, req.ReqID); fresh && r.inQueue[reqKey(req.Client, req.ReqID)] {
 			live = append(live, req)
+			liveTr = append(liveTr, r.pendingTr[i])
 		}
 	}
 	r.pending = live
+	r.pendingTr = liveTr
 	needFlush := r.uncommittedAboveLocked(r.highQC.block)
 	if len(r.pending) == 0 && !needFlush {
 		return
@@ -491,6 +500,10 @@ func (r *Replica) tryProposeLocked() {
 	}
 	batch := append([]*replication.Request(nil), r.pending[:n]...)
 	r.pending = r.pending[n:]
+	for _, ref := range r.pendingTr[:n] {
+		r.rt.Tracer().EndOrder(ref, view)
+	}
+	r.pendingTr = r.pendingTr[n:]
 
 	parent := r.blocks[r.highQC.block]
 	if parent == nil {

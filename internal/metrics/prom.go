@@ -97,6 +97,15 @@ func formatFloat(v float64) string {
 type Exporter struct {
 	mu     sync.Mutex
 	groups []Group
+	spans  []spanGroup
+}
+
+// spanGroup is one registered span source: a label set plus a dump
+// function (typically a tracing.Tracer's WriteJSONLines). The exporter
+// stays decoupled from the tracing package, which imports this one.
+type spanGroup struct {
+	labels string
+	dump   func(io.Writer) error
 }
 
 // Add registers a registry under the given label set.
@@ -122,12 +131,46 @@ func (e *Exporter) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
 	WriteText(w, e.Groups()...)
 }
 
-// WriteTraces dumps every group's flight recorder as JSON lines, each
-// line tagged with its group's labels.
-func (e *Exporter) WriteTraces(w io.Writer) error {
+// WriteTraces dumps each group's flight recorder as JSON lines, each
+// line tagged with its group's labels. A non-empty group filter selects
+// only groups whose label string contains it as a substring (so
+// `?group=replica` matches every replica and `?group=replica="2"` one);
+// an empty filter dumps everything.
+func (e *Exporter) WriteTraces(w io.Writer, group string) error {
 	for _, g := range e.Groups() {
+		if group != "" && !strings.Contains(g.Labels, group) {
+			continue
+		}
 		src := strings.ReplaceAll(g.Labels, `"`, "")
 		if err := g.Registry.Recorder().WriteJSONLines(w, src); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddSpans registers a causal-span dump source (a tracing tracer's
+// WriteJSONLines) under the given label set, exposed at /spans.
+func (e *Exporter) AddSpans(labels string, dump func(io.Writer) error) {
+	if dump == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.spans = append(e.spans, spanGroup{labels: labels, dump: dump})
+}
+
+// WriteSpans dumps registered span sources as JSON lines, with the same
+// group-substring filtering as WriteTraces.
+func (e *Exporter) WriteSpans(w io.Writer, group string) error {
+	e.mu.Lock()
+	srcs := append([]spanGroup(nil), e.spans...)
+	e.mu.Unlock()
+	for _, s := range srcs {
+		if group != "" && !strings.Contains(s.labels, group) {
+			continue
+		}
+		if err := s.dump(w); err != nil {
 			return err
 		}
 	}
@@ -137,7 +180,10 @@ func (e *Exporter) WriteTraces(w io.Writer) error {
 // Serve starts an HTTP server on addr exposing:
 //
 //	/metrics       Prometheus text exposition of every registered group
-//	/trace         flight-recorder dump as JSON lines
+//	/trace         flight-recorder dump as JSON lines (?group= filters
+//	               by label substring)
+//	/spans         causal-span dump as JSON lines (?group= likewise);
+//	               the format cmd/neotrace merges
 //	/debug/pprof/  the standard net/http/pprof profiling endpoints
 //
 // It returns the running server (Close to stop) and the bound address
@@ -149,9 +195,13 @@ func Serve(addr string, e *Exporter) (*http.Server, net.Addr, error) {
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", e)
-	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
-		e.WriteTraces(w)
+		e.WriteTraces(w, r.URL.Query().Get("group"))
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		e.WriteSpans(w, r.URL.Query().Get("group"))
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

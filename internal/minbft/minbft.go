@@ -21,6 +21,7 @@ import (
 	"neobft/internal/replication"
 	"neobft/internal/runtime"
 	"neobft/internal/seqlog"
+	"neobft/internal/tracing"
 	"neobft/internal/transport"
 	"neobft/internal/usig"
 	"neobft/internal/wire"
@@ -93,8 +94,11 @@ type Replica struct {
 	lastExec uint64            // last executed primary counter
 	lastSeen map[uint32]uint64
 	pending  []*replication.Request
-	inQueue  map[string]bool
-	table    *replication.ClientTable
+	// pendingTr mirrors pending with each request's trace ref, closed
+	// into an ordering span when the USIG counter is assigned.
+	pendingTr []tracing.Ref
+	inQueue   map[string]bool
+	table     *replication.ClientTable
 
 	// ckpt collects f+1 matching checkpoint votes into stable
 	// certificates; stability truncates the log window.
@@ -473,6 +477,7 @@ func (r *Replica) onRequest(req *replication.Request) {
 	if !r.inQueue[key] {
 		r.inQueue[key] = true
 		r.pending = append(r.pending, req)
+		r.pendingTr = append(r.pendingTr, r.rt.Tracer().ActiveRef())
 	}
 	r.tryIssueLocked()
 }
@@ -495,6 +500,10 @@ func (r *Replica) tryIssueLocked() {
 		r.pending = r.pending[n:]
 		bd := batchDigest(batch)
 		ui := r.cfg.USIG.CreateUI(prepareDigest(r.view, bd))
+		for _, ref := range r.pendingTr[:n] {
+			r.rt.Tracer().EndOrder(ref, ui.Counter)
+		}
+		r.pendingTr = r.pendingTr[n:]
 
 		s := r.slotFor(ui.Counter)
 		if s == nil {

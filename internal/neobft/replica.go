@@ -12,6 +12,7 @@ import (
 	"neobft/internal/replication"
 	"neobft/internal/runtime"
 	"neobft/internal/seqlog"
+	"neobft/internal/tracing"
 	"neobft/internal/transport"
 	"neobft/internal/wire"
 )
@@ -291,6 +292,10 @@ func New(cfg Config) *Replica {
 	if err != nil {
 		panic("neobft: group not configured: " + err.Error())
 	}
+	var tr *tracing.Tracer
+	if cfg.Runtime != nil {
+		tr = cfg.Runtime.Tracer()
+	}
 	r.recv = aom.NewReceiver(aom.ReceiverConfig{
 		Group:             cfg.Group,
 		Variant:           cfg.Variant,
@@ -304,6 +309,7 @@ func New(cfg Config) *Replica {
 		ConfirmBatch:      cfg.ConfirmBatch,
 		ConfirmFlushEvery: cfg.ConfirmFlushEvery,
 		Metrics:           reg,
+		Tracer:            tr,
 	}, ep)
 	r.installVerifier(1, ep)
 	if cfg.Runtime == nil {

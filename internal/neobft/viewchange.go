@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"neobft/internal/replication"
+	"neobft/internal/tracing"
 	"neobft/internal/wire"
 )
 
@@ -483,6 +484,10 @@ func (r *Replica) adoptMergedLocked(base uint64, merged []WireEntry, msgs []*vie
 // Caller holds r.mu.
 func (r *Replica) finishViewChangeLocked() {
 	r.status = StatusNormal
+	var vcStart time.Time
+	if r.vc != nil {
+		vcStart = r.vc.started
+	}
 	r.vc = nil
 	r.gaps = map[uint64]*gapSlot{}
 	r.blockedOn = 0
@@ -496,6 +501,12 @@ func (r *Replica) finishViewChangeLocked() {
 	r.viewChanges++
 	r.mViewChg.Inc()
 	r.trace.Record(tkViewChange, uint64(r.view.Epoch), uint64(r.view.Leader))
+	if !vcStart.IsZero() {
+		// View changes are rare-path: recorded on the causal timeline
+		// regardless of sampling.
+		r.rt.Tracer().Always(tracing.PhaseViewChange, vcStart, time.Since(vcStart),
+			uint64(r.view.Epoch), uint64(r.view.Leader), "neobft view change")
+	}
 	// Re-process deliveries buffered across the view change and re-raise
 	// any aom sequence numbers that were consumed before the view change
 	// but whose slots did not survive the log merge: they become gaps the

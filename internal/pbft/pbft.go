@@ -16,6 +16,7 @@ import (
 	"neobft/internal/replication"
 	"neobft/internal/runtime"
 	"neobft/internal/seqlog"
+	"neobft/internal/tracing"
 	"neobft/internal/transport"
 	"neobft/internal/wire"
 )
@@ -117,8 +118,11 @@ type Replica struct {
 	log      seqlog.Log[*slot]
 	lastExec uint64
 	pending  []*replication.Request
-	inQueue  map[string]bool // dedupe queued requests by (client, reqID)
-	table    *replication.ClientTable
+	// pendingTr mirrors pending: the trace ref (capture time + context)
+	// of each queued request, closed into an ordering span at batch cut.
+	pendingTr []tracing.Ref
+	inQueue   map[string]bool // dedupe queued requests by (client, reqID)
+	table     *replication.ClientTable
 
 	// ckpt collects checkpoint votes into stable certificates; pendingCkpt
 	// holds snapshots captured at interval boundaries awaiting stability,
@@ -647,6 +651,7 @@ func (r *Replica) onRequest(req *replication.Request, forwarded bool) {
 		if !r.inQueue[key] {
 			r.inQueue[key] = true
 			r.pending = append(r.pending, req)
+			r.pendingTr = append(r.pendingTr, r.rt.Tracer().ActiveRef())
 		}
 		r.tryIssueLocked()
 		return
@@ -681,6 +686,10 @@ func (r *Replica) tryIssueLocked() {
 		r.pending = r.pending[n:]
 		r.seq++
 		seq := r.seq
+		for _, ref := range r.pendingTr[:n] {
+			r.rt.Tracer().EndOrder(ref, seq)
+		}
+		r.pendingTr = r.pendingTr[n:]
 		s.view = r.view
 		s.batch = batch
 		s.digest = batchDigest(batch)

@@ -5,6 +5,7 @@ import (
 
 	"neobft/internal/replication"
 	"neobft/internal/seqlog"
+	"neobft/internal/tracing"
 	"neobft/internal/wire"
 )
 
@@ -379,6 +380,7 @@ func (r *Replica) enterNewViewLocked(view uint64, msgs []*vcMsg) {
 	r.viewChanges++
 	r.mViewChg.Inc()
 	r.trace.Record(tkPBFTViewChange, view, 0)
+	r.rt.Tracer().Always(tracing.PhaseViewChange, time.Now(), 0, view, 0, "pbft view change")
 	r.pendingClientReqs = map[string]time.Time{}
 	for t := range r.vcMsgs {
 		if t <= view {

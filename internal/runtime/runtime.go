@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"neobft/internal/metrics"
+	"neobft/internal/tracing"
 	"neobft/internal/transport"
 )
 
@@ -69,6 +70,13 @@ type Config struct {
 	// retirement lag). Replicas share one registry per node across the
 	// runtime, the protocol and libAOM. If nil, New creates a private one.
 	Metrics *metrics.Registry
+	// Tracer, when non-nil, records causal spans for sampled packets:
+	// verify/queue/apply spans per traced packet, and an active trace
+	// context around ApplyEvent so protocol sends inherit it (the Conn
+	// must then be wrapped with tracing.WrapConn, which peels inbound
+	// envelopes into the tracer before onPacket runs). Untraced packets
+	// pay one atomic load. Nil disables tracing entirely.
+	Tracer *tracing.Tracer
 }
 
 type task struct {
@@ -83,6 +91,13 @@ type task struct {
 	done chan struct{}
 	// call, when set, is a loop-injected function instead of a packet.
 	call func()
+	// tctx is the trace context peeled from the packet's wire envelope
+	// (zero when unsampled); vid is the verify span's ID (the apply
+	// span's parent) and kind the packet's leading byte, recorded as a
+	// span attribute. Only populated for sampled packets.
+	tctx tracing.Ctx
+	vid  uint64
+	kind byte
 }
 
 // closedChan is a pre-closed channel shared by tasks that need no wait.
@@ -167,6 +182,12 @@ func (rt *Runtime) Metrics() *metrics.Registry {
 	return rt.metrics
 }
 
+// Tracer returns the tracer from Config.Tracer (nil when tracing is
+// disabled; the tracing package's methods are all nil-safe).
+func (rt *Runtime) Tracer() *tracing.Tracer {
+	return rt.cfg.Tracer
+}
+
 // Workers reports the resolved verification pool size (0 means inline).
 func (rt *Runtime) Workers() int {
 	if rt.cfg.Workers < 0 {
@@ -205,16 +226,31 @@ func (rt *Runtime) Close() {
 // onPacket is the transport handler: it enqueues the packet in arrival
 // order and hands it to the verification pool (or verifies inline).
 func (rt *Runtime) onPacket(from transport.NodeID, pkt []byte) {
+	// TakeInbound consumes the envelope context WrapConn peeled for this
+	// delivery (zero for untraced packets and when tracing is off; the
+	// call is nil-safe and lock-free).
+	tctx := rt.cfg.Tracer.TakeInbound()
 	if rt.cfg.Workers < 0 {
 		start := time.Now()
+		if tctx.Trace != 0 {
+			rt.cfg.Tracer.ObserveTransit(time.Duration(start.UnixNano() - tctx.TS))
+		}
 		ev := rt.handler.VerifyPacket(from, pkt)
 		d := time.Since(start)
 		rt.verifyNS.Add(d.Nanoseconds())
 		rt.verifyHist.ObserveDuration(d)
+		t := &task{from: from, ev: ev, enq: start.UnixNano(), done: closedChan}
+		if tctx.Trace != 0 {
+			t.tctx = tctx
+			if len(pkt) > 0 {
+				t.kind = pkt[0]
+			}
+			t.vid = rt.cfg.Tracer.SpanID()
+			rt.cfg.Tracer.Span(t.vid, tctx.Trace, tctx.Parent, tracing.PhaseVerify, start, d, 0, uint64(t.kind))
+		}
 		if ev == nil {
 			return
 		}
-		t := &task{from: from, ev: ev, enq: start.UnixNano(), done: closedChan}
 		select {
 		case rt.ordered <- t:
 		case <-rt.stop:
@@ -222,6 +258,13 @@ func (rt *Runtime) onPacket(from transport.NodeID, pkt []byte) {
 		return
 	}
 	t := &task{from: from, pkt: pkt, enq: time.Now().UnixNano(), done: make(chan struct{})}
+	if tctx.Trace != 0 {
+		t.tctx = tctx
+		if len(pkt) > 0 {
+			t.kind = pkt[0]
+		}
+		rt.cfg.Tracer.ObserveTransit(time.Duration(t.enq - tctx.TS))
+	}
 	select {
 	case rt.ordered <- t:
 	case <-rt.stop:
@@ -265,6 +308,10 @@ func (rt *Runtime) worker() {
 			d := time.Since(start)
 			rt.verifyNS.Add(d.Nanoseconds())
 			rt.verifyHist.ObserveDuration(d)
+			if t.tctx.Trace != 0 {
+				t.vid = rt.cfg.Tracer.SpanID()
+				rt.cfg.Tracer.Span(t.vid, t.tctx.Trace, t.tctx.Parent, tracing.PhaseVerify, start, d, 0, uint64(t.kind))
+			}
 			close(t.done)
 		}
 	}
@@ -292,11 +339,27 @@ func (rt *Runtime) loop() {
 			if t.enq != 0 {
 				if lag := start.UnixNano() - t.enq; lag > 0 {
 					rt.retireHist.Observe(uint64(lag))
+					if t.tctx.Trace != 0 {
+						// Queue span: the packet's wait from arrival to
+						// retirement, parented under its verify span.
+						rt.cfg.Tracer.Span(rt.cfg.Tracer.SpanID(), t.tctx.Trace, t.vid,
+							tracing.PhaseQueue, time.Unix(0, t.enq), time.Duration(lag), 0, uint64(t.kind))
+					}
 				}
 			}
 			switch {
 			case t.call != nil:
 				t.call()
+			case t.ev != nil && t.tctx.Trace != 0:
+				// Sends issued by ApplyEvent inherit the traced packet's
+				// context via the wrapped conn; the apply span is the
+				// parent the next hop's verify span will point back to.
+				aid := rt.cfg.Tracer.SpanID()
+				rt.cfg.Tracer.SetActive(t.tctx.Trace, aid)
+				rt.handler.ApplyEvent(t.from, t.ev)
+				rt.cfg.Tracer.ClearActive()
+				rt.cfg.Tracer.Span(aid, t.tctx.Trace, t.vid, tracing.PhaseApply, start, time.Since(start), 0, uint64(t.kind))
+				rt.events.Inc()
 			case t.ev != nil:
 				rt.handler.ApplyEvent(t.from, t.ev)
 				rt.events.Inc()

@@ -24,6 +24,7 @@ import (
 	"neobft/internal/crypto/secp256k1"
 	"neobft/internal/crypto/siphash"
 	"neobft/internal/metrics"
+	"neobft/internal/tracing"
 	"neobft/internal/transport"
 	"neobft/internal/wire"
 )
@@ -86,6 +87,12 @@ type Options struct {
 	// Metrics, when non-nil, receives the switch's seq_* counters
 	// (stamped/signed packets, injected drops) and trace events.
 	Metrics *metrics.Registry
+	// Tracer, when non-nil, records an ordering span per sampled packet
+	// (request arrival → stamp, with the assigned sequence number) and
+	// propagates the trace context onto the stamped multicast. The
+	// switch's conn must then be wrapped with tracing.WrapConn. Untraced
+	// packets pay one atomic load.
+	Tracer *tracing.Tracer
 }
 
 // Switch is a software aom sequencer. It attaches to the network as an
@@ -238,6 +245,23 @@ func (s *Switch) SignedCount() uint64 {
 
 // handle processes one packet arriving at the switch data plane.
 func (s *Switch) handle(from transport.NodeID, pktBytes []byte) {
+	// Trace propagation: a sampled request's envelope was peeled by the
+	// wrapped conn; the ordering span covers arrival → stamp/emit, and
+	// SetActive re-attaches the context to the stamped multicast.
+	tctx := s.opts.Tracer.TakeInbound()
+	var stampedSeq uint64
+	if tctx.Trace != 0 {
+		start := time.Now()
+		s.opts.Tracer.ObserveTransit(time.Duration(start.UnixNano() - tctx.TS))
+		oid := s.opts.Tracer.SpanID()
+		s.opts.Tracer.SetActive(tctx.Trace, oid)
+		defer func() {
+			s.opts.Tracer.ClearActive()
+			s.opts.Tracer.Span(oid, tctx.Trace, tctx.Parent, tracing.PhaseOrder,
+				start, time.Since(start), stampedSeq, 0)
+		}()
+	}
+
 	hdr, payload, err := wire.DecodeAOM(pktBytes)
 	if err != nil || hdr.Kind != wire.AuthNone {
 		return // not an aom request; switches forward-and-forget
@@ -258,6 +282,7 @@ func (s *Switch) handle(from transport.NodeID, pktBytes []byte) {
 	// stamp (§4.2).
 	g.counter++
 	seq := g.counter
+	stampedSeq = seq
 	s.stamped++
 	s.mStamped.Inc()
 	stamp := wire.AOMHeader{

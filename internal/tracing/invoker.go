@@ -1,0 +1,51 @@
+package tracing
+
+import "time"
+
+// Invoker is the closed-loop client call shape every protocol client in
+// this repository exposes.
+type Invoker interface {
+	Invoke(op []byte, timeout time.Duration) ([]byte, error)
+}
+
+// tracedInvoker decorates an Invoker with the trace-root bookkeeping:
+// the head-based sampling decision, the request span covering the whole
+// invocation, and the reply-phase estimate from the last reply's
+// envelope timestamp.
+type tracedInvoker struct {
+	in Invoker
+	tr *Tracer
+}
+
+// WrapInvoker returns in decorated so each Invoke makes the sampling
+// decision (tr.Begin) and, when sampled, records the root request span
+// and propagates the context onto the request via the tracer's active
+// context (the client's conn must be wrapped with WrapConn). A nil
+// tracer returns in unchanged.
+func WrapInvoker(in Invoker, tr *Tracer) Invoker {
+	if tr == nil {
+		return in
+	}
+	return &tracedInvoker{in: in, tr: tr}
+}
+
+func (t *tracedInvoker) Invoke(op []byte, timeout time.Duration) ([]byte, error) {
+	ctx := t.tr.Begin()
+	if !ctx.Sampled() {
+		return t.in.Invoke(op, timeout)
+	}
+	id := t.tr.SpanID()
+	start := time.Now()
+	t.tr.SetActive(ctx.Trace, id)
+	res, err := t.in.Invoke(op, timeout)
+	t.tr.ClearActive()
+	d := time.Since(start)
+	t.tr.Span(id, ctx.Trace, 0, PhaseRequest, start, d, 0, 0)
+	// The winning reply's envelope timestamp approximates when the
+	// reply left the replica: invocation end minus that is the reply
+	// phase (transit back + quorum wait + client-side verify).
+	if ts := t.tr.LastInbound(ctx.Trace); ts != 0 {
+		t.tr.ObserveReply(time.Duration(start.UnixNano() + int64(d) - ts))
+	}
+	return res, err
+}

@@ -1,0 +1,430 @@
+package tracing
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file is the analysis half of the tracing subsystem: cmd/neotrace
+// is a thin shell around ReadDump + BuildTimelines + WriteReport. Span
+// dumps come from several processes whose clocks need not agree;
+// BuildTimelines re-aligns them using the traces' own causal edges (a
+// span cannot start before the parent span that caused it), then
+// decomposes each request's end-to-end latency into the five
+// commit-path phases: order, transit, verify, apply, reply.
+
+// Attribution phase indices of Timeline.Phases.
+const (
+	AttrOrder = iota
+	AttrTransit
+	AttrVerify
+	AttrApply
+	AttrReply
+	NumAttr
+)
+
+// AttrNames are the report/CSV names of the attribution phases.
+var AttrNames = [NumAttr]string{"order", "transit", "verify", "apply", "reply"}
+
+// Timeline is one sampled request reconstructed across nodes.
+type Timeline struct {
+	Trace  uint64
+	Client string
+	// Start/End are the client invocation window after clock alignment
+	// (UnixNano in the client's frame); E2E = End - Start.
+	Start, End int64
+	E2E        int64
+	// Phases holds the five-phase decomposition (AttrOrder..AttrReply,
+	// nanoseconds). The phases sum to E2E by construction.
+	Phases [NumAttr]int64
+	// Spans are the trace's spans, clock-aligned, sorted by start.
+	Spans []Span
+}
+
+// Report is the merged view of one or more span dumps.
+type Report struct {
+	Timelines []Timeline
+	// Events are the always-sampled rare-path spans (faults, view
+	// changes), clock-aligned and sorted.
+	Events []Span
+	// Offsets are the per-node clock corrections applied (ns added to
+	// each node's timestamps).
+	Offsets map[string]int64
+	// Skipped counts dump lines that failed to parse (truncated dump
+	// from a crashed process). Incomplete counts traces dropped for
+	// missing their client root span.
+	Skipped    int
+	Incomplete int
+}
+
+// ReadDump parses a JSON-lines span dump, tolerating malformed and
+// truncated lines (counted, not fatal): a crashed replica's dump should
+// still contribute every span it managed to flush.
+func ReadDump(r io.Reader) (spans []Span, skipped int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var s Span
+		if json.Unmarshal(line, &s) != nil || s.ID == 0 || s.Node == "" {
+			skipped++
+			continue
+		}
+		spans = append(spans, s)
+	}
+	if err := sc.Err(); err != nil {
+		// A read error mid-file still yields the prefix parsed so far.
+		return spans, skipped + 1, nil
+	}
+	return spans, skipped, nil
+}
+
+// alignClocks computes per-node clock offsets from causal parent→child
+// edges: child.Start+off[child] must be >= parent.Start+off[parent].
+// Offsets are raised to the smallest values satisfying every edge (a
+// few fixpoint passes; the edge graph follows message flow, so this
+// converges fast). Nodes whose clocks are ahead of causality keep
+// offset 0 — residual skew is absorbed by the transit phase, which is
+// the honest place for unknowable one-way delays.
+func alignClocks(spans []Span) map[string]int64 {
+	byID := make(map[uint64]*Span, len(spans))
+	for i := range spans {
+		byID[spans[i].ID] = &spans[i]
+	}
+	off := map[string]int64{}
+	for i := range spans {
+		off[spans[i].Node] = 0
+	}
+	for pass := 0; pass < 4; pass++ {
+		changed := false
+		for i := range spans {
+			c := &spans[i]
+			p := byID[c.Parent]
+			if c.Parent == 0 || p == nil || p.Node == c.Node {
+				continue
+			}
+			need := (p.Start + off[p.Node]) - (c.Start + off[c.Node])
+			if need > 0 {
+				off[c.Node] += need
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return off
+}
+
+// ival is a half-open [s, e) interval; coverage returns the total
+// length of the union of ivals clipped to [lo, hi), plus the clipped
+// intervals themselves (for subsequent subtraction).
+func coverage(ivals []ival, lo, hi int64) (int64, []ival) {
+	clipped := ivals[:0]
+	for _, v := range ivals {
+		if v.s < lo {
+			v.s = lo
+		}
+		if v.e > hi {
+			v.e = hi
+		}
+		if v.e > v.s {
+			clipped = append(clipped, v)
+		}
+	}
+	sort.Slice(clipped, func(i, j int) bool { return clipped[i].s < clipped[j].s })
+	var tot int64
+	var curS, curE int64
+	have := false
+	for _, v := range clipped {
+		if !have {
+			curS, curE, have = v.s, v.e, true
+			continue
+		}
+		if v.s <= curE {
+			if v.e > curE {
+				curE = v.e
+			}
+			continue
+		}
+		tot += curE - curS
+		curS, curE = v.s, v.e
+	}
+	if have {
+		tot += curE - curS
+	}
+	return tot, clipped
+}
+
+type ival struct{ s, e int64 }
+
+// BuildTimelines merges spans (typically the concatenation of several
+// ReadDump results) into per-request timelines with the five-phase
+// latency attribution.
+func BuildTimelines(spans []Span) *Report {
+	rep := &Report{Offsets: alignClocks(spans)}
+	byTrace := map[uint64][]Span{}
+	for _, s := range spans {
+		s.Start += rep.Offsets[s.Node]
+		if s.Trace == 0 {
+			rep.Events = append(rep.Events, s)
+			continue
+		}
+		byTrace[s.Trace] = append(byTrace[s.Trace], s)
+	}
+	sort.Slice(rep.Events, func(i, j int) bool { return rep.Events[i].Start < rep.Events[j].Start })
+
+	traces := make([]uint64, 0, len(byTrace))
+	for t := range byTrace {
+		traces = append(traces, t)
+	}
+	sort.Slice(traces, func(i, j int) bool {
+		return minStart(byTrace[traces[i]]) < minStart(byTrace[traces[j]])
+	})
+
+	for _, tr := range traces {
+		ss := byTrace[tr]
+		sort.Slice(ss, func(i, j int) bool { return ss[i].Start < ss[j].Start })
+		tl, ok := buildOne(tr, ss)
+		if !ok {
+			rep.Incomplete++
+			continue
+		}
+		rep.Timelines = append(rep.Timelines, tl)
+	}
+	return rep
+}
+
+func minStart(ss []Span) int64 {
+	m := ss[0].Start
+	for _, s := range ss[1:] {
+		if s.Start < m {
+			m = s.Start
+		}
+	}
+	return m
+}
+
+// buildOne decomposes one trace. The invariant is exact accounting:
+// the client window [Start, End) is partitioned into order, verify and
+// apply coverage (precedence in that order where spans overlap), the
+// reply tail (last apply completion → client completion), and transit
+// (everything left: wire time, queueing, and any unattributed work),
+// so the five phases always sum to E2E.
+func buildOne(trace uint64, ss []Span) (Timeline, bool) {
+	tl := Timeline{Trace: trace, Spans: ss}
+	var root *Span
+	var order, verify, apply []ival
+	var lastApplyEnd int64
+	for i := range ss {
+		s := &ss[i]
+		ph, _ := PhaseFromString(s.Phase)
+		switch ph {
+		case PhaseRequest:
+			if root == nil || s.Start < root.Start {
+				root = s
+			}
+		case PhaseOrder:
+			order = append(order, ival{s.Start, s.Start + s.Dur})
+		case PhaseVerify:
+			verify = append(verify, ival{s.Start, s.Start + s.Dur})
+		case PhaseApply:
+			apply = append(apply, ival{s.Start, s.Start + s.Dur})
+			if end := s.Start + s.Dur; end > lastApplyEnd {
+				lastApplyEnd = end
+			}
+		}
+	}
+	if root == nil {
+		return tl, false
+	}
+	tl.Client = root.Node
+	tl.Start = root.Start
+	tl.End = root.Start + root.Dur
+	tl.E2E = root.Dur
+
+	// Reply tail: from the last apply completing to the client's
+	// invocation returning. Without apply spans (all replica dumps
+	// missing) everything inside the window is transit.
+	win := tl.End
+	if lastApplyEnd > tl.Start && lastApplyEnd < tl.End {
+		win = lastApplyEnd
+		tl.Phases[AttrReply] = tl.End - lastApplyEnd
+	}
+
+	// Precedence order > verify > apply: a verify span is trimmed by
+	// ordering time, an apply span by both, so overlap is never double
+	// counted and transit is the exact remainder.
+	var covO, covV, covA int64
+	covO, order = coverage(order, tl.Start, win)
+	_, verify = coverage(verify, tl.Start, win)
+	covV = subtractCoverage(verify, order, tl.Start, win)
+	_, apply = coverage(apply, tl.Start, win)
+	covA = subtractCoverage(apply, append(append([]ival{}, order...), verify...), tl.Start, win)
+	tl.Phases[AttrOrder] = covO
+	tl.Phases[AttrVerify] = covV
+	tl.Phases[AttrApply] = covA
+	tl.Phases[AttrTransit] = (win - tl.Start) - covO - covV - covA
+	return tl, true
+}
+
+// subtractCoverage returns |union(a) \ union(b)| within [lo, hi).
+func subtractCoverage(a, b []ival, lo, hi int64) int64 {
+	if len(a) == 0 {
+		return 0
+	}
+	// Sweep the boundary points of both unions.
+	pts := make([]int64, 0, 2*(len(a)+len(b)))
+	for _, v := range a {
+		pts = append(pts, v.s, v.e)
+	}
+	for _, v := range b {
+		pts = append(pts, v.s, v.e)
+	}
+	pts = append(pts, lo, hi)
+	sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
+	inside := func(ivals []ival, p int64) bool {
+		for _, v := range ivals {
+			if p >= v.s && p < v.e {
+				return true
+			}
+		}
+		return false
+	}
+	var tot int64
+	for i := 0; i+1 < len(pts); i++ {
+		s, e := pts[i], pts[i+1]
+		if s < lo || e > hi || e <= s {
+			continue
+		}
+		if inside(a, s) && !inside(b, s) {
+			tot += e - s
+		}
+	}
+	return tot
+}
+
+// WriteReport writes the human-readable merged report: per-node clock
+// offsets, aggregate phase statistics, per-request timelines, and the
+// rare-path event log.
+func WriteReport(w io.Writer, rep *Report) {
+	fmt.Fprintf(w, "neotrace: %d request timeline(s), %d rare-path event(s)\n",
+		len(rep.Timelines), len(rep.Events))
+	if rep.Skipped > 0 || rep.Incomplete > 0 {
+		fmt.Fprintf(w, "  (%d unparseable dump line(s) skipped, %d incomplete trace(s) dropped)\n",
+			rep.Skipped, rep.Incomplete)
+	}
+	var nodes []string
+	for n := range rep.Offsets {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		if rep.Offsets[n] != 0 {
+			fmt.Fprintf(w, "  clock offset %-14s %+d ns\n", n, rep.Offsets[n])
+		}
+	}
+	if len(rep.Timelines) > 0 {
+		fmt.Fprintf(w, "\ncommit-path phase breakdown (%d sampled request(s)):\n", len(rep.Timelines))
+		fmt.Fprintf(w, "  %-8s %12s %12s %12s\n", "phase", "mean", "p50", "p99")
+		for ph := 0; ph < NumAttr; ph++ {
+			vals := make([]int64, len(rep.Timelines))
+			for i := range rep.Timelines {
+				vals[i] = rep.Timelines[i].Phases[ph]
+			}
+			fmt.Fprintf(w, "  %-8s %10dns %10dns %10dns\n",
+				AttrNames[ph], mean64(vals), pct64(vals, 0.50), pct64(vals, 0.99))
+		}
+		e2e := make([]int64, len(rep.Timelines))
+		for i := range rep.Timelines {
+			e2e[i] = rep.Timelines[i].E2E
+		}
+		fmt.Fprintf(w, "  %-8s %10dns %10dns %10dns\n",
+			"e2e", mean64(e2e), pct64(e2e, 0.50), pct64(e2e, 0.99))
+
+		fmt.Fprintf(w, "\nper-request timelines:\n")
+		for i := range rep.Timelines {
+			tl := &rep.Timelines[i]
+			fmt.Fprintf(w, "  trace %016x  client=%s  e2e=%dns  order=%d transit=%d verify=%d apply=%d reply=%d\n",
+				tl.Trace, tl.Client, tl.E2E,
+				tl.Phases[AttrOrder], tl.Phases[AttrTransit], tl.Phases[AttrVerify],
+				tl.Phases[AttrApply], tl.Phases[AttrReply])
+			for _, s := range tl.Spans {
+				fmt.Fprintf(w, "    +%9dns %8dns  %-10s %-14s", s.Start-tl.Start, s.Dur, s.Phase, s.Node)
+				if s.Seq != 0 {
+					fmt.Fprintf(w, " seq=%d", s.Seq)
+				}
+				if s.Kind != 0 {
+					fmt.Fprintf(w, " kind=%d", s.Kind)
+				}
+				fmt.Fprintln(w)
+			}
+		}
+	}
+	if len(rep.Events) > 0 {
+		fmt.Fprintf(w, "\nrare-path events (always sampled):\n")
+		for _, s := range rep.Events {
+			fmt.Fprintf(w, "  %d %-12s %-14s %s\n", s.Start, s.Phase, s.Node, s.Note)
+		}
+	}
+}
+
+// WriteCSV writes the aggregate phase statistics as metrics.csv v3
+// phase columns (one row; the bench CSV exporter emits the same columns
+// per system when tracing is enabled).
+func WriteCSV(w io.Writer, rep *Report) {
+	fmt.Fprintf(w, "# neobft-metrics-csv v3 (phase columns from neotrace span merge, latencies in ns)\n")
+	fmt.Fprint(w, "requests")
+	for ph := 0; ph < NumAttr; ph++ {
+		fmt.Fprintf(w, ",phase_%s_ns_mean,phase_%s_ns_p50,phase_%s_ns_p99", AttrNames[ph], AttrNames[ph], AttrNames[ph])
+	}
+	fmt.Fprintln(w, ",phase_e2e_ns_mean,phase_e2e_ns_p50,phase_e2e_ns_p99")
+	fmt.Fprintf(w, "%d", len(rep.Timelines))
+	for ph := 0; ph < NumAttr; ph++ {
+		vals := make([]int64, len(rep.Timelines))
+		for i := range rep.Timelines {
+			vals[i] = rep.Timelines[i].Phases[ph]
+		}
+		fmt.Fprintf(w, ",%d,%d,%d", mean64(vals), pct64(vals, 0.50), pct64(vals, 0.99))
+	}
+	e2e := make([]int64, len(rep.Timelines))
+	for i := range rep.Timelines {
+		e2e[i] = rep.Timelines[i].E2E
+	}
+	fmt.Fprintf(w, ",%d,%d,%d\n", mean64(e2e), pct64(e2e, 0.50), pct64(e2e, 0.99))
+}
+
+func mean64(vals []int64) int64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / int64(len(vals))
+}
+
+// pct64 is the ceil nearest-rank percentile over raw values (exact,
+// unlike the histogram quantiles, because neotrace has every sample).
+func pct64(vals []int64, q float64) int64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), vals...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	rank := int(float64(len(s))*q + 0.9999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(s) {
+		rank = len(s)
+	}
+	return s[rank-1]
+}

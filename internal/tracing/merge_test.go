@@ -1,0 +1,228 @@
+package tracing
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// mkTrace builds one well-formed trace: client request on "client-0"
+// spanning [0, 100µs), an order span on the sequencer, verify and apply
+// on a replica, all causally chained. Times are ns offsets from base.
+func mkTrace(trace uint64, base int64, skew int64) []Span {
+	const us = 1000
+	return []Span{
+		{ID: trace*100 + 1, Trace: trace, Node: "client-0", Phase: "request",
+			Start: base, Dur: 100 * us},
+		{ID: trace*100 + 2, Trace: trace, Parent: trace*100 + 1, Node: "sequencer-0", Phase: "order",
+			Start: base + 10*us + skew, Dur: 5 * us, Seq: 7},
+		{ID: trace*100 + 3, Trace: trace, Parent: trace*100 + 2, Node: "replica-1", Phase: "verify",
+			Start: base + 30*us, Dur: 8 * us, Kind: 0xB1},
+		{ID: trace*100 + 4, Trace: trace, Parent: trace*100 + 3, Node: "replica-1", Phase: "apply",
+			Start: base + 50*us, Dur: 20 * us},
+	}
+}
+
+func phaseSum(tl *Timeline) int64 {
+	var sum int64
+	for _, p := range tl.Phases {
+		sum += p
+	}
+	return sum
+}
+
+func TestBuildTimelinesAttribution(t *testing.T) {
+	const us = 1000
+	spans := mkTrace(1, 1_000_000, 0)
+	rep := BuildTimelines(spans)
+	if len(rep.Timelines) != 1 {
+		t.Fatalf("got %d timelines, want 1", len(rep.Timelines))
+	}
+	tl := &rep.Timelines[0]
+	if tl.Client != "client-0" || tl.E2E != 100*us {
+		t.Fatalf("timeline = %+v", tl)
+	}
+	want := [NumAttr]int64{
+		AttrOrder:   5 * us,
+		AttrVerify:  8 * us,
+		AttrApply:   20 * us,
+		AttrReply:   30 * us, // apply ends at +70µs, request at +100µs
+		AttrTransit: 37 * us, // the remainder
+	}
+	if tl.Phases != want {
+		t.Fatalf("phases = %v, want %v", tl.Phases, want)
+	}
+	if phaseSum(tl) != tl.E2E {
+		t.Fatalf("phases sum to %d, E2E is %d", phaseSum(tl), tl.E2E)
+	}
+}
+
+// TestBuildTimelinesOutOfOrder feeds the same spans shuffled across
+// dumps in arbitrary order: merging must not depend on input order.
+func TestBuildTimelinesOutOfOrder(t *testing.T) {
+	orig := BuildTimelines(mkTrace(1, 1_000_000, 0))
+	shuffled := mkTrace(1, 1_000_000, 0)
+	// Reverse, then swap the middle pair: worst-case arrival order.
+	for i, j := 0, len(shuffled)-1; i < j; i, j = i+1, j-1 {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	}
+	shuffled[1], shuffled[2] = shuffled[2], shuffled[1]
+	rep := BuildTimelines(shuffled)
+	if len(rep.Timelines) != 1 {
+		t.Fatalf("got %d timelines, want 1", len(rep.Timelines))
+	}
+	if rep.Timelines[0].Phases != orig.Timelines[0].Phases {
+		t.Fatalf("order-dependent attribution: %v vs %v",
+			rep.Timelines[0].Phases, orig.Timelines[0].Phases)
+	}
+}
+
+// TestClockAlignment skews one node's clock so its span starts before
+// its causal parent; alignment must raise that node's offset and the
+// phase accounting must still sum exactly.
+func TestClockAlignment(t *testing.T) {
+	const us = 1000
+	spans := mkTrace(1, 1_000_000, -40*us) // sequencer clock 40µs behind causality
+	rep := BuildTimelines(spans)
+	if len(rep.Timelines) != 1 {
+		t.Fatalf("got %d timelines, want 1 (incomplete=%d)", len(rep.Timelines), rep.Incomplete)
+	}
+	if off := rep.Offsets["sequencer-0"]; off <= 0 {
+		t.Fatalf("sequencer offset = %d, want > 0", off)
+	}
+	tl := &rep.Timelines[0]
+	if phaseSum(tl) != tl.E2E {
+		t.Fatalf("after alignment phases sum to %d, E2E is %d", phaseSum(tl), tl.E2E)
+	}
+}
+
+func TestBuildTimelinesIncompleteAndEvents(t *testing.T) {
+	spans := mkTrace(1, 1_000_000, 0)
+	// A trace with no client root: only replica-side spans survive a
+	// client crash. It must be counted, not fabricated.
+	spans = append(spans, Span{ID: 900, Trace: 2, Node: "replica-1", Phase: "verify", Start: 5, Dur: 3})
+	// A rare-path event (trace 0).
+	spans = append(spans, Span{ID: 901, Node: "chaos", Phase: "fault", Start: 7, Note: "crash replica=2"})
+	rep := BuildTimelines(spans)
+	if len(rep.Timelines) != 1 || rep.Incomplete != 1 {
+		t.Fatalf("timelines=%d incomplete=%d, want 1/1", len(rep.Timelines), rep.Incomplete)
+	}
+	if len(rep.Events) != 1 || rep.Events[0].Note != "crash replica=2" {
+		t.Fatalf("events = %+v", rep.Events)
+	}
+	var buf bytes.Buffer
+	WriteReport(&buf, rep)
+	out := buf.String()
+	for _, want := range []string{"1 request timeline(s)", "crash replica=2", "1 incomplete trace(s)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestReadDumpDamage exercises ReadDump against the dump defects a
+// crashed or mid-write process produces.
+func TestReadDumpDamage(t *testing.T) {
+	good := `{"id":1,"trace":2,"node":"replica-0","phase":"verify","start_ns":10,"dur_ns":5}`
+	cases := []struct {
+		name    string
+		input   string
+		want    int
+		skipped int
+	}{
+		{"empty", "", 0, 0},
+		{"clean", good + "\n" + good + "\n", 2, 0},
+		{"truncated-tail", good + "\n" + `{"id":2,"trace":3,"node":"rep`, 1, 1},
+		{"garbage-line", "not json\n" + good + "\n", 1, 1},
+		{"missing-id", `{"trace":2,"node":"r","phase":"verify"}` + "\n" + good + "\n", 1, 1},
+		{"missing-node", `{"id":9,"trace":2,"phase":"verify"}` + "\n" + good + "\n", 1, 1},
+		{"blank-lines", "\n" + good + "\n\n", 1, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spans, skipped, err := ReadDump(strings.NewReader(tc.input))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(spans) != tc.want || skipped != tc.skipped {
+				t.Fatalf("got %d spans skipped=%d, want %d/%d", len(spans), skipped, tc.want, tc.skipped)
+			}
+		})
+	}
+}
+
+// TestMergeTruncatedDumps merges one intact dump with one truncated
+// mid-line: the intact trace must still build, and the damage must be
+// visible in the skip count.
+func TestMergeTruncatedDumps(t *testing.T) {
+	var full bytes.Buffer
+	if err := WriteSpans(&full, mkTrace(1, 1_000_000, 0)); err != nil {
+		t.Fatal(err)
+	}
+	var partial bytes.Buffer
+	if err := WriteSpans(&partial, mkTrace(2, 2_000_000, 0)); err != nil {
+		t.Fatal(err)
+	}
+	cut := partial.String()[:partial.Len()-25] // chop mid-JSON
+
+	s1, k1, _ := ReadDump(&full)
+	s2, k2, _ := ReadDump(strings.NewReader(cut))
+	rep := BuildTimelines(append(s1, s2...))
+	rep.Skipped += k1 + k2
+	if rep.Skipped != 1 {
+		t.Fatalf("skipped = %d, want 1", rep.Skipped)
+	}
+	// Trace 1 is complete; trace 2 lost its tail but kept its client
+	// root, so both timelines build and both sum exactly.
+	if len(rep.Timelines) != 2 {
+		t.Fatalf("got %d timelines, want 2 (incomplete=%d)", len(rep.Timelines), rep.Incomplete)
+	}
+	for i := range rep.Timelines {
+		tl := &rep.Timelines[i]
+		if phaseSum(tl) != tl.E2E {
+			t.Fatalf("trace %d: phases sum to %d, E2E is %d", tl.Trace, phaseSum(tl), tl.E2E)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	rep := BuildTimelines(mkTrace(1, 1_000_000, 0))
+	var buf bytes.Buffer
+	WriteCSV(&buf, rep)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want comment+header+row:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "# neobft-metrics-csv v3") {
+		t.Errorf("version comment = %q", lines[0])
+	}
+	for _, col := range []string{"requests", "phase_order_ns_mean", "phase_reply_ns_p99", "phase_e2e_ns_p50"} {
+		if !strings.Contains(lines[1], col) {
+			t.Errorf("header missing %q: %s", col, lines[1])
+		}
+	}
+	if !strings.HasPrefix(lines[2], fmt.Sprintf("%d,", len(rep.Timelines))) {
+		t.Errorf("row does not lead with request count: %s", lines[2])
+	}
+}
+
+func TestPct64(t *testing.T) {
+	cases := []struct {
+		vals []int64
+		q    float64
+		want int64
+	}{
+		{nil, 0.5, 0},
+		{[]int64{7}, 0.99, 7},
+		{[]int64{1, 2, 3, 4}, 0.50, 2},
+		{[]int64{4, 3, 2, 1}, 0.50, 2},
+		{[]int64{1, 2, 3, 4}, 0.99, 4},
+		{[]int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 0.90, 9},
+	}
+	for _, tc := range cases {
+		if got := pct64(tc.vals, tc.q); got != tc.want {
+			t.Errorf("pct64(%v, %v) = %d, want %d", tc.vals, tc.q, got, tc.want)
+		}
+	}
+}

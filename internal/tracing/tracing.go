@@ -1,0 +1,545 @@
+// Package tracing provides cross-node causal tracing for the commit
+// path: lightweight span records stitched into per-request timelines
+// across client, sequencer and replicas.
+//
+// The design follows the repository's metrics philosophy (PR 2): the
+// hot path pays one atomic and a branch when a message is not part of a
+// sampled trace, and records into a lock-free per-node span buffer when
+// it is. Sampling is head-based: the client decides at Invoke time
+// (Tracer.Begin) and the decision travels with the request inside a
+// small wire envelope (see wire.go), so every downstream node agrees on
+// which requests are traced without coordination. Rare events — chaos
+// faults, view changes — bypass sampling entirely (Always): they are
+// cheap by definition and most valuable exactly when nobody thought to
+// sample ahead of time.
+//
+// Spans carry wall-clock timestamps. On one host those are directly
+// comparable; across hosts cmd/neotrace re-aligns each node's clock
+// using the trace's own causal edges (a child span cannot start before
+// its parent did), see merge.go.
+package tracing
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"neobft/internal/metrics"
+)
+
+// Phase classifies what a span measured. The five commit-path phases of
+// the latency attribution (order/transit/verify/apply/reply) are
+// reconstructed from these: order spans come from the sequencer (NeoBFT)
+// or the primary's batching point (leader protocols), verify/apply from
+// the runtime stages, and transit/reply are the derived gaps.
+type Phase uint8
+
+// Span phases.
+const (
+	// PhaseRequest is the client's whole invocation: the trace root.
+	PhaseRequest Phase = iota
+	// PhaseOrder is sequence-number assignment: the sequencer switch's
+	// stamp (NeoBFT) or a primary's queue-to-batch-issue time.
+	PhaseOrder
+	// PhaseTransit is never recorded as a span; it names the derived
+	// wire/queue gaps and the runtime's ingress histogram.
+	PhaseTransit
+	// PhaseVerify is one packet's VerifyPacket work on a replica.
+	PhaseVerify
+	// PhaseApply is one event's ApplyEvent work on a replica.
+	PhaseApply
+	// PhaseQueue is the arrival-to-retirement wait of a traced packet
+	// (the runtime's retire lag, made visible on the timeline).
+	PhaseQueue
+	// PhaseDeliver marks an aom ordered delivery (Seq = aom sequence).
+	PhaseDeliver
+	// PhaseReply is never recorded as a span; it names the derived
+	// apply-end-to-client-done gap and the client's reply histogram.
+	PhaseReply
+	// PhaseFault is an injected chaos fault (always recorded, trace 0).
+	PhaseFault
+	// PhaseViewChange is a completed view/epoch change (always recorded).
+	PhaseViewChange
+
+	numPhases
+)
+
+var phaseNames = [numPhases]string{
+	"request", "order", "transit", "verify", "apply",
+	"queue", "deliver", "reply", "fault", "view-change",
+}
+
+// String returns the phase's wire/report name.
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return "unknown"
+}
+
+// PhaseFromString inverts String (used by dump readers). Unknown names
+// report ok=false.
+func PhaseFromString(s string) (Phase, bool) {
+	for i, n := range phaseNames {
+		if n == s {
+			return Phase(i), true
+		}
+	}
+	return 0, false
+}
+
+// Ctx is the trace context one message carries: which trace it belongs
+// to, the span that sent it, and the sender's wall clock at send time.
+// A zero Trace means "not sampled".
+type Ctx struct {
+	Trace  uint64
+	Parent uint64
+	// TS is the sender's UnixNano at envelope attach time; receivers
+	// derive one-way transit estimates from it (same-host clocks).
+	TS int64
+}
+
+// Sampled reports whether the context belongs to a sampled trace.
+func (c Ctx) Sampled() bool { return c.Trace != 0 }
+
+// Ref marks the moment a traced message entered a protocol queue, so
+// the span covering the queue wait can be closed later (EndOrder).
+type Ref struct {
+	Trace  uint64
+	Parent uint64
+	At     time.Time
+}
+
+// Span is one recorded interval (or point event, Dur 0) on one node.
+type Span struct {
+	ID     uint64 `json:"id"`
+	Trace  uint64 `json:"trace"`
+	Parent uint64 `json:"parent,omitempty"`
+	Node   string `json:"node"`
+	Phase  string `json:"phase"`
+	// Start is wall-clock UnixNano; Dur is nanoseconds.
+	Start int64 `json:"start_ns"`
+	Dur   int64 `json:"dur_ns"`
+	// Seq is a protocol attribute: aom sequence / slot number.
+	Seq uint64 `json:"seq,omitempty"`
+	// Kind is a protocol attribute: the inner packet's kind byte.
+	Kind uint64 `json:"kind,omitempty"`
+	// Note annotates rare-path spans (fault descriptions, view IDs).
+	Note string `json:"note,omitempty"`
+}
+
+// spanSlot is one write-once buffer entry. The payload fields are plain:
+// the reserving goroutine writes them exactly once and publishes with
+// the atomic done flag, which establishes the happens-before edge for
+// readers (acquire on Load after release on Store).
+type spanSlot struct {
+	done   atomic.Bool
+	id     uint64
+	trace  uint64
+	parent uint64
+	phase  Phase
+	start  int64
+	dur    int64
+	seq    uint64
+	kind   uint64
+	note   string
+}
+
+// Buffer is a lock-free append-once span buffer. Records past capacity
+// are counted as drops rather than overwriting earlier spans: for
+// post-run merging a coherent prefix beats a recent-window ring, and
+// the drop counter makes truncation visible instead of silent.
+type Buffer struct {
+	slots   []spanSlot
+	next    atomic.Uint64
+	dropped atomic.Uint64
+}
+
+// DefaultBufferCap is the per-node span capacity (1% sampling at bench
+// rates stays far below it; overflow is accounted, not fatal).
+const DefaultBufferCap = 1 << 16
+
+// NewBuffer creates a buffer with the given capacity (≤0 → default).
+func NewBuffer(capacity int) *Buffer {
+	if capacity <= 0 {
+		capacity = DefaultBufferCap
+	}
+	return &Buffer{slots: make([]spanSlot, capacity)}
+}
+
+// put reserves a slot and publishes s into it, or counts a drop.
+func (b *Buffer) put(s *spanSlot) {
+	idx := b.next.Add(1) - 1
+	if idx >= uint64(len(b.slots)) {
+		b.dropped.Add(1)
+		return
+	}
+	slot := &b.slots[idx]
+	slot.id = s.id
+	slot.trace = s.trace
+	slot.parent = s.parent
+	slot.phase = s.phase
+	slot.start = s.start
+	slot.dur = s.dur
+	slot.seq = s.seq
+	slot.kind = s.kind
+	slot.note = s.note
+	slot.done.Store(true)
+}
+
+// Recorded returns how many spans were offered (including drops).
+func (b *Buffer) Recorded() uint64 { return b.next.Load() }
+
+// Dropped returns how many spans were lost to overflow.
+func (b *Buffer) Dropped() uint64 { return b.dropped.Load() }
+
+// snapshot collects every published span, labeled with node.
+func (b *Buffer) snapshot(node string) []Span {
+	n := b.next.Load()
+	if n > uint64(len(b.slots)) {
+		n = uint64(len(b.slots))
+	}
+	out := make([]Span, 0, n)
+	for i := uint64(0); i < n; i++ {
+		s := &b.slots[i]
+		if !s.done.Load() {
+			continue // reserved, not yet published
+		}
+		out = append(out, Span{
+			ID: s.id, Trace: s.trace, Parent: s.parent,
+			Node: node, Phase: s.phase.String(),
+			Start: s.start, Dur: s.dur, Seq: s.seq, Kind: s.kind,
+			Note: s.note,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Config configures a Tracer.
+type Config struct {
+	// Node names this tracer's component in dumped spans
+	// ("replica-2", "sequencer-0", "client-10003").
+	Node string
+	// Rate is the head-based sampling rate for traces this node
+	// originates (clients). ≤0 never samples; ≥1 samples everything.
+	// Non-originating nodes (replicas, sequencers) never call Begin, so
+	// their rate is inert.
+	Rate float64
+	// BufCap bounds the span buffer (≤0 → DefaultBufferCap).
+	BufCap int
+	// Metrics, when non-nil, receives the phase histograms
+	// (phase_{e2e,order,transit,verify,apply,reply}_ns) and the span
+	// accounting gauges (tracing_spans_total, tracing_spans_dropped).
+	Metrics *metrics.Registry
+}
+
+// Tracer is one node's tracing handle: sampling decisions, span
+// recording, the active-send context consulted by WrapConn, and the
+// inbound-context stash filled by WrapConn's receive path. A nil Tracer
+// is valid: every method no-ops (and samples nothing).
+type Tracer struct {
+	node     string
+	interval uint64 // 0 = never sample; 1 = always; k = every kth
+	buf      *Buffer
+
+	// id bases separate nodes' id spaces so multi-process dumps merge
+	// without collisions (probabilistically: fnv-spread bases salted
+	// per instance, so a recreated tracer with the same node name —
+	// successive bench runs, process restarts — never reuses ids).
+	traceBase uint64
+	spanBase  uint64
+	n         atomic.Uint64 // Begin calls (sampling counter)
+	ids       atomic.Uint64 // span id counter
+
+	// active is the context outgoing sends inherit (set around
+	// ApplyEvent / sequencer handle / client Invoke). Two atomics: a
+	// torn read can only mis-parent one span of a sampled trace.
+	actTrace  atomic.Uint64
+	actParent atomic.Uint64
+
+	// inbound is the envelope peeled from the most recent packet on
+	// this node's conn (single delivery goroutine). TakeInbound
+	// consumes it; LastInbound peeks (client reply-phase estimate).
+	inTrace  atomic.Uint64
+	inParent atomic.Uint64
+	inTS     atomic.Int64
+
+	// phase histograms (nil-safe without a registry)
+	hE2E, hOrder, hTransit, hVerify, hApply, hReply *metrics.Histogram
+}
+
+// tracerEpoch distinguishes tracers created in the same nanosecond.
+var tracerEpoch atomic.Uint64
+
+// New creates a tracer.
+func New(cfg Config) *Tracer {
+	// Salt the id bases with creation time and an instance counter:
+	// node names alone repeat (the bench harness builds many systems
+	// named "client-0"; neokv processes restart), and dumps from
+	// different runs are routinely merged by neotrace — colliding
+	// trace ids would stitch unrelated requests into one timeline.
+	salt := mix64(uint64(time.Now().UnixNano()) ^ tracerEpoch.Add(1)<<48)
+	t := &Tracer{
+		node:      cfg.Node,
+		buf:       NewBuffer(cfg.BufCap),
+		traceBase: (fnv64(cfg.Node) ^ salt) ^ 0x7472616365, // "trace"
+		spanBase:  (fnv64(cfg.Node) ^ salt) * 0x9E3779B97F4A7C15,
+	}
+	switch {
+	case cfg.Rate >= 1:
+		t.interval = 1
+	case cfg.Rate > 0:
+		t.interval = uint64(1/cfg.Rate + 0.5)
+	}
+	if reg := cfg.Metrics; reg != nil {
+		t.hE2E = reg.Histogram("phase_e2e_ns")
+		t.hOrder = reg.Histogram("phase_order_ns")
+		t.hTransit = reg.Histogram("phase_transit_ns")
+		t.hVerify = reg.Histogram("phase_verify_ns")
+		t.hApply = reg.Histogram("phase_apply_ns")
+		t.hReply = reg.Histogram("phase_reply_ns")
+		reg.Func("tracing_spans_total", func() float64 { return float64(t.buf.Recorded()) })
+		reg.Func("tracing_spans_dropped", func() float64 { return float64(t.buf.Dropped()) })
+	}
+	return t
+}
+
+// mix64 is the splitmix64 finalizer: spreads a structured seed over
+// the full 64-bit space.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Node returns the tracer's component name.
+func (t *Tracer) Node() string {
+	if t == nil {
+		return ""
+	}
+	return t.node
+}
+
+// Begin makes the head-based sampling decision for a new request. It
+// returns a context with a fresh trace ID when sampled, a zero Ctx
+// otherwise. Only trace originators (clients) call it.
+func (t *Tracer) Begin() Ctx {
+	if t == nil || t.interval == 0 {
+		return Ctx{}
+	}
+	n := t.n.Add(1)
+	if n%t.interval != 0 {
+		return Ctx{}
+	}
+	id := t.traceBase ^ (n * 0x9E3779B97F4A7C15)
+	if id == 0 {
+		id = t.traceBase | 1
+	}
+	return Ctx{Trace: id}
+}
+
+// SpanID allocates a node-unique span identifier.
+func (t *Tracer) SpanID() uint64 {
+	if t == nil {
+		return 0
+	}
+	id := t.spanBase + t.ids.Add(1)
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+// Span records one span and feeds the matching phase histogram. It is
+// lock-free and safe from any goroutine; with a nil tracer or zero
+// trace it does nothing.
+func (t *Tracer) Span(id, trace, parent uint64, ph Phase, start time.Time, d time.Duration, seq, kind uint64) {
+	if t == nil || trace == 0 {
+		return
+	}
+	t.buf.put(&spanSlot{
+		id: id, trace: trace, parent: parent, phase: ph,
+		start: start.UnixNano(), dur: int64(d), seq: seq, kind: kind,
+	})
+	switch ph {
+	case PhaseRequest:
+		t.hE2E.ObserveDuration(d)
+	case PhaseOrder:
+		t.hOrder.ObserveDuration(d)
+	case PhaseVerify:
+		t.hVerify.ObserveDuration(d)
+	case PhaseApply:
+		t.hApply.ObserveDuration(d)
+	}
+}
+
+// Always records a rare-path event span regardless of sampling (trace
+// 0): chaos faults, view changes. note annotates the report line.
+func (t *Tracer) Always(ph Phase, start time.Time, d time.Duration, seq, kind uint64, note string) {
+	if t == nil {
+		return
+	}
+	t.buf.put(&spanSlot{
+		id: t.SpanID(), phase: ph,
+		start: start.UnixNano(), dur: int64(d), seq: seq, kind: kind, note: note,
+	})
+}
+
+// ObserveTransit feeds the ingress transit histogram (envelope
+// timestamp → local arrival; meaningful on shared clocks).
+func (t *Tracer) ObserveTransit(d time.Duration) {
+	if t == nil || d < 0 {
+		return
+	}
+	t.hTransit.ObserveDuration(d)
+}
+
+// ObserveReply feeds the client-side reply-phase histogram.
+func (t *Tracer) ObserveReply(d time.Duration) {
+	if t == nil || d < 0 {
+		return
+	}
+	t.hReply.ObserveDuration(d)
+}
+
+// SetActive marks (trace, parent) as the context outgoing sends inherit
+// until ClearActive. Callers bracket the single-threaded section that
+// does the sends (ApplyEvent, sequencer handle, client submit).
+func (t *Tracer) SetActive(trace, parent uint64) {
+	if t == nil {
+		return
+	}
+	t.actTrace.Store(trace)
+	t.actParent.Store(parent)
+}
+
+// ClearActive clears the active send context.
+func (t *Tracer) ClearActive() {
+	if t == nil {
+		return
+	}
+	t.actTrace.Store(0)
+	t.actParent.Store(0)
+}
+
+// Active returns the current send context (trace 0 = none).
+func (t *Tracer) Active() (trace, parent uint64) {
+	if t == nil {
+		return 0, 0
+	}
+	trace = t.actTrace.Load()
+	if trace == 0 {
+		return 0, 0
+	}
+	return trace, t.actParent.Load()
+}
+
+// ActiveRef captures the active context with the current time, for
+// queue-entry marks closed later by EndOrder. Zero Ref when inactive.
+func (t *Tracer) ActiveRef() Ref {
+	trace, parent := t.Active()
+	if trace == 0 {
+		return Ref{}
+	}
+	return Ref{Trace: trace, Parent: parent, At: time.Now()}
+}
+
+// EndOrder closes an ordering span opened by ActiveRef: the time from a
+// traced request entering a primary's queue to its sequence-number
+// assignment (seq). No-op on a zero Ref.
+func (t *Tracer) EndOrder(r Ref, seq uint64) {
+	if t == nil || r.Trace == 0 {
+		return
+	}
+	t.Span(t.SpanID(), r.Trace, r.Parent, PhaseOrder, r.At, time.Since(r.At), seq, 0)
+}
+
+// StashInbound records the envelope peeled from the packet currently
+// being delivered (called by WrapConn on the delivery goroutine).
+func (t *Tracer) StashInbound(c Ctx) {
+	if t == nil {
+		return
+	}
+	t.inTrace.Store(c.Trace)
+	t.inParent.Store(c.Parent)
+	t.inTS.Store(c.TS)
+}
+
+// TakeInbound consumes the stashed inbound context (zero if none).
+// Receivers that process packets synchronously on the delivery
+// goroutine (the runtime's onPacket, the sequencer's handle) call it
+// for every packet so a non-enveloped packet never inherits a stale
+// context.
+func (t *Tracer) TakeInbound() Ctx {
+	if t == nil {
+		return Ctx{}
+	}
+	trace := t.inTrace.Load()
+	if trace == 0 {
+		return Ctx{}
+	}
+	c := Ctx{Trace: trace, Parent: t.inParent.Load(), TS: t.inTS.Load()}
+	t.inTrace.Store(0)
+	return c
+}
+
+// LastInbound peeks the stashed context's timestamp if it belongs to
+// trace, without consuming it. Clients use it to estimate the reply
+// phase (reply-send wall time → invocation completion).
+func (t *Tracer) LastInbound(trace uint64) int64 {
+	if t == nil || trace == 0 || t.inTrace.Load() != trace {
+		return 0
+	}
+	return t.inTS.Load()
+}
+
+// Drain snapshots every span recorded so far, sorted by start time.
+func (t *Tracer) Drain() []Span {
+	if t == nil {
+		return nil
+	}
+	return t.buf.snapshot(t.node)
+}
+
+// Dropped reports spans lost to buffer overflow.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.buf.Dropped()
+}
+
+// WriteJSONLines dumps the span buffer as one JSON object per line —
+// the format cmd/neotrace merges and the /spans endpoint serves.
+func (t *Tracer) WriteJSONLines(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	return WriteSpans(w, t.Drain())
+}
+
+// WriteSpans writes spans as JSON lines.
+func WriteSpans(w io.Writer, spans []Span) error {
+	enc := json.NewEncoder(w)
+	for i := range spans {
+		if err := enc.Encode(&spans[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

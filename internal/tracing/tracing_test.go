@@ -1,0 +1,271 @@
+package tracing
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"neobft/internal/transport"
+)
+
+func TestBufferOverflowAccounting(t *testing.T) {
+	cases := []struct {
+		name     string
+		capacity int
+		offer    int
+		wantKept int
+		wantDrop uint64
+	}{
+		{"empty", 8, 0, 0, 0},
+		{"under", 8, 5, 5, 0},
+		{"exact", 8, 8, 8, 0},
+		{"overflow-by-one", 8, 9, 8, 1},
+		{"overflow-heavy", 4, 100, 4, 96},
+		{"capacity-one", 1, 3, 1, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewBuffer(tc.capacity)
+			for i := 0; i < tc.offer; i++ {
+				b.put(&spanSlot{id: uint64(i + 1), trace: 1, start: int64(i)})
+			}
+			if got := b.Recorded(); got != uint64(tc.offer) {
+				t.Errorf("Recorded() = %d, want %d", got, tc.offer)
+			}
+			if got := b.Dropped(); got != tc.wantDrop {
+				t.Errorf("Dropped() = %d, want %d", got, tc.wantDrop)
+			}
+			if got := len(b.snapshot("n")); got != tc.wantKept {
+				t.Errorf("snapshot kept %d spans, want %d", got, tc.wantKept)
+			}
+		})
+	}
+}
+
+func TestBufferSnapshotSorted(t *testing.T) {
+	b := NewBuffer(16)
+	for _, start := range []int64{30, 10, 20} {
+		b.put(&spanSlot{id: uint64(start), trace: 1, start: start})
+	}
+	ss := b.snapshot("n")
+	for i := 1; i < len(ss); i++ {
+		if ss[i-1].Start > ss[i].Start {
+			t.Fatalf("snapshot not sorted by start: %v", ss)
+		}
+	}
+	if ss[0].Node != "n" {
+		t.Fatalf("snapshot node = %q, want n", ss[0].Node)
+	}
+}
+
+func TestEnvelopeRoundtrip(t *testing.T) {
+	inner := []byte{0xB1, 1, 2, 3}
+	ctx := Ctx{Trace: 0xDEADBEEF, Parent: 42}
+	out := Attach(ctx, 12345, inner)
+	if len(out) != EnvLen+len(inner) {
+		t.Fatalf("enveloped length %d, want %d", len(out), EnvLen+len(inner))
+	}
+	got, payload, ok := Peel(out)
+	if !ok {
+		t.Fatal("Peel did not recognize the envelope")
+	}
+	if got.Trace != ctx.Trace || got.Parent != ctx.Parent || got.TS != 12345 {
+		t.Fatalf("Peel ctx = %+v, want trace=%x parent=%d ts=12345", got, ctx.Trace, ctx.Parent)
+	}
+	if !bytes.Equal(payload, inner) {
+		t.Fatalf("Peel payload = %v, want %v", payload, inner)
+	}
+}
+
+func TestPeelRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		pkt  []byte
+	}{
+		{"nil", nil},
+		{"short", []byte{envMagic, envVersion, 1, 2}},
+		{"wrong-magic", append([]byte{0xB1}, make([]byte, EnvLen)...)},
+		{"wrong-version", func() []byte {
+			p := Attach(Ctx{Trace: 7}, 0, nil)
+			p[1] = 99
+			return p
+		}()},
+		{"zero-trace", Attach(Ctx{}, 5, []byte{1})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx, payload, ok := Peel(tc.pkt)
+			if ok || ctx.Sampled() {
+				t.Fatalf("Peel(%s) accepted: ctx=%+v", tc.name, ctx)
+			}
+			if !bytes.Equal(payload, tc.pkt) {
+				t.Fatalf("Peel(%s) altered the packet", tc.name)
+			}
+		})
+	}
+}
+
+func TestSamplingInterval(t *testing.T) {
+	cases := []struct {
+		rate    float64
+		begins  int
+		sampled int
+	}{
+		{0, 100, 0},
+		{-1, 100, 0},
+		{1, 100, 100},
+		{2, 100, 100}, // clamped to every op
+		{0.5, 100, 50},
+		{0.01, 1000, 10},
+	}
+	for _, tc := range cases {
+		tr := New(Config{Node: "c", Rate: tc.rate})
+		n := 0
+		for i := 0; i < tc.begins; i++ {
+			if tr.Begin().Sampled() {
+				n++
+			}
+		}
+		if n != tc.sampled {
+			t.Errorf("rate %v: %d/%d sampled, want %d", tc.rate, n, tc.begins, tc.sampled)
+		}
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Begin().Sampled() {
+		t.Fatal("nil tracer sampled")
+	}
+	tr.Span(1, 2, 3, PhaseVerify, time.Now(), time.Millisecond, 0, 0)
+	tr.Always(PhaseFault, time.Now(), 0, 0, 0, "x")
+	tr.SetActive(1, 2)
+	tr.ClearActive()
+	tr.StashInbound(Ctx{Trace: 9})
+	if c := tr.TakeInbound(); c.Sampled() {
+		t.Fatal("nil tracer stashed a context")
+	}
+	tr.EndOrder(tr.ActiveRef(), 1)
+	if got := tr.Drain(); got != nil {
+		t.Fatalf("nil tracer drained %v", got)
+	}
+}
+
+func TestInboundStash(t *testing.T) {
+	tr := New(Config{Node: "r"})
+	tr.StashInbound(Ctx{Trace: 5, Parent: 6, TS: 7})
+	if ts := tr.LastInbound(5); ts != 7 {
+		t.Fatalf("LastInbound = %d, want 7", ts)
+	}
+	if ts := tr.LastInbound(99); ts != 0 {
+		t.Fatalf("LastInbound(wrong trace) = %d, want 0", ts)
+	}
+	c := tr.TakeInbound()
+	if c.Trace != 5 || c.Parent != 6 || c.TS != 7 {
+		t.Fatalf("TakeInbound = %+v", c)
+	}
+	if tr.TakeInbound().Sampled() {
+		t.Fatal("TakeInbound did not consume")
+	}
+	// A later non-enveloped delivery overwrites with a zero context.
+	tr.StashInbound(Ctx{Trace: 5, Parent: 6, TS: 7})
+	tr.StashInbound(Ctx{})
+	if tr.TakeInbound().Sampled() {
+		t.Fatal("zero stash did not clear the slot")
+	}
+}
+
+// sinkConn is a no-op transport.Conn for wrapper tests.
+type sinkConn struct {
+	h    transport.Handler
+	last []byte
+}
+
+func (s *sinkConn) ID() transport.NodeID                    { return 1 }
+func (s *sinkConn) Close() error                            { return nil }
+func (s *sinkConn) SetHandler(h transport.Handler)          { s.h = h }
+func (s *sinkConn) Send(_ transport.NodeID, pkt []byte)     { s.last = pkt }
+func (s *sinkConn) deliver(from transport.NodeID, p []byte) { s.h(from, p) }
+
+func TestWrapConnPropagation(t *testing.T) {
+	sink := &sinkConn{}
+	tr := New(Config{Node: "r", Rate: 1})
+	c := WrapConn(sink, tr)
+
+	// No active context: the packet goes out untouched.
+	c.Send(2, []byte{0xB1, 9})
+	if !bytes.Equal(sink.last, []byte{0xB1, 9}) {
+		t.Fatalf("unsampled send altered the packet: %v", sink.last)
+	}
+
+	// Active context: envelope attached, and peeled+stashed on delivery.
+	tr.SetActive(77, 88)
+	c.Send(2, []byte{0xB1, 9})
+	tr.ClearActive()
+	if len(sink.last) != EnvLen+2 {
+		t.Fatalf("sampled send length %d, want %d", len(sink.last), EnvLen+2)
+	}
+
+	rtr := New(Config{Node: "peer"})
+	rsink := &sinkConn{}
+	rc := WrapConn(rsink, rtr)
+	var gotPkt []byte
+	rc.SetHandler(func(_ transport.NodeID, pkt []byte) { gotPkt = append([]byte(nil), pkt...) })
+	rsink.deliver(1, sink.last)
+	if !bytes.Equal(gotPkt, []byte{0xB1, 9}) {
+		t.Fatalf("handler saw %v, want inner packet", gotPkt)
+	}
+	ctx := rtr.TakeInbound()
+	if ctx.Trace != 77 || ctx.Parent != 88 {
+		t.Fatalf("peer stashed %+v, want trace=77 parent=88", ctx)
+	}
+}
+
+// TestUnsampledSendAllocs verifies the acceptance criterion that with
+// sampling disabled the per-message hot path allocates nothing and adds
+// no envelope bytes.
+func TestUnsampledSendAllocs(t *testing.T) {
+	sink := &sinkConn{}
+	tr := New(Config{Node: "r", Rate: 0})
+	c := WrapConn(sink, tr)
+	pkt := []byte{0xB1, 1, 2, 3}
+	allocs := testing.AllocsPerRun(1000, func() { c.Send(2, pkt) })
+	if allocs != 0 {
+		t.Fatalf("unsampled Send allocates %.1f times per op, want 0", allocs)
+	}
+	if len(sink.last) != len(pkt) {
+		t.Fatalf("unsampled send grew the packet to %d bytes", len(sink.last))
+	}
+
+	var handled []byte
+	c.SetHandler(func(_ transport.NodeID, p []byte) { handled = p })
+	allocs = testing.AllocsPerRun(1000, func() { sink.deliver(3, pkt) })
+	if allocs != 0 {
+		t.Fatalf("unsampled delivery allocates %.1f times per op, want 0", allocs)
+	}
+	if !bytes.Equal(handled, pkt) {
+		t.Fatalf("delivery altered the packet: %v", handled)
+	}
+}
+
+func TestWriteJSONLines(t *testing.T) {
+	tr := New(Config{Node: "replica-1", Rate: 1})
+	tr.Span(tr.SpanID(), 9, 0, PhaseVerify, time.Unix(0, 1000), 500, 3, 0xB1)
+	tr.Always(PhaseViewChange, time.Unix(0, 2000), 0, 2, 0, "epoch 2")
+	var buf bytes.Buffer
+	if err := tr.WriteJSONLines(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	spans, skipped, err := ReadDump(&buf)
+	if err != nil || skipped != 0 || len(spans) != 2 {
+		t.Fatalf("ReadDump of own output: %d spans, skipped=%d err=%v", len(spans), skipped, err)
+	}
+	if spans[0].Node != "replica-1" || spans[0].Phase != "verify" || spans[0].Kind != 0xB1 {
+		t.Fatalf("roundtripped span = %+v", spans[0])
+	}
+}

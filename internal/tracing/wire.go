@@ -1,0 +1,58 @@
+package tracing
+
+import "encoding/binary"
+
+// Trace-context wire envelope. Sampled messages are prefixed with a
+// 26-byte header carrying the trace context; unsampled messages are sent
+// untouched, so with sampling disabled the wire is byte-identical to a
+// build without tracing.
+//
+//	[0] 0xE7 magic   [1] version (1)
+//	[2..10)  trace ID, uint64 LE
+//	[10..18) parent span ID, uint64 LE
+//	[18..26) sender wall clock, UnixNano int64 LE
+//
+// 0xE7 collides with no first byte any decoder in this repository
+// accepts (replication kinds 1, 2 and 16–31; aom packets 0xB1; confirm
+// messages 0xB2), so a node without tracing support treats an enveloped
+// packet as garbage and drops it — acceptable for an optional,
+// sampled-only diagnostic (see PROTOCOL.md §"wire compatibility").
+const (
+	envMagic   = 0xE7
+	envVersion = 1
+	// EnvLen is the envelope size in bytes.
+	EnvLen = 26
+)
+
+// Attach prefixes pkt with an envelope for ctx, stamping the sender's
+// current wall clock (now, UnixNano). Callers guard with ctx.Sampled():
+// the allocation only happens for sampled messages.
+func Attach(ctx Ctx, now int64, pkt []byte) []byte {
+	out := make([]byte, EnvLen+len(pkt))
+	out[0] = envMagic
+	out[1] = envVersion
+	binary.LittleEndian.PutUint64(out[2:], ctx.Trace)
+	binary.LittleEndian.PutUint64(out[10:], ctx.Parent)
+	binary.LittleEndian.PutUint64(out[18:], uint64(now))
+	copy(out[EnvLen:], pkt)
+	return out
+}
+
+// Peel splits an enveloped packet into its context and inner payload.
+// For packets without an envelope it returns the input unchanged and
+// ok=false, without allocating. A recognized envelope with a zero trace
+// ID is treated as absent (trace 0 means unsampled by definition).
+func Peel(pkt []byte) (Ctx, []byte, bool) {
+	if len(pkt) < EnvLen || pkt[0] != envMagic || pkt[1] != envVersion {
+		return Ctx{}, pkt, false
+	}
+	c := Ctx{
+		Trace:  binary.LittleEndian.Uint64(pkt[2:]),
+		Parent: binary.LittleEndian.Uint64(pkt[10:]),
+		TS:     int64(binary.LittleEndian.Uint64(pkt[18:])),
+	}
+	if c.Trace == 0 {
+		return Ctx{}, pkt, false
+	}
+	return c, pkt[EnvLen:], true
+}

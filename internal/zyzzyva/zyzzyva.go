@@ -21,6 +21,7 @@ import (
 	"neobft/internal/replication"
 	"neobft/internal/runtime"
 	"neobft/internal/seqlog"
+	"neobft/internal/tracing"
 	"neobft/internal/transport"
 	"neobft/internal/wire"
 )
@@ -86,9 +87,12 @@ type Replica struct {
 	lastExec uint64
 	history  [32]byte
 	pending  []*replication.Request
-	inQueue  map[string]bool
-	buffered map[uint64]*orderReq // out-of-order order-reqs, horizon-bounded
-	table    *replication.ClientTable
+	// pendingTr mirrors pending with each request's trace ref, closed
+	// into an ordering span when the batch is cut.
+	pendingTr []tracing.Ref
+	inQueue   map[string]bool
+	buffered  map[uint64]*orderReq // out-of-order order-reqs, horizon-bounded
+	table     *replication.ClientTable
 	// maxCC is the highest sequence covered by a commit certificate.
 	maxCC uint64
 
@@ -515,6 +519,7 @@ func (r *Replica) onRequest(req *replication.Request) {
 	if !r.inQueue[key] {
 		r.inQueue[key] = true
 		r.pending = append(r.pending, req)
+		r.pendingTr = append(r.pendingTr, r.rt.Tracer().ActiveRef())
 	}
 	r.tryIssueLocked()
 }
@@ -531,6 +536,10 @@ func (r *Replica) tryIssueLocked() {
 		batch := r.pending[:n]
 		r.pending = r.pending[n:]
 		r.seq++
+		for _, ref := range r.pendingTr[:n] {
+			r.rt.Tracer().EndOrder(ref, r.seq)
+		}
+		r.pendingTr = r.pendingTr[n:]
 		digest := batchDigest(batch)
 		history := replication.ChainHash(r.history, digest)
 
