@@ -26,21 +26,22 @@ import (
 )
 
 var experiments = map[string]func(*os.File, bench.ExpConfig){
-	"table1":   func(f *os.File, c bench.ExpConfig) { bench.Table1(f, c) },
-	"table2":   func(f *os.File, c bench.ExpConfig) { bench.Table2(f, c) },
-	"table3":   func(f *os.File, c bench.ExpConfig) { bench.Table3(f, c) },
-	"fig4":     func(f *os.File, c bench.ExpConfig) { bench.Fig4(f, c) },
-	"fig5":     func(f *os.File, c bench.ExpConfig) { bench.Fig5(f, c) },
-	"fig6":     func(f *os.File, c bench.ExpConfig) { bench.Fig6(f, c) },
-	"fig7":     func(f *os.File, c bench.ExpConfig) { bench.Fig7(f, c) },
-	"fig8":     func(f *os.File, c bench.ExpConfig) { bench.Fig8(f, c) },
-	"fig9":     func(f *os.File, c bench.ExpConfig) { bench.Fig9(f, c) },
-	"fig10":    func(f *os.File, c bench.ExpConfig) { bench.Fig10(f, c) },
-	"failover": func(f *os.File, c bench.ExpConfig) { bench.Failover(f, c) },
+	"table1":     func(f *os.File, c bench.ExpConfig) { bench.Table1(f, c) },
+	"table2":     func(f *os.File, c bench.ExpConfig) { bench.Table2(f, c) },
+	"table3":     func(f *os.File, c bench.ExpConfig) { bench.Table3(f, c) },
+	"fig4":       func(f *os.File, c bench.ExpConfig) { bench.Fig4(f, c) },
+	"fig5":       func(f *os.File, c bench.ExpConfig) { bench.Fig5(f, c) },
+	"fig6":       func(f *os.File, c bench.ExpConfig) { bench.Fig6(f, c) },
+	"fig7":       func(f *os.File, c bench.ExpConfig) { bench.Fig7(f, c) },
+	"fig8":       func(f *os.File, c bench.ExpConfig) { bench.Fig8(f, c) },
+	"fig9":       func(f *os.File, c bench.ExpConfig) { bench.Fig9(f, c) },
+	"fig10":      func(f *os.File, c bench.ExpConfig) { bench.Fig10(f, c) },
+	"failover":   func(f *os.File, c bench.ExpConfig) { bench.Failover(f, c) },
+	"saturation": func(f *os.File, c bench.ExpConfig) { bench.Saturation(f, c) },
 }
 
 // order fixes the presentation sequence for -experiment all.
-var order = []string{"table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "failover"}
+var order = []string{"table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "failover", "saturation"}
 
 func main() {
 	exp := flag.String("experiment", "all", "experiment to run (see -list)")
@@ -59,6 +60,14 @@ func main() {
 		"causal-tracing sample rate: fraction of requests traced end to end (0 = off, 1 = all)")
 	spanDump := flag.String("span-dump", "",
 		"append every traced run's spans (JSON lines) to this file; merge with cmd/neotrace")
+	rate := flag.Float64("rate", 0,
+		"open-loop offered load in ops/s for rate-driven runs (0 = closed-loop)")
+	window := flag.Int("window", 0,
+		"client pipeline window: ops in flight per client (0 = closed-loop default of 1)")
+	batchMax := flag.Int("batch-max", 0,
+		"leader batch-size cap for the batching protocols (0 = default 8)")
+	batchLinger := flag.Duration("batch-linger", 0,
+		"max time a partial batch may wait before being cut (0 = cut whenever polled)")
 	flag.Parse()
 
 	switch *transportName {
@@ -87,7 +96,10 @@ func main() {
 		fmt.Println("chaos scenarios:", strings.Join(chaos.Scenarios(), " "), "all")
 		return
 	}
-	cfg := bench.ExpConfig{Short: *short, Seed: *seed, Transport: *transportName, TraceRate: *traceRate}
+	cfg := bench.ExpConfig{
+		Short: *short, Seed: *seed, Transport: *transportName, TraceRate: *traceRate,
+		Rate: *rate, Window: *window, BatchMax: *batchMax, BatchLinger: *batchLinger,
+	}
 	if *spanDump != "" {
 		if *traceRate <= 0 {
 			fmt.Fprintln(os.Stderr, "-span-dump needs -trace-rate > 0")

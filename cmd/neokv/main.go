@@ -27,9 +27,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -39,6 +41,7 @@ import (
 	"neobft/internal/kvstore"
 	"neobft/internal/metrics"
 	"neobft/internal/neobft"
+	"neobft/internal/replication"
 	"neobft/internal/runtime"
 	"neobft/internal/sequencer"
 	"neobft/internal/tracing"
@@ -60,6 +63,8 @@ var (
 
 type options struct {
 	benchDur           time.Duration
+	benchRate          float64
+	window             int
 	verifyWorkers      int
 	checkpointInterval int
 	metricsAddr        string
@@ -108,6 +113,10 @@ func main() {
 	peersPath := flag.String("peers", "", "peers file describing the multi-process cluster")
 	var o options
 	flag.DurationVar(&o.benchDur, "bench", 0, "run YCSB-A closed-loop load for this long instead of the REPL (all/client roles)")
+	flag.Float64Var(&o.benchRate, "rate", 0,
+		"open-loop offered load in ops/s for -bench (0 = closed-loop)")
+	flag.IntVar(&o.window, "window", 0,
+		"client pipeline window: ops in flight (0 = closed-loop default of 1)")
 	flag.IntVar(&o.verifyWorkers, "verify-workers", 0,
 		"verification workers per replica (0 = runtime default, negative = inline)")
 	flag.IntVar(&o.checkpointInterval, "checkpoint-interval", 0,
@@ -297,6 +306,7 @@ func runAll(o options, exporter *metrics.Exporter) {
 		Replicas: memberIDs,
 		Group:    groupID,
 		Svc:      svc,
+		Tune:     replication.Tuning{Window: o.window},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -312,7 +322,7 @@ func runAll(o options, exporter *metrics.Exporter) {
 
 	tcl := tracing.WrapInvoker(cl, clTr)
 	if o.benchDur > 0 {
-		runBench(tcl, stores[0], o.benchDur)
+		runBench(tcl, cl, stores[0], o.benchDur, o.benchRate)
 		return
 	}
 	repl(tcl)
@@ -387,6 +397,7 @@ func runClient(o options, exporter *metrics.Exporter, peers *Peers, book *udpnet
 		Replicas: peers.Members,
 		Group:    groupID,
 		Svc:      remoteSvc(peers),
+		Tune:     replication.Tuning{Window: o.window},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -396,13 +407,23 @@ func runClient(o options, exporter *metrics.Exporter, peers *Peers, book *udpnet
 	log.Printf("client %d up on %s against %d replicas", id, conn.LocalAddr(), len(peers.Members))
 	tcl := tracing.WrapInvoker(cl, tr)
 	if o.benchDur > 0 {
-		runBench(tcl, nil, o.benchDur)
+		runBench(tcl, cl, nil, o.benchDur, o.benchRate)
 		return
 	}
 	repl(tcl)
 }
 
-func runBench(cl tracing.Invoker, store *kvstore.Store, d time.Duration) {
+// starter is the pipelined client shape runBench needs for open-loop
+// mode; *neobft.Client implements it.
+type starter interface {
+	Start(op []byte, deadline time.Duration) replication.Call
+}
+
+func runBench(cl tracing.Invoker, st starter, store *kvstore.Store, d time.Duration, rate float64) {
+	if rate > 0 {
+		runOpenBench(st, store, d, rate)
+		return
+	}
 	wl := ycsb.WorkloadA()
 	wl.RecordCount = 10_000
 	log.Printf("running YCSB-A for %v...", d)
@@ -426,6 +447,57 @@ func runBench(cl tracing.Invoker, store *kvstore.Store, d time.Duration) {
 	}
 	log.Printf("YCSB-A: %d ops in %v (%.0f ops/s, mean latency %v)%s",
 		ops, d, float64(ops)/d.Seconds(), latSum/time.Duration(max(ops, 1)), extra)
+}
+
+// runOpenBench offers YCSB-A load open-loop: Poisson arrivals at rate
+// ops/s submitted through the client's pipeline window, with latency
+// measured from each operation's scheduled arrival time.
+func runOpenBench(st starter, store *kvstore.Store, d time.Duration, rate float64) {
+	wl := ycsb.WorkloadA()
+	wl.RecordCount = 10_000
+	gen := ycsb.NewGenerator(wl, 1)
+	rng := rand.New(rand.NewSource(1))
+	log.Printf("running open-loop YCSB-A at %.0f ops/s for %v...", rate, d)
+	var (
+		mu     sync.Mutex
+		wg     sync.WaitGroup
+		ops    int
+		errs   int
+		latSum time.Duration
+	)
+	mean := float64(time.Second) / rate
+	next := time.Now()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		next = next.Add(time.Duration(rng.ExpFloat64() * mean))
+		if w := time.Until(next); w > 0 {
+			time.Sleep(w)
+		}
+		op := gen.Next()
+		sched := next
+		call := st.Start(op, 10*time.Second)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := call.Wait()
+			lat := time.Since(sched)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs++
+				return
+			}
+			ops++
+			latSum += lat
+		}()
+	}
+	wg.Wait()
+	extra := ""
+	if store != nil {
+		extra = fmt.Sprintf("; store holds %d keys", store.Len())
+	}
+	log.Printf("open-loop YCSB-A: %d ops in %v (%.0f ops/s achieved of %.0f offered, mean latency %v, %d errors)%s",
+		ops, d, float64(ops)/d.Seconds(), rate, latSum/time.Duration(max(ops, 1)), errs, extra)
 }
 
 func repl(cl tracing.Invoker) {

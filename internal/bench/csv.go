@@ -162,7 +162,29 @@ var metricsSystems = []Protocol{Unreplicated, NeoHM, PBFT, Zyzzyva, HotStuff, Mi
 // bumped whenever flattening suffixes or name prefixes change, so
 // downstream plotting scripts can detect incompatible files from the
 // leading comment line.
-const metricsCSVVersion = "neobft-metrics-csv v3 (transport column; histogram columns: _count/_p50/_p99/_p999/_mean; phase_*_ns tracing histogram columns when traced; latencies in ns)"
+const metricsCSVVersion = "neobft-metrics-csv v4 (run-config columns: mode/clients/window/rate_ops/batch_max/batch_bytes/batch_linger_us/batch_adaptive; transport column; histogram columns: _count/_p50/_p99/_p999/_mean; proto_batch_* batching series and client_* pipelining series; phase_*_ns tracing histogram columns when traced; latencies in ns)"
+
+// runConfigCols are the fixed run-config columns every metrics.csv row
+// starts with (after system and transport).
+var runConfigCols = []string{"mode", "clients", "window", "rate_ops", "batch_max", "batch_bytes", "batch_linger_us", "batch_adaptive"}
+
+// runConfigValues renders one run's config in runConfigCols order.
+func runConfigValues(c RunConfig) []string {
+	adaptive := "0"
+	if c.BatchAdaptive {
+		adaptive = "1"
+	}
+	return []string{
+		c.Mode,
+		strconv.Itoa(c.Clients),
+		strconv.Itoa(c.Window),
+		ftoa(c.Rate),
+		strconv.Itoa(c.BatchMax),
+		strconv.Itoa(c.BatchBytes),
+		ftoa(float64(c.BatchLinger) / float64(time.Microsecond)),
+		adaptive,
+	}
+}
 
 // CSVMetrics runs a short load against one representative of each
 // protocol family and writes the system-wide metric snapshots as
@@ -173,13 +195,20 @@ const metricsCSVVersion = "neobft-metrics-csv v3 (transport column; histogram co
 func CSVMetrics(dir string, c ExpConfig) error {
 	points := make(map[Protocol][]metrics.FlatPoint, len(metricsSystems))
 	transports := make(map[Protocol]string, len(metricsSystems))
+	configs := make(map[Protocol]RunConfig, len(metricsSystems))
 	colSet := map[string]bool{}
 	for _, p := range metricsSystems {
 		sys := c.build(Options{Protocol: p})
-		res := Run(sys, Load{Clients: 4, Warmup: c.warmup(), Duration: c.window()})
+		var res RunResult
+		if c.Rate > 0 {
+			res = RunOpen(sys, OpenLoad{Rate: c.Rate, Clients: 4, Warmup: c.warmup(), Duration: c.window()})
+		} else {
+			res = Run(sys, Load{Clients: 4, Warmup: c.warmup(), Duration: c.window()})
+		}
 		sys.Close()
 		points[p] = res.Metrics
 		transports[p] = res.Transport
+		configs[p] = res.Config
 		for _, pt := range res.Metrics {
 			colSet[pt.Name] = true
 		}
@@ -189,7 +218,7 @@ func CSVMetrics(dir string, c ExpConfig) error {
 		cols = append(cols, name)
 	}
 	sort.Strings(cols)
-	header := append([]string{"system", "transport"}, cols...)
+	header := append(append([]string{"system", "transport"}, runConfigCols...), cols...)
 	rows := make([][]string, 0, len(metricsSystems))
 	for _, p := range metricsSystems {
 		vals := make(map[string]float64, len(points[p]))
@@ -198,12 +227,38 @@ func CSVMetrics(dir string, c ExpConfig) error {
 		}
 		row := make([]string, 0, len(header))
 		row = append(row, string(p), transports[p])
+		row = append(row, runConfigValues(configs[p])...)
 		for _, col := range cols {
 			row = append(row, ftoa(vals[col]))
 		}
 		rows = append(rows, row)
 	}
 	return writeCSVComment(dir, "metrics.csv", metricsCSVVersion, header, rows)
+}
+
+// CSVSaturation runs the open-loop saturation sweep for one protocol and
+// writes (rate, achieved tput, median, p99, errors) rows.
+func CSVSaturation(dir string, c ExpConfig, p Protocol, rates []float64) error {
+	points := SaturationSweep(func() *System {
+		return c.build(Options{
+			Protocol:      p,
+			BatchSize:     c.BatchMax,
+			BatchLinger:   c.BatchLinger,
+			BatchAdaptive: true,
+			ClientWindow:  c.Window,
+		})
+	}, rates, OpenLoad{Clients: 4, Warmup: c.warmup(), Duration: c.window()})
+	var rows [][]string
+	for _, pt := range points {
+		rows = append(rows, []string{
+			string(p), ftoa(pt.Rate), ftoa(pt.Throughput),
+			ftoa(float64(pt.Median) / float64(time.Microsecond)),
+			ftoa(float64(pt.P99) / float64(time.Microsecond)),
+			strconv.Itoa(pt.Errors),
+		})
+	}
+	return writeCSV(dir, "saturation.csv",
+		[]string{"system", "offered_ops", "achieved_ops", "median_us", "p99_us", "errors"}, rows)
 }
 
 // CSVAll writes every figure's data series into dir.
@@ -218,6 +273,13 @@ func CSVAll(dir string, c ExpConfig) error {
 		return err
 	}
 	if err := CSVFig9(dir, c); err != nil {
+		return err
+	}
+	rates := []float64{2_000, 5_000, 10_000, 20_000}
+	if c.Short {
+		rates = []float64{2_000, 10_000}
+	}
+	if err := CSVSaturation(dir, c, PBFT, rates); err != nil {
 		return err
 	}
 	return CSVMetrics(dir, c)

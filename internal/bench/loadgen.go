@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,8 +13,47 @@ import (
 	"neobft/internal/transport"
 )
 
-// RunResult is the outcome of one closed-loop load run.
+// RunConfig records how a run drove the system: load-generation mode
+// and the batching/pipelining knobs the system was built with. It rides
+// on RunResult so exported data (metrics.csv) is self-describing.
+type RunConfig struct {
+	// Mode is "closed" (fixed clients, one op in flight each) or "open"
+	// (Poisson arrivals at a target rate).
+	Mode string
+	// Clients is the number of load-generating clients.
+	Clients int
+	// Window is each client's pipeline window (1 = closed-loop).
+	Window int
+	// Rate is the offered load in ops/s (open mode only; 0 otherwise).
+	Rate float64
+	// BatchMax / BatchBytes / BatchLinger / BatchAdaptive echo the
+	// leader batching configuration (see Options).
+	BatchMax      int
+	BatchBytes    int
+	BatchLinger   time.Duration
+	BatchAdaptive bool
+}
+
+// runConfig snapshots the system's build-time batching/window knobs
+// into a RunConfig for one run.
+func (sys *System) runConfig(mode string, clients int, rate float64) RunConfig {
+	return RunConfig{
+		Mode:          mode,
+		Clients:       clients,
+		Window:        sys.ClientWindow,
+		Rate:          rate,
+		BatchMax:      sys.BatchMax,
+		BatchBytes:    sys.BatchBytes,
+		BatchLinger:   sys.BatchLinger,
+		BatchAdaptive: sys.BatchAdaptive,
+	}
+}
+
+// RunResult is the outcome of one load run (closed- or open-loop).
 type RunResult struct {
+	// Config records the load mode and the batching/pipelining knobs
+	// this run was driven with.
+	Config RunConfig
 	// Throughput is committed operations per second during the measured
 	// window, with every node sharing this host's CPU.
 	Throughput float64
@@ -124,6 +165,7 @@ func Run(sys *System, load Load) RunResult {
 		load.PacketCost = 3 * time.Microsecond
 	}
 	type clientResult struct {
+		mu   sync.Mutex
 		lats []time.Duration
 		errs int
 	}
@@ -134,41 +176,63 @@ func Run(sys *System, load Load) RunResult {
 		results   = make([]clientResult, load.Clients)
 		acks      chaos.AckRecorder
 	)
+	record := func(idx int, op []byte, err error, elapsed time.Duration) {
+		if err == nil && chaosArmed {
+			if client, s, ok := chaos.DecodeOp(op); ok {
+				acks.Record(client, s)
+			}
+		}
+		if !measuring.Load() {
+			return
+		}
+		r := &results[idx]
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if err != nil {
+			r.errs++
+			return
+		}
+		r.lats = append(r.lats, elapsed)
+	}
 	for c := 0; c < load.Clients; c++ {
 		cl := sys.NewClient(c)
 		idx := c
+		st, pipelined := cl.(Starter)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			seq := 0
+			if pipelined && sys.ClientWindow > 1 {
+				// Pipelined closed loop: keep the client's window full.
+				// Start blocks while the window is full, so each client
+				// holds exactly ClientWindow ops in flight.
+				var inflight sync.WaitGroup
+				for !stop.Load() {
+					op := load.Op(idx, seq)
+					seq++
+					start := time.Now()
+					call := st.Start(op, load.OpTimeout)
+					inflight.Add(1)
+					go func() {
+						defer inflight.Done()
+						_, err := call.Wait()
+						record(idx, op, err, time.Since(start))
+					}()
+				}
+				inflight.Wait()
+				return
+			}
 			for !stop.Load() {
 				op := load.Op(idx, seq)
 				seq++
 				start := time.Now()
 				_, err := cl.Invoke(op, load.OpTimeout)
-				elapsed := time.Since(start)
-				if err == nil && chaosArmed {
-					if client, s, ok := chaos.DecodeOp(op); ok {
-						acks.Record(client, s)
-					}
-				}
-				if !measuring.Load() {
-					continue
-				}
-				if err != nil {
-					results[idx].errs++
-					continue
-				}
-				results[idx].lats = append(results[idx].lats, elapsed)
+				record(idx, op, err, time.Since(start))
 			}
 		}()
 	}
 	time.Sleep(load.Warmup)
-	msgs0 := sys.PerReplicaMsgs()
-	busy0 := sys.PerReplicaBusy()
-	pkts0 := sys.PerReplicaPkts()
-	auth0 := sys.AuthOps()
-	committed0 := sys.Committed()
+	snap0 := snapCounters(sys)
 	measuring.Store(true)
 	start := time.Now()
 	var exec *chaos.Executor
@@ -178,11 +242,7 @@ func Run(sys *System, load Load) RunResult {
 	time.Sleep(load.Duration)
 	measuring.Store(false)
 	window := time.Since(start)
-	msgs1 := sys.PerReplicaMsgs()
-	busy1 := sys.PerReplicaBusy()
-	pkts1 := sys.PerReplicaPkts()
-	auth1 := sys.AuthOps()
-	committed1 := sys.Committed()
+	snap1 := snapCounters(sys)
 	var chaosOut *ChaosOutcome
 	if exec != nil {
 		// Heal the fleet and wait the settle window with clients still
@@ -211,11 +271,46 @@ func Run(sys *System, load Load) RunResult {
 	}
 
 	var out RunResult
+	out.Config = sys.runConfig("closed", load.Clients, 0)
+	out.Chaos = chaosOut
+	fillSystemState(&out, sys)
+	for i := range results {
+		out.Latencies = append(out.Latencies, results[i].lats...)
+		out.Errors += results[i].errs
+	}
+	out.Throughput = float64(len(out.Latencies)) / window.Seconds()
+	fillPerOp(&out, snap0, snap1, load.PacketCost)
+	return out
+}
+
+// counterSnap is one point-in-time reading of the system's per-replica
+// counters; differencing two snapshots scopes the per-op metrics to the
+// measured window.
+type counterSnap struct {
+	msgs      []uint64
+	busy      []time.Duration
+	pkts      []uint64
+	auth      uint64
+	committed uint64
+}
+
+func snapCounters(sys *System) counterSnap {
+	return counterSnap{
+		msgs:      sys.PerReplicaMsgs(),
+		busy:      sys.PerReplicaBusy(),
+		pkts:      sys.PerReplicaPkts(),
+		auth:      sys.AuthOps(),
+		committed: sys.Committed(),
+	}
+}
+
+// fillSystemState copies the run-independent system state (transport,
+// seed, merged metric snapshot, drained spans) into out.
+func fillSystemState(out *RunResult, sys *System) {
 	out.Transport = sys.Transport
 	if s, ok := sys.Net.(transport.Seeded); ok {
 		out.Seed = s.Seed()
 	}
-	out.Chaos = chaosOut
 	if len(sys.Metrics) > 0 {
 		snaps := make([][]metrics.Sample, len(sys.Metrics))
 		for i, reg := range sys.Metrics {
@@ -224,43 +319,210 @@ func Run(sys *System, load Load) RunResult {
 		out.Metrics = metrics.Flatten(metrics.Merge(snaps...))
 	}
 	out.Spans = sys.DrainSpans()
-	for _, r := range results {
-		out.Latencies = append(out.Latencies, r.lats...)
-		out.Errors += r.errs
-	}
-	out.Throughput = float64(len(out.Latencies)) / window.Seconds()
-	out.Committed = committed1 - committed0
+}
 
+// fillPerOp computes the windowed per-op metrics (committed ops,
+// bottleneck messages/packets/auth per op, projected throughput) from
+// two counter snapshots.
+func fillPerOp(out *RunResult, s0, s1 counterSnap, packetCost time.Duration) {
+	out.Committed = s1.committed - s0.committed
 	var maxMsgs uint64
-	for i := range msgs1 {
-		if d := msgs1[i] - msgs0[i]; d > maxMsgs {
+	for i := range s1.msgs {
+		if d := s1.msgs[i] - s0.msgs[i]; d > maxMsgs {
 			maxMsgs = d
 		}
 	}
 	// The bottleneck replica is the one whose (handler busy time +
 	// modeled packet I/O time) is largest.
 	var maxCost time.Duration
-	for i := range busy1 {
-		cost := busy1[i] - busy0[i] + time.Duration(pkts1[i]-pkts0[i])*load.PacketCost
+	for i := range s1.busy {
+		cost := s1.busy[i] - s0.busy[i] + time.Duration(s1.pkts[i]-s0.pkts[i])*packetCost
 		if cost > maxCost {
 			maxCost = cost
 		}
 	}
 	var maxPkts uint64
-	for i := range pkts1 {
-		if d := pkts1[i] - pkts0[i]; d > maxPkts {
+	for i := range s1.pkts {
+		if d := s1.pkts[i] - s0.pkts[i]; d > maxPkts {
 			maxPkts = d
 		}
 	}
 	if out.Committed > 0 {
 		out.PktsPerOp = float64(maxPkts) / float64(out.Committed)
 		out.MsgsPerOp = float64(maxMsgs) / float64(out.Committed)
-		out.AuthPerOp = float64(auth1-auth0) / float64(out.Committed)
+		out.AuthPerOp = float64(s1.auth-s0.auth) / float64(out.Committed)
 		if maxCost > 0 {
 			out.ProjectedTput = float64(out.Committed) / maxCost.Seconds()
 		}
 	}
+}
+
+// OpenLoad describes one open-loop run: operations arrive by a Poisson
+// process at Rate ops/s, spread evenly over Clients pipelined clients,
+// regardless of how fast the system completes them. Latency is measured
+// from each operation's *scheduled* arrival time, so queueing delay that
+// a closed-loop client would silently absorb (coordinated omission) is
+// charged to the operation.
+type OpenLoad struct {
+	// Rate is the target offered load in operations per second, summed
+	// across all clients. Must be > 0.
+	Rate float64
+	// Clients is how many pipelined clients spread the arrival process
+	// (default 4). Each client keeps at most its window in flight: when
+	// the window is full, arrivals queue and their waiting time counts
+	// toward latency.
+	Clients int
+	// Warmup and Duration split the run into a discarded ramp-up phase
+	// and the measured window.
+	Warmup   time.Duration
+	Duration time.Duration
+	// Op generates the operation payload for (client, sequence).
+	Op func(client, seq int) []byte
+	// OpTimeout bounds each invocation (default 30s).
+	OpTimeout time.Duration
+	// PacketCost models per-packet network-stack CPU cost (see Load).
+	PacketCost time.Duration
+	// Seed fixes the arrival-process randomness (default 1), so a rerun
+	// schedules the same arrival times.
+	Seed int64
+}
+
+// RunOpen drives an open-loop Poisson workload against the system and
+// measures latency-under-load and achieved throughput in the measured
+// window.
+func RunOpen(sys *System, load OpenLoad) RunResult {
+	if load.Rate <= 0 {
+		panic("bench: OpenLoad.Rate must be > 0")
+	}
+	if load.Clients == 0 {
+		load.Clients = 4
+	}
+	if load.Op == nil {
+		load.Op = defaultOp
+	}
+	if load.OpTimeout == 0 {
+		load.OpTimeout = 30 * time.Second
+	}
+	if load.PacketCost == 0 {
+		load.PacketCost = 3 * time.Microsecond
+	}
+	if load.Seed == 0 {
+		load.Seed = 1
+	}
+	perClientMean := float64(time.Second) * float64(load.Clients) / load.Rate
+	type clientResult struct {
+		mu   sync.Mutex
+		lats []time.Duration
+		errs int
+	}
+	var (
+		measuring atomic.Bool
+		stop      atomic.Bool
+		arrivals  sync.WaitGroup // submission loops
+		inflight  sync.WaitGroup // outstanding completions
+		results   = make([]clientResult, load.Clients)
+	)
+	for c := 0; c < load.Clients; c++ {
+		cl := sys.NewClient(c)
+		st, ok := cl.(Starter)
+		if !ok {
+			panic(fmt.Sprintf("bench: %T does not implement Start; open-loop load needs a pipelined client", cl))
+		}
+		idx := c
+		arrivals.Add(1)
+		go func() {
+			defer arrivals.Done()
+			rng := rand.New(rand.NewSource(load.Seed + int64(idx)*7919))
+			next := time.Now()
+			seq := 0
+			for !stop.Load() {
+				next = next.Add(time.Duration(rng.ExpFloat64() * perClientMean))
+				if d := time.Until(next); d > 0 {
+					time.Sleep(d)
+					if stop.Load() {
+						return
+					}
+				}
+				op := load.Op(idx, seq)
+				seq++
+				sched := next
+				call := st.Start(op, load.OpTimeout) // blocks while window is full
+				inflight.Add(1)
+				go func() {
+					defer inflight.Done()
+					_, err := call.Wait()
+					lat := time.Since(sched)
+					if !measuring.Load() {
+						return
+					}
+					r := &results[idx]
+					r.mu.Lock()
+					if err != nil {
+						r.errs++
+					} else {
+						r.lats = append(r.lats, lat)
+					}
+					r.mu.Unlock()
+				}()
+			}
+		}()
+	}
+	time.Sleep(load.Warmup)
+	snap0 := snapCounters(sys)
+	measuring.Store(true)
+	start := time.Now()
+	time.Sleep(load.Duration)
+	measuring.Store(false)
+	window := time.Since(start)
+	snap1 := snapCounters(sys)
+	stop.Store(true)
+	arrivals.Wait()
+	inflight.Wait()
+
+	var out RunResult
+	out.Config = sys.runConfig("open", load.Clients, load.Rate)
+	fillSystemState(&out, sys)
+	for i := range results {
+		out.Latencies = append(out.Latencies, results[i].lats...)
+		out.Errors += results[i].errs
+	}
+	out.Throughput = float64(len(out.Latencies)) / window.Seconds()
+	fillPerOp(&out, snap0, snap1, load.PacketCost)
 	return out
+}
+
+// SaturationPoint is one (offered rate → achieved throughput, latency)
+// measurement from an open-loop sweep.
+type SaturationPoint struct {
+	Rate       float64
+	Throughput float64
+	Median     time.Duration
+	P99        time.Duration
+	Errors     int
+}
+
+// SaturationSweep runs open-loop points at increasing offered rates,
+// each against a freshly built system, and reports the achieved
+// throughput and latency at every rate. The saturation knee is where
+// Throughput stops tracking Rate and latency takes off.
+func SaturationSweep(build func() *System, rates []float64, load OpenLoad) []SaturationPoint {
+	var points []SaturationPoint
+	for _, r := range rates {
+		sys := build()
+		l := load
+		l.Rate = r
+		res := RunOpen(sys, l)
+		sys.Close()
+		s := Summarize(res.Latencies)
+		points = append(points, SaturationPoint{
+			Rate:       r,
+			Throughput: res.Throughput,
+			Median:     s.Median,
+			P99:        s.P99,
+			Errors:     res.Errors,
+		})
+	}
+	return points
 }
 
 // FindMaxThroughput sweeps client counts and returns the best sustained

@@ -44,7 +44,7 @@ func TestMetricsCSVSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.HasPrefix(first, "# neobft-metrics-csv v3") {
+	if !strings.HasPrefix(first, "# neobft-metrics-csv v4") {
 		t.Fatalf("missing version comment, got %q", first)
 	}
 
@@ -62,13 +62,26 @@ func TestMetricsCSVSmoke(t *testing.T) {
 		col[h] = i
 	}
 	for _, name := range []string{"system", "transport", "runtime_events_total", "runtime_verify_ns_count", "proto_commits_total",
-		"runtime_heap_inuse_bytes", "runtime_heap_objects"} {
+		"runtime_heap_inuse_bytes", "runtime_heap_objects",
+		"mode", "clients", "window", "rate_ops", "batch_max", "batch_bytes", "batch_linger_us", "batch_adaptive",
+		"proto_batch_size_count", "proto_batch_size_mean", "client_inflight"} {
 		if _, ok := col[name]; !ok {
 			t.Fatalf("column %q missing from header", name)
 		}
 	}
 	for _, row := range rows[1:] {
 		sysName := row[col["system"]]
+		if got := row[col["mode"]]; got != "closed" {
+			t.Errorf("%s: mode = %q, want closed", sysName, got)
+		}
+		if got := row[col["window"]]; got != "1" {
+			t.Errorf("%s: window = %q, want 1", sysName, got)
+		}
+		if sysName == string(PBFT) {
+			if v, _ := strconv.ParseFloat(row[col["proto_batch_size_count"]], 64); v <= 0 {
+				t.Errorf("pbft: proto_batch_size_count = %v, want > 0 (batch histogram missing)", v)
+			}
+		}
 		for _, name := range []string{"runtime_events_total", "runtime_verify_ns_count", "proto_commits_total",
 			"runtime_heap_inuse_bytes"} {
 			v, err := strconv.ParseFloat(row[col[name]], 64)

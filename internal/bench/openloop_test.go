@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestOpenLoopSmoke drives a pipelined PBFT system at a fixed offered
+// rate and checks the run result carries the open-loop provenance and
+// the client pipelining metrics.
+func TestOpenLoopSmoke(t *testing.T) {
+	sys := Build(Options{Protocol: PBFT, BatchSize: 16, BatchAdaptive: true, ClientWindow: 4})
+	defer sys.Close()
+	res := RunOpen(sys, OpenLoad{
+		Rate: 2000, Clients: 2,
+		Warmup: 50 * time.Millisecond, Duration: 300 * time.Millisecond,
+	})
+	if res.Throughput == 0 {
+		t.Fatalf("zero throughput (errors=%d)", res.Errors)
+	}
+	if res.Errors > 0 {
+		t.Fatalf("open-loop run had %d errors", res.Errors)
+	}
+	c := res.Config
+	if c.Mode != "open" || c.Rate != 2000 || c.Clients != 2 || c.Window != 4 {
+		t.Fatalf("run config = %+v", c)
+	}
+	if c.BatchMax != 16 || !c.BatchAdaptive {
+		t.Fatalf("batch config not recorded: %+v", c)
+	}
+	if len(res.Latencies) == 0 {
+		t.Fatal("no latencies recorded")
+	}
+	// The pipelining gauge/counters must appear in the merged snapshot.
+	flatValue(t, res.Metrics, "client_inflight")
+	flatValue(t, res.Metrics, "client_retransmits_total")
+	s := Summarize(res.Latencies)
+	t.Logf("open 2000 ops/s offered: %.0f achieved, median %v p99 %v", res.Throughput, s.Median, s.P99)
+}
+
+// TestOpenLoopLatencyIncludesQueueing checks the coordinated-omission
+// guard: when the offered rate far exceeds capacity, measured latency
+// must grow with queueing delay rather than stay flat.
+func TestOpenLoopLatencyIncludesQueueing(t *testing.T) {
+	run := func(rate float64) time.Duration {
+		sys := Build(Options{Protocol: PBFT})
+		defer sys.Close()
+		res := RunOpen(sys, OpenLoad{
+			Rate: rate, Clients: 2,
+			Warmup: 50 * time.Millisecond, Duration: 250 * time.Millisecond,
+		})
+		return Summarize(res.Latencies).P99
+	}
+	light := run(500)
+	// Two window-1 PBFT clients sustain a few thousand ops/s at best;
+	// a 50k offered rate builds a backlog whose waiting time must show
+	// up as scheduled-arrival latency.
+	heavy := run(50_000)
+	if heavy < 3*light {
+		t.Fatalf("overload p99 %v not measurably above light-load p99 %v; queueing delay dropped", heavy, light)
+	}
+}
+
+// TestSaturationSweepSmoke runs the sweep helper over two rates and
+// checks the points come back in order with sane values.
+func TestSaturationSweepSmoke(t *testing.T) {
+	pts := SaturationPoints(t)
+	if len(pts) != 2 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for i, pt := range pts {
+		if pt.Throughput <= 0 {
+			t.Fatalf("point %d: zero throughput", i)
+		}
+		if pt.Median <= 0 {
+			t.Fatalf("point %d: zero median", i)
+		}
+	}
+	if pts[0].Rate >= pts[1].Rate {
+		t.Fatal("rates not ascending")
+	}
+}
+
+// SaturationPoints is a test helper running a tiny two-rate sweep.
+func SaturationPoints(t *testing.T) []SaturationPoint {
+	t.Helper()
+	return SaturationSweep(func() *System {
+		return Build(Options{Protocol: PBFT, BatchSize: 32, BatchAdaptive: true, ClientWindow: 4})
+	}, []float64{1000, 3000}, OpenLoad{
+		Clients: 2, Warmup: 50 * time.Millisecond, Duration: 200 * time.Millisecond,
+	})
+}
+
+// TestAdaptiveBatchingBeatsSeed is the acceptance gate for the unified
+// request path: adaptive batching with a deeper cap plus client
+// pipelining must beat the seed configuration (fixed BatchSize=8,
+// window=1, closed loop) on PBFT throughput by a clear margin.
+func TestAdaptiveBatchingBeatsSeed(t *testing.T) {
+	measure := func(o Options) float64 {
+		o.Protocol = PBFT
+		sys := Build(o)
+		defer sys.Close()
+		res := Run(sys, Load{Clients: 16, Warmup: 100 * time.Millisecond, Duration: 400 * time.Millisecond})
+		return res.Throughput
+	}
+	seed := Options{BatchSize: 8}
+	tuned := Options{BatchSize: 64, BatchLinger: 200 * time.Microsecond, BatchAdaptive: true, ClientWindow: 8}
+
+	// One retry damps scheduler noise on loaded CI machines.
+	for attempt := 0; ; attempt++ {
+		base := measure(seed)
+		fast := measure(tuned)
+		t.Logf("attempt %d: seed %.0f ops/s, tuned %.0f ops/s (%.2fx)", attempt, base, fast, fast/base)
+		if fast >= 1.15*base {
+			return
+		}
+		if attempt >= 1 {
+			t.Fatalf("tuned path %.0f ops/s did not beat seed %.0f ops/s by 1.15x", fast, base)
+		}
+	}
+}

@@ -61,8 +61,21 @@ type Options struct {
 	AppFactory func(i int) replication.App
 	// Net configures the simulated network.
 	Net simnet.Options
-	// BatchSize for the batching baselines (default 8).
+	// BatchSize for the batching baselines (default 8): the maximum
+	// number of requests per batch.
 	BatchSize int
+	// BatchBytes caps the payload bytes per batch (0 = batch default).
+	BatchBytes int
+	// BatchLinger bounds how long the oldest queued request may wait
+	// before a partial batch is cut anyway (0 = cut whenever polled, the
+	// legacy behavior).
+	BatchLinger time.Duration
+	// BatchAdaptive drives the batch-size target from an EWMA of the
+	// leader's queue depth instead of always waiting for BatchSize.
+	BatchAdaptive bool
+	// ClientWindow is each client's in-flight pipeline window (default 1
+	// = closed-loop).
+	ClientWindow int
 	// CheckpointInterval is the slot interval between checkpoints for
 	// every protocol (NeoBFT sync points, PBFT/Zyzzyva/MinBFT stable
 	// checkpoints, HotStuff/unreplicated compaction). 0 keeps each
@@ -174,10 +187,20 @@ type System struct {
 	// their span buffers into the dump cmd/neotrace consumes.
 	Tracers []*tracing.Tracer
 	traceMu sync.Mutex
-	// clientReg is the registry all client tracers share (phase_e2e_ns /
-	// phase_reply_ns are observed client-side); appended to Metrics after
-	// the replica and switch registries so index-based node→registry
-	// mappings stay stable.
+	// BatchMax, BatchBytes, BatchLinger, BatchAdaptive and ClientWindow
+	// record the batching/pipelining configuration the system was built
+	// with; the load generators copy them into RunResult.Config.
+	BatchMax      int
+	BatchBytes    int
+	BatchLinger   time.Duration
+	BatchAdaptive bool
+	ClientWindow  int
+
+	// clientReg is the registry shared by every client: client tracers
+	// (phase_e2e_ns / phase_reply_ns are observed client-side) and the
+	// replication-client series (client_retransmits_total, client_inflight).
+	// It is appended to Metrics after the replica and switch registries so
+	// index-based node→registry mappings stay stable.
 	clientReg *metrics.Registry
 	// chaosTr records injected faults as always-sampled spans.
 	chaosTr *tracing.Tracer
@@ -211,13 +234,48 @@ func (sys *System) DrainSpans() []tracing.Span {
 	return out
 }
 
+// Starter is a pipelined client: Start submits an operation without
+// waiting for its result. Every protocol client in this repository
+// implements it alongside the closed-loop Invoke.
+type Starter interface {
+	Start(op []byte, deadline time.Duration) replication.Call
+}
+
+// starterInvoker pairs the traced closed-loop view of a client with its
+// raw pipelined Start. Trace roots cover Invoke only: pipelined
+// operations overlap, so a per-op root span has no single active window
+// on the client goroutine.
+type starterInvoker struct {
+	Invoker
+	s Starter
+}
+
+func (si starterInvoker) Start(op []byte, deadline time.Duration) replication.Call {
+	return si.s.Start(op, deadline)
+}
+
 // traceInvoker decorates a protocol client with the trace-root wrapper
-// (sampling decision + request span) when tracing is on.
+// (sampling decision + request span) when tracing is on, preserving the
+// client's pipelined Start.
 func traceInvoker(in Invoker, tr *tracing.Tracer) Invoker {
 	if tr == nil {
 		return in
 	}
-	return tracing.WrapInvoker(in, tr)
+	traced := tracing.WrapInvoker(in, tr)
+	if s, ok := in.(Starter); ok {
+		return starterInvoker{Invoker: traced, s: s}
+	}
+	return traced
+}
+
+// clientTuning bundles the windowing/backoff/metrics knobs every
+// protocol client receives.
+func clientTuning(sys *System, o Options) replication.Tuning {
+	return replication.Tuning{
+		Window:  o.ClientWindow,
+		Timeout: o.ClientTimeout,
+		Metrics: sys.clientReg,
+	}
 }
 
 const (
@@ -260,6 +318,9 @@ func Build(o Options) *System {
 	if o.ClientTimeout == 0 {
 		o.ClientTimeout = time.Second
 	}
+	if o.ClientWindow == 0 {
+		o.ClientWindow = 1
+	}
 	if o.AppFactory == nil {
 		o.AppFactory = func(int) replication.App { return replication.EchoApp{} }
 	}
@@ -270,10 +331,15 @@ func Build(o Options) *System {
 	if f < 1 && o.Protocol != Unreplicated {
 		f = 1
 	}
-	sys := &System{Name: string(o.Protocol)}
-	if o.TraceRate > 0 {
-		sys.clientReg = metrics.NewRegistry()
+	sys := &System{
+		Name:          string(o.Protocol),
+		BatchMax:      o.BatchSize,
+		BatchBytes:    o.BatchBytes,
+		BatchLinger:   o.BatchLinger,
+		BatchAdaptive: o.BatchAdaptive,
+		ClientWindow:  o.ClientWindow,
 	}
+	sys.clientReg = metrics.NewRegistry()
 	var fab transport.Fabric
 	switch {
 	case o.Fabric != nil:
@@ -363,11 +429,11 @@ func Build(o Options) *System {
 	default:
 		panic(fmt.Sprintf("bench: unknown protocol %q", o.Protocol))
 	}
+	// Appended after the replica and switch registries: the udp fabric's
+	// MetricsFor maps node ID i+1 to Metrics[i], so the client registry
+	// must not shift those indices.
+	sys.Metrics = append(sys.Metrics, sys.clientReg)
 	if o.TraceRate > 0 {
-		// Appended after the replica and switch registries: the udp
-		// fabric's MetricsFor maps node ID i+1 to Metrics[i], so the
-		// client registry must not shift those indices.
-		sys.Metrics = append(sys.Metrics, sys.clientReg)
 		sys.chaosTr = sys.newTracer(o, "chaos", nil)
 	}
 	return sys
@@ -594,7 +660,7 @@ func buildNeo(sys *System, o Options, fab transport.Fabric, f int) {
 			Replicas: mem,
 			Group:    1,
 			Svc:      svc,
-			Timeout:  o.ClientTimeout,
+			Tune:     clientTuning(sys, o),
 		})
 		if err != nil {
 			panic(err)
@@ -675,6 +741,9 @@ func buildPBFT(sys *System, o Options, fab transport.Fabric, f int) {
 			ClientAuth:         csides[i],
 			App:                o.AppFactory(i),
 			BatchSize:          o.BatchSize,
+			BatchBytes:         o.BatchBytes,
+			BatchLinger:        o.BatchLinger,
+			BatchAdaptive:      o.BatchAdaptive,
 			CheckpointInterval: o.CheckpointInterval,
 			Runtime:            rts[i],
 			Metrics:            regs[i],
@@ -690,7 +759,7 @@ func buildPBFT(sys *System, o Options, fab transport.Fabric, f int) {
 		ctr := sys.newTracer(o, fmt.Sprintf("client-%d", id), sys.clientReg)
 		return traceInvoker(pbft.NewClient(
 			tracing.WrapConn(join(fab, clientBase+transport.NodeID(id)), ctr),
-			[]byte(clientMaster), o.N, f, mem, o.ClientTimeout), ctr)
+			[]byte(clientMaster), o.N, f, mem, clientTuning(sys, o)), ctr)
 	}
 	sys.Close = func() {
 		for _, r := range replicas {
@@ -711,6 +780,9 @@ func buildPBFT(sys *System, o Options, fab transport.Fabric, f int) {
 			ClientAuth:         csides[i],
 			App:                o.AppFactory(i),
 			BatchSize:          o.BatchSize,
+			BatchBytes:         o.BatchBytes,
+			BatchLinger:        o.BatchLinger,
+			BatchAdaptive:      o.BatchAdaptive,
 			CheckpointInterval: o.CheckpointInterval,
 			Runtime:            lc.rts[i],
 			Metrics:            regs[i],
@@ -745,6 +817,9 @@ func buildZyzzyva(sys *System, o Options, fab transport.Fabric, f int) {
 			ClientAuth:         csides[i],
 			App:                o.AppFactory(i),
 			BatchSize:          o.BatchSize,
+			BatchBytes:         o.BatchBytes,
+			BatchLinger:        o.BatchLinger,
+			BatchAdaptive:      o.BatchAdaptive,
 			CheckpointInterval: o.CheckpointInterval,
 			Silent:             o.Protocol == ZyzzyvaF && i == o.N-1,
 			Runtime:            rts[i],
@@ -765,7 +840,7 @@ func buildZyzzyva(sys *System, o Options, fab transport.Fabric, f int) {
 		ctr := sys.newTracer(o, fmt.Sprintf("client-%d", id), sys.clientReg)
 		return traceInvoker(zyzzyva.NewClient(
 			tracing.WrapConn(join(fab, clientBase+transport.NodeID(id)), ctr),
-			[]byte(clientMaster), o.N, f, mem, specTimeout, o.ClientTimeout), ctr)
+			[]byte(clientMaster), o.N, f, mem, specTimeout, clientTuning(sys, o)), ctr)
 	}
 	sys.Close = func() {
 		for _, r := range replicas {
@@ -786,6 +861,9 @@ func buildZyzzyva(sys *System, o Options, fab transport.Fabric, f int) {
 			ClientAuth:         csides[i],
 			App:                o.AppFactory(i),
 			BatchSize:          o.BatchSize,
+			BatchBytes:         o.BatchBytes,
+			BatchLinger:        o.BatchLinger,
+			BatchAdaptive:      o.BatchAdaptive,
 			CheckpointInterval: o.CheckpointInterval,
 			Silent:             o.Protocol == ZyzzyvaF && i == o.N-1,
 			Runtime:            lc.rts[i],
@@ -821,6 +899,9 @@ func buildHotStuff(sys *System, o Options, fab transport.Fabric, f int) {
 			ClientAuth:         csides[i],
 			App:                o.AppFactory(i),
 			BatchSize:          o.BatchSize,
+			BatchBytes:         o.BatchBytes,
+			BatchLinger:        o.BatchLinger,
+			BatchAdaptive:      o.BatchAdaptive,
 			CheckpointInterval: o.CheckpointInterval,
 			Runtime:            rts[i],
 			Metrics:            regs[i],
@@ -836,7 +917,7 @@ func buildHotStuff(sys *System, o Options, fab transport.Fabric, f int) {
 		ctr := sys.newTracer(o, fmt.Sprintf("client-%d", id), sys.clientReg)
 		return traceInvoker(hotstuff.NewClient(
 			tracing.WrapConn(join(fab, clientBase+transport.NodeID(id)), ctr),
-			[]byte(clientMaster), o.N, f, mem, o.ClientTimeout), ctr)
+			[]byte(clientMaster), o.N, f, mem, clientTuning(sys, o)), ctr)
 	}
 	sys.Close = func() {
 		for _, r := range replicas {
@@ -857,6 +938,9 @@ func buildHotStuff(sys *System, o Options, fab transport.Fabric, f int) {
 			ClientAuth:         csides[i],
 			App:                o.AppFactory(i),
 			BatchSize:          o.BatchSize,
+			BatchBytes:         o.BatchBytes,
+			BatchLinger:        o.BatchLinger,
+			BatchAdaptive:      o.BatchAdaptive,
 			CheckpointInterval: o.CheckpointInterval,
 			Runtime:            lc.rts[i],
 			Metrics:            regs[i],
@@ -895,6 +979,9 @@ func buildMinBFT(sys *System, o Options, fab transport.Fabric, f int) {
 			App:                o.AppFactory(i),
 			USIG:               usigs[i],
 			BatchSize:          o.BatchSize,
+			BatchBytes:         o.BatchBytes,
+			BatchLinger:        o.BatchLinger,
+			BatchAdaptive:      o.BatchAdaptive,
 			CheckpointInterval: o.CheckpointInterval,
 			Runtime:            rts[i],
 			Metrics:            regs[i],
@@ -918,7 +1005,7 @@ func buildMinBFT(sys *System, o Options, fab transport.Fabric, f int) {
 		ctr := sys.newTracer(o, fmt.Sprintf("client-%d", id), sys.clientReg)
 		return traceInvoker(minbft.NewClient(
 			tracing.WrapConn(join(fab, clientBase+transport.NodeID(id)), ctr),
-			[]byte(clientMaster), n, f, mem, o.ClientTimeout), ctr)
+			[]byte(clientMaster), n, f, mem, clientTuning(sys, o)), ctr)
 	}
 	sys.Close = func() {
 		for _, r := range replicas {
@@ -943,6 +1030,9 @@ func buildMinBFT(sys *System, o Options, fab transport.Fabric, f int) {
 			App:                o.AppFactory(i),
 			USIG:               usigs[i],
 			BatchSize:          o.BatchSize,
+			BatchBytes:         o.BatchBytes,
+			BatchLinger:        o.BatchLinger,
+			BatchAdaptive:      o.BatchAdaptive,
 			CheckpointInterval: o.CheckpointInterval,
 			Runtime:            lc.rts[i],
 			Metrics:            regs[i],
@@ -975,7 +1065,7 @@ func buildUnreplicated(sys *System, o Options, fab transport.Fabric) {
 		ctr := sys.newTracer(o, fmt.Sprintf("client-%d", id), sys.clientReg)
 		return traceInvoker(unreplicated.NewClient(
 			tracing.WrapConn(join(fab, clientBase+transport.NodeID(id)), ctr),
-			1, []byte(clientMaster), o.ClientTimeout), ctr)
+			1, []byte(clientMaster), clientTuning(sys, o)), ctr)
 	}
 	sys.Close = func() {
 		servers[0].Close()

@@ -1,23 +1,22 @@
 package hotstuff
 
 import (
-	"time"
-
 	"neobft/internal/replication"
 	"neobft/internal/transport"
 )
 
 // NewClient builds a HotStuff client: requests broadcast to every
 // replica's mempool; a result is accepted after f+1 matching replies.
-func NewClient(conn transport.Conn, master []byte, n, f int, members []transport.NodeID, timeout time.Duration) *replication.Client {
-	return replication.NewWiredClient(replication.ClientConfig{
+func NewClient(conn transport.Conn, master []byte, n, f int, members []transport.NodeID, tune replication.Tuning) *replication.Client {
+	cfg := replication.ClientConfig{
 		Conn: conn, N: n, F: f, Quorum: f + 1,
-		Timeout: timeout,
 		Submit: func(req *replication.Request, retry bool) {
 			pkt := req.Marshal()
 			for _, m := range members {
 				conn.Send(m, pkt)
 			}
 		},
-	}, master)
+	}
+	tune.Apply(&cfg)
+	return replication.NewWiredClient(cfg, master)
 }

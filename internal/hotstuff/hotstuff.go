@@ -13,13 +13,14 @@ package hotstuff
 import (
 	"crypto/sha256"
 	"sync"
+	"time"
 
+	"neobft/internal/batch"
 	"neobft/internal/crypto/auth"
 	"neobft/internal/metrics"
 	"neobft/internal/replication"
 	"neobft/internal/runtime"
 	"neobft/internal/seqlog"
-	"neobft/internal/tracing"
 	"neobft/internal/transport"
 	"neobft/internal/wire"
 )
@@ -43,6 +44,15 @@ type Config struct {
 	App        replication.App
 	// BatchSize caps requests per block (default 8).
 	BatchSize int
+	// BatchBytes caps the marshaled request payload per block (default
+	// batch.DefaultMaxBytes).
+	BatchBytes int
+	// BatchLinger lets a leader defer a below-target batch for up to
+	// this long. Zero preserves the cut-immediately behavior.
+	BatchLinger time.Duration
+	// BatchAdaptive scales the batch-size target with queue depth (see
+	// batch.Config.Adaptive). Requires BatchLinger > 0.
+	BatchAdaptive bool
 	// CheckpointInterval is the number of committed heights between
 	// compactions (default 128). Three-chain commits are final, so
 	// compaction is purely local: no checkpoint vote exchange is needed,
@@ -101,13 +111,13 @@ type Replica struct {
 	proposed  map[uint64]bool                // views this replica proposed in
 	lastExec  uint64                         // height executed through
 	committed map[[32]byte]bool
-	pending   []*replication.Request
-	// pendingTr mirrors pending with each request's trace ref (closed
-	// into an ordering span at proposal time), including through the
-	// committed-elsewhere compaction filter.
-	pendingTr []tracing.Ref
-	inQueue   map[string]bool
-	table     *replication.ClientTable
+	// batcher queues client requests (with their trace refs, closed into
+	// ordering spans at proposal time) and cuts block batches per the
+	// shared hybrid policy, including through the committed-elsewhere
+	// compaction filter.
+	batcher *batch.Batcher
+	inQueue map[string]bool
+	table   *replication.ClientTable
 	// log holds committed blocks in the live watermark window; interval
 	// compaction truncates it and prunes the tree maps below it.
 	log seqlog.Log[*block]
@@ -179,8 +189,18 @@ func New(cfg Config) *Replica {
 	}
 	r.trace = reg.Recorder()
 	r.rt = cfg.Runtime
+	r.batcher = batch.New(batch.Config{
+		MaxCount:  cfg.BatchSize,
+		MaxBytes:  cfg.BatchBytes,
+		MaxLinger: cfg.BatchLinger,
+		Adaptive:  cfg.BatchAdaptive,
+		Metrics:   reg,
+	})
 	if cfg.Restore != nil {
 		r.restoreFromPersist(cfg.Restore)
+	}
+	if cfg.BatchLinger > 0 {
+		r.rt.ArmEvery(flushPollInterval(cfg.BatchLinger), r.onBatchPoll)
 	}
 	r.rt.Start(r)
 	return r
@@ -386,17 +406,9 @@ func (r *Replica) verifyPropose(pkt []byte) *block {
 	height := rd.U64()
 	parent := rd.Bytes32()
 	digest := rd.Bytes32()
-	nb := rd.U32()
-	if rd.Err() != nil || nb > 1<<16 {
+	reqs, ok := batch.Unmarshal(rd)
+	if !ok {
 		return nil
-	}
-	batch := make([]*replication.Request, nb)
-	for i := range batch {
-		req, err := replication.UnmarshalRequest(rd.VarBytes())
-		if err != nil {
-			return nil
-		}
-		batch[i] = req
 	}
 	qcView := rd.U64()
 	qcBlock := rd.Bytes32()
@@ -421,7 +433,7 @@ func (r *Replica) verifyPropose(pkt []byte) *block {
 	if br.Done() != nil || bView != view {
 		return nil
 	}
-	if batchDigest(batch) != digest {
+	if batchDigest(reqs) != digest {
 		return nil
 	}
 	if blockHash(view, height, parent, digest, qcBlock) != bHash {
@@ -435,7 +447,7 @@ func (r *Replica) verifyPropose(pkt []byte) *block {
 		return nil
 	}
 	return &block{hash: bHash, view: view, height: height, parent: parent,
-		digest: digest, batch: batch, justify: j}
+		digest: digest, batch: reqs, justify: j}
 }
 
 // ApplyEvent implements runtime.Handler.
@@ -465,10 +477,29 @@ func (r *Replica) onRequest(req *replication.Request) {
 	key := reqKey(req.Client, req.ReqID)
 	if !r.inQueue[key] {
 		r.inQueue[key] = true
-		r.pending = append(r.pending, req)
-		r.pendingTr = append(r.pendingTr, r.rt.Tracer().ActiveRef())
+		r.batcher.Put(req, r.rt.Tracer().ActiveRef())
 	}
 	r.tryProposeLocked()
+}
+
+// flushPollInterval picks how often to poll a lingering batcher: half
+// the linger bound, floored at 500µs so tiny lingers do not spin the
+// loop.
+func flushPollInterval(linger time.Duration) time.Duration {
+	d := linger / 2
+	if d < 500*time.Microsecond {
+		d = 500 * time.Microsecond
+	}
+	return d
+}
+
+// onBatchPoll runs on the runtime loop when a linger bound is set: it
+// proposes batches whose oldest request has waited out the linger even
+// if no new request arrives to trigger tryProposeLocked.
+func (r *Replica) onBatchPoll() {
+	r.mu.Lock()
+	r.tryProposeLocked()
+	r.mu.Unlock()
 }
 
 // tryProposeLocked proposes a block if this replica leads the view after
@@ -480,40 +511,35 @@ func (r *Replica) tryProposeLocked() {
 		return
 	}
 	// Filter requests that other leaders already committed.
-	live := r.pending[:0]
-	liveTr := r.pendingTr[:0]
-	for i, req := range r.pending {
-		if fresh, _ := r.table.Check(req.Client, req.ReqID); fresh && r.inQueue[reqKey(req.Client, req.ReqID)] {
-			live = append(live, req)
-			liveTr = append(liveTr, r.pendingTr[i])
+	r.batcher.Filter(func(req *replication.Request) bool {
+		fresh, _ := r.table.Check(req.Client, req.ReqID)
+		return fresh && r.inQueue[reqKey(req.Client, req.ReqID)]
+	})
+	needFlush := r.uncommittedAboveLocked(r.highQC.block)
+	now := time.Now()
+	var cut batch.Batch
+	if needFlush {
+		// The pipeline needs a proposal to make progress: ship whatever
+		// is queued, even an empty batch.
+		cut, _ = r.batcher.Flush(now)
+	} else {
+		var ok bool
+		cut, ok = r.batcher.Cut(now)
+		if !ok {
+			return
 		}
 	}
-	r.pending = live
-	r.pendingTr = liveTr
-	needFlush := r.uncommittedAboveLocked(r.highQC.block)
-	if len(r.pending) == 0 && !needFlush {
-		return
-	}
-	n := len(r.pending)
-	if n > r.cfg.BatchSize {
-		n = r.cfg.BatchSize
-	}
-	batch := append([]*replication.Request(nil), r.pending[:n]...)
-	r.pending = r.pending[n:]
-	for _, ref := range r.pendingTr[:n] {
-		r.rt.Tracer().EndOrder(ref, view)
-	}
-	r.pendingTr = r.pendingTr[n:]
+	cut.EndOrder(r.rt.Tracer(), view)
 
 	parent := r.blocks[r.highQC.block]
 	if parent == nil {
 		return
 	}
-	digest := batchDigest(batch)
+	digest := batchDigest(cut.Reqs)
 	h := blockHash(view, parent.height+1, parent.hash, digest, r.highQC.block)
 	b := &block{
 		hash: h, view: view, height: parent.height + 1,
-		parent: parent.hash, digest: digest, batch: batch, justify: r.highQC,
+		parent: parent.hash, digest: digest, batch: cut.Reqs, justify: r.highQC,
 	}
 	r.blocks[h] = b
 	r.proposed[view] = true
@@ -527,10 +553,7 @@ func (r *Replica) tryProposeLocked() {
 	w.U64(b.height)
 	w.Bytes32(b.parent)
 	w.Bytes32(b.digest)
-	w.U32(uint32(len(batch)))
-	for _, req := range batch {
-		w.VarBytes(req.Marshal()[1:])
-	}
+	batch.MarshalInto(w, cut.Reqs)
 	// justify QC
 	w.U64(b.justify.view)
 	w.Bytes32(b.justify.block)

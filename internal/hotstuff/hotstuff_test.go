@@ -67,7 +67,7 @@ func newCluster(t *testing.T, n int) *cluster {
 
 func (c *cluster) client(id int) *replication.Client {
 	return NewClient(c.net.Join(transport.NodeID(100+id)), []byte("client-master"),
-		c.n, c.f, c.members, 100*time.Millisecond)
+		c.n, c.f, c.members, replication.Tuning{Timeout: 100 * time.Millisecond})
 }
 
 func TestPipelineCommits(t *testing.T) {

@@ -16,12 +16,12 @@ import (
 
 	"time"
 
+	"neobft/internal/batch"
 	"neobft/internal/crypto/auth"
 	"neobft/internal/metrics"
 	"neobft/internal/replication"
 	"neobft/internal/runtime"
 	"neobft/internal/seqlog"
-	"neobft/internal/tracing"
 	"neobft/internal/transport"
 	"neobft/internal/usig"
 	"neobft/internal/wire"
@@ -55,6 +55,15 @@ type Config struct {
 	USIG *usig.USIG
 	// BatchSize caps requests per prepare (default 8).
 	BatchSize int
+	// BatchBytes caps the marshaled request payload per prepare (default
+	// batch.DefaultMaxBytes).
+	BatchBytes int
+	// BatchLinger lets the primary defer a below-target batch for up to
+	// this long. Zero preserves the cut-immediately behavior.
+	BatchLinger time.Duration
+	// BatchAdaptive scales the batch-size target with queue depth (see
+	// batch.Config.Adaptive). Requires BatchLinger > 0.
+	BatchAdaptive bool
 	// Window caps outstanding prepares (default 2).
 	Window int
 	// CheckpointInterval is the number of slots between checkpoints
@@ -93,12 +102,12 @@ type Replica struct {
 	log      seqlog.Log[*slot] // primary counter → slot, watermark-bounded
 	lastExec uint64            // last executed primary counter
 	lastSeen map[uint32]uint64
-	pending  []*replication.Request
-	// pendingTr mirrors pending with each request's trace ref, closed
-	// into an ordering span when the USIG counter is assigned.
-	pendingTr []tracing.Ref
-	inQueue   map[string]bool
-	table     *replication.ClientTable
+	// batcher queues client requests at the primary (with their trace
+	// refs, closed into ordering spans when the USIG counter is assigned)
+	// and cuts prepare batches per the shared hybrid policy.
+	batcher *batch.Batcher
+	inQueue map[string]bool
+	table   *replication.ClientTable
 
 	// ckpt collects f+1 matching checkpoint votes into stable
 	// certificates; stability truncates the log window.
@@ -189,11 +198,41 @@ func New(cfg Config) *Replica {
 		kindStateSnap:           reg.Counter("proto_msg_state_snapshot_total"),
 	}
 	r.trace = reg.Recorder()
+	r.batcher = batch.New(batch.Config{
+		MaxCount:  cfg.BatchSize,
+		MaxBytes:  cfg.BatchBytes,
+		MaxLinger: cfg.BatchLinger,
+		Adaptive:  cfg.BatchAdaptive,
+		Metrics:   reg,
+	})
 	if cfg.Restore != nil {
 		r.restoreFromPersist(cfg.Restore)
 	}
+	if cfg.BatchLinger > 0 {
+		r.rt.ArmEvery(flushPollInterval(cfg.BatchLinger), r.onBatchPoll)
+	}
 	r.rt.Start(r)
 	return r
+}
+
+// flushPollInterval picks how often to poll a lingering batcher: half
+// the linger bound, floored at 500µs so tiny lingers do not spin the
+// loop.
+func flushPollInterval(linger time.Duration) time.Duration {
+	d := linger / 2
+	if d < 500*time.Microsecond {
+		d = 500 * time.Microsecond
+	}
+	return d
+}
+
+// onBatchPoll runs on the runtime loop when a linger bound is set: it
+// cuts batches whose oldest request has waited out the linger even if
+// no new request arrives to trigger tryIssueLocked.
+func (r *Replica) onBatchPoll() {
+	r.mu.Lock()
+	r.tryIssueLocked()
+	r.mu.Unlock()
 }
 
 // Metrics returns the replica's shared metrics registry.
@@ -365,19 +404,8 @@ func (r *Replica) VerifyPacket(from transport.NodeID, pkt []byte) runtime.Event 
 		counter := rd.U64()
 		cert := rd.Bytes32()
 		bd := rd.Bytes32()
-		nb := rd.U32()
-		if rd.Err() != nil || nb > 1<<16 {
-			return nil
-		}
-		batch := make([]*replication.Request, nb)
-		for i := range batch {
-			req, err := replication.UnmarshalRequest(rd.VarBytes())
-			if err != nil {
-				return nil
-			}
-			batch[i] = req
-		}
-		if rd.Done() != nil {
+		reqs, ok := batch.Unmarshal(rd)
+		if !ok || rd.Done() != nil {
 			return nil
 		}
 		// Verify against the claimed view's primary; apply rejects
@@ -389,10 +417,10 @@ func (r *Replica) VerifyPacket(from transport.NodeID, pkt []byte) runtime.Event 
 			r.trace.Record(tkMinbftUIFail, uint64(prim), counter)
 			return nil
 		}
-		if batchDigest(batch) != bd {
+		if batchDigest(reqs) != bd {
 			return nil
 		}
-		return evPrepare{view: view, counter: counter, ui: ui, bd: bd, batch: batch}
+		return evPrepare{view: view, counter: counter, ui: ui, bd: bd, batch: reqs}
 	case kindCommit:
 		rd := wire.NewReader(pkt[1:])
 		view := rd.U64()
@@ -476,8 +504,7 @@ func (r *Replica) onRequest(req *replication.Request) {
 	key := reqKey(req.Client, req.ReqID)
 	if !r.inQueue[key] {
 		r.inQueue[key] = true
-		r.pending = append(r.pending, req)
-		r.pendingTr = append(r.pendingTr, r.rt.Tracer().ActiveRef())
+		r.batcher.Put(req, r.rt.Tracer().ActiveRef())
 	}
 	r.tryIssueLocked()
 }
@@ -486,31 +513,24 @@ func (r *Replica) tryIssueLocked() {
 	if !r.isPrimary() {
 		return
 	}
-	for len(r.pending) > 0 && r.cfg.USIG.Counter()-r.lastExec < uint64(r.cfg.Window) {
+	now := time.Now()
+	for r.batcher.Ready(now) && r.cfg.USIG.Counter()-r.lastExec < uint64(r.cfg.Window) {
 		if r.cfg.USIG.Counter()+1 > r.horizonLocked() {
 			// The watermark window is full: wait for a checkpoint to
 			// stabilize before consuming another USIG counter.
 			return
 		}
-		n := len(r.pending)
-		if n > r.cfg.BatchSize {
-			n = r.cfg.BatchSize
-		}
-		batch := r.pending[:n]
-		r.pending = r.pending[n:]
-		bd := batchDigest(batch)
+		cut, _ := r.batcher.Cut(now)
+		bd := batchDigest(cut.Reqs)
 		ui := r.cfg.USIG.CreateUI(prepareDigest(r.view, bd))
-		for _, ref := range r.pendingTr[:n] {
-			r.rt.Tracer().EndOrder(ref, ui.Counter)
-		}
-		r.pendingTr = r.pendingTr[n:]
+		cut.EndOrder(r.rt.Tracer(), ui.Counter)
 
 		s := r.slotFor(ui.Counter)
 		if s == nil {
 			return
 		}
 		s.digest = bd
-		s.batch = batch
+		s.batch = cut.Reqs
 		s.primUI = ui
 
 		w := wire.NewWriter(512)
@@ -519,10 +539,7 @@ func (r *Replica) tryIssueLocked() {
 		w.U64(ui.Counter)
 		w.Bytes32(ui.Cert)
 		w.Bytes32(bd)
-		w.U32(uint32(len(batch)))
-		for _, req := range batch {
-			w.VarBytes(req.Marshal()[1:])
-		}
+		batch.MarshalInto(w, cut.Reqs)
 		r.broadcast(w.Bytes())
 		r.maybeExecuteLocked()
 	}
@@ -633,10 +650,9 @@ func (r *Replica) maybeExecuteLocked() {
 }
 
 // NewClient builds a MinBFT client (f+1 matching replies).
-func NewClient(conn transport.Conn, master []byte, n, f int, members []transport.NodeID, timeout time.Duration) *replication.Client {
-	return replication.NewWiredClient(replication.ClientConfig{
+func NewClient(conn transport.Conn, master []byte, n, f int, members []transport.NodeID, tune replication.Tuning) *replication.Client {
+	cfg := replication.ClientConfig{
 		Conn: conn, N: n, F: f, Quorum: f + 1,
-		Timeout: timeout,
 		Submit: func(req *replication.Request, retry bool) {
 			pkt := req.Marshal()
 			if retry {
@@ -647,5 +663,7 @@ func NewClient(conn transport.Conn, master []byte, n, f int, members []transport
 			}
 			conn.Send(members[0], pkt)
 		},
-	}, master)
+	}
+	tune.Apply(&cfg)
+	return replication.NewWiredClient(cfg, master)
 }

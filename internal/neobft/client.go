@@ -33,8 +33,11 @@ type ClientOptions struct {
 	// Group and Svc locate the aom group and its current sequencer.
 	Group uint32
 	Svc   *configsvc.Service
-	// Timeout is the retransmission interval.
+	// Timeout is the initial retransmission interval.
 	Timeout time.Duration
+	// Tune carries the windowing/backoff/metrics knobs. A non-zero
+	// Timeout above overrides Tune.Timeout (legacy field).
+	Tune replication.Tuning
 }
 
 // NewClient creates a client and installs its packet handler.
@@ -50,15 +53,19 @@ func NewClient(o ClientOptions) (*Client, error) {
 		repls:  o.Replicas,
 		sender: aom.NewSender(o.Conn, o.Group, view.Sequencer),
 	}
-	c.base = replication.NewWiredClient(replication.ClientConfig{
+	cfg := replication.ClientConfig{
 		Conn:          o.Conn,
 		N:             o.N,
 		F:             o.F,
 		Quorum:        2*o.F + 1,
 		MatchPosition: true,
 		Submit:        c.submit,
-		Timeout:       o.Timeout,
-	}, o.Master)
+	}
+	o.Tune.Apply(&cfg)
+	if o.Timeout != 0 {
+		cfg.Timeout = o.Timeout
+	}
+	c.base = replication.NewWiredClient(cfg, o.Master)
 	return c, nil
 }
 
@@ -81,6 +88,11 @@ func (c *Client) submit(req *replication.Request, retry bool) {
 // Invoke executes one operation against the replicated service.
 func (c *Client) Invoke(op []byte, deadline time.Duration) ([]byte, error) {
 	return c.base.Invoke(op, deadline)
+}
+
+// Start submits one operation into the pipeline (see replication.Call).
+func (c *Client) Start(op []byte, deadline time.Duration) replication.Call {
+	return c.base.Start(op, deadline)
 }
 
 // ID returns the client's node ID.

@@ -20,14 +20,15 @@ type Client struct {
 }
 
 // NewClient creates a PBFT client.
-func NewClient(conn transport.Conn, master []byte, n, f int, members []transport.NodeID, timeout time.Duration) *Client {
+func NewClient(conn transport.Conn, master []byte, n, f int, members []transport.NodeID, tune replication.Tuning) *Client {
 	c := &Client{conn: conn, members: members, n: n}
-	c.base = replication.NewWiredClient(replication.ClientConfig{
+	cfg := replication.ClientConfig{
 		Conn: conn, N: n, F: f, Quorum: f + 1,
-		Timeout:     timeout,
 		Submit:      c.submit,
 		OnReplyHook: func(rep *replication.Reply) { c.view.Store(rep.View) },
-	}, master)
+	}
+	tune.Apply(&cfg)
+	c.base = replication.NewWiredClient(cfg, master)
 	return c
 }
 
@@ -46,6 +47,11 @@ func (c *Client) submit(req *replication.Request, retry bool) {
 // Invoke executes one operation.
 func (c *Client) Invoke(op []byte, deadline time.Duration) ([]byte, error) {
 	return c.base.Invoke(op, deadline)
+}
+
+// Start submits one operation into the pipeline (see replication.Call).
+func (c *Client) Start(op []byte, deadline time.Duration) replication.Call {
+	return c.base.Start(op, deadline)
 }
 
 // ID returns the client's node ID.

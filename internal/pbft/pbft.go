@@ -11,12 +11,12 @@ import (
 	"sync"
 	"time"
 
+	"neobft/internal/batch"
 	"neobft/internal/crypto/auth"
 	"neobft/internal/metrics"
 	"neobft/internal/replication"
 	"neobft/internal/runtime"
 	"neobft/internal/seqlog"
-	"neobft/internal/tracing"
 	"neobft/internal/transport"
 	"neobft/internal/wire"
 )
@@ -51,6 +51,16 @@ type Config struct {
 	App        replication.App
 	// BatchSize caps requests per pre-prepare (default 8).
 	BatchSize int
+	// BatchBytes caps the marshaled request payload per pre-prepare
+	// (default batch.DefaultMaxBytes).
+	BatchBytes int
+	// BatchLinger lets the primary defer a below-target batch for up to
+	// this long, trading a bounded latency hit for fuller batches. Zero
+	// preserves the cut-immediately behavior.
+	BatchLinger time.Duration
+	// BatchAdaptive scales the batch-size target with queue depth (see
+	// batch.Config.Adaptive). Requires BatchLinger > 0.
+	BatchAdaptive bool
 	// Window caps outstanding (uncommitted) batches (default 2). A small
 	// window is what makes batching effective: requests arriving while
 	// the window is full accumulate into the next batch.
@@ -117,12 +127,11 @@ type Replica struct {
 	// checkpoint (the low watermark) is truncated away.
 	log      seqlog.Log[*slot]
 	lastExec uint64
-	pending  []*replication.Request
-	// pendingTr mirrors pending: the trace ref (capture time + context)
-	// of each queued request, closed into an ordering span at batch cut.
-	pendingTr []tracing.Ref
-	inQueue   map[string]bool // dedupe queued requests by (client, reqID)
-	table     *replication.ClientTable
+	// batcher queues client requests at the primary (with their trace
+	// refs) and cuts pre-prepare batches per the shared hybrid policy.
+	batcher *batch.Batcher
+	inQueue map[string]bool // dedupe queued requests by (client, reqID)
+	table   *replication.ClientTable
 
 	// ckpt collects checkpoint votes into stable certificates; pendingCkpt
 	// holds snapshots captured at interval boundaries awaiting stability,
@@ -240,8 +249,20 @@ func New(cfg Config) *Replica {
 		r.msgCounters[k] = reg.Counter("proto_msg_" + name + "_total")
 	}
 	r.trace = reg.Recorder()
+	r.batcher = batch.New(batch.Config{
+		MaxCount:  cfg.BatchSize,
+		MaxBytes:  cfg.BatchBytes,
+		MaxLinger: cfg.BatchLinger,
+		Adaptive:  cfg.BatchAdaptive,
+		Metrics:   reg,
+	})
 	if cfg.Restore != nil {
 		r.restoreFromPersist(cfg.Restore)
+	}
+	if cfg.BatchLinger > 0 {
+		// Poll deferred batches well inside the linger bound; the 10ms
+		// protocol tick is far too coarse for sub-millisecond lingers.
+		r.rt.ArmEvery(flushPollInterval(cfg.BatchLinger), r.onBatchPoll)
 	}
 	r.rt.ArmEvery(cfg.TickInterval, r.onTick)
 	r.rt.Start(r)
@@ -395,29 +416,6 @@ func batchDigest(batch []*replication.Request) [32]byte {
 	return out
 }
 
-func marshalBatch(w *wire.Writer, batch []*replication.Request) {
-	w.U32(uint32(len(batch)))
-	for _, req := range batch {
-		w.VarBytes(req.Marshal()[1:]) // strip envelope kind
-	}
-}
-
-func unmarshalBatch(rd *wire.Reader) ([]*replication.Request, bool) {
-	n := rd.U32()
-	if rd.Err() != nil || n > 1<<16 {
-		return nil, false
-	}
-	batch := make([]*replication.Request, n)
-	for i := range batch {
-		req, err := replication.UnmarshalRequest(rd.VarBytes())
-		if err != nil {
-			return nil, false
-		}
-		batch[i] = req
-	}
-	return batch, true
-}
-
 // --- client requests -------------------------------------------------------
 
 func reqKey(c transport.NodeID, id uint64) string {
@@ -495,7 +493,7 @@ func (r *Replica) VerifyPacket(from transport.NodeID, pkt []byte) runtime.Event 
 		rd := wire.NewReader(pkt[1:])
 		body := rd.VarBytes()
 		tag := rd.VarBytes()
-		batch, ok := unmarshalBatch(rd)
+		reqs, ok := batch.Unmarshal(rd)
 		if !ok || rd.Done() != nil {
 			return nil
 		}
@@ -513,10 +511,10 @@ func (r *Replica) VerifyPacket(from transport.NodeID, pkt []byte) runtime.Event 
 			r.mAuthFail.Inc()
 			return nil
 		}
-		if batchDigest(batch) != digest {
+		if batchDigest(reqs) != digest {
 			return nil
 		}
-		return evPrePrepare{view: view, seq: seq, digest: digest, batch: batch}
+		return evPrePrepare{view: view, seq: seq, digest: digest, batch: reqs}
 	case kindPrepare:
 		replica, view, seq, digest, tag, ok := decodeVote(pkt[1:])
 		if !ok || int(replica) >= r.cfg.N {
@@ -650,8 +648,7 @@ func (r *Replica) onRequest(req *replication.Request, forwarded bool) {
 	if r.isPrimary() {
 		if !r.inQueue[key] {
 			r.inQueue[key] = true
-			r.pending = append(r.pending, req)
-			r.pendingTr = append(r.pendingTr, r.rt.Tracer().ActiveRef())
+			r.batcher.Put(req, r.rt.Tracer().ActiveRef())
 		}
 		r.tryIssueLocked()
 		return
@@ -672,34 +669,27 @@ func (r *Replica) tryIssueLocked() {
 	if !r.isPrimary() || r.inVC {
 		return
 	}
+	now := time.Now()
 	outstanding := r.seq - r.lastExec
-	for len(r.pending) > 0 && outstanding < uint64(r.cfg.Window) {
+	for r.batcher.Ready(now) && outstanding < uint64(r.cfg.Window) {
 		s := r.slotFor(r.seq + 1)
 		if s == nil {
 			return // watermark window full: wait for the next stable checkpoint
 		}
-		n := len(r.pending)
-		if n > r.cfg.BatchSize {
-			n = r.cfg.BatchSize
-		}
-		batch := r.pending[:n]
-		r.pending = r.pending[n:]
+		cut, _ := r.batcher.Cut(now)
 		r.seq++
 		seq := r.seq
-		for _, ref := range r.pendingTr[:n] {
-			r.rt.Tracer().EndOrder(ref, seq)
-		}
-		r.pendingTr = r.pendingTr[n:]
+		cut.EndOrder(r.rt.Tracer(), seq)
 		s.view = r.view
-		s.batch = batch
-		s.digest = batchDigest(batch)
+		s.batch = cut.Reqs
+		s.digest = batchDigest(cut.Reqs)
 
 		body := ppBody(r.view, seq, s.digest)
 		w := wire.NewWriter(256)
 		w.U8(kindPrePrepare)
 		w.VarBytes(body)
 		w.VarBytes(r.cfg.Auth.TagVector(body))
-		marshalBatch(w, batch)
+		batch.MarshalInto(w, cut.Reqs)
 		r.broadcast(w.Bytes())
 		outstanding = r.seq - r.lastExec
 	}
@@ -860,6 +850,26 @@ func (r *Replica) executeReadyLocked() {
 }
 
 // --- timers ---------------------------------------------------------------
+
+// flushPollInterval picks how often to poll a lingering batcher: half
+// the linger bound, floored at 500µs so tiny lingers do not spin the
+// loop.
+func flushPollInterval(linger time.Duration) time.Duration {
+	d := linger / 2
+	if d < 500*time.Microsecond {
+		d = 500 * time.Microsecond
+	}
+	return d
+}
+
+// onBatchPoll runs on the runtime loop when a linger bound is set: it
+// cuts batches whose oldest request has waited out the linger even if
+// no new request arrives to trigger tryIssueLocked.
+func (r *Replica) onBatchPoll() {
+	r.mu.Lock()
+	r.tryIssueLocked()
+	r.mu.Unlock()
+}
 
 // onTick runs on the runtime loop via ArmEvery.
 func (r *Replica) onTick() {

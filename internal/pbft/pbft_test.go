@@ -95,7 +95,7 @@ func newCluster(t *testing.T, n int, fast bool) *cluster {
 }
 
 func (c *cluster) client(t *testing.T, id int) *Client {
-	return NewClient(c.net.Join(transport.NodeID(100+id)), []byte("client-master"), c.n, c.f, c.members, 50*time.Millisecond)
+	return NewClient(c.net.Join(transport.NodeID(100+id)), []byte("client-master"), c.n, c.f, c.members, replication.Tuning{Timeout: 50 * time.Millisecond})
 }
 
 func (c *cluster) waitExecuted(target uint64, timeout time.Duration) bool {

@@ -3,6 +3,7 @@ package pbft
 import (
 	"time"
 
+	"neobft/internal/batch"
 	"neobft/internal/replication"
 	"neobft/internal/seqlog"
 	"neobft/internal/tracing"
@@ -55,7 +56,7 @@ func (m *vcMsg) body() []byte {
 		w.U64(p.Seq)
 		w.U64(p.View)
 		w.Bytes32(p.Digest)
-		marshalBatch(w, p.Batch)
+		batch.MarshalInto(w, p.Batch)
 		w.U32(uint32(len(p.Proof)))
 		for _, pp := range p.Proof {
 			w.U32(pp.Replica)
@@ -101,11 +102,11 @@ func unmarshalVC(pkt []byte) (*vcMsg, bool) {
 		p.Seq = br.U64()
 		p.View = br.U64()
 		p.Digest = br.Bytes32()
-		batch, ok := unmarshalBatch(br)
+		reqs, ok := batch.Unmarshal(br)
 		if !ok {
 			return nil, false
 		}
-		p.Batch = batch
+		p.Batch = reqs
 		np := br.U32()
 		if br.Err() != nil || np > 1<<16 {
 			return nil, false
@@ -399,17 +400,17 @@ func (r *Replica) enterNewViewLocked(view uint64, msgs []*vcMsg) {
 			// beyond our window (recovered by checkpoint fetch later).
 			continue
 		}
-		var batch []*replication.Request
+		var reqs []*replication.Request
 		var digest [32]byte
 		if p, ok := chosen[seq]; ok {
-			batch = p.Batch
+			reqs = p.Batch
 			digest = p.Digest
 		} else {
-			batch = nil
+			reqs = nil
 			digest = batchDigest(nil)
 		}
 		s.view = view
-		s.batch = batch
+		s.batch = reqs
 		s.digest = digest
 		s.prepared = false
 		s.committed = false
@@ -422,7 +423,7 @@ func (r *Replica) enterNewViewLocked(view uint64, msgs []*vcMsg) {
 			w.U8(kindPrePrepare)
 			w.VarBytes(body)
 			w.VarBytes(r.cfg.Auth.TagVector(body))
-			marshalBatch(w, batch)
+			batch.MarshalInto(w, reqs)
 			r.broadcast(w.Bytes())
 		} else {
 			// Backups prepare the re-issued slot immediately.

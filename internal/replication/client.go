@@ -6,10 +6,11 @@ import (
 	"time"
 
 	"neobft/internal/crypto/auth"
+	"neobft/internal/metrics"
 	"neobft/internal/transport"
 )
 
-// ClientConfig configures a closed-loop protocol client.
+// ClientConfig configures a protocol client.
 type ClientConfig struct {
 	// Conn is the client's network attachment.
 	Conn transport.Conn
@@ -27,21 +28,73 @@ type ClientConfig struct {
 	// Submit sends a request into the protocol; retry is true on
 	// retransmissions (NeoBFT then also unicasts to all replicas).
 	Submit func(req *Request, retry bool)
-	// Timeout is the retransmission interval (default 100ms).
+	// Timeout is the initial retransmission interval (default 100ms).
+	// Each unanswered retransmission doubles it up to MaxTimeout, so a
+	// partitioned client backs off instead of storming the network.
 	Timeout time.Duration
+	// MaxTimeout caps the retransmission backoff (default 8×Timeout).
+	MaxTimeout time.Duration
+	// Window is how many operations may be in flight at once (default
+	// 1 — the classical closed-loop client). Start blocks while the
+	// window is full; completions are released in issue order either
+	// way, so window=1 behaves exactly like the pre-pipelining client.
+	Window int
+	// Metrics, when non-nil, receives the client_* series
+	// (retransmissions, timeouts, in-flight gauge).
+	Metrics *metrics.Registry
 	// OnReplyHook, if set, observes every authenticated reply (used by
 	// protocol clients to track the current primary from Reply.View).
 	OnReplyHook func(*Reply)
 }
 
-// Client is a closed-loop BFT client: one outstanding operation at a
-// time, retried until a quorum of matching replies arrives.
+// Tuning bundles the client-side knobs every protocol constructor
+// threads into ClientConfig: the in-flight window, the retransmission
+// backoff, and the metrics registry for the client_* series. The zero
+// value is the classical closed-loop client (window 1, 100ms initial
+// retransmit, 8× backoff cap, no metrics).
+type Tuning struct {
+	Window     int
+	Timeout    time.Duration
+	MaxTimeout time.Duration
+	Metrics    *metrics.Registry
+}
+
+// Apply copies the tuning onto a ClientConfig.
+func (t Tuning) Apply(cfg *ClientConfig) {
+	cfg.Window = t.Window
+	cfg.Timeout = t.Timeout
+	cfg.MaxTimeout = t.MaxTimeout
+	cfg.Metrics = t.Metrics
+}
+
+// Call is one in-flight operation started with Start. Wait blocks until
+// the operation completes (quorum of matching replies, or its deadline)
+// AND every operation started before it has completed — completions are
+// released strictly in issue order, which keeps per-client request
+// semantics identical to the closed-loop client.
+type Call interface {
+	Wait() ([]byte, error)
+}
+
+// Client is a windowed pipelined BFT client: up to Window operations in
+// flight, each with its own quorum tracking and retransmission backoff,
+// with in-order completion. Invoke (Start + Wait) preserves the
+// closed-loop API.
 type Client struct {
 	cfg ClientConfig
 
+	// slots is the in-flight window semaphore: Start acquires, finish
+	// (quorum or timeout) releases.
+	slots chan struct{}
+
 	mu      sync.Mutex
 	reqID   uint64
-	pending *pendingOp
+	pending map[uint64]*call // reqID → in-flight call
+	queue   []*call          // issue order, for in-order release
+
+	mRetrans  *metrics.Counter
+	mTimeouts *metrics.Counter
+	gInflight *metrics.Gauge
 }
 
 type replyKey struct {
@@ -51,10 +104,17 @@ type replyKey struct {
 	result  string
 }
 
-type pendingOp struct {
-	reqID uint64
+type call struct {
+	c     *Client
+	req   *Request
 	votes map[replyKey]map[uint32]bool
-	done  chan []byte
+	// quorum receives the result when enough matching replies arrive.
+	quorum chan []byte
+	// ready is closed when this call and every earlier one finished.
+	ready    chan struct{}
+	finished bool
+	result   []byte
+	err      error
 }
 
 // NewClient creates a client. The caller must route inbound packets to
@@ -63,49 +123,114 @@ func NewClient(cfg ClientConfig) *Client {
 	if cfg.Timeout == 0 {
 		cfg.Timeout = 100 * time.Millisecond
 	}
-	return &Client{cfg: cfg}
+	if cfg.MaxTimeout == 0 {
+		cfg.MaxTimeout = 8 * cfg.Timeout
+	}
+	if cfg.MaxTimeout < cfg.Timeout {
+		cfg.MaxTimeout = cfg.Timeout
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 1
+	}
+	c := &Client{
+		cfg:     cfg,
+		slots:   make(chan struct{}, cfg.Window),
+		pending: make(map[uint64]*call),
+	}
+	if reg := cfg.Metrics; reg != nil {
+		c.mRetrans = reg.Counter("client_retransmits_total")
+		c.mTimeouts = reg.Counter("client_timeouts_total")
+		c.gInflight = reg.Gauge("client_inflight")
+	}
+	return c
 }
 
 // ID returns the client's node ID.
 func (c *Client) ID() transport.NodeID { return c.cfg.Conn.ID() }
 
-// Invoke executes one operation and blocks until it is successful
-// (quorum of matching, authenticated replies) or the deadline passes.
-func (c *Client) Invoke(op []byte, deadline time.Duration) ([]byte, error) {
+// Start submits one operation and returns its Call. It blocks while the
+// in-flight window is full.
+func (c *Client) Start(op []byte, deadline time.Duration) Call {
+	c.slots <- struct{}{}
 	c.mu.Lock()
 	c.reqID++
 	req := &Request{Client: c.cfg.Conn.ID(), ReqID: c.reqID, Op: op}
 	req.Auth = c.cfg.Auth.TagVector(req.SignedBody())
-	p := &pendingOp{
-		reqID: req.ReqID,
-		votes: make(map[replyKey]map[uint32]bool),
-		done:  make(chan []byte, 1),
+	k := &call{
+		c:      c,
+		req:    req,
+		votes:  make(map[replyKey]map[uint32]bool),
+		quorum: make(chan []byte, 1),
+		ready:  make(chan struct{}),
 	}
-	c.pending = p
+	c.pending[req.ReqID] = k
+	c.queue = append(c.queue, k)
+	c.gInflight.Set(int64(len(c.pending)))
 	c.mu.Unlock()
 
 	c.cfg.Submit(req, false)
-	timer := time.NewTimer(c.cfg.Timeout)
-	defer timer.Stop()
+	go k.run(deadline)
+	return k
+}
+
+// Invoke executes one operation and blocks until it is successful
+// (quorum of matching, authenticated replies) or the deadline passes.
+func (c *Client) Invoke(op []byte, deadline time.Duration) ([]byte, error) {
+	return c.Start(op, deadline).Wait()
+}
+
+// Wait implements Call.
+func (k *call) Wait() ([]byte, error) {
+	<-k.ready
+	return k.result, k.err
+}
+
+// run owns the call's timers: retransmission with exponential backoff
+// and the overall deadline.
+func (k *call) run(deadline time.Duration) {
+	c := k.c
+	interval := c.cfg.Timeout
+	retrans := time.NewTimer(interval)
+	defer retrans.Stop()
 	overall := time.NewTimer(deadline)
 	defer overall.Stop()
 	for {
 		select {
-		case result := <-p.done:
-			c.mu.Lock()
-			c.pending = nil
-			c.mu.Unlock()
-			return result, nil
-		case <-timer.C:
-			c.cfg.Submit(req, true)
-			timer.Reset(c.cfg.Timeout)
+		case result := <-k.quorum:
+			k.finish(result, nil)
+			return
+		case <-retrans.C:
+			c.cfg.Submit(k.req, true)
+			c.mRetrans.Inc()
+			interval *= 2
+			if interval > c.cfg.MaxTimeout {
+				interval = c.cfg.MaxTimeout
+			}
+			retrans.Reset(interval)
 		case <-overall.C:
-			c.mu.Lock()
-			c.pending = nil
-			c.mu.Unlock()
-			return nil, fmt.Errorf("client %d: request %d timed out", c.cfg.Conn.ID(), req.ReqID)
+			c.mTimeouts.Inc()
+			k.finish(nil, fmt.Errorf("client %d: request %d timed out", c.cfg.Conn.ID(), k.req.ReqID))
+			return
 		}
 	}
+}
+
+// finish records the call's outcome, frees its window slot, and releases
+// every completion that is now at the head of the issue order.
+func (k *call) finish(result []byte, err error) {
+	c := k.c
+	c.mu.Lock()
+	k.result = result
+	k.err = err
+	k.finished = true
+	delete(c.pending, k.req.ReqID)
+	c.gInflight.Set(int64(len(c.pending)))
+	for len(c.queue) > 0 && c.queue[0].finished {
+		close(c.queue[0].ready)
+		c.queue = c.queue[1:]
+	}
+	c.mu.Unlock()
+	<-c.slots
 }
 
 // HandlePacket consumes a reply packet; it returns true if the packet was
@@ -122,7 +247,8 @@ func (c *Client) HandlePacket(from transport.NodeID, pkt []byte) bool {
 	return true
 }
 
-// OnReply feeds a decoded reply into the quorum counter.
+// OnReply feeds a decoded reply into the quorum counter of the call it
+// answers.
 func (c *Client) OnReply(rep *Reply) {
 	if int(rep.Replica) >= c.cfg.N {
 		return
@@ -135,8 +261,8 @@ func (c *Client) OnReply(rep *Reply) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	p := c.pending
-	if p == nil || rep.ReqID != p.reqID {
+	k := c.pending[rep.ReqID]
+	if k == nil {
 		return
 	}
 	key := replyKey{result: string(rep.Result)}
@@ -145,15 +271,15 @@ func (c *Client) OnReply(rep *Reply) {
 		key.slot = rep.Slot
 		key.logHash = rep.LogHash
 	}
-	voters := p.votes[key]
+	voters := k.votes[key]
 	if voters == nil {
 		voters = make(map[uint32]bool)
-		p.votes[key] = voters
+		k.votes[key] = voters
 	}
 	voters[rep.Replica] = true
 	if len(voters) >= c.cfg.Quorum {
 		select {
-		case p.done <- rep.Result:
+		case k.quorum <- rep.Result:
 		default:
 		}
 	}

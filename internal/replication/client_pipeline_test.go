@@ -1,0 +1,308 @@
+package replication
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"neobft/internal/crypto/auth"
+	"neobft/internal/metrics"
+	"neobft/internal/simnet"
+	"neobft/internal/transport"
+)
+
+// startEchoReplicas joins n scripted replicas that reply "ok:<op>" to
+// every request the gate admits. Requests for which gate returns false
+// are silently dropped, so the client has to retransmit them.
+func startEchoReplicas(net *simnet.Network, master []byte, n int, gate func(replica int, req *Request, retry bool) bool) {
+	for i := 0; i < n; i++ {
+		idx := i
+		conn := net.Join(transport.NodeID(i))
+		rsides := auth.NewReplicaSide(master, idx)
+		conn.SetHandler(func(from transport.NodeID, pkt []byte) {
+			if len(pkt) == 0 || pkt[0] != KindRequest {
+				return
+			}
+			req, err := UnmarshalRequest(pkt[1:])
+			if err != nil {
+				return
+			}
+			if !rsides.VerifyClient(int64(req.Client), req.SignedBody(), req.Auth) {
+				return
+			}
+			if gate != nil && !gate(idx, req, false) {
+				return
+			}
+			rep := &Reply{View: 1, Replica: uint32(idx), Slot: req.ReqID, ReqID: req.ReqID,
+				Result: append([]byte("ok:"), req.Op...)}
+			rep.Auth = rsides.TagFor(int64(req.Client), rep.SignedBody())
+			conn.Send(from, rep.Marshal())
+		})
+	}
+}
+
+func pipelineClient(net *simnet.Network, master []byte, n, f int, mod func(*ClientConfig)) *Client {
+	clientConn := net.Join(100)
+	cfg := ClientConfig{
+		Conn: clientConn, N: n, F: f, Quorum: 2*f + 1,
+		Auth: auth.NewClientSide(master, 100, n),
+		Submit: func(req *Request, retry bool) {
+			pkt := req.Marshal()
+			for i := 0; i < n; i++ {
+				clientConn.Send(transport.NodeID(i), pkt)
+			}
+		},
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	cl := NewClient(cfg)
+	clientConn.SetHandler(func(from transport.NodeID, pkt []byte) { cl.HandlePacket(from, pkt) })
+	return cl
+}
+
+// TestClientPipelineOutOfOrder issues two requests through a window of
+// 4, has the replicas hold back the first one, and checks that the
+// second request's quorum (which arrives first) is still delivered to
+// the right call once the first resolves.
+func TestClientPipelineOutOfOrder(t *testing.T) {
+	net := simnet.New(simnet.Options{})
+	defer net.Close()
+	master := []byte("m")
+	const n, f = 4, 1
+
+	var holdFirst atomic.Bool
+	holdFirst.Store(true)
+	startEchoReplicas(net, master, n, func(_ int, req *Request, _ bool) bool {
+		return !(req.ReqID == 1 && holdFirst.Load())
+	})
+
+	cl := pipelineClient(net, master, n, f, func(cfg *ClientConfig) {
+		cfg.Window = 4
+		cfg.Timeout = 20 * time.Millisecond
+	})
+
+	c1 := cl.Start([]byte("first"), 5*time.Second)
+	c2 := cl.Start([]byte("second"), 5*time.Second)
+
+	// Request 2's quorum completes immediately, but its Wait must not
+	// unblock until request 1 — issued before it — has finished too:
+	// completions are released in issue order.
+	done2 := make(chan struct{})
+	go func() {
+		c2.Wait()
+		close(done2)
+	}()
+	select {
+	case <-done2:
+		t.Fatal("request 2 released before request 1 finished")
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	// Release request 1; the client's retransmission picks it up.
+	holdFirst.Store(false)
+
+	r1, err := c1.Wait()
+	if err != nil {
+		t.Fatalf("first: %v", err)
+	}
+	if string(r1) != "ok:first" {
+		t.Fatalf("first result = %q", r1)
+	}
+	<-done2
+	r2, err := c2.Wait()
+	if err != nil {
+		t.Fatalf("second: %v", err)
+	}
+	if string(r2) != "ok:second" {
+		t.Fatalf("second result = %q", r2)
+	}
+}
+
+// TestClientWindowFullBlocks checks that Start blocks once Window
+// requests are in flight and unblocks as soon as one resolves.
+func TestClientWindowFullBlocks(t *testing.T) {
+	net := simnet.New(simnet.Options{})
+	defer net.Close()
+	master := []byte("m")
+	const n, f = 4, 1
+
+	// Replicas never answer: slots only free up via per-call deadlines.
+	startEchoReplicas(net, master, n, func(int, *Request, bool) bool { return false })
+
+	cl := pipelineClient(net, master, n, f, func(cfg *ClientConfig) {
+		cfg.Window = 2
+		cfg.Timeout = time.Second
+	})
+
+	c1 := cl.Start([]byte("a"), 300*time.Millisecond)
+	c2 := cl.Start([]byte("b"), 2*time.Second)
+
+	started3 := make(chan Call, 1)
+	go func() { started3 <- cl.Start([]byte("c"), 2*time.Second) }()
+	select {
+	case <-started3:
+		t.Fatal("third Start admitted past a full window")
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	// Call 1's deadline expires, freeing a slot; Start must return.
+	if _, err := c1.Wait(); err == nil {
+		t.Fatal("call 1 should have timed out")
+	}
+	var c3 Call
+	select {
+	case c3 = <-started3:
+	case <-time.After(time.Second):
+		t.Fatal("third Start still blocked after a slot freed up")
+	}
+	if _, err := c2.Wait(); err == nil {
+		t.Fatal("call 2 should have timed out")
+	}
+	if _, err := c3.Wait(); err == nil {
+		t.Fatal("call 3 should have timed out")
+	}
+}
+
+// TestClientRetransmitBackoff checks that retransmission intervals
+// double up to MaxTimeout: with Timeout=10ms capped at 40ms, a 250ms
+// deadline admits roughly 10+20+40+40+... retransmissions (about 6),
+// far fewer than the ~25 a fixed 10ms interval would produce. It also
+// checks the retransmit/timeout counters and the retry flag.
+func TestClientRetransmitBackoff(t *testing.T) {
+	net := simnet.New(simnet.Options{})
+	defer net.Close()
+	master := []byte("m")
+	const n, f = 4, 1
+
+	reg := metrics.NewRegistry()
+	var mu sync.Mutex
+	var submits []bool
+	clientConn := net.Join(100)
+	cl := NewClient(ClientConfig{
+		Conn: clientConn, N: n, F: f, Quorum: 2*f + 1,
+		Auth:       auth.NewClientSide(master, 100, n),
+		Timeout:    10 * time.Millisecond,
+		MaxTimeout: 40 * time.Millisecond,
+		Metrics:    reg,
+		Submit: func(req *Request, retry bool) {
+			mu.Lock()
+			submits = append(submits, retry)
+			mu.Unlock()
+		},
+	})
+
+	if _, err := cl.Invoke([]byte("x"), 250*time.Millisecond); err == nil {
+		t.Fatal("invoke should time out with no replicas")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(submits) == 0 || submits[0] {
+		t.Fatalf("first submit missing or marked retry: %v", submits)
+	}
+	retries := 0
+	for _, r := range submits[1:] {
+		if !r {
+			t.Fatal("retransmission not marked retry")
+		}
+		retries++
+	}
+	// Doubling from 10ms capped at 40ms fits ~6 retransmissions in
+	// 250ms; a fixed interval would fit ~25. Allow generous slack for
+	// scheduler jitter but reject anything near the un-backed-off count.
+	if retries < 3 || retries > 12 {
+		t.Fatalf("retransmissions = %d, want backoff-shaped count in [3,12]", retries)
+	}
+	if got := reg.Counter("client_retransmits_total").Load(); got != uint64(retries) {
+		t.Fatalf("client_retransmits_total = %d, want %d", got, retries)
+	}
+	if got := reg.Counter("client_timeouts_total").Load(); got != 1 {
+		t.Fatalf("client_timeouts_total = %d, want 1", got)
+	}
+}
+
+// TestClientWindowOneSerializes checks that the default window of 1
+// preserves closed-loop semantics: a second Start admits only after the
+// first call resolves.
+func TestClientWindowOneSerializes(t *testing.T) {
+	net := simnet.New(simnet.Options{})
+	defer net.Close()
+	master := []byte("m")
+	const n, f = 4, 1
+
+	startEchoReplicas(net, master, n, func(int, *Request, bool) bool { return false })
+
+	cl := pipelineClient(net, master, n, f, func(cfg *ClientConfig) {
+		cfg.Timeout = time.Second
+	})
+
+	c1 := cl.Start([]byte("a"), 300*time.Millisecond)
+	started2 := make(chan Call, 1)
+	go func() { started2 <- cl.Start([]byte("b"), 2*time.Second) }()
+	select {
+	case <-started2:
+		t.Fatal("window=1 admitted a second in-flight request")
+	case <-time.After(100 * time.Millisecond):
+	}
+	if _, err := c1.Wait(); err == nil {
+		t.Fatal("call 1 should have timed out")
+	}
+	select {
+	case c2 := <-started2:
+		if _, err := c2.Wait(); err == nil {
+			t.Fatal("call 2 should have timed out")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("second Start still blocked after first resolved")
+	}
+}
+
+// TestClientRetransmitReachesBackups models a failed primary: the
+// first transmission goes nowhere, and replicas only answer requests
+// flagged as retries (the retransmission broadcast a real client sends
+// after a view change). The call must still complete.
+func TestClientRetransmitReachesBackups(t *testing.T) {
+	net := simnet.New(simnet.Options{})
+	defer net.Close()
+	master := []byte("m")
+	const n, f = 4, 1
+
+	reg := metrics.NewRegistry()
+	startEchoReplicas(net, master, n, nil)
+
+	var sent atomic.Int64
+	clientConn := net.Join(100)
+	cl := NewClient(ClientConfig{
+		Conn: clientConn, N: n, F: f, Quorum: 2*f + 1,
+		Auth:    auth.NewClientSide(master, 100, n),
+		Timeout: 10 * time.Millisecond,
+		Metrics: reg,
+		Submit: func(req *Request, retry bool) {
+			sent.Add(1)
+			if !retry {
+				return // primary is down; the first send is lost
+			}
+			pkt := req.Marshal()
+			for i := 0; i < n; i++ {
+				clientConn.Send(transport.NodeID(i), pkt)
+			}
+		},
+	})
+	clientConn.SetHandler(func(from transport.NodeID, pkt []byte) { cl.HandlePacket(from, pkt) })
+
+	res, err := cl.Invoke([]byte("survive"), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res) != "ok:survive" {
+		t.Fatalf("result = %q", res)
+	}
+	if sent.Load() < 2 {
+		t.Fatal("call completed without a retransmission")
+	}
+	if reg.Counter("client_retransmits_total").Load() == 0 {
+		t.Fatal("retransmit counter not incremented")
+	}
+}

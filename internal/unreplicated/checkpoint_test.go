@@ -23,7 +23,7 @@ func TestCheckpointBoundsLogWindow(t *testing.T) {
 		CheckpointInterval: interval,
 	})
 	t.Cleanup(srv.Close)
-	cl := NewClient(net.Join(100), 1, []byte("m"), 50*time.Millisecond)
+	cl := NewClient(net.Join(100), 1, []byte("m"), replication.Tuning{Timeout: 50 * time.Millisecond})
 
 	const ops = 10
 	for i := 0; i < ops; i++ {

@@ -7,7 +7,6 @@ package unreplicated
 import (
 	"crypto/sha256"
 	"sync"
-	"time"
 
 	"neobft/internal/crypto/auth"
 	"neobft/internal/metrics"
@@ -231,13 +230,14 @@ func (s *Server) checkpointLocked(slot uint64) {
 	}
 }
 
-// NewClient builds a closed-loop client for the unreplicated server.
-func NewClient(conn transport.Conn, server transport.NodeID, master []byte, timeout time.Duration) *replication.Client {
-	return replication.NewWiredClient(replication.ClientConfig{
+// NewClient builds a client for the unreplicated server.
+func NewClient(conn transport.Conn, server transport.NodeID, master []byte, tune replication.Tuning) *replication.Client {
+	cfg := replication.ClientConfig{
 		Conn: conn, N: 1, F: 0, Quorum: 1,
-		Timeout: timeout,
 		Submit: func(req *replication.Request, retry bool) {
 			conn.Send(server, req.Marshal())
 		},
-	}, master)
+	}
+	tune.Apply(&cfg)
+	return replication.NewWiredClient(cfg, master)
 }

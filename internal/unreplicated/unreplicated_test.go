@@ -15,7 +15,7 @@ func rig(t *testing.T) (*Server, *replication.Client) {
 	net := simnet.New(simnet.Options{})
 	t.Cleanup(net.Close)
 	srv := NewServer(net.Join(1), replication.EchoApp{}, auth.NewReplicaSide([]byte("m"), 0))
-	cl := NewClient(net.Join(100), 1, []byte("m"), 50*time.Millisecond)
+	cl := NewClient(net.Join(100), 1, []byte("m"), replication.Tuning{Timeout: 50 * time.Millisecond})
 	return srv, cl
 }
 
@@ -40,7 +40,7 @@ func TestDuplicateSuppressed(t *testing.T) {
 	t.Cleanup(net.Close)
 	srv := NewServer(net.Join(1), replication.EchoApp{}, auth.NewReplicaSide([]byte("m"), 0))
 	conn := net.Join(100)
-	cl := NewClient(conn, 1, []byte("m"), 50*time.Millisecond)
+	cl := NewClient(conn, 1, []byte("m"), replication.Tuning{Timeout: 50 * time.Millisecond})
 	if _, err := cl.Invoke([]byte("once"), 5*time.Second); err != nil {
 		t.Fatal(err)
 	}

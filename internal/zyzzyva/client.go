@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"neobft/internal/crypto/auth"
+	"neobft/internal/metrics"
 	"neobft/internal/replication"
 	"neobft/internal/transport"
 	"neobft/internal/wire"
@@ -15,22 +16,35 @@ import (
 // matching speculative responses; after SpecTimeout, assemble a commit
 // certificate from 2f+1 matching responses, distribute it, and complete
 // on 2f+1 local-commits.
+//
+// The client is windowed: up to Tuning.Window operations may be in
+// flight at once, each running the two-path state machine independently.
+// Completions are released to callers in submission order so pipelined
+// workloads still observe in-order semantics.
 type Client struct {
 	conn    transport.Conn
 	members []transport.NodeID
 	n, f    int
 	cauth   *auth.ClientSide
 	timeout time.Duration
+	maxTO   time.Duration
 	// SpecTimeout is how long the fast path waits for all 3f+1
 	// responses before falling back (the dominant cost of Zyzzyva-F).
 	specTimeout time.Duration
 
+	slots chan struct{}
+
 	mu      sync.Mutex
 	reqID   uint64
-	pending *pendingOp
+	pending map[uint64]*pendingOp
+	queue   []*pendingOp
 
 	fastPath uint64
 	slowPath uint64
+
+	mRetrans  *metrics.Counter
+	mTimeouts *metrics.Counter
+	gInflight *metrics.Gauge
 }
 
 type specKey struct {
@@ -41,7 +55,8 @@ type specKey struct {
 }
 
 type pendingOp struct {
-	reqID    uint64
+	c        *Client
+	req      *replication.Request
 	byKey    map[specKey]map[uint32][]byte // key → replica → group tag
 	digests  map[specKey][32]byte
 	commits  map[uint32]bool // local-commits
@@ -49,15 +64,43 @@ type pendingOp struct {
 	ccSent   bool
 	done     chan []byte
 	resultOf map[specKey][]byte
+
+	ready    chan struct{}
+	finished bool
+	result   []byte
+	err      error
 }
 
-// NewClient creates a Zyzzyva client.
-func NewClient(conn transport.Conn, master []byte, n, f int, members []transport.NodeID, specTimeout, retransmit time.Duration) *Client {
+// NewClient creates a Zyzzyva client. specTimeout bounds the fast path;
+// tune carries the windowing/backoff/metrics knobs shared with the
+// replication client.
+func NewClient(conn transport.Conn, master []byte, n, f int, members []transport.NodeID, specTimeout time.Duration, tune replication.Tuning) *Client {
+	timeout := tune.Timeout
+	if timeout == 0 {
+		timeout = 100 * time.Millisecond
+	}
+	maxTO := tune.MaxTimeout
+	if maxTO == 0 {
+		maxTO = 8 * timeout
+	}
+	if maxTO < timeout {
+		maxTO = timeout
+	}
+	window := tune.Window
+	if window <= 0 {
+		window = 1
+	}
 	c := &Client{
 		conn: conn, members: members, n: n, f: f,
 		cauth:       auth.NewClientSide(master, int64(conn.ID()), n),
-		timeout:     retransmit,
+		timeout:     timeout,
+		maxTO:       maxTO,
 		specTimeout: specTimeout,
+		slots:       make(chan struct{}, window),
+		pending:     map[uint64]*pendingOp{},
+		mRetrans:    tune.Metrics.Counter("client_retransmits_total"),
+		mTimeouts:   tune.Metrics.Counter("client_timeouts_total"),
+		gInflight:   tune.Metrics.Gauge("client_inflight"),
 	}
 	replication.InstallHandler(conn, c.handle)
 	return c
@@ -73,39 +116,62 @@ func (c *Client) FastSlowCounts() (fast, slow uint64) {
 	return c.fastPath, c.slowPath
 }
 
-// Invoke executes one operation.
+// Invoke executes one operation and blocks until it completes.
 func (c *Client) Invoke(op []byte, deadline time.Duration) ([]byte, error) {
+	return c.Start(op, deadline).Wait()
+}
+
+// Start submits one operation into the pipeline. It blocks while the
+// in-flight window is full, then returns a handle whose Wait releases
+// results in submission order.
+func (c *Client) Start(op []byte, deadline time.Duration) replication.Call {
+	c.slots <- struct{}{}
 	c.mu.Lock()
 	c.reqID++
 	req := &replication.Request{Client: c.conn.ID(), ReqID: c.reqID, Op: op}
 	req.Auth = c.cauth.TagVector(req.SignedBody())
 	p := &pendingOp{
-		reqID:    req.ReqID,
+		c:        c,
+		req:      req,
 		byKey:    map[specKey]map[uint32][]byte{},
 		digests:  map[specKey][32]byte{},
 		commits:  map[uint32]bool{},
 		resultOf: map[specKey][]byte{},
 		done:     make(chan []byte, 1),
+		ready:    make(chan struct{}),
 	}
-	c.pending = p
+	c.pending[req.ReqID] = p
+	c.queue = append(c.queue, p)
+	c.gInflight.Set(int64(len(c.pending)))
 	c.mu.Unlock()
 
-	pkt := req.Marshal()
-	c.conn.Send(c.members[0], pkt) // primary of view 0
+	c.conn.Send(c.members[0], req.Marshal()) // primary of view 0
+	go p.run(deadline)
+	return p
+}
 
+// Wait blocks until the operation completes and all earlier operations
+// from this client have completed.
+func (p *pendingOp) Wait() ([]byte, error) {
+	<-p.ready
+	return p.result, p.err
+}
+
+func (p *pendingOp) run(deadline time.Duration) {
+	c := p.c
+	pkt := p.req.Marshal()
+	interval := c.timeout
 	spec := time.NewTimer(c.specTimeout)
 	defer spec.Stop()
-	retrans := time.NewTimer(c.timeout)
+	retrans := time.NewTimer(interval)
 	defer retrans.Stop()
 	overall := time.NewTimer(deadline)
 	defer overall.Stop()
 	for {
 		select {
 		case result := <-p.done:
-			c.mu.Lock()
-			c.pending = nil
-			c.mu.Unlock()
-			return result, nil
+			p.finish(result, nil)
+			return
 		case <-spec.C:
 			// Fast path expired: try the commit-certificate slow path.
 			c.mu.Lock()
@@ -115,14 +181,36 @@ func (c *Client) Invoke(op []byte, deadline time.Duration) ([]byte, error) {
 			for _, m := range c.members {
 				c.conn.Send(m, pkt)
 			}
-			retrans.Reset(c.timeout)
+			c.mRetrans.Inc()
+			interval *= 2
+			if interval > c.maxTO {
+				interval = c.maxTO
+			}
+			retrans.Reset(interval)
 		case <-overall.C:
-			c.mu.Lock()
-			c.pending = nil
-			c.mu.Unlock()
-			return nil, fmt.Errorf("zyzzyva client %d: request %d timed out", c.conn.ID(), req.ReqID)
+			c.mTimeouts.Inc()
+			p.finish(nil, fmt.Errorf("zyzzyva client %d: request %d timed out", c.conn.ID(), p.req.ReqID))
+			return
 		}
 	}
+}
+
+// finish records the outcome, releases any consecutive finished
+// operations at the head of the submission queue, and frees the
+// window slot.
+func (p *pendingOp) finish(result []byte, err error) {
+	c := p.c
+	c.mu.Lock()
+	p.result, p.err = result, err
+	p.finished = true
+	delete(c.pending, p.req.ReqID)
+	c.gInflight.Set(int64(len(c.pending)))
+	for len(c.queue) > 0 && c.queue[0].finished {
+		close(c.queue[0].ready)
+		c.queue = c.queue[1:]
+	}
+	c.mu.Unlock()
+	<-c.slots
 }
 
 func (c *Client) handle(from transport.NodeID, pkt []byte) {
@@ -167,8 +255,8 @@ func (c *Client) onReply(rep *replication.Reply, digest [32]byte, groupTag []byt
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	p := c.pending
-	if p == nil || rep.ReqID != p.reqID {
+	p := c.pending[rep.ReqID]
+	if p == nil {
 		return
 	}
 	key := specKey{view: rep.View, seq: rep.Slot, history: rep.LogHash, result: string(rep.Result)}
@@ -261,16 +349,20 @@ func (c *Client) onLocalCommit(body []byte) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	p := c.pending
-	if p == nil || !p.ccSent || seq != p.ccSeq {
-		return
-	}
-	p.commits[replica] = true
-	if len(p.commits) >= 2*c.f+1 {
-		c.slowPath++
-		select {
-		case p.done <- p.resultOf[specKey{}]:
-		default:
+	// A local-commit doesn't carry the reqID; match it to the pending
+	// operation whose certificate covers this sequence number.
+	for _, p := range c.pending {
+		if !p.ccSent || seq != p.ccSeq {
+			continue
 		}
+		p.commits[replica] = true
+		if len(p.commits) >= 2*c.f+1 {
+			c.slowPath++
+			select {
+			case p.done <- p.resultOf[specKey{}]:
+			default:
+			}
+		}
+		return
 	}
 }

@@ -16,12 +16,12 @@ import (
 	"sync"
 	"time"
 
+	"neobft/internal/batch"
 	"neobft/internal/crypto/auth"
 	"neobft/internal/metrics"
 	"neobft/internal/replication"
 	"neobft/internal/runtime"
 	"neobft/internal/seqlog"
-	"neobft/internal/tracing"
 	"neobft/internal/transport"
 	"neobft/internal/wire"
 )
@@ -54,6 +54,15 @@ type Config struct {
 	App        replication.App
 	// BatchSize caps requests per order-req (default 8).
 	BatchSize int
+	// BatchBytes caps the marshaled request payload per order-req
+	// (default batch.DefaultMaxBytes).
+	BatchBytes int
+	// BatchLinger lets the primary defer a below-target batch for up to
+	// this long. Zero preserves the cut-immediately behavior.
+	BatchLinger time.Duration
+	// BatchAdaptive scales the batch-size target with queue depth (see
+	// batch.Config.Adaptive). Requires BatchLinger > 0.
+	BatchAdaptive bool
 	// Window caps outstanding speculative batches (default 2).
 	Window int
 	// CheckpointInterval is the number of batches between checkpoints
@@ -86,13 +95,12 @@ type Replica struct {
 	seq      uint64 // primary: last assigned
 	lastExec uint64
 	history  [32]byte
-	pending  []*replication.Request
-	// pendingTr mirrors pending with each request's trace ref, closed
-	// into an ordering span when the batch is cut.
-	pendingTr []tracing.Ref
-	inQueue   map[string]bool
-	buffered  map[uint64]*orderReq // out-of-order order-reqs, horizon-bounded
-	table     *replication.ClientTable
+	// batcher queues client requests at the primary and cuts order-req
+	// batches per the shared hybrid policy.
+	batcher  *batch.Batcher
+	inQueue  map[string]bool
+	buffered map[uint64]*orderReq // out-of-order order-reqs, horizon-bounded
+	table    *replication.ClientTable
 	// maxCC is the highest sequence covered by a commit certificate.
 	maxCC uint64
 
@@ -204,8 +212,18 @@ func New(cfg Config) *Replica {
 		r.msgCounters[k] = reg.Counter("proto_msg_" + name + "_total")
 	}
 	r.trace = reg.Recorder()
+	r.batcher = batch.New(batch.Config{
+		MaxCount:  cfg.BatchSize,
+		MaxBytes:  cfg.BatchBytes,
+		MaxLinger: cfg.BatchLinger,
+		Adaptive:  cfg.BatchAdaptive,
+		Metrics:   reg,
+	})
 	if cfg.Restore != nil {
 		r.restoreFromPersist(cfg.Restore)
+	}
+	if cfg.BatchLinger > 0 {
+		r.rt.ArmEvery(flushPollInterval(cfg.BatchLinger), r.onBatchPoll)
 	}
 	r.rt.Start(r)
 	return r
@@ -398,19 +416,8 @@ func (r *Replica) verifyOrderReq(pkt []byte) *orderReq {
 	rd := wire.NewReader(pkt)
 	body := rd.VarBytes()
 	tag := rd.VarBytes()
-	nb := rd.U32()
-	if rd.Err() != nil || nb > 1<<16 {
-		return nil
-	}
-	batch := make([]*replication.Request, nb)
-	for i := range batch {
-		req, err := replication.UnmarshalRequest(rd.VarBytes())
-		if err != nil {
-			return nil
-		}
-		batch[i] = req
-	}
-	if rd.Done() != nil {
+	reqs, ok := batch.Unmarshal(rd)
+	if !ok || rd.Done() != nil {
 		return nil
 	}
 	br := wire.NewReader(body)
@@ -428,17 +435,17 @@ func (r *Replica) verifyOrderReq(pkt []byte) *orderReq {
 		r.mAuthFail.Inc()
 		return nil
 	}
-	if batchDigest(batch) != digest {
+	if batchDigest(reqs) != digest {
 		return nil
 	}
-	authOK := make([]bool, len(batch))
-	for i, req := range batch {
+	authOK := make([]bool, len(reqs))
+	for i, req := range reqs {
 		authOK[i] = r.cfg.ClientAuth.VerifyClient(int64(req.Client), req.SignedBody(), req.Auth)
 		if !authOK[i] {
 			r.mAuthFail.Inc()
 		}
 	}
-	return &orderReq{view: view, seq: seq, digest: digest, history: history, batch: batch, authOK: authOK}
+	return &orderReq{view: view, seq: seq, digest: digest, history: history, batch: reqs, authOK: authOK}
 }
 
 // verifyCommit counts valid commit-certificate parts; the certificate
@@ -518,29 +525,41 @@ func (r *Replica) onRequest(req *replication.Request) {
 	key := reqKey(req.Client, req.ReqID)
 	if !r.inQueue[key] {
 		r.inQueue[key] = true
-		r.pending = append(r.pending, req)
-		r.pendingTr = append(r.pendingTr, r.rt.Tracer().ActiveRef())
+		r.batcher.Put(req, r.rt.Tracer().ActiveRef())
 	}
 	r.tryIssueLocked()
+}
+
+// flushPollInterval picks how often to poll a lingering batcher: half
+// the linger bound, floored at 500µs so tiny lingers do not spin the
+// loop.
+func flushPollInterval(linger time.Duration) time.Duration {
+	d := linger / 2
+	if d < 500*time.Microsecond {
+		d = 500 * time.Microsecond
+	}
+	return d
+}
+
+// onBatchPoll runs on the runtime loop when a linger bound is set: it
+// cuts batches whose oldest request has waited out the linger even if
+// no new request arrives to trigger tryIssueLocked.
+func (r *Replica) onBatchPoll() {
+	r.mu.Lock()
+	r.tryIssueLocked()
+	r.mu.Unlock()
 }
 
 func (r *Replica) tryIssueLocked() {
 	if !r.isPrimary() {
 		return
 	}
-	for len(r.pending) > 0 && r.seq-r.lastExec < uint64(r.cfg.Window) {
-		n := len(r.pending)
-		if n > r.cfg.BatchSize {
-			n = r.cfg.BatchSize
-		}
-		batch := r.pending[:n]
-		r.pending = r.pending[n:]
+	now := time.Now()
+	for r.batcher.Ready(now) && r.seq-r.lastExec < uint64(r.cfg.Window) {
+		cut, _ := r.batcher.Cut(now)
 		r.seq++
-		for _, ref := range r.pendingTr[:n] {
-			r.rt.Tracer().EndOrder(ref, r.seq)
-		}
-		r.pendingTr = r.pendingTr[n:]
-		digest := batchDigest(batch)
+		cut.EndOrder(r.rt.Tracer(), r.seq)
+		digest := batchDigest(cut.Reqs)
 		history := replication.ChainHash(r.history, digest)
 
 		body := orderBody(r.view, r.seq, digest, history)
@@ -548,13 +567,10 @@ func (r *Replica) tryIssueLocked() {
 		w.U8(kindOrderReq)
 		w.VarBytes(body)
 		w.VarBytes(r.cfg.Auth.TagVector(body))
-		w.U32(uint32(len(batch)))
-		for _, req := range batch {
-			w.VarBytes(req.Marshal()[1:])
-		}
+		batch.MarshalInto(w, cut.Reqs)
 		r.broadcast(w.Bytes())
 		// The primary executes speculatively too.
-		r.executeLocked(&orderReq{view: r.view, seq: r.seq, digest: digest, history: history, batch: batch})
+		r.executeLocked(&orderReq{view: r.view, seq: r.seq, digest: digest, history: history, batch: cut.Reqs})
 	}
 }
 

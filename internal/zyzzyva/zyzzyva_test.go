@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"neobft/internal/crypto/auth"
+	"neobft/internal/replication"
 	"neobft/internal/simnet"
 	"neobft/internal/transport"
 )
@@ -58,7 +59,7 @@ func newCluster(t *testing.T, n int, silentReplica int) *cluster {
 
 func (c *cluster) client(id int, specTimeout time.Duration) *Client {
 	return NewClient(c.net.Join(transport.NodeID(100+id)), []byte("client-master"),
-		c.n, c.f, c.members, specTimeout, 100*time.Millisecond)
+		c.n, c.f, c.members, specTimeout, replication.Tuning{Timeout: 100 * time.Millisecond})
 }
 
 func TestFastPath(t *testing.T) {
