@@ -9,6 +9,13 @@
 //	neokv                 # interactive: get/put/del/scan commands on stdin
 //	neokv -bench 5s       # closed-loop YCSB-A load instead
 //
+// With -data-dir, each replica journals its executed ops and stable
+// checkpoints to a segmented WAL plus snapshots under
+// <data-dir>/replica-<idx>, and a restarted process recovers from disk
+// instead of relying on peers alone:
+//
+//	neokv -role replica -id 1 -peers cluster.peers -data-dir /var/lib/neokv
+//
 // With -role, neokv runs a single node of a multi-process cluster
 // described by a shared peers file (see Peers for the format):
 //
@@ -24,12 +31,14 @@ package main
 
 import (
 	"bufio"
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"sync"
 	"syscall"
@@ -44,6 +53,7 @@ import (
 	"neobft/internal/replication"
 	"neobft/internal/runtime"
 	"neobft/internal/sequencer"
+	"neobft/internal/store"
 	"neobft/internal/tracing"
 	"neobft/internal/transport"
 	"neobft/internal/transport/udpnet"
@@ -70,6 +80,9 @@ type options struct {
 	metricsAddr        string
 	sampleRate         float64
 	spanDump           string
+	dataDir            string
+	fsyncLinger        time.Duration
+	persistEvery       time.Duration
 
 	// tracers collects every tracer this process created, for the
 	// shutdown span dump (-span-dump) and the /spans endpoint.
@@ -129,6 +142,12 @@ func main() {
 		"causal-trace sampling rate for requests this process originates (0 = off, 1 = every request); replicas and sequencers propagate regardless")
 	flag.StringVar(&o.spanDump, "span-dump", "",
 		"write every node's causal-span dump as JSON lines to this file on exit (merge with neotrace)")
+	flag.StringVar(&o.dataDir, "data-dir", "",
+		"durable replica state root: each replica keeps a segmented WAL and snapshots under <data-dir>/replica-<idx> and recovers from them on restart (empty = in-memory)")
+	flag.DurationVar(&o.fsyncLinger, "fsync-linger", time.Millisecond,
+		"group-commit window: checkpoint appends wait up to this long to share one fsync (with -data-dir)")
+	flag.DurationVar(&o.persistEvery, "persist-every", 50*time.Millisecond,
+		"how often each replica's stable checkpoint is captured to its WAL (with -data-dir)")
 	flag.Parse()
 
 	exporter := &metrics.Exporter{}
@@ -193,9 +212,10 @@ func remoteSvc(peers *Peers) *configsvc.Service {
 }
 
 // buildReplica assembles one replica on an established connection. The
-// conn is wrapped for trace propagation; tr may be nil.
+// conn is wrapped for trace propagation; tr may be nil; restore, when
+// non-nil, is a Persist() blob read back from the replica's data dir.
 func buildReplica(o options, conn transport.Conn, idx int, members []transport.NodeID,
-	svc *configsvc.Service, store *kvstore.Store, reg *metrics.Registry, tr *tracing.Tracer) *neobft.Replica {
+	svc *configsvc.Service, app replication.App, restore []byte, reg *metrics.Registry, tr *tracing.Tracer) *neobft.Replica {
 	wc := tracing.WrapConn(conn, tr)
 	return neobft.New(neobft.Config{
 		Self: idx, N: len(members), F: (len(members) - 1) / 3,
@@ -204,13 +224,82 @@ func buildReplica(o options, conn transport.Conn, idx int, members []transport.N
 		Conn:         wc,
 		Auth:         auth.NewHMACAuth(replicaMaster, idx, len(members)),
 		ClientAuth:   auth.NewReplicaSide(clientMaster, idx),
-		App:          store,
+		App:          app,
 		Variant:      wire.AuthHMAC,
 		SyncInterval: o.checkpointInterval,
 		Svc:          svc,
+		Restore:      restore,
 		Runtime:      runtime.New(runtime.Config{Conn: wc, Workers: o.verifyWorkers, Metrics: reg, Tracer: tr}),
 		Metrics:      reg,
 	})
+}
+
+// openStore opens replica idx's on-disk store under -data-dir,
+// recovering whatever a previous incarnation left there, and logs the
+// outcome. Returns nil when -data-dir is unset (in-memory mode).
+func (o *options) openStore(idx int, reg *metrics.Registry, tr *tracing.Tracer) *store.Store {
+	if o.dataDir == "" {
+		return nil
+	}
+	dir := filepath.Join(o.dataDir, fmt.Sprintf("replica-%d", idx))
+	st, err := store.Open(dir, store.Options{
+		FsyncLinger: o.fsyncLinger,
+		Metrics:     reg,
+		Tracer:      tr,
+	})
+	if err != nil {
+		log.Fatalf("open data dir for replica %d: %v", idx, err)
+	}
+	rec := st.Recovered()
+	if rec.Checkpoint != nil {
+		log.Printf("replica %d recovered from %s: checkpoint slot %d, %d WAL records, torn-tail=%v",
+			idx, dir, rec.Slot, rec.Records, rec.Torn)
+	} else {
+		log.Printf("replica %d starting fresh in %s", idx, dir)
+	}
+	return st
+}
+
+// persistReplica runs the background checkpoint persister for one
+// durable replica: every -persist-every it captures the replica's
+// stable checkpoint into the WAL under group commit, skipping captures
+// that have not advanced. The returned stop function takes one final
+// capture (the graceful-shutdown persist) and closes the store.
+func persistReplica(r *neobft.Replica, st *store.Store, every time.Duration) (stop func()) {
+	stopc := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var last [32]byte
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		capture := func() {
+			blob := r.Persist()
+			if blob == nil {
+				return
+			}
+			h := sha256.Sum256(blob)
+			if h == last {
+				return
+			}
+			last = h
+			st.AppendCheckpoint(r.Executed(), blob)
+		}
+		for {
+			select {
+			case <-stopc:
+				capture()
+				return
+			case <-tick.C:
+				capture()
+			}
+		}
+	}()
+	return func() {
+		close(stopc)
+		<-done
+		st.Close()
+	}
 }
 
 func serveMetrics(o options, exporter *metrics.Exporter) func() {
@@ -292,8 +381,18 @@ func runAll(o options, exporter *metrics.Exporter) {
 	for i := 0; i < nReplicas; i++ {
 		stores[i] = kvstore.NewStore()
 		rtr := o.tracer(fmt.Sprintf("replica-%d", i), replicaRegs[i], exporter)
-		r := buildReplica(o, join(memberIDs[i]), i, memberIDs, svc, stores[i], replicaRegs[i], rtr)
+		var app replication.App = stores[i]
+		var restore []byte
+		st := o.openStore(i, replicaRegs[i], rtr)
+		if st != nil {
+			app = store.Durable(stores[i], st)
+			restore = st.Recovered().Checkpoint
+		}
+		r := buildReplica(o, join(memberIDs[i]), i, memberIDs, svc, app, restore, replicaRegs[i], rtr)
 		defer r.Close()
+		if st != nil {
+			defer persistReplica(r, st, o.persistEvery)()
+		}
 	}
 
 	// Client.
@@ -366,8 +465,19 @@ func runReplica(o options, exporter *metrics.Exporter, peers *Peers, book *udpne
 	}
 	defer conn.Close()
 	tr := o.tracer(fmt.Sprintf("replica-%d", idx), reg, exporter)
-	r := buildReplica(o, conn, idx, peers.Members, remoteSvc(peers), kvstore.NewStore(), reg, tr)
+	kv := kvstore.NewStore()
+	var app replication.App = kv
+	var restore []byte
+	st := o.openStore(idx, reg, tr)
+	if st != nil {
+		app = store.Durable(kv, st)
+		restore = st.Recovered().Checkpoint
+	}
+	r := buildReplica(o, conn, idx, peers.Members, remoteSvc(peers), app, restore, reg, tr)
 	defer r.Close()
+	if st != nil {
+		defer persistReplica(r, st, o.persistEvery)()
+	}
 	defer o.dumpSpans()
 	defer serveMetrics(o, exporter)()
 	log.Printf("replica %d (index %d of %d, f=%d) up on %s",

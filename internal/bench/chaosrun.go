@@ -26,6 +26,11 @@ type ChaosConfig struct {
 	// text always, plus a flight-recorder trace dump when the safety
 	// check fails.
 	OutDir string
+	// DataDir arms durable replica state for the run (Options.DataDir).
+	// Empty defaults to a throwaway temp dir for the kill-recover
+	// scenario — whose whole point is rebooting from disk — and to
+	// in-memory state for every other scenario.
+	DataDir string
 }
 
 // RunChaos executes one chaos scenario and reports whether the run was
@@ -46,12 +51,26 @@ func RunChaos(w io.Writer, c ChaosConfig) (ok bool, err error) {
 	}
 	fmt.Fprintf(w, "=== chaos %s / %s ===\n%s", c.Scenario, c.Protocol, sched)
 
+	dataDir := c.DataDir
+	if dataDir == "" && c.Scenario == "kill-recover" {
+		tmp, err := os.MkdirTemp("", "neobft-chaos-*")
+		if err != nil {
+			return false, err
+		}
+		defer os.RemoveAll(tmp)
+		dataDir = tmp
+	}
+	if dataDir != "" {
+		fmt.Fprintf(w, "  durable state under %s\n", dataDir)
+	}
 	sys := Build(Options{
 		Protocol:           c.Protocol,
 		CheckpointInterval: 32,
 		ClientTimeout:      200 * time.Millisecond,
 		Net:                simnet.Options{Seed: c.Seed},
 		Chaos:              sched,
+		DataDir:            dataDir,
+		PersistEvery:       25 * time.Millisecond,
 	})
 	defer sys.Close()
 	res := Run(sys, Load{

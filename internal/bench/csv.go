@@ -162,17 +162,21 @@ var metricsSystems = []Protocol{Unreplicated, NeoHM, PBFT, Zyzzyva, HotStuff, Mi
 // bumped whenever flattening suffixes or name prefixes change, so
 // downstream plotting scripts can detect incompatible files from the
 // leading comment line.
-const metricsCSVVersion = "neobft-metrics-csv v4 (run-config columns: mode/clients/window/rate_ops/batch_max/batch_bytes/batch_linger_us/batch_adaptive; transport column; histogram columns: _count/_p50/_p99/_p999/_mean; proto_batch_* batching series and client_* pipelining series; phase_*_ns tracing histogram columns when traced; latencies in ns)"
+const metricsCSVVersion = "neobft-metrics-csv v5 (run-config columns: mode/clients/window/rate_ops/batch_max/batch_bytes/batch_linger_us/batch_adaptive/durable/fsync_linger_us; transport column; histogram columns: _count/_p50/_p99/_p999/_mean; proto_batch_* batching series, client_* pipelining series and store_* durability series when a data dir is armed; phase_*_ns tracing histogram columns when traced; latencies in ns)"
 
 // runConfigCols are the fixed run-config columns every metrics.csv row
 // starts with (after system and transport).
-var runConfigCols = []string{"mode", "clients", "window", "rate_ops", "batch_max", "batch_bytes", "batch_linger_us", "batch_adaptive"}
+var runConfigCols = []string{"mode", "clients", "window", "rate_ops", "batch_max", "batch_bytes", "batch_linger_us", "batch_adaptive", "durable", "fsync_linger_us"}
 
 // runConfigValues renders one run's config in runConfigCols order.
 func runConfigValues(c RunConfig) []string {
 	adaptive := "0"
 	if c.BatchAdaptive {
 		adaptive = "1"
+	}
+	durable := "0"
+	if c.Durable {
+		durable = "1"
 	}
 	return []string{
 		c.Mode,
@@ -183,6 +187,8 @@ func runConfigValues(c RunConfig) []string {
 		strconv.Itoa(c.BatchBytes),
 		ftoa(float64(c.BatchLinger) / float64(time.Microsecond)),
 		adaptive,
+		durable,
+		ftoa(float64(c.FsyncLinger) / float64(time.Microsecond)),
 	}
 }
 

@@ -1,13 +1,16 @@
 package bench
 
 import (
+	"crypto/sha256"
 	"fmt"
+	"os"
 	"sync"
 	"time"
 
 	"neobft/internal/chaos"
 	"neobft/internal/metrics"
 	"neobft/internal/runtime"
+	"neobft/internal/store"
 	"neobft/internal/tracing"
 	"neobft/internal/transport"
 )
@@ -34,6 +37,18 @@ type lifecycle struct {
 	alive    []bool
 	blobs    [][]byte
 	busyBase []time.Duration
+
+	// Durable mode (Options.DataDir): stores holds each replica's
+	// on-disk store (the slice is shared with System.stores, so swaps
+	// here are visible to the durable AppFactory wrapper at boot
+	// time), and restart blobs come from disk recovery instead of
+	// lc.blobs. ckptHash dedups the background persister's captures.
+	stores      []*store.Store
+	dataDir     string
+	fsyncLinger time.Duration
+	ckptHash    [][32]byte
+	persistStop chan struct{}
+	persistDone chan struct{}
 
 	// persist returns replica i's restart blob (nil if it has no stable
 	// checkpoint yet — the restart is then effectively cold).
@@ -72,7 +87,9 @@ func installLifecycle(sys *System, fab transport.Fabric, o Options,
 		lc.alive[i] = true
 	}
 	sys.NumReplicas = n
+	sys.lc = lc
 	sys.Crash = lc.Crash
+	sys.Kill = lc.Kill
 	sys.Restart = lc.Restart
 	sys.Alive = lc.Alive
 	sys.SkewClock = lc.SkewClock
@@ -85,7 +102,16 @@ func installLifecycle(sys *System, fab transport.Fabric, o Options,
 
 // Crash persists replica i's stable checkpoint, stops it, and detaches
 // it from the network.
-func (lc *lifecycle) Crash(i int) error {
+func (lc *lifecycle) Crash(i int) error { return lc.halt(i, true) }
+
+// Kill stops replica i without the graceful final persist — the
+// in-process stand-in for SIGKILL. In durable mode the disk keeps
+// whatever the background persister last wrote; in memory mode the
+// old blob (from a previous crash, possibly stale) is discarded, so a
+// warm restart behaves like a cold one.
+func (lc *lifecycle) Kill(i int) error { return lc.halt(i, false) }
+
+func (lc *lifecycle) halt(i int, graceful bool) error {
 	lc.mu.Lock()
 	defer lc.mu.Unlock()
 	if i < 0 || i >= len(lc.alive) {
@@ -94,8 +120,26 @@ func (lc *lifecycle) Crash(i int) error {
 	if !lc.alive[i] {
 		return fmt.Errorf("bench: replica %d already down", i)
 	}
-	lc.blobs[i] = lc.persist(i)
+	if graceful {
+		blob := lc.persist(i)
+		if lc.stores != nil {
+			if blob != nil {
+				lc.stores[i].AppendCheckpoint(lc.progressOf(i), blob)
+			}
+		} else {
+			lc.blobs[i] = blob
+		}
+	} else if lc.stores == nil {
+		lc.blobs[i] = nil
+	}
 	lc.stop(i)
+	if lc.stores != nil {
+		// Process death: the store's file handles go away. Close is
+		// the simulation's stand-in — the WAL bytes were written
+		// (write(2) survives SIGKILL); only the final graceful
+		// capture above is what a kill loses.
+		lc.stores[i].Close()
+	}
 	lc.busyBase[i] += lc.rts[i].Busy()
 	lc.conns[i].Close()
 	lc.alive[i] = false
@@ -103,8 +147,9 @@ func (lc *lifecycle) Crash(i int) error {
 }
 
 // Restart rejoins the network under the same node ID and boots a
-// replacement replica: warm from the blob its crash persisted, or cold
-// (blob discarded — recovery must come from peers).
+// replacement replica: warm from its persisted checkpoint — read back
+// from the replica's data dir in durable mode, from the in-memory
+// crash blob otherwise — or cold (state wiped, recovery from peers).
 func (lc *lifecycle) Restart(i int, cold bool) error {
 	lc.mu.Lock()
 	defer lc.mu.Unlock()
@@ -113,6 +158,31 @@ func (lc *lifecycle) Restart(i int, cold bool) error {
 	}
 	if lc.alive[i] {
 		return fmt.Errorf("bench: replica %d already running", i)
+	}
+	var restore []byte
+	if lc.stores != nil {
+		dir := replicaDir(lc.dataDir, i)
+		if cold {
+			if err := os.RemoveAll(dir); err != nil {
+				return fmt.Errorf("bench: wipe replica %d data dir: %w", i, err)
+			}
+		}
+		st, err := store.Open(dir, store.Options{
+			FsyncLinger: lc.fsyncLinger,
+			Metrics:     lc.regs[i],
+			Tracer:      lc.trs[i],
+		})
+		if err != nil {
+			return fmt.Errorf("bench: reopen store for replica %d: %w", i, err)
+		}
+		lc.stores[i] = st
+		lc.ckptHash[i] = [32]byte{}
+		restore = st.Recovered().Checkpoint
+	} else {
+		restore = lc.blobs[i]
+		if cold {
+			restore = nil
+		}
 	}
 	conn, err := lc.fab.Join(lc.mem[i])
 	if err != nil {
@@ -123,13 +193,99 @@ func (lc *lifecycle) Restart(i int, cold bool) error {
 	// accumulating and the runtime's Func gauges are re-pointed at the
 	// new instance.
 	lc.rts[i] = newRuntime(lc.rconns[i], lc.workers, lc.regs[i], lc.trs[i])
-	restore := lc.blobs[i]
-	if cold {
-		restore = nil
-	}
 	lc.boot(i, restore)
 	lc.alive[i] = true
 	return nil
+}
+
+// progressOf is Progress without the aliveness gate, for callers that
+// already hold lc.mu mid-transition.
+func (lc *lifecycle) progressOf(i int) uint64 {
+	if lc.progress != nil {
+		return lc.progress(i)
+	}
+	return lc.executed(i)
+}
+
+// armStores switches the lifecycle into durable mode and starts the
+// background persister. Called by Build after the protocol builder
+// has installed the persist/stop/boot closures.
+func (lc *lifecycle) armStores(stores []*store.Store, o Options) {
+	every := o.PersistEvery
+	if every <= 0 {
+		every = 50 * time.Millisecond
+	}
+	lc.mu.Lock()
+	lc.stores = stores
+	lc.dataDir = o.DataDir
+	lc.fsyncLinger = o.FsyncLinger
+	lc.ckptHash = make([][32]byte, len(stores))
+	lc.persistStop = make(chan struct{})
+	lc.persistDone = make(chan struct{})
+	for i, st := range stores {
+		st.SetTracer(lc.trs[i])
+	}
+	lc.mu.Unlock()
+	go lc.persistLoop(every)
+}
+
+// persistLoop periodically captures each live replica's Persist()
+// blob into its store as a checkpoint record. The capture runs under
+// lc.mu (it reads protocol state the same way Crash does); the
+// group-commit append happens outside it so a slow fsync never blocks
+// lifecycle transitions. Identical consecutive blobs are deduped, so
+// the WAL only grows when the stable watermark advances.
+func (lc *lifecycle) persistLoop(every time.Duration) {
+	defer close(lc.persistDone)
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-lc.persistStop:
+			return
+		case <-tick.C:
+		}
+		for i := range lc.alive {
+			lc.mu.Lock()
+			if !lc.alive[i] {
+				lc.mu.Unlock()
+				continue
+			}
+			blob := lc.persist(i)
+			if blob == nil {
+				lc.mu.Unlock()
+				continue
+			}
+			h := sha256.Sum256(blob)
+			if h == lc.ckptHash[i] {
+				lc.mu.Unlock()
+				continue
+			}
+			lc.ckptHash[i] = h
+			slot := lc.progressOf(i)
+			st := lc.stores[i]
+			lc.mu.Unlock()
+			// The store may race a concurrent kill and be closed —
+			// exactly what a real process losing a write race sees.
+			st.AppendCheckpoint(slot, blob)
+		}
+	}
+}
+
+// stopPersister halts the background persister (no-op in memory mode).
+func (lc *lifecycle) stopPersister() {
+	lc.mu.Lock()
+	stop := lc.persistStop
+	lc.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	select {
+	case <-stop:
+	default:
+		close(stop)
+	}
+	<-lc.persistDone
 }
 
 // Alive reports whether replica i is running.
@@ -190,6 +346,7 @@ func (sys *System) fleet() chaos.Fleet {
 		Replicas:       sys.NumReplicas,
 		ReplicaID:      sys.ReplicaID,
 		Crash:          sys.Crash,
+		Kill:           sys.Kill,
 		Restart:        sys.Restart,
 		Alive:          sys.Alive,
 		SkewClock:      sys.SkewClock,

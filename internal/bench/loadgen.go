@@ -32,6 +32,12 @@ type RunConfig struct {
 	BatchBytes    int
 	BatchLinger   time.Duration
 	BatchAdaptive bool
+	// Durable records whether replicas persisted state to a data dir
+	// during this run (Options.DataDir), and FsyncLinger the store's
+	// group-commit linger — so metrics.csv rows distinguish durable
+	// runs from in-memory ones.
+	Durable     bool
+	FsyncLinger time.Duration
 }
 
 // runConfig snapshots the system's build-time batching/window knobs
@@ -46,6 +52,8 @@ func (sys *System) runConfig(mode string, clients int, rate float64) RunConfig {
 		BatchBytes:    sys.BatchBytes,
 		BatchLinger:   sys.BatchLinger,
 		BatchAdaptive: sys.BatchAdaptive,
+		Durable:       sys.Durable,
+		FsyncLinger:   sys.FsyncLinger,
 	}
 }
 

@@ -44,7 +44,7 @@ func TestMetricsCSVSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.HasPrefix(first, "# neobft-metrics-csv v4") {
+	if !strings.HasPrefix(first, "# neobft-metrics-csv v5") {
 		t.Fatalf("missing version comment, got %q", first)
 	}
 
@@ -64,6 +64,7 @@ func TestMetricsCSVSmoke(t *testing.T) {
 	for _, name := range []string{"system", "transport", "runtime_events_total", "runtime_verify_ns_count", "proto_commits_total",
 		"runtime_heap_inuse_bytes", "runtime_heap_objects",
 		"mode", "clients", "window", "rate_ops", "batch_max", "batch_bytes", "batch_linger_us", "batch_adaptive",
+		"durable", "fsync_linger_us",
 		"proto_batch_size_count", "proto_batch_size_mean", "client_inflight"} {
 		if _, ok := col[name]; !ok {
 			t.Fatalf("column %q missing from header", name)
@@ -76,6 +77,9 @@ func TestMetricsCSVSmoke(t *testing.T) {
 		}
 		if got := row[col["window"]]; got != "1" {
 			t.Errorf("%s: window = %q, want 1", sysName, got)
+		}
+		if got := row[col["durable"]]; got != "0" {
+			t.Errorf("%s: durable = %q, want 0 (no data dir armed)", sysName, got)
 		}
 		if sysName == string(PBFT) {
 			if v, _ := strconv.ParseFloat(row[col["proto_batch_size_count"]], 64); v <= 0 {

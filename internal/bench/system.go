@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"neobft/internal/runtime"
 	"neobft/internal/sequencer"
 	"neobft/internal/simnet"
+	"neobft/internal/store"
 	"neobft/internal/tracing"
 	"neobft/internal/transport"
 	"neobft/internal/transport/udpnet"
@@ -118,6 +120,21 @@ type Options struct {
 	TraceRate float64
 	// TraceBuf caps each node tracer's span buffer (0 = tracing default).
 	TraceBuf int
+	// DataDir arms durable replica state: each replica gets a
+	// store.Store under DataDir/replica-<i> journaling executed ops
+	// (write-behind) and stable checkpoints (group-commit fsync'd). A
+	// killed or crashed replica's warm restart then means "reboot from
+	// the data dir": its restore blob is read back from disk rather
+	// than from the parent process's memory, and a cold restart wipes
+	// the directory first. Empty keeps the legacy in-memory blobs.
+	DataDir string
+	// FsyncLinger is the store's group-commit linger (see
+	// store.Options.FsyncLinger; 0 = store default, <0 = no linger).
+	FsyncLinger time.Duration
+	// PersistEvery is how often the background persister captures each
+	// replica's Persist() blob into its store (default 50ms). Only
+	// meaningful with DataDir set.
+	PersistEvery time.Duration
 }
 
 // System is a running system under test.
@@ -162,6 +179,11 @@ type System struct {
 	// peers). All are installed for every protocol.
 	Crash   func(i int) error
 	Restart func(i int, cold bool) error
+	// Kill stops replica i without the graceful final persist — the
+	// in-process equivalent of SIGKILL. With DataDir set, a warm
+	// restart then recovers from whatever the background persister
+	// last made durable; without it the restart is effectively cold.
+	Kill func(i int) error
 	// Alive reports whether replica i is running.
 	Alive func(i int) bool
 	// SkewClock multiplies replica i's timer durations by factor.
@@ -195,6 +217,21 @@ type System struct {
 	BatchLinger   time.Duration
 	BatchAdaptive bool
 	ClientWindow  int
+
+	// Durable records whether the system persists replica state to a
+	// data dir, and FsyncLinger the group-commit linger it was built
+	// with; the load generators copy both into RunResult.Config so
+	// metrics.csv rows distinguish durable from in-memory runs.
+	Durable     bool
+	FsyncLinger time.Duration
+
+	// stores holds the per-replica durable stores when Options.DataDir
+	// was set (entries are swapped by restarts); preRegs are the
+	// replica registries, created before the protocol builders run so
+	// the stores can register their metrics into them.
+	stores  []*store.Store
+	preRegs []*metrics.Registry
+	lc      *lifecycle
 
 	// clientReg is the registry shared by every client: client tracers
 	// (phase_e2e_ns / phase_reply_ns are observed client-side) and the
@@ -396,6 +433,39 @@ func Build(o Options) *System {
 		panic(fmt.Sprintf("bench: unknown transport %q", o.Transport))
 	}
 	sys.Net = fab
+	// Replica registries are created before the protocol builders run
+	// (newRegistries hands these out) so the durable stores can
+	// register their metrics into the same per-replica registries.
+	nrep := FleetSize(o.Protocol, o.N)
+	sys.preRegs = make([]*metrics.Registry, nrep)
+	for i := range sys.preRegs {
+		sys.preRegs[i] = metrics.NewRegistry()
+	}
+	metrics.RegisterHeapGauges(sys.preRegs[0])
+	sys.Metrics = append(sys.Metrics, sys.preRegs...)
+	if o.DataDir != "" {
+		sys.Durable = true
+		sys.FsyncLinger = o.FsyncLinger
+		sys.stores = make([]*store.Store, nrep)
+		for i := range sys.stores {
+			st, err := store.Open(replicaDir(o.DataDir, i), store.Options{
+				FsyncLinger: o.FsyncLinger,
+				Metrics:     sys.preRegs[i],
+			})
+			if err != nil {
+				panic(fmt.Sprintf("bench: open store for replica %d: %v", i, err))
+			}
+			sys.stores[i] = st
+		}
+		// Journal every executed op (write-behind) through the
+		// replica's current store. The factory reads sys.stores at
+		// boot time, so a restarted replica journals into the store
+		// its restart reopened.
+		inner := o.AppFactory
+		o.AppFactory = func(i int) replication.App {
+			return store.Durable(inner(i), sys.stores[i])
+		}
+	}
 	if o.Chaos != nil {
 		// Wrap every replica's app so execution histories are recorded
 		// for the post-run safety check. The wrapper snapshots/restores
@@ -436,7 +506,28 @@ func Build(o Options) *System {
 	if o.TraceRate > 0 {
 		sys.chaosTr = sys.newTracer(o, "chaos", nil)
 	}
+	if sys.stores != nil && sys.lc != nil {
+		// All protocol closures are set now: arm the disk-backed
+		// lifecycle (kill-and-recover restarts + background persister)
+		// and make Close flush and release the stores.
+		sys.lc.armStores(sys.stores, o)
+		inner := sys.Close
+		sys.Close = func() {
+			sys.lc.stopPersister()
+			inner()
+			for _, st := range sys.stores {
+				if st != nil {
+					st.Close()
+				}
+			}
+		}
+	}
 	return sys
+}
+
+// replicaDir is replica i's store directory under a system data dir.
+func replicaDir(dataDir string, i int) string {
+	return filepath.Join(dataDir, fmt.Sprintf("replica-%d", i))
 }
 
 // join attaches a node to the fabric, panicking on failure — system
@@ -534,18 +625,16 @@ func newRuntime(conn transport.Conn, workers int, reg *metrics.Registry, tr *tra
 	return runtime.New(runtime.Config{Conn: conn, Workers: workers, Metrics: reg, Tracer: tr})
 }
 
-// newRegistries creates one shared metrics registry per replica and
-// records them on the system. The process-wide Go heap gauges are
-// registered on the first registry only: Merge sums Func samples, so
-// registering them per replica would multiply the (shared) heap by n.
+// newRegistries hands each builder the per-replica registries Build
+// pre-created (and already appended to sys.Metrics). The process-wide
+// Go heap gauges live on the first registry only: Merge sums Func
+// samples, so registering them per replica would multiply the
+// (shared) heap by n.
 func newRegistries(sys *System, n int) []*metrics.Registry {
-	regs := make([]*metrics.Registry, n)
-	for i := range regs {
-		regs[i] = metrics.NewRegistry()
+	if n != len(sys.preRegs) {
+		panic(fmt.Sprintf("bench: builder wants %d registries, FleetSize said %d", n, len(sys.preRegs)))
 	}
-	metrics.RegisterHeapGauges(regs[0])
-	sys.Metrics = append(sys.Metrics, regs...)
-	return regs
+	return sys.preRegs
 }
 
 // busyCounter reports per-replica busy time (verification + apply) from

@@ -30,6 +30,11 @@ type Fleet struct {
 	// Crash stops replica i, persisting its stable checkpoint for a
 	// later warm restart.
 	Crash func(i int) error
+	// Kill stops replica i without the graceful checkpoint persist —
+	// the SIGKILL analogue for fleets with durable state. Nil falls
+	// back to Crash (the distinction only matters when replica state
+	// outlives the process).
+	Kill func(i int) error
 	// Restart boots replica i again; cold discards the persisted
 	// checkpoint, forcing recovery from peers.
 	Restart func(i int, cold bool) error
@@ -71,6 +76,7 @@ type Report struct {
 	Skipped int
 
 	Crashes      int
+	Kills        int
 	Restarts     int
 	SeqFailovers int
 	Partitions   int
@@ -211,7 +217,7 @@ func (x *Executor) apply(a action) {
 		return
 	}
 	switch e.Kind {
-	case KindCrash, KindRestart, KindPartition, KindHeal, KindClockSkew:
+	case KindCrash, KindKill, KindRestart, KindPartition, KindHeal, KindClockSkew:
 		// Replica-targeted events: a schedule generated for a larger
 		// fleet (e.g. 3f+1) may name replicas a 2f+1 protocol lacks.
 		if e.Target < 0 || e.Target >= x.fleet.Replicas {
@@ -234,6 +240,24 @@ func (x *Executor) apply(a action) {
 		x.crashedAt[e.Target] = time.Now()
 		x.mu.Unlock()
 		x.applied("crash replica=%d", e.Target)
+	case KindKill:
+		if x.fleet.Alive == nil || !x.fleet.Alive(e.Target) {
+			x.skipped("kill replica=%d (not running)", e.Target)
+			return
+		}
+		kill := x.fleet.Kill
+		if kill == nil {
+			kill = x.fleet.Crash
+		}
+		if err := kill(e.Target); err != nil {
+			x.skipped("kill replica=%d: %v", e.Target, err)
+			return
+		}
+		x.mu.Lock()
+		x.report.Kills++
+		x.crashedAt[e.Target] = time.Now()
+		x.mu.Unlock()
+		x.applied("kill -9 replica=%d", e.Target)
 	case KindRestart:
 		if x.fleet.Alive != nil && x.fleet.Alive(e.Target) {
 			x.skipped("restart replica=%d (already running)", e.Target)

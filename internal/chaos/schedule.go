@@ -56,12 +56,19 @@ const (
 	// KindClockSkew multiplies replica Target's timer durations by
 	// Factor (1 restores nominal time).
 	KindClockSkew
+	// KindKill stops replica Target without the graceful checkpoint
+	// persist a KindCrash performs — the SIGKILL analogue. A later
+	// warm KindRestart recovers from whatever the replica's durable
+	// store already held (or cold-starts when the fleet keeps state
+	// in memory only).
+	KindKill
 )
 
 var kindNames = map[Kind]string{
 	KindCrash: "crash", KindRestart: "restart", KindPartition: "partition",
 	KindHeal: "heal", KindDropRate: "drop-rate", KindSeqCrash: "seq-crash",
 	KindDuplicate: "duplicate", KindCorrupt: "corrupt", KindClockSkew: "clock-skew",
+	KindKill: "kill",
 }
 
 func (k Kind) String() string {
@@ -93,7 +100,7 @@ func (e Event) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%8.3fs %-10s", e.At.Seconds(), e.Kind)
 	switch e.Kind {
-	case KindCrash, KindPartition, KindHeal:
+	case KindCrash, KindKill, KindPartition, KindHeal:
 		fmt.Fprintf(&b, " replica=%d", e.Target)
 	case KindRestart:
 		mode := "warm"
@@ -177,6 +184,7 @@ type ScenarioConfig struct {
 var scenarioNames = []string{
 	"crash-restart",
 	"crash-restart-cold",
+	"kill-recover",
 	"drop-rate",
 	"gap-agreement",
 	"seq-failover",
@@ -260,6 +268,15 @@ func Scenario(name string, cfg ScenarioConfig) (*Schedule, error) {
 		s.Events = []Event{
 			{At: at(0.25), Kind: KindCrash, Target: victim},
 			{At: at(0.55), Kind: KindRestart, Target: victim, Cold: true},
+		}
+	case "kill-recover":
+		// SIGKILL mid-load: no graceful persist, so the warm restart
+		// reboots from whatever the replica's data dir held at the
+		// moment of death (with durable state armed) and catches the
+		// rest up from peers.
+		s.Events = []Event{
+			{At: at(0.25), Kind: KindKill, Target: victim},
+			{At: at(0.6), Kind: KindRestart, Target: victim},
 		}
 	case "drop-rate":
 		// Fig 9: sustained low loss plus a heavier burst.

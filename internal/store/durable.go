@@ -1,0 +1,56 @@
+package store
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"neobft/internal/replication"
+)
+
+// Durable wraps a replicated application so that every executed
+// operation is journaled to the store's WAL as a write-behind
+// RecordOp. Execution never blocks on the disk: the record rides the
+// next group-commit fsync batch, and the append→fsync latency is
+// visible in the store_wal_append_ns histogram. Protocol-level
+// durability comes from the checkpoint records the persist loop
+// appends, not from this journal (see the package comment).
+//
+// The wrapper always implements replication.Snapshotter, delegating
+// to the inner application when it does; CaptureSnapshot and
+// InstallSnapshot therefore see the same shape whether or not the
+// inner app supports snapshots (an empty section either way).
+func Durable(app replication.App, st *Store) replication.App {
+	return &durableApp{inner: app, st: st}
+}
+
+var errRestoreOpaque = errors.New("store: snapshot for a non-snapshot application")
+
+type durableApp struct {
+	inner replication.App
+	st    *Store
+	seq   atomic.Uint64
+}
+
+func (d *durableApp) Execute(op []byte) ([]byte, func()) {
+	// Journal first so the WAL order matches execution order even
+	// under a concurrent snapshot.
+	d.st.AppendOp(d.seq.Add(1), op)
+	return d.inner.Execute(op)
+}
+
+func (d *durableApp) Snapshot() []byte {
+	if s, ok := d.inner.(replication.Snapshotter); ok {
+		return s.Snapshot()
+	}
+	return nil
+}
+
+func (d *durableApp) Restore(data []byte) error {
+	if s, ok := d.inner.(replication.Snapshotter); ok {
+		return s.Restore(data)
+	}
+	if len(data) != 0 {
+		return errRestoreOpaque
+	}
+	return nil
+}

@@ -62,13 +62,16 @@ const (
 	PhaseFault
 	// PhaseViewChange is a completed view/epoch change (always recorded).
 	PhaseViewChange
+	// PhasePersist is a durable-store event: a checkpoint record's
+	// group-commit append or a snapshot promotion (always recorded).
+	PhasePersist
 
 	numPhases
 )
 
 var phaseNames = [numPhases]string{
 	"request", "order", "transit", "verify", "apply",
-	"queue", "deliver", "reply", "fault", "view-change",
+	"queue", "deliver", "reply", "fault", "view-change", "persist",
 }
 
 // String returns the phase's wire/report name.
