@@ -12,7 +12,6 @@ package neobft_bench
 
 import (
 	"fmt"
-	"math/big"
 	"testing"
 	"time"
 
@@ -181,7 +180,11 @@ func BenchmarkFig10_YCSB(b *testing.B) {
 // generator table (the FPGA pre-compute module) against plain
 // double-and-add.
 func BenchmarkAblation_Precompute(b *testing.B) {
-	k, _ := new(big.Int).SetString("deadbeefcafebabe0123456789abcdef1122334455667788", 16)
+	var kb [32]byte
+	copy(kb[8:], []byte{0xde, 0xad, 0xbe, 0xef, 0xca, 0xfe, 0xba, 0xbe,
+		0x01, 0x23, 0x45, 0x67, 0x89, 0xab, 0xcd, 0xef,
+		0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88})
+	k := secp256k1.NewScalarReduced(kb)
 	b.Run("table", func(b *testing.B) {
 		secp256k1.BaseMult(k) // warm the table
 		b.ResetTimer()

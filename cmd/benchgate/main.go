@@ -162,11 +162,13 @@ func parseBenchFile(path string) (map[string]Metric, error) {
 }
 
 // simMetrics runs short fixed-seed closed-loop loads on the simulated
-// network and reports throughput and p99 latency for one NeoBFT variant
-// and one classical baseline.
+// network and reports throughput and p99 latency for two NeoBFT variants
+// and one classical baseline. Neo-PK runs with SignRate 0 (sign every
+// packet): fully deterministic and maximum signature-verification
+// pressure, so the gate tracks the secp256k1 hot path end to end.
 func simMetrics(seed int64) map[string]Metric {
 	out := map[string]Metric{}
-	for _, p := range []bench.Protocol{bench.NeoHM, bench.PBFT} {
+	for _, p := range []bench.Protocol{bench.NeoHM, bench.NeoPK, bench.PBFT} {
 		slug := strings.ToLower(strings.ReplaceAll(string(p), "-", ""))
 		fmt.Printf("sim run %s (seed %d)...\n", p, seed)
 		sys := bench.Build(bench.Options{

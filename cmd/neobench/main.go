@@ -38,10 +38,11 @@ var experiments = map[string]func(*os.File, bench.ExpConfig){
 	"fig10":      func(f *os.File, c bench.ExpConfig) { bench.Fig10(f, c) },
 	"failover":   func(f *os.File, c bench.ExpConfig) { bench.Failover(f, c) },
 	"saturation": func(f *os.File, c bench.ExpConfig) { bench.Saturation(f, c) },
+	"pksweep":    func(f *os.File, c bench.ExpConfig) { bench.PKSweep(f, c) },
 }
 
 // order fixes the presentation sequence for -experiment all.
-var order = []string{"table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "failover", "saturation"}
+var order = []string{"table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "failover", "saturation", "pksweep"}
 
 func main() {
 	exp := flag.String("experiment", "all", "experiment to run (see -list)")
@@ -50,6 +51,8 @@ func main() {
 	csvDir := flag.String("csv", "", "also write plot-ready CSV data series into this directory")
 	metricsCSV := flag.String("metrics-csv", "",
 		"write only the per-system metric snapshot (metrics.csv) into this directory and exit")
+	pkSweepCSV := flag.String("pksweep-csv", "",
+		"write only the aom-pk signing-ratio sweep (pk_sweep.csv) into this directory and exit")
 	seed := flag.Int64("seed", 0, "simulated-network and fault-schedule seed (0 = time-derived)")
 	chaosScen := flag.String("chaos", "", "run a chaos scenario instead of experiments: a scenario name, 'all', or 'list'")
 	chaosProto := flag.String("chaos-protocol", "neobft", "protocol under chaos (neobft, pbft, minbft, zyzzyva, hotstuff, ...)")
@@ -117,6 +120,14 @@ func main() {
 			defer mu.Unlock()
 			tracing.WriteSpans(f, spans)
 		}
+	}
+	if *pkSweepCSV != "" {
+		if err := bench.CSVPKSweep(*pkSweepCSV, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "pk sweep csv: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("pk_sweep.csv written to %s\n", *pkSweepCSV)
+		return
 	}
 	if *metricsCSV != "" {
 		if err := bench.CSVMetrics(*metricsCSV, cfg); err != nil {

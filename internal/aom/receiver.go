@@ -279,6 +279,10 @@ type PreVerified struct {
 	// taken entirely from the packet).
 	Confirm   bool
 	ConfirmOK []bool
+
+	// pkDigest caches the packet hash between decode and (possibly
+	// batched) signature verification.
+	pkDigest [32]byte
 }
 
 // PreVerify runs every check of pkt that does not need the receiver's
@@ -287,46 +291,107 @@ type PreVerified struct {
 // authenticators. It is safe to call from concurrent worker goroutines.
 // The second return is false if the packet does not belong to libAOM.
 func (r *Receiver) PreVerify(pkt []byte) (*PreVerified, bool) {
-	if len(pkt) >= 2 && binary.LittleEndian.Uint16(pkt) == confirmMagic {
-		pv := &PreVerified{Confirm: true}
-		pv.ConfirmOK = r.preVerifyConfirm(pkt)
-		return pv, true
-	}
-	hdr, payload, err := wire.DecodeAOM(pkt)
-	if err != nil || hdr.Kind == wire.AuthNone {
-		return nil, false
-	}
-	pv := &PreVerified{Hdr: hdr, Payload: payload}
-	pv.DigestOK = hdr.Digest == wire.Digest(payload)
-	if !pv.DigestOK {
-		return pv, true
-	}
 	r.mu.Lock()
 	epoch, hmKey, pk := r.epoch, r.hmKey, r.pk
 	r.mu.Unlock()
+	pv, sig, needSig := r.preVerifyOne(pkt, epoch, hmKey)
+	if needSig {
+		ok := pk != nil && pk.Verify(pv.pkDigest[:], sig)
+		pv.SigOK = &ok
+	}
+	return pv, pv != nil
+}
+
+// PreVerifyBatch is PreVerify over a batch of packets, pulling every
+// decodable aom-pk sequencer signature into one secp256k1 batch
+// verification (shared modular inversions). out[i] is nil when pkts[i]
+// does not belong to libAOM. Safe to call from concurrent workers.
+func (r *Receiver) PreVerifyBatch(pkts [][]byte) []*PreVerified {
+	r.mu.Lock()
+	epoch, hmKey, pk := r.epoch, r.hmKey, r.pk
+	r.mu.Unlock()
+
+	out := make([]*PreVerified, len(pkts))
+	var idx []int
+	var digests [][32]byte
+	var sigs []secp256k1.Signature
+	for i, pkt := range pkts {
+		pv, sig, needSig := r.preVerifyOne(pkt, epoch, hmKey)
+		out[i] = pv
+		if needSig {
+			if pk == nil {
+				ok := false
+				pv.SigOK = &ok
+				continue
+			}
+			idx = append(idx, i)
+			digests = append(digests, pv.pkDigest)
+			sigs = append(sigs, sig)
+		}
+	}
+	if len(idx) > 0 {
+		oks := pk.VerifyBatch(digests, sigs)
+		for j, i := range idx {
+			ok := oks[j]
+			out[i].SigOK = &ok
+		}
+	}
+	return out
+}
+
+// preVerifyOne runs the state-independent checks of one packet under the
+// given epoch credentials. For a signed aom-pk packet with a decodable
+// signature it does NOT verify the signature; instead it stores the
+// packet hash in pv.pkDigest and returns (sig, true) so the caller can
+// verify individually or batched.
+func (r *Receiver) preVerifyOne(pkt []byte, epoch uint32, hmKey siphash.HalfKey) (pv *PreVerified, sig secp256k1.Signature, needSig bool) {
+	if len(pkt) >= 2 && binary.LittleEndian.Uint16(pkt) == confirmMagic {
+		pv = &PreVerified{Confirm: true}
+		pv.ConfirmOK = r.preVerifyConfirm(pkt)
+		return pv, sig, false
+	}
+	hdr, payload, err := wire.DecodeAOM(pkt)
+	if err != nil || hdr.Kind == wire.AuthNone {
+		return nil, sig, false
+	}
+	pv = &PreVerified{Hdr: hdr, Payload: payload}
+	pv.DigestOK = hdr.Digest == wire.Digest(payload)
+	if !pv.DigestOK {
+		return pv, sig, false
+	}
 	pv.Epoch = epoch
 	switch r.cfg.Variant {
 	case wire.AuthHMAC:
 		if int(hdr.Subgroup) == r.cfg.SelfIndex/4 {
-			laneInSub := r.cfg.SelfIndex % 4
-			ok := false
-			if len(hdr.Auth) >= 4*(laneInSub+1) {
-				want := siphash.Sum32(hmKey, hdr.AuthInput())
-				ok = binary.LittleEndian.Uint32(hdr.Auth[4*laneInSub:]) == want
-			}
+			ok := laneMatches(hdr, hmKey, r.cfg.SelfIndex)
 			pv.LaneOK = &ok
 		}
 	case wire.AuthPK:
-		if hdr.Signed && pk != nil {
-			ok := false
-			if sig, err := secp256k1.DecodeSignature(hdr.Auth); err == nil {
-				h := hdr.PacketHash()
-				ok = pk.Verify(h[:], sig)
+		if hdr.Signed {
+			s, err := secp256k1.DecodeSignature(hdr.Auth)
+			if err != nil {
+				ok := false
+				pv.SigOK = &ok
+				return pv, sig, false
 			}
-			pv.SigOK = &ok
+			pv.pkDigest = hdr.PacketHash()
+			return pv, s, true
 		}
 	}
-	return pv, true
+	return pv, sig, false
+}
+
+// laneMatches recomputes this receiver's HMAC lane over the packet's
+// AuthInput and compares it against the carried lane. Allocation-free.
+func laneMatches(hdr *wire.AOMHeader, hmKey siphash.HalfKey, selfIndex int) bool {
+	laneInSub := selfIndex % 4
+	if len(hdr.Auth) < 4*(laneInSub+1) {
+		return false
+	}
+	var in [wire.AuthInputSize]byte
+	hdr.AuthInputInto(&in)
+	want := siphash.Sum32(hmKey, in[:])
+	return binary.LittleEndian.Uint32(hdr.Auth[4*laneInSub:]) == want
 }
 
 // preVerifyConfirm checks every entry's authenticator in a confirm
@@ -467,11 +532,7 @@ func (r *Receiver) handleHM(hdr *wire.AOMHeader, payload []byte, laneOK *bool) {
 		if laneOK != nil {
 			ok = *laneOK
 		} else {
-			laneInSub := r.cfg.SelfIndex % 4
-			if len(hdr.Auth) >= 4*(laneInSub+1) {
-				want := siphash.Sum32(r.hmKey, hdr.AuthInput())
-				ok = binary.LittleEndian.Uint32(hdr.Auth[4*laneInSub:]) == want
-			}
+			ok = laneMatches(hdr, r.hmKey, r.cfg.SelfIndex)
 		}
 		if !ok {
 			delete(r.asm, hdr.Seq) // forged or truncated packet

@@ -288,5 +288,26 @@ func CSVAll(dir string, c ExpConfig) error {
 	if err := CSVSaturation(dir, c, PBFT, rates); err != nil {
 		return err
 	}
+	if err := CSVPKSweep(dir, c); err != nil {
+		return err
+	}
 	return CSVMetrics(dir, c)
+}
+
+// CSVPKSweep writes the aom-pk signing-ratio sweep as pk_sweep.csv:
+// (sign_rate, tput, median, p99, signed_ratio) rows, one per controller
+// refill rate. Rate 0 means sign-everything.
+func CSVPKSweep(dir string, c ExpConfig) error {
+	var rows [][]string
+	for _, pt := range runPKSweep(c) {
+		rows = append(rows, []string{
+			ftoa(pt.Rate), ftoa(pt.Throughput),
+			ftoa(float64(pt.Median) / float64(time.Microsecond)),
+			ftoa(float64(pt.P99) / float64(time.Microsecond)),
+			ftoa(pt.SignedRatio),
+		})
+	}
+	return writeCSVComment(dir, "pk_sweep.csv",
+		"aom-pk signing-ratio sweep; sign_rate 0 = every packet signed (fixed-limb verify fast path)",
+		[]string{"sign_rate", "tput_ops", "median_us", "p99_us", "signed_ratio"}, rows)
 }

@@ -468,3 +468,67 @@ func Failover(w io.Writer, c ExpConfig) {
 	fmt.Fprintf(w, "\nsequencer crashed at t=1.0s; throughput recovered after %v (view changes: %d)\n", recovered, vcs)
 	fmt.Fprintf(w, "paper: <100ms total failover, dominated by network reconfiguration\n\n")
 }
+
+// pkSweepRates are the signing-ratio controller refill rates swept by
+// PKSweep: 0 signs every packet (the fast-path stress point); the rest
+// model progressively slower FPGA precompute tables, shifting work from
+// signature verification onto hash chaining.
+func pkSweepRates(short bool) []float64 {
+	if short {
+		return []float64{0, 2000}
+	}
+	return []float64{0, 500, 2000, 8000}
+}
+
+// pkSweepPoint holds one signing-rate measurement.
+type pkSweepPoint struct {
+	Rate        float64
+	Throughput  float64
+	Median, P99 time.Duration
+	SignedRatio float64
+}
+
+// runPKSweep measures Neo-PK under each signing rate.
+func runPKSweep(c ExpConfig) []pkSweepPoint {
+	var out []pkSweepPoint
+	for _, rate := range pkSweepRates(c.Short) {
+		sys := c.build(Options{Protocol: NeoPK, SignRate: rate, Net: simnet.Options{Seed: c.Seed}})
+		res := Run(sys, Load{Clients: 16, Warmup: c.warmup(), Duration: c.window()})
+		var stamped, signed uint64
+		for _, h := range sys.Switches {
+			stamped += h.SW.Stamped()
+			signed += h.SW.SignedCount()
+		}
+		sys.Close()
+		s := Summarize(res.Latencies)
+		ratio := 0.0
+		if stamped > 0 {
+			ratio = float64(signed) / float64(stamped)
+		}
+		out = append(out, pkSweepPoint{
+			Rate: rate, Throughput: res.Throughput,
+			Median: s.Median, P99: s.P99, SignedRatio: ratio,
+		})
+	}
+	return out
+}
+
+// PKSweep sweeps the aom-pk signing-ratio controller (§4.4): throughput
+// and latency as the precompute refill rate varies, from sign-everything
+// (rate 0, every packet carries a signature the replicas verify) to
+// heavily chained operation. With the fixed-limb verify fast path the
+// sign-everything point is CPU-bound on signing, not verification.
+func PKSweep(w io.Writer, c ExpConfig) {
+	fmt.Fprintln(w, "§4.4 — aom-pk signing-ratio sweep (Neo-PK, rate 0 = sign everything)")
+	t := &Table{Header: []string{"sign rate (sigs/s)", "tput (ops/s)", "median", "p99", "signed ratio"}}
+	for _, pt := range runPKSweep(c) {
+		rate := "all"
+		if pt.Rate > 0 {
+			rate = fmt.Sprintf("%.0f", pt.Rate)
+		}
+		t.Add(rate, fmt.Sprintf("%.0f", pt.Throughput),
+			pt.Median.String(), pt.P99.String(), fmt.Sprintf("%.3f", pt.SignedRatio))
+	}
+	fmt.Fprint(w, t.String())
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,84 @@
+package secp256k1
+
+import (
+	"crypto/sha256"
+	"testing"
+)
+
+// The fixed-key verify path sits on the aom-pk hot path: every sequenced
+// packet goes through TableVerifier.Verify (or VerifyBatch). After the
+// one-time table build it must not allocate, or GC pressure shows up as
+// commit-latency jitter at high load.
+
+func TestVerifyZeroAlloc(t *testing.T) {
+	priv, err := GenerateKey([]byte("alloc-guard-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv := NewTableVerifier(priv.Pub)
+	digest := sha256.Sum256([]byte("alloc guard message"))
+	sig := priv.Sign(digest[:])
+	if !tv.Verify(digest[:], sig) {
+		t.Fatal("signature did not verify")
+	}
+
+	allocs := testing.AllocsPerRun(100, func() {
+		if !tv.Verify(digest[:], sig) {
+			t.Fatal("signature did not verify")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("fixed-key Verify allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+func TestGenericVerifyZeroAlloc(t *testing.T) {
+	priv, err := GenerateKey([]byte("alloc-guard-key-2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := sha256.Sum256([]byte("another alloc guard message"))
+	sig := priv.Sign(digest[:])
+	// Warm the lazily built generator table before measuring.
+	if !priv.Pub.Verify(digest[:], sig) {
+		t.Fatal("signature did not verify")
+	}
+
+	allocs := testing.AllocsPerRun(100, func() {
+		if !priv.Pub.Verify(digest[:], sig) {
+			t.Fatal("signature did not verify")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("generic Verify allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// VerifyBatchInto with caller-owned buffers may allocate only its internal
+// scratch (bounded, independent of repeated use); guard against per-call
+// growth by checking the steady-state count stays small and flat.
+func TestVerifyBatchAllocBound(t *testing.T) {
+	priv, err := GenerateKey([]byte("alloc-guard-key-3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv := NewTableVerifier(priv.Pub)
+	const n = 32
+	digests := make([][32]byte, n)
+	sigs := make([]Signature, n)
+	for i := range digests {
+		digests[i] = sha256.Sum256([]byte{byte(i)})
+		sigs[i] = priv.Sign(digests[i][:])
+	}
+	ok := make([]bool, n)
+	tv.VerifyBatchInto(ok, digests, sigs)
+
+	allocs := testing.AllocsPerRun(20, func() {
+		tv.VerifyBatchInto(ok, digests, sigs)
+	})
+	// Scratch slices (winv, jacobian sums, affine results, prefix products)
+	// are the only permitted allocations: a handful per batch, not per sig.
+	if allocs > 8 {
+		t.Fatalf("VerifyBatchInto allocates %.1f times per batch of %d, want <= 8", allocs, n)
+	}
+}

@@ -1,5 +1,5 @@
 // Package secp256k1 implements the secp256k1 elliptic curve and ECDSA
-// signatures from scratch on top of math/big.
+// signatures from scratch on fixed-width 4×uint64 limb arithmetic.
 //
 // NeoBFT's aom-pk variant signs every aom message (or a hash-chained
 // subset of them) with secp256k1 on an FPGA co-processor. This package is
@@ -8,44 +8,37 @@
 // scalar point multiplication, and deterministic (RFC 6979 style) nonces
 // so signing requires no random-number generator — mirroring the
 // hardware's avoidance of on-chip randomness.
+//
+// The arithmetic is a Solinas-style specialization: the field prime
+// p = 2²⁵⁶ − 2³² − 977 makes 2²⁵⁶ ≡ 2³² + 977 (mod p), so a 512-bit
+// product folds to 256 bits with two small multiplies. None of it is
+// constant-time — this models hardware in a research reproduction, it
+// does not protect long-lived secrets on shared machines (DESIGN.md §15).
+// math/big survives only in the test reference implementation.
 package secp256k1
 
-import (
-	"math/big"
-	"sync"
-)
+import "sync"
 
-// Curve parameters for secp256k1: y² = x³ + 7 over GF(p).
-var (
-	// P is the field prime 2²⁵⁶ − 2³² − 977.
-	P *big.Int
-	// N is the order of the base point G.
-	N *big.Int
-	// B is the curve constant 7.
-	B = big.NewInt(7)
-	// Gx, Gy are the affine coordinates of the base point.
-	Gx *big.Int
-	Gy *big.Int
-
-	halfN *big.Int // N/2, for low-s signature normalization
-)
-
-func init() {
-	P, _ = new(big.Int).SetString("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f", 16)
-	N, _ = new(big.Int).SetString("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141", 16)
-	Gx, _ = new(big.Int).SetString("79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798", 16)
-	Gy, _ = new(big.Int).SetString("483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8", 16)
-	halfN = new(big.Int).Rsh(N, 1)
-}
-
-// Point is an affine point on the curve. The zero value (nil coordinates)
-// is the point at infinity.
+// Point is an affine point on the curve y² = x³ + 7 over GF(p). The zero
+// value is the point at infinity. (No point on secp256k1 has x = 0 or
+// y = 0, so (0,0) is unambiguous.)
 type Point struct {
-	X, Y *big.Int
+	x, y fieldElem
 }
+
+// generator returns the base point G.
+func generator() Point {
+	return Point{
+		x: fieldElem{0x59F2815B16F81798, 0x029BFCDB2DCE28D9, 0x55A06295CE870B07, 0x79BE667EF9DCBBAC},
+		y: fieldElem{0x9C47D08FFB10D4B8, 0xFD17B448A6855419, 0x5DA4FBFC0E1108A8, 0x483ADA7726A3C465},
+	}
+}
+
+// curveB is the curve constant 7.
+var curveB = fieldElem{7}
 
 // Infinity reports whether p is the point at infinity.
-func (p Point) Infinity() bool { return p.X == nil }
+func (p Point) Infinity() bool { return p.x.isZero() && p.y.isZero() }
 
 // OnCurve reports whether p satisfies the curve equation (the point at
 // infinity is considered on the curve).
@@ -53,230 +46,205 @@ func (p Point) OnCurve() bool {
 	if p.Infinity() {
 		return true
 	}
-	if p.X.Sign() < 0 || p.X.Cmp(P) >= 0 || p.Y.Sign() < 0 || p.Y.Cmp(P) >= 0 {
-		return false
-	}
-	// y² mod p
-	lhs := new(big.Int).Mul(p.Y, p.Y)
-	lhs.Mod(lhs, P)
-	// x³ + 7 mod p
-	rhs := new(big.Int).Mul(p.X, p.X)
-	rhs.Mul(rhs, p.X)
-	rhs.Add(rhs, B)
-	rhs.Mod(rhs, P)
-	return lhs.Cmp(rhs) == 0
+	var lhs, rhs fieldElem
+	lhs.sqr(&p.y)
+	rhs.sqr(&p.x)
+	rhs.mul(&rhs, &p.x)
+	rhs.add(&rhs, &curveB)
+	return lhs.equal(&rhs)
 }
 
 // Equal reports whether two points are the same affine point.
 func (p Point) Equal(q Point) bool {
-	if p.Infinity() || q.Infinity() {
-		return p.Infinity() == q.Infinity()
-	}
-	return p.X.Cmp(q.X) == 0 && p.Y.Cmp(q.Y) == 0
+	return p.x.equal(&q.x) && p.y.equal(&q.y)
 }
+
+// XBytes returns the 32-byte big-endian affine x coordinate (zero for
+// the point at infinity).
+func (p Point) XBytes() [32]byte { return p.x.bytes() }
 
 // jacPoint is a point in Jacobian projective coordinates:
-// x = X/Z², y = Y/Z³. Z=0 marks the point at infinity.
+// x = X/Z², y = Y/Z³. Z = 0 marks the point at infinity.
 type jacPoint struct {
-	x, y, z *big.Int
+	x, y, z fieldElem
 }
 
-func newJac() *jacPoint {
-	return &jacPoint{new(big.Int), new(big.Int), new(big.Int)}
-}
+func (j *jacPoint) infinity() bool { return j.z.isZero() }
 
-func (j *jacPoint) infinity() bool { return j.z.Sign() == 0 }
-
-func fromAffine(p Point) *jacPoint {
-	j := newJac()
+func (j *jacPoint) setAffine(p Point) {
 	if p.Infinity() {
-		return j
+		*j = jacPoint{}
+		return
 	}
-	j.x.Set(p.X)
-	j.y.Set(p.Y)
-	j.z.SetInt64(1)
-	return j
+	j.x = p.x
+	j.y = p.y
+	j.z = fieldElem{1}
 }
 
 func (j *jacPoint) toAffine() Point {
 	if j.infinity() {
 		return Point{}
 	}
-	zinv := new(big.Int).ModInverse(j.z, P)
-	zinv2 := new(big.Int).Mul(zinv, zinv)
-	zinv2.Mod(zinv2, P)
-	x := new(big.Int).Mul(j.x, zinv2)
-	x.Mod(x, P)
-	zinv3 := zinv2.Mul(zinv2, zinv)
-	zinv3.Mod(zinv3, P)
-	y := new(big.Int).Mul(j.y, zinv3)
-	y.Mod(y, P)
-	return Point{x, y}
+	var zinv, zinv2, zinv3 fieldElem
+	zinv.inv(&j.z)
+	zinv2.sqr(&zinv)
+	zinv3.mul(&zinv2, &zinv)
+	var p Point
+	p.x.mul(&j.x, &zinv2)
+	p.y.mul(&j.y, &zinv3)
+	return p
 }
 
-// double sets j = 2*a using the standard Jacobian doubling formulas
-// (a=0 curve, so the specialized M = 3X² form applies).
+// double sets j = 2a using the a=0 Jacobian doubling formulas (M = 3X²).
+// j may alias a.
 func (j *jacPoint) double(a *jacPoint) {
-	if a.infinity() || a.y.Sign() == 0 {
-		j.z.SetInt64(0)
+	if a.infinity() || a.y.isZero() {
+		*j = jacPoint{}
 		return
 	}
-	// S = 4XY²
-	y2 := new(big.Int).Mul(a.y, a.y)
-	y2.Mod(y2, P)
-	s := new(big.Int).Mul(a.x, y2)
-	s.Lsh(s, 2)
-	s.Mod(s, P)
-	// M = 3X²
-	m := new(big.Int).Mul(a.x, a.x)
-	m.Mul(m, big.NewInt(3))
-	m.Mod(m, P)
+	// S = 4XY²; M = 3X²
+	var y2, s, m, t fieldElem
+	y2.sqr(&a.y)
+	s.mul(&a.x, &y2)
+	s.add(&s, &s)
+	s.add(&s, &s)
+	m.sqr(&a.x)
+	t.add(&m, &m)
+	m.add(&t, &m)
 	// X' = M² − 2S
-	x := new(big.Int).Mul(m, m)
-	x.Sub(x, new(big.Int).Lsh(s, 1))
-	x.Mod(x, P)
+	var x fieldElem
+	x.sqr(&m)
+	x.sub(&x, &s)
+	x.sub(&x, &s)
 	// Y' = M(S − X') − 8Y⁴
-	y4 := new(big.Int).Mul(y2, y2)
-	y4.Lsh(y4, 3)
-	y := new(big.Int).Sub(s, x)
-	y.Mul(y, m)
-	y.Sub(y, y4)
-	y.Mod(y, P)
+	var y4, y fieldElem
+	y4.sqr(&y2)
+	y4.add(&y4, &y4)
+	y4.add(&y4, &y4)
+	y4.add(&y4, &y4)
+	y.sub(&s, &x)
+	y.mul(&y, &m)
+	y.sub(&y, &y4)
 	// Z' = 2YZ
-	z := new(big.Int).Mul(a.y, a.z)
-	z.Lsh(z, 1)
-	z.Mod(z, P)
+	var z fieldElem
+	z.mul(&a.y, &a.z)
+	z.add(&z, &z)
 	j.x, j.y, j.z = x, y, z
 }
 
-// addMixed sets j = a + b where b is an affine, non-infinity point.
-func (j *jacPoint) addMixed(a *jacPoint, b Point) {
+// addMixed sets j = a + b where b is affine and not infinity. j may
+// alias a.
+func (j *jacPoint) addMixed(a *jacPoint, b *Point) {
 	if a.infinity() {
-		j.x.Set(b.X)
-		j.y.Set(b.Y)
-		j.z.SetInt64(1)
+		j.x = b.x
+		j.y = b.y
+		j.z = fieldElem{1}
 		return
 	}
-	// U1 = X1, S1 = Y1 (b has Z=1); U2 = X2*Z1², S2 = Y2*Z1³
-	z1z1 := new(big.Int).Mul(a.z, a.z)
-	z1z1.Mod(z1z1, P)
-	u2 := new(big.Int).Mul(b.X, z1z1)
-	u2.Mod(u2, P)
-	s2 := new(big.Int).Mul(b.Y, z1z1)
-	s2.Mul(s2, a.z)
-	s2.Mod(s2, P)
-	h := new(big.Int).Sub(u2, a.x)
-	h.Mod(h, P)
-	r := new(big.Int).Sub(s2, a.y)
-	r.Mod(r, P)
-	if h.Sign() == 0 {
-		if r.Sign() == 0 {
+	// U2 = X2·Z1², S2 = Y2·Z1³ (b has Z=1 so U1 = X1, S1 = Y1).
+	var z1z1, u2, s2, h, r fieldElem
+	z1z1.sqr(&a.z)
+	u2.mul(&b.x, &z1z1)
+	s2.mul(&b.y, &z1z1)
+	s2.mul(&s2, &a.z)
+	h.sub(&u2, &a.x)
+	r.sub(&s2, &a.y)
+	if h.isZero() {
+		if r.isZero() {
 			j.double(a)
 			return
 		}
-		j.z.SetInt64(0)
+		*j = jacPoint{}
 		return
 	}
-	h2 := new(big.Int).Mul(h, h)
-	h2.Mod(h2, P)
-	h3 := new(big.Int).Mul(h2, h)
-	h3.Mod(h3, P)
-	v := new(big.Int).Mul(a.x, h2)
-	v.Mod(v, P)
+	var h2, h3, v fieldElem
+	h2.sqr(&h)
+	h3.mul(&h2, &h)
+	v.mul(&a.x, &h2)
 	// X3 = r² − h³ − 2v
-	x := new(big.Int).Mul(r, r)
-	x.Sub(x, h3)
-	x.Sub(x, new(big.Int).Lsh(v, 1))
-	x.Mod(x, P)
+	var x fieldElem
+	x.sqr(&r)
+	x.sub(&x, &h3)
+	x.sub(&x, &v)
+	x.sub(&x, &v)
 	// Y3 = r(v − X3) − Y1·h³
-	y := new(big.Int).Sub(v, x)
-	y.Mul(y, r)
-	t := new(big.Int).Mul(a.y, h3)
-	y.Sub(y, t)
-	y.Mod(y, P)
+	var y, t fieldElem
+	y.sub(&v, &x)
+	y.mul(&y, &r)
+	t.mul(&a.y, &h3)
+	y.sub(&y, &t)
 	// Z3 = Z1·h
-	z := new(big.Int).Mul(a.z, h)
-	z.Mod(z, P)
+	var z fieldElem
+	z.mul(&a.z, &h)
 	j.x, j.y, j.z = x, y, z
 }
 
-// add sets j = a + b for general Jacobian points.
+// add sets j = a + b for general Jacobian points. j may alias a or b.
 func (j *jacPoint) add(a, b *jacPoint) {
 	if a.infinity() {
-		j.x.Set(b.x)
-		j.y.Set(b.y)
-		j.z.Set(b.z)
+		*j = *b
 		return
 	}
 	if b.infinity() {
-		j.x.Set(a.x)
-		j.y.Set(a.y)
-		j.z.Set(a.z)
+		*j = *a
 		return
 	}
-	z1z1 := new(big.Int).Mul(a.z, a.z)
-	z1z1.Mod(z1z1, P)
-	z2z2 := new(big.Int).Mul(b.z, b.z)
-	z2z2.Mod(z2z2, P)
-	u1 := new(big.Int).Mul(a.x, z2z2)
-	u1.Mod(u1, P)
-	u2 := new(big.Int).Mul(b.x, z1z1)
-	u2.Mod(u2, P)
-	s1 := new(big.Int).Mul(a.y, z2z2)
-	s1.Mul(s1, b.z)
-	s1.Mod(s1, P)
-	s2 := new(big.Int).Mul(b.y, z1z1)
-	s2.Mul(s2, a.z)
-	s2.Mod(s2, P)
-	h := new(big.Int).Sub(u2, u1)
-	h.Mod(h, P)
-	r := new(big.Int).Sub(s2, s1)
-	r.Mod(r, P)
-	if h.Sign() == 0 {
-		if r.Sign() == 0 {
+	var z1z1, z2z2, u1, u2, s1, s2, h, r fieldElem
+	z1z1.sqr(&a.z)
+	z2z2.sqr(&b.z)
+	u1.mul(&a.x, &z2z2)
+	u2.mul(&b.x, &z1z1)
+	s1.mul(&a.y, &z2z2)
+	s1.mul(&s1, &b.z)
+	s2.mul(&b.y, &z1z1)
+	s2.mul(&s2, &a.z)
+	h.sub(&u2, &u1)
+	r.sub(&s2, &s1)
+	if h.isZero() {
+		if r.isZero() {
 			j.double(a)
 			return
 		}
-		j.z.SetInt64(0)
+		*j = jacPoint{}
 		return
 	}
-	h2 := new(big.Int).Mul(h, h)
-	h2.Mod(h2, P)
-	h3 := new(big.Int).Mul(h2, h)
-	h3.Mod(h3, P)
-	v := new(big.Int).Mul(u1, h2)
-	v.Mod(v, P)
-	x := new(big.Int).Mul(r, r)
-	x.Sub(x, h3)
-	x.Sub(x, new(big.Int).Lsh(v, 1))
-	x.Mod(x, P)
-	y := new(big.Int).Sub(v, x)
-	y.Mul(y, r)
-	t := new(big.Int).Mul(s1, h3)
-	y.Sub(y, t)
-	y.Mod(y, P)
-	z := new(big.Int).Mul(a.z, b.z)
-	z.Mul(z, h)
-	z.Mod(z, P)
+	var h2, h3, v fieldElem
+	h2.sqr(&h)
+	h3.mul(&h2, &h)
+	v.mul(&u1, &h2)
+	var x fieldElem
+	x.sqr(&r)
+	x.sub(&x, &h3)
+	x.sub(&x, &v)
+	x.sub(&x, &v)
+	var y, t fieldElem
+	y.sub(&v, &x)
+	y.mul(&y, &r)
+	t.mul(&s1, &h3)
+	y.sub(&y, &t)
+	var z fieldElem
+	z.mul(&a.z, &b.z)
+	z.mul(&z, &h)
 	j.x, j.y, j.z = x, y, z
 }
 
 // Add returns p + q.
 func Add(p, q Point) Point {
-	jp := fromAffine(p)
 	if q.Infinity() {
 		return p
 	}
-	out := newJac()
-	out.addMixed(jp, q)
+	var jp, out jacPoint
+	jp.setAffine(p)
+	out.addMixed(&jp, &q)
 	return out.toAffine()
 }
 
 // Double returns 2p.
 func Double(p Point) Point {
-	out := newJac()
-	out.double(fromAffine(p))
-	return out.toAffine()
+	var jp jacPoint
+	jp.setAffine(p)
+	jp.double(&jp)
+	return jp.toAffine()
 }
 
 // Neg returns −p.
@@ -284,77 +252,126 @@ func Neg(p Point) Point {
 	if p.Infinity() {
 		return p
 	}
-	y := new(big.Int).Sub(P, p.Y)
-	y.Mod(y, P)
-	return Point{new(big.Int).Set(p.X), y}
+	var y fieldElem
+	y.neg(&p.y)
+	return Point{x: p.x, y: y}
 }
 
-// ScalarMult returns k·p using plain double-and-add. k is reduced mod N.
-func ScalarMult(p Point, k *big.Int) Point {
-	k = new(big.Int).Mod(k, N)
-	acc := newJac()
-	tmp := newJac()
-	if p.Infinity() || k.Sign() == 0 {
-		return Point{}
+// ScalarMult returns k·p using plain double-and-add.
+func ScalarMult(p Point, k Scalar) Point {
+	var acc jacPoint
+	scalarMultJac(&acc, &p, k)
+	return acc.toAffine()
+}
+
+// scalarMultJac sets acc = k·p (Jacobian) by double-and-add, MSB first.
+func scalarMultJac(acc *jacPoint, p *Point, k Scalar) {
+	*acc = jacPoint{}
+	if p.Infinity() || k.IsZero() {
+		return
 	}
-	for i := k.BitLen() - 1; i >= 0; i-- {
-		tmp.double(acc)
-		acc, tmp = tmp, acc
-		if k.Bit(i) == 1 {
-			tmp.addMixed(acc, p)
-			acc, tmp = tmp, acc
+	kb := k.Bytes()
+	started := false
+	for _, b := range kb {
+		for bit := 7; bit >= 0; bit-- {
+			if started {
+				acc.double(acc)
+			}
+			if b>>uint(bit)&1 == 1 {
+				acc.addMixed(acc, p)
+				started = true
+			}
 		}
 	}
-	return acc.toAffine()
 }
 
 // pointTable holds windowed multiples of a fixed point:
 // tab[w][v] = (v+1) · 2^(8w) · P for window w in [0,32) and digit v in
 // [0,255]. This mirrors the aom-pk FPGA's pre-compute module, which
 // continuously fills a block-RAM table of generator multiples so the
-// signer can compute k·G with table lookups and additions only. Receivers
-// build the same table for the sequencer's *public* key so verification
-// is cheap too.
+// signer can compute k·G with table lookups and additions only — no
+// doublings at all. Receivers build the same table for the sequencer's
+// *public* key so verification is cheap too (~512 KiB per table).
 type pointTable [32][255]Point
 
 func buildPointTable(p Point) *pointTable {
 	t := new(pointTable)
-	base := Point{new(big.Int).Set(p.X), new(big.Int).Set(p.Y)} // 2^(8w)·P
+	var jacs [256]jacPoint // window entries plus the next window's base
+	base := p              // 2^(8w)·P
 	for w := 0; w < 32; w++ {
-		acc := fromAffine(base)
-		t[w][0] = base
-		for v := 1; v < 255; v++ {
-			next := newJac()
-			next.addMixed(acc, base)
-			acc = next
-			t[w][v] = acc.toAffine()
+		var acc jacPoint
+		acc.setAffine(base)
+		jacs[0] = acc
+		for v := 1; v < 256; v++ {
+			acc.addMixed(&acc, &base)
+			jacs[v] = acc
 		}
-		// base <<= 8: one more addition past 255·2^(8w)·P gives 256·2^(8w)·P.
-		next := newJac()
-		next.addMixed(acc, base)
-		base = next.toAffine()
+		// One shared inversion converts the whole window to affine
+		// (Montgomery's trick), instead of 255 per-entry inversions.
+		aff := t[w][:]
+		batchToAffine(jacs[:255], aff)
+		var next [1]Point
+		batchToAffine(jacs[255:], next[:])
+		base = next[0] // 256·2^(8w)·P = 2^(8(w+1))·P
 	}
 	return t
 }
 
-// multJac returns k·P as a Jacobian point using the table. k must already
-// be reduced mod N.
-func (t *pointTable) multJac(k *big.Int) *jacPoint {
-	acc := newJac()
-	if k.Sign() == 0 {
-		return acc
+// batchToAffine converts src Jacobian points to affine in dst using one
+// modular inversion for the whole batch. Entries at infinity become the
+// zero Point.
+func batchToAffine(src []jacPoint, dst []Point) {
+	// prefix[i] = product of the first i+1 nonzero z's.
+	prefix := make([]fieldElem, len(src))
+	acc := fieldElem{1}
+	any := false
+	for i := range src {
+		if !src[i].infinity() {
+			acc.mul(&acc, &src[i].z)
+			any = true
+		}
+		prefix[i] = acc
 	}
-	tmp := newJac()
-	buf := k.Bytes() // big-endian
-	for i, b := range buf {
+	if !any {
+		for i := range dst {
+			dst[i] = Point{}
+		}
+		return
+	}
+	var inv fieldElem
+	inv.inv(&acc)
+	for i := len(src) - 1; i >= 0; i-- {
+		if src[i].infinity() {
+			dst[i] = Point{}
+			continue
+		}
+		var zinv fieldElem
+		if i == 0 {
+			zinv = inv
+		} else {
+			zinv.mul(&inv, &prefix[i-1])
+		}
+		inv.mul(&inv, &src[i].z)
+		var zinv2, zinv3 fieldElem
+		zinv2.sqr(&zinv)
+		zinv3.mul(&zinv2, &zinv)
+		dst[i].x.mul(&src[i].x, &zinv2)
+		dst[i].y.mul(&src[i].y, &zinv3)
+	}
+}
+
+// mulAcc folds k·(table base) into acc: one mixed addition per nonzero
+// byte of k, no doublings. Interleaving calls for two tables implements
+// Shamir's trick for u1·G + u2·Q in a single pass.
+func (t *pointTable) mulAcc(acc *jacPoint, k Scalar) {
+	kb := k.Bytes() // big-endian
+	for i, b := range kb {
 		if b == 0 {
 			continue
 		}
-		w := len(buf) - 1 - i // byte significance → window index
-		tmp.addMixed(acc, t[w][int(b)-1])
-		acc, tmp = tmp, acc
+		w := 31 - i // byte significance → window index
+		acc.addMixed(acc, &t[w][int(b)-1])
 	}
-	return acc
 }
 
 var (
@@ -362,16 +379,20 @@ var (
 	genTable     *pointTable
 )
 
+func generatorTable() *pointTable {
+	genTableOnce.Do(func() { genTable = buildPointTable(generator()) })
+	return genTable
+}
+
 // BaseMult returns k·G using the windowed precomputed generator table.
-// k is reduced mod N.
-func BaseMult(k *big.Int) Point {
-	genTableOnce.Do(func() { genTable = buildPointTable(Point{Gx, Gy}) })
-	k = new(big.Int).Mod(k, N)
-	return genTable.multJac(k).toAffine()
+func BaseMult(k Scalar) Point {
+	var acc jacPoint
+	generatorTable().mulAcc(&acc, k)
+	return acc.toAffine()
 }
 
 // BaseMultSlow returns k·G without the precomputed table; it exists to
 // benchmark the FPGA precompute-table design against the naive approach.
-func BaseMultSlow(k *big.Int) Point {
-	return ScalarMult(Point{Gx, Gy}, k)
+func BaseMultSlow(k Scalar) Point {
+	return ScalarMult(generator(), k)
 }

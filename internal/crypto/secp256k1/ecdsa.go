@@ -4,12 +4,11 @@ import (
 	"crypto/hmac"
 	"crypto/sha256"
 	"errors"
-	"math/big"
 )
 
 // PrivateKey is a secp256k1 signing key.
 type PrivateKey struct {
-	D   *big.Int
+	D   Scalar
 	Pub PublicKey
 }
 
@@ -19,9 +18,10 @@ type PublicKey struct {
 }
 
 // Signature is an ECDSA signature with s normalized to the low half of
-// the group order.
+// the group order. Both components are fixed-width scalars — no heap
+// allocation per signature.
 type Signature struct {
-	R, S *big.Int
+	R, S Scalar
 }
 
 var (
@@ -36,109 +36,128 @@ var (
 // GenerateKey derives a private key deterministically from seed material.
 // The seed is hashed (with a domain separator) and reduced into [1, N−1];
 // the sequencer switch and the configuration service use this to derive
-// per-epoch keys from installed secrets.
+// per-epoch keys from installed secrets. The derivation is bit-identical
+// to the original math/big implementation.
 func GenerateKey(seed []byte) (*PrivateKey, error) {
 	h := sha256.New()
 	h.Write([]byte("neobft/secp256k1/keygen/v1"))
 	h.Write(seed)
-	for ctr := byte(0); ctr < 255; ctr++ {
-		hh := sha256.Sum256(append(h.Sum(nil), ctr))
-		d := new(big.Int).SetBytes(hh[:])
-		d.Mod(d, new(big.Int).Sub(N, big.NewInt(1)))
-		d.Add(d, big.NewInt(1))
-		if d.Sign() > 0 && d.Cmp(N) < 0 {
-			return NewPrivateKey(d)
-		}
+	hh := sha256.Sum256(append(h.Sum(nil), 0))
+	// d = hh mod (N−1) + 1 ∈ [1, N−1]: hh < 2²⁵⁶ < 2(N−1), so one
+	// conditional subtract reduces it.
+	d := be32ToLimbs(&hh)
+	if ge256(&d, &scalarNm1) {
+		d, _ = sub256(&d, &scalarNm1)
 	}
-	return nil, ErrInvalidKey
+	one := [4]uint64{1}
+	d, _ = add256(&d, &one)
+	return NewPrivateKey(Scalar{d})
 }
 
 // NewPrivateKey wraps an explicit scalar as a private key.
-func NewPrivateKey(d *big.Int) (*PrivateKey, error) {
-	if d == nil || d.Sign() <= 0 || d.Cmp(N) >= 0 {
+func NewPrivateKey(d Scalar) (*PrivateKey, error) {
+	if d.IsZero() {
 		return nil, ErrInvalidKey
 	}
-	dc := new(big.Int).Set(d)
-	return &PrivateKey{D: dc, Pub: PublicKey{BaseMult(dc)}}, nil
-}
-
-// hashToInt converts a message digest to an integer per SEC 1 §4.1.3:
-// take the leftmost bits of the digest up to the bit length of N.
-func hashToInt(digest []byte) *big.Int {
-	orderBytes := (N.BitLen() + 7) / 8
-	if len(digest) > orderBytes {
-		digest = digest[:orderBytes]
-	}
-	z := new(big.Int).SetBytes(digest)
-	excess := len(digest)*8 - N.BitLen()
-	if excess > 0 {
-		z.Rsh(z, uint(excess))
-	}
-	return z
+	return &PrivateKey{D: d, Pub: PublicKey{BaseMult(d)}}, nil
 }
 
 // nonceRFC6979 derives a deterministic nonce k from the key and digest
 // following the HMAC-DRBG construction of RFC 6979. extra distinguishes
 // retry attempts.
-func nonceRFC6979(d *big.Int, digest []byte, extra byte) *big.Int {
-	x := d.FillBytes(make([]byte, 32))
-	h1 := hashToInt(digest).FillBytes(make([]byte, 32))
+func nonceRFC6979(d Scalar, digest []byte, extra byte) Scalar {
+	x := d.Bytes()
+	h1 := hashBytes32(digest)
 
-	v := make([]byte, 32)
-	k := make([]byte, 32)
+	var v, k [32]byte
 	for i := range v {
 		v[i] = 0x01
 	}
 
-	mac := func(key []byte, parts ...[]byte) []byte {
+	mac := func(key []byte, parts ...[]byte) [32]byte {
 		m := hmac.New(sha256.New, key)
 		for _, p := range parts {
 			m.Write(p)
 		}
-		return m.Sum(nil)
+		var out [32]byte
+		m.Sum(out[:0])
+		return out
 	}
 
-	k = mac(k, v, []byte{0x00}, x, h1, []byte{extra})
-	v = mac(k, v)
-	k = mac(k, v, []byte{0x01}, x, h1, []byte{extra})
-	v = mac(k, v)
+	k = mac(k[:], v[:], []byte{0x00}, x[:], h1[:], []byte{extra})
+	v = mac(k[:], v[:])
+	k = mac(k[:], v[:], []byte{0x01}, x[:], h1[:], []byte{extra})
+	v = mac(k[:], v[:])
 
 	for i := 0; i < 1000; i++ {
-		v = mac(k, v)
-		t := new(big.Int).SetBytes(v)
-		if t.Sign() > 0 && t.Cmp(N) < 0 {
+		v = mac(k[:], v[:])
+		if t, ok := NewScalar(v); ok && !t.IsZero() {
 			return t
 		}
-		k = mac(k, v, []byte{0x00})
-		v = mac(k, v)
+		k = mac(k[:], v[:], []byte{0x00})
+		v = mac(k[:], v[:])
 	}
 	panic("secp256k1: nonce generation failed to converge")
+}
+
+// fieldToScalar reduces a canonical field element mod N (x < p < 2N, so
+// one conditional subtract). This is the r = x(R) mod N step of ECDSA.
+func fieldToScalar(x *fieldElem) Scalar {
+	v := [4]uint64(*x)
+	if ge256(&v, &scalarN) {
+		v, _ = sub256(&v, &scalarN)
+	}
+	return Scalar{v}
 }
 
 // Sign produces an ECDSA signature over a 32-byte message digest. The
 // nonce is deterministic, so identical (key, digest) pairs yield identical
 // signatures — matching the FPGA signer, which has no entropy source.
 func (priv *PrivateKey) Sign(digest []byte) Signature {
-	z := hashToInt(digest)
+	z := hashToScalar(digest)
 	for extra := byte(0); ; extra++ {
 		k := nonceRFC6979(priv.D, digest, extra)
 		p := BaseMult(k)
-		r := new(big.Int).Mod(p.X, N)
-		if r.Sign() == 0 {
+		r := fieldToScalar(&p.x)
+		if r.IsZero() {
 			continue
 		}
-		kinv := new(big.Int).ModInverse(k, N)
-		s := new(big.Int).Mul(r, priv.D)
-		s.Add(s, z)
-		s.Mul(s, kinv)
-		s.Mod(s, N)
-		if s.Sign() == 0 {
+		s := scMul(scAdd(z, scMul(r, priv.D)), scInv(k))
+		if s.IsZero() {
 			continue
 		}
-		if s.Cmp(halfN) > 0 { // low-s normalization
-			s.Sub(N, s)
+		if scIsHigh(s) { // low-s normalization
+			s = scNeg(s)
 		}
 		return Signature{R: r, S: s}
+	}
+}
+
+// sigRangeOK rejects out-of-range signature components (zero scalars;
+// the Scalar type is canonical by construction).
+func sigRangeOK(sig Signature) bool {
+	return !sig.R.IsZero() && !sig.S.IsZero()
+}
+
+// jacXMatchesR checks x(sum) ≡ r (mod N) without converting the Jacobian
+// sum to affine: for each candidate x' ∈ {r, r+N} below p, test
+// x'·Z² ≡ X (mod p). This avoids a modular inversion per verification.
+func jacXMatchesR(sum *jacPoint, r Scalar) bool {
+	var z2 fieldElem
+	z2.sqr(&sum.z)
+	cand := r.n // r < N < p: always a valid field element
+	for {
+		ce := fieldElem(cand)
+		var t fieldElem
+		t.mul(&ce, &z2)
+		if t.equal(&sum.x) {
+			return true
+		}
+		var cy uint64
+		cand, cy = add256(&cand, &scalarN)
+		if cy != 0 || ge256(&cand, &fieldP) {
+			return false
+		}
 	}
 }
 
@@ -147,25 +166,20 @@ func (pub PublicKey) Verify(digest []byte, sig Signature) bool {
 	if pub.Infinity() || !pub.OnCurve() {
 		return false
 	}
-	r, s := sig.R, sig.S
-	if r == nil || s == nil || r.Sign() <= 0 || s.Sign() <= 0 || r.Cmp(N) >= 0 || s.Cmp(N) >= 0 {
+	if !sigRangeOK(sig) {
 		return false
 	}
-	z := hashToInt(digest)
-	w := new(big.Int).ModInverse(s, N)
-	u1 := new(big.Int).Mul(z, w)
-	u1.Mod(u1, N)
-	u2 := new(big.Int).Mul(r, w)
-	u2.Mod(u2, N)
+	z := hashToScalar(digest)
+	w := scInv(sig.S)
+	u1 := scMul(z, w)
+	u2 := scMul(sig.R, w)
 
-	p1 := fromAffine(BaseMult(u1))
-	p2 := fromAffine(ScalarMult(pub.Point, u2))
-	sum := newJac()
-	sum.add(p1, p2)
-	if sum.infinity() {
+	var acc, p2 jacPoint
+	generatorTable().mulAcc(&acc, u1)
+	scalarMultJac(&p2, &pub.Point, u2)
+	acc.add(&acc, &p2)
+	if acc.infinity() {
 		return false
 	}
-	pt := sum.toAffine()
-	v := new(big.Int).Mod(pt.X, N)
-	return v.Cmp(r) == 0
+	return jacXMatchesR(&acc, sig.R)
 }

@@ -1,7 +1,5 @@
 package secp256k1
 
-import "math/big"
-
 // SignatureSize is the length of an encoded signature (r ‖ s, 32 bytes each).
 const SignatureSize = 64
 
@@ -12,19 +10,25 @@ const CompressedPointSize = 33
 // Encode serializes the signature as r ‖ s, 32 bytes each, big-endian.
 func (sig Signature) Encode() [SignatureSize]byte {
 	var out [SignatureSize]byte
-	sig.R.FillBytes(out[:32])
-	sig.S.FillBytes(out[32:])
+	r := sig.R.Bytes()
+	s := sig.S.Bytes()
+	copy(out[:32], r[:])
+	copy(out[32:], s[:])
 	return out
 }
 
-// DecodeSignature parses an r ‖ s encoding.
+// DecodeSignature parses an r ‖ s encoding. Components must be canonical
+// (< N) and nonzero.
 func DecodeSignature(b []byte) (Signature, error) {
 	if len(b) != SignatureSize {
 		return Signature{}, ErrInvalidSignature
 	}
-	r := new(big.Int).SetBytes(b[:32])
-	s := new(big.Int).SetBytes(b[32:])
-	if r.Sign() <= 0 || s.Sign() <= 0 || r.Cmp(N) >= 0 || s.Cmp(N) >= 0 {
+	var rb, sb [32]byte
+	copy(rb[:], b[:32])
+	copy(sb[:], b[32:])
+	r, rok := NewScalar(rb)
+	s, sok := NewScalar(sb)
+	if !rok || !sok || r.IsZero() || s.IsZero() {
 		return Signature{}, ErrInvalidSignature
 	}
 	return Signature{R: r, S: s}, nil
@@ -36,12 +40,13 @@ func (pub PublicKey) EncodeCompressed() [CompressedPointSize]byte {
 	if pub.Infinity() {
 		return out // all-zero encoding for infinity; never valid to decode
 	}
-	if pub.Y.Bit(0) == 0 {
-		out[0] = 0x02
-	} else {
+	if pub.y.isOdd() {
 		out[0] = 0x03
+	} else {
+		out[0] = 0x02
 	}
-	pub.X.FillBytes(out[1:])
+	x := pub.x.bytes()
+	copy(out[1:], x[:])
 	return out
 }
 
@@ -51,29 +56,25 @@ func DecodeCompressed(b []byte) (PublicKey, error) {
 	if len(b) != CompressedPointSize || (b[0] != 0x02 && b[0] != 0x03) {
 		return PublicKey{}, ErrInvalidPoint
 	}
-	x := new(big.Int).SetBytes(b[1:])
-	if x.Cmp(P) >= 0 {
+	var xb [32]byte
+	copy(xb[:], b[1:])
+	var x fieldElem
+	if !x.setBytes(&xb) {
 		return PublicKey{}, ErrInvalidPoint
 	}
 	// y² = x³ + 7; since p ≡ 3 (mod 4), sqrt(a) = a^((p+1)/4) mod p.
-	y2 := new(big.Int).Mul(x, x)
-	y2.Mul(y2, x)
-	y2.Add(y2, B)
-	y2.Mod(y2, P)
-	exp := new(big.Int).Add(P, big.NewInt(1))
-	exp.Rsh(exp, 2)
-	y := new(big.Int).Exp(y2, exp, P)
-	// Check y is actually a square root (x may not be on the curve).
-	chk := new(big.Int).Mul(y, y)
-	chk.Mod(chk, P)
-	if chk.Cmp(y2) != 0 {
+	var y2, y fieldElem
+	y2.sqr(&x)
+	y2.mul(&y2, &x)
+	y2.add(&y2, &curveB)
+	if !y.sqrt(&y2) {
 		return PublicKey{}, ErrInvalidPoint
 	}
-	if y.Bit(0) != uint(b[0]&1) {
-		y.Sub(P, y)
+	if y.isOdd() != (b[0]&1 == 1) {
+		y.neg(&y)
 	}
-	pub := PublicKey{Point{x, y}}
-	if !pub.OnCurve() {
+	pub := PublicKey{Point{x: x, y: y}}
+	if pub.Infinity() || !pub.OnCurve() {
 		return PublicKey{}, ErrInvalidPoint
 	}
 	return pub, nil

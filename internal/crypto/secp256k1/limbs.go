@@ -1,0 +1,219 @@
+package secp256k1
+
+import "math/bits"
+
+// Generic 256-bit little-endian limb helpers shared by the field and
+// scalar types. A [4]uint64 holds a 256-bit integer with limb 0 least
+// significant. All routines are allocation-free; none are constant-time
+// (this package models an FPGA signer in a research reproduction — see
+// the package comment).
+
+// add256 returns x + y and the carry out.
+func add256(x, y *[4]uint64) (r [4]uint64, carry uint64) {
+	var c uint64
+	r[0], c = bits.Add64(x[0], y[0], 0)
+	r[1], c = bits.Add64(x[1], y[1], c)
+	r[2], c = bits.Add64(x[2], y[2], c)
+	r[3], c = bits.Add64(x[3], y[3], c)
+	return r, c
+}
+
+// sub256 returns x − y and the borrow out.
+func sub256(x, y *[4]uint64) (r [4]uint64, borrow uint64) {
+	var b uint64
+	r[0], b = bits.Sub64(x[0], y[0], 0)
+	r[1], b = bits.Sub64(x[1], y[1], b)
+	r[2], b = bits.Sub64(x[2], y[2], b)
+	r[3], b = bits.Sub64(x[3], y[3], b)
+	return r, b
+}
+
+// ge256 reports x ≥ y.
+func ge256(x, y *[4]uint64) bool {
+	_, borrow := sub256(x, y)
+	return borrow == 0
+}
+
+func isZero256(x *[4]uint64) bool {
+	return x[0]|x[1]|x[2]|x[3] == 0
+}
+
+// mul256 returns the full 512-bit product x·y, schoolbook with unrolled
+// rows over math/bits.Mul64.
+func mul256(x, y *[4]uint64) (r [8]uint64) {
+	var c, t uint64
+
+	// Row 0: x[0]·y.
+	c, r[0] = bits.Mul64(x[0], y[0])
+	t, r[1] = mulAdd(x[0], y[1], c)
+	c, r[2] = mulAdd(x[0], y[2], t)
+	t, r[3] = mulAdd(x[0], y[3], c)
+	r[4] = t
+
+	// Row 1: x[1]·y shifted one limb.
+	c, r[1] = mulAdd(x[1], y[0], r[1])
+	t, r[2] = mulAdd2(x[1], y[1], r[2], c)
+	c, r[3] = mulAdd2(x[1], y[2], r[3], t)
+	t, r[4] = mulAdd2(x[1], y[3], r[4], c)
+	r[5] = t
+
+	// Row 2.
+	c, r[2] = mulAdd(x[2], y[0], r[2])
+	t, r[3] = mulAdd2(x[2], y[1], r[3], c)
+	c, r[4] = mulAdd2(x[2], y[2], r[4], t)
+	t, r[5] = mulAdd2(x[2], y[3], r[5], c)
+	r[6] = t
+
+	// Row 3.
+	c, r[3] = mulAdd(x[3], y[0], r[3])
+	t, r[4] = mulAdd2(x[3], y[1], r[4], c)
+	c, r[5] = mulAdd2(x[3], y[2], r[5], t)
+	t, r[6] = mulAdd2(x[3], y[3], r[6], c)
+	r[7] = t
+	return r
+}
+
+// mulAdd returns a·b + add as (hi, lo).
+func mulAdd(a, b, add uint64) (hi, lo uint64) {
+	hi, lo = bits.Mul64(a, b)
+	lo, c := bits.Add64(lo, add, 0)
+	hi += c
+	return hi, lo
+}
+
+// mulAdd2 returns a·b + add1 + add2 as (hi, lo). The sum cannot overflow
+// 128 bits: (2⁶⁴−1)² + 2(2⁶⁴−1) = 2¹²⁸ − 1.
+func mulAdd2(a, b, add1, add2 uint64) (hi, lo uint64) {
+	hi, lo = bits.Mul64(a, b)
+	lo, c := bits.Add64(lo, add1, 0)
+	hi += c
+	lo, c = bits.Add64(lo, add2, 0)
+	hi += c
+	return hi, lo
+}
+
+// invModVar returns a⁻¹ mod m for odd m and a ∈ [1, m), using the
+// binary extended Euclidean algorithm. Variable time in a — fine here:
+// every inversion in this package is over public values (signature s,
+// Jacobian z coordinates, nonces already committed to by r). The loop
+// body is written out limb by limb: this runs a few hundred iterations
+// per inversion, so call overhead would dominate otherwise.
+func invModVar(a, m *[4]uint64) [4]uint64 {
+	if isZero256(a) {
+		return [4]uint64{}
+	}
+	u, v := *a, *m
+	x1 := [4]uint64{1}
+	var x2 [4]uint64
+	m0, m1, m2, m3 := m[0], m[1], m[2], m[3]
+	for {
+		if u[0] == 1 && u[1]|u[2]|u[3] == 0 {
+			return x1
+		}
+		if v[0] == 1 && v[1]|v[2]|v[3] == 0 {
+			return x2
+		}
+		for u[0]&1 == 0 {
+			u[0] = u[0]>>1 | u[1]<<63
+			u[1] = u[1]>>1 | u[2]<<63
+			u[2] = u[2]>>1 | u[3]<<63
+			u[3] >>= 1
+			var hi uint64
+			if x1[0]&1 != 0 {
+				var c uint64
+				x1[0], c = bits.Add64(x1[0], m0, 0)
+				x1[1], c = bits.Add64(x1[1], m1, c)
+				x1[2], c = bits.Add64(x1[2], m2, c)
+				x1[3], hi = bits.Add64(x1[3], m3, c)
+			}
+			x1[0] = x1[0]>>1 | x1[1]<<63
+			x1[1] = x1[1]>>1 | x1[2]<<63
+			x1[2] = x1[2]>>1 | x1[3]<<63
+			x1[3] = x1[3]>>1 | hi<<63
+		}
+		for v[0]&1 == 0 {
+			v[0] = v[0]>>1 | v[1]<<63
+			v[1] = v[1]>>1 | v[2]<<63
+			v[2] = v[2]>>1 | v[3]<<63
+			v[3] >>= 1
+			var hi uint64
+			if x2[0]&1 != 0 {
+				var c uint64
+				x2[0], c = bits.Add64(x2[0], m0, 0)
+				x2[1], c = bits.Add64(x2[1], m1, c)
+				x2[2], c = bits.Add64(x2[2], m2, c)
+				x2[3], hi = bits.Add64(x2[3], m3, c)
+			}
+			x2[0] = x2[0]>>1 | x2[1]<<63
+			x2[1] = x2[1]>>1 | x2[2]<<63
+			x2[2] = x2[2]>>1 | x2[3]<<63
+			x2[3] = x2[3]>>1 | hi<<63
+		}
+		// Subtract the smaller odd value from the larger, updating the
+		// matching cofactor mod m.
+		t0, b := bits.Sub64(u[0], v[0], 0)
+		t1, b := bits.Sub64(u[1], v[1], b)
+		t2, b := bits.Sub64(u[2], v[2], b)
+		t3, b := bits.Sub64(u[3], v[3], b)
+		if b == 0 {
+			u = [4]uint64{t0, t1, t2, t3}
+			var bb uint64
+			x1[0], bb = bits.Sub64(x1[0], x2[0], 0)
+			x1[1], bb = bits.Sub64(x1[1], x2[1], bb)
+			x1[2], bb = bits.Sub64(x1[2], x2[2], bb)
+			x1[3], bb = bits.Sub64(x1[3], x2[3], bb)
+			if bb != 0 {
+				var c uint64
+				x1[0], c = bits.Add64(x1[0], m0, 0)
+				x1[1], c = bits.Add64(x1[1], m1, c)
+				x1[2], c = bits.Add64(x1[2], m2, c)
+				x1[3], _ = bits.Add64(x1[3], m3, c)
+			}
+		} else {
+			v[0], b = bits.Sub64(v[0], u[0], 0)
+			v[1], b = bits.Sub64(v[1], u[1], b)
+			v[2], b = bits.Sub64(v[2], u[2], b)
+			v[3], _ = bits.Sub64(v[3], u[3], b)
+			var bb uint64
+			x2[0], bb = bits.Sub64(x2[0], x1[0], 0)
+			x2[1], bb = bits.Sub64(x2[1], x1[1], bb)
+			x2[2], bb = bits.Sub64(x2[2], x1[2], bb)
+			x2[3], bb = bits.Sub64(x2[3], x1[3], bb)
+			if bb != 0 {
+				var c uint64
+				x2[0], c = bits.Add64(x2[0], m0, 0)
+				x2[1], c = bits.Add64(x2[1], m1, c)
+				x2[2], c = bits.Add64(x2[2], m2, c)
+				x2[3], _ = bits.Add64(x2[3], m3, c)
+			}
+		}
+	}
+}
+
+// be32ToLimbs decodes a 32-byte big-endian integer.
+func be32ToLimbs(b *[32]byte) [4]uint64 {
+	var x [4]uint64
+	for i := 0; i < 4; i++ {
+		off := 24 - 8*i
+		x[i] = uint64(b[off])<<56 | uint64(b[off+1])<<48 | uint64(b[off+2])<<40 | uint64(b[off+3])<<32 |
+			uint64(b[off+4])<<24 | uint64(b[off+5])<<16 | uint64(b[off+6])<<8 | uint64(b[off+7])
+	}
+	return x
+}
+
+// limbsToBe32 encodes to 32 bytes big-endian.
+func limbsToBe32(x *[4]uint64) (b [32]byte) {
+	for i := 0; i < 4; i++ {
+		off := 24 - 8*i
+		v := x[i]
+		b[off] = byte(v >> 56)
+		b[off+1] = byte(v >> 48)
+		b[off+2] = byte(v >> 40)
+		b[off+3] = byte(v >> 32)
+		b[off+4] = byte(v >> 24)
+		b[off+5] = byte(v >> 16)
+		b[off+6] = byte(v >> 8)
+		b[off+7] = byte(v)
+	}
+	return b
+}

@@ -1,0 +1,33 @@
+package secp256k1
+
+import "testing"
+
+func BenchmarkFieldMul(b *testing.B) {
+	x := fieldElem{0x59F2815B16F81798, 0x029BFCDB2DCE28D9, 0x55A06295CE870B07, 0x79BE667EF9DCBBAC}
+	y := fieldElem{0x9C47D08FFB10D4B8, 0xFD17B448A6855419, 0x5DA4FBFC0E1108A8, 0x483ADA7726A3C465}
+	var z fieldElem
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.mul(&x, &y)
+	}
+	_ = z
+}
+
+func BenchmarkScInv(b *testing.B) {
+	s := scalarU64(0xdeadbeefcafebabe)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = scInv(s)
+	}
+}
+
+func BenchmarkAddMixed(b *testing.B) {
+	g := generator()
+	var j jacPoint
+	j.setAffine(g)
+	j.double(&j)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.addMixed(&j, &g)
+	}
+}

@@ -1,0 +1,416 @@
+package secp256k1
+
+// The original math/big implementation, retained verbatim (ref-prefixed)
+// as the differential-testing oracle for the limb arithmetic: the fuzz
+// targets in fuzz_test.go and the cross-check tests compare every field,
+// scalar, point, and ECDSA operation against this code. It exists only
+// in tests; the shipped package is pure limb arithmetic.
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"math/big"
+)
+
+var (
+	refP, _     = new(big.Int).SetString("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f", 16)
+	refN, _     = new(big.Int).SetString("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141", 16)
+	refGx, _    = new(big.Int).SetString("79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798", 16)
+	refGy, _    = new(big.Int).SetString("483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8", 16)
+	refHalfN    = new(big.Int).Rsh(refN, 1)
+	refOne      = big.NewInt(1)
+	refGenTable *refPointTable
+)
+
+type refPoint struct {
+	X, Y *big.Int
+}
+
+func (p refPoint) infinity() bool { return p.X == nil }
+
+func (p refPoint) equal(q refPoint) bool {
+	if p.infinity() || q.infinity() {
+		return p.infinity() == q.infinity()
+	}
+	return p.X.Cmp(q.X) == 0 && p.Y.Cmp(q.Y) == 0
+}
+
+type refJac struct {
+	x, y, z *big.Int
+}
+
+func newRefJac() *refJac {
+	return &refJac{new(big.Int), new(big.Int), new(big.Int)}
+}
+
+func (j *refJac) infinity() bool { return j.z.Sign() == 0 }
+
+func refFromAffine(p refPoint) *refJac {
+	j := newRefJac()
+	if p.infinity() {
+		return j
+	}
+	j.x.Set(p.X)
+	j.y.Set(p.Y)
+	j.z.SetInt64(1)
+	return j
+}
+
+func (j *refJac) toAffine() refPoint {
+	if j.infinity() {
+		return refPoint{}
+	}
+	zinv := new(big.Int).ModInverse(j.z, refP)
+	zinv2 := new(big.Int).Mul(zinv, zinv)
+	zinv2.Mod(zinv2, refP)
+	x := new(big.Int).Mul(j.x, zinv2)
+	x.Mod(x, refP)
+	zinv3 := zinv2.Mul(zinv2, zinv)
+	zinv3.Mod(zinv3, refP)
+	y := new(big.Int).Mul(j.y, zinv3)
+	y.Mod(y, refP)
+	return refPoint{x, y}
+}
+
+func (j *refJac) double(a *refJac) {
+	if a.infinity() || a.y.Sign() == 0 {
+		j.z.SetInt64(0)
+		return
+	}
+	y2 := new(big.Int).Mul(a.y, a.y)
+	y2.Mod(y2, refP)
+	s := new(big.Int).Mul(a.x, y2)
+	s.Lsh(s, 2)
+	s.Mod(s, refP)
+	m := new(big.Int).Mul(a.x, a.x)
+	m.Mul(m, big.NewInt(3))
+	m.Mod(m, refP)
+	x := new(big.Int).Mul(m, m)
+	x.Sub(x, new(big.Int).Lsh(s, 1))
+	x.Mod(x, refP)
+	y4 := new(big.Int).Mul(y2, y2)
+	y4.Lsh(y4, 3)
+	y := new(big.Int).Sub(s, x)
+	y.Mul(y, m)
+	y.Sub(y, y4)
+	y.Mod(y, refP)
+	z := new(big.Int).Mul(a.y, a.z)
+	z.Lsh(z, 1)
+	z.Mod(z, refP)
+	j.x, j.y, j.z = x, y, z
+}
+
+func (j *refJac) addMixed(a *refJac, b refPoint) {
+	if a.infinity() {
+		j.x.Set(b.X)
+		j.y.Set(b.Y)
+		j.z.SetInt64(1)
+		return
+	}
+	z1z1 := new(big.Int).Mul(a.z, a.z)
+	z1z1.Mod(z1z1, refP)
+	u2 := new(big.Int).Mul(b.X, z1z1)
+	u2.Mod(u2, refP)
+	s2 := new(big.Int).Mul(b.Y, z1z1)
+	s2.Mul(s2, a.z)
+	s2.Mod(s2, refP)
+	h := new(big.Int).Sub(u2, a.x)
+	h.Mod(h, refP)
+	r := new(big.Int).Sub(s2, a.y)
+	r.Mod(r, refP)
+	if h.Sign() == 0 {
+		if r.Sign() == 0 {
+			j.double(a)
+			return
+		}
+		j.z.SetInt64(0)
+		return
+	}
+	h2 := new(big.Int).Mul(h, h)
+	h2.Mod(h2, refP)
+	h3 := new(big.Int).Mul(h2, h)
+	h3.Mod(h3, refP)
+	v := new(big.Int).Mul(a.x, h2)
+	v.Mod(v, refP)
+	x := new(big.Int).Mul(r, r)
+	x.Sub(x, h3)
+	x.Sub(x, new(big.Int).Lsh(v, 1))
+	x.Mod(x, refP)
+	y := new(big.Int).Sub(v, x)
+	y.Mul(y, r)
+	t := new(big.Int).Mul(a.y, h3)
+	y.Sub(y, t)
+	y.Mod(y, refP)
+	z := new(big.Int).Mul(a.z, h)
+	z.Mod(z, refP)
+	j.x, j.y, j.z = x, y, z
+}
+
+func (j *refJac) add(a, b *refJac) {
+	if a.infinity() {
+		j.x.Set(b.x)
+		j.y.Set(b.y)
+		j.z.Set(b.z)
+		return
+	}
+	if b.infinity() {
+		j.x.Set(a.x)
+		j.y.Set(a.y)
+		j.z.Set(a.z)
+		return
+	}
+	z1z1 := new(big.Int).Mul(a.z, a.z)
+	z1z1.Mod(z1z1, refP)
+	z2z2 := new(big.Int).Mul(b.z, b.z)
+	z2z2.Mod(z2z2, refP)
+	u1 := new(big.Int).Mul(a.x, z2z2)
+	u1.Mod(u1, refP)
+	u2 := new(big.Int).Mul(b.x, z1z1)
+	u2.Mod(u2, refP)
+	s1 := new(big.Int).Mul(a.y, z2z2)
+	s1.Mul(s1, b.z)
+	s1.Mod(s1, refP)
+	s2 := new(big.Int).Mul(b.y, z1z1)
+	s2.Mul(s2, a.z)
+	s2.Mod(s2, refP)
+	h := new(big.Int).Sub(u2, u1)
+	h.Mod(h, refP)
+	r := new(big.Int).Sub(s2, s1)
+	r.Mod(r, refP)
+	if h.Sign() == 0 {
+		if r.Sign() == 0 {
+			j.double(a)
+			return
+		}
+		j.z.SetInt64(0)
+		return
+	}
+	h2 := new(big.Int).Mul(h, h)
+	h2.Mod(h2, refP)
+	h3 := new(big.Int).Mul(h2, h)
+	h3.Mod(h3, refP)
+	v := new(big.Int).Mul(u1, h2)
+	v.Mod(v, refP)
+	x := new(big.Int).Mul(r, r)
+	x.Sub(x, h3)
+	x.Sub(x, new(big.Int).Lsh(v, 1))
+	x.Mod(x, refP)
+	y := new(big.Int).Sub(v, x)
+	y.Mul(y, r)
+	t := new(big.Int).Mul(s1, h3)
+	y.Sub(y, t)
+	y.Mod(y, refP)
+	z := new(big.Int).Mul(a.z, b.z)
+	z.Mul(z, h)
+	z.Mod(z, refP)
+	j.x, j.y, j.z = x, y, z
+}
+
+func refScalarMult(p refPoint, k *big.Int) refPoint {
+	k = new(big.Int).Mod(k, refN)
+	acc := newRefJac()
+	tmp := newRefJac()
+	if p.infinity() || k.Sign() == 0 {
+		return refPoint{}
+	}
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		tmp.double(acc)
+		acc, tmp = tmp, acc
+		if k.Bit(i) == 1 {
+			tmp.addMixed(acc, p)
+			acc, tmp = tmp, acc
+		}
+	}
+	return acc.toAffine()
+}
+
+type refPointTable [32][255]refPoint
+
+func refBuildPointTable(p refPoint) *refPointTable {
+	t := new(refPointTable)
+	base := refPoint{new(big.Int).Set(p.X), new(big.Int).Set(p.Y)}
+	for w := 0; w < 32; w++ {
+		acc := refFromAffine(base)
+		t[w][0] = base
+		for v := 1; v < 255; v++ {
+			next := newRefJac()
+			next.addMixed(acc, base)
+			acc = next
+			t[w][v] = acc.toAffine()
+		}
+		next := newRefJac()
+		next.addMixed(acc, base)
+		base = next.toAffine()
+	}
+	return t
+}
+
+func (t *refPointTable) multJac(k *big.Int) *refJac {
+	acc := newRefJac()
+	if k.Sign() == 0 {
+		return acc
+	}
+	tmp := newRefJac()
+	buf := k.Bytes()
+	for i, b := range buf {
+		if b == 0 {
+			continue
+		}
+		w := len(buf) - 1 - i
+		tmp.addMixed(acc, t[w][int(b)-1])
+		acc, tmp = tmp, acc
+	}
+	return acc
+}
+
+func refBaseMult(k *big.Int) refPoint {
+	if refGenTable == nil {
+		refGenTable = refBuildPointTable(refPoint{refGx, refGy})
+	}
+	k = new(big.Int).Mod(k, refN)
+	return refGenTable.multJac(k).toAffine()
+}
+
+func refHashToInt(digest []byte) *big.Int {
+	orderBytes := (refN.BitLen() + 7) / 8
+	if len(digest) > orderBytes {
+		digest = digest[:orderBytes]
+	}
+	z := new(big.Int).SetBytes(digest)
+	excess := len(digest)*8 - refN.BitLen()
+	if excess > 0 {
+		z.Rsh(z, uint(excess))
+	}
+	return z
+}
+
+func refNonceRFC6979(d *big.Int, digest []byte, extra byte) *big.Int {
+	x := d.FillBytes(make([]byte, 32))
+	h1 := refHashToInt(digest).FillBytes(make([]byte, 32))
+
+	v := make([]byte, 32)
+	k := make([]byte, 32)
+	for i := range v {
+		v[i] = 0x01
+	}
+
+	mac := func(key []byte, parts ...[]byte) []byte {
+		m := hmac.New(sha256.New, key)
+		for _, p := range parts {
+			m.Write(p)
+		}
+		return m.Sum(nil)
+	}
+
+	k = mac(k, v, []byte{0x00}, x, h1, []byte{extra})
+	v = mac(k, v)
+	k = mac(k, v, []byte{0x01}, x, h1, []byte{extra})
+	v = mac(k, v)
+
+	for i := 0; i < 1000; i++ {
+		v = mac(k, v)
+		t := new(big.Int).SetBytes(v)
+		if t.Sign() > 0 && t.Cmp(refN) < 0 {
+			return t
+		}
+		k = mac(k, v, []byte{0x00})
+		v = mac(k, v)
+	}
+	panic("ref nonce generation failed to converge")
+}
+
+func refGenerateKeyScalar(seed []byte) *big.Int {
+	h := sha256.New()
+	h.Write([]byte("neobft/secp256k1/keygen/v1"))
+	h.Write(seed)
+	hh := sha256.Sum256(append(h.Sum(nil), 0))
+	d := new(big.Int).SetBytes(hh[:])
+	d.Mod(d, new(big.Int).Sub(refN, refOne))
+	d.Add(d, refOne)
+	return d
+}
+
+// refSign is the original math/big ECDSA signer (deterministic, low-s).
+func refSign(d *big.Int, digest []byte) (r, s *big.Int) {
+	z := refHashToInt(digest)
+	for extra := byte(0); ; extra++ {
+		k := refNonceRFC6979(d, digest, extra)
+		p := refBaseMult(k)
+		r = new(big.Int).Mod(p.X, refN)
+		if r.Sign() == 0 {
+			continue
+		}
+		kinv := new(big.Int).ModInverse(k, refN)
+		s = new(big.Int).Mul(r, d)
+		s.Add(s, z)
+		s.Mul(s, kinv)
+		s.Mod(s, refN)
+		if s.Sign() == 0 {
+			continue
+		}
+		if s.Cmp(refHalfN) > 0 {
+			s.Sub(refN, s)
+		}
+		return r, s
+	}
+}
+
+// refVerify is the original math/big ECDSA verifier.
+func refVerify(pub refPoint, digest []byte, r, s *big.Int) bool {
+	if pub.infinity() {
+		return false
+	}
+	if r.Sign() <= 0 || s.Sign() <= 0 || r.Cmp(refN) >= 0 || s.Cmp(refN) >= 0 {
+		return false
+	}
+	z := refHashToInt(digest)
+	w := new(big.Int).ModInverse(s, refN)
+	u1 := new(big.Int).Mul(z, w)
+	u1.Mod(u1, refN)
+	u2 := new(big.Int).Mul(r, w)
+	u2.Mod(u2, refN)
+
+	p1 := refFromAffine(refBaseMult(u1))
+	p2 := refFromAffine(refScalarMult(pub, u2))
+	sum := newRefJac()
+	sum.add(p1, p2)
+	if sum.infinity() {
+		return false
+	}
+	pt := sum.toAffine()
+	v := new(big.Int).Mod(pt.X, refN)
+	return v.Cmp(r) == 0
+}
+
+// Conversions between the limb types and the reference's big.Ints.
+
+func fieldFromBig(x *big.Int) fieldElem {
+	var b [32]byte
+	new(big.Int).Mod(x, refP).FillBytes(b[:])
+	var fe fieldElem
+	fe.setBytes(&b)
+	return fe
+}
+
+func fieldToBig(x *fieldElem) *big.Int {
+	b := x.bytes()
+	return new(big.Int).SetBytes(b[:])
+}
+
+func scalarFromBig(x *big.Int) Scalar {
+	var b [32]byte
+	new(big.Int).Mod(x, refN).FillBytes(b[:])
+	return NewScalarReduced(b)
+}
+
+func scalarToBig(s Scalar) *big.Int {
+	b := s.Bytes()
+	return new(big.Int).SetBytes(b[:])
+}
+
+func pointToRef(p Point) refPoint {
+	if p.Infinity() {
+		return refPoint{}
+	}
+	return refPoint{fieldToBig(&p.x), fieldToBig(&p.y)}
+}

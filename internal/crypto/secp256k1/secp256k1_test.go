@@ -2,14 +2,63 @@ package secp256k1
 
 import (
 	"crypto/sha256"
+	"encoding/hex"
 	"math/big"
 	"testing"
 	"testing/quick"
 )
 
+// scalarU64 builds a Scalar from a small integer.
+func scalarU64(v uint64) Scalar {
+	var b [32]byte
+	for i := 0; i < 8; i++ {
+		b[31-i] = byte(v >> (8 * i))
+	}
+	return NewScalarReduced(b)
+}
+
+// scalarHex builds a Scalar from a big-endian hex string (reduced mod N).
+func scalarHex(t testing.TB, s string) Scalar {
+	t.Helper()
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b [32]byte
+	copy(b[32-len(raw):], raw)
+	return NewScalarReduced(b)
+}
+
+// pointHex builds an affine Point from big-endian hex coordinates.
+func pointHex(t testing.TB, xs, ys string) Point {
+	t.Helper()
+	xr, err := hex.DecodeString(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yr, err := hex.DecodeString(ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var xb, yb [32]byte
+	copy(xb[32-len(xr):], xr)
+	copy(yb[32-len(yr):], yr)
+	var p Point
+	if !p.x.setBytes(&xb) || !p.y.setBytes(&yb) {
+		t.Fatal("non-canonical coordinate")
+	}
+	return p
+}
+
+// nBytes is the canonical big-endian encoding of the group order N.
+func nBytes() [32]byte {
+	var b [32]byte
+	refN.FillBytes(b[:])
+	return b
+}
+
 func TestGeneratorOnCurve(t *testing.T) {
-	g := Point{Gx, Gy}
-	if !g.OnCurve() {
+	if !generator().OnCurve() {
 		t.Fatal("generator not on curve")
 	}
 }
@@ -17,16 +66,17 @@ func TestGeneratorOnCurve(t *testing.T) {
 // TestKnownMultiples checks k·G against the well-known public keys of
 // private keys 1 and 2.
 func TestKnownMultiples(t *testing.T) {
-	g := Point{Gx, Gy}
-	one := BaseMult(big.NewInt(1))
+	g := generator()
+	one := BaseMult(scalarU64(1))
 	if !one.Equal(g) {
 		t.Fatalf("1·G = %v, want G", one)
 	}
-	two := BaseMult(big.NewInt(2))
-	wantX, _ := new(big.Int).SetString("c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5", 16)
-	wantY, _ := new(big.Int).SetString("1ae168fea63dc339a3c58419466ceaeef7f632653266d0e1236431a950cfe52a", 16)
-	if two.X.Cmp(wantX) != 0 || two.Y.Cmp(wantY) != 0 {
-		t.Fatalf("2·G = (%x, %x), want (%x, %x)", two.X, two.Y, wantX, wantY)
+	two := BaseMult(scalarU64(2))
+	want := pointHex(t,
+		"c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5",
+		"1ae168fea63dc339a3c58419466ceaeef7f632653266d0e1236431a950cfe52a")
+	if !two.Equal(want) {
+		t.Fatalf("2·G = (%x, %x), want (%x, %x)", two.x.bytes(), two.y.bytes(), want.x.bytes(), want.y.bytes())
 	}
 	if !two.OnCurve() {
 		t.Fatal("2·G not on curve")
@@ -40,28 +90,32 @@ func TestKnownMultiples(t *testing.T) {
 }
 
 func TestOrderAnnihilatesGenerator(t *testing.T) {
-	if !BaseMult(N).Infinity() {
+	kN := NewScalarReduced(nBytes()) // N mod N = 0
+	if !kN.IsZero() {
+		t.Fatal("N did not reduce to the zero scalar")
+	}
+	if !BaseMult(kN).Infinity() {
 		t.Fatal("N·G is not the point at infinity")
 	}
-	if !ScalarMult(Point{Gx, Gy}, N).Infinity() {
+	if !ScalarMult(generator(), kN).Infinity() {
 		t.Fatal("slow N·G is not the point at infinity")
 	}
 }
 
 func TestBaseMultMatchesSlow(t *testing.T) {
-	ks := []*big.Int{
-		big.NewInt(3),
-		big.NewInt(255),
-		big.NewInt(256),
-		big.NewInt(65537),
-		new(big.Int).Sub(N, big.NewInt(1)),
-		new(big.Int).Rsh(N, 1),
+	ks := []Scalar{
+		scalarU64(3),
+		scalarU64(255),
+		scalarU64(256),
+		scalarU64(65537),
+		scalarFromBig(new(big.Int).Sub(refN, big.NewInt(1))),
+		scalarFromBig(new(big.Int).Rsh(refN, 1)),
 	}
 	for _, k := range ks {
 		fast := BaseMult(k)
 		slow := BaseMultSlow(k)
 		if !fast.Equal(slow) {
-			t.Fatalf("BaseMult(%v) != BaseMultSlow", k)
+			t.Fatalf("BaseMult(%x) != BaseMultSlow", k.Bytes())
 		}
 	}
 }
@@ -75,8 +129,8 @@ func TestScalarMultDistributes(t *testing.T) {
 		ba.Mul(ba, ba).Mul(ba, ba)
 		bb.Mul(bb, bb).Mul(bb, bb)
 		sum := new(big.Int).Add(ba, bb)
-		lhs := BaseMult(sum)
-		rhs := Add(BaseMult(ba), BaseMult(bb))
+		lhs := BaseMult(scalarFromBig(sum))
+		rhs := Add(BaseMult(scalarFromBig(ba)), BaseMult(scalarFromBig(bb)))
 		return lhs.Equal(rhs)
 	}
 	cfg := &quick.Config{MaxCount: 16}
@@ -86,9 +140,9 @@ func TestScalarMultDistributes(t *testing.T) {
 }
 
 func TestAddCommutesAndAssociates(t *testing.T) {
-	p := BaseMult(big.NewInt(11))
-	q := BaseMult(big.NewInt(29))
-	r := BaseMult(big.NewInt(1020304))
+	p := BaseMult(scalarU64(11))
+	q := BaseMult(scalarU64(29))
+	r := BaseMult(scalarU64(1020304))
 	if !Add(p, q).Equal(Add(q, p)) {
 		t.Fatal("addition not commutative")
 	}
@@ -98,11 +152,11 @@ func TestAddCommutesAndAssociates(t *testing.T) {
 }
 
 func TestNegation(t *testing.T) {
-	p := BaseMult(big.NewInt(12345))
+	p := BaseMult(scalarU64(12345))
 	if !Add(p, Neg(p)).Infinity() {
 		t.Fatal("p + (−p) is not infinity")
 	}
-	nm1 := new(big.Int).Sub(N, big.NewInt(12345))
+	nm1 := scalarFromBig(new(big.Int).Sub(refN, big.NewInt(12345)))
 	if !BaseMult(nm1).Equal(Neg(p)) {
 		t.Fatal("(N−k)·G != −(k·G)")
 	}
@@ -125,7 +179,7 @@ func TestSignVerify(t *testing.T) {
 		t.Fatal("signature accepted for wrong digest")
 	}
 	// Tampered signature must fail.
-	badSig := Signature{R: new(big.Int).Add(sig.R, big.NewInt(1)), S: sig.S}
+	badSig := Signature{R: scAdd(sig.R, scalarU64(1)), S: sig.S}
 	if priv.Pub.Verify(digest[:], badSig) {
 		t.Fatal("tampered signature accepted")
 	}
@@ -141,7 +195,7 @@ func TestSignDeterministic(t *testing.T) {
 	digest := sha256.Sum256([]byte("msg"))
 	s1 := priv.Sign(digest[:])
 	s2 := priv.Sign(digest[:])
-	if s1.R.Cmp(s2.R) != 0 || s1.S.Cmp(s2.S) != 0 {
+	if !s1.R.Equal(s2.R) || !s1.S.Equal(s2.S) {
 		t.Fatal("deterministic signing produced differing signatures")
 	}
 }
@@ -151,8 +205,30 @@ func TestSignLowS(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		digest := sha256.Sum256([]byte{byte(i)})
 		sig := priv.Sign(digest[:])
-		if sig.S.Cmp(halfN) > 0 {
+		if scIsHigh(sig.S) {
 			t.Fatal("signature s not normalized to low half")
+		}
+	}
+}
+
+// TestSignMatchesRef pins the limb signer to the original math/big
+// implementation: same seeds, same digests, byte-identical signatures.
+func TestSignMatchesRef(t *testing.T) {
+	for i := 0; i < 8; i++ {
+		seed := []byte{byte(i), 0xA5}
+		priv, err := GenerateKey(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refD := refGenerateKeyScalar(seed)
+		if scalarToBig(priv.D).Cmp(refD) != 0 {
+			t.Fatalf("seed %v: key derivation diverged from math/big reference", seed)
+		}
+		digest := sha256.Sum256(seed)
+		sig := priv.Sign(digest[:])
+		rr, rs := refSign(refD, digest[:])
+		if scalarToBig(sig.R).Cmp(rr) != 0 || scalarToBig(sig.S).Cmp(rs) != 0 {
+			t.Fatalf("seed %v: signature diverged from math/big reference", seed)
 		}
 	}
 }
@@ -166,7 +242,7 @@ func TestSignatureEncoding(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if dec.R.Cmp(sig.R) != 0 || dec.S.Cmp(sig.S) != 0 {
+	if !dec.R.Equal(sig.R) || !dec.S.Equal(sig.S) {
 		t.Fatal("signature encode/decode mismatch")
 	}
 	if _, err := DecodeSignature(enc[:40]); err == nil {
@@ -175,6 +251,14 @@ func TestSignatureEncoding(t *testing.T) {
 	var zero [SignatureSize]byte
 	if _, err := DecodeSignature(zero[:]); err == nil {
 		t.Fatal("zero signature accepted")
+	}
+	// Components ≥ N must be rejected, not silently reduced.
+	var big [SignatureSize]byte
+	nb := nBytes()
+	copy(big[:32], nb[:])
+	copy(big[32:], enc[32:])
+	if _, err := DecodeSignature(big[:]); err == nil {
+		t.Fatal("r = N accepted")
 	}
 }
 
@@ -204,25 +288,22 @@ func TestPointCompression(t *testing.T) {
 }
 
 func TestInvalidKeys(t *testing.T) {
-	if _, err := NewPrivateKey(big.NewInt(0)); err == nil {
+	if _, err := NewPrivateKey(Scalar{}); err == nil {
 		t.Fatal("zero key accepted")
 	}
-	if _, err := NewPrivateKey(N); err == nil {
-		t.Fatal("key = N accepted")
-	}
-	if _, err := NewPrivateKey(nil); err == nil {
-		t.Fatal("nil key accepted")
+	if s, ok := NewScalar(nBytes()); ok || !s.IsZero() {
+		t.Fatal("scalar = N reported canonical")
 	}
 }
 
 func TestGenerateKeyDistinct(t *testing.T) {
 	a, _ := GenerateKey([]byte("x"))
 	b, _ := GenerateKey([]byte("y"))
-	if a.D.Cmp(b.D) == 0 {
+	if a.D.Equal(b.D) {
 		t.Fatal("different seeds produced identical keys")
 	}
 	a2, _ := GenerateKey([]byte("x"))
-	if a.D.Cmp(a2.D) != 0 {
+	if !a.D.Equal(a2.D) {
 		t.Fatal("key generation is not deterministic in the seed")
 	}
 }
@@ -230,6 +311,7 @@ func TestGenerateKeyDistinct(t *testing.T) {
 func BenchmarkSign(b *testing.B) {
 	priv, _ := GenerateKey([]byte("bench"))
 	digest := sha256.Sum256([]byte("bench msg"))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		priv.Sign(digest[:])
@@ -240,6 +322,7 @@ func BenchmarkVerify(b *testing.B) {
 	priv, _ := GenerateKey([]byte("bench"))
 	digest := sha256.Sum256([]byte("bench msg"))
 	sig := priv.Sign(digest[:])
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if !priv.Pub.Verify(digest[:], sig) {
@@ -249,7 +332,7 @@ func BenchmarkVerify(b *testing.B) {
 }
 
 func BenchmarkBaseMult(b *testing.B) {
-	k, _ := new(big.Int).SetString("deadbeefcafebabe0123456789abcdef00000000000000000000000000001234", 16)
+	k := scalarHex(b, "deadbeefcafebabe0123456789abcdef00000000000000000000000000001234")
 	BaseMult(k) // warm table
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -258,7 +341,7 @@ func BenchmarkBaseMult(b *testing.B) {
 }
 
 func BenchmarkBaseMultSlow(b *testing.B) {
-	k, _ := new(big.Int).SetString("deadbeefcafebabe0123456789abcdef00000000000000000000000000001234", 16)
+	k := scalarHex(b, "deadbeefcafebabe0123456789abcdef00000000000000000000000000001234")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		BaseMultSlow(k)
@@ -299,11 +382,53 @@ func TestTableVerifierMatchesGeneric(t *testing.T) {
 	}
 }
 
+func TestVerifyBatch(t *testing.T) {
+	priv, _ := GenerateKey([]byte("batch"))
+	tv := NewTableVerifier(priv.Pub)
+	const n = 9
+	digests := make([][32]byte, n)
+	sigs := make([]Signature, n)
+	for i := range digests {
+		digests[i] = sha256.Sum256([]byte{byte(i), 0x42})
+		sigs[i] = priv.Sign(digests[i][:])
+	}
+	// Corrupt a spread of entries in different ways.
+	sigs[2].R = scAdd(sigs[2].R, scalarU64(1)) // wrong r
+	sigs[4].S = Scalar{}                       // zero s (range failure)
+	digests[6][3] ^= 0x80                      // wrong digest
+	sigs[8] = sigs[7]                          // sig for another digest
+
+	got := tv.VerifyBatch(digests, sigs)
+	for i := range got {
+		want := tv.Verify(digests[i][:], sigs[i])
+		if got[i] != want {
+			t.Fatalf("entry %d: VerifyBatch = %v, Verify = %v", i, got[i], want)
+		}
+	}
+	want := []bool{true, true, false, true, false, true, false, true, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Empty batch and infinity-key verifier are safe.
+	if out := tv.VerifyBatch(nil, nil); len(out) != 0 {
+		t.Fatal("empty batch returned entries")
+	}
+	bad := NewTableVerifier(PublicKey{}).VerifyBatch(digests, sigs)
+	for i := range bad {
+		if bad[i] {
+			t.Fatal("infinity-key verifier accepted a batched signature")
+		}
+	}
+}
+
 func BenchmarkTableVerify(b *testing.B) {
 	priv, _ := GenerateKey([]byte("bench"))
 	tv := NewTableVerifier(priv.Pub)
 	digest := sha256.Sum256([]byte("bench msg"))
 	sig := priv.Sign(digest[:])
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if !tv.Verify(digest[:], sig) {
@@ -312,15 +437,55 @@ func BenchmarkTableVerify(b *testing.B) {
 	}
 }
 
+// BenchmarkVerifyFixedKey is the benchgate-tracked name for the fixed-key
+// single-signature verification path (same work as BenchmarkTableVerify).
+func BenchmarkVerifyFixedKey(b *testing.B) {
+	priv, _ := GenerateKey([]byte("bench"))
+	tv := NewTableVerifier(priv.Pub)
+	digest := sha256.Sum256([]byte("bench msg"))
+	sig := priv.Sign(digest[:])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !tv.Verify(digest[:], sig) {
+			b.Fatal("verify failed")
+		}
+	}
+}
+
+// BenchmarkVerifyBatch reports per-signature cost of the batched path
+// (batch of 32 per outer iteration).
+func BenchmarkVerifyBatch(b *testing.B) {
+	priv, _ := GenerateKey([]byte("bench"))
+	tv := NewTableVerifier(priv.Pub)
+	const batch = 32
+	digests := make([][32]byte, batch)
+	sigs := make([]Signature, batch)
+	for i := range digests {
+		digests[i] = sha256.Sum256([]byte{byte(i)})
+		sigs[i] = priv.Sign(digests[i][:])
+	}
+	ok := make([]bool, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tv.VerifyBatchInto(ok, digests, sigs)
+		if !ok[0] || !ok[batch-1] {
+			b.Fatal("batch verify failed")
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/batch, "ns/sig")
+}
+
 func TestNonceDomainSeparation(t *testing.T) {
 	// Different digests must produce different nonces (same key): if two
 	// signatures shared a nonce, r would repeat and the key would leak.
 	priv, _ := GenerateKey([]byte("nonce"))
-	seen := map[string]bool{}
+	seen := map[[32]byte]bool{}
 	for i := 0; i < 16; i++ {
 		digest := sha256.Sum256([]byte{byte(i)})
 		sig := priv.Sign(digest[:])
-		r := sig.R.String()
+		r := sig.R.Bytes()
 		if seen[r] {
 			t.Fatal("nonce (r value) repeated across distinct digests")
 		}
@@ -329,7 +494,7 @@ func TestNonceDomainSeparation(t *testing.T) {
 }
 
 func TestDecodeCompressedGenerator(t *testing.T) {
-	g := PublicKey{Point{Gx, Gy}}
+	g := PublicKey{generator()}
 	enc := g.EncodeCompressed()
 	dec, err := DecodeCompressed(enc[:])
 	if err != nil {

@@ -1,14 +1,13 @@
 package secp256k1
 
-import "math/big"
-
 // TableVerifier verifies many signatures under one fixed public key — the
 // aom receiver's workload, since every aom-pk packet in an epoch is
 // signed by the same sequencer key. It precomputes a windowed multiple
-// table for the public key (and shares the generator table), replacing
-// the slow generic ScalarMult in verification with table lookups. Building
-// the table costs tens of milliseconds once per epoch; each Verify then
-// runs roughly an order of magnitude faster than the generic path.
+// table for the public key (and shares the generator table), so a
+// verification is a single interleaved pass of mixed additions
+// (Shamir's trick for u1·G + u2·Q: at most 64 additions, no doublings)
+// plus two scalar inversions — and zero heap allocations. Building the
+// table costs a few milliseconds once per epoch.
 type TableVerifier struct {
 	pub   PublicKey
 	table *pointTable
@@ -27,42 +26,79 @@ func (tv *TableVerifier) PublicKey() PublicKey { return tv.pub }
 
 // Verify checks sig over a 32-byte digest.
 func (tv *TableVerifier) Verify(digest []byte, sig Signature) bool {
-	if tv.table == nil {
+	if tv.table == nil || !sigRangeOK(sig) {
 		return false
 	}
-	r, s := sig.R, sig.S
-	if r == nil || s == nil || r.Sign() <= 0 || s.Sign() <= 0 || r.Cmp(N) >= 0 || s.Cmp(N) >= 0 {
-		return false
-	}
-	z := hashToInt(digest)
-	w := new(big.Int).ModInverse(s, N)
-	u1 := new(big.Int).Mul(z, w)
-	u1.Mod(u1, N)
-	u2 := new(big.Int).Mul(r, w)
-	u2.Mod(u2, N)
+	z := hashToScalar(digest)
+	w := scInv(sig.S)
+	u1 := scMul(z, w)
+	u2 := scMul(sig.R, w)
 
-	genTableOnce.Do(func() { genTable = buildPointTable(Point{Gx, Gy}) })
-	p1 := genTable.multJac(u1)
-	p2 := tv.table.multJac(u2)
-	sum := newJac()
-	sum.add(p1, p2)
-	if sum.infinity() {
+	// One interleaved pass over both windowed tables: u1·G + u2·Q.
+	var acc jacPoint
+	generatorTable().mulAcc(&acc, u1)
+	tv.table.mulAcc(&acc, u2)
+	if acc.infinity() {
 		return false
 	}
-	// Check x(sum) ≡ r (mod N) without converting to affine: for each
-	// candidate x' ∈ {r, r+N} below P, test x'·Z² ≡ X (mod P). This
-	// avoids a modular inversion per verification.
-	z2 := new(big.Int).Mul(sum.z, sum.z)
-	z2.Mod(z2, P)
-	cand := new(big.Int).Set(r)
-	t := new(big.Int)
-	for cand.Cmp(P) < 0 {
-		t.Mul(cand, z2)
-		t.Mod(t, P)
-		if t.Cmp(sum.x) == 0 {
-			return true
+	return jacXMatchesR(&acc, sig.R)
+}
+
+// VerifyBatch checks a batch of signatures over 32-byte digests under
+// the verifier's fixed key, amortizing the expensive modular inversions
+// across the batch with Montgomery's simultaneous-inversion trick: one
+// inversion for all the s values (mod N) and one for all the final
+// Jacobian→affine conversions (mod p). Each signature is still verified
+// independently — only the inversions are shared — so the result slice
+// is exactly what per-signature Verify would return.
+func (tv *TableVerifier) VerifyBatch(digests [][32]byte, sigs []Signature) []bool {
+	ok := make([]bool, len(sigs))
+	tv.VerifyBatchInto(ok, digests, sigs)
+	return ok
+}
+
+// VerifyBatchInto is VerifyBatch writing into a caller-owned slice
+// (len(ok) == len(sigs) == len(digests)).
+func (tv *TableVerifier) VerifyBatchInto(ok []bool, digests [][32]byte, sigs []Signature) {
+	n := len(sigs)
+	if tv.table == nil {
+		for i := range ok[:n] {
+			ok[i] = false
 		}
-		cand.Add(cand, N)
+		return
 	}
-	return false
+	// Batch-invert the s values; invalid entries stay zero and are
+	// skipped (montBatchInvN leaves zeros alone).
+	winv := make([]Scalar, n)
+	for i := 0; i < n; i++ {
+		if sigRangeOK(sigs[i]) {
+			winv[i] = sigs[i].S
+		}
+	}
+	montBatchInvN(winv)
+
+	// Per-signature combined multiplication u1·G + u2·Q.
+	sums := make([]jacPoint, n)
+	for i := 0; i < n; i++ {
+		if winv[i].IsZero() {
+			continue
+		}
+		z := hashToScalar(digests[i][:])
+		u1 := scMul(z, winv[i])
+		u2 := scMul(sigs[i].R, winv[i])
+		generatorTable().mulAcc(&sums[i], u1)
+		tv.table.mulAcc(&sums[i], u2)
+	}
+
+	// One shared inversion converts every sum to affine; then the check
+	// is x(R) mod N == r.
+	aff := make([]Point, n)
+	batchToAffine(sums, aff)
+	for i := 0; i < n; i++ {
+		if winv[i].IsZero() || sums[i].infinity() {
+			ok[i] = false
+			continue
+		}
+		ok[i] = fieldToScalar(&aff[i].x).Equal(sigs[i].R)
+	}
 }

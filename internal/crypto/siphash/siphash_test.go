@@ -152,6 +152,41 @@ func TestSum32Distribution(t *testing.T) {
 	}
 }
 
+// TestMACZeroAlloc pins the aom-hm hot path at zero heap allocations:
+// the sequencer computes one Sum32 lane per receiver per packet and every
+// replica recomputes its lane on receive, so a single alloc per MAC would
+// dominate the GC profile at line rate. Sum64 guards the client-side
+// HMAC vector path the same way.
+func TestMACZeroAlloc(t *testing.T) {
+	hk := refHalfKey()
+	k := refKey()
+	input := make([]byte, 48) // aom AuthInput: group + epoch + seq + digest
+	want := Sum32(hk, input)
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		Sum32(hk, input)
+	})
+	if allocs != 0 {
+		t.Fatalf("HalfSipHash MAC compute allocates %.1f times per op, want 0", allocs)
+	}
+
+	allocs = testing.AllocsPerRun(1000, func() {
+		if Sum32(hk, input) != want {
+			t.Fatal("MAC mismatch")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("HalfSipHash MAC verify allocates %.1f times per op, want 0", allocs)
+	}
+
+	allocs = testing.AllocsPerRun(1000, func() {
+		Sum64(k, input)
+	})
+	if allocs != 0 {
+		t.Fatalf("SipHash MAC compute allocates %.1f times per op, want 0", allocs)
+	}
+}
+
 func BenchmarkSum64_16B(b *testing.B) {
 	k := refKey()
 	msg := make([]byte, 16)
@@ -168,5 +203,21 @@ func BenchmarkSum32_40B(b *testing.B) {
 	b.SetBytes(40)
 	for i := 0; i < b.N; i++ {
 		Sum32(k, msg)
+	}
+}
+
+// BenchmarkHalfSipHashMAC measures one aom-hm MAC lane over the exact
+// 48-byte AuthInput the sequencer and receivers hash (group + epoch +
+// seq + digest). Tracked by the benchgate baseline.
+func BenchmarkHalfSipHashMAC(b *testing.B) {
+	k := refHalfKey()
+	input := make([]byte, 48)
+	for i := range input {
+		input[i] = byte(i * 11)
+	}
+	b.SetBytes(48)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Sum32(k, input)
 	}
 }

@@ -493,12 +493,42 @@ const preAuthCap = 4096
 // through to the loop untouched.
 func (r *Replica) VerifyPacket(from transport.NodeID, pkt []byte) runtime.Event {
 	if pre, consumed := r.recv.PreVerify(pkt); consumed {
-		if pre != nil && pre.Hdr != nil && pre.DigestOK {
-			r.preVerifyPayload(pre)
-		}
-		r.mMsgAOM.Inc()
-		return evAOM{pkt: pkt, pre: pre}
+		return r.aomEvent(pkt, pre)
 	}
+	return r.verifyOther(pkt)
+}
+
+// VerifyPacketBatch implements runtime.BatchVerifier: libAOM packets in
+// the batch share one PreVerifyBatch call, which pulls every decodable
+// aom-pk sequencer signature into a single batched secp256k1
+// verification. Non-aom packets fall through to the single-packet path.
+func (r *Replica) VerifyPacketBatch(froms []transport.NodeID, pkts [][]byte) []runtime.Event {
+	out := make([]runtime.Event, len(pkts))
+	pres := r.recv.PreVerifyBatch(pkts)
+	for i, pre := range pres {
+		if pre != nil {
+			out[i] = r.aomEvent(pkts[i], pre)
+		} else {
+			out[i] = r.verifyOther(pkts[i])
+		}
+	}
+	return out
+}
+
+// aomEvent finishes worker-side processing of a packet the receiver
+// consumed: verify the carried client MAC while still off the loop, then
+// wrap the verdicts as an event.
+func (r *Replica) aomEvent(pkt []byte, pre *aom.PreVerified) runtime.Event {
+	if pre != nil && pre.Hdr != nil && pre.DigestOK {
+		r.preVerifyPayload(pre)
+	}
+	r.mMsgAOM.Inc()
+	return evAOM{pkt: pkt, pre: pre}
+}
+
+// verifyOther handles the non-aom part of VerifyPacket: client-request
+// MACs and protocol-message classification.
+func (r *Replica) verifyOther(pkt []byte) runtime.Event {
 	if len(pkt) == 0 {
 		return nil
 	}

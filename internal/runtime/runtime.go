@@ -52,6 +52,27 @@ type Handler interface {
 	ApplyEvent(from transport.NodeID, ev Event)
 }
 
+// BatchVerifier is an optional Handler extension. When the registered
+// handler implements it, each verification worker drains up to
+// maxVerifyBatch queued packets in one pull and verifies them together,
+// letting the handler amortize expensive work across packets — batched
+// aom-pk signature verification shares its modular inversions this way.
+// Verdicts are positional: out[i] is the event for pkts[i] (nil drops
+// it). Ordered retirement is unchanged; a task's verdict simply lands
+// together with its batch peers'.
+type BatchVerifier interface {
+	Handler
+	// VerifyPacketBatch verifies a batch of packets under the same rules
+	// as VerifyPacket. It runs on worker goroutines and must return one
+	// event per packet.
+	VerifyPacketBatch(froms []transport.NodeID, pkts [][]byte) []Event
+}
+
+// maxVerifyBatch bounds how many packets one worker pulls per drain. Big
+// enough to amortize a batched signature verification, small enough to
+// keep head-of-line retirement latency bounded under load.
+const maxVerifyBatch = 32
+
 // Config configures a Runtime.
 type Config struct {
 	// Conn is the node's transport endpoint. The runtime installs its
@@ -298,23 +319,76 @@ func (rt *Runtime) Flush() {
 }
 
 func (rt *Runtime) worker() {
+	bh, _ := rt.handler.(BatchVerifier)
+	var batch []*task
+	var froms []transport.NodeID
+	var pkts [][]byte
 	for {
 		select {
 		case <-rt.stop:
 			return
 		case t := <-rt.verifyq:
+			if bh == nil {
+				rt.verifyOne(t)
+				continue
+			}
+			// Opportunistic drain: take whatever else is already queued,
+			// up to the batch cap, without blocking.
+			batch = append(batch[:0], t)
+		drain:
+			for len(batch) < maxVerifyBatch {
+				select {
+				case t2 := <-rt.verifyq:
+					batch = append(batch, t2)
+				default:
+					break drain
+				}
+			}
+			if len(batch) == 1 {
+				rt.verifyOne(t)
+				continue
+			}
+			froms = froms[:0]
+			pkts = pkts[:0]
+			for _, bt := range batch {
+				froms = append(froms, bt.from)
+				pkts = append(pkts, bt.pkt)
+			}
 			start := time.Now()
-			t.ev = rt.handler.VerifyPacket(t.from, t.pkt)
+			evs := bh.VerifyPacketBatch(froms, pkts)
 			d := time.Since(start)
 			rt.verifyNS.Add(d.Nanoseconds())
-			rt.verifyHist.ObserveDuration(d)
-			if t.tctx.Trace != 0 {
-				t.vid = rt.cfg.Tracer.SpanID()
-				rt.cfg.Tracer.Span(t.vid, t.tctx.Trace, t.tctx.Parent, tracing.PhaseVerify, start, d, 0, uint64(t.kind))
+			// Per-packet attribution: each task gets an equal share of the
+			// batch's wall time (the histogram and traced verify spans have
+			// no per-packet boundary inside a batched call).
+			per := d / time.Duration(len(batch))
+			for i, bt := range batch {
+				if i < len(evs) {
+					bt.ev = evs[i]
+				}
+				rt.verifyHist.ObserveDuration(per)
+				if bt.tctx.Trace != 0 {
+					bt.vid = rt.cfg.Tracer.SpanID()
+					rt.cfg.Tracer.Span(bt.vid, bt.tctx.Trace, bt.tctx.Parent, tracing.PhaseVerify, start, per, 0, uint64(bt.kind))
+				}
+				close(bt.done)
 			}
-			close(t.done)
 		}
 	}
+}
+
+// verifyOne runs the single-packet verify path for one queued task.
+func (rt *Runtime) verifyOne(t *task) {
+	start := time.Now()
+	t.ev = rt.handler.VerifyPacket(t.from, t.pkt)
+	d := time.Since(start)
+	rt.verifyNS.Add(d.Nanoseconds())
+	rt.verifyHist.ObserveDuration(d)
+	if t.tctx.Trace != 0 {
+		t.vid = rt.cfg.Tracer.SpanID()
+		rt.cfg.Tracer.Span(t.vid, t.tctx.Trace, t.tctx.Parent, tracing.PhaseVerify, start, d, 0, uint64(t.kind))
+	}
+	close(t.done)
 }
 
 func (rt *Runtime) loop() {

@@ -363,3 +363,66 @@ func TestTimerScaleStretchesTimers(t *testing.T) {
 		t.Fatal("skewed timer never fired")
 	}
 }
+
+// batchingHandler is a recordingHandler that also implements
+// BatchVerifier; it counts batched calls and their sizes.
+type batchingHandler struct {
+	recordingHandler
+	batches     atomic.Int64
+	batchedPkts atomic.Int64
+}
+
+func (h *batchingHandler) VerifyPacketBatch(froms []transport.NodeID, pkts [][]byte) []Event {
+	h.batches.Add(1)
+	h.batchedPkts.Add(int64(len(pkts)))
+	out := make([]Event, len(pkts))
+	for i := range pkts {
+		out[i] = h.VerifyPacket(froms[i], pkts[i])
+	}
+	return out
+}
+
+// TestBatchVerifierFIFO checks that the batched drain path preserves
+// per-sender FIFO, drops nil verdicts, and actually forms batches.
+func TestBatchVerifierFIFO(t *testing.T) {
+	conn := &fakeConn{id: 1}
+	rt := New(Config{Conn: conn, Workers: 4})
+	h := &batchingHandler{}
+	h.seen = map[transport.NodeID][]uint64{}
+	h.drop = func(pkt []byte) bool { return pkt[7]%5 == 3 } // drop seq ≡ 3 (mod 5), seq < 256
+	rt.Start(h)
+	defer rt.Close()
+
+	const senders, perSender = 5, 200
+	for i := 0; i < perSender; i++ {
+		for s := 0; s < senders; s++ {
+			conn.Deliver(transport.NodeID(100+s), packet(uint64(i)))
+		}
+	}
+	rt.Flush()
+	want := 0
+	for i := 0; i < perSender; i++ {
+		if i%5 != 3 {
+			want++
+		}
+	}
+	if got := h.n.Load(); got != int64(senders*want) {
+		t.Fatalf("applied %d events, want %d", got, senders*want)
+	}
+	for s := 0; s < senders; s++ {
+		got := h.seen[transport.NodeID(100+s)]
+		j := 0
+		for i := 0; i < perSender; i++ {
+			if i%5 == 3 {
+				continue
+			}
+			if got[j] != uint64(i) {
+				t.Fatalf("sender %d: event %d has seq %d, want %d — FIFO violated", s, j, got[j], i)
+			}
+			j++
+		}
+	}
+	if h.batches.Load() == 0 || h.batchedPkts.Load() < 2 {
+		t.Fatalf("no multi-packet batches formed (batches=%d pkts=%d)", h.batches.Load(), h.batchedPkts.Load())
+	}
+}

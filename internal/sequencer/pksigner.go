@@ -1,0 +1,140 @@
+package sequencer
+
+// pksigner.go models the aom-pk signing co-processor. In the paper the
+// Tofino switch offloads secp256k1 signing to an FPGA that keeps a table
+// of precomputed signature points; the signing-ratio controller watches
+// the table's stock level and skips signatures (riding the SHA-256 hash
+// chain instead) when the FPGA cannot keep up (§4.4). pkSigner is that
+// subsystem in software: the epoch signing key, the precompute-stock
+// token bucket, and the signed/chained packet emission path.
+
+import (
+	"time"
+
+	"neobft/internal/crypto/secp256k1"
+	"neobft/internal/transport"
+	"neobft/internal/wire"
+)
+
+// pkSigner holds the aom-pk signing state of a switch. All mutable
+// fields are guarded by the owning Switch's mu.
+type pkSigner struct {
+	priv *secp256k1.PrivateKey
+	// rate is the precompute refill rate in signatures/sec; <= 0 signs
+	// everything. burst is the precompute table capacity.
+	rate  float64
+	burst int
+	// stock is the current precomputed-entry count (token bucket).
+	stock      float64
+	lastRefill time.Time
+	// forceNext makes the next stamped packet carry a signature
+	// regardless of stock (test/control-plane hook).
+	forceNext bool
+	// maxChain bounds consecutive unsigned packets (negative = no
+	// bound); chained counts the current unsigned run. Receivers hold
+	// unsigned packets until a signed successor authenticates the chain,
+	// so an unbounded run can park every in-flight request of a
+	// closed-loop workload and stall it until a client retry. The bound
+	// guarantees a signature at least every maxChain+1 packets.
+	maxChain int
+	chained  int
+}
+
+// newPKSigner derives the epoch signing key from seed and fills the
+// precompute table to capacity.
+func newPKSigner(seed []byte, rate float64, burst, maxChain int) *pkSigner {
+	key, err := secp256k1.GenerateKey(seed)
+	if err != nil {
+		panic("sequencer: key generation failed: " + err.Error())
+	}
+	return &pkSigner{
+		priv:       key,
+		rate:       rate,
+		burst:      burst,
+		stock:      float64(burst),
+		lastRefill: time.Now(),
+		maxChain:   maxChain,
+	}
+}
+
+// publicKey returns the switch signing key for distribution to receivers.
+func (ps *pkSigner) publicKey() secp256k1.PublicKey { return ps.priv.Pub }
+
+// takeToken implements the signing-ratio controller: it monitors the
+// precomputed-table stock level and skips signatures when the stock runs
+// low (§4.4), subject to the chain-length bound. Caller holds the
+// switch mu.
+func (ps *pkSigner) takeToken() bool {
+	sign := ps.decide()
+	if sign {
+		ps.chained = 0
+	} else {
+		ps.chained++
+	}
+	return sign
+}
+
+// decide is takeToken without the chain-run bookkeeping.
+func (ps *pkSigner) decide() bool {
+	if ps.forceNext {
+		ps.forceNext = false
+		return true
+	}
+	if ps.rate <= 0 {
+		return true
+	}
+	if ps.maxChain >= 0 && ps.chained >= ps.maxChain {
+		return true
+	}
+	now := time.Now()
+	ps.stock += now.Sub(ps.lastRefill).Seconds() * ps.rate
+	if max := float64(ps.burst); ps.stock > max {
+		ps.stock = max
+	}
+	ps.lastRefill = now
+	if ps.stock >= 1 {
+		ps.stock--
+		return true
+	}
+	return false
+}
+
+// sign produces a signature over the packet hash.
+func (ps *pkSigner) sign(digest []byte) secp256k1.Signature {
+	return ps.priv.Sign(digest)
+}
+
+// emitPK signs (or hash-chains) the stamped header and multicasts it.
+func (s *Switch) emitPK(members []transport.NodeID, stamp *wire.AOMHeader, payload []byte, equivFrom int) {
+	if stamp.Signed {
+		digest := stamp.PacketHash()
+		sig := s.signer.sign(digest[:])
+		enc := sig.Encode()
+		stamp.Auth = enc[:]
+	}
+	w := wire.NewWriter(192 + len(payload))
+	wire.EncodeAOM(w, stamp, payload)
+	pkt := w.Bytes()
+	var altPkt []byte
+	if equivFrom < len(members) {
+		alt := append([]byte("equivocated:"), payload...)
+		h2 := *stamp
+		h2.Digest = wire.Digest(alt)
+		if h2.Signed {
+			d := h2.PacketHash()
+			sig := s.signer.sign(d[:])
+			enc := sig.Encode()
+			h2.Auth = enc[:]
+		}
+		w2 := wire.NewWriter(192 + len(alt))
+		wire.EncodeAOM(w2, &h2, alt)
+		altPkt = w2.Bytes()
+	}
+	for ri, m := range members {
+		out := pkt
+		if ri >= equivFrom {
+			out = altPkt
+		}
+		s.conn.Send(m, out)
+	}
+}

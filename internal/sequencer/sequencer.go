@@ -84,6 +84,12 @@ type Options struct {
 	SignRate float64
 	// SignBurst is the precompute table (stock) capacity. Default 32.
 	SignBurst int
+	// SignMaxChain bounds the hash chain: after this many consecutive
+	// unsigned packets the controller signs regardless of stock, so a
+	// parked receiver never waits more than SignMaxChain packets for the
+	// signature that authenticates its chain. Default 8; negative
+	// disables the bound.
+	SignMaxChain int
 	// Metrics, when non-nil, receives the switch's seq_* counters
 	// (stamped/signed packets, injected drops) and trace events.
 	Metrics *metrics.Registry
@@ -103,7 +109,9 @@ type Switch struct {
 	conn transport.Conn
 	opts Options
 
-	pk *secp256k1.PrivateKey
+	// signer is the aom-pk signing subsystem (pksigner.go); nil for the
+	// HMAC variant. Its mutable state is guarded by mu.
+	signer *pkSigner
 
 	mu     sync.Mutex
 	groups map[uint32]*groupState
@@ -115,12 +123,6 @@ type Switch struct {
 	// stamping (the counter advances but nothing is multicast), creating
 	// genuine gaps for the gap-agreement protocol.
 	dropSeqs map[uint64]bool
-	// stock is the precomputed-entry token bucket of the signing-ratio
-	// controller.
-	stock      float64
-	lastRefill time.Time
-
-	forceSign bool
 
 	stamped uint64
 	signed  uint64
@@ -138,20 +140,17 @@ func New(conn transport.Conn, opts Options) *Switch {
 	if opts.SignBurst == 0 {
 		opts.SignBurst = 32
 	}
+	if opts.SignMaxChain == 0 {
+		opts.SignMaxChain = 8
+	}
 	s := &Switch{
-		conn:       conn,
-		opts:       opts,
-		groups:     make(map[uint32]*groupState),
-		dropSeqs:   make(map[uint64]bool),
-		stock:      float64(opts.SignBurst),
-		lastRefill: time.Now(),
+		conn:     conn,
+		opts:     opts,
+		groups:   make(map[uint32]*groupState),
+		dropSeqs: make(map[uint64]bool),
 	}
 	if opts.Variant == wire.AuthPK {
-		key, err := secp256k1.GenerateKey(opts.PKSeed)
-		if err != nil {
-			panic("sequencer: key generation failed: " + err.Error())
-		}
-		s.pk = key
+		s.signer = newPKSigner(opts.PKSeed, opts.SignRate, opts.SignBurst, opts.SignMaxChain)
 	}
 	if reg := opts.Metrics; reg != nil {
 		s.mStamped = reg.Counter("seq_stamped_total")
@@ -176,10 +175,10 @@ func New(conn transport.Conn, opts Options) *Switch {
 // PublicKey returns the switch signing key (aom-pk); the configuration
 // service distributes it to receivers.
 func (s *Switch) PublicKey() secp256k1.PublicKey {
-	if s.pk == nil {
+	if s.signer == nil {
 		return secp256k1.PublicKey{}
 	}
-	return s.pk.Pub
+	return s.signer.publicKey()
 }
 
 // InstallGroup installs or replaces a group's control-plane state. The
@@ -217,7 +216,9 @@ func (s *Switch) SetEquivocationVictims(n int) {
 func (s *Switch) ForceSignNext() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.forceSign = true
+	if s.signer != nil {
+		s.signer.forceNext = true
+	}
 }
 
 // DropSeq makes the switch stamp-but-drop the packet that receives
@@ -313,8 +314,7 @@ func (s *Switch) handle(from transport.NodeID, pktBytes []byte) {
 	case wire.AuthPK:
 		stamp.Chain = g.chain
 		g.chain = stamp.PacketHash()
-		stamp.Signed = s.forceSign || s.takeSignToken()
-		s.forceSign = false
+		stamp.Signed = s.signer.takeToken()
 		if stamp.Signed {
 			s.signed++
 			s.mSigned.Inc()
@@ -386,59 +386,4 @@ func (s *Switch) equivocatePacket(g *groupState, hdr *wire.AOMHeader, payload []
 	w := wire.NewWriter(128 + len(alt))
 	wire.EncodeAOM(w, &h2, alt)
 	return w.Bytes()
-}
-
-// emitPK signs (or hash-chains) the stamped header and multicasts it.
-func (s *Switch) emitPK(members []transport.NodeID, stamp *wire.AOMHeader, payload []byte, equivFrom int) {
-	if stamp.Signed {
-		digest := stamp.PacketHash()
-		sig := s.pk.Sign(digest[:])
-		enc := sig.Encode()
-		stamp.Auth = enc[:]
-	}
-	w := wire.NewWriter(192 + len(payload))
-	wire.EncodeAOM(w, stamp, payload)
-	pkt := w.Bytes()
-	var altPkt []byte
-	if equivFrom < len(members) {
-		alt := append([]byte("equivocated:"), payload...)
-		h2 := *stamp
-		h2.Digest = wire.Digest(alt)
-		if h2.Signed {
-			d := h2.PacketHash()
-			sig := s.pk.Sign(d[:])
-			enc := sig.Encode()
-			h2.Auth = enc[:]
-		}
-		w2 := wire.NewWriter(192 + len(alt))
-		wire.EncodeAOM(w2, &h2, alt)
-		altPkt = w2.Bytes()
-	}
-	for ri, m := range members {
-		out := pkt
-		if ri >= equivFrom {
-			out = altPkt
-		}
-		s.conn.Send(m, out)
-	}
-}
-
-// takeSignToken implements the signing-ratio controller: it monitors the
-// precomputed-table stock level and skips signatures when the stock runs
-// low (§4.4). Caller holds s.mu.
-func (s *Switch) takeSignToken() bool {
-	if s.opts.SignRate <= 0 {
-		return true
-	}
-	now := time.Now()
-	s.stock += now.Sub(s.lastRefill).Seconds() * s.opts.SignRate
-	if max := float64(s.opts.SignBurst); s.stock > max {
-		s.stock = max
-	}
-	s.lastRefill = now
-	if s.stock >= 1 {
-		s.stock--
-		return true
-	}
-	return false
 }

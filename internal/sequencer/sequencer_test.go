@@ -231,6 +231,34 @@ func TestPKSignRatioController(t *testing.T) {
 	}
 }
 
+func TestPKSignMaxChain(t *testing.T) {
+	// Starve the token bucket (negligible refill) so only the chain
+	// bound produces signatures: with SignMaxChain 3 every unsigned run
+	// must be at most 3 packets long.
+	_, sender, _, cap, _ := rig(t, wire.AuthPK, 4, Options{SignRate: 1e-9, SignBurst: 1, SignMaxChain: 3})
+	const total = 20
+	for i := 0; i < total; i++ {
+		sendAOM(sender, 1, []byte{byte(i)})
+	}
+	waitCount(t, cap, 1, total)
+	run, signed := 0, 0
+	for i := 0; i < total; i++ {
+		hdr, _ := cap.get(1, i)
+		if hdr.Signed {
+			signed++
+			run = 0
+			continue
+		}
+		run++
+		if run > 3 {
+			t.Fatalf("packet %d extends an unsigned run of %d, want <= 3", i, run)
+		}
+	}
+	if signed >= total/2 {
+		t.Fatalf("signed %d of %d with a starved bucket; the chain bound should dominate", signed, total)
+	}
+}
+
 func TestFaultCrash(t *testing.T) {
 	_, sender, sw, cap, _ := rig(t, wire.AuthHMAC, 4, Options{})
 	sw.SetFault(FaultCrash)

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -103,31 +104,41 @@ func DecodeAOM(buf []byte) (*AOMHeader, []byte, error) {
 	return h, payload, nil
 }
 
-// AuthInput returns the canonical byte string that the sequencer
-// authenticates: group ‖ epoch ‖ seq ‖ digest (§4.1: "the concatenated
-// message digest and the sequence number"; group and epoch are bound in
-// as well so authenticators cannot be replayed across groups or epochs).
+// AuthInputSize is the length of the canonical authenticated byte string:
+// group (4) ‖ epoch (4) ‖ seq (8) ‖ digest (32).
+const AuthInputSize = 48
+
+// AuthInputInto writes the canonical byte string that the sequencer
+// authenticates into buf: group ‖ epoch ‖ seq ‖ digest (§4.1: "the
+// concatenated message digest and the sequence number"; group and epoch
+// are bound in as well so authenticators cannot be replayed across groups
+// or epochs). Writing into a caller-provided (typically stack) buffer
+// keeps the per-packet MAC and signature checks allocation-free.
+func (h *AOMHeader) AuthInputInto(buf *[AuthInputSize]byte) {
+	binary.LittleEndian.PutUint32(buf[0:], h.Group)
+	binary.LittleEndian.PutUint32(buf[4:], h.Epoch)
+	binary.LittleEndian.PutUint64(buf[8:], h.Seq)
+	copy(buf[16:], h.Digest[:])
+}
+
+// AuthInput returns the canonical authenticated byte string as a fresh
+// slice. Prefer AuthInputInto on hot paths.
 func (h *AOMHeader) AuthInput() []byte {
-	w := NewWriter(48)
-	w.U32(h.Group)
-	w.U32(h.Epoch)
-	w.U64(h.Seq)
-	w.Bytes32(h.Digest)
-	return w.Bytes()
+	var buf [AuthInputSize]byte
+	h.AuthInputInto(&buf)
+	return buf[:]
 }
 
 // PacketHash returns the SHA-256 of the stamped packet identity used as a
 // hash-chain link: it covers the authenticated fields plus the previous
 // chain value, so validating the chain in reverse order (§4.4) validates
-// every link's ordering and content.
+// every link's ordering and content. Allocation-free: the 80-byte
+// preimage lives on the stack.
 func (h *AOMHeader) PacketHash() [32]byte {
-	w := NewWriter(96)
-	w.U32(h.Group)
-	w.U32(h.Epoch)
-	w.U64(h.Seq)
-	w.Bytes32(h.Digest)
-	w.Bytes32(h.Chain)
-	return sha256.Sum256(w.Bytes())
+	var buf [AuthInputSize + 32]byte
+	h.AuthInputInto((*[AuthInputSize]byte)(buf[:AuthInputSize]))
+	copy(buf[AuthInputSize:], h.Chain[:])
+	return sha256.Sum256(buf[:])
 }
 
 // Digest computes the sender-side payload digest.
